@@ -1,0 +1,90 @@
+//! A small in-memory configuration store.
+//!
+//! Stands in for the PostgreSQL side of a shard (§2.1): device-to-network
+//! mapping, user-defined tags on devices, and client operating-system
+//! labels — the dimension tables aggregators join LittleTable data against
+//! (§4.1.2).
+
+use crate::device::DeviceId;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+
+/// Shared configuration state.
+#[derive(Debug, Default)]
+pub struct ConfigStore {
+    inner: RwLock<Inner>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    tags: HashMap<DeviceId, Vec<String>>,
+    client_os: HashMap<i64, String>,
+}
+
+impl ConfigStore {
+    /// Creates an empty store.
+    pub fn new() -> ConfigStore {
+        ConfigStore::default()
+    }
+
+    /// Adds a user-defined tag to a device (e.g. "classrooms").
+    pub fn tag_device(&self, dev: DeviceId, tag: &str) {
+        let mut inner = self.inner.write();
+        let tags = inner.tags.entry(dev).or_default();
+        if !tags.iter().any(|t| t == tag) {
+            tags.push(tag.to_string());
+        }
+    }
+
+    /// The tags on a device.
+    pub fn device_tags(&self, dev: DeviceId) -> Vec<String> {
+        self.inner.read().tags.get(&dev).cloned().unwrap_or_default()
+    }
+
+    /// Records a client's likely operating system.
+    pub fn set_client_os(&self, client: i64, os: &str) {
+        self.inner.write().client_os.insert(client, os.to_string());
+    }
+
+    /// A client's likely operating system, defaulting to "unknown".
+    pub fn client_os(&self, client: i64) -> String {
+        self.inner
+            .read()
+            .client_os
+            .get(&client)
+            .cloned()
+            .unwrap_or_else(|| "unknown".to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tags_accumulate_without_duplicates() {
+        let c = ConfigStore::new();
+        let dev = DeviceId {
+            network: 1,
+            device: 2,
+        };
+        c.tag_device(dev, "classrooms");
+        c.tag_device(dev, "classrooms");
+        c.tag_device(dev, "east-wing");
+        assert_eq!(c.device_tags(dev), vec!["classrooms", "east-wing"]);
+        assert!(c
+            .device_tags(DeviceId {
+                network: 9,
+                device: 9
+            })
+            .is_empty());
+    }
+
+    #[test]
+    fn client_os_defaults_to_unknown() {
+        let c = ConfigStore::new();
+        c.set_client_os(7, "macOS");
+        assert_eq!(c.client_os(7), "macOS");
+        assert_eq!(c.client_os(8), "unknown");
+    }
+}

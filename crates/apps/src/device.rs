@@ -1,0 +1,405 @@
+//! A simulated fleet of Meraki-style devices.
+//!
+//! The paper's grabbers poll real devices over mtunnel; here the device
+//! side is simulated with three crucial properties preserved:
+//!
+//! * **Determinism** — a device's counters, event log, and motion stream
+//!   are pure functions of (device id, time), so after a LittleTable crash
+//!   a grabber that re-polls genuinely *re-reads the same data from the
+//!   device*, which is the recoverability assumption the whole durability
+//!   story rests on (§2.3.4).
+//! * **Monotonic counters and event ids** — byte counters only grow and
+//!   each event id is one greater than the last (§4.2).
+//! * **Injectable unavailability** — devices can be made unreachable for
+//!   arbitrary windows to exercise the grabbers' gap-handling (§4.1.1).
+
+use littletable_vfs::{Micros, MICROS_PER_SEC};
+use std::collections::HashMap;
+
+fn mix(x: u64) -> u64 {
+    let mut x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// One minute in micros.
+pub const MINUTE: Micros = 60 * MICROS_PER_SEC;
+
+/// Identifies a device within the fleet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DeviceId {
+    /// The network (customer grouping) the device belongs to.
+    pub network: i64,
+    /// The device's own id.
+    pub device: i64,
+}
+
+/// One event from a device's log (§4.2).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceEvent {
+    /// Monotonically increasing per-device id.
+    pub id: i64,
+    /// When the event occurred on the device.
+    pub ts: Micros,
+    /// Event kind (e.g. "dhcp_lease", "assoc", "8021x").
+    pub kind: &'static str,
+    /// Free-form detail.
+    pub detail: String,
+}
+
+/// One coalesced motion event from a camera (§4.3): a 32-bit word with a
+/// nibble each for the coarse cell's row and column and a bit per 16×16
+/// macroblock inside the cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MotionEvent {
+    /// Event start time.
+    pub ts: Micros,
+    /// Coalesced duration in milliseconds.
+    pub duration_ms: u32,
+    /// Encoded `[row nibble][col nibble][24-bit macroblock mask]`.
+    pub word: u32,
+}
+
+impl MotionEvent {
+    /// Builds the encoded word.
+    pub fn encode_word(row: u8, col: u8, mask: u32) -> u32 {
+        debug_assert!(row < 16 && col < 16);
+        ((row as u32) << 28) | ((col as u32) << 24) | (mask & 0x00FF_FFFF)
+    }
+
+    /// The coarse cell row (0..=15; the frame uses 0..34/4 rows).
+    pub fn row(&self) -> u8 {
+        (self.word >> 28) as u8
+    }
+
+    /// The coarse cell column (0..=15; the frame uses 0..60/6 columns).
+    pub fn col(&self) -> u8 {
+        ((self.word >> 24) & 0xF) as u8
+    }
+
+    /// The 24-bit macroblock presence mask.
+    pub fn mask(&self) -> u32 {
+        self.word & 0x00FF_FFFF
+    }
+}
+
+/// The simulated fleet.
+#[derive(Debug, Default)]
+pub struct Fleet {
+    /// Time the simulation considers "device boot"; counters and logs
+    /// start here.
+    epoch: Micros,
+    devices: Vec<DeviceId>,
+    /// Per-device unreachability windows `[from, to)`.
+    outages: HashMap<DeviceId, Vec<(Micros, Micros)>>,
+    /// How many events the device keeps in flash (older ones fall off).
+    event_history: usize,
+    seed: u64,
+}
+
+impl Fleet {
+    /// Creates a fleet of `networks × devices_per_network` devices whose
+    /// history begins at `epoch`.
+    pub fn new(epoch: Micros, networks: i64, devices_per_network: i64, seed: u64) -> Fleet {
+        let mut devices = Vec::new();
+        for n in 1..=networks {
+            for d in 1..=devices_per_network {
+                devices.push(DeviceId {
+                    network: n,
+                    device: d,
+                });
+            }
+        }
+        Fleet {
+            epoch,
+            devices,
+            outages: HashMap::new(),
+            event_history: 10_000,
+            seed,
+        }
+    }
+
+    /// All device ids.
+    pub fn devices(&self) -> &[DeviceId] {
+        &self.devices
+    }
+
+    /// The simulation epoch.
+    pub fn epoch(&self) -> Micros {
+        self.epoch
+    }
+
+    /// Marks a device unreachable during `[from, to)`.
+    pub fn add_outage(&mut self, dev: DeviceId, from: Micros, to: Micros) {
+        self.outages.entry(dev).or_default().push((from, to));
+    }
+
+    /// True when the device answers polls at `t`.
+    pub fn reachable(&self, dev: DeviceId, t: Micros) -> bool {
+        self.outages
+            .get(&dev)
+            .map(|windows| !windows.iter().any(|&(a, b)| t >= a && t < b))
+            .unwrap_or(true)
+    }
+
+    fn dev_seed(&self, dev: DeviceId) -> u64 {
+        mix(self.seed ^ (dev.network as u64) << 32 ^ dev.device as u64)
+    }
+
+    // ------------------------------------------------------------- counters
+
+    /// The device's per-minute transfer in bytes for the minute starting
+    /// at `minute_start` — a deterministic, bursty pattern.
+    pub fn rate_in_minute(&self, dev: DeviceId, minute_index: i64) -> u64 {
+        let h = mix(self.dev_seed(dev) ^ minute_index as u64);
+        // Mostly modest traffic with occasional bursts.
+        let base = h % 1_000_000; // up to ~1 MB/min
+        if h.is_multiple_of(16) {
+            base * 20 // burst
+        } else {
+            base
+        }
+    }
+
+    /// The device's cumulative byte counter as read at time `t`, or `None`
+    /// when the device is unreachable. Strictly monotone in `t`.
+    pub fn poll_counter(&self, dev: DeviceId, t: Micros) -> Option<u64> {
+        if !self.reachable(dev, t) {
+            return None;
+        }
+        if t < self.epoch {
+            return Some(0);
+        }
+        let full_minutes = (t - self.epoch) / MINUTE;
+        let mut total: u64 = 0;
+        for m in 0..full_minutes {
+            total += self.rate_in_minute(dev, m);
+        }
+        // Partial current minute, linearly interpolated.
+        let partial = (t - self.epoch) % MINUTE;
+        total += self.rate_in_minute(dev, full_minutes) * partial as u64 / MINUTE as u64;
+        Some(total)
+    }
+
+    // --------------------------------------------------------------- events
+
+    fn event_at(&self, dev: DeviceId, id: i64) -> DeviceEvent {
+        let h = mix(self.dev_seed(dev) ^ 0xE0E0 ^ id as u64);
+        // Per-device constant base gap (5–64 s) plus per-event jitter
+        // bounded below half the gap, keeping timestamps strictly
+        // increasing in the event id.
+        let base_gap = 5 * MICROS_PER_SEC + (self.dev_seed(dev) % 60) as i64 * MICROS_PER_SEC;
+        let jitter = (h % (base_gap / 2) as u64) as i64;
+        let ts = self.epoch + id * base_gap + jitter;
+        let kind = match h % 4 {
+            0 => "dhcp_lease",
+            1 => "assoc",
+            2 => "disassoc",
+            _ => "8021x_auth",
+        };
+        DeviceEvent {
+            id,
+            ts,
+            kind,
+            detail: format!("client-{:x}", h & 0xFFFF),
+        }
+    }
+
+    /// Number of events the device has generated by time `t`.
+    fn event_count_at(&self, dev: DeviceId, t: Micros) -> i64 {
+        if t <= self.epoch {
+            return 0;
+        }
+        // Events are strictly increasing in ts; binary search the count.
+        let mut lo = 0i64;
+        let mut hi = ((t - self.epoch) / MICROS_PER_SEC).max(1); // ≥1 event/sec never happens
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            if self.event_at(dev, mid).ts < t {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
+    }
+
+    /// Fetches events newer than `after_id` (pass `None` for "from the
+    /// oldest retained event", which is how a grabber resyncs after losing
+    /// its cache, §4.2). Returns `None` when unreachable.
+    pub fn poll_events(
+        &self,
+        dev: DeviceId,
+        after_id: Option<i64>,
+        t: Micros,
+        max: usize,
+    ) -> Option<Vec<DeviceEvent>> {
+        if !self.reachable(dev, t) {
+            return None;
+        }
+        let count = self.event_count_at(dev, t);
+        let oldest_retained = (count - self.event_history as i64).max(0);
+        let start = match after_id {
+            Some(id) => (id + 1).max(oldest_retained),
+            None => oldest_retained,
+        };
+        Some(
+            (start..count)
+                .take(max)
+                .map(|id| self.event_at(dev, id))
+                .collect(),
+        )
+    }
+
+    /// The oldest event the device still retains at `t` (what a device
+    /// answers when polled without a previous event id).
+    pub fn oldest_event(&self, dev: DeviceId, t: Micros) -> Option<DeviceEvent> {
+        let count = self.event_count_at(dev, t);
+        if count == 0 {
+            return None;
+        }
+        let oldest = (count - self.event_history as i64).max(0);
+        Some(self.event_at(dev, oldest))
+    }
+
+    // --------------------------------------------------------------- motion
+
+    /// Coalesced motion events for camera `dev` in `[from, to)`: roughly
+    /// one event per busy second, deterministic.
+    pub fn poll_motion(&self, dev: DeviceId, from: Micros, to: Micros) -> Vec<MotionEvent> {
+        let mut out = Vec::new();
+        let s0 = from.div_euclid(MICROS_PER_SEC);
+        let s1 = to.div_euclid(MICROS_PER_SEC);
+        for s in s0..s1 {
+            let h = mix(self.dev_seed(dev) ^ 0xCA3E ^ s as u64);
+            // ~25% of seconds contain motion.
+            if !h.is_multiple_of(4) {
+                continue;
+            }
+            let row = ((h >> 8) % 9) as u8; // 34 rows of blocks / 4 per cell
+            let col = ((h >> 16) % 10) as u8; // 60 cols / 6 per cell
+            let mask = (h >> 24) as u32 & 0x00FF_FFFF;
+            out.push(MotionEvent {
+                ts: s * MICROS_PER_SEC + (h % 1000) as i64,
+                duration_ms: 200 + (h % 4800) as u32,
+                word: MotionEvent::encode_word(row, col, mask | 1),
+            });
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EPOCH: Micros = 1_700_000_000_000_000;
+
+    fn fleet() -> Fleet {
+        Fleet::new(EPOCH, 2, 3, 42)
+    }
+
+    #[test]
+    fn counters_are_monotone_and_deterministic() {
+        let f = fleet();
+        let dev = f.devices()[0];
+        let mut prev = 0;
+        for i in 0..100 {
+            let t = EPOCH + i * MINUTE / 3;
+            let c = f.poll_counter(dev, t).unwrap();
+            assert!(c >= prev, "counter went backwards at {i}");
+            prev = c;
+        }
+        // Re-polling the same instant gives the same answer (recoverable).
+        assert_eq!(
+            f.poll_counter(dev, EPOCH + 55 * MINUTE),
+            f.poll_counter(dev, EPOCH + 55 * MINUTE)
+        );
+    }
+
+    #[test]
+    fn outages_block_polls() {
+        let mut f = fleet();
+        let dev = f.devices()[0];
+        f.add_outage(dev, EPOCH + MINUTE, EPOCH + 3 * MINUTE);
+        assert!(f.poll_counter(dev, EPOCH).is_some());
+        assert!(f.poll_counter(dev, EPOCH + 2 * MINUTE).is_none());
+        assert!(f.poll_counter(dev, EPOCH + 3 * MINUTE).is_some());
+        // Other devices are unaffected.
+        assert!(f.poll_counter(f.devices()[1], EPOCH + 2 * MINUTE).is_some());
+    }
+
+    #[test]
+    fn events_have_monotone_ids_and_timestamps() {
+        let f = fleet();
+        let dev = f.devices()[0];
+        let t = EPOCH + 3600 * MICROS_PER_SEC;
+        let events = f.poll_events(dev, None, t, 10_000).unwrap();
+        assert!(!events.is_empty());
+        for w in events.windows(2) {
+            assert_eq!(w[1].id, w[0].id + 1);
+            assert!(w[1].ts > w[0].ts, "timestamps must be unique/increasing");
+        }
+        assert!(events.last().unwrap().ts < t);
+    }
+
+    #[test]
+    fn events_since_id_resume_exactly() {
+        let f = fleet();
+        let dev = f.devices()[0];
+        let t = EPOCH + 3600 * MICROS_PER_SEC;
+        let all = f.poll_events(dev, None, t, 10_000).unwrap();
+        let mid = all[all.len() / 2].id;
+        let rest = f.poll_events(dev, Some(mid), t, 10_000).unwrap();
+        assert_eq!(rest[0].id, mid + 1);
+        assert_eq!(rest.len(), all.len() - (all.len() / 2) - 1);
+    }
+
+    #[test]
+    fn event_history_is_bounded() {
+        let mut f = fleet();
+        f.event_history = 10;
+        let dev = f.devices()[0];
+        let t = EPOCH + 48 * 3600 * MICROS_PER_SEC;
+        let events = f.poll_events(dev, None, t, 10_000).unwrap();
+        assert_eq!(events.len(), 10);
+        assert_eq!(f.oldest_event(dev, t).unwrap().id, events[0].id);
+    }
+
+    #[test]
+    fn motion_words_encode_cells() {
+        let w = MotionEvent::encode_word(3, 7, 0xABCDEF);
+        let e = MotionEvent {
+            ts: 0,
+            duration_ms: 100,
+            word: w,
+        };
+        assert_eq!(e.row(), 3);
+        assert_eq!(e.col(), 7);
+        assert_eq!(e.mask(), 0xABCDEF);
+    }
+
+    #[test]
+    fn motion_stream_is_deterministic_and_in_range() {
+        let f = fleet();
+        let cam = f.devices()[0];
+        let a = f.poll_motion(cam, EPOCH, EPOCH + 600 * MICROS_PER_SEC);
+        let b = f.poll_motion(cam, EPOCH, EPOCH + 600 * MICROS_PER_SEC);
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+        for e in &a {
+            assert!(e.ts >= EPOCH && e.ts < EPOCH + 600 * MICROS_PER_SEC);
+            assert!(e.row() < 9 && e.col() < 10);
+            assert!(e.mask() != 0);
+        }
+        // Sub-ranges re-read identically (recoverability for MotionGrabber).
+        let sub = f.poll_motion(cam, EPOCH + 100 * MICROS_PER_SEC, EPOCH + 200 * MICROS_PER_SEC);
+        let expect: Vec<_> = a
+            .iter()
+            .filter(|e| e.ts >= EPOCH + 100 * MICROS_PER_SEC && e.ts < EPOCH + 200 * MICROS_PER_SEC)
+            .copied()
+            .collect();
+        assert_eq!(sub, expect);
+    }
+}

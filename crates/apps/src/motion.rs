@@ -1,0 +1,293 @@
+//! Video motion search (§4.3): MotionGrabber and rectangle search.
+//!
+//! Cameras encode motion per video frame as one 32-bit word per coarse
+//! cell (a nibble each for the cell's row and column, a bit per 16×16
+//! macroblock), coalescing consecutive frames. MotionGrabber pulls these
+//! events like EventsGrabber pulls logs; Dashboard then searches backwards
+//! in time for motion intersecting a user-drawn rectangle and draws
+//! heatmaps of motion over time.
+
+use crate::device::{DeviceId, Fleet, MotionEvent};
+use littletable_core::schema::{ColumnDef, Schema};
+use littletable_core::table::Table;
+use littletable_core::value::{ColumnType, Value};
+use littletable_core::{Query, Result};
+use littletable_vfs::Micros;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// The motion table: `(network, camera, ts)` → (duration_ms, word).
+pub fn motion_schema() -> Schema {
+    Schema::new(
+        vec![
+            ColumnDef::new("network", ColumnType::I64),
+            ColumnDef::new("camera", ColumnType::I64),
+            ColumnDef::new("ts", ColumnType::Timestamp),
+            ColumnDef::new("duration_ms", ColumnType::I64),
+            ColumnDef::new("word", ColumnType::I64),
+        ],
+        &["network", "camera", "ts"],
+    )
+    .expect("motion schema is valid")
+}
+
+/// A rectangle of coarse cells in the camera frame, inclusive bounds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CellRect {
+    /// First row.
+    pub row_min: u8,
+    /// Last row.
+    pub row_max: u8,
+    /// First column.
+    pub col_min: u8,
+    /// Last column.
+    pub col_max: u8,
+}
+
+impl CellRect {
+    /// True when the rectangle covers the event's coarse cell.
+    pub fn covers(&self, e: &MotionEvent) -> bool {
+        (self.row_min..=self.row_max).contains(&e.row())
+            && (self.col_min..=self.col_max).contains(&e.col())
+    }
+}
+
+/// The motion-polling daemon: tracks the last fetched instant per camera.
+pub struct MotionGrabber {
+    table: Arc<Table>,
+    cursor: HashMap<DeviceId, Micros>,
+}
+
+impl MotionGrabber {
+    /// Creates a grabber writing to a [`motion_schema`] table.
+    pub fn new(table: Arc<Table>) -> MotionGrabber {
+        MotionGrabber {
+            table,
+            cursor: HashMap::new(),
+        }
+    }
+
+    /// Polls every camera for motion since the last poll (or `lookback`
+    /// for the first). Returns rows inserted.
+    pub fn poll_all(&mut self, fleet: &Fleet, t: Micros, lookback: Micros) -> Result<usize> {
+        let mut inserted = 0;
+        for &cam in fleet.devices() {
+            let from = self.cursor.get(&cam).copied().unwrap_or(t - lookback);
+            if !fleet.reachable(cam, t) {
+                continue;
+            }
+            let events = fleet.poll_motion(cam, from, t);
+            let rows: Vec<Vec<Value>> = events
+                .iter()
+                .map(|e| {
+                    vec![
+                        Value::I64(cam.network),
+                        Value::I64(cam.device),
+                        Value::Timestamp(e.ts),
+                        Value::I64(e.duration_ms as i64),
+                        Value::I64(e.word as i64),
+                    ]
+                })
+                .collect();
+            if !rows.is_empty() {
+                inserted += self.table.insert(rows)?.inserted;
+            }
+            self.cursor.insert(cam, t);
+        }
+        Ok(inserted)
+    }
+}
+
+fn decode_row(row: &littletable_core::Row) -> Option<(Micros, u32, u32)> {
+    let Value::Timestamp(ts) = row.values[2] else {
+        return None;
+    };
+    let Value::I64(duration) = row.values[3] else {
+        return None;
+    };
+    let Value::I64(word) = row.values[4] else {
+        return None;
+    };
+    Some((ts, duration as u32, word as u32))
+}
+
+/// Searches backwards in time for motion events on one camera whose cell
+/// intersects `rect`, newest first, up to `limit` hits — the user's
+/// "select an area and search backwards" flow (§4.3).
+pub fn search_motion(
+    table: &Table,
+    camera: DeviceId,
+    rect: CellRect,
+    until: Micros,
+    limit: usize,
+) -> Result<Vec<(Micros, u32)>> {
+    let q = Query::all()
+        .with_prefix(vec![Value::I64(camera.network), Value::I64(camera.device)])
+        .with_ts_max(until, false)
+        .descending();
+    let mut cur = table.query(&q)?;
+    let mut out = Vec::new();
+    while let Some(row) = cur.next_row()? {
+        let Some((ts, duration, word)) = decode_row(&row) else {
+            continue;
+        };
+        let e = MotionEvent {
+            ts,
+            duration_ms: duration,
+            word,
+        };
+        if rect.covers(&e) {
+            out.push((ts, duration));
+            if out.len() >= limit {
+                break;
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Builds a heatmap of motion over `[from, to)`: total motion-milliseconds
+/// per coarse cell, indexed `[row][col]` (§4.3's heatmap view).
+pub fn motion_heatmap(
+    table: &Table,
+    camera: DeviceId,
+    from: Micros,
+    to: Micros,
+) -> Result<Vec<Vec<u64>>> {
+    let q = Query::all()
+        .with_prefix(vec![Value::I64(camera.network), Value::I64(camera.device)])
+        .with_ts_range(from, to);
+    let mut cur = table.query(&q)?;
+    let mut grid = vec![vec![0u64; 16]; 16];
+    while let Some(row) = cur.next_row()? {
+        let Some((ts, duration, word)) = decode_row(&row) else {
+            continue;
+        };
+        let e = MotionEvent {
+            ts,
+            duration_ms: duration,
+            word,
+        };
+        grid[e.row() as usize][e.col() as usize] += duration as u64;
+    }
+    Ok(grid)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use littletable_vfs::Clock as _;
+    use littletable_core::{Db, Options};
+    use littletable_vfs::{SimClock, SimVfs, MICROS_PER_SEC};
+
+    const EPOCH: Micros = 1_700_000_000_000_000;
+
+    fn setup() -> (SimClock, Fleet, MotionGrabber, Arc<Table>) {
+        let clock = SimClock::new(EPOCH + 600 * MICROS_PER_SEC);
+        let db = Db::open(
+            Arc::new(SimVfs::instant()),
+            Arc::new(clock.clone()),
+            Options::small_for_tests(),
+        )
+        .unwrap();
+        let table = db.create_table("motion", motion_schema(), None).unwrap();
+        let fleet = Fleet::new(EPOCH, 1, 2, 99);
+        let g = MotionGrabber::new(table.clone());
+        (clock, fleet, g, table)
+    }
+
+    #[test]
+    fn polls_are_incremental_and_idempotent() {
+        let (clock, fleet, mut g, table) = setup();
+        let n1 = g
+            .poll_all(&fleet, clock.now_micros(), 600 * MICROS_PER_SEC)
+            .unwrap();
+        assert!(n1 > 0);
+        assert_eq!(
+            g.poll_all(&fleet, clock.now_micros(), 600 * MICROS_PER_SEC)
+                .unwrap(),
+            0
+        );
+        clock.advance(300 * MICROS_PER_SEC);
+        let n2 = g
+            .poll_all(&fleet, clock.now_micros(), 600 * MICROS_PER_SEC)
+            .unwrap();
+        assert!(n2 > 0);
+        assert_eq!(table.query_all(&Query::all()).unwrap().len(), n1 + n2);
+    }
+
+    #[test]
+    fn search_finds_only_intersecting_cells_newest_first() {
+        let (clock, fleet, mut g, table) = setup();
+        g.poll_all(&fleet, clock.now_micros(), 600 * MICROS_PER_SEC)
+            .unwrap();
+        let cam = fleet.devices()[0];
+        let all_rect = CellRect {
+            row_min: 0,
+            row_max: 15,
+            col_min: 0,
+            col_max: 15,
+        };
+        let hits = search_motion(&table, cam, all_rect, clock.now_micros(), 1000).unwrap();
+        let raw = fleet.poll_motion(cam, EPOCH, clock.now_micros());
+        assert_eq!(hits.len(), raw.len());
+        for w in hits.windows(2) {
+            assert!(w[0].0 > w[1].0);
+        }
+        // A narrow rectangle returns a strict subset matching the raw
+        // stream's filter.
+        let narrow = CellRect {
+            row_min: 2,
+            row_max: 4,
+            col_min: 3,
+            col_max: 6,
+        };
+        let hits = search_motion(&table, cam, narrow, clock.now_micros(), 1000).unwrap();
+        let expect = raw.iter().filter(|e| narrow.covers(e)).count();
+        assert_eq!(hits.len(), expect);
+        assert!(hits.len() < raw.len());
+    }
+
+    #[test]
+    fn search_respects_limit() {
+        let (clock, fleet, mut g, table) = setup();
+        g.poll_all(&fleet, clock.now_micros(), 600 * MICROS_PER_SEC)
+            .unwrap();
+        let cam = fleet.devices()[0];
+        let rect = CellRect {
+            row_min: 0,
+            row_max: 15,
+            col_min: 0,
+            col_max: 15,
+        };
+        let hits = search_motion(&table, cam, rect, clock.now_micros(), 3).unwrap();
+        assert_eq!(hits.len(), 3);
+    }
+
+    #[test]
+    fn heatmap_totals_match_stream() {
+        let (clock, fleet, mut g, table) = setup();
+        g.poll_all(&fleet, clock.now_micros(), 600 * MICROS_PER_SEC)
+            .unwrap();
+        let cam = fleet.devices()[0];
+        let grid = motion_heatmap(&table, cam, EPOCH, clock.now_micros()).unwrap();
+        let total: u64 = grid.iter().flatten().sum();
+        let expect: u64 = fleet
+            .poll_motion(cam, EPOCH, clock.now_micros())
+            .iter()
+            .map(|e| e.duration_ms as u64)
+            .sum();
+        assert_eq!(total, expect);
+        // Cameras don't bleed into each other: the second camera's grid
+        // matches its own stream, not the first's.
+        let other = fleet.devices()[1];
+        let grid2 = motion_heatmap(&table, other, EPOCH, clock.now_micros()).unwrap();
+        let expect2: u64 = fleet
+            .poll_motion(other, EPOCH, clock.now_micros())
+            .iter()
+            .map(|e| e.duration_ms as u64)
+            .sum();
+        assert_eq!(grid2.iter().flatten().sum::<u64>(), expect2);
+        assert_ne!(expect2, expect, "streams should differ between cameras");
+    }
+}

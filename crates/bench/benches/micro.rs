@@ -1,0 +1,168 @@
+//! Criterion microbenchmarks over the engine's hot paths, in real time on
+//! the host (complementing the virtual-time figure harness): key
+//! encoding, block compression, block search, memtable and engine
+//! inserts, scans, HyperLogLog, and SQL parsing.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use littletable_bench::env::{bench_row, bench_schema, XorShift64};
+use littletable_core::keyenc::encode_prefix;
+use littletable_core::value::{ColumnType, Value};
+use littletable_core::{Db, Options, Query};
+use littletable_vfs::{SimClock, SimVfs};
+use std::sync::Arc;
+
+fn instant_db() -> Db {
+    Db::open(
+        Arc::new(SimVfs::instant()),
+        Arc::new(SimClock::new(1_700_000_000_000_000)),
+        Options::default(),
+    )
+    .unwrap()
+}
+
+fn bench_key_encoding(c: &mut Criterion) {
+    let types = [
+        ColumnType::Str,
+        ColumnType::I64,
+        ColumnType::Timestamp,
+    ];
+    let values = vec![
+        Value::Str("network-000123".into()),
+        Value::I64(456_789),
+        Value::Timestamp(1_700_000_000_000_000),
+    ];
+    c.bench_function("keyenc/encode_3col", |b| {
+        b.iter(|| encode_prefix(std::hint::black_box(&values), &types).unwrap())
+    });
+}
+
+fn bench_compression(c: &mut Criterion) {
+    let mut g = c.benchmark_group("compress");
+    // Telemetry-like block: repetitive structure.
+    let telemetry: Vec<u8> = (0..64 * 1024u32)
+        .map(|i| ((i / 97) % 251) as u8)
+        .collect();
+    let mut rng = XorShift64::new(5);
+    let mut random = vec![0u8; 64 * 1024];
+    rng.fill(&mut random);
+    for (name, data) in [("telemetry_64k", &telemetry), ("random_64k", &random)] {
+        g.throughput(Throughput::Bytes(data.len() as u64));
+        g.bench_function(format!("compress/{name}"), |b| {
+            b.iter(|| littletable_compress::compress(std::hint::black_box(data)))
+        });
+        let compressed = littletable_compress::compress(data);
+        g.bench_function(format!("decompress/{name}"), |b| {
+            b.iter(|| {
+                littletable_compress::decompress(std::hint::black_box(&compressed), data.len())
+                    .unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_block_search(c: &mut Criterion) {
+    let mut builder = littletable_core::block::BlockBuilder::new();
+    for i in 0..500u32 {
+        builder.add(format!("key-{i:06}").as_bytes(), &[0u8; 100]);
+    }
+    let block = littletable_core::block::Block::parse(builder.finish()).unwrap();
+    c.bench_function("block/seek_ge_500rows", |b| {
+        b.iter(|| block.seek_ge(std::hint::black_box(b"key-000250")).unwrap())
+    });
+}
+
+fn bench_engine_insert(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine_insert");
+    for &batch in &[32usize, 512] {
+        g.throughput(Throughput::Bytes((batch * 128) as u64));
+        g.bench_function(format!("batch_{batch}x128B"), |b| {
+            let db = instant_db();
+            let table = db.create_table("t", bench_schema(), None).unwrap();
+            let mut rng = XorShift64::new(1);
+            let mut seq = 0u64;
+            let mut ts = 1_700_000_000_000_000i64;
+            b.iter_batched(
+                || {
+                    let rows: Vec<_> = (0..batch)
+                        .map(|_| {
+                            seq += 1;
+                            ts += 1;
+                            bench_row(&mut rng, seq, ts, 128)
+                        })
+                        .collect();
+                    rows
+                },
+                |rows| {
+                    table.insert(rows).unwrap();
+                    table.flush_next_group().unwrap();
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_query_scan(c: &mut Criterion) {
+    let db = instant_db();
+    let table = db.create_table("t", bench_schema(), None).unwrap();
+    let mut rng = XorShift64::new(2);
+    let mut batch = Vec::new();
+    for seq in 1..=100_000u64 {
+        batch.push(bench_row(&mut rng, seq, 1_700_000_000_000_000 + seq as i64, 128));
+        if batch.len() == 1024 {
+            table.insert(std::mem::take(&mut batch)).unwrap();
+        }
+    }
+    if !batch.is_empty() {
+        table.insert(batch).unwrap();
+    }
+    table.flush_all().unwrap();
+    let mut g = c.benchmark_group("query");
+    g.throughput(Throughput::Elements(100_000));
+    g.bench_function("full_scan_100k_rows", |b| {
+        b.iter(|| {
+            let mut cur = table.query(&Query::all()).unwrap();
+            let mut n = 0u64;
+            while cur.next_row().unwrap().is_some() {
+                n += 1;
+            }
+            assert_eq!(n, 100_000);
+        })
+    });
+    g.finish();
+}
+
+fn bench_hll(c: &mut Criterion) {
+    c.bench_function("hll/add_1000", |b| {
+        b.iter(|| {
+            let mut h = littletable_hll::HyperLogLog::default_precision();
+            for i in 0..1000u64 {
+                h.add_hash(std::hint::black_box(i).wrapping_mul(0x9E3779B97F4A7C15));
+            }
+            h.estimate()
+        })
+    });
+}
+
+fn bench_sql_parse(c: &mut Criterion) {
+    let sql = "SELECT device, SUM(bytes), COUNT(*) FROM usage \
+               WHERE network = 7 AND ts >= NOW() - INTERVAL '1w' \
+               GROUP BY device ORDER BY network DESC LIMIT 100";
+    c.bench_function("sql/parse_select", |b| {
+        b.iter(|| littletable_sql::parse(std::hint::black_box(sql)).unwrap())
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_key_encoding,
+    bench_compression,
+    bench_block_search,
+    bench_engine_insert,
+    bench_query_scan,
+    bench_hll,
+    bench_sql_parse
+);
+criterion_main!(benches);

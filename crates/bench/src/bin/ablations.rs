@@ -1,0 +1,7 @@
+//! Runs the three design-choice ablations.
+fn main() {
+    let quick = littletable_bench::quick_flag();
+    littletable_bench::figures::ablations::run_bloom(quick).emit();
+    littletable_bench::figures::ablations::run_periods(quick).emit();
+    littletable_bench::figures::ablations::run_unique(quick).emit();
+}

@@ -1,0 +1,4 @@
+//! Verifies the appendix's logarithmic merge bounds on the real engine.
+fn main() {
+    littletable_bench::figures::applog::run(littletable_bench::quick_flag()).emit();
+}

@@ -1,0 +1,4 @@
+//! Regenerates Figure 10.
+fn main() {
+    littletable_bench::figures::fleetfigs::run_fig10(littletable_bench::quick_flag()).emit();
+}

@@ -1,0 +1,4 @@
+//! Regenerates Figure 2.
+fn main() {
+    littletable_bench::figures::fig2::run(littletable_bench::quick_flag()).emit();
+}

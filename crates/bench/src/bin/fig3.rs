@@ -1,0 +1,4 @@
+//! Regenerates Figure 3.
+fn main() {
+    littletable_bench::figures::fig3::run(littletable_bench::quick_flag()).emit();
+}

@@ -1,0 +1,4 @@
+//! Regenerates Figure 4.
+fn main() {
+    littletable_bench::figures::fig4::run(littletable_bench::quick_flag()).emit();
+}

@@ -1,0 +1,4 @@
+//! Regenerates Figure 5.
+fn main() {
+    littletable_bench::figures::fig5::run(littletable_bench::quick_flag()).emit();
+}

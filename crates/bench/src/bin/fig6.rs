@@ -1,0 +1,4 @@
+//! Regenerates Figure 6.
+fn main() {
+    littletable_bench::figures::fig6::run(littletable_bench::quick_flag()).emit();
+}

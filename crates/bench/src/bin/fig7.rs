@@ -1,0 +1,4 @@
+//! Regenerates Figure 7.
+fn main() {
+    littletable_bench::figures::fleetfigs::run_fig7(littletable_bench::quick_flag()).emit();
+}

@@ -1,0 +1,4 @@
+//! Regenerates Figure 8.
+fn main() {
+    littletable_bench::figures::fleetfigs::run_fig8(littletable_bench::quick_flag()).emit();
+}

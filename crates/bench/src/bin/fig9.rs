@@ -1,0 +1,4 @@
+//! Regenerates Figure 9.
+fn main() {
+    littletable_bench::figures::fig9::run(littletable_bench::quick_flag()).emit();
+}

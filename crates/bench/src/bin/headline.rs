@@ -1,0 +1,4 @@
+//! Regenerates the headline microbenchmark claims.
+fn main() {
+    littletable_bench::figures::headline::run(littletable_bench::quick_flag()).emit();
+}

@@ -1,0 +1,4 @@
+//! Regenerates the long-term rate table of sect. 5.2.3.
+fn main() {
+    littletable_bench::figures::fleetfigs::run_rates(littletable_bench::quick_flag()).emit();
+}

@@ -1,0 +1,104 @@
+//! Figure 2: insert throughput vs batch size and row size (§5.1.2).
+//!
+//! Solid line: 128-byte rows, batch sizes 256 B – 1 MB.
+//! Dashed line: 64 kB batches, row sizes 32 B – 32 kB.
+//!
+//! The paper inserts 500 MB per point; we insert a scaled amount
+//! (noted on the figure) — throughput converges well before that.
+
+use crate::env::{bench_row, SimEnv, XorShift64};
+use crate::report::FigureResult;
+use littletable_core::Options;
+use littletable_vfs::{Clock, DiskParams};
+
+/// Bytes inserted per point.
+fn data_bytes(quick: bool) -> usize {
+    if quick {
+        8 << 20
+    } else {
+        64 << 20
+    }
+}
+
+/// Measures single-writer insert throughput in MB/s for one
+/// configuration.
+pub fn insert_throughput_mb_s(row_bytes: usize, batch_bytes: usize, total_bytes: usize) -> f64 {
+    let env = SimEnv::new(DiskParams::paper_disk(), Options::default());
+    let table = env
+        .db
+        .create_table("bench", crate::env::bench_schema(), None)
+        .unwrap();
+    let mut rng = XorShift64::new(0x51C2_D00D);
+    let rows_per_batch = (batch_bytes / row_bytes).max(1);
+    let mut inserted = 0usize;
+    let mut seq = 0u64;
+    let t0 = env.now();
+    while inserted < total_bytes {
+        let ts_base = env.clock.now_micros();
+        let rows: Vec<_> = (0..rows_per_batch)
+            .map(|i| {
+                seq += 1;
+                bench_row(&mut rng, seq, ts_base + i as i64, row_bytes)
+            })
+            .collect();
+        let bytes = rows_per_batch * row_bytes;
+        table.insert(rows).unwrap();
+        env.charge_insert_command(rows_per_batch, bytes);
+        // The flusher runs concurrently in production; in the serial
+        // virtual timeline its disk time lands inline here.
+        table.flush_next_group().unwrap();
+        inserted += bytes;
+    }
+    // Include the trailing flush: sustained throughput covers the disk
+    // work the data eventually costs, as in the paper's sustained runs.
+    table.flush_all().unwrap();
+    let elapsed = (env.now() - t0) as f64 / 1e6;
+    inserted as f64 / 1e6 / elapsed
+}
+
+/// Runs the figure.
+pub fn run(quick: bool) -> FigureResult {
+    let total = data_bytes(quick);
+    let mut fig = FigureResult::new(
+        "fig2",
+        "Insert throughput vs. row and batch size",
+        "bytes (batch or row)",
+        "throughput (MB/s)",
+    );
+
+    // Solid line: 128-byte rows, varying batch size.
+    let batch_sizes: &[usize] = &[256, 1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20];
+    let solid: Vec<(f64, f64)> = batch_sizes
+        .iter()
+        .map(|&b| (b as f64, insert_throughput_mb_s(128, b, total)))
+        .collect();
+    fig.push_series("varying batch size (128 B rows)", solid);
+
+    // Dashed line: 64 kB batches, varying row size.
+    let row_sizes: &[usize] = &[
+        64,
+        128,
+        256,
+        512,
+        1 << 10,
+        2 << 10,
+        4 << 10,
+        8 << 10,
+        16 << 10,
+        32 << 10,
+    ];
+    let dashed: Vec<(f64, f64)> = row_sizes
+        .iter()
+        .map(|&r| (r as f64, insert_throughput_mb_s(r, 64 << 10, total)))
+        .collect();
+    fig.push_series("varying row size (64 kB batches)", dashed);
+
+    fig.paper("throughput rises with batch size as per-command overhead amortizes");
+    fig.paper("row-size sweep spans 12% (32 B rows) to 63% (4 kB) of the 120 MB/s disk peak");
+    fig.paper("512 x 128 B batches (64 kB) insert at 42% of disk peak (headline)");
+    fig.note(&format!(
+        "each point inserts {} MB (paper: 500 MB); virtual-time disk model + calibrated CPU model",
+        total >> 20
+    ));
+    fig
+}

@@ -1,0 +1,136 @@
+//! Figure 3: insert throughput over time with active tablet merging
+//! (§5.1.3).
+//!
+//! 4 kB rows in 64 kB batches stream into one table; the merger wakes 90
+//! (virtual) seconds in. Throughput is reported over 5-second windows and
+//! merge completions are marked. The expected shape: a high CPU-bound
+//! plateau, a drop to disk-bound once the 100-tablet backlog cap bites,
+//! then merge/flush competition settling toward an equilibrium with write
+//! amplification ≈ 2.
+
+use crate::env::{bench_row, SimEnv, XorShift64};
+use crate::report::FigureResult;
+use littletable_core::Options;
+use littletable_vfs::{Clock, DiskParams, Micros};
+
+/// Total bytes to insert.
+fn data_bytes(quick: bool) -> usize {
+    if quick {
+        384 << 20
+    } else {
+        2 << 30
+    }
+}
+
+/// Runs the figure. Returns the result plus the measured write
+/// amplification (used by the headline harness).
+pub fn run_with_amplification(quick: bool) -> (FigureResult, f64) {
+    let total = data_bytes(quick);
+    // The paper inserts 16 GB over ~350 s with the merger waking at 90 s.
+    // At our scaled volume the run is proportionally shorter, so the merge
+    // delay scales too (noted on the figure); the dynamics are unchanged.
+    let mut opts = Options::default();
+    opts.merge_delay = if quick { 2_000_000 } else { 5_000_000 };
+    let env = SimEnv::new(DiskParams::paper_disk(), opts);
+    let table = env
+        .db
+        .create_table("bench", crate::env::bench_schema(), None)
+        .unwrap();
+    let mut rng = XorShift64::new(0xF163);
+    const ROW: usize = 4 << 10;
+    const BATCH_ROWS: usize = 16; // 64 kB batches
+
+    let window: Micros = if quick { 2_000_000 } else { 5_000_000 };
+    let t0 = env.now();
+    let mut window_start = t0;
+    let mut window_bytes = 0usize;
+    let mut inserted = 0usize;
+    let mut seq = 0u64;
+    let mut points: Vec<(f64, f64)> = Vec::new();
+    let mut merges: Vec<f64> = Vec::new();
+    let mut last_merge_probe = t0;
+
+    while inserted < total {
+        let ts_base = env.clock.now_micros();
+        let rows: Vec<_> = (0..BATCH_ROWS)
+            .map(|i| {
+                seq += 1;
+                bench_row(&mut rng, seq, ts_base + i as i64, ROW)
+            })
+            .collect();
+        table.insert(rows).unwrap();
+        env.charge_insert_command(BATCH_ROWS, BATCH_ROWS * ROW);
+        table.flush_next_group().unwrap();
+        inserted += BATCH_ROWS * ROW;
+        window_bytes += BATCH_ROWS * ROW;
+
+        // The merge thread runs continuously; probe it about once per
+        // virtual second so merges interleave with inserts.
+        let now = env.now();
+        if now - last_merge_probe >= 250_000 {
+            last_merge_probe = now;
+            if table.run_merge_once(now).unwrap() {
+                merges.push((env.now() - t0) as f64 / 1e6);
+            }
+        }
+        while env.now() - window_start >= window {
+            let secs = window as f64 / 1e6;
+            points.push((
+                (window_start - t0) as f64 / 1e6 + secs,
+                window_bytes as f64 / 1e6 / secs,
+            ));
+            window_start += window;
+            window_bytes = 0;
+        }
+    }
+    // Drain: finish flushes and merges, attributing their time to the tail.
+    while table.flush_next_group().unwrap() {}
+    while table.run_merge_once(env.now()).unwrap() {
+        merges.push((env.now() - t0) as f64 / 1e6);
+    }
+
+    let snap = table.stats().snapshot();
+    let amplification = snap.write_amplification();
+
+    let mut fig = FigureResult::new(
+        "fig3",
+        "Insert throughput over time with active tablet merging",
+        "time (s)",
+        "insert throughput (MB/s)",
+    );
+    // The serial virtual timeline alternates insert and merge work where
+    // production overlaps them on one spindle, so the raw windows square-
+    // wave; the moving average corresponds to the paper's overlapped
+    // throughput trace.
+    let avg_window = 5usize;
+    let moving: Vec<(f64, f64)> = points
+        .iter()
+        .enumerate()
+        .map(|(i, &(x, _))| {
+            let lo = i.saturating_sub(avg_window - 1);
+            let slice = &points[lo..=i];
+            (x, slice.iter().map(|p| p.1).sum::<f64>() / slice.len() as f64)
+        })
+        .collect();
+    fig.push_series("window throughput (raw, alternating)", points.clone());
+    fig.push_series("moving average (overlap-equivalent)", moving);
+    fig.push_series(
+        "merge completions (impulses)",
+        merges.iter().map(|&t| (t, 0.0)).collect(),
+    );
+    fig.paper("initial CPU-bound plateau, then disk-bound ~70 MB/s at the 100-tablet cap");
+    fig.paper("merging begins at 90 s; equilibrium insert throughput 30-40 MB/s");
+    fig.paper("write amplification factor 2 at this insert rate");
+    fig.note(&format!(
+        "inserted {} MB (paper: 16 GB); merge delay scaled to {} s (paper: 90 s); measured write amplification {:.2}",
+        total >> 20,
+        if quick { 2 } else { 5 },
+        amplification
+    ));
+    (fig, amplification)
+}
+
+/// Runs the figure.
+pub fn run(quick: bool) -> FigureResult {
+    run_with_amplification(quick).0
+}

@@ -1,0 +1,125 @@
+//! Figures 7, 8, and 10, and the §5.2.3 rate table: regenerated from the
+//! production-fleet workload model.
+
+use crate::report::FigureResult;
+use littletable_workload::catalog::generate_catalog;
+use littletable_workload::dist::Cdf;
+use littletable_workload::queries::{lookback_samples, RateModel};
+use littletable_workload::shards::Fleet;
+
+const DAY_MICROS: f64 = 86_400.0 * 1e6;
+
+/// Figure 7: distribution of PostgreSQL and LittleTable sizes across
+/// production shards.
+pub fn run_fig7(_quick: bool) -> FigureResult {
+    let fleet = Fleet::generate(400, 0x2017);
+    let mut fig = FigureResult::new(
+        "fig7",
+        "Distribution of PostgreSQL and LittleTable sizes in production",
+        "size (bytes)",
+        "cumulative fraction of shards",
+    );
+    fig.push_series(
+        "LittleTable",
+        fleet.littletable_cdf().downsample(40).points,
+    );
+    fig.push_series("PostgreSQL", fleet.postgres_cdf().downsample(40).points);
+    fig.paper("320 TB total LittleTable; largest instance 6.7 TB");
+    fig.paper("14 TB total PostgreSQL; largest shard 341 GB");
+    fig.note(&format!(
+        "synthesized fleet: {} shards, {:.0} TB LittleTable total ({:.1} TB max), {:.1} TB PostgreSQL total ({:.0} GB max)",
+        fleet.shards.len(),
+        fleet.littletable_total() as f64 / 1e12,
+        fleet.littletable_cdf().max() / 1e12,
+        fleet.postgres_total() as f64 / 1e12,
+        fleet.postgres_cdf().max() / 1e9,
+    ));
+    fig
+}
+
+/// Figure 8: distribution of key and value sizes per table.
+pub fn run_fig8(_quick: bool) -> FigureResult {
+    let catalog = generate_catalog(270 * 8, 0x2018);
+    let keys = Cdf::from_samples(catalog.iter().map(|t| t.key_bytes as f64).collect());
+    let values = Cdf::from_samples(catalog.iter().map(|t| t.value_bytes as f64).collect());
+    let mut fig = FigureResult::new(
+        "fig8",
+        "Distribution of key and value sizes per table in production",
+        "size (bytes)",
+        "cumulative fraction of tables",
+    );
+    fig.push_series("keys", keys.downsample(40).points.clone());
+    fig.push_series("values", values.downsample(40).points.clone());
+    fig.paper("median key 45 B; all keys < 128 B");
+    fig.paper("median value 61 B; 91% of tables average <= 1 kB; max ~75 kB");
+    fig.note(&format!(
+        "synthesized catalog: median key {:.0} B (max {:.0}), median value {:.0} B, {:.0}% <= 1 kB",
+        keys.quantile(0.5),
+        keys.max(),
+        values.quantile(0.5),
+        values.fraction_le(1024.0) * 100.0,
+    ));
+    fig
+}
+
+/// Figure 10: distributions of row TTL by table and lookback period by
+/// query.
+pub fn run_fig10(_quick: bool) -> FigureResult {
+    let catalog = generate_catalog(270 * 8, 0x2020);
+    let ttls = Cdf::from_samples(
+        catalog
+            .iter()
+            .map(|t| t.ttl as f64 / DAY_MICROS)
+            .collect(),
+    );
+    let lookbacks = Cdf::from_samples(
+        lookback_samples(20_000, 0x2020)
+            .iter()
+            .map(|&l| l as f64 / DAY_MICROS)
+            .collect(),
+    );
+    let mut fig = FigureResult::new(
+        "fig10",
+        "Distributions of row TTL by table and lookback period by query",
+        "days",
+        "cumulative fraction",
+    );
+    fig.push_series("query lookback", lookbacks.downsample(40).points.clone());
+    fig.push_series("row TTL", ttls.downsample(40).points.clone());
+    fig.paper("over 90% of requests cover only the most recent week");
+    fig.paper("most tables retain data for a year or longer");
+    fig.note(&format!(
+        "synthesized: {:.1}% of queries within one week; {:.0}% of tables keep >= 1 year",
+        lookbacks.fraction_le(7.0) * 100.0,
+        (1.0 - ttls.fraction_le(364.0)) * 100.0,
+    ));
+    fig
+}
+
+/// §5.2.3: long-term insert and query rates per shard.
+pub fn run_rates(_quick: bool) -> FigureResult {
+    let model = RateModel::default();
+    let mut fig = FigureResult::new(
+        "rates",
+        "Long-term insert and query rates per shard (sect. 5.2.3)",
+        "hour of week",
+        "rows/second",
+    );
+    let inserts: Vec<(f64, f64)> = (0..168)
+        .map(|h| (h as f64, model.insert_rate_at(h as f64)))
+        .collect();
+    let queries: Vec<(f64, f64)> = (0..168)
+        .map(|h| (h as f64, model.query_rate_at(h as f64)))
+        .collect();
+    let insert_avg = inserts.iter().map(|p| p.1).sum::<f64>() / 168.0;
+    let query_avg = queries.iter().map(|p| p.1).sum::<f64>() / 168.0;
+    fig.push_series("insert rows/s", inserts);
+    fig.push_series("query rows/s returned", queries);
+    fig.paper("average 14,000 rows/s inserted and 143,000 rows/s returned per shard");
+    fig.paper("read-heavy in part because multiple aggregators read each source table");
+    fig.note(&format!(
+        "model weekly averages: {insert_avg:.0} rows/s inserted, {query_avg:.0} rows/s returned (ratio {:.1}x)",
+        query_avg / insert_avg
+    ));
+    fig
+}

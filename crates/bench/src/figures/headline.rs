@@ -1,0 +1,103 @@
+//! The paper's headline microbenchmark claims (§1, §5.1):
+//!
+//! * first matching row from an uncached table of 128-byte rows in 31 ms;
+//! * 500,000 rows/second returned thereafter (~50% of disk throughput);
+//! * 512×128 B insert batches accepted at 42% of the disk's peak;
+//! * write amplification 2 under sustained insert load with merging.
+
+use crate::env::{bench_row_sequential, SimEnv, XorShift64};
+use crate::report::FigureResult;
+use littletable_core::value::Value;
+use littletable_core::{Db, Options, Query};
+use littletable_vfs::{Clock, DiskParams};
+use std::sync::Arc;
+
+/// Measures `(first_row_ms, rows_per_second)` on an uncached table of
+/// 128-byte rows.
+pub fn first_row_and_scan_rate(quick: bool) -> (f64, f64) {
+    let mut opts = Options::default();
+    opts.merge_enabled = false;
+    opts.respect_periods = false;
+    opts.flush_size = usize::MAX;
+    // The paper's system has no Bloom filters; they would inflate the
+    // cold footer read being measured.
+    opts.bloom_filters = false;
+    let env = SimEnv::new(DiskParams::paper_disk(), opts.clone());
+    let table = env
+        .db
+        .create_table("h", crate::env::bench_schema(), None)
+        .unwrap();
+    let mut rng = XorShift64::new(0xEAD);
+    let rows_total = if quick { 16 << 10 } else { 128 << 10 }; // 2-16 MB
+    let mut batch = Vec::with_capacity(1024);
+    for seq in 1..=rows_total {
+        batch.push(bench_row_sequential(
+            &mut rng,
+            seq,
+            env.clock.now_micros() + seq as i64,
+            128,
+        ));
+        if batch.len() == 1024 {
+            table.insert(std::mem::take(&mut batch)).unwrap();
+        }
+    }
+    if !batch.is_empty() {
+        table.insert(batch).unwrap();
+    }
+    table.flush_all().unwrap();
+    // Uncached: fresh engine (cold footers), cold disk caches.
+    let db = Db::open(
+        Arc::new(env.vfs.clone()),
+        Arc::new(env.clock.clone()),
+        opts,
+    )
+    .unwrap();
+    env.vfs.clear_caches();
+    let t2 = db.table("h").unwrap();
+    let t0 = env.now();
+    let mut cur = t2.query(&Query::all().with_key_min(vec![Value::I64(1)], true)).unwrap();
+    let first = cur.next_row().unwrap();
+    assert!(first.is_some());
+    let first_ms = (env.now() - t0) as f64 / 1e3;
+    let mut rows = 1u64;
+    while cur.next_row().unwrap().is_some() {
+        rows += 1;
+    }
+    env.charge_scan(rows);
+    let total_s = (env.now() - t0) as f64 / 1e6;
+    (first_ms, rows as f64 / total_s)
+}
+
+/// Runs the headline table.
+pub fn run(quick: bool) -> FigureResult {
+    let (first_ms, rows_per_s) = first_row_and_scan_rate(quick);
+    let insert_mb_s = crate::figures::fig2::insert_throughput_mb_s(
+        128,
+        64 << 10,
+        if quick { 8 << 20 } else { 64 << 20 },
+    );
+    let insert_frac = insert_mb_s / 120.0;
+    let (_, amplification) = crate::figures::fig3::run_with_amplification(true);
+    let mut fig = FigureResult::new(
+        "headline",
+        "Headline microbenchmark claims (sect. 1 / 5.1)",
+        "metric",
+        "value",
+    );
+    fig.push_series("first matching row, uncached (ms)", vec![(0.0, first_ms)]);
+    fig.push_series("scan rate (rows/s)", vec![(0.0, rows_per_s)]);
+    fig.push_series(
+        "insert, 512 x 128 B batches (fraction of disk peak)",
+        vec![(0.0, insert_frac)],
+    );
+    fig.push_series("write amplification under merge", vec![(0.0, amplification)]);
+    fig.paper("first matching row in 31 ms");
+    fig.paper("500,000 rows/second thereafter (~50% of disk throughput)");
+    fig.paper("batches of 512 x 128 B rows at 42% of the disk's peak throughput");
+    fig.paper("write amplification factor of 2 (sect. 5.1.3)");
+    fig.note(&format!(
+        "measured: first row {first_ms:.1} ms; scan {rows_per_s:.0} rows/s; insert {:.0}% of peak; amplification {amplification:.2}",
+        insert_frac * 100.0
+    ));
+    fig
+}

@@ -1,0 +1,25 @@
+//! Benchmark harness regenerating every table and figure of the
+//! LittleTable paper's evaluation (§5).
+//!
+//! Each figure has a binary (`cargo run -p littletable-bench --release
+//! --bin fig2` and friends) that prints the regenerated series alongside
+//! the paper's reference numbers and writes JSON to `target/figures/`.
+//! `--bin all_figures` runs the full set. Pass `--quick` for a reduced,
+//! CI-sized run.
+//!
+//! Methodology: the real engine runs against the simulated spinning disk
+//! of `littletable-vfs` (seeks, transfers, and readahead measured in
+//! virtual time) plus an explicit CPU-cost model calibrated once against
+//! the paper's headline throughput numbers — see the `env` module.
+
+#![warn(missing_docs)]
+#![allow(clippy::field_reassign_with_default)]
+
+pub mod env;
+pub mod figures;
+pub mod report;
+
+/// True when `--quick` was passed on the command line.
+pub fn quick_flag() -> bool {
+    std::env::args().any(|a| a == "--quick")
+}

@@ -1,0 +1,176 @@
+//! Figure output: aligned text tables on stdout plus a JSON dump under
+//! `target/figures/` for EXPERIMENTS.md and external plotting.
+
+use serde::Serialize;
+use std::io::Write;
+use std::path::PathBuf;
+
+/// One plotted series.
+#[derive(Debug, Clone, Serialize)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// `(x, y)` points.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// One regenerated table or figure.
+#[derive(Debug, Clone, Serialize)]
+pub struct FigureResult {
+    /// Identifier, e.g. `"fig2"`.
+    pub id: String,
+    /// Human title matching the paper's caption.
+    pub title: String,
+    /// Axis labels `(x, y)`.
+    pub axes: (String, String),
+    /// The series.
+    pub series: Vec<Series>,
+    /// What the paper reports, for side-by-side comparison.
+    pub paper_reference: Vec<String>,
+    /// Methodology notes (substitutions, scaling).
+    pub notes: Vec<String>,
+}
+
+impl FigureResult {
+    /// Creates an empty figure.
+    pub fn new(id: &str, title: &str, x: &str, y: &str) -> FigureResult {
+        FigureResult {
+            id: id.to_string(),
+            title: title.to_string(),
+            axes: (x.to_string(), y.to_string()),
+            series: Vec::new(),
+            paper_reference: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Adds a series.
+    pub fn push_series(&mut self, label: &str, points: Vec<(f64, f64)>) {
+        self.series.push(Series {
+            label: label.to_string(),
+            points,
+        });
+    }
+
+    /// Adds a paper-reference line.
+    pub fn paper(&mut self, line: &str) {
+        self.paper_reference.push(line.to_string());
+    }
+
+    /// Adds a methodology note.
+    pub fn note(&mut self, line: &str) {
+        self.notes.push(line.to_string());
+    }
+
+    /// Prints the figure as text and writes `target/figures/<id>.json`.
+    pub fn emit(&self) {
+        println!("================================================================");
+        println!("{}: {}", self.id, self.title);
+        println!("================================================================");
+        for s in &self.series {
+            println!("-- {} --", s.label);
+            println!("{:>16}  {:>16}", self.axes.0, self.axes.1);
+            for &(x, y) in &s.points {
+                println!("{:>16}  {:>16}", fmt_num(x), fmt_num(y));
+            }
+        }
+        if !self.paper_reference.is_empty() {
+            println!("paper reference:");
+            for l in &self.paper_reference {
+                println!("  * {l}");
+            }
+        }
+        for l in &self.notes {
+            println!("note: {l}");
+        }
+        match self.write_json() {
+            Ok(path) => println!("json: {}", path.display()),
+            Err(e) => eprintln!("warning: could not write JSON: {e}"),
+        }
+        println!();
+    }
+
+    /// Writes the JSON dump; returns its path.
+    pub fn write_json(&self) -> std::io::Result<PathBuf> {
+        let dir = output_dir();
+        std::fs::create_dir_all(&dir)?;
+        let path = dir.join(format!("{}.json", self.id));
+        let mut f = std::fs::File::create(&path)?;
+        let json = serde_json::to_string_pretty(self).expect("figure serializes");
+        f.write_all(json.as_bytes())?;
+        Ok(path)
+    }
+}
+
+/// Where figure JSON lands (overridable for tests via
+/// `LITTLETABLE_FIGURE_DIR`).
+pub fn output_dir() -> PathBuf {
+    std::env::var_os("LITTLETABLE_FIGURE_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("target/figures"))
+}
+
+/// Formats a number compactly: integers plainly, large values with SI-ish
+/// grouping, small floats with three significant decimals.
+pub fn fmt_num(v: f64) -> String {
+    if !v.is_finite() {
+        return format!("{v}");
+    }
+    if v == v.trunc() && v.abs() < 1e15 {
+        let i = v as i64;
+        if i.abs() >= 10_000 {
+            return group_thousands(i);
+        }
+        return format!("{i}");
+    }
+    if v.abs() >= 1000.0 {
+        format!("{v:.0}")
+    } else if v.abs() >= 1.0 {
+        format!("{v:.2}")
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+fn group_thousands(mut i: i64) -> String {
+    let neg = i < 0;
+    i = i.abs();
+    let mut parts = Vec::new();
+    while i >= 1000 {
+        parts.push(format!("{:03}", i % 1000));
+        i /= 1000;
+    }
+    parts.push(format!("{i}"));
+    parts.reverse();
+    format!("{}{}", if neg { "-" } else { "" }, parts.join(","))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formats_numbers() {
+        assert_eq!(fmt_num(42.0), "42");
+        assert_eq!(fmt_num(123456.0), "123,456");
+        assert_eq!(fmt_num(-123456.0), "-123,456");
+        assert_eq!(fmt_num(3.14159), "3.14");
+        assert_eq!(fmt_num(0.001234), "0.0012");
+        assert_eq!(fmt_num(1234.5), "1234");
+    }
+
+    #[test]
+    fn json_round_trips_to_disk() {
+        let dir = std::env::temp_dir().join(format!("ltfig-{}", std::process::id()));
+        std::env::set_var("LITTLETABLE_FIGURE_DIR", &dir);
+        let mut f = FigureResult::new("test_fig", "Test", "x", "y");
+        f.push_series("s", vec![(1.0, 2.0), (3.0, 4.0)]);
+        f.paper("paper says 4");
+        let path = f.write_json().unwrap();
+        let data = std::fs::read_to_string(path).unwrap();
+        assert!(data.contains("test_fig"));
+        assert!(data.contains("paper says 4"));
+        std::env::remove_var("LITTLETABLE_FIGURE_DIR");
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

@@ -1,0 +1,486 @@
+//! Client adaptor for LittleTable.
+//!
+//! Plays the role of the paper's SQLite virtual-table adaptor (§3.1,
+//! §3.5): it keeps a persistent TCP connection to the server (so it
+//! notices server crashes), caches table schemas, batches inserts, and
+//! transparently continues queries that hit the server's row limit by
+//! re-submitting with the starting key bound advanced past the last row
+//! returned.
+//!
+//! Durability is the application's problem by design: when the connection
+//! drops, [`Client::request`] surfaces the error and the application
+//! re-collects recent data from its devices (§4).
+
+#![warn(missing_docs)]
+
+use littletable_core::query::Query;
+use littletable_core::schema::{ColumnDef, Schema};
+use littletable_core::value::Value;
+use littletable_proto::{read_frame, write_frame, ErrorKind, Request, Response};
+use littletable_vfs::Micros;
+use std::collections::HashMap;
+use std::io::{self, BufReader};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+
+/// Client-side errors.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The connection failed; the server may have crashed. Re-establish
+    /// with [`Client::reconnect`] and re-collect unacknowledged data.
+    Disconnected(io::Error),
+    /// The server rejected the request.
+    Remote {
+        /// Category.
+        kind: ErrorKind,
+        /// Server-provided description.
+        message: String,
+    },
+    /// The server sent something unintelligible or unexpected.
+    Protocol(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Disconnected(e) => write!(f, "disconnected: {e}"),
+            ClientError::Remote { kind, message } => {
+                write!(f, "server error ({kind:?}): {message}")
+            }
+            ClientError::Protocol(m) => write!(f, "protocol error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Disconnected(e)
+    }
+}
+
+/// Result alias for client operations.
+pub type Result<T> = std::result::Result<T, ClientError>;
+
+/// A connected LittleTable client.
+pub struct Client {
+    addr: SocketAddr,
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+    schemas: HashMap<String, Schema>,
+}
+
+impl Client {
+    /// Connects to a LittleTable server.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client> {
+        let addr = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| ClientError::Protocol("no address resolved".into()))?;
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Client {
+            addr,
+            stream,
+            reader,
+            schemas: HashMap::new(),
+        })
+    }
+
+    /// Re-establishes the connection after a disconnect; cached schemas
+    /// are invalidated.
+    pub fn reconnect(&mut self) -> Result<()> {
+        let stream = TcpStream::connect(self.addr)?;
+        stream.set_nodelay(true)?;
+        self.reader = BufReader::new(stream.try_clone()?);
+        self.stream = stream;
+        self.schemas.clear();
+        Ok(())
+    }
+
+    /// Sends one request and reads one response.
+    pub fn request(&mut self, req: &Request) -> Result<Response> {
+        write_frame(&mut self.stream, &req.encode())?;
+        let payload = read_frame(&mut self.reader)?
+            .ok_or_else(|| ClientError::Disconnected(io::ErrorKind::UnexpectedEof.into()))?;
+        let resp = Response::decode(&payload)
+            .map_err(|e| ClientError::Protocol(e.to_string()))?;
+        if let Response::Error { kind, message } = resp {
+            return Err(ClientError::Remote { kind, message });
+        }
+        Ok(resp)
+    }
+
+    /// Liveness check.
+    pub fn ping(&mut self) -> Result<()> {
+        match self.request(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            r => Err(ClientError::Protocol(format!("expected Pong, got {r:?}"))),
+        }
+    }
+
+    /// Lists table names.
+    pub fn list_tables(&mut self) -> Result<Vec<String>> {
+        match self.request(&Request::ListTables)? {
+            Response::Tables { names } => Ok(names),
+            r => Err(ClientError::Protocol(format!("expected Tables, got {r:?}"))),
+        }
+    }
+
+    /// Creates a table.
+    pub fn create_table(
+        &mut self,
+        table: &str,
+        schema: Schema,
+        ttl: Option<Micros>,
+    ) -> Result<()> {
+        match self.request(&Request::CreateTable {
+            table: table.into(),
+            schema,
+            ttl,
+        })? {
+            Response::Ok => Ok(()),
+            r => Err(ClientError::Protocol(format!("expected Ok, got {r:?}"))),
+        }
+    }
+
+    /// Drops a table.
+    pub fn drop_table(&mut self, table: &str) -> Result<()> {
+        self.schemas.remove(table);
+        match self.request(&Request::DropTable {
+            table: table.into(),
+        })? {
+            Response::Ok => Ok(()),
+            r => Err(ClientError::Protocol(format!("expected Ok, got {r:?}"))),
+        }
+    }
+
+    /// Appends a column.
+    pub fn add_column(&mut self, table: &str, column: ColumnDef) -> Result<()> {
+        self.schemas.remove(table);
+        match self.request(&Request::AddColumn {
+            table: table.into(),
+            column,
+        })? {
+            Response::Ok => Ok(()),
+            r => Err(ClientError::Protocol(format!("expected Ok, got {r:?}"))),
+        }
+    }
+
+    /// Fetches (and caches) a table's schema.
+    pub fn schema(&mut self, table: &str) -> Result<Schema> {
+        if let Some(s) = self.schemas.get(table) {
+            return Ok(s.clone());
+        }
+        match self.request(&Request::GetSchema {
+            table: table.into(),
+        })? {
+            Response::SchemaInfo { schema, .. } => {
+                self.schemas.insert(table.into(), schema.clone());
+                Ok(schema)
+            }
+            r => Err(ClientError::Protocol(format!(
+                "expected SchemaInfo, got {r:?}"
+            ))),
+        }
+    }
+
+    /// Inserts rows with explicit timestamps. Returns
+    /// `(inserted, duplicates)`.
+    pub fn insert(&mut self, table: &str, rows: Vec<Vec<Value>>) -> Result<(u64, u64)> {
+        self.insert_inner(table, rows, false)
+    }
+
+    /// Inserts rows, asking the server to stamp each row's `ts` column
+    /// with its current time (§3.1).
+    pub fn insert_stamped(&mut self, table: &str, rows: Vec<Vec<Value>>) -> Result<(u64, u64)> {
+        self.insert_inner(table, rows, true)
+    }
+
+    fn insert_inner(
+        &mut self,
+        table: &str,
+        rows: Vec<Vec<Value>>,
+        server_sets_ts: bool,
+    ) -> Result<(u64, u64)> {
+        match self.request(&Request::Insert {
+            table: table.into(),
+            rows,
+            server_sets_ts,
+        })? {
+            Response::InsertResult {
+                inserted,
+                duplicates,
+            } => Ok((inserted, duplicates)),
+            r => Err(ClientError::Protocol(format!(
+                "expected InsertResult, got {r:?}"
+            ))),
+        }
+    }
+
+    /// Runs a query, transparently re-submitting when the server's row
+    /// limit truncates a response (§3.5): the starting bound advances to
+    /// just past the key of the last row returned.
+    pub fn query(&mut self, table: &str, query: &Query) -> Result<Vec<Vec<Value>>> {
+        let schema = self.schema(table)?;
+        let key_indices: Vec<usize> = schema.key_indices().to_vec();
+        let mut q = query.clone();
+        let mut out: Vec<Vec<Value>> = Vec::new();
+        loop {
+            let (rows, more) = match self.request(&Request::Query {
+                table: table.into(),
+                query: q.clone(),
+            })? {
+                Response::Rows {
+                    rows,
+                    more_available,
+                } => (rows, more_available),
+                r => {
+                    return Err(ClientError::Protocol(format!(
+                        "expected Rows, got {r:?}"
+                    )))
+                }
+            };
+            out.extend(rows);
+            if let Some(limit) = query.limit {
+                if out.len() >= limit {
+                    out.truncate(limit);
+                    return Ok(out);
+                }
+            }
+            if !more {
+                return Ok(out);
+            }
+            let last = out
+                .last()
+                .ok_or_else(|| ClientError::Protocol("more_available with no rows".into()))?;
+            let key_values: Vec<Value> =
+                key_indices.iter().map(|&i| last[i].clone()).collect();
+            if q.descending {
+                q = q.with_key_max(key_values, false);
+            } else {
+                q = q.with_key_min(key_values, false);
+            }
+            if let Some(limit) = query.limit {
+                q.limit = Some(limit - out.len());
+            }
+        }
+    }
+
+    /// Fetches a table's operational counters (see
+    /// [`Response::Stats`]).
+    pub fn stats(&mut self, table: &str) -> Result<Response> {
+        match self.request(&Request::Stats {
+            table: table.into(),
+        })? {
+            r @ Response::Stats { .. } => Ok(r),
+            r => Err(ClientError::Protocol(format!("expected Stats, got {r:?}"))),
+        }
+    }
+
+    /// Finds the latest row for a key prefix (§3.4.5).
+    pub fn latest(&mut self, table: &str, prefix: Vec<Value>) -> Result<Option<Vec<Value>>> {
+        match self.request(&Request::Latest {
+            table: table.into(),
+            prefix,
+        })? {
+            Response::LatestRow { row } => Ok(row),
+            r => Err(ClientError::Protocol(format!(
+                "expected LatestRow, got {r:?}"
+            ))),
+        }
+    }
+}
+
+/// Accumulates rows and sends them in fixed-size batches — the paper's
+/// applications commonly insert batches of around 512 rows.
+pub struct BatchInserter<'a> {
+    client: &'a mut Client,
+    table: String,
+    batch_size: usize,
+    buffer: Vec<Vec<Value>>,
+    inserted: u64,
+    duplicates: u64,
+}
+
+impl<'a> BatchInserter<'a> {
+    /// Creates a batcher for `table`, flushing every `batch_size` rows.
+    pub fn new(client: &'a mut Client, table: &str, batch_size: usize) -> Self {
+        BatchInserter {
+            client,
+            table: table.to_string(),
+            batch_size: batch_size.max(1),
+            buffer: Vec::new(),
+            inserted: 0,
+            duplicates: 0,
+        }
+    }
+
+    /// Queues a row, flushing if the batch is full.
+    pub fn push(&mut self, row: Vec<Value>) -> Result<()> {
+        self.buffer.push(row);
+        if self.buffer.len() >= self.batch_size {
+            self.flush()?;
+        }
+        Ok(())
+    }
+
+    /// Sends any queued rows now.
+    pub fn flush(&mut self) -> Result<()> {
+        if self.buffer.is_empty() {
+            return Ok(());
+        }
+        let rows = std::mem::take(&mut self.buffer);
+        let (ins, dup) = self.client.insert(&self.table, rows)?;
+        self.inserted += ins;
+        self.duplicates += dup;
+        Ok(())
+    }
+
+    /// Totals so far: `(inserted, duplicates)`.
+    pub fn totals(&self) -> (u64, u64) {
+        (self.inserted, self.duplicates)
+    }
+
+    /// Flushes and returns the totals.
+    pub fn finish(mut self) -> Result<(u64, u64)> {
+        self.flush()?;
+        Ok((self.inserted, self.duplicates))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use littletable_core::db::Db;
+    use littletable_core::value::ColumnType;
+    use littletable_core::Options;
+    use littletable_server::Server;
+    use littletable_vfs::{SimClock, SimVfs};
+    use std::sync::Arc;
+
+    fn start_server(row_limit: usize) -> (Server, SocketAddr) {
+        let mut opts = Options::small_for_tests();
+        opts.server_row_limit = row_limit;
+        let db = Db::open(
+            Arc::new(SimVfs::instant()),
+            Arc::new(SimClock::new(1_700_000_000_000_000)),
+            opts,
+        )
+        .unwrap();
+        let mut server = Server::bind(db, "127.0.0.1:0").unwrap();
+        server.start().unwrap();
+        let addr = server.local_addr();
+        (server, addr)
+    }
+
+    fn usage_schema() -> Schema {
+        Schema::new(
+            vec![
+                ColumnDef::new("n", ColumnType::I64),
+                ColumnDef::new("ts", ColumnType::Timestamp),
+                ColumnDef::new("v", ColumnType::I64),
+            ],
+            &["n", "ts"],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn end_to_end_with_continuation() {
+        let (_server, addr) = start_server(10);
+        let mut c = Client::connect(addr).unwrap();
+        c.ping().unwrap();
+        c.create_table("t", usage_schema(), None).unwrap();
+        assert_eq!(c.list_tables().unwrap(), vec!["t".to_string()]);
+        let rows: Vec<Vec<Value>> = (0..55)
+            .map(|i| vec![Value::I64(i), Value::Timestamp(1000 + i), Value::I64(i)])
+            .collect();
+        assert_eq!(c.insert("t", rows).unwrap(), (55, 0));
+        // 55 rows with a 10-row server cap: the client auto-continues.
+        let got = c.query("t", &Query::all()).unwrap();
+        assert_eq!(got.len(), 55);
+        for (i, row) in got.iter().enumerate() {
+            assert_eq!(row[0], Value::I64(i as i64));
+        }
+        // Descending continuation too.
+        let got = c.query("t", &Query::all().descending()).unwrap();
+        assert_eq!(got.len(), 55);
+        assert_eq!(got[0][0], Value::I64(54));
+        // Client-side limit caps across continuations.
+        let got = c.query("t", &Query::all().with_limit(25)).unwrap();
+        assert_eq!(got.len(), 25);
+    }
+
+    #[test]
+    fn batch_inserter_flushes_by_size() {
+        let (_server, addr) = start_server(1 << 20);
+        let mut c = Client::connect(addr).unwrap();
+        c.create_table("t", usage_schema(), None).unwrap();
+        let mut b = BatchInserter::new(&mut c, "t", 16);
+        for i in 0..50 {
+            b.push(vec![Value::I64(i), Value::Timestamp(i), Value::I64(i)])
+                .unwrap();
+        }
+        let (ins, dup) = b.finish().unwrap();
+        assert_eq!((ins, dup), (50, 0));
+        assert_eq!(c.query("t", &Query::all()).unwrap().len(), 50);
+    }
+
+    #[test]
+    fn stats_round_trip() {
+        let (_server, addr) = start_server(1 << 20);
+        let mut c = Client::connect(addr).unwrap();
+        c.create_table("t", usage_schema(), None).unwrap();
+        c.insert(
+            "t",
+            vec![vec![Value::I64(1), Value::Timestamp(5), Value::I64(9)]],
+        )
+        .unwrap();
+        match c.stats("t").unwrap() {
+            Response::Stats {
+                rows_inserted,
+                duplicate_keys,
+                ..
+            } => {
+                assert_eq!(rows_inserted, 1);
+                assert_eq!(duplicate_keys, 0);
+            }
+            r => panic!("unexpected {r:?}"),
+        }
+    }
+
+    #[test]
+    fn remote_errors_are_typed() {
+        let (_server, addr) = start_server(100);
+        let mut c = Client::connect(addr).unwrap();
+        match c.schema("missing") {
+            Err(ClientError::Remote { kind, .. }) => {
+                assert_eq!(kind, ErrorKind::NoSuchTable)
+            }
+            r => panic!("unexpected {r:?}"),
+        }
+    }
+
+    #[test]
+    fn disconnect_is_detected_and_reconnect_works() {
+        let (mut server, addr) = start_server(100);
+        let mut c = Client::connect(addr).unwrap();
+        c.create_table("t", usage_schema(), None).unwrap();
+        // Stop the server: the next request fails with Disconnected.
+        server.shutdown();
+        drop(server);
+        let err = loop {
+            match c.ping() {
+                Err(e) => break e,
+                Ok(()) => continue,
+            }
+        };
+        assert!(matches!(err, ClientError::Disconnected(_)));
+        // Bring up a new server on a fresh port and connect again.
+        let (_server2, addr2) = start_server(100);
+        let mut c2 = Client::connect(addr2).unwrap();
+        c2.ping().unwrap();
+    }
+}

@@ -1,0 +1,263 @@
+//! Tablet blocks: the 64 kB units rows are grouped into on disk (§3.2).
+//!
+//! An uncompressed block is
+//!
+//! ```text
+//! [row_count u32] [row_offset u32 × row_count] [row entries...]
+//! row entry: [key_len varint][key][payload_len varint][payload]
+//! ```
+//!
+//! The offset array makes binary search by encoded key possible inside a
+//! block, which is how a query finds its starting row after the tablet
+//! index has located the right block. Blocks are individually compressed on
+//! disk; this module works with the uncompressed form.
+
+use crate::error::{Error, Result};
+use crate::util::{put_varint, Reader};
+
+/// Builds one block. Rows must be appended in ascending key order.
+#[derive(Debug, Default)]
+pub struct BlockBuilder {
+    offsets: Vec<u32>,
+    data: Vec<u8>,
+    last_key: Vec<u8>,
+}
+
+impl BlockBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a row.
+    pub fn add(&mut self, key: &[u8], payload: &[u8]) {
+        debug_assert!(
+            self.offsets.is_empty() || key > self.last_key.as_slice(),
+            "block rows must be added in strictly ascending key order"
+        );
+        self.offsets.push(self.data.len() as u32);
+        put_varint(&mut self.data, key.len() as u64);
+        self.data.extend_from_slice(key);
+        put_varint(&mut self.data, payload.len() as u64);
+        self.data.extend_from_slice(payload);
+        self.last_key.clear();
+        self.last_key.extend_from_slice(key);
+    }
+
+    /// Number of rows added.
+    pub fn len(&self) -> usize {
+        self.offsets.len()
+    }
+
+    /// True when no rows have been added.
+    pub fn is_empty(&self) -> bool {
+        self.offsets.is_empty()
+    }
+
+    /// Estimated size of the finished (uncompressed) block.
+    pub fn size_estimate(&self) -> usize {
+        4 + self.offsets.len() * 4 + self.data.len()
+    }
+
+    /// The key of the last row added.
+    pub fn last_key(&self) -> &[u8] {
+        &self.last_key
+    }
+
+    /// Serializes the block and resets the builder for reuse.
+    pub fn finish(&mut self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.size_estimate());
+        out.extend_from_slice(&(self.offsets.len() as u32).to_le_bytes());
+        for off in &self.offsets {
+            out.extend_from_slice(&off.to_le_bytes());
+        }
+        out.extend_from_slice(&self.data);
+        self.offsets.clear();
+        self.data.clear();
+        self.last_key.clear();
+        out
+    }
+}
+
+/// A parsed, uncompressed block, ready for binary search and iteration.
+#[derive(Debug, Clone)]
+pub struct Block {
+    data: Vec<u8>,
+    row_count: usize,
+    /// Byte offset where row entries begin (just past the offset array).
+    entries_base: usize,
+}
+
+impl Block {
+    /// Validates and wraps an uncompressed block.
+    pub fn parse(data: Vec<u8>) -> Result<Block> {
+        if data.len() < 4 {
+            return Err(Error::corrupt("block shorter than its header"));
+        }
+        let row_count = u32::from_le_bytes(data[..4].try_into().unwrap()) as usize;
+        let entries_base = 4 + row_count * 4;
+        if entries_base > data.len() {
+            return Err(Error::corrupt("block offset array truncated"));
+        }
+        Ok(Block {
+            data,
+            row_count,
+            entries_base,
+        })
+    }
+
+    /// Number of rows in the block.
+    pub fn len(&self) -> usize {
+        self.row_count
+    }
+
+    /// True when the block holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.row_count == 0
+    }
+
+    fn entry_start(&self, i: usize) -> Result<usize> {
+        let at = 4 + i * 4;
+        let rel = u32::from_le_bytes(self.data[at..at + 4].try_into().unwrap()) as usize;
+        let abs = self.entries_base + rel;
+        if abs >= self.data.len() {
+            return Err(Error::corrupt("block row offset out of range"));
+        }
+        Ok(abs)
+    }
+
+    /// Returns `(key, payload)` of row `i`.
+    pub fn entry(&self, i: usize) -> Result<(&[u8], &[u8])> {
+        if i >= self.row_count {
+            return Err(Error::corrupt("block row index out of range"));
+        }
+        let start = self.entry_start(i)?;
+        let mut r = Reader::new(&self.data[start..]);
+        let key = r.len_prefixed()?;
+        let payload = r.len_prefixed()?;
+        Ok((key, payload))
+    }
+
+    /// The key of row `i`.
+    pub fn key(&self, i: usize) -> Result<&[u8]> {
+        Ok(self.entry(i)?.0)
+    }
+
+    /// Index of the first row whose key is ≥ `target` (ascending-seek
+    /// position). Returns `len()` when every key is smaller.
+    pub fn seek_ge(&self, target: &[u8]) -> Result<usize> {
+        let mut lo = 0usize;
+        let mut hi = self.row_count;
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            if self.key(mid)? < target {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        Ok(lo)
+    }
+
+    /// Index of the first row whose key is > `target`.
+    pub fn seek_gt(&self, target: &[u8]) -> Result<usize> {
+        let mut lo = 0usize;
+        let mut hi = self.row_count;
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            if self.key(mid)? <= target {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        Ok(lo)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_block(n: u64) -> Block {
+        let mut b = BlockBuilder::new();
+        for i in 0..n {
+            let key = format!("key-{i:04}");
+            let payload = format!("value-{i}");
+            b.add(key.as_bytes(), payload.as_bytes());
+        }
+        Block::parse(b.finish()).unwrap()
+    }
+
+    #[test]
+    fn build_and_read_back() {
+        let blk = sample_block(100);
+        assert_eq!(blk.len(), 100);
+        let (k, p) = blk.entry(42).unwrap();
+        assert_eq!(k, b"key-0042");
+        assert_eq!(p, b"value-42");
+    }
+
+    #[test]
+    fn empty_block_round_trips() {
+        let mut b = BlockBuilder::new();
+        let blk = Block::parse(b.finish()).unwrap();
+        assert!(blk.is_empty());
+        assert_eq!(blk.seek_ge(b"x").unwrap(), 0);
+    }
+
+    #[test]
+    fn seek_ge_finds_boundaries() {
+        let blk = sample_block(10);
+        assert_eq!(blk.seek_ge(b"key-0000").unwrap(), 0);
+        assert_eq!(blk.seek_ge(b"key-0005").unwrap(), 5);
+        assert_eq!(blk.seek_ge(b"key-00055").unwrap(), 6); // between 5 and 6
+        assert_eq!(blk.seek_ge(b"key-9999").unwrap(), 10);
+        assert_eq!(blk.seek_ge(b"").unwrap(), 0);
+    }
+
+    #[test]
+    fn seek_gt_skips_equal() {
+        let blk = sample_block(10);
+        assert_eq!(blk.seek_gt(b"key-0005").unwrap(), 6);
+        assert_eq!(blk.seek_gt(b"key-0009").unwrap(), 10);
+    }
+
+    #[test]
+    fn builder_resets_after_finish() {
+        let mut b = BlockBuilder::new();
+        b.add(b"a", b"1");
+        let _ = b.finish();
+        assert!(b.is_empty());
+        b.add(b"a", b"2"); // would panic if last_key were stale
+        let blk = Block::parse(b.finish()).unwrap();
+        assert_eq!(blk.entry(0).unwrap().1, b"2");
+    }
+
+    #[test]
+    fn size_estimate_matches_finish() {
+        let mut b = BlockBuilder::new();
+        for i in 0..50 {
+            b.add(format!("k{i:02}").as_bytes(), b"pppp");
+        }
+        let est = b.size_estimate();
+        let actual = b.finish().len();
+        assert_eq!(est, actual);
+    }
+
+    #[test]
+    fn corrupt_blocks_are_rejected() {
+        assert!(Block::parse(vec![1, 2]).is_err());
+        // Claims 100 rows but has no offset array.
+        let mut data = 100u32.to_le_bytes().to_vec();
+        data.push(0);
+        assert!(Block::parse(data).is_err());
+        // Row offset points past the end.
+        let mut b = BlockBuilder::new();
+        b.add(b"k", b"v");
+        let mut data = b.finish();
+        data[4] = 0xFF;
+        let blk = Block::parse(data).unwrap();
+        assert!(blk.entry(0).is_err());
+    }
+}

@@ -1,0 +1,286 @@
+//! The database: a collection of tables under one VFS root, plus optional
+//! background maintenance.
+//!
+//! LittleTable runs as an independent server process (§3.1); this type is
+//! the embeddable engine behind it. Opening a database scans the root for
+//! table directories, loads each descriptor, and deletes any tablet files
+//! a crash left uncommitted.
+
+use crate::error::{Error, Result};
+use crate::options::Options;
+use crate::schema::Schema;
+use crate::table::{MaintenanceReport, Table};
+use littletable_vfs::{Clock, Micros, StdVfs, SystemClock, Vfs};
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Returns the parent (database root) of a table directory.
+pub(crate) fn root_of(dir: &str) -> &str {
+    littletable_vfs::parent(dir)
+}
+
+fn valid_table_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.len() <= 128
+        && name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-' || c == '.')
+        && !name.starts_with('.')
+}
+
+struct DbInner {
+    vfs: Arc<dyn Vfs>,
+    cold_vfs: Option<Arc<dyn Vfs>>,
+    clock: Arc<dyn Clock>,
+    opts: Arc<Options>,
+    tables: RwLock<HashMap<String, Arc<Table>>>,
+    shutdown: Arc<AtomicBool>,
+    worker: Mutex<Option<JoinHandle<()>>>,
+}
+
+/// A LittleTable database handle. Cheap to clone; clones share state.
+#[derive(Clone)]
+pub struct Db {
+    inner: Arc<DbInner>,
+}
+
+impl Db {
+    /// Opens (or initializes) a database over `vfs`, recovering every
+    /// table found under the root.
+    pub fn open(vfs: Arc<dyn Vfs>, clock: Arc<dyn Clock>, opts: Options) -> Result<Db> {
+        Db::open_with_cold(vfs, None, clock, opts)
+    }
+
+    /// As [`Db::open`], with an additional write-once cold store for old
+    /// tablets (§6; see [`Table::migrate_to_cold`]).
+    pub fn open_with_cold(
+        vfs: Arc<dyn Vfs>,
+        cold_vfs: Option<Arc<dyn Vfs>>,
+        clock: Arc<dyn Clock>,
+        opts: Options,
+    ) -> Result<Db> {
+        let opts = Arc::new(opts);
+        let mut tables = HashMap::new();
+        for entry in vfs.list_dir("").unwrap_or_default() {
+            let desc_path = littletable_vfs::join(&entry, crate::descriptor::DESC_FILE);
+            if !vfs.exists(&desc_path) {
+                continue;
+            }
+            let table = Table::open(
+                vfs.clone(),
+                cold_vfs.clone(),
+                clock.clone(),
+                opts.clone(),
+                entry.clone(),
+                entry.clone(),
+            )?;
+            tables.insert(entry, table);
+        }
+        let inner = Arc::new(DbInner {
+            vfs,
+            cold_vfs,
+            clock,
+            opts,
+            tables: RwLock::new(tables),
+            shutdown: Arc::new(AtomicBool::new(false)),
+            worker: Mutex::new(None),
+        });
+        let db = Db { inner };
+        if db.inner.opts.background {
+            db.start_background_worker();
+        }
+        Ok(db)
+    }
+
+    /// Opens a database on the local file system with the wall clock.
+    pub fn open_local(path: impl Into<std::path::PathBuf>, opts: Options) -> Result<Db> {
+        let vfs = Arc::new(StdVfs::new(path)?);
+        Db::open(vfs, Arc::new(SystemClock), opts)
+    }
+
+    fn start_background_worker(&self) {
+        let db = self.clone();
+        let shutdown = self.inner.shutdown.clone();
+        let interval = std::time::Duration::from_millis(self.inner.opts.maintenance_interval_ms);
+        let handle = std::thread::Builder::new()
+            .name("littletable-maintenance".into())
+            .spawn(move || {
+                while !shutdown.load(Ordering::Relaxed) {
+                    std::thread::sleep(interval);
+                    if shutdown.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    // Maintenance errors are retried next tick; a real
+                    // deployment would log them.
+                    let _ = db.maintain();
+                }
+            })
+            .expect("spawn maintenance thread");
+        *self.inner.worker.lock() = Some(handle);
+    }
+
+    /// The engine clock's current time.
+    pub fn now(&self) -> Micros {
+        self.inner.clock.now_micros()
+    }
+
+    /// The options this database was opened with.
+    pub fn options(&self) -> &Options {
+        &self.inner.opts
+    }
+
+    /// The underlying VFS.
+    pub fn vfs(&self) -> &Arc<dyn Vfs> {
+        &self.inner.vfs
+    }
+
+    /// The engine clock.
+    pub fn clock(&self) -> &Arc<dyn Clock> {
+        &self.inner.clock
+    }
+
+    /// Creates a table. Fails if the name is taken or invalid.
+    pub fn create_table(
+        &self,
+        name: &str,
+        schema: Schema,
+        ttl: Option<Micros>,
+    ) -> Result<Arc<Table>> {
+        if !valid_table_name(name) {
+            return Err(Error::invalid(format!("invalid table name {name:?}")));
+        }
+        let mut tables = self.inner.tables.write();
+        if tables.contains_key(name) {
+            return Err(Error::TableExists(name.to_string()));
+        }
+        let table = Table::create(
+            self.inner.vfs.clone(),
+            self.inner.cold_vfs.clone(),
+            self.inner.clock.clone(),
+            self.inner.opts.clone(),
+            name.to_string(),
+            name.to_string(),
+            schema,
+            ttl,
+        )?;
+        tables.insert(name.to_string(), table.clone());
+        Ok(table)
+    }
+
+    /// Looks up a table by name.
+    pub fn table(&self, name: &str) -> Result<Arc<Table>> {
+        self.inner
+            .tables
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| Error::NoSuchTable(name.to_string()))
+    }
+
+    /// All table names, sorted.
+    pub fn list_tables(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.inner.tables.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Drops a table and deletes its files. Applications drop and recreate
+    /// tables freely during feature development (§3.5).
+    pub fn drop_table(&self, name: &str) -> Result<()> {
+        let table = {
+            let mut tables = self.inner.tables.write();
+            tables
+                .remove(name)
+                .ok_or_else(|| Error::NoSuchTable(name.to_string()))?
+        };
+        table.mark_dropped();
+        let dir = table.dir().to_string();
+        for entry in self.inner.vfs.list_dir(&dir).unwrap_or_default() {
+            let _ = self.inner.vfs.remove(&littletable_vfs::join(&dir, &entry));
+        }
+        if let Some(cold) = &self.inner.cold_vfs {
+            for entry in cold.list_dir(&dir).unwrap_or_default() {
+                let _ = cold.remove(&littletable_vfs::join(&dir, &entry));
+            }
+        }
+        Ok(())
+    }
+
+    /// Runs one maintenance pass over every table at the current clock
+    /// time. Returns the merged report.
+    pub fn maintain(&self) -> Result<MaintenanceReport> {
+        let now = self.now();
+        let tables: Vec<Arc<Table>> = self.inner.tables.read().values().cloned().collect();
+        let mut total = MaintenanceReport::default();
+        for t in tables {
+            let r = t.maintain(now)?;
+            total.sealed_by_age += r.sealed_by_age;
+            total.groups_flushed += r.groups_flushed;
+            total.merges += r.merges;
+            total.tablets_expired += r.tablets_expired;
+        }
+        Ok(total)
+    }
+
+    /// Runs maintenance passes until a pass does no work (useful in tests
+    /// and virtual-time benchmarks).
+    pub fn maintain_until_quiescent(&self) -> Result<()> {
+        loop {
+            let r = self.maintain()?;
+            if r.sealed_by_age == 0
+                && r.groups_flushed == 0
+                && r.merges == 0
+                && r.tablets_expired == 0
+            {
+                return Ok(());
+            }
+        }
+    }
+
+    /// Flushes every table's in-memory data to disk.
+    pub fn flush_all(&self) -> Result<()> {
+        let tables: Vec<Arc<Table>> = self.inner.tables.read().values().cloned().collect();
+        for t in tables {
+            t.flush_all()?;
+        }
+        Ok(())
+    }
+
+    /// Stops the background worker (if any). In keeping with the paper's
+    /// durability model, unflushed rows are *not* persisted — they would
+    /// be re-collected from the devices after a restart; call
+    /// [`Db::flush_all`] first for a polite shutdown.
+    pub fn shutdown(&self) {
+        self.inner.shutdown.store(true, Ordering::Relaxed);
+        if let Some(h) = self.inner.worker.lock().take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for DbInner {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        if let Some(h) = self.worker.lock().take() {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_name_validation() {
+        assert!(valid_table_name("usage_by_device"));
+        assert!(valid_table_name("events-2017.raw"));
+        assert!(!valid_table_name(""));
+        assert!(!valid_table_name(".hidden"));
+        assert!(!valid_table_name("a/b"));
+        assert!(!valid_table_name(&"x".repeat(200)));
+    }
+}

@@ -1,0 +1,331 @@
+//! Table descriptor files.
+//!
+//! Each table directory contains a `DESC` file recording the table's
+//! current schema, TTL, and the list of on-disk tablets with their
+//! timespans (§3.2). LittleTable rewrites the descriptor after every
+//! change — flush, merge, TTL reap, schema evolution — by writing a
+//! temporary file and atomically renaming it over the old one. The
+//! descriptor is the *only* commitment point in the system: a tablet file
+//! exists logically exactly when the descriptor lists it.
+
+use crate::error::{Error, Result};
+use crate::schema::Schema;
+use crate::util::{crc32, put_varint, unzigzag, zigzag, Reader};
+use littletable_vfs::{join, Micros, Vfs};
+
+/// File name of the committed descriptor within a table directory.
+pub const DESC_FILE: &str = "DESC";
+/// File name of the in-flight temporary descriptor.
+pub const DESC_TMP: &str = "DESC.tmp";
+
+const DESC_MAGIC: u32 = 0x4C54_4445; // "LTDE"
+const DESC_VERSION: u8 = 1;
+
+/// Descriptor-level metadata for one on-disk tablet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TabletMeta {
+    /// Table-unique tablet id (also names the file).
+    pub id: u64,
+    /// Smallest row timestamp in the tablet.
+    pub min_ts: Micros,
+    /// Largest row timestamp in the tablet.
+    pub max_ts: Micros,
+    /// Row count.
+    pub rows: u64,
+    /// File size in bytes (compressed).
+    pub bytes: u64,
+    /// Clock time the tablet was written (flush or merge); the merge
+    /// policy's delay is measured from here.
+    pub written_at: Micros,
+    /// Schema version the tablet's rows were written under.
+    pub schema_version: u32,
+    /// True when the tablet file lives in the cold store (§6's
+    /// LHAM-inspired write-once backing store for old data) rather than
+    /// the shard's local disk.
+    pub cold: bool,
+}
+
+impl TabletMeta {
+    /// File name of this tablet within its table directory.
+    pub fn file_name(&self) -> String {
+        tablet_file_name(self.id)
+    }
+}
+
+/// File name for a tablet id.
+pub fn tablet_file_name(id: u64) -> String {
+    format!("tab-{id:016x}.lt")
+}
+
+/// Parses a tablet file name back to its id.
+pub fn parse_tablet_file_name(name: &str) -> Option<u64> {
+    let hex = name.strip_prefix("tab-")?.strip_suffix(".lt")?;
+    u64::from_str_radix(hex, 16).ok()
+}
+
+/// The durable state of one table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableDescriptor {
+    /// Current (newest) schema.
+    pub schema: Schema,
+    /// Row time-to-live; `None` keeps rows until disk runs out.
+    pub ttl: Option<Micros>,
+    /// Next tablet id to allocate.
+    pub next_tablet_id: u64,
+    /// On-disk tablets, ordered by ascending `min_ts` (ties by id).
+    pub tablets: Vec<TabletMeta>,
+}
+
+impl TableDescriptor {
+    /// A fresh descriptor for a new table.
+    pub fn new(schema: Schema, ttl: Option<Micros>) -> Self {
+        TableDescriptor {
+            schema,
+            ttl,
+            next_tablet_id: 1,
+            tablets: Vec::new(),
+        }
+    }
+
+    fn encode(&self) -> Vec<u8> {
+        let mut body = Vec::new();
+        body.push(DESC_VERSION);
+        self.schema.encode(&mut body);
+        match self.ttl {
+            Some(t) => {
+                body.push(1);
+                put_varint(&mut body, zigzag(t));
+            }
+            None => body.push(0),
+        }
+        put_varint(&mut body, self.next_tablet_id);
+        put_varint(&mut body, self.tablets.len() as u64);
+        for t in &self.tablets {
+            put_varint(&mut body, t.id);
+            put_varint(&mut body, zigzag(t.min_ts));
+            put_varint(&mut body, zigzag(t.max_ts));
+            put_varint(&mut body, t.rows);
+            put_varint(&mut body, t.bytes);
+            put_varint(&mut body, zigzag(t.written_at));
+            put_varint(&mut body, t.schema_version as u64);
+            put_varint(&mut body, t.cold as u64);
+        }
+        let mut out = Vec::with_capacity(body.len() + 8);
+        out.extend_from_slice(&DESC_MAGIC.to_le_bytes());
+        out.extend_from_slice(&crc32(&body).to_le_bytes());
+        out.extend_from_slice(&body);
+        out
+    }
+
+    fn decode(data: &[u8]) -> Result<TableDescriptor> {
+        let mut r = Reader::new(data);
+        if r.u32()? != DESC_MAGIC {
+            return Err(Error::corrupt("bad descriptor magic"));
+        }
+        let crc = r.u32()?;
+        let body = r.bytes(r.remaining())?;
+        if crc32(body) != crc {
+            return Err(Error::corrupt("descriptor checksum mismatch"));
+        }
+        let mut r = Reader::new(body);
+        let ver = r.u8()?;
+        if ver != DESC_VERSION {
+            return Err(Error::corrupt(format!("unknown descriptor version {ver}")));
+        }
+        let schema = Schema::decode(&mut r)?;
+        let ttl = match r.u8()? {
+            0 => None,
+            1 => Some(unzigzag(r.varint()?)),
+            t => return Err(Error::corrupt(format!("bad ttl tag {t}"))),
+        };
+        let next_tablet_id = r.varint()?;
+        let n = r.varint()? as usize;
+        let mut tablets = Vec::with_capacity(n.min(1 << 20));
+        for _ in 0..n {
+            tablets.push(TabletMeta {
+                id: r.varint()?,
+                min_ts: unzigzag(r.varint()?),
+                max_ts: unzigzag(r.varint()?),
+                rows: r.varint()?,
+                bytes: r.varint()?,
+                written_at: unzigzag(r.varint()?),
+                schema_version: r.varint()? as u32,
+                cold: r.varint()? != 0,
+            });
+        }
+        if !r.is_empty() {
+            return Err(Error::corrupt("trailing bytes after descriptor"));
+        }
+        Ok(TableDescriptor {
+            schema,
+            ttl,
+            next_tablet_id,
+            tablets,
+        })
+    }
+
+    /// Durably replaces the descriptor in `dir`: write `DESC.tmp`, sync,
+    /// rename over `DESC`, sync the directory.
+    pub fn save(&self, vfs: &dyn Vfs, dir: &str) -> Result<()> {
+        let tmp = join(dir, DESC_TMP);
+        let dst = join(dir, DESC_FILE);
+        let data = self.encode();
+        let mut f = vfs.create(&tmp, data.len() as u64)?;
+        f.append(&data)?;
+        f.sync()?;
+        drop(f);
+        vfs.rename(&tmp, &dst)?;
+        vfs.sync_dir(dir)?;
+        Ok(())
+    }
+
+    /// Loads the descriptor from `dir`, cleaning up a stale `DESC.tmp`.
+    pub fn load(vfs: &dyn Vfs, dir: &str) -> Result<TableDescriptor> {
+        let tmp = join(dir, DESC_TMP);
+        if vfs.exists(&tmp) {
+            let _ = vfs.remove(&tmp);
+        }
+        let path = join(dir, DESC_FILE);
+        let f = vfs.open(&path)?;
+        let len = f.len()? as usize;
+        let mut data = vec![0u8; len];
+        f.read_exact_at(0, &mut data)?;
+        Self::decode(&data)
+    }
+
+    /// The largest row timestamp recorded across all tablets, if any.
+    pub fn max_ts(&self) -> Option<Micros> {
+        self.tablets.iter().map(|t| t.max_ts).max()
+    }
+
+    /// Sorts tablets by ascending timespan lower bound (ties by id), the
+    /// order the merge policy operates in.
+    pub fn sort_tablets(&mut self) {
+        self.tablets.sort_by_key(|t| (t.min_ts, t.id));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::ColumnDef;
+    use crate::value::ColumnType;
+    use littletable_vfs::SimVfs;
+
+    fn schema() -> Schema {
+        Schema::new(
+            vec![
+                ColumnDef::new("n", ColumnType::I64),
+                ColumnDef::new("ts", ColumnType::Timestamp),
+            ],
+            &["n", "ts"],
+        )
+        .unwrap()
+    }
+
+    fn sample() -> TableDescriptor {
+        let mut d = TableDescriptor::new(schema(), Some(3_600_000_000));
+        d.next_tablet_id = 3;
+        d.tablets = vec![
+            TabletMeta {
+                id: 1,
+                min_ts: 100,
+                max_ts: 200,
+                rows: 10,
+                bytes: 1000,
+                written_at: 250,
+                schema_version: 1,
+                cold: false,
+            },
+            TabletMeta {
+                id: 2,
+                min_ts: 200,
+                max_ts: 300,
+                rows: 20,
+                bytes: 2000,
+                written_at: 350,
+                schema_version: 1,
+                cold: true,
+            },
+        ];
+        d
+    }
+
+    #[test]
+    fn encode_decode_round_trips() {
+        let d = sample();
+        let back = TableDescriptor::decode(&d.encode()).unwrap();
+        assert_eq!(d, back);
+    }
+
+    #[test]
+    fn save_load_round_trips() {
+        let vfs = SimVfs::instant();
+        vfs.mkdir_all("t").unwrap();
+        let d = sample();
+        d.save(&vfs, "t").unwrap();
+        assert!(!vfs.exists("t/DESC.tmp"));
+        let back = TableDescriptor::load(&vfs, "t").unwrap();
+        assert_eq!(d, back);
+    }
+
+    #[test]
+    fn save_survives_crash_after_sync() {
+        let vfs = SimVfs::instant();
+        vfs.mkdir_all("t").unwrap();
+        vfs.sync_dir("").unwrap();
+        let d = sample();
+        d.save(&vfs, "t").unwrap();
+        vfs.crash();
+        let back = TableDescriptor::load(&vfs, "t").unwrap();
+        assert_eq!(d, back);
+    }
+
+    #[test]
+    fn replacement_is_atomic_under_crash() {
+        let vfs = SimVfs::instant();
+        vfs.mkdir_all("t").unwrap();
+        vfs.sync_dir("").unwrap();
+        let d1 = sample();
+        d1.save(&vfs, "t").unwrap();
+        // Second save whose rename is not yet synced: simulate by writing
+        // tmp then crashing before rename.
+        let mut d2 = d1.clone();
+        d2.next_tablet_id = 99;
+        let data = d2.encode();
+        let mut f = vfs.create("t/DESC.tmp", 0).unwrap();
+        f.append(&data).unwrap();
+        f.sync().unwrap();
+        drop(f);
+        vfs.crash();
+        // The old committed descriptor must still load.
+        let back = TableDescriptor::load(&vfs, "t").unwrap();
+        assert_eq!(back, d1);
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let d = sample();
+        let mut data = d.encode();
+        data[10] ^= 0x40;
+        assert!(TableDescriptor::decode(&data).is_err());
+        assert!(TableDescriptor::decode(&data[..5]).is_err());
+    }
+
+    #[test]
+    fn tablet_file_names_round_trip() {
+        assert_eq!(parse_tablet_file_name(&tablet_file_name(42)), Some(42));
+        assert_eq!(parse_tablet_file_name("nope"), None);
+        assert_eq!(parse_tablet_file_name("tab-zz.lt"), None);
+    }
+
+    #[test]
+    fn max_ts_and_sorting() {
+        let mut d = sample();
+        assert_eq!(d.max_ts(), Some(300));
+        d.tablets.reverse();
+        d.sort_tablets();
+        assert_eq!(d.tablets[0].id, 1);
+        assert_eq!(TableDescriptor::new(schema(), None).max_ts(), None);
+    }
+}

@@ -1,0 +1,94 @@
+//! Error type shared across the engine.
+
+use std::fmt;
+use std::io;
+
+/// Result alias for engine operations.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Everything that can go wrong inside the storage engine.
+#[derive(Debug)]
+pub enum Error {
+    /// An underlying VFS operation failed.
+    Io(io::Error),
+    /// On-disk data failed validation (bad magic, checksum, truncation).
+    Corrupt(String),
+    /// A row, query, or schema was malformed for the operation.
+    Invalid(String),
+    /// A table already exists.
+    TableExists(String),
+    /// A table does not exist.
+    NoSuchTable(String),
+    /// An inserted row's primary key duplicates an existing row's.
+    DuplicateKey(String),
+    /// A schema change was not one of the supported evolutions.
+    SchemaChange(String),
+    /// The engine is shutting down.
+    ShuttingDown,
+}
+
+impl Error {
+    /// Builds [`Error::Corrupt`].
+    pub fn corrupt(msg: impl Into<String>) -> Self {
+        Error::Corrupt(msg.into())
+    }
+
+    /// Builds [`Error::Invalid`].
+    pub fn invalid(msg: impl Into<String>) -> Self {
+        Error::Invalid(msg.into())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Io(e) => write!(f, "I/O error: {e}"),
+            Error::Corrupt(m) => write!(f, "corrupt data: {m}"),
+            Error::Invalid(m) => write!(f, "invalid argument: {m}"),
+            Error::TableExists(t) => write!(f, "table already exists: {t}"),
+            Error::NoSuchTable(t) => write!(f, "no such table: {t}"),
+            Error::DuplicateKey(k) => write!(f, "duplicate primary key: {k}"),
+            Error::SchemaChange(m) => write!(f, "unsupported schema change: {m}"),
+            Error::ShuttingDown => write!(f, "engine is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for Error {
+    fn from(e: io::Error) -> Self {
+        Error::Io(e)
+    }
+}
+
+impl From<littletable_compress::DecompressError> for Error {
+    fn from(e: littletable_compress::DecompressError) -> Self {
+        Error::Corrupt(format!("decompression failed: {e}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = Error::DuplicateKey("(n1, d2, 42)".into());
+        assert!(e.to_string().contains("duplicate"));
+        assert!(e.to_string().contains("(n1, d2, 42)"));
+    }
+
+    #[test]
+    fn io_errors_convert() {
+        let e: Error = io::Error::new(io::ErrorKind::NotFound, "gone").into();
+        assert!(matches!(e, Error::Io(_)));
+    }
+}

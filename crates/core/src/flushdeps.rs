@@ -1,0 +1,230 @@
+//! The flush-dependency graph (§3.4.3).
+//!
+//! With several in-memory tablets filling at once (one per time period), a
+//! client's inserts may interleave between tablets, but LittleTable still
+//! guarantees that if a row survives a crash, every row inserted into the
+//! same table *before* it survives too. To maintain this, the engine tracks
+//! the tablet `t` that most recently received an insert; when an insert
+//! lands in a different tablet `t'`, it records the edge `t → t'` ("t must
+//! be flushed before t'"). Before flushing a tablet the engine flushes the
+//! transitive closure of its predecessors along with it, committing all of
+//! them in a single atomic descriptor update.
+
+use crate::memtable::MemTabletId;
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// Directed flush-before constraints between in-memory tablets.
+#[derive(Debug, Default)]
+pub struct FlushDeps {
+    /// `before → afters`: `before` must flush no later than each of
+    /// `afters`.
+    forward: HashMap<MemTabletId, HashSet<MemTabletId>>,
+    /// Reverse adjacency for closure computation.
+    reverse: HashMap<MemTabletId, HashSet<MemTabletId>>,
+}
+
+impl FlushDeps {
+    /// An empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records that `before` must be flushed before (or with) `after`.
+    pub fn add_edge(&mut self, before: MemTabletId, after: MemTabletId) {
+        if before == after {
+            return;
+        }
+        self.forward.entry(before).or_default().insert(after);
+        self.reverse.entry(after).or_default().insert(before);
+    }
+
+    /// All tablets that must be flushed together with (or before) `t`:
+    /// the transitive predecessors of `t`, excluding `t` itself. Cycles are
+    /// handled naturally — every member of a cycle reaches the others.
+    pub fn closure_before(&self, t: MemTabletId) -> HashSet<MemTabletId> {
+        let mut seen = HashSet::new();
+        let mut queue = VecDeque::new();
+        queue.push_back(t);
+        while let Some(cur) = queue.pop_front() {
+            if let Some(preds) = self.reverse.get(&cur) {
+                for &p in preds {
+                    if p != t && seen.insert(p) {
+                        queue.push_back(p);
+                    }
+                }
+            }
+        }
+        seen
+    }
+
+    /// Orders `group` (which must be closed under `closure_before`) so that
+    /// every edge points forward — a topological order that breaks cycles
+    /// by id, which is safe because cycle members commit atomically anyway.
+    pub fn order_group(&self, group: &HashSet<MemTabletId>) -> Vec<MemTabletId> {
+        // Kahn's algorithm restricted to the group; ties and cycles resolve
+        // by smallest id for determinism.
+        let mut indegree: HashMap<MemTabletId, usize> = group.iter().map(|&t| (t, 0)).collect();
+        for &t in group {
+            if let Some(next) = self.forward.get(&t) {
+                for n in next {
+                    if let Some(d) = indegree.get_mut(n) {
+                        *d += 1;
+                    }
+                }
+            }
+        }
+        let mut ready: Vec<MemTabletId> = indegree
+            .iter()
+            .filter(|&(_, &d)| d == 0)
+            .map(|(&t, _)| t)
+            .collect();
+        let mut out = Vec::with_capacity(group.len());
+        let mut remaining: HashSet<MemTabletId> = group.clone();
+        while out.len() < group.len() {
+            if ready.is_empty() {
+                // Cycle: pick the smallest remaining id.
+                let &min = remaining.iter().min().unwrap();
+                ready.push(min);
+                indegree.insert(min, 0);
+            }
+            ready.sort_unstable();
+            let t = ready.remove(0);
+            if !remaining.remove(&t) {
+                continue;
+            }
+            out.push(t);
+            if let Some(next) = self.forward.get(&t) {
+                for n in next {
+                    if remaining.contains(n) {
+                        let d = indegree.get_mut(n).unwrap();
+                        if *d > 0 {
+                            *d -= 1;
+                            if *d == 0 {
+                                ready.push(*n);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Removes flushed tablets from the graph.
+    pub fn remove(&mut self, flushed: &HashSet<MemTabletId>) {
+        for t in flushed {
+            if let Some(next) = self.forward.remove(t) {
+                for n in next {
+                    if let Some(r) = self.reverse.get_mut(&n) {
+                        r.remove(t);
+                    }
+                }
+            }
+            if let Some(preds) = self.reverse.remove(t) {
+                for p in preds {
+                    if let Some(f) = self.forward.get_mut(&p) {
+                        f.remove(t);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Number of tablets with at least one recorded constraint.
+    pub fn len(&self) -> usize {
+        let mut ids: HashSet<MemTabletId> = self.forward.keys().copied().collect();
+        ids.extend(self.reverse.keys());
+        ids.len()
+    }
+
+    /// True when no constraints are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.forward.is_empty() && self.reverse.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(n: u64) -> MemTabletId {
+        MemTabletId(n)
+    }
+
+    fn set(ids: &[u64]) -> HashSet<MemTabletId> {
+        ids.iter().map(|&n| id(n)).collect()
+    }
+
+    #[test]
+    fn simple_chain_closure() {
+        let mut d = FlushDeps::new();
+        d.add_edge(id(1), id(2)); // 1 before 2
+        d.add_edge(id(2), id(3)); // 2 before 3
+        assert_eq!(d.closure_before(id(3)), set(&[1, 2]));
+        assert_eq!(d.closure_before(id(2)), set(&[1]));
+        assert_eq!(d.closure_before(id(1)), set(&[]));
+    }
+
+    #[test]
+    fn cycle_closure_includes_both() {
+        let mut d = FlushDeps::new();
+        d.add_edge(id(1), id(2));
+        d.add_edge(id(2), id(1));
+        assert_eq!(d.closure_before(id(1)), set(&[2]));
+        assert_eq!(d.closure_before(id(2)), set(&[1]));
+    }
+
+    #[test]
+    fn self_edges_are_ignored() {
+        let mut d = FlushDeps::new();
+        d.add_edge(id(1), id(1));
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn order_respects_edges() {
+        let mut d = FlushDeps::new();
+        d.add_edge(id(3), id(1));
+        d.add_edge(id(1), id(2));
+        let mut group = d.closure_before(id(2));
+        group.insert(id(2));
+        let order = d.order_group(&group);
+        let pos = |t: u64| order.iter().position(|&x| x == id(t)).unwrap();
+        assert!(pos(3) < pos(1));
+        assert!(pos(1) < pos(2));
+    }
+
+    #[test]
+    fn order_handles_cycles_deterministically() {
+        let mut d = FlushDeps::new();
+        d.add_edge(id(5), id(7));
+        d.add_edge(id(7), id(5));
+        let group = set(&[5, 7]);
+        let order = d.order_group(&group);
+        assert_eq!(order.len(), 2);
+        // Deterministic: smallest id first within the cycle.
+        assert_eq!(order[0], id(5));
+    }
+
+    #[test]
+    fn remove_clears_constraints() {
+        let mut d = FlushDeps::new();
+        d.add_edge(id(1), id(2));
+        d.add_edge(id(2), id(3));
+        d.remove(&set(&[1, 2]));
+        assert_eq!(d.closure_before(id(3)), set(&[]));
+        d.remove(&set(&[3]));
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn diamond_closure() {
+        let mut d = FlushDeps::new();
+        d.add_edge(id(1), id(2));
+        d.add_edge(id(1), id(3));
+        d.add_edge(id(2), id(4));
+        d.add_edge(id(3), id(4));
+        assert_eq!(d.closure_before(id(4)), set(&[1, 2, 3]));
+        assert_eq!(d.len(), 4);
+    }
+}

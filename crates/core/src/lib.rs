@@ -1,0 +1,46 @@
+//! The LittleTable storage engine.
+//!
+//! A relational database optimized for time-series data, after
+//! *"LittleTable: A Time-Series Database and Its Uses"* (Rhea et al.,
+//! SIGMOD 2017). Tables are clustered in two dimensions: rows are
+//! partitioned by timestamp into tablets, and sorted within each tablet by
+//! a hierarchically-delineated primary key, so that any rectangle of
+//! (key-range × time-range) reads from a mostly contiguous region of disk.
+//!
+//! The engine trades durability for simplicity and throughput exactly as
+//! the paper's applications allow: there is no write-ahead log; the only
+//! guarantee is *prefix durability* — if a row survives a crash, so does
+//! every row inserted into the same table before it.
+
+#![warn(missing_docs)]
+
+pub mod archive;
+pub mod block;
+pub mod bloom;
+pub mod cursor;
+pub mod db;
+pub mod descriptor;
+pub mod flushdeps;
+pub mod error;
+pub mod keyenc;
+pub mod memtable;
+pub mod mergepolicy;
+pub mod options;
+pub mod period;
+pub mod query;
+pub mod row;
+pub mod schema;
+pub mod stats;
+pub mod table;
+pub mod tablet;
+pub mod util;
+pub mod value;
+
+pub use db::Db;
+pub use error::{Error, Result};
+pub use options::Options;
+pub use query::Query;
+pub use row::Row;
+pub use schema::{ColumnDef, Schema, SchemaRef, TS_COLUMN};
+pub use table::{InsertReport, MaintenanceReport, QueryCursor, Table};
+pub use value::{ColumnType, Value};

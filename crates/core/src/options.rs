@@ -1,0 +1,118 @@
+//! Engine tuning options.
+
+use crate::mergepolicy::MergePolicy;
+use littletable_vfs::Micros;
+
+/// Tuning knobs for a [`crate::db::Db`]. Defaults are the paper's
+/// production settings.
+#[derive(Debug, Clone)]
+pub struct Options {
+    /// Flush an in-memory tablet once it holds this many bytes (16 MB:
+    /// large enough to sustain ~95% of a spinning disk's peak write rate,
+    /// §3.3).
+    pub flush_size: usize,
+    /// Flush an in-memory tablet no later than this long after its first
+    /// insert (10 minutes), bounding data lost in a crash (§3.4.1).
+    pub flush_age: Micros,
+    /// Uncompressed tablet block size (64 kB, §3.2).
+    pub block_size: usize,
+    /// Maximum merged tablet size (128 MB, §5.1.3).
+    pub max_tablet_size: u64,
+    /// Wait this long after a tablet is written before merging it (90 s,
+    /// §5.1.3), maximizing the tablets available to any one merge.
+    pub merge_delay: Micros,
+    /// Master switch for background merging (ablation).
+    pub merge_enabled: bool,
+    /// Bin in-memory tablets and bound merges by time period (§3.4.2);
+    /// disabling is the clustering ablation.
+    pub respect_periods: bool,
+    /// Store Bloom filters in tablet footers (§3.4.5 extension).
+    pub bloom_filters: bool,
+    /// Use the descriptor/index fast paths for insert-time uniqueness
+    /// checks (§3.4.4); disabling forces the point-query slow path.
+    pub uniqueness_fast_paths: bool,
+    /// Seed for the period-rollover merge jitter (§3.4.2); `None`
+    /// disables jitter (useful in deterministic tests).
+    pub rollover_jitter_seed: Option<u64>,
+    /// The server's own cap on rows returned per query; results that hit
+    /// it carry a `more_available` flag and the client re-submits (§3.5).
+    pub server_row_limit: usize,
+    /// Maximum tablets sealed-but-unflushed before inserts flush inline,
+    /// bounding memory (the 100-tablet limit of §5.1.3).
+    pub max_sealed_backlog: usize,
+    /// Spawn a background maintenance thread (flush by age, merge, TTL).
+    /// Disable for deterministic tests and virtual-time benchmarks, which
+    /// drive [`crate::db::Db::maintain`] manually.
+    pub background: bool,
+    /// Background maintenance cadence in milliseconds.
+    pub maintenance_interval_ms: u64,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            flush_size: 16 << 20,
+            flush_age: 10 * 60 * 1_000_000,
+            block_size: 64 << 10,
+            max_tablet_size: 128 << 20,
+            merge_delay: 90 * 1_000_000,
+            merge_enabled: true,
+            respect_periods: true,
+            bloom_filters: true,
+            uniqueness_fast_paths: true,
+            rollover_jitter_seed: None,
+            server_row_limit: 1 << 20,
+            max_sealed_backlog: 100,
+            background: false,
+            maintenance_interval_ms: 1_000,
+        }
+    }
+}
+
+impl Options {
+    /// The merge-policy view of these options.
+    pub fn merge_policy(&self) -> MergePolicy {
+        MergePolicy {
+            max_tablet_size: self.max_tablet_size,
+            merge_delay: self.merge_delay,
+            respect_periods: self.respect_periods,
+            rollover_jitter_seed: self.rollover_jitter_seed,
+        }
+    }
+
+    /// Small sizes suited to unit tests: 64 kB flushes, 4 kB blocks.
+    pub fn small_for_tests() -> Self {
+        Options {
+            flush_size: 64 << 10,
+            block_size: 4 << 10,
+            max_tablet_size: 1 << 20,
+            merge_delay: 0,
+            ..Default::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let o = Options::default();
+        assert_eq!(o.flush_size, 16 << 20);
+        assert_eq!(o.block_size, 64 << 10);
+        assert_eq!(o.max_tablet_size, 128 << 20);
+        assert_eq!(o.merge_delay, 90_000_000);
+        assert_eq!(o.flush_age, 600_000_000);
+        assert_eq!(o.max_sealed_backlog, 100);
+    }
+
+    #[test]
+    fn merge_policy_mirrors_options() {
+        let o = Options::default();
+        let p = o.merge_policy();
+        assert_eq!(p.max_tablet_size, o.max_tablet_size);
+        assert_eq!(p.merge_delay, o.merge_delay);
+        assert!(p.respect_periods);
+    }
+}

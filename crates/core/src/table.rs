@@ -1,0 +1,2353 @@
+//! One LittleTable table: insert path, uniqueness enforcement, flushing
+//! with dependency ordering, queries, latest-row-for-prefix, merging, TTL
+//! expiry, and schema evolution.
+
+use crate::cursor::{DiskCursor, MemSource, MergeCursor, RowSource};
+use crate::descriptor::{
+    parse_tablet_file_name, tablet_file_name, TableDescriptor, TabletMeta, DESC_FILE, DESC_TMP,
+};
+use crate::error::{Error, Result};
+use crate::flushdeps::FlushDeps;
+use crate::keyenc::{encode_prefix, KeyRange};
+use crate::memtable::{MemTablet, MemTabletId};
+use crate::mergepolicy::find_merge;
+use crate::options::Options;
+use crate::period::{period_for, Period, PeriodKind};
+use crate::query::Query;
+use crate::row::{encode_payload, Row};
+use crate::schema::{Schema, SchemaRef};
+use crate::stats::TableStats;
+use crate::tablet::{TabletReader, TabletWriter};
+use crate::util::hash_bytes;
+use crate::value::Value;
+use littletable_vfs::{join, Clock, Micros, Vfs};
+use parking_lot::Mutex;
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+/// Outcome of an insert batch.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InsertReport {
+    /// Rows accepted.
+    pub inserted: usize,
+    /// Rows rejected because their primary key already existed.
+    pub duplicates: usize,
+}
+
+/// Outcome of one maintenance pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MaintenanceReport {
+    /// In-memory tablets sealed because of age.
+    pub sealed_by_age: usize,
+    /// Sealed groups flushed to disk.
+    pub groups_flushed: usize,
+    /// Merges performed (0 or 1 per pass).
+    pub merges: usize,
+    /// On-disk tablets removed by TTL expiry.
+    pub tablets_expired: usize,
+}
+
+#[derive(Clone)]
+struct DiskHandle {
+    meta: TabletMeta,
+    reader: Arc<TabletReader>,
+}
+
+struct SealedGroup {
+    id: u64,
+    tablets: Vec<Arc<MemTablet>>,
+    flushing: bool,
+}
+
+struct TableState {
+    schema: SchemaRef,
+    ttl: Option<Micros>,
+    next_tablet_id: u64,
+    next_mem_id: u64,
+    next_group_id: u64,
+    filling: HashMap<Period, MemTablet>,
+    last_insert: Option<MemTabletId>,
+    deps: FlushDeps,
+    sealed: VecDeque<SealedGroup>,
+    disk: Vec<DiskHandle>,
+    /// Largest row timestamp present (durable or in memory), for the
+    /// newest-timestamp uniqueness fast path.
+    max_ts: Micros,
+    merge_running: bool,
+    dropped: bool,
+}
+
+impl TableState {
+    fn sort_disk(&mut self) {
+        self.disk.sort_by_key(|h| (h.meta.min_ts, h.meta.id));
+    }
+
+    fn metas(&self) -> Vec<TabletMeta> {
+        self.disk.iter().map(|h| h.meta.clone()).collect()
+    }
+
+    /// True when any in-memory tablet (filling or sealed) holds `key`.
+    /// Only tablets whose timespan contains `ts` can hold it, since the
+    /// timestamp is part of the key.
+    fn mem_contains(&self, key: &[u8], ts: Micros) -> bool {
+        let covers = |t: &MemTablet| match (t.min_ts(), t.max_ts()) {
+            (Some(lo), Some(hi)) => lo <= ts && ts <= hi,
+            _ => false,
+        };
+        self.filling
+            .values()
+            .any(|t| covers(t) && t.contains_key(key))
+            || self
+                .sealed
+                .iter()
+                .flat_map(|g| g.tablets.iter())
+                .any(|t| covers(t) && t.contains_key(key))
+    }
+
+    fn sealed_tablet_count(&self) -> usize {
+        self.sealed.iter().map(|g| g.tablets.len()).sum()
+    }
+}
+
+/// A handle to one table. All methods are safe to call concurrently.
+pub struct Table {
+    name: String,
+    dir: String,
+    vfs: Arc<dyn Vfs>,
+    /// Optional write-once backing store for old tablets (§6's
+    /// LHAM-inspired cold tier; Amazon S3 in the paper's plans).
+    cold_vfs: Option<Arc<dyn Vfs>>,
+    clock: Arc<dyn Clock>,
+    opts: Arc<Options>,
+    stats: Arc<TableStats>,
+    state: Mutex<TableState>,
+    /// Serializes slow-path uniqueness checks so disk reads never happen
+    /// under the state mutex (§3.4.4).
+    insert_lock: Mutex<()>,
+    /// Serializes flushes so sealed groups commit strictly FIFO.
+    flush_lock: Mutex<()>,
+}
+
+impl Table {
+    #[allow(clippy::too_many_arguments)] // crate-internal constructor
+    pub(crate) fn create(
+        vfs: Arc<dyn Vfs>,
+        cold_vfs: Option<Arc<dyn Vfs>>,
+        clock: Arc<dyn Clock>,
+        opts: Arc<Options>,
+        name: String,
+        dir: String,
+        schema: Schema,
+        ttl: Option<Micros>,
+    ) -> Result<Arc<Table>> {
+        vfs.mkdir_all(&dir)?;
+        let desc = TableDescriptor::new(schema.clone(), ttl);
+        desc.save(vfs.as_ref(), &dir)?;
+        vfs.sync_dir(crate::db::root_of(&dir))?;
+        Ok(Arc::new(Table {
+            name,
+            dir,
+            vfs,
+            cold_vfs,
+            clock,
+            opts,
+            stats: Arc::new(TableStats::default()),
+            state: Mutex::new(TableState {
+                schema: Arc::new(schema),
+                ttl,
+                next_tablet_id: desc.next_tablet_id,
+                next_mem_id: 1,
+                next_group_id: 1,
+                filling: HashMap::new(),
+                last_insert: None,
+                deps: FlushDeps::new(),
+                sealed: VecDeque::new(),
+                disk: Vec::new(),
+                max_ts: Micros::MIN,
+                merge_running: false,
+                dropped: false,
+            }),
+            insert_lock: Mutex::new(()),
+            flush_lock: Mutex::new(()),
+        }))
+    }
+
+    pub(crate) fn open(
+        vfs: Arc<dyn Vfs>,
+        cold_vfs: Option<Arc<dyn Vfs>>,
+        clock: Arc<dyn Clock>,
+        opts: Arc<Options>,
+        name: String,
+        dir: String,
+    ) -> Result<Arc<Table>> {
+        let mut desc = TableDescriptor::load(vfs.as_ref(), &dir)?;
+        desc.sort_tablets();
+        // Delete orphan tablet files left by a crash mid-flush or
+        // mid-merge: they were never committed to the descriptor.
+        for entry in vfs.list_dir(&dir)? {
+            if entry == DESC_FILE || entry == DESC_TMP {
+                continue;
+            }
+            match parse_tablet_file_name(&entry) {
+                Some(id) if desc.tablets.iter().any(|t| t.id == id) => {}
+                _ => {
+                    let _ = vfs.remove(&join(&dir, &entry));
+                }
+            }
+        }
+        let disk: Vec<DiskHandle> = desc
+            .tablets
+            .iter()
+            .map(|meta| {
+                let backing: Arc<dyn Vfs> = if meta.cold {
+                    cold_vfs
+                        .clone()
+                        .ok_or_else(|| {
+                            Error::invalid(format!(
+                                "table {name:?} has cold tablets but no cold store is configured"
+                            ))
+                        })?
+                } else {
+                    vfs.clone()
+                };
+                Ok(DiskHandle {
+                    reader: Arc::new(TabletReader::new(
+                        backing,
+                        join(&dir, &meta.file_name()),
+                    )),
+                    meta: meta.clone(),
+                })
+            })
+            .collect::<Result<_>>()?;
+        let max_ts = desc.max_ts().unwrap_or(Micros::MIN);
+        Ok(Arc::new(Table {
+            name,
+            dir,
+            vfs,
+            cold_vfs,
+            clock,
+            opts,
+            stats: Arc::new(TableStats::default()),
+            state: Mutex::new(TableState {
+                schema: Arc::new(desc.schema),
+                ttl: desc.ttl,
+                next_tablet_id: desc.next_tablet_id,
+                next_mem_id: 1,
+                next_group_id: 1,
+                filling: HashMap::new(),
+                last_insert: None,
+                deps: FlushDeps::new(),
+                sealed: VecDeque::new(),
+                disk,
+                max_ts,
+                merge_running: false,
+                dropped: false,
+            }),
+            insert_lock: Mutex::new(()),
+            flush_lock: Mutex::new(()),
+        }))
+    }
+
+    /// The table's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The current schema.
+    pub fn schema(&self) -> SchemaRef {
+        self.state.lock().schema.clone()
+    }
+
+    /// The current TTL.
+    pub fn ttl(&self) -> Option<Micros> {
+        self.state.lock().ttl
+    }
+
+    /// Operational counters.
+    pub fn stats(&self) -> &Arc<TableStats> {
+        &self.stats
+    }
+
+    /// The engine's current time (for clients that let the server stamp
+    /// row timestamps, §3.1).
+    pub fn now(&self) -> Micros {
+        self.clock.now_micros()
+    }
+
+    /// Number of on-disk tablets.
+    pub fn num_disk_tablets(&self) -> usize {
+        self.state.lock().disk.len()
+    }
+
+    /// Number of filling in-memory tablets.
+    pub fn num_filling(&self) -> usize {
+        self.state.lock().filling.len()
+    }
+
+    /// Total compressed bytes across on-disk tablets.
+    pub fn disk_bytes(&self) -> u64 {
+        self.state.lock().disk.iter().map(|h| h.meta.bytes).sum()
+    }
+
+    /// Total rows across on-disk tablets (per descriptor counts).
+    pub fn disk_rows(&self) -> u64 {
+        self.state.lock().disk.iter().map(|h| h.meta.rows).sum()
+    }
+
+    // ---------------------------------------------------------------- insert
+
+    /// Inserts a batch of rows. Each row must match the current schema;
+    /// rows whose primary key already exists are counted as duplicates and
+    /// skipped. Returns how many were inserted and how many were
+    /// duplicates.
+    pub fn insert(&self, rows: Vec<Vec<Value>>) -> Result<InsertReport> {
+        let mut report = InsertReport::default();
+        for values in rows {
+            if self.insert_one(values)? {
+                report.inserted += 1;
+            } else {
+                report.duplicates += 1;
+            }
+        }
+        TableStats::add(&self.stats.rows_inserted, report.inserted as u64);
+        TableStats::add(&self.stats.duplicate_keys, report.duplicates as u64);
+        self.enforce_backlog()?;
+        Ok(report)
+    }
+
+    fn insert_one(&self, values: Vec<Value>) -> Result<bool> {
+        let now = self.clock.now_micros();
+        let mut st = self.state.lock();
+        if st.dropped {
+            return Err(Error::NoSuchTable(self.name.clone()));
+        }
+        let schema = st.schema.clone();
+        let values = schema.check_row(values)?;
+        let row = Row::new(values);
+        let ts = row.ts(&schema)?;
+        let key = row.encode_key(&schema)?;
+
+        if st.mem_contains(&key, ts) {
+            return Ok(false);
+        }
+        if self.opts.uniqueness_fast_paths && ts > st.max_ts {
+            // Fast path 1 (§3.4.4): strictly newer than every existing
+            // timestamp, so the key (which embeds the timestamp) is new.
+            TableStats::add(&self.stats.unique_fast_ts, 1);
+            self.do_insert(&mut st, key, row, ts, now);
+            return Ok(true);
+        }
+        // Only tablets whose timespan contains `ts` can hold a duplicate.
+        let candidates: Vec<DiskHandle> = st
+            .disk
+            .iter()
+            .filter(|h| h.meta.min_ts <= ts && ts <= h.meta.max_ts)
+            .cloned()
+            .collect();
+        if candidates.is_empty() {
+            self.do_insert(&mut st, key, row, ts, now);
+            return Ok(true);
+        }
+        if self.opts.uniqueness_fast_paths {
+            // Fast path 2 (§3.4.4): larger key than any other in the
+            // relevant tablets, checked against the cached indexes.
+            let mut all_below = true;
+            for h in &candidates {
+                let footer = h.reader.footer()?;
+                let max_key = footer.blocks.last().map(|b| b.last_key.as_slice());
+                if max_key.is_some_and(|mk| key.as_slice() <= mk) {
+                    all_below = false;
+                    break;
+                }
+            }
+            if all_below {
+                TableStats::add(&self.stats.unique_fast_key, 1);
+                self.do_insert(&mut st, key, row, ts, now);
+                return Ok(true);
+            }
+        }
+        // Slow path: a point query that may block on disk. Drop the state
+        // mutex and serialize on the insert lock table instead, so queries
+        // proceed unencumbered (§3.4.4).
+        drop(st);
+        TableStats::add(&self.stats.unique_slow, 1);
+        let _slow = self.insert_lock.lock();
+        for h in &candidates {
+            if self.tablet_contains_key(h, &key)? {
+                return Ok(false);
+            }
+        }
+        let mut st = self.state.lock();
+        // Re-check memory: another insert may have landed the key while we
+        // were reading disk.
+        if st.mem_contains(&key, ts) {
+            return Ok(false);
+        }
+        self.do_insert(&mut st, key, row, ts, now);
+        Ok(true)
+    }
+
+    fn tablet_contains_key(&self, h: &DiskHandle, key: &[u8]) -> Result<bool> {
+        let footer = h.reader.footer()?;
+        if let Some(bloom) = &footer.bloom {
+            if !bloom.may_contain(hash_bytes(key)) {
+                return Ok(false);
+            }
+        }
+        let bi = h.reader.seek_block(key)?;
+        if bi >= footer.blocks.len() {
+            return Ok(false);
+        }
+        let block = h.reader.read_block(bi)?;
+        let i = block.seek_ge(key)?;
+        Ok(i < block.len() && block.key(i)? == key)
+    }
+
+    fn bin(&self, ts: Micros, now: Micros) -> Period {
+        if self.opts.respect_periods {
+            period_for(ts, now)
+        } else {
+            // Ablation: a single global bin.
+            Period {
+                kind: PeriodKind::Week,
+                start: 0,
+            }
+        }
+    }
+
+    fn do_insert(&self, st: &mut TableState, key: Vec<u8>, row: Row, ts: Micros, now: Micros) {
+        let period = self.bin(ts, now);
+        let (tablet_id, needs_new) = match st.filling.get(&period) {
+            Some(t) => (t.id(), false),
+            None => (MemTabletId(st.next_mem_id), true),
+        };
+        if needs_new {
+            st.next_mem_id += 1;
+            let schema = st.schema.clone();
+            st.filling
+                .insert(period, MemTablet::new(tablet_id, now, schema));
+        }
+        // Flush-ordering dependency (§3.4.3): the previously-written tablet
+        // must flush before this one.
+        if let Some(last) = st.last_insert {
+            if last != tablet_id {
+                st.deps.add_edge(last, tablet_id);
+            }
+        }
+        st.last_insert = Some(tablet_id);
+        st.max_ts = st.max_ts.max(ts);
+        let tablet = st.filling.get_mut(&period).expect("just ensured");
+        tablet.insert(key, row, ts);
+        if tablet.bytes() >= self.opts.flush_size {
+            self.seal_locked(st, tablet_id);
+        }
+    }
+
+    /// Seals `target` together with its flush-dependency closure into one
+    /// atomic group.
+    fn seal_locked(&self, st: &mut TableState, target: MemTabletId) {
+        let mut group_ids = st.deps.closure_before(target);
+        group_ids.insert(target);
+        // Only tablets still filling can be sealed now; earlier members of
+        // the closure may already sit in earlier groups, which flush first
+        // anyway (FIFO).
+        let filling_ids: std::collections::HashSet<MemTabletId> =
+            st.filling.values().map(|t| t.id()).collect();
+        group_ids.retain(|id| filling_ids.contains(id));
+        if group_ids.is_empty() {
+            return;
+        }
+        let order = st.deps.order_group(&group_ids);
+        let mut tablets = Vec::with_capacity(order.len());
+        for id in order {
+            let period = *st
+                .filling
+                .iter()
+                .find(|(_, t)| t.id() == id)
+                .map(|(p, _)| p)
+                .expect("sealed tablet must be filling");
+            let t = st.filling.remove(&period).expect("present");
+            tablets.push(Arc::new(t));
+        }
+        st.deps.remove(&group_ids);
+        if st.last_insert.is_some_and(|l| group_ids.contains(&l)) {
+            st.last_insert = None;
+        }
+        let id = st.next_group_id;
+        st.next_group_id += 1;
+        st.sealed.push_back(SealedGroup {
+            id,
+            tablets,
+            flushing: false,
+        });
+    }
+
+    /// Inline-flushes oldest groups while the sealed backlog exceeds the
+    /// configured cap, bounding memory (§5.1.3's 100-tablet limit).
+    fn enforce_backlog(&self) -> Result<()> {
+        while self.state.lock().sealed_tablet_count() > self.opts.max_sealed_backlog {
+            if !self.flush_next_group()? {
+                break;
+            }
+        }
+        Ok(())
+    }
+
+    // ---------------------------------------------------------------- flush
+
+    /// Flushes the oldest sealed group, if any. Returns whether a group
+    /// was flushed.
+    pub fn flush_next_group(&self) -> Result<bool> {
+        let _flush = self.flush_lock.lock();
+        let (group_id, tablets) = {
+            let mut st = self.state.lock();
+            let Some(group) = st.sealed.front_mut() else {
+                return Ok(false);
+            };
+            group.flushing = true;
+            (group.id, group.tablets.clone())
+        };
+        let now = self.clock.now_micros();
+        // Allocate tablet ids.
+        let ids: Vec<u64> = {
+            let mut st = self.state.lock();
+            tablets
+                .iter()
+                .map(|_| {
+                    let id = st.next_tablet_id;
+                    st.next_tablet_id += 1;
+                    id
+                })
+                .collect()
+        };
+        let mut new_handles = Vec::new();
+        for (mem, id) in tablets.iter().zip(ids) {
+            if mem.is_empty() {
+                continue;
+            }
+            let meta = self.write_mem_tablet(mem, id, now)?;
+            TableStats::add(&self.stats.tablets_flushed, 1);
+            TableStats::add(&self.stats.bytes_flushed, meta.bytes);
+            new_handles.push(DiskHandle {
+                reader: Arc::new(TabletReader::new(
+                    self.vfs.clone(),
+                    join(&self.dir, &meta.file_name()),
+                )),
+                meta,
+            });
+        }
+        // Commit: descriptor update, then drop the group from memory.
+        let mut st = self.state.lock();
+        st.disk.extend(new_handles);
+        st.sort_disk();
+        let pos = st
+            .sealed
+            .iter()
+            .position(|g| g.id == group_id)
+            .expect("flushing group still present");
+        st.sealed.remove(pos);
+        self.save_descriptor_locked(&st)?;
+        Ok(true)
+    }
+
+    fn write_mem_tablet(&self, mem: &MemTablet, id: u64, now: Micros) -> Result<TabletMeta> {
+        let schema = mem.schema().clone();
+        let path = join(&self.dir, &tablet_file_name(id));
+        let file = self.vfs.create(&path, mem.bytes() as u64)?;
+        let mut w = TabletWriter::new(
+            file,
+            (*schema).clone(),
+            self.opts.block_size,
+            self.opts.bloom_filters,
+        );
+        let mut payload = Vec::new();
+        for (key, row) in mem.iter() {
+            payload.clear();
+            encode_payload(&mut payload, row, &schema);
+            let ts = row.ts(&schema)?;
+            w.add(key, &payload, ts)?;
+        }
+        let (min_ts, max_ts, rows, bytes) = w.finish()?;
+        Ok(TabletMeta {
+            id,
+            min_ts,
+            max_ts,
+            rows,
+            bytes,
+            written_at: now,
+            schema_version: schema.version(),
+            cold: false,
+        })
+    }
+
+    fn save_descriptor_locked(&self, st: &TableState) -> Result<()> {
+        let mut desc = TableDescriptor::new((*st.schema).clone(), st.ttl);
+        desc.next_tablet_id = st.next_tablet_id;
+        desc.tablets = st.metas();
+        desc.save(self.vfs.as_ref(), &self.dir)
+    }
+
+    /// Seals every filling tablet and flushes everything to disk.
+    pub fn flush_all(&self) -> Result<()> {
+        {
+            let mut st = self.state.lock();
+            let ids: Vec<MemTabletId> = st.filling.values().map(|t| t.id()).collect();
+            for id in ids {
+                self.seal_locked(&mut st, id);
+            }
+        }
+        while self.flush_next_group()? {}
+        Ok(())
+    }
+
+    /// Flushes to disk every in-memory tablet holding rows with timestamps
+    /// at or before `ts` — the command §4.1.2 of the paper proposes so
+    /// that aggregators need not *assume* source data has reached disk.
+    /// When this returns, every row with `row.ts <= ts` that was inserted
+    /// before the call is durable.
+    pub fn flush_before(&self, ts: Micros) -> Result<()> {
+        {
+            let mut st = self.state.lock();
+            let ids: Vec<MemTabletId> = st
+                .filling
+                .values()
+                .filter(|t| t.min_ts().is_some_and(|lo| lo <= ts))
+                .map(|t| t.id())
+                .collect();
+            for id in ids {
+                // The closure drags along any tablets that must flush
+                // first, preserving prefix durability.
+                if st.filling.values().any(|t| t.id() == id) {
+                    self.seal_locked(&mut st, id);
+                }
+            }
+        }
+        while self.flush_next_group()? {}
+        Ok(())
+    }
+
+    // ----------------------------------------------------------- bulk delete
+
+    /// Deletes every row whose primary key starts with `prefix` — the
+    /// bulk-delete feature §7 of the paper describes investigating for
+    /// compliance with regional privacy laws. In-memory data is flushed
+    /// first; each affected on-disk tablet is rewritten without the
+    /// matching rows (or dropped outright when nothing else remains), and
+    /// the descriptor is replaced once. Returns the number of rows
+    /// deleted.
+    pub fn bulk_delete(&self, prefix: &[Value]) -> Result<u64> {
+        let schema = self.schema();
+        if prefix.is_empty() || prefix.len() >= schema.key_len() {
+            return Err(Error::invalid(
+                "bulk_delete takes a non-empty strict prefix of the key columns",
+            ));
+        }
+        let encoded = encode_prefix(prefix, &schema.key_types())?;
+        let range = KeyRange::for_prefix(encoded.clone());
+        self.flush_all()?;
+
+        // Take the merger's slot so no merge runs while we rewrite.
+        {
+            let mut st = self.state.lock();
+            if st.merge_running {
+                return Err(Error::invalid(
+                    "bulk_delete cannot run while a merge is in progress",
+                ));
+            }
+            st.merge_running = true;
+        }
+        let result = self.bulk_delete_inner(&schema, &encoded, &range);
+        self.state.lock().merge_running = false;
+        result
+    }
+
+    fn bulk_delete_inner(
+        &self,
+        schema: &SchemaRef,
+        encoded: &[u8],
+        range: &KeyRange,
+    ) -> Result<u64> {
+        let sources: Vec<DiskHandle> = self.state.lock().disk.clone();
+        let now = self.clock.now_micros();
+        let prefix_hash = hash_bytes(encoded);
+        let mut deleted = 0u64;
+        // (old id, replacement) pairs; None replacement = tablet dropped.
+        let mut rewrites: Vec<(u64, Option<DiskHandle>)> = Vec::new();
+        let mut new_ids: Vec<u64> = Vec::new();
+        for h in &sources {
+            let footer = h.reader.footer()?;
+            if let Some(bloom) = &footer.bloom {
+                if !bloom.may_contain(prefix_hash) {
+                    continue;
+                }
+            }
+            // Does this tablet hold any matching row at all?
+            let mut probe = DiskCursor::new(
+                h.reader.clone(),
+                schema.clone(),
+                range.clone(),
+                false,
+            );
+            if probe.next_row()?.is_none() {
+                continue;
+            }
+            // Rewrite the tablet without the matching rows.
+            let new_id = {
+                let mut st = self.state.lock();
+                let id = st.next_tablet_id;
+                st.next_tablet_id += 1;
+                id
+            };
+            new_ids.push(new_id);
+            let path = join(&self.dir, &tablet_file_name(new_id));
+            let file = self.vfs.create(&path, h.meta.bytes)?;
+            let mut w = TabletWriter::new(
+                file,
+                (**schema).clone(),
+                self.opts.block_size,
+                self.opts.bloom_filters,
+            );
+            let mut cur =
+                DiskCursor::new(h.reader.clone(), schema.clone(), KeyRange::all(), false)
+                    .with_read_run(1 << 20);
+            let mut payload = Vec::new();
+            while let Some((key, row)) = cur.next_row()? {
+                if range.contains(&key) {
+                    deleted += 1;
+                    continue;
+                }
+                payload.clear();
+                encode_payload(&mut payload, &row, schema);
+                let ts = row.ts(schema)?;
+                w.add(&key, &payload, ts)?;
+            }
+            if w.row_count() == 0 {
+                drop(w);
+                let _ = self.vfs.remove(&path);
+                rewrites.push((h.meta.id, None));
+            } else {
+                let (min_ts, max_ts, rows, bytes) = w.finish()?;
+                let meta = TabletMeta {
+                    id: new_id,
+                    min_ts,
+                    max_ts,
+                    rows,
+                    bytes,
+                    written_at: now,
+                    schema_version: schema.version(),
+                    cold: false,
+                };
+                rewrites.push((
+                    h.meta.id,
+                    Some(DiskHandle {
+                        reader: Arc::new(TabletReader::new(self.vfs.clone(), path)),
+                        meta,
+                    }),
+                ));
+            }
+        }
+        if rewrites.is_empty() {
+            return Ok(0);
+        }
+        // Single atomic commit, then reclaim the old files.
+        let mut st = self.state.lock();
+        for (old_id, replacement) in &rewrites {
+            st.disk.retain(|h| h.meta.id != *old_id);
+            if let Some(h) = replacement {
+                st.disk.push(h.clone());
+            }
+        }
+        st.sort_disk();
+        self.save_descriptor_locked(&st)?;
+        drop(st);
+        for (old_id, _) in &rewrites {
+            let _ = self
+                .vfs
+                .remove(&join(&self.dir, &tablet_file_name(*old_id)));
+        }
+        Ok(deleted)
+    }
+
+    // ---------------------------------------------------------------- query
+
+    /// Executes a query, returning a streaming cursor over matching rows
+    /// in key order.
+    pub fn query(&self, q: &Query) -> Result<QueryCursor> {
+        TableStats::add(&self.stats.queries, 1);
+        let now = self.clock.now_micros();
+        let st = self.state.lock();
+        if st.dropped {
+            return Err(Error::NoSuchTable(self.name.clone()));
+        }
+        let schema = st.schema.clone();
+        let range = q.key_range(&schema)?;
+        let (ts_lo, ts_hi) = q.ts_interval();
+        // TTL: expired rows are filtered from results (§3.3).
+        let ts_lo = match st.ttl {
+            Some(ttl) => ts_lo.max(now.saturating_sub(ttl)),
+            None => ts_lo,
+        };
+        let mut sources: Vec<Box<dyn RowSource + Send>> = Vec::new();
+        if !range.is_certainly_empty() && ts_lo <= ts_hi {
+            for h in &st.disk {
+                if h.meta.max_ts >= ts_lo && h.meta.min_ts <= ts_hi {
+                    sources.push(Box::new(DiskCursor::new(
+                        h.reader.clone(),
+                        schema.clone(),
+                        range.clone(),
+                        q.descending,
+                    )));
+                }
+            }
+            let mem_overlaps = |t: &MemTablet| match (t.min_ts(), t.max_ts()) {
+                (Some(lo), Some(hi)) => hi >= ts_lo && lo <= ts_hi,
+                _ => false,
+            };
+            for t in st
+                .filling
+                .values()
+                .filter(|t| mem_overlaps(t))
+                .map(|t| t as &MemTablet)
+                .chain(
+                    st.sealed
+                        .iter()
+                        .flat_map(|g| g.tablets.iter())
+                        .filter(|t| mem_overlaps(t))
+                        .map(|t| t.as_ref()),
+                )
+            {
+                let mut rows = t.snapshot_range(&range);
+                if t.schema().version() != schema.version() {
+                    let from = t.schema().clone();
+                    for (_, row) in rows.iter_mut() {
+                        let vals = std::mem::take(&mut row.values);
+                        row.values = from.translate_row(&schema, vals)?;
+                    }
+                }
+                sources.push(Box::new(MemSource::new(rows, q.descending)));
+            }
+        }
+        drop(st);
+        Ok(QueryCursor {
+            merge: MergeCursor::new(sources, q.descending),
+            schema,
+            ts_lo,
+            ts_hi,
+            remaining: q.limit,
+            server_remaining: self.opts.server_row_limit,
+            more_available: false,
+            done: false,
+            scanned: 0,
+            returned: 0,
+            stats: self.stats.clone(),
+        })
+    }
+
+    /// Convenience: runs a query and collects every row.
+    pub fn query_all(&self, q: &Query) -> Result<Vec<Row>> {
+        let mut cur = self.query(q)?;
+        let mut out = Vec::new();
+        while let Some(row) = cur.next_row()? {
+            out.push(row);
+        }
+        Ok(out)
+    }
+
+    /// Finds the most recent row whose key starts with `prefix` (§3.4.5):
+    /// works backwards through each group of tablets with overlapping
+    /// timespans, consulting Bloom filters where available.
+    pub fn latest(&self, prefix: &[Value]) -> Result<Option<Row>> {
+        let now = self.clock.now_micros();
+        let st = self.state.lock();
+        let schema = st.schema.clone();
+        let types = schema.key_types();
+        if prefix.len() >= schema.key_len() {
+            return Err(Error::invalid(
+                "latest() takes a strict prefix of the key columns",
+            ));
+        }
+        let encoded = encode_prefix(prefix, &types)?;
+        let range = KeyRange::for_prefix(encoded.clone());
+        let cutoff = st
+            .ttl
+            .map(|ttl| now.saturating_sub(ttl))
+            .unwrap_or(Micros::MIN);
+        // The prefix determines every key column except (at least) the
+        // timestamp, so within the subtree the timestamp dominates the
+        // remaining sort order only when the prefix is full.
+        let full_prefix = prefix.len() == schema.key_len() - 1;
+
+        enum Src {
+            Mem(Vec<(Vec<u8>, Row)>),
+            Disk(Arc<TabletReader>),
+        }
+        let mut spans: Vec<(Micros, Micros, Src)> = Vec::new();
+        for h in &st.disk {
+            if h.meta.max_ts >= cutoff {
+                spans.push((h.meta.min_ts, h.meta.max_ts, Src::Disk(h.reader.clone())));
+            }
+        }
+        for t in st
+            .filling
+            .values()
+            .map(|t| t as &MemTablet)
+            .chain(st.sealed.iter().flat_map(|g| g.tablets.iter()).map(|t| t.as_ref()))
+        {
+            if let (Some(lo), Some(hi)) = (t.min_ts(), t.max_ts()) {
+                if hi >= cutoff {
+                    let mut rows = t.snapshot_range(&range);
+                    if t.schema().version() != schema.version() {
+                        let from = t.schema().clone();
+                        for (_, row) in rows.iter_mut() {
+                            let vals = std::mem::take(&mut row.values);
+                            row.values = from.translate_row(&schema, vals)?;
+                        }
+                    }
+                    spans.push((lo, hi, Src::Mem(rows)));
+                }
+            }
+        }
+        drop(st);
+
+        // Group spans whose time ranges overlap (connected intervals).
+        spans.sort_by_key(|(lo, _, _)| *lo);
+        let mut groups: Vec<Vec<(Micros, Micros, Src)>> = Vec::new();
+        let mut group_hi = Micros::MIN;
+        for span in spans {
+            if groups.is_empty() || span.0 > group_hi {
+                group_hi = span.1;
+                groups.push(vec![span]);
+            } else {
+                group_hi = group_hi.max(span.1);
+                groups.last_mut().unwrap().push(span);
+            }
+        }
+
+        let prefix_hash = hash_bytes(&encoded);
+        let mut scanned = 0u64;
+        for group in groups.into_iter().rev() {
+            let mut sources: Vec<Box<dyn RowSource + Send>> = Vec::new();
+            for (_, _, src) in group {
+                match src {
+                    Src::Mem(rows) => sources.push(Box::new(MemSource::new(rows, true))),
+                    Src::Disk(reader) => {
+                        if self.opts.bloom_filters {
+                            if let Some(bloom) = &reader.footer()?.bloom {
+                                if !bloom.may_contain(prefix_hash) {
+                                    continue;
+                                }
+                            }
+                        }
+                        sources.push(Box::new(DiskCursor::new(
+                            reader,
+                            schema.clone(),
+                            range.clone(),
+                            true,
+                        )));
+                    }
+                }
+            }
+            if sources.is_empty() {
+                continue;
+            }
+            let mut merge = MergeCursor::new(sources, true);
+            let mut best: Option<(Micros, Row)> = None;
+            while let Some((_, row)) = merge.next_row()? {
+                scanned += 1;
+                let ts = row.ts(&schema)?;
+                if ts < cutoff {
+                    continue;
+                }
+                if full_prefix {
+                    // Descending key order with ts as the final component:
+                    // the first unexpired row is the latest.
+                    best = Some((ts, row));
+                    break;
+                }
+                if best.as_ref().is_none_or(|(b, _)| ts > *b) {
+                    best = Some((ts, row));
+                }
+            }
+            if let Some((_, row)) = best {
+                TableStats::add(&self.stats.rows_scanned, scanned);
+                TableStats::add(&self.stats.rows_returned, 1);
+                return Ok(Some(row));
+            }
+        }
+        TableStats::add(&self.stats.rows_scanned, scanned);
+        Ok(None)
+    }
+
+    // ----------------------------------------------------------- maintenance
+
+    /// Runs one maintenance pass at time `now`: seals aged tablets,
+    /// flushes sealed groups, performs at most one merge, and reaps
+    /// TTL-expired tablets.
+    pub fn maintain(&self, now: Micros) -> Result<MaintenanceReport> {
+        let mut report = MaintenanceReport::default();
+        // 1. Age-based seals (§3.4.1: flush no later than 10 minutes after
+        //    a tablet's first insert).
+        {
+            let mut st = self.state.lock();
+            let due: Vec<MemTabletId> = st
+                .filling
+                .values()
+                .filter(|t| !t.is_empty() && now - t.first_insert_at() >= self.opts.flush_age)
+                .map(|t| t.id())
+                .collect();
+            report.sealed_by_age = due.len();
+            for id in due {
+                // The closure may have sealed it already with a sibling.
+                if st.filling.values().any(|t| t.id() == id) {
+                    self.seal_locked(&mut st, id);
+                }
+            }
+        }
+        // 2. Flush everything sealed.
+        while self.flush_next_group()? {
+            report.groups_flushed += 1;
+        }
+        // 3. One merge.
+        if self.opts.merge_enabled && self.run_merge_once(now)? {
+            report.merges = 1;
+        }
+        // 4. TTL expiry.
+        report.tablets_expired = self.ttl_reap(now)?;
+        Ok(report)
+    }
+
+    /// Performs at most one merge step; returns whether a merge ran.
+    pub fn run_merge_once(&self, now: Micros) -> Result<bool> {
+        let (sources, schema, ttl, new_id) = {
+            let mut st = self.state.lock();
+            if st.merge_running || st.dropped {
+                return Ok(false);
+            }
+            let metas = st.metas();
+            let policy = self.opts.merge_policy();
+            let Some(ids) = find_merge(&metas, now, &policy) else {
+                return Ok(false);
+            };
+            st.merge_running = true;
+            let sources: Vec<DiskHandle> = st
+                .disk
+                .iter()
+                .filter(|h| ids.contains(&h.meta.id))
+                .cloned()
+                .collect();
+            let new_id = st.next_tablet_id;
+            st.next_tablet_id += 1;
+            (sources, st.schema.clone(), st.ttl, new_id)
+        };
+        let result = self.execute_merge(&sources, &schema, ttl, new_id, now);
+        let mut st = self.state.lock();
+        st.merge_running = false;
+        match result {
+            Ok(new_handle) => {
+                let source_ids: Vec<u64> = sources.iter().map(|h| h.meta.id).collect();
+                st.disk.retain(|h| !source_ids.contains(&h.meta.id));
+                if let Some(h) = new_handle {
+                    st.disk.push(h);
+                }
+                st.sort_disk();
+                self.save_descriptor_locked(&st)?;
+                drop(st);
+                for h in &sources {
+                    let _ = self.vfs.remove(&join(&self.dir, &h.meta.file_name()));
+                }
+                TableStats::add(&self.stats.merges, 1);
+                Ok(true)
+            }
+            Err(e) => {
+                drop(st);
+                let _ = self.vfs.remove(&join(&self.dir, &tablet_file_name(new_id)));
+                Err(e)
+            }
+        }
+    }
+
+    /// Merge-sorts `sources` into one new tablet (§3.4.1), translating
+    /// rows to the newest schema and dropping rows that have already
+    /// expired. Returns `None` when every row had expired.
+    fn execute_merge(
+        &self,
+        sources: &[DiskHandle],
+        schema: &SchemaRef,
+        ttl: Option<Micros>,
+        new_id: u64,
+        now: Micros,
+    ) -> Result<Option<DiskHandle>> {
+        let cutoff = ttl.map(|t| now.saturating_sub(t)).unwrap_or(Micros::MIN);
+        let cursors: Vec<Box<dyn RowSource + Send>> = sources
+            .iter()
+            .map(|h| {
+                // §3.4.1: merges read in ~1 MB runs so the disk spends at
+                // most half its time seeking between the input tablets.
+                Box::new(
+                    DiskCursor::new(h.reader.clone(), schema.clone(), KeyRange::all(), false)
+                        .with_read_run(1 << 20),
+                ) as Box<dyn RowSource + Send>
+            })
+            .collect();
+        let mut merge = MergeCursor::new(cursors, false);
+        let path = join(&self.dir, &tablet_file_name(new_id));
+        let size_hint: u64 = sources.iter().map(|h| h.meta.bytes).sum();
+        let file = self.vfs.create(&path, size_hint)?;
+        let mut w = TabletWriter::new(
+            file,
+            (**schema).clone(),
+            self.opts.block_size,
+            self.opts.bloom_filters,
+        );
+        let mut payload = Vec::new();
+        while let Some((key, row)) = merge.next_row()? {
+            let ts = row.ts(schema)?;
+            if ts < cutoff {
+                continue;
+            }
+            payload.clear();
+            encode_payload(&mut payload, &row, schema);
+            w.add(&key, &payload, ts)?;
+        }
+        if w.row_count() == 0 {
+            drop(w);
+            let _ = self.vfs.remove(&path);
+            return Ok(None);
+        }
+        let (min_ts, max_ts, rows, bytes) = w.finish()?;
+        TableStats::add(&self.stats.bytes_merge_written, bytes);
+        let meta = TabletMeta {
+            id: new_id,
+            min_ts,
+            max_ts,
+            rows,
+            bytes,
+            written_at: now,
+            schema_version: schema.version(),
+            cold: false,
+        };
+        Ok(Some(DiskHandle {
+            reader: Arc::new(TabletReader::new(self.vfs.clone(), path)),
+            meta,
+        }))
+    }
+
+    /// Removes on-disk tablets whose every row has expired (§3.3).
+    /// Returns the number of tablets reclaimed.
+    pub fn ttl_reap(&self, now: Micros) -> Result<usize> {
+        let dead: Vec<DiskHandle> = {
+            let mut st = self.state.lock();
+            let Some(ttl) = st.ttl else { return Ok(0) };
+            if st.merge_running {
+                // A merge may be reading any tablet; wait for the next pass.
+                return Ok(0);
+            }
+            let cutoff = now.saturating_sub(ttl);
+            let (keep, dead): (Vec<_>, Vec<_>) = st
+                .disk
+                .drain(..)
+                .partition(|h| h.meta.max_ts >= cutoff);
+            st.disk = keep;
+            if dead.is_empty() {
+                return Ok(0);
+            }
+            self.save_descriptor_locked(&st)?;
+            dead
+        };
+        for h in &dead {
+            let path = join(&self.dir, &h.meta.file_name());
+            if h.meta.cold {
+                if let Some(cold) = &self.cold_vfs {
+                    let _ = cold.remove(&path);
+                }
+            } else {
+                let _ = self.vfs.remove(&path);
+            }
+        }
+        TableStats::add(&self.stats.tablets_expired, dead.len() as u64);
+        Ok(dead.len())
+    }
+
+    // ------------------------------------------------------------ cold store
+
+    /// Moves every on-disk tablet whose newest row is older than `cutoff`
+    /// to the cold store (§6: "LHAM introduced the idea of moving older
+    /// data in a log-structured system to write-once media... we are
+    /// considering using Amazon S3 as an additional backing store for old
+    /// LittleTable data"). Cold tablets keep serving queries through the
+    /// cold VFS, are excluded from merging, and still expire by TTL.
+    /// Returns the number of tablets migrated.
+    pub fn migrate_to_cold(&self, cutoff: Micros) -> Result<usize> {
+        let cold = self
+            .cold_vfs
+            .clone()
+            .ok_or_else(|| Error::invalid("no cold store configured"))?;
+        // Take the merger's slot so sources cannot be merged away.
+        {
+            let mut st = self.state.lock();
+            if st.merge_running {
+                return Ok(0);
+            }
+            st.merge_running = true;
+        }
+        let result = self.migrate_to_cold_inner(&cold, cutoff);
+        self.state.lock().merge_running = false;
+        result
+    }
+
+    fn migrate_to_cold_inner(&self, cold: &Arc<dyn Vfs>, cutoff: Micros) -> Result<usize> {
+        let candidates: Vec<DiskHandle> = self
+            .state
+            .lock()
+            .disk
+            .iter()
+            .filter(|h| !h.meta.cold && h.meta.max_ts < cutoff)
+            .cloned()
+            .collect();
+        if candidates.is_empty() {
+            return Ok(0);
+        }
+        cold.mkdir_all(&self.dir)?;
+        let mut migrated = Vec::with_capacity(candidates.len());
+        for h in &candidates {
+            let path = join(&self.dir, &h.meta.file_name());
+            let src = self.vfs.open(&path)?;
+            let len = src.len()?;
+            let mut buf = vec![0u8; len as usize];
+            src.read_exact_at(0, &mut buf)?;
+            let mut w = cold.create(&path, len)?;
+            w.append(&buf)?;
+            w.sync()?;
+            let mut meta = h.meta.clone();
+            meta.cold = true;
+            migrated.push(DiskHandle {
+                reader: Arc::new(TabletReader::new(cold.clone(), path)),
+                meta,
+            });
+        }
+        cold.sync_dir(&self.dir)?;
+        // Single descriptor commit flips the tablets to the cold tier,
+        // then the hot copies are reclaimed.
+        let mut st = self.state.lock();
+        for h in &migrated {
+            st.disk.retain(|x| x.meta.id != h.meta.id);
+            st.disk.push(h.clone());
+        }
+        st.sort_disk();
+        self.save_descriptor_locked(&st)?;
+        drop(st);
+        for h in &candidates {
+            let _ = self.vfs.remove(&join(&self.dir, &h.meta.file_name()));
+        }
+        Ok(migrated.len())
+    }
+
+    /// Total compressed bytes of tablets currently in the cold store.
+    pub fn cold_bytes(&self) -> u64 {
+        self.state
+            .lock()
+            .disk
+            .iter()
+            .filter(|h| h.meta.cold)
+            .map(|h| h.meta.bytes)
+            .sum()
+    }
+
+    // ---------------------------------------------------------- schema & ttl
+
+    /// Appends a column to the schema (§3.5). Existing tablets are not
+    /// rewritten; filling tablets are sealed so no tablet mixes schema
+    /// versions.
+    pub fn add_column(&self, col: crate::schema::ColumnDef) -> Result<()> {
+        let mut st = self.state.lock();
+        let new_schema = st.schema.add_column(col)?;
+        self.install_schema_locked(&mut st, new_schema)
+    }
+
+    /// Widens an `int32` column to `int64` (§3.5).
+    pub fn widen_column(&self, name: &str) -> Result<()> {
+        let mut st = self.state.lock();
+        let new_schema = st.schema.widen_column(name)?;
+        self.install_schema_locked(&mut st, new_schema)
+    }
+
+    fn install_schema_locked(&self, st: &mut TableState, new_schema: Schema) -> Result<()> {
+        let ids: Vec<MemTabletId> = st.filling.values().map(|t| t.id()).collect();
+        for id in ids {
+            if st.filling.values().any(|t| t.id() == id) {
+                self.seal_locked(st, id);
+            }
+        }
+        st.schema = Arc::new(new_schema);
+        self.save_descriptor_locked(st)
+    }
+
+    /// Changes the table's TTL (§3.5).
+    pub fn set_ttl(&self, ttl: Option<Micros>) -> Result<()> {
+        let mut st = self.state.lock();
+        st.ttl = ttl;
+        self.save_descriptor_locked(&st)
+    }
+
+    pub(crate) fn mark_dropped(&self) {
+        self.state.lock().dropped = true;
+    }
+
+    pub(crate) fn dir(&self) -> &str {
+        &self.dir
+    }
+}
+
+/// A streaming query result: rows in key order, filtered by the query's
+/// timestamp bounds and the table's TTL.
+pub struct QueryCursor {
+    merge: MergeCursor,
+    schema: SchemaRef,
+    ts_lo: Micros,
+    ts_hi: Micros,
+    remaining: Option<usize>,
+    server_remaining: usize,
+    more_available: bool,
+    done: bool,
+    scanned: u64,
+    returned: u64,
+    stats: Arc<TableStats>,
+}
+
+impl QueryCursor {
+    /// Produces the next matching row, or `None` at the end.
+    pub fn next_row(&mut self) -> Result<Option<Row>> {
+        if self.done {
+            return Ok(None);
+        }
+        if self.remaining == Some(0) {
+            self.done = true;
+            return Ok(None);
+        }
+        loop {
+            if self.server_remaining == 0 {
+                // The server's own cap: the client sees `more_available`
+                // and re-submits from the last returned key (§3.5).
+                self.more_available = true;
+                self.done = true;
+                return Ok(None);
+            }
+            match self.merge.next_row()? {
+                None => {
+                    self.done = true;
+                    return Ok(None);
+                }
+                Some((_, row)) => {
+                    self.scanned += 1;
+                    let ts = row.ts(&self.schema)?;
+                    if ts < self.ts_lo || ts > self.ts_hi {
+                        continue;
+                    }
+                    self.returned += 1;
+                    self.server_remaining -= 1;
+                    if let Some(r) = &mut self.remaining {
+                        *r -= 1;
+                    }
+                    return Ok(Some(row));
+                }
+            }
+        }
+    }
+
+    /// True when the server row limit cut the result short; re-submit the
+    /// query starting past the last returned key for more.
+    pub fn more_available(&self) -> bool {
+        self.more_available
+    }
+
+    /// Rows examined so far (inside key bounds, before time filtering).
+    pub fn scanned(&self) -> u64 {
+        self.scanned
+    }
+
+    /// Rows returned so far.
+    pub fn returned(&self) -> u64 {
+        self.returned
+    }
+
+    /// The schema rows are returned under.
+    pub fn schema(&self) -> &SchemaRef {
+        &self.schema
+    }
+}
+
+impl Drop for QueryCursor {
+    fn drop(&mut self) {
+        TableStats::add(&self.stats.rows_scanned, self.scanned);
+        TableStats::add(&self.stats.rows_returned, self.returned);
+    }
+}
+
+impl Iterator for QueryCursor {
+    type Item = Result<Row>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.next_row().transpose()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::db::Db;
+    use crate::schema::ColumnDef;
+    use crate::value::ColumnType;
+    use littletable_vfs::{SimClock, SimVfs, MICROS_PER_SEC};
+
+    const SEC: Micros = MICROS_PER_SEC;
+    const START: Micros = 1_700_000_000 * MICROS_PER_SEC;
+
+    fn usage_schema() -> Schema {
+        Schema::new(
+            vec![
+                ColumnDef::new("network", ColumnType::I64),
+                ColumnDef::new("device", ColumnType::I64),
+                ColumnDef::new("ts", ColumnType::Timestamp),
+                ColumnDef::new("bytes", ColumnType::I64),
+            ],
+            &["network", "device", "ts"],
+        )
+        .unwrap()
+    }
+
+    fn test_db(opts: Options) -> (Db, SimVfs, SimClock) {
+        let clock = SimClock::new(START);
+        let vfs = SimVfs::instant();
+        // Share the clock between the engine and the test driver.
+        let db = Db::open(
+            Arc::new(vfs.clone()),
+            Arc::new(clock.clone()),
+            opts,
+        )
+        .unwrap();
+        (db, vfs, clock)
+    }
+
+    fn usage_row(net: i64, dev: i64, ts: Micros, bytes: i64) -> Vec<Value> {
+        vec![
+            Value::I64(net),
+            Value::I64(dev),
+            Value::Timestamp(ts),
+            Value::I64(bytes),
+        ]
+    }
+
+    #[test]
+    fn insert_and_query_from_memory() {
+        let (db, _, clock) = test_db(Options::small_for_tests());
+        let t = db.create_table("usage", usage_schema(), None).unwrap();
+        let now = clock.now_micros();
+        let r = t
+            .insert(vec![
+                usage_row(1, 1, now, 100),
+                usage_row(1, 2, now, 200),
+                usage_row(2, 1, now, 300),
+            ])
+            .unwrap();
+        assert_eq!(r.inserted, 3);
+        // All rows, key order.
+        let rows = t.query_all(&Query::all()).unwrap();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].values[3], Value::I64(100));
+        // Prefix query: network 1 only.
+        let rows = t
+            .query_all(&Query::all().with_prefix(vec![Value::I64(1)]))
+            .unwrap();
+        assert_eq!(rows.len(), 2);
+    }
+
+    #[test]
+    fn query_after_flush_and_mixed() {
+        let (db, _, clock) = test_db(Options::small_for_tests());
+        let t = db.create_table("usage", usage_schema(), None).unwrap();
+        let now = clock.now_micros();
+        for i in 0..100 {
+            t.insert(vec![usage_row(1, i, now + i, i)]).unwrap();
+        }
+        t.flush_all().unwrap();
+        assert!(t.num_disk_tablets() >= 1);
+        // More rows into memory.
+        for i in 100..150 {
+            t.insert(vec![usage_row(1, i, now + i, i)]).unwrap();
+        }
+        let rows = t.query_all(&Query::all()).unwrap();
+        assert_eq!(rows.len(), 150);
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(row.values[1], Value::I64(i as i64));
+        }
+    }
+
+    #[test]
+    fn duplicate_keys_are_rejected() {
+        let (db, _, clock) = test_db(Options::small_for_tests());
+        let t = db.create_table("usage", usage_schema(), None).unwrap();
+        let now = clock.now_micros();
+        let r = t.insert(vec![usage_row(1, 1, now, 100)]).unwrap();
+        assert_eq!(r.inserted, 1);
+        // Same key from memory.
+        let r = t.insert(vec![usage_row(1, 1, now, 999)]).unwrap();
+        assert_eq!(r.duplicates, 1);
+        // Same key after flush (slow path through disk).
+        t.flush_all().unwrap();
+        let r = t.insert(vec![usage_row(1, 1, now, 999)]).unwrap();
+        assert_eq!(r.duplicates, 1);
+        // Original value preserved.
+        let rows = t.query_all(&Query::all()).unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].values[3], Value::I64(100));
+    }
+
+    #[test]
+    fn uniqueness_fast_paths_hit() {
+        let (db, _, clock) = test_db(Options::small_for_tests());
+        let t = db.create_table("usage", usage_schema(), None).unwrap();
+        let now = clock.now_micros();
+        // Ascending timestamps: fast path 1.
+        for i in 0..10 {
+            t.insert(vec![usage_row(1, 1, now + i, i)]).unwrap();
+        }
+        assert_eq!(t.stats().snapshot().unique_fast_ts, 10);
+        t.flush_all().unwrap();
+        // Same timestamp, larger key: fast path 2.
+        t.insert(vec![usage_row(9, 9, now + 5, 0)]).unwrap();
+        assert_eq!(t.stats().snapshot().unique_fast_key, 1);
+        // Same timestamp, key in the middle: slow path.
+        t.insert(vec![usage_row(1, 0, now + 5, 0)]).unwrap();
+        assert!(t.stats().snapshot().unique_slow >= 1);
+    }
+
+    #[test]
+    fn ts_bounds_filter_rows() {
+        let (db, _, clock) = test_db(Options::small_for_tests());
+        let t = db.create_table("usage", usage_schema(), None).unwrap();
+        let now = clock.now_micros();
+        for i in 0..100 {
+            t.insert(vec![usage_row(1, 1, now + i * SEC, i)]).unwrap();
+        }
+        let rows = t
+            .query_all(&Query::all().with_ts_range(now + 10 * SEC, now + 20 * SEC))
+            .unwrap();
+        assert_eq!(rows.len(), 10);
+        assert_eq!(rows[0].values[3], Value::I64(10));
+    }
+
+    #[test]
+    fn descending_and_limit() {
+        let (db, _, clock) = test_db(Options::small_for_tests());
+        let t = db.create_table("usage", usage_schema(), None).unwrap();
+        let now = clock.now_micros();
+        for i in 0..20 {
+            t.insert(vec![usage_row(1, i, now, i)]).unwrap();
+        }
+        let rows = t
+            .query_all(&Query::all().descending().with_limit(5))
+            .unwrap();
+        assert_eq!(rows.len(), 5);
+        assert_eq!(rows[0].values[1], Value::I64(19));
+        assert_eq!(rows[4].values[1], Value::I64(15));
+    }
+
+    #[test]
+    fn server_row_limit_sets_more_available() {
+        let mut opts = Options::small_for_tests();
+        opts.server_row_limit = 7;
+        let (db, _, clock) = test_db(opts);
+        let t = db.create_table("usage", usage_schema(), None).unwrap();
+        let now = clock.now_micros();
+        for i in 0..20 {
+            t.insert(vec![usage_row(1, i, now, i)]).unwrap();
+        }
+        let mut cur = t.query(&Query::all()).unwrap();
+        let mut n = 0;
+        while cur.next_row().unwrap().is_some() {
+            n += 1;
+        }
+        assert_eq!(n, 7);
+        assert!(cur.more_available());
+        // Client-style continuation: restart past the last key until the
+        // server stops reporting more.
+        let mut total = n;
+        let mut last_dev = 6i64;
+        loop {
+            let mut cur = t
+                .query(&Query::all().with_key_min(
+                    vec![Value::I64(1), Value::I64(last_dev)],
+                    false,
+                ))
+                .unwrap();
+            while let Some(row) = cur.next_row().unwrap() {
+                total += 1;
+                last_dev = match row.values[1] {
+                    Value::I64(d) => d,
+                    _ => unreachable!(),
+                };
+            }
+            if !cur.more_available() {
+                break;
+            }
+        }
+        assert_eq!(total, 20);
+    }
+
+    #[test]
+    fn latest_finds_most_recent_for_prefix() {
+        let (db, _, clock) = test_db(Options::small_for_tests());
+        let t = db.create_table("usage", usage_schema(), None).unwrap();
+        let now = clock.now_micros();
+        for i in 0..50 {
+            t.insert(vec![usage_row(1, 7, now + i * SEC, i)]).unwrap();
+            t.insert(vec![usage_row(1, 8, now + i * SEC, 1000 + i)])
+                .unwrap();
+        }
+        t.flush_all().unwrap();
+        // Newer rows in memory for device 7 only.
+        t.insert(vec![usage_row(1, 7, now + 100 * SEC, 49_999)])
+            .unwrap();
+        // Full prefix (network, device).
+        let row = t
+            .latest(&[Value::I64(1), Value::I64(7)])
+            .unwrap()
+            .unwrap();
+        assert_eq!(row.values[3], Value::I64(49_999));
+        let row = t
+            .latest(&[Value::I64(1), Value::I64(8)])
+            .unwrap()
+            .unwrap();
+        assert_eq!(row.values[3], Value::I64(1049));
+        // Partial prefix (network): latest across devices.
+        let row = t.latest(&[Value::I64(1)]).unwrap().unwrap();
+        assert_eq!(row.values[3], Value::I64(49_999));
+        // Missing prefix.
+        assert!(t.latest(&[Value::I64(99)]).unwrap().is_none());
+        // Over-long prefix is an error.
+        assert!(t
+            .latest(&[Value::I64(1), Value::I64(1), Value::Timestamp(0)])
+            .is_err());
+    }
+
+    #[test]
+    fn ttl_filters_and_reaps() {
+        let (db, vfs, clock) = test_db(Options::small_for_tests());
+        let ttl = 3600 * SEC;
+        let t = db.create_table("usage", usage_schema(), Some(ttl)).unwrap();
+        let now = clock.now_micros();
+        t.insert(vec![usage_row(1, 1, now, 1)]).unwrap();
+        t.insert(vec![usage_row(1, 2, now + 10 * SEC, 2)]).unwrap();
+        t.flush_all().unwrap();
+        assert_eq!(t.query_all(&Query::all()).unwrap().len(), 2);
+        // Advance past the first row's expiry: it is filtered from results
+        // even before the reaper runs.
+        clock.set(now + ttl + 5 * SEC);
+        assert_eq!(t.query_all(&Query::all()).unwrap().len(), 1);
+        // Advance past both and reap: the tablet file disappears.
+        clock.set(now + ttl + 3600 * SEC);
+        assert_eq!(t.query_all(&Query::all()).unwrap().len(), 0);
+        let files_before = vfs.list_dir("usage").unwrap().len();
+        let reaped = t.ttl_reap(clock.now_micros()).unwrap();
+        assert!(reaped >= 1);
+        assert!(vfs.list_dir("usage").unwrap().len() < files_before);
+    }
+
+    #[test]
+    fn merging_reduces_tablet_count_preserving_rows() {
+        let mut opts = Options::small_for_tests();
+        opts.flush_size = 4 << 10;
+        let (db, _, clock) = test_db(opts);
+        let t = db.create_table("usage", usage_schema(), None).unwrap();
+        let now = clock.now_micros();
+        for i in 0..2000 {
+            t.insert(vec![usage_row(1, i, now + i, i)]).unwrap();
+        }
+        t.flush_all().unwrap();
+        let before = t.num_disk_tablets();
+        assert!(before > 2, "need several tablets, got {before}");
+        while t.run_merge_once(clock.now_micros()).unwrap() {}
+        let after = t.num_disk_tablets();
+        assert!(after < before, "merge should shrink {before} -> {after}");
+        let rows = t.query_all(&Query::all()).unwrap();
+        assert_eq!(rows.len(), 2000);
+        assert!(t.stats().snapshot().merges >= 1);
+    }
+
+    #[test]
+    fn crash_preserves_flushed_prefix() {
+        let (db, vfs, clock) = test_db(Options::small_for_tests());
+        let t = db.create_table("usage", usage_schema(), None).unwrap();
+        let now = clock.now_micros();
+        for i in 0..100 {
+            t.insert(vec![usage_row(1, i, now + i, i)]).unwrap();
+        }
+        t.flush_all().unwrap();
+        for i in 100..200 {
+            t.insert(vec![usage_row(1, i, now + i, i)]).unwrap();
+        }
+        // Crash with rows 100..200 unflushed.
+        vfs.crash();
+        let db2 = Db::open(
+            Arc::new(vfs.clone()),
+            Arc::new(clock.clone()),
+            Options::small_for_tests(),
+        )
+        .unwrap();
+        let t2 = db2.table("usage").unwrap();
+        let rows = t2.query_all(&Query::all()).unwrap();
+        // Exactly the flushed prefix survives, in insertion order by i.
+        assert_eq!(rows.len(), 100);
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(row.values[1], Value::I64(i as i64));
+        }
+    }
+
+    #[test]
+    fn crash_mid_flush_leaves_no_orphans_and_keeps_prefix() {
+        let (db, vfs, clock) = test_db(Options::small_for_tests());
+        let t = db.create_table("usage", usage_schema(), None).unwrap();
+        let now = clock.now_micros();
+        for i in 0..50 {
+            t.insert(vec![usage_row(1, i, now + i, i)]).unwrap();
+        }
+        t.flush_all().unwrap();
+        // Write an orphan tablet file, as if a crash hit between the file
+        // write and the descriptor commit.
+        let mut w = vfs.create("usage/tab-00000000000000ff.lt", 0).unwrap();
+        w.append(b"partial garbage").unwrap();
+        w.sync().unwrap();
+        drop(w);
+        vfs.sync_dir("usage").unwrap();
+        vfs.crash();
+        let db2 = Db::open(
+            Arc::new(vfs.clone()),
+            Arc::new(clock.clone()),
+            Options::small_for_tests(),
+        )
+        .unwrap();
+        assert!(!vfs.exists("usage/tab-00000000000000ff.lt"));
+        let rows = db2.table("usage").unwrap().query_all(&Query::all()).unwrap();
+        assert_eq!(rows.len(), 50);
+    }
+
+    #[test]
+    fn flush_dependencies_preserve_insert_order_across_periods() {
+        // Rows alternate between an old week and the current day, forcing
+        // two filling tablets with interleaved inserts. Sealing either must
+        // drag the other along (they form a dependency cycle), so a crash
+        // can never retain a later row while losing an earlier one.
+        let mut opts = Options::small_for_tests();
+        opts.flush_size = usize::MAX; // no size-based seal
+        let (db, vfs, clock) = test_db(opts.clone());
+        let t = db.create_table("usage", usage_schema(), None).unwrap();
+        let now = clock.now_micros();
+        let old = now - 30 * 24 * 3600 * SEC;
+        for i in 0..10 {
+            t.insert(vec![usage_row(1, i, now + i, i)]).unwrap();
+            t.insert(vec![usage_row(2, i, old + i, i)]).unwrap();
+        }
+        assert_eq!(t.num_filling(), 2);
+        // Age-based seal: both tablets are in one atomic group.
+        clock.advance(opts.flush_age + 1);
+        t.maintain(clock.now_micros()).unwrap();
+        assert_eq!(t.num_filling(), 0);
+        vfs.crash();
+        let db2 = Db::open(
+            Arc::new(vfs.clone()),
+            Arc::new(clock.clone()),
+            opts,
+        )
+        .unwrap();
+        let rows = db2.table("usage").unwrap().query_all(&Query::all()).unwrap();
+        // All or nothing: both tablets committed in one descriptor update.
+        assert_eq!(rows.len(), 20);
+    }
+
+    #[test]
+    fn schema_evolution_end_to_end() {
+        let (db, _, clock) = test_db(Options::small_for_tests());
+        let t = db.create_table("usage", usage_schema(), None).unwrap();
+        let now = clock.now_micros();
+        t.insert(vec![usage_row(1, 1, now, 100)]).unwrap();
+        t.flush_all().unwrap();
+        t.add_column(ColumnDef::with_default(
+            "packets",
+            ColumnType::I64,
+            Value::I64(-1),
+        ))
+        .unwrap();
+        // Old rows (flushed and any memtable) read back with the default.
+        t.insert(vec![vec![
+            Value::I64(1),
+            Value::I64(2),
+            Value::Timestamp(now + 1),
+            Value::I64(200),
+            Value::I64(42),
+        ]])
+        .unwrap();
+        let rows = t.query_all(&Query::all()).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].values[4], Value::I64(-1));
+        assert_eq!(rows[1].values[4], Value::I64(42));
+        // Old-arity inserts now fail.
+        assert!(t.insert(vec![usage_row(1, 3, now + 2, 1)]).is_err());
+    }
+
+    #[test]
+    fn widen_column_end_to_end() {
+        let (db, vfs, clock) = test_db(Options::small_for_tests());
+        let schema = Schema::new(
+            vec![
+                ColumnDef::new("n", ColumnType::I64),
+                ColumnDef::new("ts", ColumnType::Timestamp),
+                ColumnDef::new("count", ColumnType::I32),
+            ],
+            &["n", "ts"],
+        )
+        .unwrap();
+        let t = db.create_table("c", schema, None).unwrap();
+        let now = clock.now_micros();
+        t.insert(vec![vec![
+            Value::I64(1),
+            Value::Timestamp(now),
+            Value::I32(7),
+        ]])
+        .unwrap();
+        t.flush_all().unwrap();
+        t.widen_column("count").unwrap();
+        t.insert(vec![vec![
+            Value::I64(2),
+            Value::Timestamp(now + 1),
+            Value::I64(1 << 40),
+        ]])
+        .unwrap();
+        let rows = t.query_all(&Query::all()).unwrap();
+        assert_eq!(rows[0].values[2], Value::I64(7));
+        assert_eq!(rows[1].values[2], Value::I64(1 << 40));
+        // Schema survives reopen.
+        db.flush_all().unwrap();
+        let db2 = Db::open(
+            Arc::new(vfs.clone()),
+            Arc::new(clock.clone()),
+            Options::small_for_tests(),
+        )
+        .unwrap();
+        let t2 = db2.table("c").unwrap();
+        assert_eq!(t2.schema().columns()[2].ty, ColumnType::I64);
+        assert_eq!(t2.query_all(&Query::all()).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn backlog_forces_inline_flush() {
+        let mut opts = Options::small_for_tests();
+        opts.flush_size = 1 << 10;
+        opts.max_sealed_backlog = 2;
+        let (db, _, clock) = test_db(opts);
+        let t = db.create_table("usage", usage_schema(), None).unwrap();
+        let now = clock.now_micros();
+        for i in 0..5000 {
+            t.insert(vec![usage_row(1, i, now + i, i)]).unwrap();
+        }
+        // Backlog stayed bounded because inserts flushed inline.
+        assert!(t.num_disk_tablets() > 0);
+        let rows = t.query_all(&Query::all()).unwrap();
+        assert_eq!(rows.len(), 5000);
+    }
+
+    #[test]
+    fn db_table_lifecycle() {
+        let (db, vfs, clock) = test_db(Options::small_for_tests());
+        assert!(db.table("missing").is_err());
+        db.create_table("a", usage_schema(), None).unwrap();
+        db.create_table("b", usage_schema(), None).unwrap();
+        assert!(db.create_table("a", usage_schema(), None).is_err());
+        assert!(db.create_table("bad/name", usage_schema(), None).is_err());
+        assert_eq!(db.list_tables(), vec!["a".to_string(), "b".to_string()]);
+        db.drop_table("a").unwrap();
+        assert!(db.table("a").is_err());
+        // Dropped table's files are gone; recreation works.
+        db.create_table("a", usage_schema(), None).unwrap();
+        // Reopen sees both tables.
+        db.flush_all().unwrap();
+        drop(db);
+        let db2 = Db::open(
+            Arc::new(vfs.clone()),
+            Arc::new(clock.clone()),
+            Options::small_for_tests(),
+        )
+        .unwrap();
+        assert_eq!(db2.list_tables(), vec!["a".to_string(), "b".to_string()]);
+    }
+
+    #[test]
+    fn insert_visible_to_subsequent_query_during_flush_window() {
+        // A query started after an insert completes must see the row even
+        // if the row's group is mid-flush (sealed, not yet committed).
+        let mut opts = Options::small_for_tests();
+        opts.flush_size = 1; // every insert seals immediately
+        opts.max_sealed_backlog = usize::MAX; // never inline-flush
+        let (db, _, clock) = test_db(opts);
+        let t = db.create_table("usage", usage_schema(), None).unwrap();
+        let now = clock.now_micros();
+        t.insert(vec![usage_row(1, 1, now, 1)]).unwrap();
+        t.insert(vec![usage_row(1, 2, now + 1, 2)]).unwrap();
+        // Rows are in sealed groups, none flushed.
+        assert_eq!(t.num_disk_tablets(), 0);
+        assert_eq!(t.query_all(&Query::all()).unwrap().len(), 2);
+        while t.flush_next_group().unwrap() {}
+        assert_eq!(t.query_all(&Query::all()).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn scan_ratio_accounts_time_filtering() {
+        let (db, _, clock) = test_db(Options::small_for_tests());
+        let t = db.create_table("usage", usage_schema(), None).unwrap();
+        let now = clock.now_micros();
+        for i in 0..100 {
+            t.insert(vec![usage_row(1, 1, now + i * SEC, i)]).unwrap();
+        }
+        t.flush_all().unwrap();
+        // Key bounds cover all 100 rows of device 1, time bounds only 10:
+        // the cursor scans ~100 and returns 10.
+        let q = Query::all()
+            .with_prefix(vec![Value::I64(1), Value::I64(1)])
+            .with_ts_range(now, now + 10 * SEC);
+        let mut cur = t.query(&q).unwrap();
+        while cur.next_row().unwrap().is_some() {}
+        assert_eq!(cur.returned(), 10);
+        assert!(cur.scanned() >= 10);
+        drop(cur);
+        let snap = t.stats().snapshot();
+        assert_eq!(snap.rows_returned, 10);
+    }
+}
+
+#[cfg(test)]
+mod extension_tests {
+    //! Tests for the paper's proposed extensions implemented here:
+    //! `flush_before` (§4.1.2) and `bulk_delete` (§7).
+
+    use super::*;
+    use crate::db::Db;
+    use crate::schema::ColumnDef;
+    use crate::value::ColumnType;
+    use littletable_vfs::{SimClock, SimVfs, MICROS_PER_SEC};
+
+    const START: Micros = 1_700_000_000_000_000;
+
+    fn usage_schema() -> Schema {
+        Schema::new(
+            vec![
+                ColumnDef::new("customer", ColumnType::I64),
+                ColumnDef::new("device", ColumnType::I64),
+                ColumnDef::new("ts", ColumnType::Timestamp),
+                ColumnDef::new("v", ColumnType::I64),
+            ],
+            &["customer", "device", "ts"],
+        )
+        .unwrap()
+    }
+
+    fn setup() -> (Db, SimVfs, SimClock, Arc<Table>) {
+        let clock = SimClock::new(START);
+        let vfs = SimVfs::instant();
+        let mut opts = Options::small_for_tests();
+        opts.flush_size = 8 << 10;
+        let db = Db::open(
+            Arc::new(vfs.clone()),
+            Arc::new(clock.clone()),
+            opts,
+        )
+        .unwrap();
+        let t = db.create_table("u", usage_schema(), None).unwrap();
+        (db, vfs, clock, t)
+    }
+
+    fn row(c: i64, d: i64, ts: Micros) -> Vec<Value> {
+        vec![
+            Value::I64(c),
+            Value::I64(d),
+            Value::Timestamp(ts),
+            Value::I64(c * 100 + d),
+        ]
+    }
+
+    #[test]
+    fn flush_before_makes_old_rows_durable() {
+        let (_db, vfs, clock, t) = setup();
+        let mut opts = Options::small_for_tests();
+        opts.flush_size = 8 << 10;
+        // Old rows and new rows in separate periods; only the old must
+        // flush.
+        let old_ts = START - 30 * 24 * 3600 * MICROS_PER_SEC;
+        t.insert(vec![row(1, 1, old_ts)]).unwrap();
+        t.insert(vec![row(1, 2, START)]).unwrap();
+        t.flush_before(old_ts + 1).unwrap();
+        // Crash: the old row survives (and, by prefix durability, so does
+        // anything inserted before it — here nothing).
+        vfs.crash();
+        let db2 = Db::open(
+            Arc::new(vfs.clone()),
+            Arc::new(clock.clone()),
+            opts,
+        )
+        .unwrap();
+        let rows = db2.table("u").unwrap().query_all(&Query::all()).unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].values[2], Value::Timestamp(old_ts));
+    }
+
+    #[test]
+    fn flush_before_respects_dependency_closure() {
+        let (_db, vfs, clock, t) = setup();
+        // Interleave inserts across two periods so a dependency cycle
+        // forms; flushing "before" must drag the sibling along, keeping
+        // the prefix guarantee.
+        let old_ts = START - 30 * 24 * 3600 * MICROS_PER_SEC;
+        for i in 0..5 {
+            t.insert(vec![row(1, i, START + i)]).unwrap();
+            t.insert(vec![row(2, i, old_ts + i)]).unwrap();
+        }
+        t.flush_before(old_ts + 10).unwrap();
+        vfs.crash();
+        let db2 = Db::open(
+            Arc::new(vfs.clone()),
+            Arc::new(clock.clone()),
+            Options::small_for_tests(),
+        )
+        .unwrap();
+        // All ten rows survive: the cycle commits atomically.
+        let rows = db2.table("u").unwrap().query_all(&Query::all()).unwrap();
+        assert_eq!(rows.len(), 10);
+    }
+
+    #[test]
+    fn bulk_delete_removes_exactly_the_prefix() {
+        let (_db, _vfs, clock, t) = setup();
+        for c in 1..=3i64 {
+            for d in 1..=4i64 {
+                for k in 0..50 {
+                    t.insert(vec![row(c, d, START + k)]).unwrap();
+                }
+            }
+        }
+        t.flush_all().unwrap();
+        while t.run_merge_once(clock.now_micros()).unwrap() {}
+        // Customer 2 exercises its right to be forgotten.
+        let deleted = t.bulk_delete(&[Value::I64(2)]).unwrap();
+        assert_eq!(deleted, 200);
+        let rows = t.query_all(&Query::all()).unwrap();
+        assert_eq!(rows.len(), 400);
+        assert!(rows.iter().all(|r| r.values[0] != Value::I64(2)));
+        // Narrower prefix: one device of customer 1.
+        let deleted = t.bulk_delete(&[Value::I64(1), Value::I64(3)]).unwrap();
+        assert_eq!(deleted, 50);
+        assert_eq!(t.query_all(&Query::all()).unwrap().len(), 350);
+        // Deleting again is a no-op.
+        assert_eq!(t.bulk_delete(&[Value::I64(2)]).unwrap(), 0);
+    }
+
+    #[test]
+    fn bulk_delete_covers_unflushed_rows_and_survives_restart() {
+        let (_db, vfs, clock, t) = setup();
+        for k in 0..20 {
+            t.insert(vec![row(7, 1, START + k)]).unwrap();
+            t.insert(vec![row(8, 1, START + k)]).unwrap();
+        }
+        // No flush yet: bulk_delete must flush and still remove them.
+        let deleted = t.bulk_delete(&[Value::I64(7)]).unwrap();
+        assert_eq!(deleted, 20);
+        vfs.crash();
+        let db2 = Db::open(
+            Arc::new(vfs.clone()),
+            Arc::new(clock.clone()),
+            Options::small_for_tests(),
+        )
+        .unwrap();
+        let rows = db2.table("u").unwrap().query_all(&Query::all()).unwrap();
+        assert_eq!(rows.len(), 20);
+        assert!(rows.iter().all(|r| r.values[0] == Value::I64(8)));
+    }
+
+    #[test]
+    fn bulk_delete_drops_empty_tablets_and_reclaims_files() {
+        let (_db, vfs, _clock, t) = setup();
+        // One tablet holding only customer 9.
+        for k in 0..100 {
+            t.insert(vec![row(9, 1, START + k)]).unwrap();
+        }
+        t.flush_all().unwrap();
+        let files_before = vfs.list_dir("u").unwrap().len();
+        let deleted = t.bulk_delete(&[Value::I64(9)]).unwrap();
+        assert_eq!(deleted, 100);
+        assert_eq!(t.num_disk_tablets(), 0);
+        assert!(vfs.list_dir("u").unwrap().len() < files_before);
+        assert_eq!(t.query_all(&Query::all()).unwrap().len(), 0);
+        // New inserts for the deleted customer work fine.
+        t.insert(vec![row(9, 1, START + 1000)]).unwrap();
+        assert_eq!(t.query_all(&Query::all()).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn bulk_delete_validates_prefix() {
+        let (_db, _vfs, _clock, t) = setup();
+        assert!(t.bulk_delete(&[]).is_err());
+        assert!(t
+            .bulk_delete(&[Value::I64(1), Value::I64(1), Value::Timestamp(0)])
+            .is_err());
+        assert!(t.bulk_delete(&[Value::Str("wrong type".into())]).is_err());
+    }
+}
+
+#[cfg(test)]
+mod evolution_merge_tests {
+    //! Schema evolution interacting with merges and bulk deletes: merged
+    //! output is written under the newest schema, translating old rows.
+
+    use super::*;
+    use crate::db::Db;
+    use crate::schema::ColumnDef;
+    use crate::value::ColumnType;
+    use littletable_vfs::{Clock as _, SimClock, SimVfs};
+
+    const START: Micros = 1_700_000_000_000_000;
+
+    #[test]
+    fn merge_translates_rows_to_newest_schema() {
+        let clock = SimClock::new(START);
+        let vfs = SimVfs::instant();
+        let db = Db::open(
+            Arc::new(vfs),
+            Arc::new(clock.clone()),
+            Options::small_for_tests(),
+        )
+        .unwrap();
+        let schema = Schema::new(
+            vec![
+                ColumnDef::new("n", ColumnType::I64),
+                ColumnDef::new("ts", ColumnType::Timestamp),
+                ColumnDef::new("c", ColumnType::I32),
+            ],
+            &["n", "ts"],
+        )
+        .unwrap();
+        let t = db.create_table("t", schema, None).unwrap();
+        // Two tablets under schema v1.
+        for chunk in 0..2i64 {
+            for i in 0..100 {
+                let k = chunk * 100 + i;
+                t.insert(vec![vec![
+                    Value::I64(k),
+                    Value::Timestamp(START + k),
+                    Value::I32(k as i32),
+                ]])
+                .unwrap();
+            }
+            t.flush_all().unwrap();
+        }
+        // Evolve twice: widen + append.
+        t.widen_column("c").unwrap();
+        t.add_column(ColumnDef::with_default(
+            "label",
+            ColumnType::Str,
+            Value::Str("old".into()),
+        ))
+        .unwrap();
+        // One more tablet under schema v3.
+        t.insert(vec![vec![
+            Value::I64(200),
+            Value::Timestamp(START + 200),
+            Value::I64(1 << 40),
+            Value::Str("new".into()),
+        ]])
+        .unwrap();
+        t.flush_all().unwrap();
+        assert!(t.num_disk_tablets() >= 3);
+        while t.run_merge_once(clock.now_micros()).unwrap() {}
+        // After merging everything is readable under v3 with translated
+        // values, and the merged tablet's recorded schema is v3.
+        let rows = t.query_all(&Query::all()).unwrap();
+        assert_eq!(rows.len(), 201);
+        assert_eq!(rows[0].values[2], Value::I64(0));
+        assert_eq!(rows[0].values[3], Value::Str("old".into()));
+        assert_eq!(rows[200].values[2], Value::I64(1 << 40));
+        assert_eq!(rows[200].values[3], Value::Str("new".into()));
+        let st = t.state.lock();
+        assert!(st
+            .disk
+            .iter()
+            .any(|h| h.meta.schema_version == 3));
+    }
+
+    #[test]
+    fn bulk_delete_after_evolution_rewrites_under_newest_schema() {
+        let clock = SimClock::new(START);
+        let db = Db::open(
+            Arc::new(SimVfs::instant()),
+            Arc::new(clock.clone()),
+            Options::small_for_tests(),
+        )
+        .unwrap();
+        let schema = Schema::new(
+            vec![
+                ColumnDef::new("cust", ColumnType::I64),
+                ColumnDef::new("ts", ColumnType::Timestamp),
+            ],
+            &["cust", "ts"],
+        )
+        .unwrap();
+        let t = db.create_table("t", schema, None).unwrap();
+        for c in 1..=2i64 {
+            for i in 0..50 {
+                t.insert(vec![vec![Value::I64(c), Value::Timestamp(START + c * 1000 + i)]])
+                    .unwrap();
+            }
+        }
+        t.flush_all().unwrap();
+        t.add_column(ColumnDef::new("extra", ColumnType::I64)).unwrap();
+        let deleted = t.bulk_delete(&[Value::I64(1)]).unwrap();
+        assert_eq!(deleted, 50);
+        let rows = t.query_all(&Query::all()).unwrap();
+        assert_eq!(rows.len(), 50);
+        // Survivors were rewritten with the new column's default.
+        assert!(rows.iter().all(|r| r.values.len() == 3
+            && r.values[0] == Value::I64(2)
+            && r.values[2] == Value::I64(0)));
+    }
+}
+
+#[cfg(test)]
+mod cold_store_tests {
+    //! The §6 cold-tier extension: old tablets move to a write-once
+    //! backing store and keep serving queries from there.
+
+    use super::*;
+    use crate::db::Db;
+    use crate::schema::ColumnDef;
+    use crate::value::ColumnType;
+    use littletable_vfs::{Clock as _, SimClock, SimVfs};
+
+    const START: Micros = 1_700_000_000_000_000;
+    const DAY: Micros = 86_400 * 1_000_000;
+
+    fn schema() -> Schema {
+        Schema::new(
+            vec![
+                ColumnDef::new("n", ColumnType::I64),
+                ColumnDef::new("ts", ColumnType::Timestamp),
+            ],
+            &["n", "ts"],
+        )
+        .unwrap()
+    }
+
+    fn setup() -> (Db, SimVfs, SimVfs, SimClock) {
+        let clock = SimClock::new(START);
+        let hot = SimVfs::instant();
+        let cold = SimVfs::instant();
+        let db = Db::open_with_cold(
+            Arc::new(hot.clone()),
+            Some(Arc::new(cold.clone())),
+            Arc::new(clock.clone()),
+            Options::small_for_tests(),
+        )
+        .unwrap();
+        (db, hot, cold, clock)
+    }
+
+    fn fill(t: &Table, base: Micros, n: i64) {
+        for i in 0..n {
+            t.insert(vec![vec![Value::I64(base / 1000 + i), Value::Timestamp(base + i)]])
+                .unwrap();
+        }
+        t.flush_all().unwrap();
+    }
+
+    #[test]
+    fn old_tablets_migrate_and_keep_serving() {
+        let (db, hot, cold, clock) = setup();
+        let t = db.create_table("t", schema(), None).unwrap();
+        fill(&t, START - 30 * DAY, 200); // old data
+        fill(&t, START, 200); // recent data
+        let migrated = t.migrate_to_cold(START - DAY).unwrap();
+        assert_eq!(migrated, 1);
+        assert!(t.cold_bytes() > 0);
+        // The cold file exists in the cold store, not the hot one.
+        let cold_files = cold.list_dir("t").unwrap();
+        assert_eq!(cold_files.iter().filter(|f| f.ends_with(".lt")).count(), 1);
+        let hot_files = hot.list_dir("t").unwrap();
+        assert_eq!(hot_files.iter().filter(|f| f.ends_with(".lt")).count(), 1);
+        // Queries span both tiers transparently.
+        assert_eq!(t.query_all(&Query::all()).unwrap().len(), 400);
+        // Migration is idempotent.
+        assert_eq!(t.migrate_to_cold(START - DAY).unwrap(), 0);
+        // Cold tablets never merge.
+        assert!(!t.run_merge_once(clock.now_micros()).unwrap());
+    }
+
+    #[test]
+    fn cold_tablets_survive_restart() {
+        let (db, hot, cold, clock) = setup();
+        let t = db.create_table("t", schema(), None).unwrap();
+        fill(&t, START - 30 * DAY, 100);
+        t.migrate_to_cold(START).unwrap();
+        drop(db);
+        let db2 = Db::open_with_cold(
+            Arc::new(hot.clone()),
+            Some(Arc::new(cold.clone())),
+            Arc::new(clock.clone()),
+            Options::small_for_tests(),
+        )
+        .unwrap();
+        let t2 = db2.table("t").unwrap();
+        assert_eq!(t2.query_all(&Query::all()).unwrap().len(), 100);
+        assert!(t2.cold_bytes() > 0);
+        // Opening without a cold store fails loudly rather than serving
+        // partial data.
+        let res = Db::open(
+            Arc::new(hot.clone()),
+            Arc::new(clock.clone()),
+            Options::small_for_tests(),
+        );
+        assert!(res.is_err());
+    }
+
+    #[test]
+    fn ttl_reaps_cold_tablets_from_the_cold_store() {
+        let (db, _hot, cold, clock) = setup();
+        let ttl = 10 * DAY;
+        let t = db.create_table("t", schema(), Some(ttl)).unwrap();
+        fill(&t, START - 30 * DAY, 50);
+        t.migrate_to_cold(START).unwrap();
+        clock.set(START + ttl);
+        let reaped = t.ttl_reap(clock.now_micros()).unwrap();
+        assert_eq!(reaped, 1);
+        let cold_files = cold.list_dir("t").unwrap();
+        assert_eq!(cold_files.iter().filter(|f| f.ends_with(".lt")).count(), 0);
+    }
+
+    #[test]
+    fn migrate_without_cold_store_is_an_error() {
+        let clock = SimClock::new(START);
+        let db = Db::open(
+            Arc::new(SimVfs::instant()),
+            Arc::new(clock.clone()),
+            Options::small_for_tests(),
+        )
+        .unwrap();
+        let t = db.create_table("t", schema(), None).unwrap();
+        assert!(t.migrate_to_cold(START).is_err());
+    }
+
+    #[test]
+    fn drop_table_cleans_both_tiers() {
+        let (db, hot, cold, _clock) = setup();
+        let t = db.create_table("t", schema(), None).unwrap();
+        fill(&t, START - 30 * DAY, 50);
+        t.migrate_to_cold(START).unwrap();
+        db.drop_table("t").unwrap();
+        assert!(hot.list_dir("t").unwrap_or_default().iter().all(|f| !f.ends_with(".lt")));
+        assert!(cold.list_dir("t").unwrap_or_default().iter().all(|f| !f.ends_with(".lt")));
+    }
+}

@@ -1,0 +1,600 @@
+//! On-disk tablets: write-once files of sorted, blocked, compressed rows.
+//!
+//! Layout (§3.2, §3.5 of the paper):
+//!
+//! ```text
+//! [compressed block 0][compressed block 1]…[compressed footer][trailer]
+//! ```
+//!
+//! The footer holds the schema the tablet was written under, its timespan,
+//! row count, optional Bloom filter, and the block index (file offset,
+//! sizes, and last key of every block). The fixed-size trailer at the very
+//! end of the file records the footer's decompressed size and offset — the
+//! paper's "final two words" — plus a compressed size, a CRC, and a magic
+//! number for corruption detection. Reading a cold tablet's footer costs
+//! three seeks: inode, trailer, footer body.
+
+use crate::block::{Block, BlockBuilder};
+use crate::bloom::{BloomBuilder, BloomFilter};
+use crate::error::{Error, Result};
+use crate::keyenc::component_boundaries;
+use crate::schema::Schema;
+use crate::util::{crc32, hash_bytes, put_varint, Reader};
+use littletable_vfs::{Micros, RandomAccessFile, Vfs, WritableFile};
+use parking_lot::Mutex;
+use std::sync::{Arc, OnceLock};
+
+/// Magic number ending every tablet file.
+const TRAILER_MAGIC: u64 = 0x4C54_5441_424C_3031; // "LTTABL01"
+/// Trailer byte size: three u64 words, a u32 CRC, and the magic.
+const TRAILER_LEN: u64 = 8 + 8 + 8 + 4 + 8;
+/// Footer format version.
+const FOOTER_VERSION: u8 = 1;
+
+/// Index entry for one block inside a tablet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockIndexEntry {
+    /// File offset of the compressed block.
+    pub offset: u64,
+    /// Compressed size in bytes.
+    pub compressed_len: u32,
+    /// Uncompressed size in bytes.
+    pub uncompressed_len: u32,
+    /// The last (largest) key in the block.
+    pub last_key: Vec<u8>,
+}
+
+/// The decoded tablet footer.
+#[derive(Debug, Clone)]
+pub struct TabletFooter {
+    /// Schema version the rows were written under.
+    pub schema: Schema,
+    /// Smallest row timestamp in the tablet.
+    pub min_ts: Micros,
+    /// Largest row timestamp in the tablet.
+    pub max_ts: Micros,
+    /// Total number of rows.
+    pub row_count: u64,
+    /// Optional Bloom filter over key prefixes.
+    pub bloom: Option<BloomFilter>,
+    /// Per-block index, in key order.
+    pub blocks: Vec<BlockIndexEntry>,
+}
+
+impl TabletFooter {
+    fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.push(FOOTER_VERSION);
+        self.schema.encode(&mut out);
+        put_varint(&mut out, crate::util::zigzag(self.min_ts));
+        put_varint(&mut out, crate::util::zigzag(self.max_ts));
+        put_varint(&mut out, self.row_count);
+        match &self.bloom {
+            Some(b) => {
+                out.push(1);
+                b.encode(&mut out);
+            }
+            None => out.push(0),
+        }
+        put_varint(&mut out, self.blocks.len() as u64);
+        for b in &self.blocks {
+            put_varint(&mut out, b.offset);
+            put_varint(&mut out, b.compressed_len as u64);
+            put_varint(&mut out, b.uncompressed_len as u64);
+            crate::util::put_len_prefixed(&mut out, &b.last_key);
+        }
+        out
+    }
+
+    fn decode(data: &[u8]) -> Result<TabletFooter> {
+        let mut r = Reader::new(data);
+        let ver = r.u8()?;
+        if ver != FOOTER_VERSION {
+            return Err(Error::corrupt(format!("unknown footer version {ver}")));
+        }
+        let schema = Schema::decode(&mut r)?;
+        let min_ts = crate::util::unzigzag(r.varint()?);
+        let max_ts = crate::util::unzigzag(r.varint()?);
+        let row_count = r.varint()?;
+        let bloom = match r.u8()? {
+            0 => None,
+            1 => Some(BloomFilter::decode(&mut r)?),
+            t => return Err(Error::corrupt(format!("bad bloom tag {t}"))),
+        };
+        let nblocks = r.varint()? as usize;
+        let mut blocks = Vec::with_capacity(nblocks.min(1 << 20));
+        for _ in 0..nblocks {
+            blocks.push(BlockIndexEntry {
+                offset: r.varint()?,
+                compressed_len: r.varint()? as u32,
+                uncompressed_len: r.varint()? as u32,
+                last_key: r.len_prefixed()?.to_vec(),
+            });
+        }
+        if !r.is_empty() {
+            return Err(Error::corrupt("trailing bytes after footer"));
+        }
+        Ok(TabletFooter {
+            schema,
+            min_ts,
+            max_ts,
+            row_count,
+            bloom,
+            blocks,
+        })
+    }
+}
+
+/// Streams sorted rows into a tablet file.
+pub struct TabletWriter {
+    file: Box<dyn WritableFile>,
+    block: BlockBuilder,
+    blocks: Vec<BlockIndexEntry>,
+    block_size: usize,
+    bloom: Option<BloomBuilder>,
+    key_types: Vec<crate::value::ColumnType>,
+    schema: Schema,
+    min_ts: Micros,
+    max_ts: Micros,
+    row_count: u64,
+    offset: u64,
+    last_key: Vec<u8>,
+    scratch: Vec<u8>,
+}
+
+impl TabletWriter {
+    /// Starts a tablet at `file`. `block_size` is the uncompressed block
+    /// target (64 kB in the paper); `with_bloom` enables the Bloom-filter
+    /// extension.
+    pub fn new(
+        file: Box<dyn WritableFile>,
+        schema: Schema,
+        block_size: usize,
+        with_bloom: bool,
+    ) -> Self {
+        TabletWriter {
+            file,
+            block: BlockBuilder::new(),
+            blocks: Vec::new(),
+            block_size,
+            bloom: with_bloom.then(BloomBuilder::new),
+            key_types: schema.key_types(),
+            schema,
+            min_ts: Micros::MAX,
+            max_ts: Micros::MIN,
+            row_count: 0,
+            offset: 0,
+            last_key: Vec::new(),
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Appends a row. Keys must arrive in strictly ascending order.
+    pub fn add(&mut self, key: &[u8], payload: &[u8], ts: Micros) -> Result<()> {
+        if (!self.last_key.is_empty() || self.row_count > 0)
+            && key <= self.last_key.as_slice() {
+                return Err(Error::invalid(
+                    "tablet rows must be written in strictly ascending key order",
+                ));
+            }
+        self.block.add(key, payload);
+        self.row_count += 1;
+        self.min_ts = self.min_ts.min(ts);
+        self.max_ts = self.max_ts.max(ts);
+        self.last_key.clear();
+        self.last_key.extend_from_slice(key);
+        if let Some(bloom) = &mut self.bloom {
+            for &end in &component_boundaries(key, &self.key_types)? {
+                bloom.add_hash(hash_bytes(&key[..end]));
+            }
+        }
+        if self.block.size_estimate() >= self.block_size {
+            self.flush_block()?;
+        }
+        Ok(())
+    }
+
+    fn flush_block(&mut self) -> Result<()> {
+        if self.block.is_empty() {
+            return Ok(());
+        }
+        let last_key = self.block.last_key().to_vec();
+        let raw = self.block.finish();
+        self.scratch.clear();
+        littletable_compress::compress_into(&raw, &mut self.scratch);
+        self.file.append(&self.scratch)?;
+        self.blocks.push(BlockIndexEntry {
+            offset: self.offset,
+            compressed_len: self.scratch.len() as u32,
+            uncompressed_len: raw.len() as u32,
+            last_key,
+        });
+        self.offset += self.scratch.len() as u64;
+        Ok(())
+    }
+
+    /// Number of rows written so far.
+    pub fn row_count(&self) -> u64 {
+        self.row_count
+    }
+
+    /// Bytes written to the file so far (excluding the buffered block).
+    pub fn bytes_written(&self) -> u64 {
+        self.offset
+    }
+
+    /// Finishes the tablet: flushes the last block, writes footer and
+    /// trailer, and syncs. Returns `(min_ts, max_ts, row_count, file_len)`.
+    pub fn finish(mut self) -> Result<(Micros, Micros, u64, u64)> {
+        self.flush_block()?;
+        let footer = TabletFooter {
+            schema: self.schema.clone(),
+            min_ts: self.min_ts,
+            max_ts: self.max_ts,
+            row_count: self.row_count,
+            bloom: self.bloom.take().map(|b| b.build(10)),
+            blocks: std::mem::take(&mut self.blocks),
+        };
+        let raw = footer.encode();
+        let mut compressed = Vec::new();
+        littletable_compress::compress_into(&raw, &mut compressed);
+        let footer_off = self.offset;
+        self.file.append(&compressed)?;
+        let mut trailer = Vec::with_capacity(TRAILER_LEN as usize);
+        trailer.extend_from_slice(&(raw.len() as u64).to_le_bytes());
+        trailer.extend_from_slice(&(compressed.len() as u64).to_le_bytes());
+        trailer.extend_from_slice(&footer_off.to_le_bytes());
+        trailer.extend_from_slice(&crc32(&compressed).to_le_bytes());
+        trailer.extend_from_slice(&TRAILER_MAGIC.to_le_bytes());
+        self.file.append(&trailer)?;
+        self.file.sync()?;
+        let file_len = footer_off + compressed.len() as u64 + TRAILER_LEN;
+        Ok((self.min_ts, self.max_ts, self.row_count, file_len))
+    }
+}
+
+/// A readable on-disk tablet. The footer is loaded lazily on first use and
+/// cached for the lifetime of the reader — LittleTable keeps footers in
+/// memory "almost indefinitely" (§3.2); after a restart they reload on
+/// demand (§3.5).
+pub struct TabletReader {
+    vfs: Arc<dyn Vfs>,
+    path: String,
+    file: Mutex<Option<Arc<dyn RandomAccessFile>>>,
+    footer: OnceLock<TabletFooter>,
+}
+
+impl TabletReader {
+    /// Creates a lazy reader for the tablet at `path`. No I/O happens until
+    /// the footer or a block is first requested.
+    pub fn new(vfs: Arc<dyn Vfs>, path: String) -> Self {
+        TabletReader {
+            vfs,
+            path,
+            file: Mutex::new(None),
+            footer: OnceLock::new(),
+        }
+    }
+
+    /// The tablet's path within the VFS.
+    pub fn path(&self) -> &str {
+        &self.path
+    }
+
+    fn file(&self) -> Result<Arc<dyn RandomAccessFile>> {
+        let mut guard = self.file.lock();
+        if let Some(f) = &*guard {
+            return Ok(f.clone());
+        }
+        let f: Arc<dyn RandomAccessFile> = Arc::from(self.vfs.open(&self.path)?);
+        *guard = Some(f.clone());
+        Ok(f)
+    }
+
+    /// The footer, loading (3 seeks) and caching it on first call.
+    pub fn footer(&self) -> Result<&TabletFooter> {
+        if let Some(f) = self.footer.get() {
+            return Ok(f);
+        }
+        let loaded = self.load_footer()?;
+        Ok(self.footer.get_or_init(|| loaded))
+    }
+
+    /// True when the footer has already been loaded into memory.
+    pub fn footer_cached(&self) -> bool {
+        self.footer.get().is_some()
+    }
+
+    fn load_footer(&self) -> Result<TabletFooter> {
+        let file = self.file()?;
+        let len = file.len()?;
+        if len < TRAILER_LEN {
+            return Err(Error::corrupt("tablet shorter than its trailer"));
+        }
+        let mut trailer = [0u8; TRAILER_LEN as usize];
+        file.read_exact_at(len - TRAILER_LEN, &mut trailer)?;
+        let mut r = Reader::new(&trailer);
+        let uncompressed_len = r.u64()?;
+        let compressed_len = r.u64()?;
+        let footer_off = r.u64()?;
+        let crc = r.u32()?;
+        let magic = r.u64()?;
+        if magic != TRAILER_MAGIC {
+            return Err(Error::corrupt("bad tablet magic"));
+        }
+        if footer_off + compressed_len + TRAILER_LEN != len {
+            return Err(Error::corrupt("tablet trailer geometry mismatch"));
+        }
+        if uncompressed_len > (1 << 31) || compressed_len > (1 << 31) {
+            return Err(Error::corrupt("implausible footer size"));
+        }
+        let mut compressed = vec![0u8; compressed_len as usize];
+        file.read_exact_at(footer_off, &mut compressed)?;
+        if crc32(&compressed) != crc {
+            return Err(Error::corrupt("tablet footer checksum mismatch"));
+        }
+        let raw = littletable_compress::decompress(&compressed, uncompressed_len as usize)?;
+        TabletFooter::decode(&raw)
+    }
+
+    /// Reads and decompresses a *run* of consecutive blocks starting at
+    /// `start`, fetching up to `max_bytes` of compressed data in one
+    /// contiguous read. §3.4.1 of the paper: to spend at most half its
+    /// time seeking, LittleTable must read about 1 MB at a time; merges
+    /// read through tablets with exactly such buffers.
+    pub fn read_block_run(&self, start: usize, max_bytes: usize) -> Result<Vec<Block>> {
+        let (first_off, spans) = {
+            let footer = self.footer()?;
+            if start >= footer.blocks.len() {
+                return Err(Error::corrupt("block index out of range"));
+            }
+            let first_off = footer.blocks[start].offset;
+            let mut spans = Vec::new();
+            let mut total = 0usize;
+            for e in &footer.blocks[start..] {
+                if !spans.is_empty() && total + e.compressed_len as usize > max_bytes {
+                    break;
+                }
+                total += e.compressed_len as usize;
+                spans.push((e.compressed_len as usize, e.uncompressed_len as usize));
+            }
+            (first_off, spans)
+        };
+        let total: usize = spans.iter().map(|(c, _)| c).sum();
+        let file = self.file()?;
+        let mut buf = vec![0u8; total];
+        file.read_exact_at(first_off, &mut buf)?;
+        let mut blocks = Vec::with_capacity(spans.len());
+        let mut off = 0usize;
+        for (clen, ulen) in spans {
+            let raw = littletable_compress::decompress(&buf[off..off + clen], ulen)?;
+            blocks.push(Block::parse(raw)?);
+            off += clen;
+        }
+        Ok(blocks)
+    }
+
+    /// Reads and decompresses block `i`.
+    pub fn read_block(&self, i: usize) -> Result<Block> {
+        let entry = {
+            let footer = self.footer()?;
+            footer
+                .blocks
+                .get(i)
+                .ok_or_else(|| Error::corrupt("block index out of range"))?
+                .clone()
+        };
+        let file = self.file()?;
+        let mut compressed = vec![0u8; entry.compressed_len as usize];
+        file.read_exact_at(entry.offset, &mut compressed)?;
+        let raw = littletable_compress::decompress(&compressed, entry.uncompressed_len as usize)?;
+        Block::parse(raw)
+    }
+
+    /// Index of the first block that could contain `key` (i.e. the first
+    /// block whose last key is ≥ `key`). Returns `num_blocks` when `key` is
+    /// beyond every block.
+    pub fn seek_block(&self, key: &[u8]) -> Result<usize> {
+        let footer = self.footer()?;
+        let blocks = &footer.blocks;
+        let mut lo = 0usize;
+        let mut hi = blocks.len();
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            if blocks[mid].last_key.as_slice() < key {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        Ok(lo)
+    }
+}
+
+impl std::fmt::Debug for TabletReader {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TabletReader")
+            .field("path", &self.path)
+            .field("footer_cached", &self.footer_cached())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::row::{encode_payload, Row};
+    use crate::schema::ColumnDef;
+    use crate::value::{ColumnType, Value};
+    use littletable_vfs::SimVfs;
+
+    fn schema() -> Schema {
+        Schema::new(
+            vec![
+                ColumnDef::new("n", ColumnType::I64),
+                ColumnDef::new("ts", ColumnType::Timestamp),
+                ColumnDef::new("v", ColumnType::Str),
+            ],
+            &["n", "ts"],
+        )
+        .unwrap()
+    }
+
+    fn write_tablet(vfs: &SimVfs, path: &str, n: i64, bloom: bool) -> Schema {
+        let s = schema();
+        let file = vfs.create(path, 0).unwrap();
+        let mut w = TabletWriter::new(file, s.clone(), 4096, bloom);
+        for i in 0..n {
+            let row = Row::new(vec![
+                Value::I64(i),
+                Value::Timestamp(1000 + i),
+                Value::Str(format!("val-{i}")),
+            ]);
+            let key = row.encode_key(&s).unwrap();
+            let mut payload = Vec::new();
+            encode_payload(&mut payload, &row, &s);
+            w.add(&key, &payload, 1000 + i).unwrap();
+        }
+        let (min_ts, max_ts, rows, len) = w.finish().unwrap();
+        assert_eq!(min_ts, 1000);
+        assert_eq!(max_ts, 1000 + n - 1);
+        assert_eq!(rows, n as u64);
+        assert_eq!(len, vfs.file_size(path).unwrap());
+        s
+    }
+
+    #[test]
+    fn write_read_round_trip() {
+        let vfs = SimVfs::instant();
+        let s = write_tablet(&vfs, "t.lt", 500, true);
+        let r = TabletReader::new(Arc::new(vfs), "t.lt".into());
+        let footer = r.footer().unwrap();
+        assert_eq!(footer.row_count, 500);
+        assert!(footer.blocks.len() > 1, "should span multiple blocks");
+        assert_eq!(footer.schema, s);
+        // Read every row back through the blocks.
+        let mut seen = 0i64;
+        for i in 0..footer.blocks.len() {
+            let blk = r.read_block(i).unwrap();
+            for j in 0..blk.len() {
+                let (key, payload) = blk.entry(j).unwrap();
+                let row = crate::row::decode_row(key, payload, &s).unwrap();
+                assert_eq!(row.values[0], Value::I64(seen));
+                seen += 1;
+            }
+        }
+        assert_eq!(seen, 500);
+    }
+
+    #[test]
+    fn out_of_order_add_fails() {
+        let vfs = SimVfs::instant();
+        let s = schema();
+        let mut w = TabletWriter::new(vfs.create("t", 0).unwrap(), s.clone(), 4096, false);
+        w.add(b"bb", b"", 0).unwrap();
+        assert!(w.add(b"aa", b"", 0).is_err());
+        assert!(w.add(b"bb", b"", 0).is_err()); // equal also fails
+    }
+
+    #[test]
+    fn seek_block_locates_keys() {
+        let vfs = SimVfs::instant();
+        let s = write_tablet(&vfs, "t.lt", 1000, false);
+        let r = TabletReader::new(Arc::new(vfs), "t.lt".into());
+        let nblocks = r.footer().unwrap().blocks.len();
+        // A key in the middle must land in a valid block containing it.
+        let row = Row::new(vec![
+            Value::I64(500),
+            Value::Timestamp(1500),
+            Value::Str(String::new()),
+        ]);
+        let key = row.encode_key(&s).unwrap();
+        let bi = r.seek_block(&key).unwrap();
+        assert!(bi < nblocks);
+        let blk = r.read_block(bi).unwrap();
+        let idx = blk.seek_ge(&key).unwrap();
+        let (found, _) = blk.entry(idx).unwrap();
+        assert_eq!(found, key.as_slice());
+        // A key beyond everything seeks past the last block.
+        let big = Row::new(vec![
+            Value::I64(i64::MAX),
+            Value::Timestamp(0),
+            Value::Str(String::new()),
+        ]);
+        assert_eq!(
+            r.seek_block(&big.encode_key(&s).unwrap()).unwrap(),
+            nblocks
+        );
+    }
+
+    #[test]
+    fn bloom_filter_covers_prefixes() {
+        let vfs = SimVfs::instant();
+        let s = write_tablet(&vfs, "t.lt", 100, true);
+        let r = TabletReader::new(Arc::new(vfs), "t.lt".into());
+        let bloom = r.footer().unwrap().bloom.clone().unwrap();
+        // The full prefix (n=50) must be present.
+        let p = crate::keyenc::encode_prefix(&[Value::I64(50)], &s.key_types()).unwrap();
+        assert!(bloom.may_contain(hash_bytes(&p)));
+        // A prefix that never occurred should (almost surely) be absent.
+        let p = crate::keyenc::encode_prefix(&[Value::I64(123_456)], &s.key_types()).unwrap();
+        assert!(!bloom.may_contain(hash_bytes(&p)));
+    }
+
+    #[test]
+    fn corrupt_trailer_is_detected() {
+        let vfs = SimVfs::instant();
+        write_tablet(&vfs, "t.lt", 10, false);
+        // Truncate the file: rewrite without the last byte.
+        let f = vfs.open("t.lt").unwrap();
+        let len = f.len().unwrap();
+        let mut all = vec![0u8; len as usize];
+        f.read_exact_at(0, &mut all).unwrap();
+        let mut w = vfs.create("bad.lt", 0).unwrap();
+        all[len as usize - 10] ^= 0xFF; // flip a magic byte
+        w.append(&all).unwrap();
+        drop(w);
+        let r = TabletReader::new(Arc::new(vfs), "bad.lt".into());
+        assert!(r.footer().is_err());
+    }
+
+    #[test]
+    fn corrupt_footer_checksum_is_detected() {
+        let vfs = SimVfs::instant();
+        write_tablet(&vfs, "t.lt", 10, false);
+        let f = vfs.open("t.lt").unwrap();
+        let len = f.len().unwrap() as usize;
+        let mut all = vec![0u8; len];
+        f.read_exact_at(0, &mut all).unwrap();
+        // Flip a byte inside the footer (just before the trailer).
+        all[len - TRAILER_LEN as usize - 2] ^= 0x01;
+        let mut w = vfs.create("bad.lt", 0).unwrap();
+        w.append(&all).unwrap();
+        drop(w);
+        let r = TabletReader::new(Arc::new(vfs), "bad.lt".into());
+        assert!(matches!(r.footer(), Err(Error::Corrupt(_))));
+    }
+
+    #[test]
+    fn footer_loads_lazily_and_caches() {
+        let vfs = SimVfs::instant();
+        write_tablet(&vfs, "t.lt", 10, false);
+        let r = TabletReader::new(Arc::new(vfs), "t.lt".into());
+        assert!(!r.footer_cached());
+        r.footer().unwrap();
+        assert!(r.footer_cached());
+    }
+
+    #[test]
+    fn empty_tablet_round_trips() {
+        let vfs = SimVfs::instant();
+        let s = schema();
+        let w = TabletWriter::new(vfs.create("e.lt", 0).unwrap(), s, 4096, true);
+        let (_, _, rows, _) = w.finish().unwrap();
+        assert_eq!(rows, 0);
+        let r = TabletReader::new(Arc::new(vfs), "e.lt".into());
+        let footer = r.footer().unwrap();
+        assert_eq!(footer.row_count, 0);
+        assert!(footer.blocks.is_empty());
+    }
+}

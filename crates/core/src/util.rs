@@ -1,0 +1,227 @@
+//! Small encoding helpers shared by the tablet, descriptor, and row codecs.
+
+use crate::error::{Error, Result};
+
+/// Appends a LEB128 varint.
+pub fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+    while v >= 0x80 {
+        out.push((v as u8) | 0x80);
+        v >>= 7;
+    }
+    out.push(v as u8);
+}
+
+/// Zigzag-encodes a signed integer so small magnitudes stay short.
+pub fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+pub fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// A bounds-checked forward reader over a byte slice. All decode paths in
+/// the engine go through this so corrupt input surfaces as [`Error::Corrupt`]
+/// rather than a panic.
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Wraps a slice for reading from the front.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// True when every byte has been consumed.
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// Current read offset.
+    pub fn pos(&self) -> usize {
+        self.pos
+    }
+
+    fn corrupt(what: &str) -> Error {
+        Error::corrupt(format!("unexpected end of input reading {what}"))
+    }
+
+    /// Reads `n` raw bytes.
+    pub fn bytes(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(Self::corrupt("bytes"));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Result<u8> {
+        Ok(self.bytes(1)?[0])
+    }
+
+    /// Reads a little-endian u32.
+    pub fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.bytes(4)?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian u64.
+    pub fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.bytes(8)?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian f64.
+    pub fn f64(&mut self) -> Result<f64> {
+        Ok(f64::from_le_bytes(self.bytes(8)?.try_into().unwrap()))
+    }
+
+    /// Reads a LEB128 varint.
+    pub fn varint(&mut self) -> Result<u64> {
+        let mut v = 0u64;
+        let mut shift = 0u32;
+        loop {
+            let b = self.u8()?;
+            if shift >= 64 {
+                return Err(Error::corrupt("varint overflows u64"));
+            }
+            v |= ((b & 0x7F) as u64) << shift;
+            if b & 0x80 == 0 {
+                return Ok(v);
+            }
+            shift += 7;
+        }
+    }
+
+    /// Reads a varint-length-prefixed byte slice.
+    pub fn len_prefixed(&mut self) -> Result<&'a [u8]> {
+        let n = self.varint()? as usize;
+        self.bytes(n)
+    }
+
+    /// Reads a varint-length-prefixed UTF-8 string.
+    pub fn string(&mut self) -> Result<String> {
+        let b = self.len_prefixed()?;
+        String::from_utf8(b.to_vec()).map_err(|_| Error::corrupt("invalid UTF-8 string"))
+    }
+}
+
+/// Appends a varint-length-prefixed byte slice.
+pub fn put_len_prefixed(out: &mut Vec<u8>, b: &[u8]) {
+    put_varint(out, b.len() as u64);
+    out.extend_from_slice(b);
+}
+
+/// Appends a varint-length-prefixed UTF-8 string.
+pub fn put_string(out: &mut Vec<u8>, s: &str) {
+    put_len_prefixed(out, s.as_bytes());
+}
+
+/// CRC-32 (IEEE 802.3, reflected) used to checksum descriptors and footers.
+pub fn crc32(data: &[u8]) -> u32 {
+    const POLY: u32 = 0xEDB8_8320;
+    let mut crc = !0u32;
+    for &b in data {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (POLY & mask);
+        }
+    }
+    !crc
+}
+
+/// A 64-bit mixing hash (splitmix64 finalizer) for Bloom filters.
+pub fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Hashes a byte string for Bloom-filter use (FNV-1a folded through
+/// [`mix64`]).
+pub fn hash_bytes(data: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in data {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    mix64(h)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varint_round_trips() {
+        for v in [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX] {
+            let mut buf = Vec::new();
+            put_varint(&mut buf, v);
+            let mut r = Reader::new(&buf);
+            assert_eq!(r.varint().unwrap(), v);
+            assert!(r.is_empty());
+        }
+    }
+
+    #[test]
+    fn zigzag_round_trips() {
+        for v in [0i64, 1, -1, 63, -64, i64::MAX, i64::MIN] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+        // Small magnitudes encode small.
+        assert!(zigzag(-1) < 256);
+        assert!(zigzag(100) < 256);
+    }
+
+    #[test]
+    fn reader_detects_truncation() {
+        let mut buf = Vec::new();
+        put_string(&mut buf, "hello");
+        let mut r = Reader::new(&buf[..3]);
+        assert!(r.string().is_err());
+    }
+
+    #[test]
+    fn varint_rejects_overlong() {
+        let buf = [0xFFu8; 11];
+        let mut r = Reader::new(&buf);
+        assert!(r.varint().is_err());
+    }
+
+    #[test]
+    fn crc32_matches_known_vector() {
+        // The canonical IEEE check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn fixed_width_round_trips() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&7u32.to_le_bytes());
+        buf.extend_from_slice(&9u64.to_le_bytes());
+        buf.extend_from_slice(&1.5f64.to_le_bytes());
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.u32().unwrap(), 7);
+        assert_eq!(r.u64().unwrap(), 9);
+        assert_eq!(r.f64().unwrap(), 1.5);
+    }
+
+    #[test]
+    fn hash_bytes_spreads() {
+        let a = hash_bytes(b"network-1/device-1");
+        let b = hash_bytes(b"network-1/device-2");
+        assert_ne!(a, b);
+        assert_ne!(a & 0xFFFF, b & 0xFFFF);
+    }
+}

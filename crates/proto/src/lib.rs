@@ -1,0 +1,19 @@
+//! Wire protocol for the LittleTable client/server boundary.
+//!
+//! The paper's clients speak to the server over a persistent TCP
+//! connection through an SQLite virtual-table adaptor (§3.1); this crate
+//! defines the equivalent protocol for our server and client adaptor:
+//! length-prefixed frames carrying tagged requests and responses.
+//!
+//! Framing: `[len: u32 LE][payload]`, with `payload[0]` a message tag.
+//! Values are tagged with their column type so heterogeneous key prefixes
+//! decode without schema context.
+
+#![warn(missing_docs)]
+
+pub mod frame;
+pub mod message;
+pub mod valuecodec;
+
+pub use frame::{read_frame, write_frame, MAX_FRAME_LEN};
+pub use message::{ErrorKind, Request, Response};

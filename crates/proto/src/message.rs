@@ -1,0 +1,675 @@
+//! Request and response messages.
+
+use crate::valuecodec::{
+    get_query, get_rows, get_tagged_value, get_values, put_query, put_rows, put_tagged_value,
+    put_values,
+};
+use littletable_core::error::{Error, Result};
+use littletable_core::query::Query;
+use littletable_core::schema::{ColumnDef, Schema};
+use littletable_core::util::{put_string, put_varint, unzigzag, zigzag, Reader};
+use littletable_core::value::{ColumnType, Value};
+use littletable_vfs::Micros;
+
+/// Client → server messages.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// List table names.
+    ListTables,
+    /// Fetch a table's schema and TTL.
+    GetSchema {
+        /// Table name.
+        table: String,
+    },
+    /// Create a table.
+    CreateTable {
+        /// Table name.
+        table: String,
+        /// Schema.
+        schema: Schema,
+        /// Optional row TTL in micros.
+        ttl: Option<Micros>,
+    },
+    /// Drop a table and delete its data.
+    DropTable {
+        /// Table name.
+        table: String,
+    },
+    /// Append a column (§3.5).
+    AddColumn {
+        /// Table name.
+        table: String,
+        /// New column.
+        column: ColumnDef,
+    },
+    /// Widen an `int32` column to `int64` (§3.5).
+    WidenColumn {
+        /// Table name.
+        table: String,
+        /// Column name.
+        column: String,
+    },
+    /// Change a table's TTL.
+    SetTtl {
+        /// Table name.
+        table: String,
+        /// New TTL, or `None` for unlimited.
+        ttl: Option<Micros>,
+    },
+    /// Insert a batch of rows.
+    Insert {
+        /// Table name.
+        table: String,
+        /// Full rows in schema order.
+        rows: Vec<Vec<Value>>,
+        /// When true the server overwrites each row's `ts` column with its
+        /// current time (§3.1: clients may omit timestamps).
+        server_sets_ts: bool,
+    },
+    /// Run a bounded query.
+    Query {
+        /// Table name.
+        table: String,
+        /// The bounding box, direction, and limit.
+        query: Query,
+    },
+    /// Find the most recent row for a key prefix (§3.4.5).
+    Latest {
+        /// Table name.
+        table: String,
+        /// Strict prefix of the key columns.
+        prefix: Vec<Value>,
+    },
+    /// Liveness check.
+    Ping,
+    /// Fetch a table's operational counters.
+    Stats {
+        /// Table name.
+        table: String,
+    },
+}
+
+/// Error categories carried over the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// No such table.
+    NoSuchTable,
+    /// Table already exists.
+    TableExists,
+    /// Malformed request or row.
+    Invalid,
+    /// Unsupported schema change.
+    SchemaChange,
+    /// Anything else (I/O, corruption).
+    Internal,
+}
+
+impl ErrorKind {
+    fn tag(self) -> u8 {
+        match self {
+            ErrorKind::NoSuchTable => 0,
+            ErrorKind::TableExists => 1,
+            ErrorKind::Invalid => 2,
+            ErrorKind::SchemaChange => 3,
+            ErrorKind::Internal => 4,
+        }
+    }
+
+    fn from_tag(t: u8) -> Result<Self> {
+        Ok(match t {
+            0 => ErrorKind::NoSuchTable,
+            1 => ErrorKind::TableExists,
+            2 => ErrorKind::Invalid,
+            3 => ErrorKind::SchemaChange,
+            4 => ErrorKind::Internal,
+            t => return Err(Error::corrupt(format!("bad error kind {t}"))),
+        })
+    }
+
+    /// Classifies an engine error for the wire.
+    pub fn of(e: &Error) -> Self {
+        match e {
+            Error::NoSuchTable(_) => ErrorKind::NoSuchTable,
+            Error::TableExists(_) => ErrorKind::TableExists,
+            Error::Invalid(_) | Error::DuplicateKey(_) => ErrorKind::Invalid,
+            Error::SchemaChange(_) => ErrorKind::SchemaChange,
+            _ => ErrorKind::Internal,
+        }
+    }
+}
+
+/// Server → client messages.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Success with no payload.
+    Ok,
+    /// Failure.
+    Error {
+        /// Category.
+        kind: ErrorKind,
+        /// Human-readable description.
+        message: String,
+    },
+    /// Table names.
+    Tables {
+        /// Sorted names.
+        names: Vec<String>,
+    },
+    /// A table's schema and TTL.
+    SchemaInfo {
+        /// Current schema.
+        schema: Schema,
+        /// Row TTL.
+        ttl: Option<Micros>,
+    },
+    /// Insert outcome.
+    InsertResult {
+        /// Rows accepted.
+        inserted: u64,
+        /// Rows rejected as duplicate keys.
+        duplicates: u64,
+    },
+    /// Query results (one response per query; the server caps row count
+    /// and sets `more_available` when it does, §3.5).
+    Rows {
+        /// Matching rows in requested order.
+        rows: Vec<Vec<Value>>,
+        /// True when the server row limit truncated the result.
+        more_available: bool,
+    },
+    /// Latest-row result.
+    LatestRow {
+        /// The row, if any key with the prefix exists.
+        row: Option<Vec<Value>>,
+    },
+    /// Liveness reply.
+    Pong,
+    /// A table's operational counters (subset of the engine's
+    /// `StatsSnapshot` that operators watch: §5.2's metrics).
+    Stats {
+        /// Rows accepted by inserts.
+        rows_inserted: u64,
+        /// Rows rejected as duplicates.
+        duplicate_keys: u64,
+        /// Rows scanned by queries.
+        rows_scanned: u64,
+        /// Rows returned by queries.
+        rows_returned: u64,
+        /// Tablets flushed.
+        tablets_flushed: u64,
+        /// Merge operations.
+        merges: u64,
+        /// On-disk tablet count right now.
+        disk_tablets: u64,
+        /// On-disk bytes right now.
+        disk_bytes: u64,
+    },
+}
+
+fn put_opt_micros(out: &mut Vec<u8>, v: Option<Micros>) {
+    match v {
+        None => out.push(0),
+        Some(m) => {
+            out.push(1);
+            put_varint(out, zigzag(m));
+        }
+    }
+}
+
+fn get_opt_micros(r: &mut Reader<'_>) -> Result<Option<Micros>> {
+    match r.u8()? {
+        0 => Ok(None),
+        1 => Ok(Some(unzigzag(r.varint()?))),
+        t => Err(Error::corrupt(format!("bad optional tag {t}"))),
+    }
+}
+
+fn put_column(out: &mut Vec<u8>, c: &ColumnDef) {
+    put_string(out, &c.name);
+    out.push(c.ty.tag());
+    put_tagged_value(out, &c.default);
+}
+
+fn get_column(r: &mut Reader<'_>) -> Result<ColumnDef> {
+    let name = r.string()?;
+    let ty = ColumnType::from_tag(r.u8()?)?;
+    let default = get_tagged_value(r)?;
+    if !default.fits(ty) {
+        return Err(Error::corrupt("column default has wrong type"));
+    }
+    Ok(ColumnDef { name, ty, default })
+}
+
+impl Request {
+    /// Serializes the request into a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Request::ListTables => out.push(0),
+            Request::GetSchema { table } => {
+                out.push(1);
+                put_string(&mut out, table);
+            }
+            Request::CreateTable { table, schema, ttl } => {
+                out.push(2);
+                put_string(&mut out, table);
+                schema.encode(&mut out);
+                put_opt_micros(&mut out, *ttl);
+            }
+            Request::DropTable { table } => {
+                out.push(3);
+                put_string(&mut out, table);
+            }
+            Request::AddColumn { table, column } => {
+                out.push(4);
+                put_string(&mut out, table);
+                put_column(&mut out, column);
+            }
+            Request::WidenColumn { table, column } => {
+                out.push(5);
+                put_string(&mut out, table);
+                put_string(&mut out, column);
+            }
+            Request::SetTtl { table, ttl } => {
+                out.push(6);
+                put_string(&mut out, table);
+                put_opt_micros(&mut out, *ttl);
+            }
+            Request::Insert {
+                table,
+                rows,
+                server_sets_ts,
+            } => {
+                out.push(7);
+                put_string(&mut out, table);
+                out.push(*server_sets_ts as u8);
+                put_rows(&mut out, rows);
+            }
+            Request::Query { table, query } => {
+                out.push(8);
+                put_string(&mut out, table);
+                put_query(&mut out, query);
+            }
+            Request::Latest { table, prefix } => {
+                out.push(9);
+                put_string(&mut out, table);
+                put_values(&mut out, prefix);
+            }
+            Request::Ping => out.push(10),
+            Request::Stats { table } => {
+                out.push(11);
+                put_string(&mut out, table);
+            }
+        }
+        out
+    }
+
+    /// Parses a frame payload.
+    pub fn decode(payload: &[u8]) -> Result<Request> {
+        let mut r = Reader::new(payload);
+        let tag = r.u8()?;
+        let req = match tag {
+            0 => Request::ListTables,
+            1 => Request::GetSchema { table: r.string()? },
+            2 => Request::CreateTable {
+                table: r.string()?,
+                schema: Schema::decode(&mut r)?,
+                ttl: get_opt_micros(&mut r)?,
+            },
+            3 => Request::DropTable { table: r.string()? },
+            4 => Request::AddColumn {
+                table: r.string()?,
+                column: get_column(&mut r)?,
+            },
+            5 => Request::WidenColumn {
+                table: r.string()?,
+                column: r.string()?,
+            },
+            6 => Request::SetTtl {
+                table: r.string()?,
+                ttl: get_opt_micros(&mut r)?,
+            },
+            7 => {
+                let table = r.string()?;
+                let server_sets_ts = r.u8()? != 0;
+                Request::Insert {
+                    table,
+                    rows: get_rows(&mut r)?,
+                    server_sets_ts,
+                }
+            }
+            8 => Request::Query {
+                table: r.string()?,
+                query: get_query(&mut r)?,
+            },
+            9 => Request::Latest {
+                table: r.string()?,
+                prefix: get_values(&mut r)?,
+            },
+            10 => Request::Ping,
+            11 => Request::Stats { table: r.string()? },
+            t => return Err(Error::corrupt(format!("unknown request tag {t}"))),
+        };
+        if !r.is_empty() {
+            return Err(Error::corrupt("trailing bytes after request"));
+        }
+        Ok(req)
+    }
+}
+
+impl Response {
+    /// Serializes the response into a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Response::Ok => out.push(0),
+            Response::Error { kind, message } => {
+                out.push(1);
+                out.push(kind.tag());
+                put_string(&mut out, message);
+            }
+            Response::Tables { names } => {
+                out.push(2);
+                put_varint(&mut out, names.len() as u64);
+                for n in names {
+                    put_string(&mut out, n);
+                }
+            }
+            Response::SchemaInfo { schema, ttl } => {
+                out.push(3);
+                schema.encode(&mut out);
+                put_opt_micros(&mut out, *ttl);
+            }
+            Response::InsertResult {
+                inserted,
+                duplicates,
+            } => {
+                out.push(4);
+                put_varint(&mut out, *inserted);
+                put_varint(&mut out, *duplicates);
+            }
+            Response::Rows {
+                rows,
+                more_available,
+            } => {
+                out.push(5);
+                out.push(*more_available as u8);
+                put_rows(&mut out, rows);
+            }
+            Response::LatestRow { row } => {
+                out.push(6);
+                match row {
+                    None => out.push(0),
+                    Some(values) => {
+                        out.push(1);
+                        put_values(&mut out, values);
+                    }
+                }
+            }
+            Response::Pong => out.push(7),
+            Response::Stats {
+                rows_inserted,
+                duplicate_keys,
+                rows_scanned,
+                rows_returned,
+                tablets_flushed,
+                merges,
+                disk_tablets,
+                disk_bytes,
+            } => {
+                out.push(8);
+                for v in [
+                    rows_inserted,
+                    duplicate_keys,
+                    rows_scanned,
+                    rows_returned,
+                    tablets_flushed,
+                    merges,
+                    disk_tablets,
+                    disk_bytes,
+                ] {
+                    put_varint(&mut out, *v);
+                }
+            }
+        }
+        out
+    }
+
+    /// Parses a frame payload.
+    pub fn decode(payload: &[u8]) -> Result<Response> {
+        let mut r = Reader::new(payload);
+        let tag = r.u8()?;
+        let resp = match tag {
+            0 => Response::Ok,
+            1 => Response::Error {
+                kind: ErrorKind::from_tag(r.u8()?)?,
+                message: r.string()?,
+            },
+            2 => {
+                let n = r.varint()? as usize;
+                if n > 1 << 20 {
+                    return Err(Error::corrupt("implausible table count"));
+                }
+                let mut names = Vec::with_capacity(n);
+                for _ in 0..n {
+                    names.push(r.string()?);
+                }
+                Response::Tables { names }
+            }
+            3 => Response::SchemaInfo {
+                schema: Schema::decode(&mut r)?,
+                ttl: get_opt_micros(&mut r)?,
+            },
+            4 => Response::InsertResult {
+                inserted: r.varint()?,
+                duplicates: r.varint()?,
+            },
+            5 => {
+                let more_available = r.u8()? != 0;
+                Response::Rows {
+                    rows: get_rows(&mut r)?,
+                    more_available,
+                }
+            }
+            6 => Response::LatestRow {
+                row: match r.u8()? {
+                    0 => None,
+                    1 => Some(get_values(&mut r)?),
+                    t => return Err(Error::corrupt(format!("bad row tag {t}"))),
+                },
+            },
+            7 => Response::Pong,
+            8 => Response::Stats {
+                rows_inserted: r.varint()?,
+                duplicate_keys: r.varint()?,
+                rows_scanned: r.varint()?,
+                rows_returned: r.varint()?,
+                tablets_flushed: r.varint()?,
+                merges: r.varint()?,
+                disk_tablets: r.varint()?,
+                disk_bytes: r.varint()?,
+            },
+            t => return Err(Error::corrupt(format!("unknown response tag {t}"))),
+        };
+        if !r.is_empty() {
+            return Err(Error::corrupt("trailing bytes after response"));
+        }
+        Ok(resp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Schema {
+        Schema::new(
+            vec![
+                ColumnDef::new("n", ColumnType::I64),
+                ColumnDef::new("ts", ColumnType::Timestamp),
+                ColumnDef::new("v", ColumnType::Str),
+            ],
+            &["n", "ts"],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        let reqs = vec![
+            Request::ListTables,
+            Request::GetSchema { table: "t".into() },
+            Request::CreateTable {
+                table: "t".into(),
+                schema: schema(),
+                ttl: Some(3_600_000_000),
+            },
+            Request::DropTable { table: "t".into() },
+            Request::AddColumn {
+                table: "t".into(),
+                column: ColumnDef::with_default("x", ColumnType::I64, Value::I64(-1)),
+            },
+            Request::WidenColumn {
+                table: "t".into(),
+                column: "x".into(),
+            },
+            Request::SetTtl {
+                table: "t".into(),
+                ttl: None,
+            },
+            Request::Insert {
+                table: "t".into(),
+                rows: vec![vec![
+                    Value::I64(1),
+                    Value::Timestamp(2),
+                    Value::Str("a".into()),
+                ]],
+                server_sets_ts: true,
+            },
+            Request::Query {
+                table: "t".into(),
+                query: Query::all().with_limit(10).descending(),
+            },
+            Request::Latest {
+                table: "t".into(),
+                prefix: vec![Value::I64(1)],
+            },
+            Request::Ping,
+            Request::Stats { table: "t".into() },
+        ];
+        for req in reqs {
+            let enc = req.encode();
+            assert_eq!(Request::decode(&enc).unwrap(), req, "{req:?}");
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let resps = vec![
+            Response::Ok,
+            Response::Error {
+                kind: ErrorKind::NoSuchTable,
+                message: "no such table: t".into(),
+            },
+            Response::Tables {
+                names: vec!["a".into(), "b".into()],
+            },
+            Response::SchemaInfo {
+                schema: schema(),
+                ttl: Some(1),
+            },
+            Response::InsertResult {
+                inserted: 10,
+                duplicates: 2,
+            },
+            Response::Rows {
+                rows: vec![vec![
+                    Value::I64(1),
+                    Value::Timestamp(2),
+                    Value::Str("x".into()),
+                ]],
+                more_available: true,
+            },
+            Response::LatestRow { row: None },
+            Response::LatestRow {
+                row: Some(vec![Value::I64(1)]),
+            },
+            Response::Pong,
+            Response::Stats {
+                rows_inserted: 1,
+                duplicate_keys: 2,
+                rows_scanned: 3,
+                rows_returned: 4,
+                tablets_flushed: 5,
+                merges: 6,
+                disk_tablets: 7,
+                disk_bytes: 8,
+            },
+        ];
+        for resp in resps {
+            let enc = resp.encode();
+            assert_eq!(Response::decode(&enc).unwrap(), resp, "{resp:?}");
+        }
+    }
+
+    #[test]
+    fn garbage_is_rejected_without_panic() {
+        assert!(Request::decode(&[]).is_err());
+        assert!(Request::decode(&[99]).is_err());
+        assert!(Response::decode(&[99]).is_err());
+        let mut enc = Request::Ping.encode();
+        enc.push(0); // trailing byte
+        assert!(Request::decode(&enc).is_err());
+    }
+
+    #[test]
+    fn error_kind_classification() {
+        assert_eq!(
+            ErrorKind::of(&Error::NoSuchTable("x".into())),
+            ErrorKind::NoSuchTable
+        );
+        assert_eq!(
+            ErrorKind::of(&Error::corrupt("bad")),
+            ErrorKind::Internal
+        );
+        assert_eq!(
+            ErrorKind::of(&Error::invalid("bad")),
+            ErrorKind::Invalid
+        );
+    }
+}
+
+#[cfg(test)]
+mod fuzz_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Decoders must reject — never panic on — arbitrary bytes.
+        #[test]
+        fn prop_decode_never_panics(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+            let _ = Request::decode(&data);
+            let _ = Response::decode(&data);
+        }
+
+        /// Mutating any single byte of a valid frame either still decodes
+        /// (benign field change) or errors — never panics.
+        #[test]
+        fn prop_bitflip_never_panics(pos in 0usize..64, flip in 1u8..=255) {
+            let req = Request::Insert {
+                table: "usage_by_device".into(),
+                rows: vec![vec![
+                    Value::I64(1),
+                    Value::Timestamp(1_700_000_000_000_000),
+                    Value::Str("payload".into()),
+                ]],
+                server_sets_ts: false,
+            };
+            let mut enc = req.encode();
+            if pos < enc.len() {
+                enc[pos] ^= flip;
+            }
+            let _ = Request::decode(&enc);
+        }
+    }
+}

@@ -1,0 +1,202 @@
+//! Tagged value, row, and query serialization shared by requests and
+//! responses.
+
+use littletable_core::error::{Error, Result};
+use littletable_core::query::{PrefixBound, Query, TsBound};
+use littletable_core::schema::{decode_value, encode_value};
+use littletable_core::util::{put_varint, unzigzag, zigzag, Reader};
+use littletable_core::value::{ColumnType, Value};
+
+/// Appends a type-tagged value.
+pub fn put_tagged_value(out: &mut Vec<u8>, v: &Value) {
+    out.push(v.column_type().tag());
+    encode_value(out, v);
+}
+
+/// Reads a type-tagged value.
+pub fn get_tagged_value(r: &mut Reader<'_>) -> Result<Value> {
+    let ty = ColumnType::from_tag(r.u8()?)?;
+    decode_value(r, ty)
+}
+
+/// Appends a list of tagged values (one row or key prefix).
+pub fn put_values(out: &mut Vec<u8>, values: &[Value]) {
+    put_varint(out, values.len() as u64);
+    for v in values {
+        put_tagged_value(out, v);
+    }
+}
+
+/// Reads a list of tagged values.
+pub fn get_values(r: &mut Reader<'_>) -> Result<Vec<Value>> {
+    let n = r.varint()? as usize;
+    if n > 1 << 20 {
+        return Err(Error::corrupt("implausible value count"));
+    }
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(get_tagged_value(r)?);
+    }
+    Ok(out)
+}
+
+/// Appends a list of rows.
+pub fn put_rows(out: &mut Vec<u8>, rows: &[Vec<Value>]) {
+    put_varint(out, rows.len() as u64);
+    for row in rows {
+        put_values(out, row);
+    }
+}
+
+/// Reads a list of rows.
+pub fn get_rows(r: &mut Reader<'_>) -> Result<Vec<Vec<Value>>> {
+    let n = r.varint()? as usize;
+    if n > 1 << 24 {
+        return Err(Error::corrupt("implausible row count"));
+    }
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(get_values(r)?);
+    }
+    Ok(out)
+}
+
+fn put_prefix_bound(out: &mut Vec<u8>, b: &Option<PrefixBound>) {
+    match b {
+        None => out.push(0),
+        Some(pb) => {
+            out.push(if pb.inclusive { 2 } else { 1 });
+            put_values(out, &pb.values);
+        }
+    }
+}
+
+fn get_prefix_bound(r: &mut Reader<'_>) -> Result<Option<PrefixBound>> {
+    match r.u8()? {
+        0 => Ok(None),
+        t @ (1 | 2) => Ok(Some(PrefixBound {
+            inclusive: t == 2,
+            values: get_values(r)?,
+        })),
+        t => Err(Error::corrupt(format!("bad prefix bound tag {t}"))),
+    }
+}
+
+fn put_ts_bound(out: &mut Vec<u8>, b: &Option<TsBound>) {
+    match b {
+        None => out.push(0),
+        Some(tb) => {
+            out.push(if tb.inclusive { 2 } else { 1 });
+            put_varint(out, zigzag(tb.ts));
+        }
+    }
+}
+
+fn get_ts_bound(r: &mut Reader<'_>) -> Result<Option<TsBound>> {
+    match r.u8()? {
+        0 => Ok(None),
+        t @ (1 | 2) => Ok(Some(TsBound {
+            inclusive: t == 2,
+            ts: unzigzag(r.varint()?),
+        })),
+        t => Err(Error::corrupt(format!("bad ts bound tag {t}"))),
+    }
+}
+
+/// Serializes a [`Query`].
+pub fn put_query(out: &mut Vec<u8>, q: &Query) {
+    put_prefix_bound(out, &q.key_min);
+    put_prefix_bound(out, &q.key_max);
+    put_ts_bound(out, &q.ts_min);
+    put_ts_bound(out, &q.ts_max);
+    out.push(q.descending as u8);
+    match q.limit {
+        None => out.push(0),
+        Some(n) => {
+            out.push(1);
+            put_varint(out, n as u64);
+        }
+    }
+}
+
+/// Deserializes a [`Query`].
+pub fn get_query(r: &mut Reader<'_>) -> Result<Query> {
+    let key_min = get_prefix_bound(r)?;
+    let key_max = get_prefix_bound(r)?;
+    let ts_min = get_ts_bound(r)?;
+    let ts_max = get_ts_bound(r)?;
+    let descending = r.u8()? != 0;
+    let limit = match r.u8()? {
+        0 => None,
+        1 => Some(r.varint()? as usize),
+        t => return Err(Error::corrupt(format!("bad limit tag {t}"))),
+    };
+    Ok(Query {
+        key_min,
+        key_max,
+        ts_min,
+        ts_max,
+        descending,
+        limit,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn values_round_trip() {
+        let vals = vec![
+            Value::I32(-5),
+            Value::I64(1 << 40),
+            Value::F64(2.5),
+            Value::Timestamp(1_700_000_000_000_000),
+            Value::Str("net\0work".into()),
+            Value::Blob(vec![0, 255, 7]),
+        ];
+        let mut buf = Vec::new();
+        put_values(&mut buf, &vals);
+        let mut r = Reader::new(&buf);
+        assert_eq!(get_values(&mut r).unwrap(), vals);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn rows_round_trip() {
+        let rows = vec![
+            vec![Value::I64(1), Value::Timestamp(2)],
+            vec![Value::I64(3), Value::Timestamp(4)],
+        ];
+        let mut buf = Vec::new();
+        put_rows(&mut buf, &rows);
+        assert_eq!(get_rows(&mut Reader::new(&buf)).unwrap(), rows);
+    }
+
+    #[test]
+    fn queries_round_trip() {
+        let q = Query::all()
+            .with_key_min(vec![Value::I64(1)], true)
+            .with_key_max(vec![Value::I64(9), Value::Str("x".into())], false)
+            .with_ts_range(100, 200)
+            .descending()
+            .with_limit(42);
+        let mut buf = Vec::new();
+        put_query(&mut buf, &q);
+        assert_eq!(get_query(&mut Reader::new(&buf)).unwrap(), q);
+        // And the empty query.
+        let mut buf = Vec::new();
+        put_query(&mut buf, &Query::all());
+        assert_eq!(get_query(&mut Reader::new(&buf)).unwrap(), Query::all());
+    }
+
+    #[test]
+    fn corrupt_input_is_rejected() {
+        let mut buf = Vec::new();
+        put_values(&mut buf, &[Value::I64(5)]);
+        for cut in 0..buf.len() {
+            let mut r = Reader::new(&buf[..cut]);
+            assert!(get_values(&mut r).is_err() || cut == 0);
+        }
+    }
+}

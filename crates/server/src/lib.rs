@@ -1,0 +1,496 @@
+//! The LittleTable server: the engine behind a framed TCP protocol.
+//!
+//! LittleTable runs as an independent server process; clients interact
+//! with it over a persistent TCP connection (§3.1). This crate provides
+//! both the connection-handling server and [`handle_request`], the pure
+//! request dispatcher, which in-process tests and the SQL layer reuse
+//! without a socket.
+
+#![warn(missing_docs)]
+
+use littletable_core::db::Db;
+use littletable_core::error::Error;
+use littletable_core::value::Value;
+use littletable_proto::{read_frame, write_frame, ErrorKind, Request, Response};
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Executes one request against the engine. This is the entire server
+/// semantics; the TCP layer just frames it.
+pub fn handle_request(db: &Db, req: Request) -> Response {
+    match try_handle(db, req) {
+        Ok(resp) => resp,
+        Err(e) => Response::Error {
+            kind: ErrorKind::of(&e),
+            message: e.to_string(),
+        },
+    }
+}
+
+fn try_handle(db: &Db, req: Request) -> littletable_core::Result<Response> {
+    Ok(match req {
+        Request::Ping => Response::Pong,
+        Request::ListTables => Response::Tables {
+            names: db.list_tables(),
+        },
+        Request::GetSchema { table } => {
+            let t = db.table(&table)?;
+            Response::SchemaInfo {
+                schema: (*t.schema()).clone(),
+                ttl: t.ttl(),
+            }
+        }
+        Request::CreateTable { table, schema, ttl } => {
+            db.create_table(&table, schema, ttl)?;
+            Response::Ok
+        }
+        Request::DropTable { table } => {
+            db.drop_table(&table)?;
+            Response::Ok
+        }
+        Request::AddColumn { table, column } => {
+            db.table(&table)?.add_column(column)?;
+            Response::Ok
+        }
+        Request::WidenColumn { table, column } => {
+            db.table(&table)?.widen_column(&column)?;
+            Response::Ok
+        }
+        Request::SetTtl { table, ttl } => {
+            db.table(&table)?.set_ttl(ttl)?;
+            Response::Ok
+        }
+        Request::Insert {
+            table,
+            mut rows,
+            server_sets_ts,
+        } => {
+            let t = db.table(&table)?;
+            if server_sets_ts {
+                // §3.1: a client may omit a row's timestamp, in which case
+                // the server sets it to the current time.
+                let ts_index = t.schema().ts_index();
+                let now = t.now();
+                for row in &mut rows {
+                    if let Some(slot) = row.get_mut(ts_index) {
+                        *slot = Value::Timestamp(now);
+                    } else {
+                        return Err(Error::invalid("row shorter than schema"));
+                    }
+                }
+            }
+            let report = t.insert(rows)?;
+            Response::InsertResult {
+                inserted: report.inserted as u64,
+                duplicates: report.duplicates as u64,
+            }
+        }
+        Request::Query { table, query } => {
+            let t = db.table(&table)?;
+            let mut cur = t.query(&query)?;
+            let mut rows = Vec::new();
+            while let Some(row) = cur.next_row()? {
+                rows.push(row.values);
+            }
+            Response::Rows {
+                rows,
+                more_available: cur.more_available(),
+            }
+        }
+        Request::Latest { table, prefix } => {
+            let t = db.table(&table)?;
+            Response::LatestRow {
+                row: t.latest(&prefix)?.map(|r| r.values),
+            }
+        }
+        Request::Stats { table } => {
+            let t = db.table(&table)?;
+            let s = t.stats().snapshot();
+            Response::Stats {
+                rows_inserted: s.rows_inserted,
+                duplicate_keys: s.duplicate_keys,
+                rows_scanned: s.rows_scanned,
+                rows_returned: s.rows_returned,
+                tablets_flushed: s.tablets_flushed,
+                merges: s.merges,
+                disk_tablets: t.num_disk_tablets() as u64,
+                disk_bytes: t.disk_bytes(),
+            }
+        }
+    })
+}
+
+/// A TCP server wrapping a [`Db`].
+pub struct Server {
+    db: Db,
+    listener: TcpListener,
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds to `addr` (use port 0 for an ephemeral port) without starting
+    /// the accept loop.
+    pub fn bind(db: Db, addr: &str) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        Ok(Server {
+            db,
+            listener,
+            addr,
+            shutdown: Arc::new(AtomicBool::new(false)),
+            accept_thread: None,
+        })
+    }
+
+    /// The bound address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The database this server fronts.
+    pub fn db(&self) -> &Db {
+        &self.db
+    }
+
+    /// Starts accepting connections on a background thread, one handler
+    /// thread per connection (the paper's deployment sees a handful of
+    /// long-lived connections per shard, not thousands).
+    pub fn start(&mut self) -> io::Result<()> {
+        self.listener.set_nonblocking(true)?;
+        let listener = self.listener.try_clone()?;
+        let db = self.db.clone();
+        let shutdown = self.shutdown.clone();
+        let handle = std::thread::Builder::new()
+            .name("littletable-accept".into())
+            .spawn(move || {
+                let mut conns: Vec<JoinHandle<()>> = Vec::new();
+                while !shutdown.load(Ordering::Relaxed) {
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            let db = db.clone();
+                            let shutdown = shutdown.clone();
+                            conns.push(
+                                std::thread::Builder::new()
+                                    .name("littletable-conn".into())
+                                    .spawn(move || {
+                                        let _ = serve_connection(&db, stream, &shutdown);
+                                    })
+                                    .expect("spawn connection thread"),
+                            );
+                        }
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(std::time::Duration::from_millis(5));
+                        }
+                        Err(_) => break,
+                    }
+                    conns.retain(|h| !h.is_finished());
+                }
+                for h in conns {
+                    let _ = h.join();
+                }
+            })?;
+        self.accept_thread = Some(handle);
+        Ok(())
+    }
+
+    /// Stops accepting and waits for the accept loop to finish. Open
+    /// connections end when their clients disconnect or their next read
+    /// fails.
+    pub fn shutdown(&mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        if let Some(h) = self.accept_thread.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn serve_connection(db: &Db, mut stream: TcpStream, shutdown: &AtomicBool) -> io::Result<()> {
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(std::time::Duration::from_millis(200)))?;
+    let mut reader = io::BufReader::new(stream.try_clone()?);
+    loop {
+        if shutdown.load(Ordering::Relaxed) {
+            return Ok(());
+        }
+        let payload = match read_frame(&mut reader) {
+            Ok(Some(p)) => p,
+            Ok(None) => return Ok(()), // client closed cleanly
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock
+                    || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(e) => return Err(e),
+        };
+        let resp = match Request::decode(&payload) {
+            Ok(req) => handle_request(db, req),
+            Err(e) => Response::Error {
+                kind: ErrorKind::Internal,
+                message: format!("malformed request: {e}"),
+            },
+        };
+        write_frame(&mut stream, &resp.encode())?;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use littletable_core::schema::{ColumnDef, Schema};
+    use littletable_core::value::ColumnType;
+    use littletable_core::{Options, Query};
+    use littletable_vfs::{SimClock, SimVfs};
+
+    fn test_db() -> Db {
+        Db::open(
+            Arc::new(SimVfs::instant()),
+            Arc::new(SimClock::new(1_700_000_000_000_000)),
+            Options::small_for_tests(),
+        )
+        .unwrap()
+    }
+
+    fn schema() -> Schema {
+        Schema::new(
+            vec![
+                ColumnDef::new("n", ColumnType::I64),
+                ColumnDef::new("ts", ColumnType::Timestamp),
+                ColumnDef::new("v", ColumnType::I64),
+            ],
+            &["n", "ts"],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn dispatcher_full_flow() {
+        let db = test_db();
+        // Create.
+        let resp = handle_request(
+            &db,
+            Request::CreateTable {
+                table: "t".into(),
+                schema: schema(),
+                ttl: None,
+            },
+        );
+        assert_eq!(resp, Response::Ok);
+        // Duplicate create fails with the right kind.
+        match handle_request(
+            &db,
+            Request::CreateTable {
+                table: "t".into(),
+                schema: schema(),
+                ttl: None,
+            },
+        ) {
+            Response::Error { kind, .. } => assert_eq!(kind, ErrorKind::TableExists),
+            r => panic!("unexpected {r:?}"),
+        }
+        // Insert with explicit timestamps.
+        let resp = handle_request(
+            &db,
+            Request::Insert {
+                table: "t".into(),
+                rows: vec![
+                    vec![Value::I64(1), Value::Timestamp(100), Value::I64(10)],
+                    vec![Value::I64(2), Value::Timestamp(200), Value::I64(20)],
+                ],
+                server_sets_ts: false,
+            },
+        );
+        assert_eq!(
+            resp,
+            Response::InsertResult {
+                inserted: 2,
+                duplicates: 0
+            }
+        );
+        // Insert with a server-stamped timestamp.
+        let resp = handle_request(
+            &db,
+            Request::Insert {
+                table: "t".into(),
+                rows: vec![vec![Value::I64(3), Value::Timestamp(0), Value::I64(30)]],
+                server_sets_ts: true,
+            },
+        );
+        assert!(matches!(resp, Response::InsertResult { inserted: 1, .. }));
+        // Query everything.
+        match handle_request(
+            &db,
+            Request::Query {
+                table: "t".into(),
+                query: Query::all(),
+            },
+        ) {
+            Response::Rows {
+                rows,
+                more_available,
+            } => {
+                assert_eq!(rows.len(), 3);
+                assert!(!more_available);
+                // The stamped row carries the engine clock's time.
+                assert_eq!(rows[2][1], Value::Timestamp(1_700_000_000_000_000));
+            }
+            r => panic!("unexpected {r:?}"),
+        }
+        // Latest for prefix.
+        match handle_request(
+            &db,
+            Request::Latest {
+                table: "t".into(),
+                prefix: vec![Value::I64(1)],
+            },
+        ) {
+            Response::LatestRow { row: Some(row) } => assert_eq!(row[2], Value::I64(10)),
+            r => panic!("unexpected {r:?}"),
+        }
+        // Schema info.
+        match handle_request(&db, Request::GetSchema { table: "t".into() }) {
+            Response::SchemaInfo { schema: s, ttl } => {
+                assert_eq!(s.num_columns(), 3);
+                assert_eq!(ttl, None);
+            }
+            r => panic!("unexpected {r:?}"),
+        }
+        // List and drop.
+        assert_eq!(
+            handle_request(&db, Request::ListTables),
+            Response::Tables {
+                names: vec!["t".into()]
+            }
+        );
+        assert_eq!(
+            handle_request(&db, Request::DropTable { table: "t".into() }),
+            Response::Ok
+        );
+        match handle_request(&db, Request::GetSchema { table: "t".into() }) {
+            Response::Error { kind, .. } => assert_eq!(kind, ErrorKind::NoSuchTable),
+            r => panic!("unexpected {r:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_frames_get_error_responses_and_connection_survives() {
+        let db = test_db();
+        let mut server = Server::bind(db, "127.0.0.1:0").unwrap();
+        server.start().unwrap();
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        // Garbage payload: server answers with an Error frame.
+        littletable_proto::write_frame(&mut stream, &[0xFF, 0x00, 0x13, 0x37]).unwrap();
+        let mut reader = io::BufReader::new(stream.try_clone().unwrap());
+        let payload = littletable_proto::read_frame(&mut reader).unwrap().unwrap();
+        match Response::decode(&payload).unwrap() {
+            Response::Error { kind, .. } => assert_eq!(kind, ErrorKind::Internal),
+            r => panic!("unexpected {r:?}"),
+        }
+        // The connection still works afterwards.
+        littletable_proto::write_frame(&mut stream, &Request::Ping.encode()).unwrap();
+        let payload = littletable_proto::read_frame(&mut reader).unwrap().unwrap();
+        assert_eq!(Response::decode(&payload).unwrap(), Response::Pong);
+        server.shutdown();
+    }
+
+    #[test]
+    fn stats_reflect_activity() {
+        let db = test_db();
+        handle_request(
+            &db,
+            Request::CreateTable {
+                table: "t".into(),
+                schema: schema(),
+                ttl: None,
+            },
+        );
+        handle_request(
+            &db,
+            Request::Insert {
+                table: "t".into(),
+                rows: vec![
+                    vec![Value::I64(1), Value::Timestamp(1), Value::I64(1)],
+                    vec![Value::I64(1), Value::Timestamp(1), Value::I64(1)], // dup
+                ],
+                server_sets_ts: false,
+            },
+        );
+        match handle_request(&db, Request::Stats { table: "t".into() }) {
+            Response::Stats {
+                rows_inserted,
+                duplicate_keys,
+                ..
+            } => {
+                assert_eq!(rows_inserted, 1);
+                assert_eq!(duplicate_keys, 1);
+            }
+            r => panic!("unexpected {r:?}"),
+        }
+    }
+
+    #[test]
+    fn tcp_round_trip() {
+        let db = test_db();
+        let mut server = Server::bind(db, "127.0.0.1:0").unwrap();
+        server.start().unwrap();
+        let addr = server.local_addr();
+
+        let mut stream = TcpStream::connect(addr).unwrap();
+        let send = |stream: &mut TcpStream, req: &Request| -> Response {
+            write_frame(stream, &req.encode()).unwrap();
+            let mut reader = io::BufReader::new(stream.try_clone().unwrap());
+            let payload = read_frame(&mut reader).unwrap().unwrap();
+            Response::decode(&payload).unwrap()
+        };
+        assert_eq!(send(&mut stream, &Request::Ping), Response::Pong);
+        assert_eq!(
+            send(
+                &mut stream,
+                &Request::CreateTable {
+                    table: "t".into(),
+                    schema: schema(),
+                    ttl: None,
+                }
+            ),
+            Response::Ok
+        );
+        assert!(matches!(
+            send(
+                &mut stream,
+                &Request::Insert {
+                    table: "t".into(),
+                    rows: vec![vec![
+                        Value::I64(1),
+                        Value::Timestamp(5),
+                        Value::I64(50)
+                    ]],
+                    server_sets_ts: false,
+                }
+            ),
+            Response::InsertResult { inserted: 1, .. }
+        ));
+        match send(
+            &mut stream,
+            &Request::Query {
+                table: "t".into(),
+                query: Query::all(),
+            },
+        ) {
+            Response::Rows { rows, .. } => assert_eq!(rows.len(), 1),
+            r => panic!("unexpected {r:?}"),
+        }
+        drop(stream);
+        server.shutdown();
+    }
+}

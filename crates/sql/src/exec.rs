@@ -1,0 +1,719 @@
+//! Statement execution against an embedded engine [`Db`].
+
+use crate::ast::{AggFunc, ColumnAst, Literal, Select, SelectItem, Statement};
+use crate::plan::{cmp_values, plan_select};
+use littletable_core::db::Db;
+use littletable_core::error::{Error, Result};
+use littletable_core::keyenc;
+use littletable_core::schema::{ColumnDef, Schema};
+use littletable_core::value::{ColumnType, Value};
+use std::collections::BTreeMap;
+
+/// The result of executing one statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SqlOutput {
+    /// DDL succeeded.
+    Done,
+    /// Rows affected (INSERT reports accepted rows; duplicates are
+    /// silently skipped per the engine's uniqueness semantics).
+    Count(u64),
+    /// A result set.
+    Rows {
+        /// Column labels.
+        columns: Vec<String>,
+        /// Row values.
+        rows: Vec<Vec<Value>>,
+    },
+}
+
+/// A SQL session over an engine handle.
+pub struct Session {
+    db: Db,
+}
+
+impl Session {
+    /// Creates a session.
+    pub fn new(db: Db) -> Session {
+        Session { db }
+    }
+
+    /// The underlying database.
+    pub fn db(&self) -> &Db {
+        &self.db
+    }
+
+    /// Parses and executes one statement.
+    pub fn execute(&self, sql: &str) -> Result<SqlOutput> {
+        let stmt = crate::parser::parse(sql)?;
+        self.run(stmt)
+    }
+
+    fn run(&self, stmt: Statement) -> Result<SqlOutput> {
+        match stmt {
+            Statement::CreateTable {
+                name,
+                columns,
+                primary_key,
+                ttl,
+            } => {
+                let now = self.db.now();
+                let cols: Vec<ColumnDef> = columns
+                    .iter()
+                    .map(|c| self.column_def(c, now))
+                    .collect::<Result<_>>()?;
+                let keys: Vec<&str> = primary_key.iter().map(String::as_str).collect();
+                let schema = Schema::new(cols, &keys)?;
+                self.db.create_table(&name, schema, ttl)?;
+                Ok(SqlOutput::Done)
+            }
+            Statement::DropTable { name } => {
+                self.db.drop_table(&name)?;
+                Ok(SqlOutput::Done)
+            }
+            Statement::AlterAddColumn { name, column } => {
+                let now = self.db.now();
+                let col = self.column_def(&column, now)?;
+                self.db.table(&name)?.add_column(col)?;
+                Ok(SqlOutput::Done)
+            }
+            Statement::AlterWidenColumn { name, column } => {
+                self.db.table(&name)?.widen_column(&column)?;
+                Ok(SqlOutput::Done)
+            }
+            Statement::AlterSetTtl { name, ttl } => {
+                self.db.table(&name)?.set_ttl(ttl)?;
+                Ok(SqlOutput::Done)
+            }
+            Statement::Insert {
+                name,
+                columns,
+                rows,
+            } => self.insert(&name, columns, rows),
+            Statement::Select(sel) => self.select(&sel),
+            Statement::ShowTables => Ok(SqlOutput::Rows {
+                columns: vec!["table".into()],
+                rows: self
+                    .db
+                    .list_tables()
+                    .into_iter()
+                    .map(|n| vec![Value::Str(n)])
+                    .collect(),
+            }),
+            Statement::Describe { name } => {
+                let t = self.db.table(&name)?;
+                let schema = t.schema();
+                let rows = schema
+                    .columns()
+                    .iter()
+                    .enumerate()
+                    .map(|(i, c)| {
+                        let key_pos = schema.key_indices().iter().position(|&k| k == i);
+                        vec![
+                            Value::Str(c.name.clone()),
+                            Value::Str(c.ty.to_string()),
+                            Value::Str(
+                                key_pos
+                                    .map(|p| format!("key[{p}]"))
+                                    .unwrap_or_default(),
+                            ),
+                            Value::Str(c.default.to_string()),
+                        ]
+                    })
+                    .collect();
+                Ok(SqlOutput::Rows {
+                    columns: vec![
+                        "column".into(),
+                        "type".into(),
+                        "key".into(),
+                        "default".into(),
+                    ],
+                    rows,
+                })
+            }
+        }
+    }
+
+    fn column_def(&self, c: &ColumnAst, now: i64) -> Result<ColumnDef> {
+        Ok(match &c.default {
+            None => ColumnDef::new(&c.name, c.ty),
+            Some(lit) => ColumnDef::with_default(&c.name, c.ty, lit.to_value(c.ty, now)?),
+        })
+    }
+
+    fn insert(
+        &self,
+        name: &str,
+        columns: Option<Vec<String>>,
+        rows: Vec<Vec<Literal>>,
+    ) -> Result<SqlOutput> {
+        let t = self.db.table(name)?;
+        let schema = t.schema();
+        let now = self.db.now();
+        // Map listed columns to schema slots.
+        let slots: Vec<usize> = match &columns {
+            None => (0..schema.num_columns()).collect(),
+            Some(names) => names
+                .iter()
+                .map(|n| {
+                    schema
+                        .column_index(n)
+                        .ok_or_else(|| Error::invalid(format!("no column {n:?}")))
+                })
+                .collect::<Result<_>>()?,
+        };
+        let ts_index = schema.ts_index();
+        let mut full_rows = Vec::with_capacity(rows.len());
+        for lits in rows {
+            if lits.len() != slots.len() {
+                return Err(Error::invalid(format!(
+                    "row has {} values but {} columns are listed",
+                    lits.len(),
+                    slots.len()
+                )));
+            }
+            let mut values: Vec<Option<Value>> = vec![None; schema.num_columns()];
+            for (lit, &slot) in lits.iter().zip(&slots) {
+                let ty = schema.columns()[slot].ty;
+                values[slot] = Some(lit.to_value(ty, now)?);
+            }
+            // Unlisted columns: the timestamp gets "now" (§3.1: clients may
+            // omit it); everything else takes its schema default.
+            let row: Vec<Value> = values
+                .into_iter()
+                .enumerate()
+                .map(|(i, v)| {
+                    v.unwrap_or_else(|| {
+                        if i == ts_index {
+                            Value::Timestamp(now)
+                        } else {
+                            schema.columns()[i].default.clone()
+                        }
+                    })
+                })
+                .collect();
+            full_rows.push(row);
+        }
+        let report = t.insert(full_rows)?;
+        Ok(SqlOutput::Count(report.inserted as u64))
+    }
+
+    fn select(&self, sel: &Select) -> Result<SqlOutput> {
+        let t = self.db.table(&sel.table)?;
+        let schema = t.schema();
+        let now = self.db.now();
+        let mut plan = plan_select(sel, &schema, now)?;
+
+        let has_aggregates = sel
+            .items
+            .iter()
+            .any(|i| matches!(i, SelectItem::Aggregate { .. }));
+        let grouped = has_aggregates || !sel.group_by.is_empty();
+
+        // The engine's limit counts pre-residual/pre-aggregation rows, so
+        // only push it down for plain scans with no residual filters.
+        if grouped || !plan.residual.is_empty() {
+            plan.query.limit = None;
+        } else {
+            plan.query.limit = sel.limit;
+        }
+
+        if !grouped {
+            return self.plain_select(sel, &schema, plan);
+        }
+
+        // Validate the projection: bare columns must be grouped.
+        for item in &sel.items {
+            match item {
+                SelectItem::Wildcard => {
+                    return Err(Error::invalid("* cannot be mixed with aggregates"))
+                }
+                SelectItem::Column(name) => {
+                    if !sel.group_by.contains(name) {
+                        return Err(Error::invalid(format!(
+                            "column {name:?} must appear in GROUP BY"
+                        )));
+                    }
+                }
+                SelectItem::Aggregate { .. } => {}
+            }
+        }
+        let group_idx: Vec<usize> = sel
+            .group_by
+            .iter()
+            .map(|n| {
+                schema
+                    .column_index(n)
+                    .ok_or_else(|| Error::invalid(format!("no column {n:?}")))
+            })
+            .collect::<Result<_>>()?;
+        for &gi in &group_idx {
+            if schema.columns()[gi].ty == ColumnType::F64 {
+                return Err(Error::invalid("cannot GROUP BY a double column"));
+            }
+        }
+        let agg_specs: Vec<(AggFunc, Option<usize>)> = sel
+            .items
+            .iter()
+            .filter_map(|item| match item {
+                SelectItem::Aggregate { func, column } => Some((func, column)),
+                _ => None,
+            })
+            .map(|(func, column)| {
+                let idx = match column {
+                    None => None,
+                    Some(n) => Some(
+                        schema
+                            .column_index(n)
+                            .ok_or_else(|| Error::invalid(format!("no column {n:?}")))?,
+                    ),
+                };
+                Ok((*func, idx))
+            })
+            .collect::<Result<_>>()?;
+
+        // Group on the memcmp encoding of the group-by values so groups
+        // come out in key-compatible order.
+        let mut groups: BTreeMap<Vec<u8>, (Vec<Value>, Vec<AggState>)> = BTreeMap::new();
+        let mut cur = t.query(&plan.query)?;
+        while let Some(row) = cur.next_row()? {
+            if !plan.residual.iter().all(|r| r.matches(&row.values)) {
+                continue;
+            }
+            let mut key = Vec::new();
+            for &gi in &group_idx {
+                keyenc::encode_component(&mut key, &row.values[gi])?;
+            }
+            let entry = groups.entry(key).or_insert_with(|| {
+                (
+                    group_idx.iter().map(|&gi| row.values[gi].clone()).collect(),
+                    agg_specs.iter().map(|(f, _)| AggState::new(*f)).collect(),
+                )
+            });
+            for (state, (_, col)) in entry.1.iter_mut().zip(&agg_specs) {
+                state.update(col.map(|c| &row.values[c]))?;
+            }
+        }
+
+        // Assemble output in SELECT-list order.
+        let mut columns = Vec::new();
+        for item in &sel.items {
+            columns.push(match item {
+                SelectItem::Column(n) => n.clone(),
+                SelectItem::Aggregate { func, column } => format!(
+                    "{}({})",
+                    match func {
+                        AggFunc::Count => "count",
+                        AggFunc::Sum => "sum",
+                        AggFunc::Min => "min",
+                        AggFunc::Max => "max",
+                        AggFunc::Avg => "avg",
+                    },
+                    column.as_deref().unwrap_or("*")
+                ),
+                SelectItem::Wildcard => unreachable!(),
+            });
+        }
+        let mut rows = Vec::with_capacity(groups.len());
+        for (_, (group_vals, states)) in groups {
+            let mut out = Vec::with_capacity(sel.items.len());
+            let mut agg_i = 0;
+            for item in &sel.items {
+                match item {
+                    SelectItem::Column(n) => {
+                        let pos = sel.group_by.iter().position(|g| g == n).unwrap();
+                        out.push(group_vals[pos].clone());
+                    }
+                    SelectItem::Aggregate { .. } => {
+                        out.push(states[agg_i].finish());
+                        agg_i += 1;
+                    }
+                    SelectItem::Wildcard => unreachable!(),
+                }
+            }
+            rows.push(out);
+            if let Some(limit) = sel.limit {
+                if rows.len() >= limit {
+                    break;
+                }
+            }
+        }
+        Ok(SqlOutput::Rows { columns, rows })
+    }
+
+    fn plain_select(&self, sel: &Select, schema: &Schema, plan: crate::plan::Plan) -> Result<SqlOutput> {
+        // Projection slots.
+        let mut columns = Vec::new();
+        let mut slots: Vec<usize> = Vec::new();
+        for item in &sel.items {
+            match item {
+                SelectItem::Wildcard => {
+                    for (i, c) in schema.columns().iter().enumerate() {
+                        columns.push(c.name.clone());
+                        slots.push(i);
+                    }
+                }
+                SelectItem::Column(n) => {
+                    let i = schema
+                        .column_index(n)
+                        .ok_or_else(|| Error::invalid(format!("no column {n:?}")))?;
+                    columns.push(n.clone());
+                    slots.push(i);
+                }
+                SelectItem::Aggregate { .. } => unreachable!("handled by caller"),
+            }
+        }
+        let t = self.db.table(&sel.table)?;
+        let mut cur = t.query(&plan.query)?;
+        let mut rows = Vec::new();
+        while let Some(row) = cur.next_row()? {
+            if !plan.residual.iter().all(|r| r.matches(&row.values)) {
+                continue;
+            }
+            rows.push(slots.iter().map(|&i| row.values[i].clone()).collect());
+            if let Some(limit) = sel.limit {
+                if rows.len() >= limit {
+                    break;
+                }
+            }
+        }
+        Ok(SqlOutput::Rows { columns, rows })
+    }
+}
+
+/// Streaming aggregate state.
+#[derive(Debug)]
+enum AggState {
+    Count(u64),
+    SumInt(i64, bool),
+    SumFloat(f64),
+    Min(Option<Value>),
+    Max(Option<Value>),
+    Avg(f64, u64),
+}
+
+impl AggState {
+    fn new(func: AggFunc) -> AggState {
+        match func {
+            AggFunc::Count => AggState::Count(0),
+            // SUM starts integral and switches to float on first float.
+            AggFunc::Sum => AggState::SumInt(0, false),
+            AggFunc::Min => AggState::Min(None),
+            AggFunc::Max => AggState::Max(None),
+            AggFunc::Avg => AggState::Avg(0.0, 0),
+        }
+    }
+
+    fn update(&mut self, value: Option<&Value>) -> Result<()> {
+        match self {
+            AggState::Count(n) => *n += 1,
+            AggState::SumInt(acc, seen) => match value {
+                Some(Value::I32(v)) => {
+                    *acc += *v as i64;
+                    *seen = true;
+                }
+                Some(Value::I64(v)) | Some(Value::Timestamp(v)) => {
+                    *acc += v;
+                    *seen = true;
+                }
+                Some(Value::F64(v)) => {
+                    *self = AggState::SumFloat(*acc as f64 + v);
+                }
+                Some(v) => {
+                    return Err(Error::invalid(format!(
+                        "SUM over non-numeric value {v}"
+                    )))
+                }
+                None => return Err(Error::invalid("SUM requires a column")),
+            },
+            AggState::SumFloat(acc) => match value {
+                Some(Value::I32(v)) => *acc += *v as f64,
+                Some(Value::I64(v)) | Some(Value::Timestamp(v)) => *acc += *v as f64,
+                Some(Value::F64(v)) => *acc += v,
+                Some(v) => {
+                    return Err(Error::invalid(format!(
+                        "SUM over non-numeric value {v}"
+                    )))
+                }
+                None => return Err(Error::invalid("SUM requires a column")),
+            },
+            AggState::Min(cur) => {
+                let v = value.ok_or_else(|| Error::invalid("MIN requires a column"))?;
+                let replace = match cur {
+                    None => true,
+                    Some(c) => cmp_values(v, c) == Some(std::cmp::Ordering::Less),
+                };
+                if replace {
+                    *cur = Some(v.clone());
+                }
+            }
+            AggState::Max(cur) => {
+                let v = value.ok_or_else(|| Error::invalid("MAX requires a column"))?;
+                let replace = match cur {
+                    None => true,
+                    Some(c) => cmp_values(v, c) == Some(std::cmp::Ordering::Greater),
+                };
+                if replace {
+                    *cur = Some(v.clone());
+                }
+            }
+            AggState::Avg(acc, n) => {
+                let v = value.ok_or_else(|| Error::invalid("AVG requires a column"))?;
+                let x = match v {
+                    Value::I32(v) => *v as f64,
+                    Value::I64(v) => *v as f64,
+                    Value::Timestamp(v) => *v as f64,
+                    Value::F64(v) => *v,
+                    v => {
+                        return Err(Error::invalid(format!(
+                            "AVG over non-numeric value {v}"
+                        )))
+                    }
+                };
+                *acc += x;
+                *n += 1;
+            }
+        }
+        Ok(())
+    }
+
+    fn finish(&self) -> Value {
+        match self {
+            AggState::Count(n) => Value::I64(*n as i64),
+            AggState::SumInt(acc, _) => Value::I64(*acc),
+            AggState::SumFloat(acc) => Value::F64(*acc),
+            AggState::Min(v) | AggState::Max(v) => {
+                v.clone().unwrap_or(Value::I64(0))
+            }
+            AggState::Avg(acc, n) => {
+                if *n == 0 {
+                    Value::F64(0.0)
+                } else {
+                    Value::F64(acc / *n as f64)
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use littletable_core::Options;
+    use littletable_vfs::{SimClock, SimVfs};
+    use std::sync::Arc;
+
+    const START: i64 = 1_700_000_000_000_000;
+
+    fn session() -> (Session, SimClock) {
+        let clock = SimClock::new(START);
+        let db = Db::open(
+            Arc::new(SimVfs::instant()),
+            Arc::new(clock.clone()),
+            Options::small_for_tests(),
+        )
+        .unwrap();
+        (Session::new(db), clock)
+    }
+
+    fn rows(out: SqlOutput) -> Vec<Vec<Value>> {
+        match out {
+            SqlOutput::Rows { rows, .. } => rows,
+            o => panic!("expected rows, got {o:?}"),
+        }
+    }
+
+    fn setup_usage(s: &Session) {
+        s.execute(
+            "CREATE TABLE usage (network INT64, device INT64, ts TIMESTAMP, \
+             bytes INT64, PRIMARY KEY (network, device, ts))",
+        )
+        .unwrap();
+        // 2 networks x 3 devices x 5 samples.
+        for net in 1..=2 {
+            for dev in 1..=3 {
+                for i in 0..5 {
+                    s.execute(&format!(
+                        "INSERT INTO usage VALUES ({net}, {dev}, {}, {})",
+                        START + i * 1_000_000,
+                        100 * dev + i
+                    ))
+                    .unwrap();
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn create_insert_select_round_trip() {
+        let (s, _) = session();
+        setup_usage(&s);
+        let got = rows(s.execute("SELECT * FROM usage WHERE network = 1").unwrap());
+        assert_eq!(got.len(), 15);
+        let got = rows(
+            s.execute("SELECT bytes FROM usage WHERE network = 1 AND device = 2")
+                .unwrap(),
+        );
+        assert_eq!(got.len(), 5);
+        assert_eq!(got[0], vec![Value::I64(200)]);
+    }
+
+    #[test]
+    fn aggregates_with_group_by() {
+        let (s, _) = session();
+        setup_usage(&s);
+        let got = rows(
+            s.execute(
+                "SELECT device, SUM(bytes), COUNT(*) FROM usage \
+                 WHERE network = 1 GROUP BY device",
+            )
+            .unwrap(),
+        );
+        assert_eq!(got.len(), 3);
+        // device 1: 100+101+102+103+104 = 510
+        assert_eq!(got[0], vec![Value::I64(1), Value::I64(510), Value::I64(5)]);
+        assert_eq!(got[1][0], Value::I64(2));
+        assert_eq!(got[1][1], Value::I64(1010));
+    }
+
+    #[test]
+    fn global_aggregates_without_group_by() {
+        let (s, _) = session();
+        setup_usage(&s);
+        let got = rows(
+            s.execute("SELECT COUNT(*), MIN(bytes), MAX(bytes), AVG(device) FROM usage")
+                .unwrap(),
+        );
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0][0], Value::I64(30));
+        assert_eq!(got[0][1], Value::I64(100));
+        assert_eq!(got[0][2], Value::I64(304));
+        assert_eq!(got[0][3], Value::F64(2.0));
+    }
+
+    #[test]
+    fn time_bounds_and_now() {
+        let (s, clock) = session();
+        setup_usage(&s);
+        clock.set(START + 10_000_000);
+        // Last 3 seconds relative to NOW(): samples i=2,3,4 are at
+        // START+2s..START+4s; NOW()-8s = START+2s.
+        let got = rows(
+            s.execute(
+                "SELECT * FROM usage WHERE network = 1 AND device = 1 \
+                 AND ts >= NOW() - INTERVAL '8s'",
+            )
+            .unwrap(),
+        );
+        assert_eq!(got.len(), 3);
+    }
+
+    #[test]
+    fn order_and_limit() {
+        let (s, _) = session();
+        setup_usage(&s);
+        let got = rows(
+            s.execute("SELECT device FROM usage WHERE network = 1 ORDER BY network DESC LIMIT 4")
+                .unwrap(),
+        );
+        assert_eq!(got.len(), 4);
+        assert_eq!(got[0], vec![Value::I64(3)]);
+        // Residual filter + limit: limit applies after filtering.
+        let got = rows(
+            s.execute("SELECT device, bytes FROM usage WHERE bytes >= 300 LIMIT 3")
+                .unwrap(),
+        );
+        assert_eq!(got.len(), 3);
+        for r in &got {
+            assert!(matches!(r[1], Value::I64(b) if b >= 300));
+        }
+    }
+
+    #[test]
+    fn insert_defaults_and_server_timestamp() {
+        let (s, clock) = session();
+        s.execute(
+            "CREATE TABLE ev (n INT64, ts TIMESTAMP, msg TEXT DEFAULT 'none', \
+             PRIMARY KEY (n, ts))",
+        )
+        .unwrap();
+        clock.set(START + 42);
+        s.execute("INSERT INTO ev (n) VALUES (7)").unwrap();
+        let got = rows(s.execute("SELECT * FROM ev").unwrap());
+        assert_eq!(
+            got[0],
+            vec![
+                Value::I64(7),
+                Value::Timestamp(START + 42),
+                Value::Str("none".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn ddl_statements() {
+        let (s, _) = session();
+        s.execute(
+            "CREATE TABLE t (n INT64, ts TIMESTAMP, c INT32, PRIMARY KEY (n, ts))",
+        )
+        .unwrap();
+        s.execute("ALTER TABLE t ADD COLUMN note TEXT DEFAULT '-'")
+            .unwrap();
+        s.execute("ALTER TABLE t WIDEN COLUMN c").unwrap();
+        s.execute("ALTER TABLE t SET TTL '90d'").unwrap();
+        let desc = rows(s.execute("DESCRIBE t").unwrap());
+        assert_eq!(desc.len(), 4);
+        assert_eq!(desc[2][1], Value::Str("int64".into())); // widened
+        let tables = rows(s.execute("SHOW TABLES").unwrap());
+        assert_eq!(tables.len(), 1);
+        s.execute("DROP TABLE t").unwrap();
+        assert!(s.execute("SELECT * FROM t").is_err());
+    }
+
+    #[test]
+    fn duplicate_inserts_are_skipped() {
+        let (s, _) = session();
+        s.execute("CREATE TABLE t (n INT64, ts TIMESTAMP, PRIMARY KEY (n, ts))")
+            .unwrap();
+        assert_eq!(
+            s.execute("INSERT INTO t VALUES (1, 5), (1, 5), (2, 5)").unwrap(),
+            SqlOutput::Count(2)
+        );
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        let (s, _) = session();
+        assert!(s.execute("SELECT * FROM missing").is_err());
+        s.execute("CREATE TABLE t (n INT64, ts TIMESTAMP, v DOUBLE, PRIMARY KEY (n, ts))")
+            .unwrap();
+        assert!(s.execute("SELECT nope FROM t").is_err());
+        assert!(s.execute("SELECT n, SUM(v) FROM t").is_err()); // n not grouped
+        assert!(s.execute("SELECT *, COUNT(*) FROM t").is_err());
+        assert!(s.execute("SELECT v, COUNT(*) FROM t GROUP BY v").is_err()); // group by double
+        assert!(s.execute("INSERT INTO t (n) VALUES (1, 2)").is_err()); // arity
+        assert!(s.execute("INSERT INTO t VALUES ('x', 1, 2.0)").is_err()); // type
+    }
+
+    #[test]
+    fn sum_switches_to_float() {
+        let (s, _) = session();
+        s.execute("CREATE TABLE t (n INT64, ts TIMESTAMP, v DOUBLE, PRIMARY KEY (n, ts))")
+            .unwrap();
+        s.execute("INSERT INTO t VALUES (1, 1, 1.5), (1, 2, 2.5)")
+            .unwrap();
+        let got = rows(s.execute("SELECT SUM(v) FROM t").unwrap());
+        assert_eq!(got[0][0], Value::F64(4.0));
+    }
+
+    #[test]
+    fn select_survives_flush() {
+        let (s, _) = session();
+        setup_usage(&s);
+        s.db().flush_all().unwrap();
+        let got = rows(
+            s.execute("SELECT device, SUM(bytes) FROM usage WHERE network = 2 GROUP BY device")
+                .unwrap(),
+        );
+        assert_eq!(got.len(), 3);
+    }
+}

@@ -1,0 +1,299 @@
+//! SQL lexer.
+
+use littletable_core::error::{Error, Result};
+
+/// One lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Keyword or identifier (uppercased keywords are matched
+    /// case-insensitively; identifiers keep their case).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Floating-point literal.
+    Float(f64),
+    /// Single-quoted string literal (with `''` escapes resolved).
+    Str(String),
+    /// Hex blob literal `X'0a0b'`.
+    Blob(Vec<u8>),
+    /// Punctuation and operators.
+    Symbol(Sym),
+}
+
+/// Operator / punctuation tokens.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sym {
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `;`
+    Semi,
+    /// `*`
+    Star,
+    /// `=`
+    Eq,
+    /// `!=` or `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `-`
+    Minus,
+    /// `+`
+    Plus,
+    /// `.`
+    Dot,
+}
+
+/// Lexes `input` into tokens.
+pub fn lex(input: &str) -> Result<Vec<Token>> {
+    let b = input.as_bytes();
+    let mut i = 0usize;
+    let mut out = Vec::new();
+    while i < b.len() {
+        let c = b[i] as char;
+        match c {
+            ' ' | '\t' | '\r' | '\n' => i += 1,
+            '(' => {
+                out.push(Token::Symbol(Sym::LParen));
+                i += 1;
+            }
+            ')' => {
+                out.push(Token::Symbol(Sym::RParen));
+                i += 1;
+            }
+            ',' => {
+                out.push(Token::Symbol(Sym::Comma));
+                i += 1;
+            }
+            ';' => {
+                out.push(Token::Symbol(Sym::Semi));
+                i += 1;
+            }
+            '*' => {
+                out.push(Token::Symbol(Sym::Star));
+                i += 1;
+            }
+            '.' => {
+                out.push(Token::Symbol(Sym::Dot));
+                i += 1;
+            }
+            '+' => {
+                out.push(Token::Symbol(Sym::Plus));
+                i += 1;
+            }
+            '-' => {
+                // `--` comment to end of line.
+                if b.get(i + 1) == Some(&b'-') {
+                    while i < b.len() && b[i] != b'\n' {
+                        i += 1;
+                    }
+                } else {
+                    out.push(Token::Symbol(Sym::Minus));
+                    i += 1;
+                }
+            }
+            '=' => {
+                out.push(Token::Symbol(Sym::Eq));
+                i += 1;
+            }
+            '!' => {
+                if b.get(i + 1) == Some(&b'=') {
+                    out.push(Token::Symbol(Sym::Ne));
+                    i += 2;
+                } else {
+                    return Err(Error::invalid("unexpected '!'"));
+                }
+            }
+            '<' => match b.get(i + 1) {
+                Some(b'=') => {
+                    out.push(Token::Symbol(Sym::Le));
+                    i += 2;
+                }
+                Some(b'>') => {
+                    out.push(Token::Symbol(Sym::Ne));
+                    i += 2;
+                }
+                _ => {
+                    out.push(Token::Symbol(Sym::Lt));
+                    i += 1;
+                }
+            },
+            '>' => {
+                if b.get(i + 1) == Some(&b'=') {
+                    out.push(Token::Symbol(Sym::Ge));
+                    i += 2;
+                } else {
+                    out.push(Token::Symbol(Sym::Gt));
+                    i += 1;
+                }
+            }
+            '\'' => {
+                let (s, next) = lex_string(input, i)?;
+                out.push(Token::Str(s));
+                i = next;
+            }
+            'x' | 'X' if b.get(i + 1) == Some(&b'\'') => {
+                let (s, next) = lex_string(input, i + 1)?;
+                let mut bytes = Vec::with_capacity(s.len() / 2);
+                let hs = s.as_bytes();
+                if hs.len() % 2 != 0 {
+                    return Err(Error::invalid("odd-length hex blob"));
+                }
+                for pair in hs.chunks(2) {
+                    let hex = std::str::from_utf8(pair).unwrap();
+                    bytes.push(
+                        u8::from_str_radix(hex, 16)
+                            .map_err(|_| Error::invalid("bad hex digit in blob"))?,
+                    );
+                }
+                out.push(Token::Blob(bytes));
+                i = next;
+            }
+            '0'..='9' => {
+                let start = i;
+                while i < b.len() && (b[i].is_ascii_digit() || b[i] == b'_') {
+                    i += 1;
+                }
+                let mut is_float = false;
+                if i < b.len() && b[i] == b'.' && b.get(i + 1).is_some_and(u8::is_ascii_digit) {
+                    is_float = true;
+                    i += 1;
+                    while i < b.len() && b[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                if i < b.len() && (b[i] == b'e' || b[i] == b'E') {
+                    is_float = true;
+                    i += 1;
+                    if i < b.len() && (b[i] == b'+' || b[i] == b'-') {
+                        i += 1;
+                    }
+                    while i < b.len() && b[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                let text: String = input[start..i].replace('_', "");
+                if is_float {
+                    out.push(Token::Float(
+                        text.parse()
+                            .map_err(|_| Error::invalid(format!("bad float literal {text}")))?,
+                    ));
+                } else {
+                    out.push(Token::Int(text.parse().map_err(|_| {
+                        Error::invalid(format!("bad integer literal {text}"))
+                    })?));
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' || c == '"' => {
+                if c == '"' {
+                    // Quoted identifier.
+                    let end = input[i + 1..]
+                        .find('"')
+                        .ok_or_else(|| Error::invalid("unterminated quoted identifier"))?;
+                    out.push(Token::Ident(input[i + 1..i + 1 + end].to_string()));
+                    i += end + 2;
+                } else {
+                    let start = i;
+                    while i < b.len()
+                        && ((b[i] as char).is_ascii_alphanumeric() || b[i] == b'_')
+                    {
+                        i += 1;
+                    }
+                    out.push(Token::Ident(input[start..i].to_string()));
+                }
+            }
+            c => return Err(Error::invalid(format!("unexpected character {c:?}"))),
+        }
+    }
+    Ok(out)
+}
+
+fn lex_string(input: &str, start: usize) -> Result<(String, usize)> {
+    debug_assert_eq!(&input[start..start + 1], "'");
+    let b = input.as_bytes();
+    let mut i = start + 1;
+    let mut out = String::new();
+    while i < b.len() {
+        if b[i] == b'\'' {
+            if b.get(i + 1) == Some(&b'\'') {
+                out.push('\'');
+                i += 2;
+            } else {
+                return Ok((out, i + 1));
+            }
+        } else {
+            // Advance by whole UTF-8 characters.
+            let ch = input[i..].chars().next().unwrap();
+            out.push(ch);
+            i += ch.len_utf8();
+        }
+    }
+    Err(Error::invalid("unterminated string literal"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_a_select() {
+        let toks = lex("SELECT a, sum(b) FROM t WHERE ts >= 100 AND n != 'x' -- c\n").unwrap();
+        assert_eq!(toks[0], Token::Ident("SELECT".into()));
+        assert!(toks.contains(&Token::Symbol(Sym::Ge)));
+        assert!(toks.contains(&Token::Symbol(Sym::Ne)));
+        assert!(toks.contains(&Token::Str("x".into())));
+        // Comment consumed.
+        assert!(!toks.iter().any(|t| matches!(t, Token::Ident(s) if s == "c")));
+    }
+
+    #[test]
+    fn lexes_numbers() {
+        assert_eq!(lex("42").unwrap(), vec![Token::Int(42)]);
+        assert_eq!(lex("1_000").unwrap(), vec![Token::Int(1000)]);
+        assert_eq!(lex("3.5").unwrap(), vec![Token::Float(3.5)]);
+        assert_eq!(lex("1e3").unwrap(), vec![Token::Float(1000.0)]);
+        // Negative numbers are Minus + Int at the lexer level.
+        assert_eq!(
+            lex("-7").unwrap(),
+            vec![Token::Symbol(Sym::Minus), Token::Int(7)]
+        );
+    }
+
+    #[test]
+    fn lexes_strings_and_blobs() {
+        assert_eq!(
+            lex("'it''s'").unwrap(),
+            vec![Token::Str("it's".into())]
+        );
+        assert_eq!(
+            lex("x'0aFF'").unwrap(),
+            vec![Token::Blob(vec![0x0A, 0xFF])]
+        );
+        assert!(lex("'unterminated").is_err());
+        assert!(lex("x'0'").is_err());
+    }
+
+    #[test]
+    fn lexes_quoted_identifiers() {
+        assert_eq!(
+            lex("\"weird name\"").unwrap(),
+            vec![Token::Ident("weird name".into())]
+        );
+    }
+
+    #[test]
+    fn ne_spellings() {
+        assert_eq!(lex("<>").unwrap(), vec![Token::Symbol(Sym::Ne)]);
+        assert_eq!(lex("!=").unwrap(), vec![Token::Symbol(Sym::Ne)]);
+        assert!(lex("!").is_err());
+    }
+}

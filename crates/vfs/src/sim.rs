@@ -1,0 +1,557 @@
+//! [`Vfs`] backed by memory and metered by a [`DiskModel`].
+//!
+//! `SimVfs` serves two purposes:
+//!
+//! * **Benchmarking.** Every read, write, and open is charged to the disk
+//!   model, accumulating virtual time on the shared [`SimClock`]. The
+//!   benchmark harness runs the real engine against this VFS and reports
+//!   virtual throughput and latency, reproducing the paper's spinning-disk
+//!   figures on any host hardware.
+//!
+//! * **Crash testing.** The VFS tracks which bytes and which directory
+//!   entries have been synced, and [`SimVfs::crash`] discards everything
+//!   that has not — un-synced appends, un-synced creations, and un-synced
+//!   renames — letting tests exercise LittleTable's prefix-durability
+//!   guarantee and descriptor-replacement atomicity deterministically.
+
+use crate::clock::SimClock;
+use crate::disk::{DiskModel, DiskParams, ExtentId};
+use crate::vfs::{RandomAccessFile, Vfs, WritableFile};
+use parking_lot::Mutex;
+use std::collections::{HashMap, HashSet};
+use std::io;
+use std::sync::Arc;
+
+/// File contents. Files are written once and then read; on first open the
+/// buffer is sealed into an `Arc` so outstanding readers keep the data alive
+/// even after the file is removed from the namespace (Unix unlink
+/// semantics, which LittleTable relies on when merges delete source tablets
+/// that queries still have open).
+#[derive(Debug)]
+enum Contents {
+    Open(Vec<u8>),
+    Sealed(Arc<Vec<u8>>),
+}
+
+impl Contents {
+    fn len(&self) -> usize {
+        match self {
+            Contents::Open(v) => v.len(),
+            Contents::Sealed(a) => a.len(),
+        }
+    }
+
+    fn seal(&mut self) -> Arc<Vec<u8>> {
+        match self {
+            Contents::Open(v) => {
+                let arc = Arc::new(std::mem::take(v));
+                *self = Contents::Sealed(arc.clone());
+                arc
+            }
+            Contents::Sealed(a) => a.clone(),
+        }
+    }
+
+    fn truncate(&mut self, len: usize) {
+        match self {
+            Contents::Open(v) => v.truncate(len),
+            Contents::Sealed(a) => Arc::make_mut(a).truncate(len),
+        }
+    }
+
+    fn append(&mut self, buf: &[u8]) {
+        match self {
+            Contents::Open(v) => v.extend_from_slice(buf),
+            Contents::Sealed(a) => Arc::make_mut(a).extend_from_slice(buf),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct FileData {
+    data: Contents,
+    synced_len: usize,
+    extent: ExtentId,
+}
+
+#[derive(Debug, Default)]
+struct Namespace {
+    /// path → file id
+    files: HashMap<String, u64>,
+    dirs: HashSet<String>,
+}
+
+#[derive(Debug, Default)]
+struct SimState {
+    store: HashMap<u64, FileData>,
+    live: Namespace,
+    /// What the namespace would look like after a crash: updated only by
+    /// `sync_dir`.
+    shadow: Namespace,
+    next_id: u64,
+}
+
+impl SimState {
+    fn gc(&mut self, model: &DiskModel) {
+        let referenced: HashSet<u64> = self
+            .live
+            .files
+            .values()
+            .chain(self.shadow.files.values())
+            .copied()
+            .collect();
+        let dead: Vec<u64> = self
+            .store
+            .keys()
+            .filter(|id| !referenced.contains(id))
+            .copied()
+            .collect();
+        for id in dead {
+            if let Some(f) = self.store.remove(&id) {
+                model.free_extent(f.extent);
+            }
+        }
+    }
+}
+
+/// An in-memory, disk-model-metered [`Vfs`]. Cheap to clone; clones share
+/// the same namespace and model.
+#[derive(Clone)]
+pub struct SimVfs {
+    model: DiskModel,
+    state: Arc<Mutex<SimState>>,
+}
+
+impl SimVfs {
+    /// Creates a VFS over a fresh disk with the given parameters, driving
+    /// `clock` as I/O time is charged.
+    pub fn new(params: DiskParams, clock: SimClock) -> Self {
+        SimVfs {
+            model: DiskModel::new(params, clock),
+            state: Arc::new(Mutex::new(SimState::default())),
+        }
+    }
+
+    /// A VFS whose disk charges zero virtual time — for engine unit tests.
+    pub fn instant() -> Self {
+        SimVfs::new(DiskParams::instant(), SimClock::new(0))
+    }
+
+    /// The underlying disk model.
+    pub fn model(&self) -> &DiskModel {
+        &self.model
+    }
+
+    /// The simulated clock shared with the disk model.
+    pub fn clock(&self) -> &SimClock {
+        self.model.clock()
+    }
+
+    /// Clears all cache state in the disk model (page cache, drive cache,
+    /// hot inodes), as the paper does before each benchmark run.
+    pub fn clear_caches(&self) {
+        self.model.clear_caches();
+    }
+
+    /// Simulates a machine crash: the namespace reverts to its last-synced
+    /// state and every file loses appends after its last `sync`.
+    pub fn crash(&self) {
+        let mut s = self.state.lock();
+        s.live = Namespace {
+            files: s.shadow.files.clone(),
+            dirs: s.shadow.dirs.clone(),
+        };
+        for f in s.store.values_mut() {
+            f.data.truncate(f.synced_len);
+        }
+        s.gc(&self.model);
+        self.model.clear_caches();
+    }
+
+    /// Total bytes held across all live files (uncompressed, as stored).
+    pub fn total_live_bytes(&self) -> u64 {
+        let s = self.state.lock();
+        s.live
+            .files
+            .values()
+            .filter_map(|id| s.store.get(id))
+            .map(|f| f.data.len() as u64)
+            .sum()
+    }
+}
+
+struct SimReader {
+    data: Arc<Vec<u8>>,
+    model: DiskModel,
+    extent: ExtentId,
+}
+
+impl RandomAccessFile for SimReader {
+    fn read_exact_at(&self, off: u64, buf: &mut [u8]) -> io::Result<()> {
+        let off = off as usize;
+        if off + buf.len() > self.data.len() {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                format!(
+                    "read [{off}, {}) past EOF at {}",
+                    off + buf.len(),
+                    self.data.len()
+                ),
+            ));
+        }
+        buf.copy_from_slice(&self.data[off..off + buf.len()]);
+        self.model.charge_read(
+            self.extent,
+            off as u64,
+            buf.len() as u64,
+            self.data.len() as u64,
+        );
+        Ok(())
+    }
+
+    fn len(&self) -> io::Result<u64> {
+        Ok(self.data.len() as u64)
+    }
+}
+
+struct SimWriter {
+    state: Arc<Mutex<SimState>>,
+    model: DiskModel,
+    id: u64,
+    extent: ExtentId,
+}
+
+impl WritableFile for SimWriter {
+    fn append(&mut self, buf: &[u8]) -> io::Result<()> {
+        let mut s = self.state.lock();
+        let f = s
+            .store
+            .get_mut(&self.id)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, "file removed"))?;
+        let off = f.data.len() as u64;
+        f.data.append(buf);
+        let new_len = f.data.len() as u64;
+        drop(s);
+        self.model.grow_extent(self.extent, new_len);
+        self.model.charge_write(self.extent, off, buf.len() as u64);
+        Ok(())
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        let mut s = self.state.lock();
+        if let Some(f) = s.store.get_mut(&self.id) {
+            f.synced_len = f.data.len();
+        }
+        Ok(())
+    }
+
+    fn written(&self) -> u64 {
+        let s = self.state.lock();
+        s.store.get(&self.id).map(|f| f.data.len() as u64).unwrap_or(0)
+    }
+}
+
+impl Vfs for SimVfs {
+    fn open(&self, path: &str) -> io::Result<Box<dyn RandomAccessFile>> {
+        let mut s = self.state.lock();
+        let id = *s
+            .live
+            .files
+            .get(path)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, path.to_string()))?;
+        let f = s.store.get_mut(&id).expect("namespace points at live file");
+        let extent = f.extent;
+        let data = f.data.seal();
+        drop(s);
+        self.model.charge_open(extent);
+        Ok(Box::new(SimReader {
+            data,
+            model: self.model.clone(),
+            extent,
+        }))
+    }
+
+    fn create(&self, path: &str, size_hint: u64) -> io::Result<Box<dyn WritableFile>> {
+        let extent = self.model.alloc_extent(size_hint);
+        let mut s = self.state.lock();
+        let id = s.next_id;
+        s.next_id += 1;
+        s.store.insert(
+            id,
+            FileData {
+                data: Contents::Open(Vec::new()),
+                synced_len: 0,
+                extent,
+            },
+        );
+        s.live.files.insert(path.to_string(), id);
+        s.gc(&self.model);
+        Ok(Box::new(SimWriter {
+            state: self.state.clone(),
+            model: self.model.clone(),
+            id,
+            extent,
+        }))
+    }
+
+    fn rename(&self, from: &str, to: &str) -> io::Result<()> {
+        let mut s = self.state.lock();
+        let id = s
+            .live
+            .files
+            .remove(from)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, from.to_string()))?;
+        s.live.files.insert(to.to_string(), id);
+        Ok(())
+    }
+
+    fn remove(&self, path: &str) -> io::Result<()> {
+        let mut s = self.state.lock();
+        s.live
+            .files
+            .remove(path)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, path.to_string()))?;
+        s.gc(&self.model);
+        Ok(())
+    }
+
+    fn exists(&self, path: &str) -> bool {
+        let s = self.state.lock();
+        s.live.files.contains_key(path) || s.live.dirs.contains(path)
+    }
+
+    fn mkdir_all(&self, path: &str) -> io::Result<()> {
+        let mut s = self.state.lock();
+        let mut cur = String::new();
+        for seg in path.split('/').filter(|p| !p.is_empty()) {
+            if !cur.is_empty() {
+                cur.push('/');
+            }
+            cur.push_str(seg);
+            s.live.dirs.insert(cur.clone());
+        }
+        Ok(())
+    }
+
+    fn list_dir(&self, path: &str) -> io::Result<Vec<String>> {
+        let s = self.state.lock();
+        let prefix = if path.is_empty() {
+            String::new()
+        } else if !s.live.dirs.contains(path) {
+            return Err(io::Error::new(io::ErrorKind::NotFound, path.to_string()));
+        } else {
+            format!("{path}/")
+        };
+        let mut names = HashSet::new();
+        for p in s.live.files.keys().chain(s.live.dirs.iter()) {
+            if let Some(rest) = p.strip_prefix(&prefix) {
+                if rest.is_empty() {
+                    continue;
+                }
+                let first = rest.split('/').next().unwrap();
+                names.insert(first.to_string());
+            }
+        }
+        Ok(names.into_iter().collect())
+    }
+
+    fn sync_dir(&self, path: &str) -> io::Result<()> {
+        let mut s = self.state.lock();
+        let prefix = if path.is_empty() {
+            String::new()
+        } else {
+            format!("{path}/")
+        };
+        let in_dir = |p: &str|
+
+            p.strip_prefix(&prefix)
+                .map(|rest| !rest.is_empty() && !rest.contains('/'))
+                .unwrap_or(false);
+        // Replace the shadow's view of this directory with the live one.
+        let live_entries: Vec<(String, u64)> = s
+            .live
+            .files
+            .iter()
+            .filter(|(p, _)| in_dir(p))
+            .map(|(p, id)| (p.clone(), *id))
+            .collect();
+        s.shadow.files.retain(|p, _| !in_dir(p));
+        s.shadow.files.extend(live_entries);
+        // Directory creations under this parent become durable, and the
+        // directory chain leading here is durable too.
+        let live_dirs: Vec<String> = s
+            .live
+            .dirs
+            .iter()
+            .filter(|d| in_dir(d))
+            .cloned()
+            .collect();
+        s.shadow.dirs.extend(live_dirs);
+        let mut cur = String::new();
+        for seg in path.split('/').filter(|p| !p.is_empty()) {
+            if !cur.is_empty() {
+                cur.push('/');
+            }
+            cur.push_str(seg);
+            s.shadow.dirs.insert(cur.clone());
+        }
+        s.gc(&self.model);
+        Ok(())
+    }
+
+    fn file_size(&self, path: &str) -> io::Result<u64> {
+        let s = self.state.lock();
+        let id = s
+            .live
+            .files
+            .get(path)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, path.to_string()))?;
+        Ok(s.store[id].data.len() as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::Clock as _;
+
+    fn vfs() -> SimVfs {
+        SimVfs::instant()
+    }
+
+    #[test]
+    fn write_read_round_trip() {
+        let v = vfs();
+        let mut w = v.create("f", 0).unwrap();
+        w.append(b"abcdef").unwrap();
+        drop(w);
+        let r = v.open("f").unwrap();
+        let mut buf = [0u8; 3];
+        r.read_exact_at(2, &mut buf).unwrap();
+        assert_eq!(&buf, b"cde");
+        assert_eq!(r.len().unwrap(), 6);
+    }
+
+    #[test]
+    fn read_past_eof_errors() {
+        let v = vfs();
+        v.create("f", 0).unwrap().append(b"ab").unwrap();
+        let r = v.open("f").unwrap();
+        let mut buf = [0u8; 3];
+        assert!(r.read_exact_at(0, &mut buf).is_err());
+    }
+
+    #[test]
+    fn list_dir_sees_files_and_subdirs() {
+        let v = vfs();
+        v.mkdir_all("t/sub").unwrap();
+        v.create("t/a", 0).unwrap();
+        v.create("t/b", 0).unwrap();
+        v.create("t/sub/c", 0).unwrap();
+        let mut names = v.list_dir("t").unwrap();
+        names.sort();
+        assert_eq!(names, vec!["a", "b", "sub"]);
+    }
+
+    #[test]
+    fn crash_discards_unsynced_appends() {
+        let v = vfs();
+        v.mkdir_all("d").unwrap();
+        let mut w = v.create("d/f", 0).unwrap();
+        w.append(b"durable").unwrap();
+        w.sync().unwrap();
+        v.sync_dir("d").unwrap();
+        w.append(b" lost").unwrap();
+        drop(w);
+        v.crash();
+        let r = v.open("d/f").unwrap();
+        assert_eq!(r.len().unwrap(), 7);
+    }
+
+    #[test]
+    fn crash_discards_unsynced_creations() {
+        let v = vfs();
+        v.mkdir_all("d").unwrap();
+        v.sync_dir("").unwrap();
+        v.sync_dir("d").unwrap();
+        let mut w = v.create("d/new", 0).unwrap();
+        w.append(b"x").unwrap();
+        w.sync().unwrap(); // data synced, but directory entry is not
+        drop(w);
+        v.crash();
+        assert!(!v.exists("d/new"));
+    }
+
+    #[test]
+    fn crash_preserves_synced_rename() {
+        let v = vfs();
+        v.mkdir_all("d").unwrap();
+        let mut w = v.create("d/tmp", 0).unwrap();
+        w.append(b"v2").unwrap();
+        w.sync().unwrap();
+        drop(w);
+        v.rename("d/tmp", "d/final").unwrap();
+        v.sync_dir("").unwrap();
+        v.sync_dir("d").unwrap();
+        v.crash();
+        assert!(v.exists("d/final"));
+        assert!(!v.exists("d/tmp"));
+        assert_eq!(v.file_size("d/final").unwrap(), 2);
+    }
+
+    #[test]
+    fn crash_reverts_unsynced_rename() {
+        let v = vfs();
+        v.mkdir_all("d").unwrap();
+        let mut w = v.create("d/a", 0).unwrap();
+        w.append(b"1").unwrap();
+        w.sync().unwrap();
+        drop(w);
+        v.sync_dir("").unwrap();
+        v.sync_dir("d").unwrap();
+        v.rename("d/a", "d/b").unwrap();
+        v.crash();
+        assert!(v.exists("d/a"));
+        assert!(!v.exists("d/b"));
+    }
+
+    #[test]
+    fn remove_then_sync_is_durable() {
+        let v = vfs();
+        v.mkdir_all("d").unwrap();
+        v.create("d/f", 0).unwrap().sync().unwrap();
+        v.sync_dir("").unwrap();
+        v.sync_dir("d").unwrap();
+        v.remove("d/f").unwrap();
+        v.sync_dir("d").unwrap();
+        v.crash();
+        assert!(!v.exists("d/f"));
+    }
+
+    #[test]
+    fn reads_charge_the_model() {
+        let v = SimVfs::new(DiskParams::paper_disk(), SimClock::new(0));
+        let mut w = v.create("f", 1 << 20).unwrap();
+        w.append(&vec![7u8; 1 << 20]).unwrap();
+        drop(w);
+        let written = v.model().stats().bytes_written;
+        assert_eq!(written, 1 << 20);
+        v.clear_caches();
+        let r = v.open("f").unwrap();
+        let mut buf = vec![0u8; 4096];
+        r.read_exact_at(0, &mut buf).unwrap();
+        // inode seek + data seek
+        assert_eq!(v.model().stats().seeks, 3); // 1 write seek + 2 read-side
+        assert!(v.clock().now_micros() > 16_000);
+    }
+
+    #[test]
+    fn total_live_bytes_counts_current_files() {
+        let v = vfs();
+        v.create("a", 0).unwrap().append(&[0; 10]).unwrap();
+        v.create("b", 0).unwrap().append(&[0; 5]).unwrap();
+        assert_eq!(v.total_live_bytes(), 15);
+        v.remove("a").unwrap();
+        assert_eq!(v.total_live_bytes(), 5);
+    }
+}

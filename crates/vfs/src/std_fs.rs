@@ -1,0 +1,190 @@
+//! [`Vfs`] backed by the real file system, rooted at a directory.
+
+use crate::vfs::{RandomAccessFile, Vfs, WritableFile};
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+/// A [`Vfs`] that maps VFS paths to children of a root directory on the
+/// local file system. This is the production backend.
+#[derive(Debug)]
+pub struct StdVfs {
+    root: PathBuf,
+}
+
+impl StdVfs {
+    /// Creates a VFS rooted at `root`, creating the directory if needed.
+    pub fn new(root: impl Into<PathBuf>) -> io::Result<Self> {
+        let root = root.into();
+        fs::create_dir_all(&root)?;
+        Ok(StdVfs { root })
+    }
+
+    /// The root directory on the host file system.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn resolve(&self, path: &str) -> PathBuf {
+        let mut p = self.root.clone();
+        for seg in path.split('/').filter(|s| !s.is_empty()) {
+            assert!(
+                seg != ".." && seg != ".",
+                "VFS paths must not contain . or .. segments"
+            );
+            p.push(seg);
+        }
+        p
+    }
+}
+
+struct StdFile {
+    file: File,
+}
+
+impl RandomAccessFile for StdFile {
+    fn read_exact_at(&self, off: u64, buf: &mut [u8]) -> io::Result<()> {
+        use std::os::unix::fs::FileExt;
+        self.file.read_exact_at(buf, off)
+    }
+
+    fn len(&self) -> io::Result<u64> {
+        Ok(self.file.metadata()?.len())
+    }
+}
+
+struct StdWriter {
+    file: File,
+    written: u64,
+}
+
+impl WritableFile for StdWriter {
+    fn append(&mut self, buf: &[u8]) -> io::Result<()> {
+        self.file.write_all(buf)?;
+        self.written += buf.len() as u64;
+        Ok(())
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        self.file.sync_data()
+    }
+
+    fn written(&self) -> u64 {
+        self.written
+    }
+}
+
+impl Vfs for StdVfs {
+    fn open(&self, path: &str) -> io::Result<Box<dyn RandomAccessFile>> {
+        let file = File::open(self.resolve(path))?;
+        Ok(Box::new(StdFile { file }))
+    }
+
+    fn create(&self, path: &str, _size_hint: u64) -> io::Result<Box<dyn WritableFile>> {
+        let file = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(self.resolve(path))?;
+        Ok(Box::new(StdWriter { file, written: 0 }))
+    }
+
+    fn rename(&self, from: &str, to: &str) -> io::Result<()> {
+        fs::rename(self.resolve(from), self.resolve(to))
+    }
+
+    fn remove(&self, path: &str) -> io::Result<()> {
+        fs::remove_file(self.resolve(path))
+    }
+
+    fn exists(&self, path: &str) -> bool {
+        self.resolve(path).exists()
+    }
+
+    fn mkdir_all(&self, path: &str) -> io::Result<()> {
+        fs::create_dir_all(self.resolve(path))
+    }
+
+    fn list_dir(&self, path: &str) -> io::Result<Vec<String>> {
+        let mut out = Vec::new();
+        for entry in fs::read_dir(self.resolve(path))? {
+            let entry = entry?;
+            if let Some(name) = entry.file_name().to_str() {
+                out.push(name.to_string());
+            }
+        }
+        Ok(out)
+    }
+
+    fn sync_dir(&self, path: &str) -> io::Result<()> {
+        // Opening a directory read-only and calling fsync on it persists the
+        // directory entries on Linux.
+        let dir = File::open(self.resolve(path))?;
+        dir.sync_all()
+    }
+
+    fn file_size(&self, path: &str) -> io::Result<u64> {
+        Ok(fs::metadata(self.resolve(path))?.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_vfs() -> (StdVfs, PathBuf) {
+        let dir = std::env::temp_dir().join(format!(
+            "ltvfs-test-{}-{:x}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .as_nanos()
+        ));
+        (StdVfs::new(&dir).unwrap(), dir)
+    }
+
+    #[test]
+    fn write_then_read_round_trips() {
+        let (vfs, dir) = temp_vfs();
+        let mut w = vfs.create("a.bin", 0).unwrap();
+        w.append(b"hello ").unwrap();
+        w.append(b"world").unwrap();
+        w.sync().unwrap();
+        assert_eq!(w.written(), 11);
+        drop(w);
+
+        let r = vfs.open("a.bin").unwrap();
+        assert_eq!(r.len().unwrap(), 11);
+        let mut buf = [0u8; 5];
+        r.read_exact_at(6, &mut buf).unwrap();
+        assert_eq!(&buf, b"world");
+        fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn rename_and_list() {
+        let (vfs, dir) = temp_vfs();
+        vfs.mkdir_all("t").unwrap();
+        vfs.create("t/one", 0).unwrap().append(b"1").unwrap();
+        vfs.rename("t/one", "t/two").unwrap();
+        vfs.sync_dir("t").unwrap();
+        let names = vfs.list_dir("t").unwrap();
+        assert_eq!(names, vec!["two".to_string()]);
+        assert!(vfs.exists("t/two"));
+        assert!(!vfs.exists("t/one"));
+        fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn file_size_and_remove() {
+        let (vfs, dir) = temp_vfs();
+        let mut w = vfs.create("x", 0).unwrap();
+        w.append(&[0u8; 1234]).unwrap();
+        drop(w);
+        assert_eq!(vfs.file_size("x").unwrap(), 1234);
+        vfs.remove("x").unwrap();
+        assert!(!vfs.exists("x"));
+        fs::remove_dir_all(dir).unwrap();
+    }
+}

@@ -1,0 +1,116 @@
+//! The file-system abstraction the engine is written against.
+//!
+//! LittleTable's on-disk footprint is simple — write-once tablet files, a
+//! table descriptor replaced by atomic rename, and per-table directories —
+//! so the trait surface is correspondingly small. Two implementations exist:
+//! [`crate::StdVfs`] over the real file system and [`crate::SimVfs`] over an
+//! in-memory store metered by [`crate::DiskModel`].
+
+use std::io;
+
+/// A file open for positional reads. Tablet files are immutable once
+/// written, so readers never observe concurrent mutation.
+pub trait RandomAccessFile: Send + Sync {
+    /// Reads exactly `buf.len()` bytes starting at `off`, or fails.
+    fn read_exact_at(&self, off: u64, buf: &mut [u8]) -> io::Result<()>;
+
+    /// Total length of the file in bytes.
+    fn len(&self) -> io::Result<u64>;
+
+    /// True when the file is empty.
+    fn is_empty(&self) -> io::Result<bool> {
+        Ok(self.len()? == 0)
+    }
+}
+
+/// A file open for appending. LittleTable writes every file front to back
+/// exactly once and then seals it.
+pub trait WritableFile: Send {
+    /// Appends `buf` to the file.
+    fn append(&mut self, buf: &[u8]) -> io::Result<()>;
+
+    /// Forces written data to stable storage. Data appended before a
+    /// returned `sync` survives a crash.
+    fn sync(&mut self) -> io::Result<()>;
+
+    /// Bytes appended so far.
+    fn written(&self) -> u64;
+}
+
+/// A file-system namespace.
+///
+/// Paths are plain UTF-8 strings relative to the VFS root, using `/` as the
+/// separator, which keeps the simulated implementation trivial and the real
+/// one portable.
+pub trait Vfs: Send + Sync {
+    /// Opens an existing file for positional reads.
+    fn open(&self, path: &str) -> io::Result<Box<dyn RandomAccessFile>>;
+
+    /// Creates (or truncates) a file for appending. `size_hint` lets the
+    /// simulated disk reserve a contiguous extent, mirroring ext4 extent
+    /// allocation for tablet-sized files.
+    fn create(&self, path: &str, size_hint: u64) -> io::Result<Box<dyn WritableFile>>;
+
+    /// Atomically replaces `to` with `from`, durably once `sync_dir` on the
+    /// parent returns.
+    fn rename(&self, from: &str, to: &str) -> io::Result<()>;
+
+    /// Removes a file.
+    fn remove(&self, path: &str) -> io::Result<()>;
+
+    /// True if a file exists at `path`.
+    fn exists(&self, path: &str) -> bool;
+
+    /// Creates a directory and any missing parents.
+    fn mkdir_all(&self, path: &str) -> io::Result<()>;
+
+    /// Lists the entries directly inside a directory (names, not paths),
+    /// in unspecified order.
+    fn list_dir(&self, path: &str) -> io::Result<Vec<String>>;
+
+    /// Forces directory metadata (creations, renames, removals under
+    /// `path`) to stable storage.
+    fn sync_dir(&self, path: &str) -> io::Result<()>;
+
+    /// Size of the file at `path`.
+    fn file_size(&self, path: &str) -> io::Result<u64>;
+}
+
+/// Joins two VFS path segments with a single `/`.
+pub fn join(dir: &str, name: &str) -> String {
+    if dir.is_empty() {
+        name.to_string()
+    } else if dir.ends_with('/') {
+        format!("{dir}{name}")
+    } else {
+        format!("{dir}/{name}")
+    }
+}
+
+/// Returns the parent directory of a VFS path (empty string for the root).
+pub fn parent(path: &str) -> &str {
+    match path.rfind('/') {
+        Some(i) => &path[..i],
+        None => "",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_handles_roots_and_slashes() {
+        assert_eq!(join("", "a"), "a");
+        assert_eq!(join("d", "a"), "d/a");
+        assert_eq!(join("d/", "a"), "d/a");
+        assert_eq!(join("d/e", "a"), "d/e/a");
+    }
+
+    #[test]
+    fn parent_strips_last_segment() {
+        assert_eq!(parent("a/b/c"), "a/b");
+        assert_eq!(parent("a"), "");
+        assert_eq!(parent(""), "");
+    }
+}

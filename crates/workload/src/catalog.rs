@@ -1,0 +1,169 @@
+//! Synthetic table catalogs matching §5.2.2 of the paper.
+//!
+//! Each production shard hosts ~270 LittleTable tables whose key and value
+//! sizes, TTLs, and batch sizes the paper characterizes:
+//!
+//! * median key 45 B, every key < 128 B (Fig. 8);
+//! * median value 61 B, 91% of tables average ≤ 1 kB, a tail of
+//!   probabilistic-set values up to 75 kB (Fig. 8);
+//! * median table ~875 MB compressed, largest 704 GB;
+//! * TTLs mostly a year or longer, bounded by disk (Fig. 10, lower line);
+//! * batch sizes: the bottom 20% of tables insert single rows, half see
+//!   ≥128 rows per batch, the top 20% over 6,000 (§5.2.4).
+
+use crate::dist::lognormal;
+use littletable_vfs::Micros;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::Serialize;
+
+const DAY: Micros = 86_400 * 1_000_000;
+
+/// A synthesized table's shape.
+#[derive(Debug, Clone, Serialize)]
+pub struct TableSpec {
+    /// Table name.
+    pub name: String,
+    /// Average encoded key size in bytes (< 128).
+    pub key_bytes: u32,
+    /// Average value payload size in bytes (≤ 75 kB).
+    pub value_bytes: u32,
+    /// Total compressed size in bytes.
+    pub table_bytes: u64,
+    /// Row time-to-live.
+    pub ttl: Micros,
+    /// Average rows per insert batch.
+    pub batch_rows: u32,
+}
+
+impl TableSpec {
+    /// Average row footprint (key + value).
+    pub fn row_bytes(&self) -> u64 {
+        (self.key_bytes + self.value_bytes) as u64
+    }
+}
+
+/// Generates one shard's catalog of `n` tables, deterministic in `seed`.
+pub fn generate_catalog(n: usize, seed: u64) -> Vec<TableSpec> {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0xCA7A_0609);
+    (0..n)
+        .map(|i| {
+            // Keys: lognormal around 45 B, clamped below 128 B.
+            let key_bytes = lognormal(&mut rng, 45f64.ln(), 0.45).clamp(8.0, 127.0) as u32;
+            // Values: lognormal around 61 B with a heavy tail; ~9% of
+            // tables exceed 1 kB, capped at 75 kB (HLL-style sketches).
+            let value_bytes = if rng.gen_bool(0.03) {
+                rng.gen_range(4_096.0..75_000.0)
+            } else {
+                lognormal(&mut rng, 61f64.ln(), 1.15).clamp(4.0, 4_096.0)
+            } as u32;
+            // Table sizes: median ~875 MB, max ~704 GB.
+            let table_bytes =
+                lognormal(&mut rng, (875f64 * 1e6).ln(), 1.9).clamp(1e6, 7.04e11) as u64;
+            // TTLs: most tables keep a year or more; steps at human spans.
+            let ttl_days = *crate::dist::weighted_choice(
+                &mut rng,
+                &[
+                    (&7i64, 0.03),
+                    (&30, 0.06),
+                    (&90, 0.08),
+                    (&180, 0.08),
+                    (&395, 0.45),
+                    (&790, 0.30),
+                ],
+            );
+            // Batch sizes (§5.2.4): bottom 20% single rows, half ≥ 128,
+            // top 20% over 6,000.
+            let batch_rows = *crate::dist::weighted_choice(
+                &mut rng,
+                &[
+                    (&1u32, 0.20),
+                    (&32, 0.15),
+                    (&128, 0.15),
+                    (&512, 0.20),
+                    (&2_048, 0.10),
+                    (&6_500, 0.15),
+                    (&20_000, 0.05),
+                ],
+            );
+            TableSpec {
+                name: format!("table_{i:03}"),
+                key_bytes,
+                value_bytes,
+                table_bytes,
+                ttl: ttl_days * DAY,
+                batch_rows,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::Cdf;
+
+    fn catalog() -> Vec<TableSpec> {
+        generate_catalog(270, 7)
+    }
+
+    #[test]
+    fn key_sizes_match_paper() {
+        let c = catalog();
+        let keys = Cdf::from_samples(c.iter().map(|t| t.key_bytes as f64).collect());
+        let median = keys.quantile(0.5);
+        assert!((30.0..60.0).contains(&median), "median key {median}");
+        assert!(keys.max() < 128.0, "all keys under 128 B");
+    }
+
+    #[test]
+    fn value_sizes_match_paper() {
+        let c = catalog();
+        let values = Cdf::from_samples(c.iter().map(|t| t.value_bytes as f64).collect());
+        let median = values.quantile(0.5);
+        assert!((35.0..110.0).contains(&median), "median value {median}");
+        // ~91% of tables average ≤ 1 kB.
+        let frac_small = values.fraction_le(1024.0);
+        assert!(frac_small > 0.85 && frac_small < 0.99, "frac={frac_small}");
+        assert!(values.max() <= 75_000.0);
+    }
+
+    #[test]
+    fn table_sizes_match_paper() {
+        let c = generate_catalog(2000, 3);
+        let sizes = Cdf::from_samples(c.iter().map(|t| t.table_bytes as f64).collect());
+        let median = sizes.quantile(0.5);
+        assert!(
+            (300e6..2.5e9).contains(&median),
+            "median table size {median}"
+        );
+        assert!(sizes.max() <= 7.04e11);
+    }
+
+    #[test]
+    fn ttls_mostly_a_year_or_longer() {
+        let c = catalog();
+        let year = 365 * DAY;
+        let long = c.iter().filter(|t| t.ttl >= year).count();
+        assert!(long * 100 / c.len() >= 60, "long-ttl fraction too small");
+    }
+
+    #[test]
+    fn batch_size_quantiles() {
+        let c = generate_catalog(2000, 5);
+        let batches = Cdf::from_samples(c.iter().map(|t| t.batch_rows as f64).collect());
+        assert!(batches.quantile(0.5) >= 128.0, "half see ≥128-row batches");
+        assert!(batches.quantile(0.85) >= 6_000.0, "top 20% over 6000");
+        assert!(batches.fraction_le(1.0) >= 0.15, "bottom fifth single rows");
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate_catalog(10, 42);
+        let b = generate_catalog(10, 42);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.key_bytes, y.key_bytes);
+            assert_eq!(x.table_bytes, y.table_bytes);
+        }
+    }
+}

@@ -1,0 +1,151 @@
+//! Distribution samplers and CDF utilities for the fleet model.
+
+use rand::Rng;
+use serde::Serialize;
+
+/// Draws a standard normal via Box–Muller.
+pub fn standard_normal<R: Rng>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Draws from a log-normal with the given log-space mean and deviation.
+pub fn lognormal<R: Rng>(rng: &mut R, mu: f64, sigma: f64) -> f64 {
+    (mu + sigma * standard_normal(rng)).exp()
+}
+
+/// An empirical cumulative distribution function, the shape every
+/// production figure in §5.2 is plotted as.
+#[derive(Debug, Clone, Serialize, PartialEq)]
+pub struct Cdf {
+    /// `(value, cumulative fraction ≤ value)` points, ascending in value.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Cdf {
+    /// Builds a CDF from raw samples.
+    pub fn from_samples(mut samples: Vec<f64>) -> Cdf {
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let n = samples.len().max(1) as f64;
+        let points = samples
+            .into_iter()
+            .enumerate()
+            .map(|(i, v)| (v, (i + 1) as f64 / n))
+            .collect();
+        Cdf { points }
+    }
+
+    /// The value at a cumulative fraction `q` in `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.points.is_empty() {
+            return 0.0;
+        }
+        let idx = ((q * self.points.len() as f64).ceil() as usize)
+            .clamp(1, self.points.len())
+            - 1;
+        self.points[idx].0
+    }
+
+    /// The fraction of samples ≤ `v`.
+    pub fn fraction_le(&self, v: f64) -> f64 {
+        match self
+            .points
+            .binary_search_by(|(x, _)| x.partial_cmp(&v).unwrap())
+        {
+            Ok(mut i) => {
+                // Step to the last equal value.
+                while i + 1 < self.points.len() && self.points[i + 1].0 <= v {
+                    i += 1;
+                }
+                self.points[i].1
+            }
+            Err(0) => 0.0,
+            Err(i) => self.points[i - 1].1,
+        }
+    }
+
+    /// The largest sample.
+    pub fn max(&self) -> f64 {
+        self.points.last().map(|&(v, _)| v).unwrap_or(0.0)
+    }
+
+    /// The sum of all samples (useful for totals like "320 TB system-wide").
+    pub fn total(&self) -> f64 {
+        // Points carry cumulative fractions, not weights, so reconstruct.
+        self.points.iter().map(|&(v, _)| v).sum()
+    }
+
+    /// Downsamples to at most `n` evenly spaced points for printing.
+    pub fn downsample(&self, n: usize) -> Cdf {
+        if self.points.len() <= n || n == 0 {
+            return self.clone();
+        }
+        let step = self.points.len() as f64 / n as f64;
+        let mut points: Vec<(f64, f64)> = (0..n)
+            .map(|i| self.points[((i as f64 + 1.0) * step) as usize - 1])
+            .collect();
+        if points.last() != self.points.last() {
+            points.push(*self.points.last().unwrap());
+        }
+        Cdf { points }
+    }
+}
+
+/// Draws a value from a discrete weighted set.
+pub fn weighted_choice<R: Rng, T: Copy>(rng: &mut R, items: &[(T, f64)]) -> T {
+    let total: f64 = items.iter().map(|(_, w)| w).sum();
+    let mut x = rng.gen_range(0.0..total);
+    for &(item, w) in items {
+        if x < w {
+            return item;
+        }
+        x -= w;
+    }
+    items.last().unwrap().0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn lognormal_has_right_median() {
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(1);
+        let samples: Vec<f64> = (0..20_000).map(|_| lognormal(&mut rng, 3.0, 1.0)).collect();
+        let cdf = Cdf::from_samples(samples);
+        let median = cdf.quantile(0.5);
+        // Median of lognormal is e^mu ≈ 20.1.
+        assert!((median - 20.1).abs() / 20.1 < 0.1, "median={median}");
+    }
+
+    #[test]
+    fn cdf_quantile_and_fraction_roundtrip() {
+        let cdf = Cdf::from_samples(vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(cdf.quantile(0.5), 2.0);
+        assert_eq!(cdf.quantile(1.0), 4.0);
+        assert_eq!(cdf.fraction_le(2.0), 0.5);
+        assert_eq!(cdf.fraction_le(0.5), 0.0);
+        assert_eq!(cdf.fraction_le(9.0), 1.0);
+        assert_eq!(cdf.max(), 4.0);
+    }
+
+    #[test]
+    fn downsample_keeps_extremes() {
+        let cdf = Cdf::from_samples((1..=1000).map(|i| i as f64).collect());
+        let d = cdf.downsample(10);
+        assert!(d.points.len() <= 11);
+        assert_eq!(d.max(), 1000.0);
+    }
+
+    #[test]
+    fn weighted_choice_respects_weights() {
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(2);
+        let items = [(1u32, 0.9), (2u32, 0.1)];
+        let ones = (0..10_000)
+            .filter(|_| weighted_choice(&mut rng, &items) == 1)
+            .count();
+        assert!((8_500..9_500).contains(&ones), "ones={ones}");
+    }
+}

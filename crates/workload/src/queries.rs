@@ -1,0 +1,158 @@
+//! Query-workload models: lookback periods (Fig. 10, upper line), the
+//! query mix behind the rows-scanned/rows-returned distribution (Fig. 9),
+//! and the long-term rate model (§5.2.3).
+
+use littletable_vfs::Micros;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::Serialize;
+
+const HOUR: Micros = 3_600 * 1_000_000;
+const DAY: Micros = 24 * HOUR;
+
+/// Samples a query's lookback period (how far back its oldest requested
+/// timestamp lies). Per Fig. 10: over 90% of requests cover only the most
+/// recent week; the tail stretches to two years of forensics.
+pub fn sample_lookback<R: Rng>(rng: &mut R) -> Micros {
+    let r: f64 = rng.gen();
+    match r {
+        x if x < 0.35 => HOUR,          // debugging the last hour
+        x if x < 0.60 => 8 * HOUR,      // today
+        x if x < 0.80 => DAY,           // one day
+        x if x < 0.93 => 7 * DAY,       // weekly summary
+        x if x < 0.965 => 30 * DAY,     // monthly rollup view
+        x if x < 0.985 => 90 * DAY,     // quarterly
+        x if x < 0.995 => 365 * DAY,    // year-end CIO report
+        _ => 790 * DAY,                 // deep forensics
+    }
+}
+
+/// One query in the production mix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum QueryKind {
+    /// A bounded scan of one device's recent rows.
+    DeviceScan,
+    /// A bounded scan of a whole network.
+    NetworkScan,
+    /// A latest-row-for-prefix lookup (the inefficient tail of Fig. 9).
+    LatestForPrefix,
+}
+
+/// Samples the production query mix: mostly well-bounded scans, a small
+/// minority of latest-for-prefix lookups (§5.2.4).
+pub fn sample_query_kind<R: Rng>(rng: &mut R) -> QueryKind {
+    let r: f64 = rng.gen();
+    if r < 0.55 {
+        QueryKind::DeviceScan
+    } else if r < 0.97 {
+        QueryKind::NetworkScan
+    } else {
+        QueryKind::LatestForPrefix
+    }
+}
+
+/// The long-term per-shard rate model (§5.2.3): averages of 14,000
+/// rows/second inserted and 143,000 rows/second returned, with diurnal
+/// variation and quiet weekends.
+#[derive(Debug, Clone, Serialize)]
+pub struct RateModel {
+    /// Average insert rate, rows/second.
+    pub avg_insert_rows_per_sec: f64,
+    /// Average query-return rate, rows/second.
+    pub avg_query_rows_per_sec: f64,
+}
+
+impl Default for RateModel {
+    fn default() -> Self {
+        RateModel {
+            avg_insert_rows_per_sec: 14_000.0,
+            avg_query_rows_per_sec: 143_000.0,
+        }
+    }
+}
+
+impl RateModel {
+    /// The instantaneous rate multiplier at an hour-of-week in `[0, 168)`:
+    /// a smooth diurnal wave damped on the weekend, normalized so the
+    /// weekly mean is 1.
+    pub fn hourly_multiplier(hour_of_week: f64) -> f64 {
+        let hour_of_day = hour_of_week % 24.0;
+        let day = (hour_of_week / 24.0) as u32; // 0 = Monday
+        let weekend = day >= 5;
+        let diurnal = 1.0 + 0.55 * ((hour_of_day - 14.0) / 24.0 * std::f64::consts::TAU).cos();
+        let base = if weekend { 0.55 } else { 1.18 };
+        base * diurnal
+    }
+
+    /// Insert rows/second at an hour-of-week.
+    pub fn insert_rate_at(&self, hour_of_week: f64) -> f64 {
+        self.avg_insert_rows_per_sec * Self::hourly_multiplier(hour_of_week)
+    }
+
+    /// Query-return rows/second at an hour-of-week.
+    pub fn query_rate_at(&self, hour_of_week: f64) -> f64 {
+        self.avg_query_rows_per_sec * Self::hourly_multiplier(hour_of_week)
+    }
+}
+
+/// Samples `n` query lookbacks deterministically.
+pub fn lookback_samples(n: usize, seed: u64) -> Vec<Micros> {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x100C_BACC);
+    (0..n).map(|_| sample_lookback(&mut rng)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookbacks_match_fig10() {
+        let samples = lookback_samples(20_000, 1);
+        let week = 7 * DAY;
+        let within_week = samples.iter().filter(|&&l| l <= week).count();
+        let frac = within_week as f64 / samples.len() as f64;
+        assert!(frac > 0.90, "within-week fraction {frac}");
+        // But the tail exists: someone looks back a year or more.
+        assert!(samples.iter().any(|&l| l >= 365 * DAY));
+    }
+
+    #[test]
+    fn query_mix_has_latest_minority() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let n = 20_000;
+        let latest = (0..n)
+            .filter(|_| sample_query_kind(&mut rng) == QueryKind::LatestForPrefix)
+            .count();
+        let frac = latest as f64 / n as f64;
+        assert!(frac > 0.01 && frac < 0.08, "latest fraction {frac}");
+    }
+
+    #[test]
+    fn rate_model_weekly_mean_is_near_average() {
+        let m = RateModel::default();
+        let mean: f64 = (0..168)
+            .map(|h| m.insert_rate_at(h as f64))
+            .sum::<f64>()
+            / 168.0;
+        let err = (mean - m.avg_insert_rows_per_sec).abs() / m.avg_insert_rows_per_sec;
+        assert!(err < 0.05, "weekly mean off by {err}");
+    }
+
+    #[test]
+    fn weekends_are_quieter_and_nights_dip() {
+        // Tuesday 14:00 vs Saturday 14:00.
+        let weekday = RateModel::hourly_multiplier(24.0 + 14.0);
+        let weekend = RateModel::hourly_multiplier(5.0 * 24.0 + 14.0);
+        assert!(weekday > weekend * 1.5);
+        // 14:00 vs 02:00 on the same weekday.
+        let midday = RateModel::hourly_multiplier(14.0);
+        let night = RateModel::hourly_multiplier(2.0);
+        assert!(midday > night);
+    }
+
+    #[test]
+    fn workload_is_read_heavy() {
+        let m = RateModel::default();
+        assert!(m.avg_query_rows_per_sec / m.avg_insert_rows_per_sec > 5.0);
+    }
+}

@@ -1,0 +1,154 @@
+//! The shard fleet model (§2.1, §5.2.1, Fig. 7).
+//!
+//! Dashboard is horizontally partitioned into several hundred shards. The
+//! operations team splits a shard when its PostgreSQL size exceeds RAM or
+//! its LittleTable data fills the disks, so LittleTable holds roughly 20×
+//! more data than PostgreSQL — the ratio of disk to main memory on the
+//! servers. As of the paper's snapshot: 320 TB total LittleTable (largest
+//! instance 6.7 TB) versus 14 TB PostgreSQL (largest 341 GB).
+
+use crate::dist::{lognormal, Cdf};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use serde::Serialize;
+
+/// One shard's storage footprint.
+#[derive(Debug, Clone, Serialize)]
+pub struct ShardSpec {
+    /// Shard index.
+    pub id: u32,
+    /// LittleTable bytes on this shard.
+    pub littletable_bytes: u64,
+    /// PostgreSQL bytes on this shard.
+    pub postgres_bytes: u64,
+    /// Meraki devices hosted (the primary load determinant, §2.2).
+    pub devices: u32,
+}
+
+/// A synthesized fleet.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fleet {
+    /// All shards.
+    pub shards: Vec<ShardSpec>,
+}
+
+impl Fleet {
+    /// Generates `n` shards deterministic in `seed`, calibrated to the
+    /// paper's totals and maxima.
+    pub fn generate(n: usize, seed: u64) -> Fleet {
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0x5AD5);
+        let mut shards: Vec<ShardSpec> = (0..n as u32)
+            .map(|id| {
+                // LittleTable per shard: lognormal with mean ≈ 320 TB / n,
+                // clamped below the observed 6.7 TB maximum (operators
+                // split shards whose disks fill, §2.2).
+                let sigma = 1.0f64;
+                let mu = (320e12 / n as f64).ln() - sigma * sigma / 2.0;
+                let lt = lognormal(&mut rng, mu, sigma).clamp(3e10, 6.7e12) as u64;
+                // PostgreSQL is roughly LittleTable / 20, capped at 341 GB.
+                let pg = ((lt as f64 / 20.0) * lognormal(&mut rng, 0.0, 0.35))
+                    .clamp(1e9, 3.41e11) as u64;
+                // Device counts scale with stored telemetry, up to the ~30k
+                // devices the largest shards host (§2.1).
+                let devices = ((lt as f64 / 1e8) * lognormal(&mut rng, 0.0, 0.3))
+                    .clamp(300.0, 33_000.0) as u32;
+                ShardSpec {
+                    id,
+                    littletable_bytes: lt,
+                    postgres_bytes: pg,
+                    devices,
+                }
+            })
+            .collect();
+        // Normalize so the fleet total matches the paper's 320 TB while
+        // preserving shape (rescale, re-clamping the max).
+        let total: f64 = shards.iter().map(|s| s.littletable_bytes as f64).sum();
+        let scale = 320e12 / total;
+        for s in &mut shards {
+            s.littletable_bytes = ((s.littletable_bytes as f64 * scale) as u64).min(6_700_000_000_000);
+            s.postgres_bytes = ((s.postgres_bytes as f64 * scale) as u64).min(341_000_000_000);
+        }
+        Fleet { shards }
+    }
+
+    /// CDF of LittleTable sizes across shards (Fig. 7, solid line).
+    pub fn littletable_cdf(&self) -> Cdf {
+        Cdf::from_samples(
+            self.shards
+                .iter()
+                .map(|s| s.littletable_bytes as f64)
+                .collect(),
+        )
+    }
+
+    /// CDF of PostgreSQL sizes across shards (Fig. 7, dashed line).
+    pub fn postgres_cdf(&self) -> Cdf {
+        Cdf::from_samples(
+            self.shards
+                .iter()
+                .map(|s| s.postgres_bytes as f64)
+                .collect(),
+        )
+    }
+
+    /// Total LittleTable bytes fleet-wide.
+    pub fn littletable_total(&self) -> u64 {
+        self.shards.iter().map(|s| s.littletable_bytes).sum()
+    }
+
+    /// Total PostgreSQL bytes fleet-wide.
+    pub fn postgres_total(&self) -> u64 {
+        self.shards.iter().map(|s| s.postgres_bytes).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_match_paper_scale() {
+        let f = Fleet::generate(400, 17);
+        let lt_total = f.littletable_total() as f64;
+        assert!(
+            (2.4e14..3.4e14).contains(&lt_total),
+            "LT total = {lt_total:.2e}"
+        );
+        let pg_total = f.postgres_total() as f64;
+        assert!(
+            (0.5e13..3.0e13).contains(&pg_total),
+            "PG total = {pg_total:.2e}"
+        );
+        // LittleTable holds roughly 20x PostgreSQL.
+        let ratio = lt_total / pg_total;
+        assert!((10.0..35.0).contains(&ratio), "ratio = {ratio}");
+    }
+
+    #[test]
+    fn maxima_match_paper() {
+        let f = Fleet::generate(400, 17);
+        let lt_max = f.littletable_cdf().max();
+        assert!(lt_max <= 6.7e12);
+        assert!(lt_max > 2.0e12, "some shard should be multi-TB: {lt_max:.2e}");
+        let pg_max = f.postgres_cdf().max();
+        assert!(pg_max <= 3.41e11);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = Fleet::generate(50, 3);
+        let b = Fleet::generate(50, 3);
+        assert_eq!(
+            a.shards.iter().map(|s| s.littletable_bytes).sum::<u64>(),
+            b.shards.iter().map(|s| s.littletable_bytes).sum::<u64>()
+        );
+    }
+
+    #[test]
+    fn device_counts_are_plausible() {
+        let f = Fleet::generate(400, 9);
+        assert!(f.shards.iter().all(|s| s.devices >= 300));
+        assert!(f.shards.iter().any(|s| s.devices > 15_000));
+        assert!(f.shards.iter().all(|s| s.devices <= 33_000));
+    }
+}

@@ -1,0 +1,77 @@
+//! A SQL shell for a local LittleTable directory.
+//!
+//! ```text
+//! ltsql --data DIR [-e STATEMENT]...
+//! echo "SHOW TABLES" | ltsql --data DIR
+//! ```
+
+use littletable::{Db, Options, Session, SqlOutput};
+use std::io::BufRead;
+
+fn print_output(out: SqlOutput) {
+    match out {
+        SqlOutput::Done => println!("ok"),
+        SqlOutput::Count(n) => println!("{n} rows"),
+        SqlOutput::Rows { columns, rows } => {
+            println!("{}", columns.join(" | "));
+            for row in &rows {
+                let cells: Vec<String> = row.iter().map(|v| v.to_string()).collect();
+                println!("{}", cells.join(" | "));
+            }
+            println!("({} rows)", rows.len());
+        }
+    }
+}
+
+fn main() {
+    let mut data = "./littletable-data".to_string();
+    let mut statements: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--data" => data = args.next().expect("--data needs a directory"),
+            "-e" => statements.push(args.next().expect("-e needs a statement")),
+            "--help" | "-h" => {
+                eprintln!("usage: ltsql --data DIR [-e STATEMENT]...");
+                eprintln!("       (reads statements from stdin when no -e is given)");
+                return;
+            }
+            other => {
+                eprintln!("unknown argument {other:?}; try --help");
+                std::process::exit(2);
+            }
+        }
+    }
+    let db = match Db::open_local(&data, Options::default()) {
+        Ok(db) => db,
+        Err(e) => {
+            eprintln!("failed to open {data}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let session = Session::new(db.clone());
+    let run = |sql: &str| {
+        let sql = sql.trim();
+        if sql.is_empty() {
+            return;
+        }
+        match session.execute(sql) {
+            Ok(out) => print_output(out),
+            Err(e) => eprintln!("error: {e}"),
+        }
+    };
+    if statements.is_empty() {
+        for line in std::io::stdin().lock().lines() {
+            match line {
+                Ok(l) => run(&l),
+                Err(_) => break,
+            }
+        }
+    } else {
+        for s in &statements {
+            run(s);
+        }
+    }
+    // Politely persist memtables before exit (the engine itself would not).
+    let _ = db.flush_all();
+}

@@ -1,0 +1,159 @@
+//! Whole-pipeline application tests: the simulated fleet feeding all
+//! three grabbers, aggregators deriving rollups/sketches/tag tables, and
+//! a mid-pipeline LittleTable crash — verifying the paper's claim that a
+//! crash "appears to customers as no more than temporary unreachability
+//! of their devices" (§4.1.1).
+
+use littletable::apps::aggregate::{
+    client_sketch_schema, estimate_clients, rollup_schema, rollup_usage_by_tag, tag_usage_schema,
+    write_client_sketches, UsageRollup,
+};
+use littletable::apps::config::ConfigStore;
+use littletable::apps::device::{Fleet, MINUTE};
+use littletable::apps::events::{events_schema, EventsGrabber};
+use littletable::apps::motion::{motion_heatmap, motion_schema, MotionGrabber};
+use littletable::apps::usage::{bytes_per_device, usage_schema, UsageGrabber};
+use littletable::vfs::{Clock, SimClock, SimVfs};
+use littletable::{Db, Options, Query, Value};
+use std::sync::Arc;
+
+const EPOCH: i64 = 1_700_000_000_000_000;
+
+fn open(vfs: &SimVfs, clock: &SimClock) -> Db {
+    Db::open(
+        Arc::new(vfs.clone()),
+        Arc::new(clock.clone()),
+        Options::small_for_tests(),
+    )
+    .unwrap()
+}
+
+#[test]
+fn full_shard_pipeline_with_crash() {
+    let vfs = SimVfs::instant();
+    let clock = SimClock::new(EPOCH);
+    let db = open(&vfs, &clock);
+    let fleet = Fleet::new(EPOCH, 2, 3, 5);
+
+    let usage = db.create_table("usage", usage_schema(), None).unwrap();
+    let events = db.create_table("events", events_schema(), None).unwrap();
+    let motion = db.create_table("motion", motion_schema(), None).unwrap();
+    let rollup = db.create_table("rollup", rollup_schema(), None).unwrap();
+
+    let mut ug = UsageGrabber::new(usage.clone(), 3600 * 1_000_000);
+    let mut eg = EventsGrabber::new(events.clone(), None);
+    let mut mg = MotionGrabber::new(motion.clone());
+
+    // One hour of normal operation.
+    for _ in 0..60 {
+        let now = clock.now_micros();
+        ug.poll_all(&fleet, now).unwrap();
+        eg.poll_all(&fleet, now).unwrap();
+        mg.poll_all(&fleet, now, MINUTE).unwrap();
+        clock.advance(MINUTE);
+        db.maintain().unwrap();
+    }
+    db.flush_all().unwrap();
+    let usage_rows = usage.query_all(&Query::all()).unwrap().len();
+    let event_rows = events.query_all(&Query::all()).unwrap().len();
+    let motion_rows = motion.query_all(&Query::all()).unwrap().len();
+    assert!(usage_rows > 0 && event_rows > 0 && motion_rows > 0);
+
+    // Ten more minutes of unflushed activity, then the crash.
+    for _ in 0..10 {
+        let now = clock.now_micros();
+        ug.poll_all(&fleet, now).unwrap();
+        eg.poll_all(&fleet, now).unwrap();
+        mg.poll_all(&fleet, now, MINUTE).unwrap();
+        clock.advance(MINUTE);
+    }
+    vfs.crash();
+    let db = open(&vfs, &clock);
+    let usage = db.table("usage").unwrap();
+    let events = db.table("events").unwrap();
+    let motion = db.table("motion").unwrap();
+    let rollup = {
+        let _ = rollup; // old handle belongs to the dead engine
+        db.table("rollup").unwrap()
+    };
+    assert_eq!(usage.query_all(&Query::all()).unwrap().len(), usage_rows);
+    assert_eq!(events.query_all(&Query::all()).unwrap().len(), event_rows);
+
+    // Fresh daemons recover their caches and carry on; events are
+    // re-fetched from the devices (recoverable), usage shows a short gap.
+    let mut ug = UsageGrabber::new(usage.clone(), 3600 * 1_000_000);
+    ug.rebuild_cache(clock.now_micros()).unwrap();
+    let mut eg = EventsGrabber::new(events.clone(), None);
+    eg.rebuild_cache(&fleet, clock.now_micros(), 3600 * 1_000_000)
+        .unwrap();
+    let mut mg = MotionGrabber::new(motion.clone());
+    for _ in 0..20 {
+        let now = clock.now_micros();
+        ug.poll_all(&fleet, now).unwrap();
+        eg.poll_all(&fleet, now).unwrap();
+        mg.poll_all(&fleet, now, 15 * MINUTE).unwrap();
+        clock.advance(MINUTE);
+        db.maintain().unwrap();
+    }
+    // Events caught back up completely: every device event up to the
+    // final poll instant is present exactly once.
+    let now = clock.now_micros();
+    eg.poll_all(&fleet, now).unwrap();
+    let mut expected_events = 0;
+    for &dev in fleet.devices() {
+        expected_events += fleet.poll_events(dev, None, now, usize::MAX).unwrap().len();
+    }
+    assert_eq!(events.query_all(&Query::all()).unwrap().len(), expected_events);
+
+    // The rollup aggregator processes everything durable.
+    let mut agg = UsageRollup::new(usage.clone(), rollup.clone(), 10 * MINUTE, 0);
+    agg.recover(clock.now_micros()).unwrap();
+    agg.run_once(clock.now_micros()).unwrap();
+    assert!(!rollup.query_all(&Query::all()).unwrap().is_empty());
+
+    // Dashboard-style reads work across the whole span.
+    let per_dev = bytes_per_device(&usage, 1, EPOCH, clock.now_micros()).unwrap();
+    assert_eq!(per_dev.len(), 3);
+    let grid = motion_heatmap(&motion, fleet.devices()[0], EPOCH, clock.now_micros()).unwrap();
+    assert!(grid.iter().flatten().sum::<u64>() > 0);
+}
+
+#[test]
+fn sketches_and_tags_join_littletable_with_config() {
+    let vfs = SimVfs::instant();
+    let clock = SimClock::new(EPOCH);
+    let db = open(&vfs, &clock);
+    let fleet = Fleet::new(EPOCH, 1, 4, 9);
+    let usage = db.create_table("usage", usage_schema(), None).unwrap();
+    let sketches = db
+        .create_table("clients", client_sketch_schema(), None)
+        .unwrap();
+    let tags = db.create_table("bytag", tag_usage_schema(), None).unwrap();
+
+    let mut ug = UsageGrabber::new(usage.clone(), 3600 * 1_000_000);
+    for _ in 0..30 {
+        ug.poll_all(&fleet, clock.now_micros()).unwrap();
+        clock.advance(MINUTE);
+    }
+
+    // Client sightings → HLL sketches, across two buckets.
+    write_client_sketches(&sketches, clock.now_micros(), (0..800).map(|c| (1i64, c))).unwrap();
+    clock.advance(10 * MINUTE);
+    write_client_sketches(
+        &sketches,
+        clock.now_micros(),
+        (400..1200).map(|c| (1i64, c)),
+    )
+    .unwrap();
+    let est = estimate_clients(&sketches, 1, EPOCH, clock.now_micros() + 1).unwrap();
+    assert!((est - 1200.0).abs() / 1200.0 < 0.1, "est = {est}");
+
+    // Tag joins against the config store.
+    let config = ConfigStore::new();
+    config.tag_device(fleet.devices()[0], "lobby");
+    config.tag_device(fleet.devices()[1], "lobby");
+    rollup_usage_by_tag(&usage, &tags, &config, EPOCH, clock.now_micros()).unwrap();
+    let rows = tags.query_all(&Query::all()).unwrap();
+    assert_eq!(rows.len(), 1);
+    assert_eq!(rows[0].values[0], Value::Str("lobby".into()));
+}

@@ -1,0 +1,210 @@
+//! Model-based testing: random interleavings of inserts, flushes, merges,
+//! TTL advances, and queries run against both the engine and a trivial
+//! in-memory oracle (a sorted map). Every query's results must match the
+//! oracle exactly — ordering, bounds, duplicates, TTL filtering, limits.
+
+use littletable::vfs::{Clock, SimClock, SimVfs};
+use littletable::{ColumnDef, ColumnType, Db, Options, Query, Schema, Value};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+const START: i64 = 1_700_000_000_000_000;
+
+fn schema() -> Schema {
+    Schema::new(
+        vec![
+            ColumnDef::new("a", ColumnType::I64),
+            ColumnDef::new("b", ColumnType::Str),
+            ColumnDef::new("ts", ColumnType::Timestamp),
+            ColumnDef::new("v", ColumnType::I64),
+        ],
+        &["a", "b", "ts"],
+    )
+    .unwrap()
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert { a: i64, b: String, ts_off: i64, v: i64 },
+    Flush,
+    Merge,
+    AdvanceClock { micros: i64 },
+    QueryPrefix { a: i64, desc: bool, limit: Option<usize> },
+    QueryTs { lo_off: i64, hi_off: i64 },
+    Latest { a: i64 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        6 => (0..4i64, "[a-c]{0,2}", -50_000..50_000i64, any::<i64>()).prop_map(
+            |(a, b, ts_off, v)| Op::Insert { a, b, ts_off, v }
+        ),
+        1 => Just(Op::Flush),
+        1 => Just(Op::Merge),
+        1 => (1..100_000i64).prop_map(|micros| Op::AdvanceClock { micros }),
+        2 => (0..4i64, any::<bool>(), proptest::option::of(1..20usize))
+            .prop_map(|(a, desc, limit)| Op::QueryPrefix { a, desc, limit }),
+        2 => (-50_000..50_000i64, -50_000..50_000i64)
+            .prop_map(|(lo_off, hi_off)| Op::QueryTs { lo_off, hi_off }),
+        1 => (0..4i64).prop_map(|a| Op::Latest { a }),
+    ]
+}
+
+type OracleKey = (i64, String, i64);
+
+fn run_ops(ops: Vec<Op>) {
+    let clock = SimClock::new(START);
+    let vfs = SimVfs::instant();
+    let mut opts = Options::small_for_tests();
+    opts.flush_size = 2 << 10; // frequent seals: exercise the tablet paths
+    let db = Db::open(Arc::new(vfs), Arc::new(clock.clone()), opts).unwrap();
+    let table = db.create_table("t", schema(), None).unwrap();
+    let mut oracle: BTreeMap<OracleKey, i64> = BTreeMap::new();
+
+    let to_rows = |entries: Vec<(&OracleKey, &i64)>| -> Vec<Vec<Value>> {
+        entries
+            .into_iter()
+            .map(|((a, b, ts), v)| {
+                vec![
+                    Value::I64(*a),
+                    Value::Str(b.clone()),
+                    Value::Timestamp(*ts),
+                    Value::I64(*v),
+                ]
+            })
+            .collect()
+    };
+
+    for op in ops {
+        match op {
+            Op::Insert { a, b, ts_off, v } => {
+                let ts = START + ts_off;
+                let report = table
+                    .insert(vec![vec![
+                        Value::I64(a),
+                        Value::Str(b.clone()),
+                        Value::Timestamp(ts),
+                        Value::I64(v),
+                    ]])
+                    .unwrap();
+                let key = (a, b, ts);
+                if let std::collections::btree_map::Entry::Vacant(e) = oracle.entry(key.clone()) {
+                    assert_eq!(report.inserted, 1, "engine rejected a fresh key {key:?}");
+                    e.insert(v);
+                } else {
+                    assert_eq!(report.duplicates, 1, "engine accepted a duplicate {key:?}");
+                }
+            }
+            Op::Flush => table.flush_all().unwrap(),
+            Op::Merge => {
+                table.run_merge_once(clock.now_micros()).unwrap();
+            }
+            Op::AdvanceClock { micros } => clock.advance(micros),
+            Op::QueryPrefix { a, desc, limit } => {
+                let mut q = Query::all().with_prefix(vec![Value::I64(a)]);
+                if desc {
+                    q = q.descending();
+                }
+                if let Some(n) = limit {
+                    q = q.with_limit(n);
+                }
+                let got = table.query_all(&q).unwrap();
+                let mut expect: Vec<_> =
+                    oracle.iter().filter(|((x, _, _), _)| *x == a).collect();
+                if desc {
+                    expect.reverse();
+                }
+                if let Some(n) = limit {
+                    expect.truncate(n);
+                }
+                assert_eq!(
+                    got.iter().map(|r| r.values.clone()).collect::<Vec<_>>(),
+                    to_rows(expect),
+                    "prefix query a={a} desc={desc} limit={limit:?}"
+                );
+            }
+            Op::QueryTs { lo_off, hi_off } => {
+                let (lo, hi) = (START + lo_off.min(hi_off), START + lo_off.max(hi_off));
+                let q = Query::all().with_ts_min(lo, true).with_ts_max(hi, true);
+                let got = table.query_all(&q).unwrap();
+                let expect: Vec<_> = oracle
+                    .iter()
+                    .filter(|((_, _, ts), _)| *ts >= lo && *ts <= hi)
+                    .collect();
+                assert_eq!(
+                    got.iter().map(|r| r.values.clone()).collect::<Vec<_>>(),
+                    to_rows(expect),
+                    "ts query [{lo}, {hi}]"
+                );
+            }
+            Op::Latest { a } => {
+                let got = table.latest(&[Value::I64(a)]).unwrap();
+                let expect = oracle
+                    .iter()
+                    .filter(|((x, _, _), _)| *x == a)
+                    .max_by_key(|((_, _, ts), _)| *ts);
+                match (got, expect) {
+                    (None, None) => {}
+                    (Some(row), Some(((ea, eb, ets), ev))) => {
+                        assert_eq!(row.values[0], Value::I64(*ea));
+                        assert_eq!(row.values[1], Value::Str(eb.clone()));
+                        assert_eq!(row.values[2], Value::Timestamp(*ets));
+                        assert_eq!(row.values[3], Value::I64(*ev));
+                    }
+                    (got, expect) => panic!("latest({a}): {got:?} vs {expect:?}"),
+                }
+            }
+        }
+    }
+    // Final full-table check after everything settles.
+    table.flush_all().unwrap();
+    while table.run_merge_once(clock.now_micros()).unwrap() {}
+    let got = table.query_all(&Query::all()).unwrap();
+    assert_eq!(
+        got.iter().map(|r| r.values.clone()).collect::<Vec<_>>(),
+        to_rows(oracle.iter().collect()),
+        "final full scan"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 48,
+        max_shrink_iters: 200,
+        ..ProptestConfig::default()
+    })]
+
+    #[test]
+    fn engine_matches_oracle(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+        run_ops(ops);
+    }
+}
+
+#[test]
+fn oracle_smoke_dense_duplicates() {
+    // A hand-built sequence heavy on duplicate keys across flush
+    // boundaries — historically the riskiest path.
+    let mut ops = Vec::new();
+    for i in 0..30 {
+        ops.push(Op::Insert {
+            a: i % 2,
+            b: "x".into(),
+            ts_off: i % 5,
+            v: i,
+        });
+        if i % 7 == 0 {
+            ops.push(Op::Flush);
+        }
+        if i % 11 == 0 {
+            ops.push(Op::Merge);
+        }
+    }
+    ops.push(Op::QueryPrefix {
+        a: 0,
+        desc: false,
+        limit: None,
+    });
+    ops.push(Op::Latest { a: 1 });
+    run_ops(ops);
+}

@@ -1,0 +1,138 @@
+//! Model-independence tests: the simulated disk changes *when* things
+//! happen (virtual time), never *what* the engine computes — plus sanity
+//! checks that the disk model reproduces the paper's headline access
+//! costs through the real engine stack.
+
+use littletable::vfs::{Clock, DiskParams, SimClock, SimVfs};
+use littletable::{ColumnDef, ColumnType, Db, Options, Query, Schema, Value};
+use std::sync::Arc;
+
+const START: i64 = 1_700_000_000_000_000;
+
+fn schema() -> Schema {
+    Schema::new(
+        vec![
+            ColumnDef::new("k", ColumnType::I64),
+            ColumnDef::new("ts", ColumnType::Timestamp),
+            ColumnDef::new("v", ColumnType::Blob),
+        ],
+        &["k", "ts"],
+    )
+    .unwrap()
+}
+
+/// Runs the same insert/flush/merge/query sequence on a given disk and
+/// returns the query results.
+fn run_sequence(params: DiskParams) -> Vec<Vec<Value>> {
+    let clock = SimClock::new(START);
+    let vfs = SimVfs::new(params, clock.clone());
+    let db = Db::open(
+        Arc::new(vfs),
+        Arc::new(clock.clone()),
+        Options::small_for_tests(),
+    )
+    .unwrap();
+    let table = db.create_table("t", schema(), None).unwrap();
+    for i in 0..2000i64 {
+        table
+            .insert(vec![vec![
+                Value::I64(i * 7 % 2000),
+                Value::Timestamp(START + i),
+                Value::Blob(vec![(i % 251) as u8; 40]),
+            ]])
+            .unwrap();
+        if i % 500 == 499 {
+            table.flush_all().unwrap();
+        }
+    }
+    while table.run_merge_once(clock.now_micros()).unwrap() {}
+    table
+        .query_all(&Query::all().with_ts_range(START + 100, START + 1500))
+        .unwrap()
+        .into_iter()
+        .map(|r| r.values)
+        .collect()
+}
+
+#[test]
+fn disk_model_never_changes_results() {
+    let instant = run_sequence(DiskParams::instant());
+    let paper = run_sequence(DiskParams::paper_disk());
+    let big_ra = run_sequence(DiskParams::paper_disk().with_os_readahead(1 << 20));
+    assert_eq!(instant, paper);
+    assert_eq!(instant, big_ra);
+    assert_eq!(instant.len(), 1400);
+}
+
+#[test]
+fn cold_point_query_costs_about_four_seeks_per_tablet() {
+    // The paper's headline: ~31 ms to the first row of an uncached table
+    // (inode + trailer + footer + block = 4 seeks at 8 ms).
+    let clock = SimClock::new(START);
+    let vfs = SimVfs::new(DiskParams::paper_disk(), clock.clone());
+    let db = Db::open(
+        Arc::new(vfs.clone()),
+        Arc::new(clock.clone()),
+        Options::small_for_tests(),
+    )
+    .unwrap();
+    let table = db.create_table("t", schema(), None).unwrap();
+    for i in 0..5000i64 {
+        table
+            .insert(vec![vec![
+                Value::I64(i),
+                Value::Timestamp(START + i),
+                Value::Blob(vec![0u8; 100]),
+            ]])
+            .unwrap();
+    }
+    table.flush_all().unwrap();
+    while table.run_merge_once(clock.now_micros()).unwrap() {}
+    assert_eq!(table.num_disk_tablets(), 1);
+    // Cold: new engine, cleared caches.
+    let db2 = Db::open(
+        Arc::new(vfs.clone()),
+        Arc::new(clock.clone()),
+        Options::small_for_tests(),
+    )
+    .unwrap();
+    vfs.clear_caches();
+    let t2 = db2.table("t").unwrap();
+    let t0 = clock.now_micros();
+    let mut cur = t2
+        .query(&Query::all().with_prefix(vec![Value::I64(2500)]))
+        .unwrap();
+    assert!(cur.next_row().unwrap().is_some());
+    let ms = (clock.now_micros() - t0) as f64 / 1e3;
+    assert!(
+        (25.0..45.0).contains(&ms),
+        "first-row latency {ms} ms, expected ~31 ms"
+    );
+}
+
+#[test]
+fn virtual_time_only_accrues_on_io() {
+    let clock = SimClock::new(START);
+    let vfs = SimVfs::new(DiskParams::paper_disk(), clock.clone());
+    let db = Db::open(
+        Arc::new(vfs),
+        Arc::new(clock.clone()),
+        Options::small_for_tests(),
+    )
+    .unwrap();
+    let table = db.create_table("t", schema(), None).unwrap();
+    let t0 = clock.now_micros();
+    // Pure in-memory activity costs zero virtual time.
+    table
+        .insert(vec![vec![
+            Value::I64(1),
+            Value::Timestamp(START),
+            Value::Blob(vec![0; 8]),
+        ]])
+        .unwrap();
+    let _ = table.query_all(&Query::all()).unwrap();
+    assert_eq!(clock.now_micros() - t0, 0);
+    // Flushing pays for the write.
+    table.flush_all().unwrap();
+    assert!(clock.now_micros() > t0);
+}

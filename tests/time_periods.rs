@@ -1,0 +1,156 @@
+//! Long-horizon behaviour of the time-period machinery (§3.4.2): as
+//! virtual weeks pass, recent data stays finely clustered while history
+//! coarsens into day- and week-sized tablets, merges never cross period
+//! boundaries, and recent queries stay efficient regardless of how much
+//! history accumulates ("retaining infrequently-read data does not affect
+//! the access performance of data queried more often", §1).
+
+use littletable::core::descriptor::TableDescriptor;
+use littletable::core::period::period_for;
+use littletable::vfs::{Clock, SimClock, SimVfs, Vfs};
+use littletable::{ColumnDef, ColumnType, Db, Options, Query, Schema, Value};
+use std::sync::Arc;
+
+const START: i64 = 1_700_000_000_000_000;
+const MINUTE: i64 = 60 * 1_000_000;
+const HOUR: i64 = 60 * MINUTE;
+const DAY: i64 = 24 * HOUR;
+
+fn schema() -> Schema {
+    Schema::new(
+        vec![
+            ColumnDef::new("dev", ColumnType::I64),
+            ColumnDef::new("ts", ColumnType::Timestamp),
+            ColumnDef::new("v", ColumnType::I64),
+        ],
+        &["dev", "ts"],
+    )
+    .unwrap()
+}
+
+/// Simulates `days` of steady inserts with maintenance, returning the
+/// final descriptor and the engine handles.
+fn simulate(days: i64) -> (SimVfs, SimClock, Db) {
+    let clock = SimClock::new(START);
+    let vfs = SimVfs::instant();
+    let mut opts = Options::small_for_tests();
+    opts.flush_size = 32 << 10;
+    opts.merge_delay = 0;
+    let db = Db::open(
+        Arc::new(vfs.clone()),
+        Arc::new(clock.clone()),
+        opts,
+    )
+    .unwrap();
+    let table = db.create_table("t", schema(), None).unwrap();
+    let step = 10 * MINUTE;
+    while clock.now_micros() - START < days * DAY {
+        let now = clock.now_micros();
+        let rows: Vec<Vec<Value>> = (1..=4i64)
+            .map(|d| vec![Value::I64(d), Value::Timestamp(now), Value::I64(d)])
+            .collect();
+        table.insert(rows).unwrap();
+        clock.advance(step);
+        db.maintain().unwrap();
+    }
+    db.maintain_until_quiescent().unwrap();
+    (vfs, clock, db)
+}
+
+#[test]
+fn history_coarsens_but_never_crosses_periods() {
+    let (vfs, clock, _db) = simulate(18);
+    let now = clock.now_micros();
+    let desc = TableDescriptor::load(&vfs, "t").unwrap();
+    assert!(desc.tablets.len() > 3);
+    let mut kinds = std::collections::BTreeSet::new();
+    for t in &desc.tablets {
+        let p_lo = period_for(t.min_ts, now);
+        let p_hi = period_for(t.max_ts, now);
+        // No tablet spans more than one period (small overlap from the
+        // multi-filling-tablet path is allowed only within merges of the
+        // same period; assert the common case strictly for merged bulk).
+        if t.max_ts < t.min_ts + p_lo.kind.len() {
+            assert_eq!(p_lo, p_hi, "tablet {t:?} crosses periods");
+        }
+        kinds.insert(format!("{:?}", p_lo.kind));
+    }
+    // Old weeks exist as week-binned tablets, recent data as finer bins.
+    assert!(kinds.contains("Week"), "kinds = {kinds:?}");
+    assert!(kinds.len() >= 2, "expected mixed granularity: {kinds:?}");
+}
+
+#[test]
+fn recent_query_cost_is_independent_of_history() {
+    // A table with 3 days of history vs one with 18 days: the same
+    // recent-window query should scan a similar number of rows.
+    let ratios: Vec<f64> = [3i64, 18]
+        .iter()
+        .map(|&days| {
+            let (_vfs, clock, db) = simulate(days);
+            let table = db.table("t").unwrap();
+            let now = clock.now_micros();
+            let q = Query::all()
+                .with_prefix(vec![Value::I64(2)])
+                .with_ts_range(now - 2 * HOUR, now);
+            let mut cur = table.query(&q).unwrap();
+            let mut n = 0;
+            while cur.next_row().unwrap().is_some() {
+                n += 1;
+            }
+            assert!(n > 0);
+            cur.scanned() as f64 / cur.returned() as f64
+        })
+        .collect();
+    assert!(
+        ratios[1] <= ratios[0] * 3.0 + 2.0,
+        "recent-query scan ratio grew with history: {ratios:?}"
+    );
+}
+
+#[test]
+fn ttl_reaps_whole_weeks_as_they_expire() {
+    let clock = SimClock::new(START);
+    let vfs = SimVfs::instant();
+    let mut opts = Options::small_for_tests();
+    opts.flush_size = 32 << 10;
+    opts.merge_delay = 0;
+    let db = Db::open(Arc::new(vfs.clone()), Arc::new(clock.clone()), opts).unwrap();
+    let ttl = 7 * DAY;
+    let table = db.create_table("t", schema(), Some(ttl)).unwrap();
+    for day in 0..21i64 {
+        for h in 0..24 {
+            let now = START + day * DAY + h * HOUR;
+            clock.set(now);
+            table
+                .insert(vec![vec![
+                    Value::I64(1),
+                    Value::Timestamp(now),
+                    Value::I64(day),
+                ]])
+                .unwrap();
+            db.maintain().unwrap();
+        }
+    }
+    db.maintain_until_quiescent().unwrap();
+    // Only the last week (plus period-boundary slack) remains queryable,
+    // and the expired tablets' files are actually gone.
+    let rows = table.query_all(&Query::all()).unwrap();
+    let min_ts = rows
+        .iter()
+        .map(|r| match r.values[1] {
+            Value::Timestamp(t) => t,
+            _ => unreachable!(),
+        })
+        .min()
+        .unwrap();
+    assert!(min_ts >= clock.now_micros() - ttl);
+    assert!(table.stats().snapshot().tablets_expired > 0);
+    let desc = TableDescriptor::load(&vfs, "t").unwrap();
+    let files = vfs.list_dir("t").unwrap();
+    // Every tablet file on disk is referenced by the descriptor.
+    assert_eq!(
+        files.iter().filter(|f| f.ends_with(".lt")).count(),
+        desc.tablets.len()
+    );
+}
