@@ -87,7 +87,12 @@ pub struct UsageRollup {
 impl UsageRollup {
     /// Creates a rollup from a [`crate::usage::usage_schema`] table into a
     /// [`rollup_schema`] table.
-    pub fn new(source: Arc<Table>, dest: Arc<Table>, bucket: Micros, durability_lag: Micros) -> Self {
+    pub fn new(
+        source: Arc<Table>,
+        dest: Arc<Table>,
+        bucket: Micros,
+        durability_lag: Micros,
+    ) -> Self {
         UsageRollup {
             source,
             dest,
@@ -128,14 +133,15 @@ impl UsageRollup {
             let mut totals: BTreeMap<i64, f64> = BTreeMap::new();
             let mut cur = self.source.query(&q)?;
             while let Some(row) = cur.next_row()? {
-                let Value::I64(network) = row.values[0] else { continue };
+                let Value::I64(network) = row.values[0] else {
+                    continue;
+                };
                 let (Value::F64(rate), Value::Timestamp(ts), Value::Timestamp(prev)) =
                     (&row.values[5], &row.values[2], &row.values[3])
                 else {
                     continue;
                 };
-                *totals.entry(network).or_insert(0.0) +=
-                    rate * ((ts - prev) as f64 / 1_000_000.0);
+                *totals.entry(network).or_insert(0.0) += rate * ((ts - prev) as f64 / 1_000_000.0);
             }
             // One destination row per network, keyed by bucket end; rows
             // insert in ascending key order, hitting the fast uniqueness
@@ -231,7 +237,9 @@ pub fn estimate_clients(table: &Table, network: i64, from: Micros, to: Micros) -
     let mut cur = table.query(&q)?;
     let mut merged: Option<HyperLogLog> = None;
     while let Some(row) = cur.next_row()? {
-        let Value::Blob(bytes) = &row.values[2] else { continue };
+        let Value::Blob(bytes) = &row.values[2] else {
+            continue;
+        };
         let Some(hll) = HyperLogLog::from_bytes(bytes) else {
             continue;
         };
@@ -307,10 +315,10 @@ pub fn rollup_usage_by_tag(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use littletable_vfs::Clock as _;
     use crate::device::{Fleet, MINUTE};
     use crate::usage::{usage_schema, UsageGrabber};
     use littletable_core::{Db, Options};
+    use littletable_vfs::Clock as _;
     use littletable_vfs::{SimClock, SimVfs};
 
     const EPOCH: Micros = 1_700_000_000_000_000;
@@ -361,7 +369,9 @@ mod tests {
         let total_source: f64 = source_rows
             .iter()
             .filter(|r| {
-                let Value::Timestamp(ts) = r.values[2] else { return false };
+                let Value::Timestamp(ts) = r.values[2] else {
+                    return false;
+                };
                 // Only rows inside complete buckets.
                 ts >= bucket0 && ts < bucket0 + (buckets as i64) * 10 * MINUTE
             })
@@ -447,25 +457,15 @@ mod tests {
             .create_table("clients", client_sketch_schema(), None)
             .unwrap();
         // Bucket 1: clients 0..500 on network 1; bucket 2: 250..750.
-        write_client_sketches(
-            &dest,
-            clock.now_micros(),
-            (0..500).map(|c| (1i64, c)),
-        )
-        .unwrap();
+        write_client_sketches(&dest, clock.now_micros(), (0..500).map(|c| (1i64, c))).unwrap();
         write_client_sketches(
             &dest,
             clock.now_micros() + 10 * MINUTE,
             (250..750).map(|c| (1i64, c)),
         )
         .unwrap();
-        let est = estimate_clients(
-            &dest,
-            1,
-            EPOCH - MINUTE,
-            clock.now_micros() + 11 * MINUTE,
-        )
-        .unwrap();
+        let est =
+            estimate_clients(&dest, 1, EPOCH - MINUTE, clock.now_micros() + 11 * MINUTE).unwrap();
         assert!((est - 750.0).abs() / 750.0 < 0.1, "est = {est}");
         // An unknown network estimates zero.
         assert_eq!(
@@ -483,14 +483,7 @@ mod tests {
         config.tag_device(fleet.devices()[0], "classrooms");
         config.tag_device(fleet.devices()[1], "classrooms");
         config.tag_device(fleet.devices()[1], "east");
-        let n = rollup_usage_by_tag(
-            &source,
-            &dest,
-            &config,
-            EPOCH,
-            clock.now_micros(),
-        )
-        .unwrap();
+        let n = rollup_usage_by_tag(&source, &dest, &config, EPOCH, clock.now_micros()).unwrap();
         assert_eq!(n, 2); // "classrooms" and "east"
         let rows = dest.query_all(&Query::all()).unwrap();
         let classrooms: f64 = rows

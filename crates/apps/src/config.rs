@@ -38,7 +38,12 @@ impl ConfigStore {
 
     /// The tags on a device.
     pub fn device_tags(&self, dev: DeviceId) -> Vec<String> {
-        self.inner.read().tags.get(&dev).cloned().unwrap_or_default()
+        self.inner
+            .read()
+            .tags
+            .get(&dev)
+            .cloned()
+            .unwrap_or_default()
     }
 
     /// Records a client's likely operating system.

@@ -394,7 +394,11 @@ mod tests {
             assert!(e.mask() != 0);
         }
         // Sub-ranges re-read identically (recoverability for MotionGrabber).
-        let sub = f.poll_motion(cam, EPOCH + 100 * MICROS_PER_SEC, EPOCH + 200 * MICROS_PER_SEC);
+        let sub = f.poll_motion(
+            cam,
+            EPOCH + 100 * MICROS_PER_SEC,
+            EPOCH + 200 * MICROS_PER_SEC,
+        );
         let expect: Vec<_> = a
             .iter()
             .filter(|e| e.ts >= EPOCH + 100 * MICROS_PER_SEC && e.ts < EPOCH + 200 * MICROS_PER_SEC)

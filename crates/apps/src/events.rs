@@ -213,7 +213,9 @@ pub fn browse_events(
     let mut cur = table.query(&q)?;
     let mut out = Vec::new();
     while let Some(row) = cur.next_row()? {
-        let Value::Timestamp(ts) = row.values[2] else { continue };
+        let Value::Timestamp(ts) = row.values[2] else {
+            continue;
+        };
         let (Value::Str(kind), Value::Str(detail)) = (&row.values[4], &row.values[5]) else {
             continue;
         };
@@ -225,8 +227,8 @@ pub fn browse_events(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use littletable_vfs::Clock as _;
     use littletable_core::{Db, Options};
+    use littletable_vfs::Clock as _;
     use littletable_vfs::{SimClock, SimVfs, MICROS_PER_SEC};
 
     const EPOCH: Micros = 1_700_000_000_000_000;
@@ -241,8 +243,10 @@ mod tests {
         )
         .unwrap();
         let table = db.create_table("events", events_schema(), None).unwrap();
-        let sent = sentinels
-            .then(|| db.create_table("sentinels", sentinel_schema(), None).unwrap());
+        let sent = sentinels.then(|| {
+            db.create_table("sentinels", sentinel_schema(), None)
+                .unwrap()
+        });
         let fleet = Fleet::new(EPOCH, 2, 2, 11);
         let grabber = EventsGrabber::new(table.clone(), sent);
         (db, clock, fleet, grabber, table)
@@ -270,7 +274,8 @@ mod tests {
         let expected: HashMap<DeviceId, i64> = g.cache.clone();
         // Restart with a window covering everything.
         let mut g2 = EventsGrabber::new(table.clone(), None);
-        g2.rebuild_cache(&fleet, clock.now_micros(), 2 * HOUR).unwrap();
+        g2.rebuild_cache(&fleet, clock.now_micros(), 2 * HOUR)
+            .unwrap();
         assert_eq!(g2.cache, expected);
         // Next poll inserts nothing (no duplicates either).
         assert_eq!(g2.poll_all(&fleet, clock.now_micros()).unwrap(), 0);
@@ -343,7 +348,8 @@ mod tests {
         // the devices replay the lost events (recoverability), and re-
         // inserting the surviving ones is idempotent via key uniqueness.
         let mut g2 = EventsGrabber::new(table2.clone(), None);
-        g2.rebuild_cache(&fleet, clock.now_micros(), 3 * HOUR).unwrap();
+        g2.rebuild_cache(&fleet, clock.now_micros(), 3 * HOUR)
+            .unwrap();
         g2.poll_all(&fleet, clock.now_micros()).unwrap();
         assert_eq!(table2.query_all(&Query::all()).unwrap().len(), total);
     }
@@ -353,14 +359,7 @@ mod tests {
         let (_db, clock, fleet, mut g, table) = setup(false);
         g.poll_all(&fleet, clock.now_micros()).unwrap();
         let dev = fleet.devices()[0];
-        let events = browse_events(
-            &table,
-            dev,
-            EPOCH,
-            clock.now_micros() + 1,
-            10,
-        )
-        .unwrap();
+        let events = browse_events(&table, dev, EPOCH, clock.now_micros() + 1, 10).unwrap();
         assert!(!events.is_empty());
         assert!(events.len() <= 10);
         for w in events.windows(2) {

@@ -176,8 +176,8 @@ pub fn motion_heatmap(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use littletable_vfs::Clock as _;
     use littletable_core::{Db, Options};
+    use littletable_vfs::Clock as _;
     use littletable_vfs::{SimClock, SimVfs, MICROS_PER_SEC};
 
     const EPOCH: Micros = 1_700_000_000_000_000;

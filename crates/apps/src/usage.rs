@@ -73,8 +73,7 @@ impl UsageGrabber {
             };
             match self.cache.get(&dev).copied() {
                 Some((t1, c1)) if t - t1 <= self.threshold && t > t1 => {
-                    let rate =
-                        (c2.saturating_sub(c1)) as f64 / ((t - t1) as f64 / 1_000_000.0);
+                    let rate = (c2.saturating_sub(c1)) as f64 / ((t - t1) as f64 / 1_000_000.0);
                     rows.push(vec![
                         Value::I64(dev.network),
                         Value::I64(dev.device),
@@ -104,9 +103,12 @@ impl UsageGrabber {
         let q = Query::all().with_ts_min(now - self.threshold, true);
         let mut cur = self.table.query(&q)?;
         while let Some(row) = cur.next_row()? {
-            let (Value::I64(network), Value::I64(device), Value::Timestamp(ts), Value::I64(count)) =
-                (&row.values[0], &row.values[1], &row.values[2], &row.values[4])
-            else {
+            let (Value::I64(network), Value::I64(device), Value::Timestamp(ts), Value::I64(count)) = (
+                &row.values[0],
+                &row.values[1],
+                &row.values[2],
+                &row.values[4],
+            ) else {
                 continue;
             };
             let dev = DeviceId {
@@ -136,7 +138,9 @@ pub fn bytes_per_device(
     let mut cur = table.query(&q)?;
     let mut out: Vec<(i64, f64)> = Vec::new();
     while let Some(row) = cur.next_row()? {
-        let Value::I64(device) = row.values[1] else { continue };
+        let Value::I64(device) = row.values[1] else {
+            continue;
+        };
         let (Value::F64(rate), Value::Timestamp(ts), Value::Timestamp(prev)) =
             (&row.values[5], &row.values[2], &row.values[3])
         else {
@@ -156,9 +160,9 @@ pub fn bytes_per_device(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use littletable_vfs::Clock as _;
     use crate::device::MINUTE;
     use littletable_core::{Db, Options};
+    use littletable_vfs::Clock as _;
     use littletable_vfs::{SimClock, SimVfs};
 
     const EPOCH: Micros = 1_700_000_000_000_000;
@@ -189,7 +193,9 @@ mod tests {
         let dev = fleet.devices()[0];
         let c1 = fleet.poll_counter(dev, EPOCH).unwrap();
         let c2 = fleet.poll_counter(dev, EPOCH + MINUTE).unwrap();
-        let Value::F64(rate) = rows[0].values[5] else { panic!() };
+        let Value::F64(rate) = rows[0].values[5] else {
+            panic!()
+        };
         assert!((rate - (c2 - c1) as f64 / 60.0).abs() < 1e-6);
     }
 
@@ -209,14 +215,12 @@ mod tests {
         // Dev 0 has a gap: rows with prev-to-ts spans > threshold never
         // appear.
         let rows = table
-            .query_all(&Query::all().with_prefix(vec![
-                Value::I64(dev.network),
-                Value::I64(dev.device),
-            ]))
+            .query_all(
+                &Query::all().with_prefix(vec![Value::I64(dev.network), Value::I64(dev.device)]),
+            )
             .unwrap();
         for row in &rows {
-            let (Value::Timestamp(ts), Value::Timestamp(prev)) =
-                (&row.values[2], &row.values[3])
+            let (Value::Timestamp(ts), Value::Timestamp(prev)) = (&row.values[2], &row.values[3])
             else {
                 panic!()
             };
@@ -225,10 +229,10 @@ mod tests {
         // Other devices have a full series (45 samples).
         let other = fleet.devices()[1];
         let rows = table
-            .query_all(&Query::all().with_prefix(vec![
-                Value::I64(other.network),
-                Value::I64(other.device),
-            ]))
+            .query_all(
+                &Query::all()
+                    .with_prefix(vec![Value::I64(other.network), Value::I64(other.device)]),
+            )
             .unwrap();
         assert_eq!(rows.len(), 45);
     }

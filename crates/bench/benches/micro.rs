@@ -4,7 +4,7 @@
 //! inserts, scans, HyperLogLog, and SQL parsing.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
-use littletable_bench::env::{bench_row, bench_schema, XorShift64};
+use littletable_bench::env::{bench_row, bench_row_sequential, bench_schema, XorShift64};
 use littletable_core::keyenc::encode_prefix;
 use littletable_core::value::{ColumnType, Value};
 use littletable_core::{Db, Options, Query};
@@ -21,11 +21,7 @@ fn instant_db() -> Db {
 }
 
 fn bench_key_encoding(c: &mut Criterion) {
-    let types = [
-        ColumnType::Str,
-        ColumnType::I64,
-        ColumnType::Timestamp,
-    ];
+    let types = [ColumnType::Str, ColumnType::I64, ColumnType::Timestamp];
     let values = vec![
         Value::Str("network-000123".into()),
         Value::I64(456_789),
@@ -39,9 +35,7 @@ fn bench_key_encoding(c: &mut Criterion) {
 fn bench_compression(c: &mut Criterion) {
     let mut g = c.benchmark_group("compress");
     // Telemetry-like block: repetitive structure.
-    let telemetry: Vec<u8> = (0..64 * 1024u32)
-        .map(|i| ((i / 97) % 251) as u8)
-        .collect();
+    let telemetry: Vec<u8> = (0..64 * 1024u32).map(|i| ((i / 97) % 251) as u8).collect();
     let mut rng = XorShift64::new(5);
     let mut random = vec![0u8; 64 * 1024];
     rng.fill(&mut random);
@@ -110,7 +104,12 @@ fn bench_query_scan(c: &mut Criterion) {
     let mut rng = XorShift64::new(2);
     let mut batch = Vec::new();
     for seq in 1..=100_000u64 {
-        batch.push(bench_row(&mut rng, seq, 1_700_000_000_000_000 + seq as i64, 128));
+        batch.push(bench_row(
+            &mut rng,
+            seq,
+            1_700_000_000_000_000 + seq as i64,
+            128,
+        ));
         if batch.len() == 1024 {
             table.insert(std::mem::take(&mut batch)).unwrap();
         }
@@ -129,6 +128,80 @@ fn bench_query_scan(c: &mut Criterion) {
                 n += 1;
             }
             assert_eq!(n, 100_000);
+        })
+    });
+    g.finish();
+}
+
+fn bench_block_cache(c: &mut Criterion) {
+    // Point reads against one merged on-disk tablet, cold (cache
+    // disabled: every read decompresses) versus warm (default cache:
+    // repeats return the cached Arc), plus a full scan running against a
+    // warm cache to show the cursor path's hit behaviour.
+    let build = |cache_bytes: usize| {
+        let db = Db::open(
+            Arc::new(SimVfs::instant()),
+            Arc::new(SimClock::new(1_700_000_000_000_000)),
+            Options {
+                block_cache_bytes: cache_bytes,
+                ..Options::default()
+            },
+        )
+        .unwrap();
+        let table = db.create_table("t", bench_schema(), None).unwrap();
+        let mut rng = XorShift64::new(3);
+        let mut batch = Vec::new();
+        for seq in 1..=50_000u64 {
+            batch.push(bench_row_sequential(
+                &mut rng,
+                seq,
+                1_700_000_000_000_000 + seq as i64,
+                128,
+            ));
+            if batch.len() == 1024 {
+                table.insert(std::mem::take(&mut batch)).unwrap();
+            }
+        }
+        if !batch.is_empty() {
+            table.insert(batch).unwrap();
+        }
+        table.flush_all().unwrap();
+        while table.run_merge_once(db.now()).unwrap() {}
+        (db, table)
+    };
+    let point_query = |table: &littletable_core::Table, rng: &mut XorShift64| {
+        let seq = rng.next_u64() % 50_000 + 1;
+        let q = Query::all().with_prefix(vec![Value::I64(seq as i64)]);
+        let rows = table.query_all(&q).unwrap();
+        assert_eq!(rows.len(), 1);
+        std::hint::black_box(rows)
+    };
+    let mut g = c.benchmark_group("block_cache");
+    g.bench_function("point_read_cold_uncached", |b| {
+        let (_db, table) = build(0);
+        let mut rng = XorShift64::new(7);
+        b.iter(|| point_query(&table, &mut rng))
+    });
+    g.bench_function("point_read_warm_cached", |b| {
+        let (_db, table) = build(64 << 20);
+        let mut rng = XorShift64::new(7);
+        // Warm every block once so the measured loop is all hits.
+        let mut warm = XorShift64::new(7);
+        for _ in 0..50_000 {
+            point_query(&table, &mut warm);
+        }
+        b.iter(|| point_query(&table, &mut rng))
+    });
+    g.throughput(Throughput::Elements(50_000));
+    g.bench_function("full_scan_warm_cache", |b| {
+        let (_db, table) = build(64 << 20);
+        b.iter(|| {
+            let mut cur = table.query(&Query::all()).unwrap();
+            let mut n = 0u64;
+            while cur.next_row().unwrap().is_some() {
+                n += 1;
+            }
+            assert_eq!(n, 50_000);
         })
     });
     g.finish();
@@ -162,6 +235,7 @@ criterion_group!(
     bench_block_search,
     bench_engine_insert,
     bench_query_scan,
+    bench_block_cache,
     bench_hll,
     bench_sql_parse
 );

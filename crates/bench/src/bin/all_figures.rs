@@ -18,4 +18,5 @@ fn main() {
     figures::ablations::run_bloom(quick).emit();
     figures::ablations::run_periods(quick).emit();
     figures::ablations::run_unique(quick).emit();
+    figures::cachefig::run(quick).emit();
 }

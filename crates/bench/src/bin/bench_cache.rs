@@ -1,0 +1,4 @@
+//! Regenerates the block-cache characterisation figure.
+fn main() {
+    littletable_bench::figures::cachefig::run(littletable_bench::quick_flag()).emit();
+}

@@ -116,9 +116,7 @@ pub struct XorShift64 {
 impl XorShift64 {
     /// Creates a generator; `seed` must be nonzero.
     pub fn new(seed: u64) -> XorShift64 {
-        XorShift64 {
-            state: seed.max(1),
-        }
+        XorShift64 { state: seed.max(1) }
     }
 
     /// Next 64-bit value.

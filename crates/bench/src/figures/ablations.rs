@@ -41,9 +41,7 @@ pub fn run_bloom(quick: bool) -> FigureResult {
         let mut rng = XorShift64::new(7);
         for _ in 0..8 {
             let k = rng.next_u64();
-            let _ = table
-                .latest(&[Value::I64((k >> 32) as i64)])
-                .unwrap();
+            let _ = table.latest(&[Value::I64((k >> 32) as i64)]).unwrap();
         }
         let ms = (env.now() - t0) as f64 / 1e3 / 8.0;
         let seeks = (env.vfs.model().stats().seeks - seeks0) as f64 / 8.0;
@@ -223,7 +221,9 @@ pub fn run_unique(quick: bool) -> FigureResult {
             vec![(i as f64, *rate)],
         );
     }
-    fig.paper("most inserts use timestamps set to the current time, so the descriptor check is common");
+    fig.paper(
+        "most inserts use timestamps set to the current time, so the descriptor check is common",
+    );
     fig.paper("aggregators insert in ascending key order, resolved from cached indexes");
     fig.paper("remaining inserts may wait on disk; Bloom filters (future work) would skip ~99% of tablets");
     fig.note(&format!(

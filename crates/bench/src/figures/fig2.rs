@@ -67,7 +67,15 @@ pub fn run(quick: bool) -> FigureResult {
     );
 
     // Solid line: 128-byte rows, varying batch size.
-    let batch_sizes: &[usize] = &[256, 1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20];
+    let batch_sizes: &[usize] = &[
+        256,
+        1 << 10,
+        4 << 10,
+        16 << 10,
+        64 << 10,
+        256 << 10,
+        1 << 20,
+    ];
     let solid: Vec<(f64, f64)> = batch_sizes
         .iter()
         .map(|&b| (b as f64, insert_throughput_mb_s(128, b, total)))

@@ -109,7 +109,10 @@ pub fn run_with_amplification(quick: bool) -> (FigureResult, f64) {
         .map(|(i, &(x, _))| {
             let lo = i.saturating_sub(avg_window - 1);
             let slice = &points[lo..=i];
-            (x, slice.iter().map(|p| p.1).sum::<f64>() / slice.len() as f64)
+            (
+                x,
+                slice.iter().map(|p| p.1).sum::<f64>() / slice.len() as f64,
+            )
         })
         .collect();
     fig.push_series("window throughput (raw, alternating)", points.clone());

@@ -10,7 +10,9 @@
 //! in production runs on separate cores — is modelled as parallel across
 //! `min(N, cores)` cores. Aggregate time = max(parallel CPU, serial disk).
 
-use crate::env::{bench_row, SimEnv, XorShift64, CPU_PER_COMMAND, CPU_PER_INSERT_BYTE, CPU_PER_INSERT_ROW};
+use crate::env::{
+    bench_row, SimEnv, XorShift64, CPU_PER_COMMAND, CPU_PER_INSERT_BYTE, CPU_PER_INSERT_ROW,
+};
 use crate::report::FigureResult;
 use littletable_core::Options;
 use littletable_vfs::{Clock, DiskParams};
@@ -74,7 +76,11 @@ fn aggregate_throughput_mb_s(writers: usize, per_writer: usize) -> f64 {
 /// Runs the figure.
 pub fn run(quick: bool) -> FigureResult {
     let per_writer = per_writer_bytes(quick);
-    let writer_counts: &[usize] = if quick { &[1, 2, 8] } else { &[1, 2, 4, 8, 16, 32] };
+    let writer_counts: &[usize] = if quick {
+        &[1, 2, 8]
+    } else {
+        &[1, 2, 4, 8, 16, 32]
+    };
     let points: Vec<(f64, f64)> = writer_counts
         .iter()
         .map(|&n| (n as f64, aggregate_throughput_mb_s(n, per_writer)))

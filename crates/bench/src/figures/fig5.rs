@@ -65,10 +65,7 @@ fn scan_throughput_mb_s(readahead: u64, total: usize, tablets: usize) -> f64 {
     opts.merge_enabled = false;
     opts.respect_periods = false;
     opts.flush_size = usize::MAX;
-    let env = SimEnv::new(
-        DiskParams::paper_disk().with_os_readahead(readahead),
-        opts,
-    );
+    let env = SimEnv::new(DiskParams::paper_disk().with_os_readahead(readahead), opts);
     let table = build_interleaved_table(&env, total, tablets);
     // Warm the engine's footer caches (a long-running server keeps them
     // "almost indefinitely", §3.2) so the measurement is the data path;
@@ -103,7 +100,10 @@ pub fn run(quick: bool) -> FigureResult {
         "tablets",
         "read throughput (MB/s)",
     );
-    for (label, ra) in [("128 kB readahead", 128u64 << 10), ("1 MB readahead", 1 << 20)] {
+    for (label, ra) in [
+        ("128 kB readahead", 128u64 << 10),
+        ("1 MB readahead", 1 << 20),
+    ] {
         let points: Vec<(f64, f64)> = tablet_counts
             .iter()
             .map(|&t| (t as f64, scan_throughput_mb_s(ra, total, t)))

@@ -84,7 +84,11 @@ pub fn slope(points: &[(f64, f64)]) -> f64 {
 
 /// Runs the figure.
 pub fn run(quick: bool) -> FigureResult {
-    let tablet_counts: &[usize] = if quick { &[1, 4, 8] } else { &[1, 2, 4, 8, 16, 24, 32] };
+    let tablet_counts: &[usize] = if quick {
+        &[1, 4, 8]
+    } else {
+        &[1, 2, 4, 8, 16, 24, 32]
+    };
     let bpt = tablet_bytes(quick);
     let mut first_points = Vec::new();
     let mut second_points = Vec::new();
@@ -100,12 +104,7 @@ pub fn run(quick: bool) -> FigureResult {
         let total_rows = build(&env, t, bpt);
         // Reopen the engine so footers are cold, and clear all disk
         // caches — the paper's procedure before each query pair.
-        let db = Db::open(
-            Arc::new(env.vfs.clone()),
-            Arc::new(env.clock.clone()),
-            opts,
-        )
-        .unwrap();
+        let db = Db::open(Arc::new(env.vfs.clone()), Arc::new(env.clock.clone()), opts).unwrap();
         env.vfs.clear_caches();
         let _ = total_rows;
         let mut rng = XorShift64::new(t as u64 + 1);

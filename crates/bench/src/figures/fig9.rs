@@ -45,7 +45,7 @@ fn table_ratio(seed: u64, quick: bool) -> f64 {
     let devices = rng.gen_range(4..10i64);
     let hours = if quick { 4 } else { 12 };
     let history: Micros = hours * 60 * MINUTE;
-    let sample_every = rng.gen_range(1..4) * MINUTE;
+    let sample_every = rng.gen_range(1..4i64) * MINUTE;
 
     // Populate: per-minute-ish samples, advancing the virtual clock so
     // data lands in realistic time periods.
@@ -126,7 +126,9 @@ fn table_ratio(seed: u64, quick: bool) -> f64 {
 /// Runs the figure.
 pub fn run(quick: bool) -> FigureResult {
     let n = num_tables(quick);
-    let ratios: Vec<f64> = (0..n).map(|i| table_ratio(0x919 + i as u64, quick)).collect();
+    let ratios: Vec<f64> = (0..n)
+        .map(|i| table_ratio(0x919 + i as u64, quick))
+        .collect();
     let cdf = Cdf::from_samples(ratios.clone());
     let mean = ratios.iter().sum::<f64>() / ratios.len() as f64;
     let mut fig = FigureResult::new(

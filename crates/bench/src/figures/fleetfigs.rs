@@ -19,10 +19,7 @@ pub fn run_fig7(_quick: bool) -> FigureResult {
         "size (bytes)",
         "cumulative fraction of shards",
     );
-    fig.push_series(
-        "LittleTable",
-        fleet.littletable_cdf().downsample(40).points,
-    );
+    fig.push_series("LittleTable", fleet.littletable_cdf().downsample(40).points);
     fig.push_series("PostgreSQL", fleet.postgres_cdf().downsample(40).points);
     fig.paper("320 TB total LittleTable; largest instance 6.7 TB");
     fig.paper("14 TB total PostgreSQL; largest shard 341 GB");
@@ -66,12 +63,7 @@ pub fn run_fig8(_quick: bool) -> FigureResult {
 /// query.
 pub fn run_fig10(_quick: bool) -> FigureResult {
     let catalog = generate_catalog(270 * 8, 0x2020);
-    let ttls = Cdf::from_samples(
-        catalog
-            .iter()
-            .map(|t| t.ttl as f64 / DAY_MICROS)
-            .collect(),
-    );
+    let ttls = Cdf::from_samples(catalog.iter().map(|t| t.ttl as f64 / DAY_MICROS).collect());
     let lookbacks = Cdf::from_samples(
         lookback_samples(20_000, 0x2020)
             .iter()

@@ -46,16 +46,13 @@ pub fn first_row_and_scan_rate(quick: bool) -> (f64, f64) {
     }
     table.flush_all().unwrap();
     // Uncached: fresh engine (cold footers), cold disk caches.
-    let db = Db::open(
-        Arc::new(env.vfs.clone()),
-        Arc::new(env.clock.clone()),
-        opts,
-    )
-    .unwrap();
+    let db = Db::open(Arc::new(env.vfs.clone()), Arc::new(env.clock.clone()), opts).unwrap();
     env.vfs.clear_caches();
     let t2 = db.table("h").unwrap();
     let t0 = env.now();
-    let mut cur = t2.query(&Query::all().with_key_min(vec![Value::I64(1)], true)).unwrap();
+    let mut cur = t2
+        .query(&Query::all().with_key_min(vec![Value::I64(1)], true))
+        .unwrap();
     let first = cur.next_row().unwrap();
     assert!(first.is_some());
     let first_ms = (env.now() - t0) as f64 / 1e3;
@@ -90,7 +87,10 @@ pub fn run(quick: bool) -> FigureResult {
         "insert, 512 x 128 B batches (fraction of disk peak)",
         vec![(0.0, insert_frac)],
     );
-    fig.push_series("write amplification under merge", vec![(0.0, amplification)]);
+    fig.push_series(
+        "write amplification under merge",
+        vec![(0.0, amplification)],
+    );
     fig.paper("first matching row in 31 ms");
     fig.paper("500,000 rows/second thereafter (~50% of disk throughput)");
     fig.paper("batches of 512 x 128 B rows at 42% of the disk's peak throughput");

@@ -154,7 +154,7 @@ mod tests {
         assert_eq!(fmt_num(42.0), "42");
         assert_eq!(fmt_num(123456.0), "123,456");
         assert_eq!(fmt_num(-123456.0), "-123,456");
-        assert_eq!(fmt_num(3.14159), "3.14");
+        assert_eq!(fmt_num(3.45678), "3.46");
         assert_eq!(fmt_num(0.001234), "0.0012");
         assert_eq!(fmt_num(1234.5), "1234");
     }

@@ -104,8 +104,7 @@ impl Client {
         write_frame(&mut self.stream, &req.encode())?;
         let payload = read_frame(&mut self.reader)?
             .ok_or_else(|| ClientError::Disconnected(io::ErrorKind::UnexpectedEof.into()))?;
-        let resp = Response::decode(&payload)
-            .map_err(|e| ClientError::Protocol(e.to_string()))?;
+        let resp = Response::decode(&payload).map_err(|e| ClientError::Protocol(e.to_string()))?;
         if let Response::Error { kind, message } = resp {
             return Err(ClientError::Remote { kind, message });
         }
@@ -129,12 +128,7 @@ impl Client {
     }
 
     /// Creates a table.
-    pub fn create_table(
-        &mut self,
-        table: &str,
-        schema: Schema,
-        ttl: Option<Micros>,
-    ) -> Result<()> {
+    pub fn create_table(&mut self, table: &str, schema: Schema, ttl: Option<Micros>) -> Result<()> {
         match self.request(&Request::CreateTable {
             table: table.into(),
             schema,
@@ -236,11 +230,7 @@ impl Client {
                     rows,
                     more_available,
                 } => (rows, more_available),
-                r => {
-                    return Err(ClientError::Protocol(format!(
-                        "expected Rows, got {r:?}"
-                    )))
-                }
+                r => return Err(ClientError::Protocol(format!("expected Rows, got {r:?}"))),
             };
             out.extend(rows);
             if let Some(limit) = query.limit {
@@ -255,8 +245,7 @@ impl Client {
             let last = out
                 .last()
                 .ok_or_else(|| ClientError::Protocol("more_available with no rows".into()))?;
-            let key_values: Vec<Value> =
-                key_indices.iter().map(|&i| last[i].clone()).collect();
+            let key_values: Vec<Value> = key_indices.iter().map(|&i| last[i].clone()).collect();
             if q.descending {
                 q = q.with_key_max(key_values, false);
             } else {

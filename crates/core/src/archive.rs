@@ -250,7 +250,12 @@ mod tests {
         )
         .unwrap();
         assert_eq!(
-            spare_db.table("t").unwrap().query_all(&Query::all()).unwrap().len(),
+            spare_db
+                .table("t")
+                .unwrap()
+                .query_all(&Query::all())
+                .unwrap()
+                .len(),
             400
         );
     }
@@ -289,7 +294,12 @@ mod tests {
         // The spare serves the last fully synced state (100 rows), not a
         // corrupt intermediate.
         assert_eq!(
-            spare_db.table("t").unwrap().query_all(&Query::all()).unwrap().len(),
+            spare_db
+                .table("t")
+                .unwrap()
+                .query_all(&Query::all())
+                .unwrap()
+                .len(),
             100
         );
     }

@@ -116,6 +116,12 @@ impl Block {
         self.row_count == 0
     }
 
+    /// The block's decompressed size in bytes — what a cached copy of it
+    /// costs in memory.
+    pub fn byte_size(&self) -> usize {
+        self.data.len()
+    }
+
     fn entry_start(&self, i: usize) -> Result<usize> {
         let at = 4 + i * 4;
         let rel = u32::from_le_bytes(self.data[at..at + 4].try_into().unwrap()) as usize;

@@ -11,8 +11,8 @@
 //! the filter stores one entry per key prefix at each component boundary
 //! (the engine feeds it every boundary — key components self-delimit).
 
-use crate::util::{mix64, put_varint, Reader};
 use crate::error::Result;
+use crate::util::{mix64, put_varint, Reader};
 
 /// A classic Bloom filter with double hashing.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -1,0 +1,421 @@
+//! A sharded cache of decompressed tablet blocks, shared database-wide.
+//!
+//! LittleTable's read path spends its CPU budget decompressing 64 kB
+//! blocks (§3.2): a point query or short scan that revisits a warm tablet
+//! pays the block read *and* the decompression again on every access,
+//! even though tablets are write-once and a decompressed block can never
+//! go stale. This cache keeps recently used decompressed blocks in
+//! memory, keyed by `(tablet id, block index)`, and charges each entry by
+//! its decompressed byte size against a fixed budget
+//! ([`crate::options::Options::block_cache_bytes`]).
+//!
+//! Design points:
+//!
+//! * **Sharded.** Keys hash to one of N shards (N rounded up to a power
+//!   of two), each with its own small mutex, so concurrent queries on
+//!   different tablets rarely contend. The budget is split evenly across
+//!   shards, and each shard enforces its slice strictly — the total can
+//!   therefore never exceed the configured budget.
+//! * **CLOCK eviction.** Each shard keeps its entries in a slab swept by
+//!   a clock hand; a hit sets the entry's reference bit, eviction clears
+//!   bits until it finds an unreferenced victim. LRU-quality hit rates
+//!   without LRU's per-access list surgery.
+//! * **Scan-resistant admission.** Only the single-block read path
+//!   ([`crate::tablet::TabletReader::read_block`]) consults or fills the
+//!   cache. The ~1 MB buffered run reads that merges and bulk rewrites
+//!   use (§3.4.1, [`crate::tablet::TabletReader::read_block_run`]) bypass
+//!   it entirely, so a full-table merge pass cannot wipe out the hot set
+//!   the way it would with admit-everything caching.
+//! * **Write-once keys.** Tablet ids are allocated once per
+//!   [`crate::tablet::TabletReader`] and never reused, so an entry can
+//!   never alias a different tablet's data. When a reader is dropped
+//!   (merge, TTL expiry, bulk delete, table drop), its entries are
+//!   invalidated.
+//!
+//! Locks are held only for map and slab bookkeeping — never across disk
+//! reads or decompression. Concurrent misses on the same block may both
+//! decompress it; the second insert is dropped, which wastes a little CPU
+//! once but never blocks a reader behind another reader's I/O.
+
+use crate::block::Block;
+use crate::stats::TableStats;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Default number of shards when [`crate::options::Options`] leaves the
+/// count at zero.
+pub const DEFAULT_SHARDS: usize = 8;
+
+/// Cache key: a never-reused tablet id plus the block's index within it.
+type BlockKey = (u64, u32);
+
+struct Slot {
+    key: BlockKey,
+    block: Arc<Block>,
+    charge: usize,
+    /// Stats of the table that inserted the entry; evictions are charged
+    /// back to it.
+    owner: Arc<TableStats>,
+    /// CLOCK reference bit: set on hit, cleared by the sweeping hand.
+    referenced: bool,
+}
+
+#[derive(Default)]
+struct ShardInner {
+    map: HashMap<BlockKey, usize>,
+    /// Slab of entries; `None` holes are reusable via `free`.
+    slots: Vec<Option<Slot>>,
+    free: Vec<usize>,
+    bytes: usize,
+    hand: usize,
+}
+
+impl ShardInner {
+    /// Evicts unreferenced entries (second-chance order) until `need`
+    /// more bytes fit under `capacity`. Returns false when impossible.
+    fn evict_until_fits(&mut self, need: usize, capacity: usize) -> bool {
+        while self.bytes + need > capacity {
+            if self.map.is_empty() {
+                return false;
+            }
+            let n = self.slots.len();
+            // Bounded sweep: after one full lap every reference bit is
+            // clear, so the second lap must find a victim.
+            let mut sweep = 0usize;
+            loop {
+                sweep += 1;
+                if sweep > 2 * n + 1 {
+                    return false; // defensive; unreachable in practice
+                }
+                self.hand = (self.hand + 1) % n;
+                let Some(slot) = &mut self.slots[self.hand] else {
+                    continue;
+                };
+                if slot.referenced {
+                    slot.referenced = false;
+                    continue;
+                }
+                let victim = self.slots[self.hand].take().expect("checked above");
+                self.map.remove(&victim.key);
+                self.free.push(self.hand);
+                self.bytes -= victim.charge;
+                TableStats::add(&victim.owner.cache_evicted_bytes, victim.charge as u64);
+                break;
+            }
+        }
+        true
+    }
+
+    fn remove_key(&mut self, key: &BlockKey) {
+        if let Some(idx) = self.map.remove(key) {
+            let slot = self.slots[idx].take().expect("map points at live slot");
+            self.bytes -= slot.charge;
+            self.free.push(idx);
+        }
+    }
+}
+
+struct Shard {
+    inner: Mutex<ShardInner>,
+    /// Lock-free mirror of `inner.bytes` for observation.
+    bytes: AtomicUsize,
+}
+
+/// The sharded, scan-resistant decompressed-block cache. One instance is
+/// shared by every table of a [`crate::db::Db`].
+pub struct BlockCache {
+    shards: Box<[Shard]>,
+    shard_capacity: usize,
+    shard_mask: u64,
+    next_tablet_id: AtomicU64,
+}
+
+impl BlockCache {
+    /// Creates a cache holding at most `total_bytes` of decompressed
+    /// blocks across `shards` shards (0 = [`DEFAULT_SHARDS`]; rounded up
+    /// to a power of two).
+    pub fn new(total_bytes: usize, shards: usize) -> BlockCache {
+        let shards = if shards == 0 { DEFAULT_SHARDS } else { shards }
+            .next_power_of_two()
+            .min(1 << 10);
+        let shard_capacity = total_bytes / shards;
+        BlockCache {
+            shards: (0..shards)
+                .map(|_| Shard {
+                    inner: Mutex::new(ShardInner::default()),
+                    bytes: AtomicUsize::new(0),
+                })
+                .collect(),
+            shard_capacity,
+            shard_mask: shards as u64 - 1,
+            next_tablet_id: AtomicU64::new(1),
+        }
+    }
+
+    /// Allocates a fresh tablet id. Ids are never reused, so entries of a
+    /// deleted tablet can never be confused with a newer tablet's.
+    pub fn register_tablet(&self) -> u64 {
+        self.next_tablet_id.fetch_add(1, Ordering::Relaxed)
+    }
+
+    fn shard(&self, key: BlockKey) -> &Shard {
+        // splitmix64-style finalizer over the packed key.
+        let mut h = key.0.rotate_left(32) ^ key.1 as u64;
+        h = (h ^ (h >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        h = (h ^ (h >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        &self.shards[((h ^ (h >> 31)) & self.shard_mask) as usize]
+    }
+
+    /// Looks up a block, marking it recently used on a hit.
+    pub fn get(&self, tablet_id: u64, block_index: u32) -> Option<Arc<Block>> {
+        let key = (tablet_id, block_index);
+        let shard = self.shard(key);
+        let mut inner = shard.inner.lock();
+        let idx = *inner.map.get(&key)?;
+        let slot = inner.slots[idx].as_mut().expect("map points at live slot");
+        slot.referenced = true;
+        Some(slot.block.clone())
+    }
+
+    /// Admits a decompressed block, charged by its decompressed size,
+    /// evicting colder entries to fit. Blocks larger than one shard's
+    /// slice of the budget, and keys already present, are left alone.
+    pub fn insert(
+        &self,
+        tablet_id: u64,
+        block_index: u32,
+        block: Arc<Block>,
+        owner: &Arc<TableStats>,
+    ) {
+        let charge = block.byte_size();
+        if charge > self.shard_capacity {
+            return;
+        }
+        let key = (tablet_id, block_index);
+        let shard = self.shard(key);
+        let mut inner = shard.inner.lock();
+        if let Some(&idx) = inner.map.get(&key) {
+            // Lost a race with another miss on the same block.
+            inner.slots[idx].as_mut().expect("live slot").referenced = true;
+            return;
+        }
+        if !inner.evict_until_fits(charge, self.shard_capacity) {
+            return;
+        }
+        let idx = match inner.free.pop() {
+            Some(idx) => idx,
+            None => {
+                inner.slots.push(None);
+                inner.slots.len() - 1
+            }
+        };
+        // New entries start unreferenced: a block read once and never
+        // touched again is the first to go, while anything re-read earns
+        // its second chance. This is what makes single-pass traffic that
+        // does reach the cache (e.g. a one-off wide query) cheap to absorb.
+        inner.slots[idx] = Some(Slot {
+            key,
+            block,
+            charge,
+            owner: owner.clone(),
+            referenced: false,
+        });
+        inner.map.insert(key, idx);
+        inner.bytes += charge;
+        shard.bytes.store(inner.bytes, Ordering::Relaxed);
+    }
+
+    /// Drops every cached block of `tablet_id` (the tablet's file is
+    /// being deleted). Not counted as eviction in the owner's stats.
+    pub fn invalidate_tablet(&self, tablet_id: u64) {
+        for shard in self.shards.iter() {
+            let mut inner = shard.inner.lock();
+            let keys: Vec<BlockKey> = inner
+                .map
+                .keys()
+                .filter(|k| k.0 == tablet_id)
+                .copied()
+                .collect();
+            for key in keys {
+                inner.remove_key(&key);
+            }
+            shard.bytes.store(inner.bytes, Ordering::Relaxed);
+        }
+    }
+
+    /// Current decompressed bytes held, summed over shards. Each shard's
+    /// slice is enforced under its lock, so this can never exceed
+    /// [`BlockCache::capacity`].
+    pub fn bytes_used(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.bytes.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// The total byte budget (shard slice × shard count; at most the
+    /// configured budget).
+    pub fn capacity(&self) -> usize {
+        self.shard_capacity * self.shards.len()
+    }
+
+    /// Number of blocks currently cached.
+    pub fn entry_count(&self) -> usize {
+        self.shards.iter().map(|s| s.inner.lock().map.len()).sum()
+    }
+}
+
+impl std::fmt::Debug for BlockCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BlockCache")
+            .field("shards", &self.shards.len())
+            .field("capacity", &self.capacity())
+            .field("bytes_used", &self.bytes_used())
+            .field("entries", &self.entry_count())
+            .finish()
+    }
+}
+
+/// A tablet reader's connection to the shared cache: the cache, the
+/// reader's never-reused tablet id, and the owning table's stats.
+#[derive(Clone)]
+pub(crate) struct CacheHandle {
+    pub(crate) cache: Arc<BlockCache>,
+    pub(crate) tablet_id: u64,
+    pub(crate) stats: Arc<TableStats>,
+}
+
+impl CacheHandle {
+    /// Builds a handle with a freshly allocated tablet id.
+    pub(crate) fn register(cache: Arc<BlockCache>, stats: Arc<TableStats>) -> CacheHandle {
+        let tablet_id = cache.register_tablet();
+        CacheHandle {
+            cache,
+            tablet_id,
+            stats,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::BlockBuilder;
+
+    fn block_of_size(approx: usize) -> Arc<Block> {
+        let mut b = BlockBuilder::new();
+        let payload = vec![0u8; approx.saturating_sub(32)];
+        b.add(b"key", &payload);
+        Arc::new(Block::parse(b.finish()).unwrap())
+    }
+
+    fn stats() -> Arc<TableStats> {
+        Arc::new(TableStats::default())
+    }
+
+    #[test]
+    fn hit_returns_same_block() {
+        let cache = BlockCache::new(1 << 20, 1);
+        let st = stats();
+        let tid = cache.register_tablet();
+        assert!(cache.get(tid, 0).is_none());
+        let b = block_of_size(1000);
+        cache.insert(tid, 0, b.clone(), &st);
+        let hit = cache.get(tid, 0).expect("cached");
+        assert!(Arc::ptr_eq(&b, &hit));
+        assert_eq!(cache.entry_count(), 1);
+        assert_eq!(cache.bytes_used(), b.byte_size());
+    }
+
+    #[test]
+    fn eviction_respects_budget_and_charges_owner() {
+        let cache = BlockCache::new(10_000, 1);
+        let st = stats();
+        let tid = cache.register_tablet();
+        for i in 0..64u32 {
+            cache.insert(tid, i, block_of_size(1000), &st);
+            assert!(cache.bytes_used() <= cache.capacity());
+        }
+        assert!(cache.entry_count() < 64);
+        assert!(st.snapshot().cache_evicted_bytes > 0);
+    }
+
+    #[test]
+    fn clock_keeps_recently_used_entries() {
+        // Capacity for ~4 one-KB blocks in one shard.
+        let cache = BlockCache::new(4200, 1);
+        let st = stats();
+        let tid = cache.register_tablet();
+        for i in 0..4u32 {
+            cache.insert(tid, i, block_of_size(1000), &st);
+        }
+        // Keep block 0 hot while streaming new blocks through.
+        for i in 4..40u32 {
+            assert!(cache.get(tid, 0).is_some(), "hot block evicted at {i}");
+            cache.insert(tid, i, block_of_size(1000), &st);
+        }
+        assert!(cache.get(tid, 0).is_some());
+    }
+
+    #[test]
+    fn oversize_blocks_are_not_admitted() {
+        let cache = BlockCache::new(4096, 4); // 1 kB per shard
+        let st = stats();
+        let tid = cache.register_tablet();
+        cache.insert(tid, 0, block_of_size(100_000), &st);
+        assert_eq!(cache.entry_count(), 0);
+    }
+
+    #[test]
+    fn invalidate_tablet_removes_only_that_tablet() {
+        let cache = BlockCache::new(1 << 20, 2);
+        let st = stats();
+        let (a, b) = (cache.register_tablet(), cache.register_tablet());
+        for i in 0..8u32 {
+            cache.insert(a, i, block_of_size(500), &st);
+            cache.insert(b, i, block_of_size(500), &st);
+        }
+        cache.invalidate_tablet(a);
+        for i in 0..8u32 {
+            assert!(cache.get(a, i).is_none());
+            assert!(cache.get(b, i).is_some());
+        }
+        // Invalidation is not an eviction.
+        assert_eq!(st.snapshot().cache_evicted_bytes, 0);
+    }
+
+    #[test]
+    fn zero_capacity_admits_nothing() {
+        let cache = BlockCache::new(0, 0);
+        let st = stats();
+        let tid = cache.register_tablet();
+        cache.insert(tid, 0, block_of_size(100), &st);
+        assert_eq!(cache.entry_count(), 0);
+        assert!(cache.get(tid, 0).is_none());
+    }
+
+    #[test]
+    fn concurrent_inserts_never_exceed_budget() {
+        let cache = Arc::new(BlockCache::new(64 << 10, 4));
+        let st = stats();
+        let mut handles = Vec::new();
+        for t in 0..8u64 {
+            let cache = cache.clone();
+            let st = st.clone();
+            handles.push(std::thread::spawn(move || {
+                let tid = cache.register_tablet();
+                for i in 0..200u32 {
+                    cache.insert(tid, i, block_of_size(1000), &st);
+                    let _ = cache.get(tid, i.wrapping_sub(t as u32));
+                    assert!(cache.bytes_used() <= cache.capacity());
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(cache.bytes_used() <= cache.capacity());
+    }
+}

@@ -59,13 +59,15 @@ pub struct DiskCursor {
     /// (block index, row index) of the next row to return; `None` before
     /// initialization or after exhaustion.
     pos: Option<(usize, usize)>,
-    block: Option<Block>,
+    block: Option<Arc<Block>>,
     started: bool,
     /// When nonzero, forward scans fetch runs of consecutive blocks up to
     /// this many compressed bytes per read (§3.4.1's ~1 MB buffers, used
-    /// by merges); prefetched blocks queue here.
+    /// by merges); prefetched blocks queue here. Run reads bypass the
+    /// block cache — they stream each block exactly once, and admitting
+    /// them would evict the point-read working set.
     read_run_bytes: usize,
-    prefetched: std::collections::VecDeque<(usize, Block)>,
+    prefetched: std::collections::VecDeque<(usize, Arc<Block>)>,
 }
 
 impl DiskCursor {
@@ -116,7 +118,7 @@ impl DiskCursor {
                     let run = self.reader.read_block_run(bi, self.read_run_bytes)?;
                     self.prefetched.clear();
                     for (off, block) in run.into_iter().enumerate() {
-                        self.prefetched.push_back((bi + off, block));
+                        self.prefetched.push_back((bi + off, Arc::new(block)));
                     }
                     let (_, block) = self.prefetched.pop_front().expect("run is non-empty");
                     self.block = Some(block);
@@ -211,7 +213,7 @@ impl DiskCursor {
     fn normalize_forward(&mut self) -> Result<()> {
         let nblocks = self.reader.footer()?.blocks.len();
         while let Some((bi, ri)) = self.pos {
-            let len = self.block.as_ref().map(Block::len).unwrap_or(0);
+            let len = self.block.as_ref().map(|b| b.len()).unwrap_or(0);
             if ri < len {
                 return Ok(());
             }

@@ -6,6 +6,7 @@
 //! table directories, loads each descriptor, and deletes any tablet files
 //! a crash left uncommitted.
 
+use crate::cache::BlockCache;
 use crate::error::{Error, Result};
 use crate::options::Options;
 use crate::schema::Schema;
@@ -36,6 +37,10 @@ struct DbInner {
     cold_vfs: Option<Arc<dyn Vfs>>,
     clock: Arc<dyn Clock>,
     opts: Arc<Options>,
+    /// One decompressed-block cache shared by every table (footers are
+    /// already cached per-reader; this holds hot data blocks). `None`
+    /// when `Options::block_cache_bytes` is 0.
+    cache: Option<Arc<BlockCache>>,
     tables: RwLock<HashMap<String, Arc<Table>>>,
     shutdown: Arc<AtomicBool>,
     worker: Mutex<Option<JoinHandle<()>>>,
@@ -63,6 +68,12 @@ impl Db {
         opts: Options,
     ) -> Result<Db> {
         let opts = Arc::new(opts);
+        let cache = (opts.block_cache_bytes > 0).then(|| {
+            Arc::new(BlockCache::new(
+                opts.block_cache_bytes,
+                opts.block_cache_shards,
+            ))
+        });
         let mut tables = HashMap::new();
         for entry in vfs.list_dir("").unwrap_or_default() {
             let desc_path = littletable_vfs::join(&entry, crate::descriptor::DESC_FILE);
@@ -74,6 +85,7 @@ impl Db {
                 cold_vfs.clone(),
                 clock.clone(),
                 opts.clone(),
+                cache.clone(),
                 entry.clone(),
                 entry.clone(),
             )?;
@@ -84,6 +96,7 @@ impl Db {
             cold_vfs,
             clock,
             opts,
+            cache,
             tables: RwLock::new(tables),
             shutdown: Arc::new(AtomicBool::new(false)),
             worker: Mutex::new(None),
@@ -142,6 +155,12 @@ impl Db {
         &self.inner.clock
     }
 
+    /// The shared decompressed-block cache, or `None` when disabled via
+    /// [`Options::block_cache_bytes`].
+    pub fn block_cache(&self) -> Option<&Arc<BlockCache>> {
+        self.inner.cache.as_ref()
+    }
+
     /// Creates a table. Fails if the name is taken or invalid.
     pub fn create_table(
         &self,
@@ -161,6 +180,7 @@ impl Db {
             self.inner.cold_vfs.clone(),
             self.inner.clock.clone(),
             self.inner.opts.clone(),
+            self.inner.cache.clone(),
             name.to_string(),
             name.to_string(),
             schema,

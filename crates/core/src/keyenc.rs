@@ -30,9 +30,7 @@ pub fn encode_component(out: &mut Vec<u8>, v: &Value) -> Result<()> {
         Value::Timestamp(x) => encode_int(out, *x),
         Value::Str(s) => encode_bytes(out, s.as_bytes()),
         Value::Blob(b) => encode_bytes(out, b),
-        Value::F64(_) => {
-            return Err(Error::invalid("double values cannot be key components"))
-        }
+        Value::F64(_) => return Err(Error::invalid("double values cannot be key components")),
     }
     Ok(())
 }
@@ -118,7 +116,9 @@ fn decode_component(key: &[u8], ty: ColumnType) -> Result<(Value, &[u8])> {
                 if i + 1 > key.len() && i >= key.len() {
                     return Err(Error::corrupt("key string unterminated"));
                 }
-                let b = *key.get(i).ok_or_else(|| Error::corrupt("key string truncated"))?;
+                let b = *key
+                    .get(i)
+                    .ok_or_else(|| Error::corrupt("key string truncated"))?;
                 if b == 0 {
                     let next = *key
                         .get(i + 1)
@@ -139,8 +139,7 @@ fn decode_component(key: &[u8], ty: ColumnType) -> Result<(Value, &[u8])> {
             }
             let value = match ty {
                 ColumnType::Str => Value::Str(
-                    String::from_utf8(bytes)
-                        .map_err(|_| Error::corrupt("key string not UTF-8"))?,
+                    String::from_utf8(bytes).map_err(|_| Error::corrupt("key string not UTF-8"))?,
                 ),
                 _ => Value::Blob(bytes),
             };
@@ -238,10 +237,7 @@ impl KeyRange {
     /// Builds a range from prefix bounds with subtree semantics: an
     /// inclusive bound includes every key extending the prefix, an
     /// exclusive bound excludes all of them.
-    pub fn from_bounds(
-        min: Option<(Vec<u8>, bool)>,
-        max: Option<(Vec<u8>, bool)>,
-    ) -> Self {
+    pub fn from_bounds(min: Option<(Vec<u8>, bool)>, max: Option<(Vec<u8>, bool)>) -> Self {
         let start = match min {
             None => Bound::Unbounded,
             Some((enc, true)) => Bound::Included(enc),
@@ -315,7 +311,10 @@ mod tests {
     #[test]
     fn i32_and_i64_encode_identically() {
         assert_eq!(enc1(&Value::I32(-7)), enc1(&Value::I64(-7)));
-        assert_eq!(enc1(&Value::I32(i32::MAX)), enc1(&Value::I64(i32::MAX as i64)));
+        assert_eq!(
+            enc1(&Value::I32(i32::MAX)),
+            enc1(&Value::I64(i32::MAX as i64))
+        );
     }
 
     #[test]
@@ -362,7 +361,11 @@ mod tests {
         let types = [ColumnType::Str, ColumnType::I64, ColumnType::Timestamp];
         let p = encode_prefix(&[Value::Str("net1".into())], &types).unwrap();
         let full = encode_prefix(
-            &[Value::Str("net1".into()), Value::I64(5), Value::Timestamp(3)],
+            &[
+                Value::Str("net1".into()),
+                Value::I64(5),
+                Value::Timestamp(3),
+            ],
             &types,
         )
         .unwrap();
@@ -372,11 +375,9 @@ mod tests {
     #[test]
     fn prefix_too_long_or_mistyped_fails() {
         let types = [ColumnType::I64, ColumnType::Timestamp];
-        assert!(encode_prefix(
-            &[Value::I64(1), Value::Timestamp(2), Value::I64(3)],
-            &types
-        )
-        .is_err());
+        assert!(
+            encode_prefix(&[Value::I64(1), Value::Timestamp(2), Value::I64(3)], &types).is_err()
+        );
         assert!(encode_prefix(&[Value::Str("x".into())], &types).is_err());
     }
 
@@ -403,8 +404,7 @@ mod tests {
         let types = [ColumnType::I64, ColumnType::Timestamp];
         assert!(decode_key(&[1, 2, 3], &types).is_err());
         // trailing bytes
-        let mut enc =
-            encode_prefix(&[Value::I64(1), Value::Timestamp(2)], &types).unwrap();
+        let mut enc = encode_prefix(&[Value::I64(1), Value::Timestamp(2)], &types).unwrap();
         enc.push(0);
         assert!(decode_key(&enc, &types).is_err());
     }

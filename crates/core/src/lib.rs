@@ -17,11 +17,12 @@
 pub mod archive;
 pub mod block;
 pub mod bloom;
+pub mod cache;
 pub mod cursor;
 pub mod db;
 pub mod descriptor;
-pub mod flushdeps;
 pub mod error;
+pub mod flushdeps;
 pub mod keyenc;
 pub mod memtable;
 pub mod mergepolicy;
@@ -36,6 +37,7 @@ pub mod tablet;
 pub mod util;
 pub mod value;
 
+pub use cache::BlockCache;
 pub use db::Db;
 pub use error::{Error, Result};
 pub use options::Options;

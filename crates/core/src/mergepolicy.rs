@@ -70,9 +70,8 @@ pub fn find_merge(tablets: &[TabletMeta], now: Micros, policy: &MergePolicy) -> 
             let p_then = period_for(t.min_ts, t.written_at);
             if p_now.kind != p_then.kind && p_now.kind != PeriodKind::FourHour {
                 let rolled_at = p_now.start + p_now.kind.len();
-                let jitter =
-                    (mix64(seed ^ t.id ^ p_now.start as u64) % (p_now.kind.len() as u64 / 2))
-                        as Micros;
+                let jitter = (mix64(seed ^ t.id ^ p_now.start as u64)
+                    % (p_now.kind.len() as u64 / 2)) as Micros;
                 if now < rolled_at + jitter {
                     return false;
                 }
@@ -147,21 +146,13 @@ mod tests {
     #[test]
     fn merges_first_eligible_pair() {
         // Sizes 100, 30, 20: 100 > 2*30, so the pair is (30, 20).
-        let ts = vec![
-            meta(1, 0, 100, 0),
-            meta(2, 10, 30, 0),
-            meta(3, 20, 20, 0),
-        ];
+        let ts = vec![meta(1, 0, 100, 0), meta(2, 10, 30, 0), meta(3, 20, 20, 0)];
         assert_eq!(find_merge(&ts, 1000, &plain(u64::MAX)), Some(vec![2, 3]));
     }
 
     #[test]
     fn no_merge_when_strictly_decreasing_by_half() {
-        let ts = vec![
-            meta(1, 0, 100, 0),
-            meta(2, 10, 40, 0),
-            meta(3, 20, 15, 0),
-        ];
+        let ts = vec![meta(1, 0, 100, 0), meta(2, 10, 40, 0), meta(3, 20, 15, 0)];
         assert_eq!(find_merge(&ts, 1000, &plain(u64::MAX)), None);
     }
 
@@ -186,10 +177,7 @@ mod tests {
         };
         let ts = vec![meta(1, 0, 10, 0), meta(2, 10, 10, 50_000_000)];
         assert_eq!(find_merge(&ts, 100_000_000, &policy), None);
-        assert_eq!(
-            find_merge(&ts, 200_000_000, &policy),
-            Some(vec![1, 2])
-        );
+        assert_eq!(find_merge(&ts, 200_000_000, &policy), Some(vec![1, 2]));
     }
 
     #[test]
@@ -201,16 +189,10 @@ mod tests {
         };
         let now = 10 * WEEK + 3 * DAY;
         // One tablet in last week's bin, one in an old week bin.
-        let ts = vec![
-            meta(1, 8 * WEEK, 10, 0),
-            meta(2, 10 * WEEK + DAY, 10, 0),
-        ];
+        let ts = vec![meta(1, 8 * WEEK, 10, 0), meta(2, 10 * WEEK + DAY, 10, 0)];
         assert_eq!(find_merge(&ts, now, &policy), None);
         // Two in the same old week merge fine.
-        let ts = vec![
-            meta(1, 8 * WEEK, 10, 0),
-            meta(2, 8 * WEEK + DAY, 10, 0),
-        ];
+        let ts = vec![meta(1, 8 * WEEK, 10, 0), meta(2, 8 * WEEK + DAY, 10, 0)];
         assert_eq!(find_merge(&ts, now, &policy), Some(vec![1, 2]));
     }
 
@@ -252,14 +234,13 @@ mod tests {
                 .map(|(i, _)| i)
                 .collect();
             let total: u64 = members.iter().map(|&i| tablets[i].meta.bytes).sum();
-            let rewrites = members
-                .iter()
-                .map(|&i| tablets[i].rewrites)
-                .max()
-                .unwrap()
-                + 1;
+            let rewrites = members.iter().map(|&i| tablets[i].rewrites).max().unwrap() + 1;
             max_rewrites = max_rewrites.max(rewrites);
-            let min_ts = members.iter().map(|&i| tablets[i].meta.min_ts).min().unwrap();
+            let min_ts = members
+                .iter()
+                .map(|&i| tablets[i].meta.min_ts)
+                .min()
+                .unwrap();
             let first = members[0];
             tablets[first] = T {
                 meta: meta(next_id, min_ts, total, 0),

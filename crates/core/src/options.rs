@@ -46,6 +46,16 @@ pub struct Options {
     pub background: bool,
     /// Background maintenance cadence in milliseconds.
     pub maintenance_interval_ms: u64,
+    /// Budget, in decompressed bytes, for the shared block cache that
+    /// serves point-lookup and query block reads (§3.2 keeps footers
+    /// cached; this extends the idea to hot data blocks). `0` disables
+    /// the cache entirely, reproducing the uncached read path
+    /// bit-for-bit.
+    pub block_cache_bytes: usize,
+    /// Number of independently-locked cache shards; `0` picks a default
+    /// suited to a handful of query threads. Rounded up to a power of
+    /// two.
+    pub block_cache_shards: usize,
 }
 
 impl Default for Options {
@@ -65,6 +75,8 @@ impl Default for Options {
             max_sealed_backlog: 100,
             background: false,
             maintenance_interval_ms: 1_000,
+            block_cache_bytes: 64 << 20,
+            block_cache_shards: 0,
         }
     }
 }
@@ -105,6 +117,8 @@ mod tests {
         assert_eq!(o.merge_delay, 90_000_000);
         assert_eq!(o.flush_age, 600_000_000);
         assert_eq!(o.max_sealed_backlog, 100);
+        assert_eq!(o.block_cache_bytes, 64 << 20);
+        assert_eq!(o.block_cache_shards, 0);
     }
 
     #[test]

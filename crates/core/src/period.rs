@@ -104,7 +104,7 @@ mod tests {
         let p = period_for(now - 2 * H, now); // 11:00 same day
         assert_eq!(p.kind, PeriodKind::FourHour);
         assert_eq!(p.start, 10 * DAY + 8 * H); // [08:00, 12:00)
-        // A future timestamp also bins at 4-hour granularity.
+                                               // A future timestamp also bins at 4-hour granularity.
         let f = period_for(now + 6 * H, now);
         assert_eq!(f.kind, PeriodKind::FourHour);
         assert_eq!(f.start, 10 * DAY + 16 * H);

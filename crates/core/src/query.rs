@@ -122,7 +122,10 @@ impl Query {
     pub fn ts_interval(&self) -> (Micros, Micros) {
         let lo = match self.ts_min {
             None => Micros::MIN,
-            Some(TsBound { ts, inclusive: true }) => ts,
+            Some(TsBound {
+                ts,
+                inclusive: true,
+            }) => ts,
             Some(TsBound {
                 ts,
                 inclusive: false,
@@ -130,7 +133,10 @@ impl Query {
         };
         let hi = match self.ts_max {
             None => Micros::MAX,
-            Some(TsBound { ts, inclusive: true }) => ts,
+            Some(TsBound {
+                ts,
+                inclusive: true,
+            }) => ts,
             Some(TsBound {
                 ts,
                 inclusive: false,

@@ -77,7 +77,10 @@ impl Schema {
                 return Err(Error::invalid("column names must be non-empty"));
             }
             if columns[..i].iter().any(|o| o.name == c.name) {
-                return Err(Error::invalid(format!("duplicate column name {:?}", c.name)));
+                return Err(Error::invalid(format!(
+                    "duplicate column name {:?}",
+                    c.name
+                )));
             }
             if !c.default.fits(c.ty) {
                 return Err(Error::invalid(format!(
@@ -192,11 +195,7 @@ impl Schema {
         }
         let mut columns = self.columns.clone();
         columns.push(col);
-        let names: Vec<String> = self
-            .key
-            .iter()
-            .map(|&i| columns[i].name.clone())
-            .collect();
+        let names: Vec<String> = self.key.iter().map(|&i| columns[i].name.clone()).collect();
         let name_refs: Vec<&str> = names.iter().map(String::as_str).collect();
         Schema::with_version(self.version + 1, columns, &name_refs)
     }
@@ -215,11 +214,7 @@ impl Schema {
         let mut columns = self.columns.clone();
         columns[idx].ty = ColumnType::I64;
         columns[idx].default = columns[idx].default.clone().coerce(ColumnType::I64)?;
-        let names: Vec<String> = self
-            .key
-            .iter()
-            .map(|&i| columns[i].name.clone())
-            .collect();
+        let names: Vec<String> = self.key.iter().map(|&i| columns[i].name.clone()).collect();
         let name_refs: Vec<&str> = names.iter().map(String::as_str).collect();
         Schema::with_version(self.version + 1, columns, &name_refs)
     }
@@ -497,10 +492,7 @@ mod tests {
         let s2 = s1.widen_column("count").unwrap();
         assert_eq!(s2.columns()[2].ty, ColumnType::I64);
         let row = s1
-            .translate_row(
-                &s2,
-                vec![Value::I64(1), Value::Timestamp(5), Value::I32(7)],
-            )
+            .translate_row(&s2, vec![Value::I64(1), Value::Timestamp(5), Value::I32(7)])
             .unwrap();
         assert_eq!(row[2], Value::I64(7));
         // Widening a non-I32 column fails.
@@ -511,7 +503,9 @@ mod tests {
     #[test]
     fn add_existing_column_fails() {
         let s = usage_schema();
-        assert!(s.add_column(ColumnDef::new("bytes", ColumnType::I64)).is_err());
+        assert!(s
+            .add_column(ColumnDef::new("bytes", ColumnType::I64))
+            .is_err());
     }
 
     #[test]

@@ -36,6 +36,13 @@ pub struct TableStats {
     pub unique_fast_key: AtomicU64,
     /// Inserts that needed the point-query slow path.
     pub unique_slow: AtomicU64,
+    /// Block reads served from the decompressed-block cache.
+    pub cache_hits: AtomicU64,
+    /// Block reads that missed the cache and hit disk. Stays 0 when the
+    /// cache is disabled (uncached reads are not counted).
+    pub cache_misses: AtomicU64,
+    /// Decompressed bytes of this table's blocks evicted from the cache.
+    pub cache_evicted_bytes: AtomicU64,
 }
 
 /// A plain-value snapshot of [`TableStats`].
@@ -67,6 +74,12 @@ pub struct StatsSnapshot {
     pub unique_fast_key: u64,
     /// See [`TableStats::unique_slow`].
     pub unique_slow: u64,
+    /// See [`TableStats::cache_hits`].
+    pub cache_hits: u64,
+    /// See [`TableStats::cache_misses`].
+    pub cache_misses: u64,
+    /// See [`TableStats::cache_evicted_bytes`].
+    pub cache_evicted_bytes: u64,
 }
 
 impl TableStats {
@@ -93,6 +106,9 @@ impl TableStats {
             unique_fast_ts: self.unique_fast_ts.load(Ordering::Relaxed),
             unique_fast_key: self.unique_fast_key.load(Ordering::Relaxed),
             unique_slow: self.unique_slow.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            cache_evicted_bytes: self.cache_evicted_bytes.load(Ordering::Relaxed),
         }
     }
 }
@@ -105,6 +121,17 @@ impl StatsSnapshot {
             1.0
         } else {
             self.rows_scanned as f64 / self.rows_returned as f64
+        }
+    }
+
+    /// Fraction of block reads served from the decompressed-block cache;
+    /// 0.0 before any block has been read.
+    pub fn cache_hit_ratio(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
         }
     }
 

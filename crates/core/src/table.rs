@@ -2,6 +2,7 @@
 //! with dependency ordering, queries, latest-row-for-prefix, merging, TTL
 //! expiry, and schema evolution.
 
+use crate::cache::{BlockCache, CacheHandle};
 use crate::cursor::{DiskCursor, MemSource, MergeCursor, RowSource};
 use crate::descriptor::{
     parse_tablet_file_name, tablet_file_name, TableDescriptor, TabletMeta, DESC_FILE, DESC_TMP,
@@ -119,6 +120,9 @@ pub struct Table {
     cold_vfs: Option<Arc<dyn Vfs>>,
     clock: Arc<dyn Clock>,
     opts: Arc<Options>,
+    /// Shared decompressed-block cache, owned by the [`crate::db::Db`];
+    /// `None` when `Options::block_cache_bytes` is 0.
+    cache: Option<Arc<BlockCache>>,
     stats: Arc<TableStats>,
     state: Mutex<TableState>,
     /// Serializes slow-path uniqueness checks so disk reads never happen
@@ -135,6 +139,7 @@ impl Table {
         cold_vfs: Option<Arc<dyn Vfs>>,
         clock: Arc<dyn Clock>,
         opts: Arc<Options>,
+        cache: Option<Arc<BlockCache>>,
         name: String,
         dir: String,
         schema: Schema,
@@ -151,6 +156,7 @@ impl Table {
             cold_vfs,
             clock,
             opts,
+            cache,
             stats: Arc::new(TableStats::default()),
             state: Mutex::new(TableState {
                 schema: Arc::new(schema),
@@ -172,11 +178,13 @@ impl Table {
         }))
     }
 
+    #[allow(clippy::too_many_arguments)] // crate-internal constructor
     pub(crate) fn open(
         vfs: Arc<dyn Vfs>,
         cold_vfs: Option<Arc<dyn Vfs>>,
         clock: Arc<dyn Clock>,
         opts: Arc<Options>,
+        cache: Option<Arc<BlockCache>>,
         name: String,
         dir: String,
     ) -> Result<Arc<Table>> {
@@ -195,25 +203,27 @@ impl Table {
                 }
             }
         }
+        let stats = Arc::new(TableStats::default());
         let disk: Vec<DiskHandle> = desc
             .tablets
             .iter()
             .map(|meta| {
                 let backing: Arc<dyn Vfs> = if meta.cold {
-                    cold_vfs
-                        .clone()
-                        .ok_or_else(|| {
-                            Error::invalid(format!(
-                                "table {name:?} has cold tablets but no cold store is configured"
-                            ))
-                        })?
+                    cold_vfs.clone().ok_or_else(|| {
+                        Error::invalid(format!(
+                            "table {name:?} has cold tablets but no cold store is configured"
+                        ))
+                    })?
                 } else {
                     vfs.clone()
                 };
                 Ok(DiskHandle {
-                    reader: Arc::new(TabletReader::new(
+                    reader: Arc::new(TabletReader::with_cache(
                         backing,
                         join(&dir, &meta.file_name()),
+                        cache
+                            .as_ref()
+                            .map(|c| CacheHandle::register(c.clone(), stats.clone())),
                     )),
                     meta: meta.clone(),
                 })
@@ -227,7 +237,8 @@ impl Table {
             cold_vfs,
             clock,
             opts,
-            stats: Arc::new(TableStats::default()),
+            cache,
+            stats,
             state: Mutex::new(TableState {
                 schema: Arc::new(desc.schema),
                 ttl: desc.ttl,
@@ -266,6 +277,19 @@ impl Table {
     /// Operational counters.
     pub fn stats(&self) -> &Arc<TableStats> {
         &self.stats
+    }
+
+    /// Builds a reader for a newly written tablet file, registered with
+    /// the shared block cache (when one is configured) under a fresh
+    /// cache-tablet id.
+    fn new_reader(&self, backing: Arc<dyn Vfs>, path: String) -> Arc<TabletReader> {
+        Arc::new(TabletReader::with_cache(
+            backing,
+            path,
+            self.cache
+                .as_ref()
+                .map(|c| CacheHandle::register(c.clone(), self.stats.clone())),
+        ))
     }
 
     /// The engine's current time (for clients that let the server stamp
@@ -529,10 +553,7 @@ impl Table {
             TableStats::add(&self.stats.tablets_flushed, 1);
             TableStats::add(&self.stats.bytes_flushed, meta.bytes);
             new_handles.push(DiskHandle {
-                reader: Arc::new(TabletReader::new(
-                    self.vfs.clone(),
-                    join(&self.dir, &meta.file_name()),
-                )),
+                reader: self.new_reader(self.vfs.clone(), join(&self.dir, &meta.file_name())),
                 meta,
             });
         }
@@ -682,12 +703,7 @@ impl Table {
                 }
             }
             // Does this tablet hold any matching row at all?
-            let mut probe = DiskCursor::new(
-                h.reader.clone(),
-                schema.clone(),
-                range.clone(),
-                false,
-            );
+            let mut probe = DiskCursor::new(h.reader.clone(), schema.clone(), range.clone(), false);
             if probe.next_row()?.is_none() {
                 continue;
             }
@@ -707,9 +723,8 @@ impl Table {
                 self.opts.block_size,
                 self.opts.bloom_filters,
             );
-            let mut cur =
-                DiskCursor::new(h.reader.clone(), schema.clone(), KeyRange::all(), false)
-                    .with_read_run(1 << 20);
+            let mut cur = DiskCursor::new(h.reader.clone(), schema.clone(), KeyRange::all(), false)
+                .with_read_run(1 << 20);
             let mut payload = Vec::new();
             while let Some((key, row)) = cur.next_row()? {
                 if range.contains(&key) {
@@ -740,7 +755,7 @@ impl Table {
                 rewrites.push((
                     h.meta.id,
                     Some(DiskHandle {
-                        reader: Arc::new(TabletReader::new(self.vfs.clone(), path)),
+                        reader: self.new_reader(self.vfs.clone(), path),
                         meta,
                     }),
                 ));
@@ -887,12 +902,12 @@ impl Table {
                 spans.push((h.meta.min_ts, h.meta.max_ts, Src::Disk(h.reader.clone())));
             }
         }
-        for t in st
-            .filling
-            .values()
-            .map(|t| t as &MemTablet)
-            .chain(st.sealed.iter().flat_map(|g| g.tablets.iter()).map(|t| t.as_ref()))
-        {
+        for t in st.filling.values().map(|t| t as &MemTablet).chain(
+            st.sealed
+                .iter()
+                .flat_map(|g| g.tablets.iter())
+                .map(|t| t.as_ref()),
+        ) {
             if let (Some(lo), Some(hi)) = (t.min_ts(), t.max_ts()) {
                 if hi >= cutoff {
                     let mut rows = t.snapshot_range(&range);
@@ -1127,7 +1142,7 @@ impl Table {
             cold: false,
         };
         Ok(Some(DiskHandle {
-            reader: Arc::new(TabletReader::new(self.vfs.clone(), path)),
+            reader: self.new_reader(self.vfs.clone(), path),
             meta,
         }))
     }
@@ -1143,10 +1158,8 @@ impl Table {
                 return Ok(0);
             }
             let cutoff = now.saturating_sub(ttl);
-            let (keep, dead): (Vec<_>, Vec<_>) = st
-                .disk
-                .drain(..)
-                .partition(|h| h.meta.max_ts >= cutoff);
+            let (keep, dead): (Vec<_>, Vec<_>) =
+                st.disk.drain(..).partition(|h| h.meta.max_ts >= cutoff);
             st.disk = keep;
             if dead.is_empty() {
                 return Ok(0);
@@ -1221,7 +1234,7 @@ impl Table {
             let mut meta = h.meta.clone();
             meta.cold = true;
             migrated.push(DiskHandle {
-                reader: Arc::new(TabletReader::new(cold.clone(), path)),
+                reader: self.new_reader(cold.clone(), path),
                 meta,
             });
         }
@@ -1419,12 +1432,7 @@ mod tests {
         let clock = SimClock::new(START);
         let vfs = SimVfs::instant();
         // Share the clock between the engine and the test driver.
-        let db = Db::open(
-            Arc::new(vfs.clone()),
-            Arc::new(clock.clone()),
-            opts,
-        )
-        .unwrap();
+        let db = Db::open(Arc::new(vfs.clone()), Arc::new(clock.clone()), opts).unwrap();
         (db, vfs, clock)
     }
 
@@ -1575,10 +1583,7 @@ mod tests {
         let mut last_dev = 6i64;
         loop {
             let mut cur = t
-                .query(&Query::all().with_key_min(
-                    vec![Value::I64(1), Value::I64(last_dev)],
-                    false,
-                ))
+                .query(&Query::all().with_key_min(vec![Value::I64(1), Value::I64(last_dev)], false))
                 .unwrap();
             while let Some(row) = cur.next_row().unwrap() {
                 total += 1;
@@ -1609,15 +1614,9 @@ mod tests {
         t.insert(vec![usage_row(1, 7, now + 100 * SEC, 49_999)])
             .unwrap();
         // Full prefix (network, device).
-        let row = t
-            .latest(&[Value::I64(1), Value::I64(7)])
-            .unwrap()
-            .unwrap();
+        let row = t.latest(&[Value::I64(1), Value::I64(7)]).unwrap().unwrap();
         assert_eq!(row.values[3], Value::I64(49_999));
-        let row = t
-            .latest(&[Value::I64(1), Value::I64(8)])
-            .unwrap()
-            .unwrap();
+        let row = t.latest(&[Value::I64(1), Value::I64(8)]).unwrap().unwrap();
         assert_eq!(row.values[3], Value::I64(1049));
         // Partial prefix (network): latest across devices.
         let row = t.latest(&[Value::I64(1)]).unwrap().unwrap();
@@ -1727,7 +1726,11 @@ mod tests {
         )
         .unwrap();
         assert!(!vfs.exists("usage/tab-00000000000000ff.lt"));
-        let rows = db2.table("usage").unwrap().query_all(&Query::all()).unwrap();
+        let rows = db2
+            .table("usage")
+            .unwrap()
+            .query_all(&Query::all())
+            .unwrap();
         assert_eq!(rows.len(), 50);
     }
 
@@ -1753,13 +1756,12 @@ mod tests {
         t.maintain(clock.now_micros()).unwrap();
         assert_eq!(t.num_filling(), 0);
         vfs.crash();
-        let db2 = Db::open(
-            Arc::new(vfs.clone()),
-            Arc::new(clock.clone()),
-            opts,
-        )
-        .unwrap();
-        let rows = db2.table("usage").unwrap().query_all(&Query::all()).unwrap();
+        let db2 = Db::open(Arc::new(vfs.clone()), Arc::new(clock.clone()), opts).unwrap();
+        let rows = db2
+            .table("usage")
+            .unwrap()
+            .query_all(&Query::all())
+            .unwrap();
         // All or nothing: both tablets committed in one descriptor update.
         assert_eq!(rows.len(), 20);
     }
@@ -1954,12 +1956,7 @@ mod extension_tests {
         let vfs = SimVfs::instant();
         let mut opts = Options::small_for_tests();
         opts.flush_size = 8 << 10;
-        let db = Db::open(
-            Arc::new(vfs.clone()),
-            Arc::new(clock.clone()),
-            opts,
-        )
-        .unwrap();
+        let db = Db::open(Arc::new(vfs.clone()), Arc::new(clock.clone()), opts).unwrap();
         let t = db.create_table("u", usage_schema(), None).unwrap();
         (db, vfs, clock, t)
     }
@@ -1987,12 +1984,7 @@ mod extension_tests {
         // Crash: the old row survives (and, by prefix durability, so does
         // anything inserted before it — here nothing).
         vfs.crash();
-        let db2 = Db::open(
-            Arc::new(vfs.clone()),
-            Arc::new(clock.clone()),
-            opts,
-        )
-        .unwrap();
+        let db2 = Db::open(Arc::new(vfs.clone()), Arc::new(clock.clone()), opts).unwrap();
         let rows = db2.table("u").unwrap().query_all(&Query::all()).unwrap();
         assert_eq!(rows.len(), 1);
         assert_eq!(rows[0].values[2], Value::Timestamp(old_ts));
@@ -2109,7 +2101,7 @@ mod evolution_merge_tests {
     use crate::db::Db;
     use crate::schema::ColumnDef;
     use crate::value::ColumnType;
-    use littletable_vfs::{Clock as _, SimClock, SimVfs};
+    use littletable_vfs::{SimClock, SimVfs};
 
     const START: Micros = 1_700_000_000_000_000;
 
@@ -2174,10 +2166,7 @@ mod evolution_merge_tests {
         assert_eq!(rows[200].values[2], Value::I64(1 << 40));
         assert_eq!(rows[200].values[3], Value::Str("new".into()));
         let st = t.state.lock();
-        assert!(st
-            .disk
-            .iter()
-            .any(|h| h.meta.schema_version == 3));
+        assert!(st.disk.iter().any(|h| h.meta.schema_version == 3));
     }
 
     #[test]
@@ -2200,12 +2189,16 @@ mod evolution_merge_tests {
         let t = db.create_table("t", schema, None).unwrap();
         for c in 1..=2i64 {
             for i in 0..50 {
-                t.insert(vec![vec![Value::I64(c), Value::Timestamp(START + c * 1000 + i)]])
-                    .unwrap();
+                t.insert(vec![vec![
+                    Value::I64(c),
+                    Value::Timestamp(START + c * 1000 + i),
+                ]])
+                .unwrap();
             }
         }
         t.flush_all().unwrap();
-        t.add_column(ColumnDef::new("extra", ColumnType::I64)).unwrap();
+        t.add_column(ColumnDef::new("extra", ColumnType::I64))
+            .unwrap();
         let deleted = t.bulk_delete(&[Value::I64(1)]).unwrap();
         assert_eq!(deleted, 50);
         let rows = t.query_all(&Query::all()).unwrap();
@@ -2226,7 +2219,7 @@ mod cold_store_tests {
     use crate::db::Db;
     use crate::schema::ColumnDef;
     use crate::value::ColumnType;
-    use littletable_vfs::{Clock as _, SimClock, SimVfs};
+    use littletable_vfs::{SimClock, SimVfs};
 
     const START: Micros = 1_700_000_000_000_000;
     const DAY: Micros = 86_400 * 1_000_000;
@@ -2258,8 +2251,11 @@ mod cold_store_tests {
 
     fn fill(t: &Table, base: Micros, n: i64) {
         for i in 0..n {
-            t.insert(vec![vec![Value::I64(base / 1000 + i), Value::Timestamp(base + i)]])
-                .unwrap();
+            t.insert(vec![vec![
+                Value::I64(base / 1000 + i),
+                Value::Timestamp(base + i),
+            ]])
+            .unwrap();
         }
         t.flush_all().unwrap();
     }
@@ -2347,7 +2343,15 @@ mod cold_store_tests {
         fill(&t, START - 30 * DAY, 50);
         t.migrate_to_cold(START).unwrap();
         db.drop_table("t").unwrap();
-        assert!(hot.list_dir("t").unwrap_or_default().iter().all(|f| !f.ends_with(".lt")));
-        assert!(cold.list_dir("t").unwrap_or_default().iter().all(|f| !f.ends_with(".lt")));
+        assert!(hot
+            .list_dir("t")
+            .unwrap_or_default()
+            .iter()
+            .all(|f| !f.ends_with(".lt")));
+        assert!(cold
+            .list_dir("t")
+            .unwrap_or_default()
+            .iter()
+            .all(|f| !f.ends_with(".lt")));
     }
 }

@@ -16,13 +16,22 @@
 
 use crate::block::{Block, BlockBuilder};
 use crate::bloom::{BloomBuilder, BloomFilter};
+use crate::cache::CacheHandle;
 use crate::error::{Error, Result};
 use crate::keyenc::component_boundaries;
 use crate::schema::Schema;
+use crate::stats::TableStats;
 use crate::util::{crc32, hash_bytes, put_varint, Reader};
 use littletable_vfs::{Micros, RandomAccessFile, Vfs, WritableFile};
 use parking_lot::Mutex;
+use std::cell::RefCell;
 use std::sync::{Arc, OnceLock};
+
+thread_local! {
+    /// Scratch buffer for compressed block bytes, reused across
+    /// [`TabletReader::read_block`] calls on the same thread.
+    static COMPRESSED_SCRATCH: RefCell<Vec<u8>> = const { RefCell::new(Vec::new()) };
+}
 
 /// Magic number ending every tablet file.
 const TRAILER_MAGIC: u64 = 0x4C54_5441_424C_3031; // "LTTABL01"
@@ -171,12 +180,11 @@ impl TabletWriter {
 
     /// Appends a row. Keys must arrive in strictly ascending order.
     pub fn add(&mut self, key: &[u8], payload: &[u8], ts: Micros) -> Result<()> {
-        if (!self.last_key.is_empty() || self.row_count > 0)
-            && key <= self.last_key.as_slice() {
-                return Err(Error::invalid(
-                    "tablet rows must be written in strictly ascending key order",
-                ));
-            }
+        if (!self.last_key.is_empty() || self.row_count > 0) && key <= self.last_key.as_slice() {
+            return Err(Error::invalid(
+                "tablet rows must be written in strictly ascending key order",
+            ));
+        }
         self.block.add(key, payload);
         self.row_count += 1;
         self.min_ts = self.min_ts.min(ts);
@@ -262,6 +270,9 @@ pub struct TabletReader {
     path: String,
     file: Mutex<Option<Arc<dyn RandomAccessFile>>>,
     footer: OnceLock<TabletFooter>,
+    /// Connection to the shared decompressed-block cache; `None` runs
+    /// every block read straight off disk.
+    cache: Option<CacheHandle>,
 }
 
 impl TabletReader {
@@ -273,6 +284,19 @@ impl TabletReader {
             path,
             file: Mutex::new(None),
             footer: OnceLock::new(),
+            cache: None,
+        }
+    }
+
+    /// As [`TabletReader::new`], attached to the shared block cache under
+    /// a freshly allocated tablet id.
+    pub(crate) fn with_cache(vfs: Arc<dyn Vfs>, path: String, cache: Option<CacheHandle>) -> Self {
+        TabletReader {
+            vfs,
+            path,
+            file: Mutex::new(None),
+            footer: OnceLock::new(),
+            cache,
         }
     }
 
@@ -374,21 +398,49 @@ impl TabletReader {
         Ok(blocks)
     }
 
-    /// Reads and decompresses block `i`.
-    pub fn read_block(&self, i: usize) -> Result<Block> {
-        let entry = {
+    /// Reads and decompresses block `i`, consulting the shared block
+    /// cache when this reader is attached to one. Hits return the cached
+    /// `Arc` without touching disk; misses read, decompress (no cache
+    /// lock held for either), then admit the block.
+    pub fn read_block(&self, i: usize) -> Result<Arc<Block>> {
+        let Some(cache) = &self.cache else {
+            return Ok(Arc::new(self.read_block_from_disk(i)?));
+        };
+        if let Some(block) = cache.cache.get(cache.tablet_id, i as u32) {
+            TableStats::add(&cache.stats.cache_hits, 1);
+            return Ok(block);
+        }
+        TableStats::add(&cache.stats.cache_misses, 1);
+        let block = Arc::new(self.read_block_from_disk(i)?);
+        cache
+            .cache
+            .insert(cache.tablet_id, i as u32, block.clone(), &cache.stats);
+        Ok(block)
+    }
+
+    fn read_block_from_disk(&self, i: usize) -> Result<Block> {
+        // Copy the three scalars out under the footer borrow instead of
+        // cloning the whole index entry (whose last_key would allocate).
+        let (offset, compressed_len, uncompressed_len) = {
             let footer = self.footer()?;
-            footer
+            let e = footer
                 .blocks
                 .get(i)
-                .ok_or_else(|| Error::corrupt("block index out of range"))?
-                .clone()
+                .ok_or_else(|| Error::corrupt("block index out of range"))?;
+            (
+                e.offset,
+                e.compressed_len as usize,
+                e.uncompressed_len as usize,
+            )
         };
         let file = self.file()?;
-        let mut compressed = vec![0u8; entry.compressed_len as usize];
-        file.read_exact_at(entry.offset, &mut compressed)?;
-        let raw = littletable_compress::decompress(&compressed, entry.uncompressed_len as usize)?;
-        Block::parse(raw)
+        COMPRESSED_SCRATCH.with(|scratch| {
+            let mut compressed = scratch.borrow_mut();
+            compressed.resize(compressed_len, 0);
+            file.read_exact_at(offset, &mut compressed)?;
+            let raw = littletable_compress::decompress(&compressed, uncompressed_len)?;
+            Block::parse(raw)
+        })
     }
 
     /// Index of the first block that could contain `key` (i.e. the first
@@ -408,6 +460,18 @@ impl TabletReader {
             }
         }
         Ok(lo)
+    }
+}
+
+impl Drop for TabletReader {
+    /// Invalidation point for the block cache: a reader is dropped
+    /// exactly when its tablet leaves service (merged away, TTL-expired,
+    /// bulk-deleted, migrated, or the table is dropped) and no cursor
+    /// still holds it.
+    fn drop(&mut self) {
+        if let Some(cache) = &self.cache {
+            cache.cache.invalidate_tablet(cache.tablet_id);
+        }
     }
 }
 
@@ -521,10 +585,7 @@ mod tests {
             Value::Timestamp(0),
             Value::Str(String::new()),
         ]);
-        assert_eq!(
-            r.seek_block(&big.encode_key(&s).unwrap()).unwrap(),
-            nblocks
-        );
+        assert_eq!(r.seek_block(&big.encode_key(&s).unwrap()).unwrap(), nblocks);
     }
 
     #[test]

@@ -188,10 +188,7 @@ mod tests {
             let est = h.estimate();
             let err = (est - n as f64).abs() / n as f64;
             // 5 sigma of the theoretical error.
-            assert!(
-                err < 5.0 * h.standard_error(),
-                "n={n} est={est} err={err}"
-            );
+            assert!(err < 5.0 * h.standard_error(), "n={n} est={est} err={err}");
         }
     }
 

@@ -628,14 +628,8 @@ mod tests {
             ErrorKind::of(&Error::NoSuchTable("x".into())),
             ErrorKind::NoSuchTable
         );
-        assert_eq!(
-            ErrorKind::of(&Error::corrupt("bad")),
-            ErrorKind::Internal
-        );
-        assert_eq!(
-            ErrorKind::of(&Error::invalid("bad")),
-            ErrorKind::Invalid
-        );
+        assert_eq!(ErrorKind::of(&Error::corrupt("bad")), ErrorKind::Internal);
+        assert_eq!(ErrorKind::of(&Error::invalid("bad")), ErrorKind::Invalid);
     }
 }
 

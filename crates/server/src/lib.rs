@@ -227,8 +227,7 @@ fn serve_connection(db: &Db, mut stream: TcpStream, shutdown: &AtomicBool) -> io
             Ok(Some(p)) => p,
             Ok(None) => return Ok(()), // client closed cleanly
             Err(e)
-                if e.kind() == io::ErrorKind::WouldBlock
-                    || e.kind() == io::ErrorKind::TimedOut =>
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
             {
                 continue;
             }
@@ -470,11 +469,7 @@ mod tests {
                 &mut stream,
                 &Request::Insert {
                     table: "t".into(),
-                    rows: vec![vec![
-                        Value::I64(1),
-                        Value::Timestamp(5),
-                        Value::I64(50)
-                    ]],
+                    rows: vec![vec![Value::I64(1), Value::Timestamp(5), Value::I64(50)]],
                     server_sets_ts: false,
                 }
             ),

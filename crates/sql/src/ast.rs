@@ -99,11 +99,7 @@ pub enum Literal {
 impl Literal {
     /// Resolves the literal to an engine value for a column of type `ty`,
     /// given the current time.
-    pub fn to_value(
-        &self,
-        ty: ColumnType,
-        now: i64,
-    ) -> littletable_core::Result<Value> {
+    pub fn to_value(&self, ty: ColumnType, now: i64) -> littletable_core::Result<Value> {
         use littletable_core::error::Error;
         let v = match (self, ty) {
             (Literal::Int(i), ColumnType::I32) => Value::I32(

@@ -111,11 +111,7 @@ impl Session {
                         vec![
                             Value::Str(c.name.clone()),
                             Value::Str(c.ty.to_string()),
-                            Value::Str(
-                                key_pos
-                                    .map(|p| format!("key[{p}]"))
-                                    .unwrap_or_default(),
-                            ),
+                            Value::Str(key_pos.map(|p| format!("key[{p}]")).unwrap_or_default()),
                             Value::Str(c.default.to_string()),
                         ]
                     })
@@ -340,7 +336,12 @@ impl Session {
         Ok(SqlOutput::Rows { columns, rows })
     }
 
-    fn plain_select(&self, sel: &Select, schema: &Schema, plan: crate::plan::Plan) -> Result<SqlOutput> {
+    fn plain_select(
+        &self,
+        sel: &Select,
+        schema: &Schema,
+        plan: crate::plan::Plan,
+    ) -> Result<SqlOutput> {
         // Projection slots.
         let mut columns = Vec::new();
         let mut slots: Vec<usize> = Vec::new();
@@ -418,22 +419,14 @@ impl AggState {
                 Some(Value::F64(v)) => {
                     *self = AggState::SumFloat(*acc as f64 + v);
                 }
-                Some(v) => {
-                    return Err(Error::invalid(format!(
-                        "SUM over non-numeric value {v}"
-                    )))
-                }
+                Some(v) => return Err(Error::invalid(format!("SUM over non-numeric value {v}"))),
                 None => return Err(Error::invalid("SUM requires a column")),
             },
             AggState::SumFloat(acc) => match value {
                 Some(Value::I32(v)) => *acc += *v as f64,
                 Some(Value::I64(v)) | Some(Value::Timestamp(v)) => *acc += *v as f64,
                 Some(Value::F64(v)) => *acc += v,
-                Some(v) => {
-                    return Err(Error::invalid(format!(
-                        "SUM over non-numeric value {v}"
-                    )))
-                }
+                Some(v) => return Err(Error::invalid(format!("SUM over non-numeric value {v}"))),
                 None => return Err(Error::invalid("SUM requires a column")),
             },
             AggState::Min(cur) => {
@@ -463,11 +456,7 @@ impl AggState {
                     Value::I64(v) => *v as f64,
                     Value::Timestamp(v) => *v as f64,
                     Value::F64(v) => *v,
-                    v => {
-                        return Err(Error::invalid(format!(
-                            "AVG over non-numeric value {v}"
-                        )))
-                    }
+                    v => return Err(Error::invalid(format!("AVG over non-numeric value {v}"))),
                 };
                 *acc += x;
                 *n += 1;
@@ -481,9 +470,7 @@ impl AggState {
             AggState::Count(n) => Value::I64(*n as i64),
             AggState::SumInt(acc, _) => Value::I64(*acc),
             AggState::SumFloat(acc) => Value::F64(*acc),
-            AggState::Min(v) | AggState::Max(v) => {
-                v.clone().unwrap_or(Value::I64(0))
-            }
+            AggState::Min(v) | AggState::Max(v) => v.clone().unwrap_or(Value::I64(0)),
             AggState::Avg(acc, n) => {
                 if *n == 0 {
                     Value::F64(0.0)
@@ -652,10 +639,8 @@ mod tests {
     #[test]
     fn ddl_statements() {
         let (s, _) = session();
-        s.execute(
-            "CREATE TABLE t (n INT64, ts TIMESTAMP, c INT32, PRIMARY KEY (n, ts))",
-        )
-        .unwrap();
+        s.execute("CREATE TABLE t (n INT64, ts TIMESTAMP, c INT32, PRIMARY KEY (n, ts))")
+            .unwrap();
         s.execute("ALTER TABLE t ADD COLUMN note TEXT DEFAULT '-'")
             .unwrap();
         s.execute("ALTER TABLE t WIDEN COLUMN c").unwrap();
@@ -675,7 +660,8 @@ mod tests {
         s.execute("CREATE TABLE t (n INT64, ts TIMESTAMP, PRIMARY KEY (n, ts))")
             .unwrap();
         assert_eq!(
-            s.execute("INSERT INTO t VALUES (1, 5), (1, 5), (2, 5)").unwrap(),
+            s.execute("INSERT INTO t VALUES (1, 5), (1, 5), (2, 5)")
+                .unwrap(),
             SqlOutput::Count(2)
         );
     }

@@ -124,7 +124,9 @@ impl Parser {
             self.create_table()
         } else if self.eat_kw("DROP") {
             self.expect_kw("TABLE")?;
-            Ok(Statement::DropTable { name: self.ident()? })
+            Ok(Statement::DropTable {
+                name: self.ident()?,
+            })
         } else if self.eat_kw("ALTER") {
             self.alter()
         } else if self.eat_kw("INSERT") {
@@ -135,7 +137,9 @@ impl Parser {
             self.expect_kw("TABLES")?;
             Ok(Statement::ShowTables)
         } else if self.eat_kw("DESCRIBE") || self.eat_kw("DESC") {
-            Ok(Statement::Describe { name: self.ident()? })
+            Ok(Statement::Describe {
+                name: self.ident()?,
+            })
         } else {
             Err(Error::invalid(format!(
                 "expected a statement, got {:?}",
@@ -166,7 +170,9 @@ impl Parser {
             Token::Symbol(Sym::Minus) => match self.next()? {
                 Token::Int(i) => Ok(Literal::Int(-i)),
                 Token::Float(f) => Ok(Literal::Float(-f)),
-                t => Err(Error::invalid(format!("expected number after '-', got {t:?}"))),
+                t => Err(Error::invalid(format!(
+                    "expected number after '-', got {t:?}"
+                ))),
             },
             Token::Ident(s) if s.eq_ignore_ascii_case("NOW") => {
                 self.expect_sym(Sym::LParen)?;

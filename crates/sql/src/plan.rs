@@ -149,9 +149,7 @@ pub fn plan_select(sel: &Select, schema: &Schema, now: Micros) -> Result<Plan> {
                     let incl = *op == CmpOp::Ge;
                     let tighter = match &lo {
                         None => true,
-                        Some((cur, _)) => {
-                            cmp_values(value, cur) == Some(Ordering::Greater)
-                        }
+                        Some((cur, _)) => cmp_values(value, cur) == Some(Ordering::Greater),
                     };
                     if tighter {
                         lo = Some((value.clone(), incl));
@@ -211,11 +209,7 @@ pub fn plan_select(sel: &Select, schema: &Schema, now: Micros) -> Result<Plan> {
             .map(|&i| schema.columns()[i].name.as_str())
             .collect();
         if sel.order_by.len() > key_names.len()
-            || !sel
-                .order_by
-                .iter()
-                .zip(&key_names)
-                .all(|(a, b)| a == b)
+            || !sel.order_by.iter().zip(&key_names).all(|(a, b)| a == b)
         {
             return Err(Error::invalid(
                 "ORDER BY must be a prefix of the primary key columns",
@@ -251,8 +245,8 @@ fn tighten_ts_max(q: Query, ts: Micros, inclusive: bool) -> Query {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::parser::parse;
     use crate::ast::Statement;
+    use crate::parser::parse;
     use littletable_core::schema::ColumnDef;
     use littletable_core::value::ColumnType;
 
@@ -353,9 +347,7 @@ mod tests {
 
     #[test]
     fn order_by_validation() {
-        let Statement::Select(sel) =
-            parse("SELECT * FROM t ORDER BY device").unwrap()
-        else {
+        let Statement::Select(sel) = parse("SELECT * FROM t ORDER BY device").unwrap() else {
             unreachable!()
         };
         assert!(plan_select(&sel, &schema(), 0).is_err());

@@ -183,10 +183,9 @@ pub fn lex(input: &str) -> Result<Vec<Token>> {
                 }
                 let text: String = input[start..i].replace('_', "");
                 if is_float {
-                    out.push(Token::Float(
-                        text.parse()
-                            .map_err(|_| Error::invalid(format!("bad float literal {text}")))?,
-                    ));
+                    out.push(Token::Float(text.parse().map_err(|_| {
+                        Error::invalid(format!("bad float literal {text}"))
+                    })?));
                 } else {
                     out.push(Token::Int(text.parse().map_err(|_| {
                         Error::invalid(format!("bad integer literal {text}"))
@@ -203,9 +202,7 @@ pub fn lex(input: &str) -> Result<Vec<Token>> {
                     i += end + 2;
                 } else {
                     let start = i;
-                    while i < b.len()
-                        && ((b[i] as char).is_ascii_alphanumeric() || b[i] == b'_')
-                    {
+                    while i < b.len() && ((b[i] as char).is_ascii_alphanumeric() || b[i] == b'_') {
                         i += 1;
                     }
                     out.push(Token::Ident(input[start..i].to_string()));
@@ -252,7 +249,9 @@ mod tests {
         assert!(toks.contains(&Token::Symbol(Sym::Ne)));
         assert!(toks.contains(&Token::Str("x".into())));
         // Comment consumed.
-        assert!(!toks.iter().any(|t| matches!(t, Token::Ident(s) if s == "c")));
+        assert!(!toks
+            .iter()
+            .any(|t| matches!(t, Token::Ident(s) if s == "c")));
     }
 
     #[test]
@@ -270,14 +269,8 @@ mod tests {
 
     #[test]
     fn lexes_strings_and_blobs() {
-        assert_eq!(
-            lex("'it''s'").unwrap(),
-            vec![Token::Str("it's".into())]
-        );
-        assert_eq!(
-            lex("x'0aFF'").unwrap(),
-            vec![Token::Blob(vec![0x0A, 0xFF])]
-        );
+        assert_eq!(lex("'it''s'").unwrap(), vec![Token::Str("it's".into())]);
+        assert_eq!(lex("x'0aFF'").unwrap(), vec![Token::Blob(vec![0x0A, 0xFF])]);
         assert!(lex("'unterminated").is_err());
         assert!(lex("x'0'").is_err());
     }

@@ -247,7 +247,10 @@ impl WritableFile for SimWriter {
 
     fn written(&self) -> u64 {
         let s = self.state.lock();
-        s.store.get(&self.id).map(|f| f.data.len() as u64).unwrap_or(0)
+        s.store
+            .get(&self.id)
+            .map(|f| f.data.len() as u64)
+            .unwrap_or(0)
     }
 }
 
@@ -362,11 +365,11 @@ impl Vfs for SimVfs {
         } else {
             format!("{path}/")
         };
-        let in_dir = |p: &str|
-
+        let in_dir = |p: &str| {
             p.strip_prefix(&prefix)
                 .map(|rest| !rest.is_empty() && !rest.contains('/'))
-                .unwrap_or(false);
+                .unwrap_or(false)
+        };
         // Replace the shadow's view of this directory with the live one.
         let live_entries: Vec<(String, u64)> = s
             .live
@@ -379,13 +382,7 @@ impl Vfs for SimVfs {
         s.shadow.files.extend(live_entries);
         // Directory creations under this parent become durable, and the
         // directory chain leading here is durable too.
-        let live_dirs: Vec<String> = s
-            .live
-            .dirs
-            .iter()
-            .filter(|d| in_dir(d))
-            .cloned()
-            .collect();
+        let live_dirs: Vec<String> = s.live.dirs.iter().filter(|d| in_dir(d)).cloned().collect();
         s.shadow.dirs.extend(live_dirs);
         let mut cur = String::new();
         for seg in path.split('/').filter(|p| !p.is_empty()) {

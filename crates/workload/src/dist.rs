@@ -41,9 +41,7 @@ impl Cdf {
         if self.points.is_empty() {
             return 0.0;
         }
-        let idx = ((q * self.points.len() as f64).ceil() as usize)
-            .clamp(1, self.points.len())
-            - 1;
+        let idx = ((q * self.points.len() as f64).ceil() as usize).clamp(1, self.points.len()) - 1;
         self.points[idx].0
     }
 

@@ -16,14 +16,14 @@ const DAY: Micros = 24 * HOUR;
 pub fn sample_lookback<R: Rng>(rng: &mut R) -> Micros {
     let r: f64 = rng.gen();
     match r {
-        x if x < 0.35 => HOUR,          // debugging the last hour
-        x if x < 0.60 => 8 * HOUR,      // today
-        x if x < 0.80 => DAY,           // one day
-        x if x < 0.93 => 7 * DAY,       // weekly summary
-        x if x < 0.965 => 30 * DAY,     // monthly rollup view
-        x if x < 0.985 => 90 * DAY,     // quarterly
-        x if x < 0.995 => 365 * DAY,    // year-end CIO report
-        _ => 790 * DAY,                 // deep forensics
+        x if x < 0.35 => HOUR,       // debugging the last hour
+        x if x < 0.60 => 8 * HOUR,   // today
+        x if x < 0.80 => DAY,        // one day
+        x if x < 0.93 => 7 * DAY,    // weekly summary
+        x if x < 0.965 => 30 * DAY,  // monthly rollup view
+        x if x < 0.985 => 90 * DAY,  // quarterly
+        x if x < 0.995 => 365 * DAY, // year-end CIO report
+        _ => 790 * DAY,              // deep forensics
     }
 }
 
@@ -130,10 +130,7 @@ mod tests {
     #[test]
     fn rate_model_weekly_mean_is_near_average() {
         let m = RateModel::default();
-        let mean: f64 = (0..168)
-            .map(|h| m.insert_rate_at(h as f64))
-            .sum::<f64>()
-            / 168.0;
+        let mean: f64 = (0..168).map(|h| m.insert_rate_at(h as f64)).sum::<f64>() / 168.0;
         let err = (mean - m.avg_insert_rows_per_sec).abs() / m.avg_insert_rows_per_sec;
         assert!(err < 0.05, "weekly mean off by {err}");
     }

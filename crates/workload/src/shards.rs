@@ -46,8 +46,8 @@ impl Fleet {
                 let mu = (320e12 / n as f64).ln() - sigma * sigma / 2.0;
                 let lt = lognormal(&mut rng, mu, sigma).clamp(3e10, 6.7e12) as u64;
                 // PostgreSQL is roughly LittleTable / 20, capped at 341 GB.
-                let pg = ((lt as f64 / 20.0) * lognormal(&mut rng, 0.0, 0.35))
-                    .clamp(1e9, 3.41e11) as u64;
+                let pg = ((lt as f64 / 20.0) * lognormal(&mut rng, 0.0, 0.35)).clamp(1e9, 3.41e11)
+                    as u64;
                 // Device counts scale with stored telemetry, up to the ~30k
                 // devices the largest shards host (§2.1).
                 let devices = ((lt as f64 / 1e8) * lognormal(&mut rng, 0.0, 0.3))
@@ -65,7 +65,8 @@ impl Fleet {
         let total: f64 = shards.iter().map(|s| s.littletable_bytes as f64).sum();
         let scale = 320e12 / total;
         for s in &mut shards {
-            s.littletable_bytes = ((s.littletable_bytes as f64 * scale) as u64).min(6_700_000_000_000);
+            s.littletable_bytes =
+                ((s.littletable_bytes as f64 * scale) as u64).min(6_700_000_000_000);
             s.postgres_bytes = ((s.postgres_bytes as f64 * scale) as u64).min(341_000_000_000);
         }
         Fleet { shards }
@@ -129,7 +130,10 @@ mod tests {
         let f = Fleet::generate(400, 17);
         let lt_max = f.littletable_cdf().max();
         assert!(lt_max <= 6.7e12);
-        assert!(lt_max > 2.0e12, "some shard should be multi-TB: {lt_max:.2e}");
+        assert!(
+            lt_max > 2.0e12,
+            "some shard should be multi-TB: {lt_max:.2e}"
+        );
         let pg_max = f.postgres_cdf().max();
         assert!(pg_max <= 3.41e11);
     }

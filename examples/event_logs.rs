@@ -65,7 +65,10 @@ fn main() -> littletable::Result<()> {
 
     // Dashboard: browse one device's recent events, newest first.
     let dev = fleet.devices()[0];
-    println!("recent events for network {} device {}:", dev.network, dev.device);
+    println!(
+        "recent events for network {} device {}:",
+        dev.network, dev.device
+    );
     for (ts, kind, detail) in browse_events(
         &events,
         dev,

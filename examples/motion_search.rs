@@ -6,7 +6,9 @@
 //! Run with: `cargo run --example motion_search`
 
 use littletable::apps::device::Fleet;
-use littletable::apps::motion::{motion_heatmap, motion_schema, search_motion, CellRect, MotionGrabber};
+use littletable::apps::motion::{
+    motion_heatmap, motion_schema, search_motion, CellRect, MotionGrabber,
+};
 use littletable::vfs::{Clock, SimClock, SimVfs};
 use littletable::{Db, Options};
 use std::sync::Arc;
@@ -34,13 +36,24 @@ fn main() -> littletable::Result<()> {
         db.maintain()?;
     }
     let cam = fleet.devices()[0];
-    println!("stored {polled} motion rows for {} cameras", fleet.devices().len());
+    println!(
+        "stored {polled} motion rows for {} cameras",
+        fleet.devices().len()
+    );
 
     // A security incident near the door (cells rows 2-4, cols 3-5):
     // search backwards for the last 10 motion events there.
-    let rect = CellRect { row_min: 2, row_max: 4, col_min: 3, col_max: 5 };
+    let rect = CellRect {
+        row_min: 2,
+        row_max: 4,
+        col_min: 3,
+        col_max: 5,
+    };
     let hits = search_motion(&table, cam, rect, clock.now_micros(), 10)?;
-    println!("last {} motion events in the doorway rectangle:", hits.len());
+    println!(
+        "last {} motion events in the doorway rectangle:",
+        hits.len()
+    );
     for (ts, duration_ms) in &hits {
         let ago = (clock.now_micros() - ts) / 1_000_000;
         println!("  {ago:>7}s ago, {duration_ms} ms of motion");

@@ -31,13 +31,19 @@ fn main() -> littletable::Result<()> {
     let mut grabber = UsageGrabber::new(usage.clone(), 3600 * 1_000_000);
 
     // Two hours of per-minute polling.
-    println!("polling {} devices every minute for 2 hours...", fleet.devices().len());
+    println!(
+        "polling {} devices every minute for 2 hours...",
+        fleet.devices().len()
+    );
     for _ in 0..120 {
         grabber.poll_all(&fleet, clock.now_micros())?;
         clock.advance(MINUTE);
         db.maintain()?;
     }
-    println!("usage table: {} rows", usage.query_all(&Query::all())?.len());
+    println!(
+        "usage table: {} rows",
+        usage.query_all(&Query::all())?.len()
+    );
 
     // Crash! Unflushed rows vanish; the grabber's cache is gone too.
     vfs.crash();

@@ -41,7 +41,10 @@ fn main() -> littletable::Result<()> {
         }
     }
     let report = table.insert(rows)?;
-    println!("inserted {} rows ({} duplicates)", report.inserted, report.duplicates);
+    println!(
+        "inserted {} rows ({} duplicates)",
+        report.inserted, report.duplicates
+    );
 
     // One device, the last 10 minutes — a single contiguous rectangle.
     let q = Query::all()

@@ -103,7 +103,10 @@ fn full_shard_pipeline_with_crash() {
     for &dev in fleet.devices() {
         expected_events += fleet.poll_events(dev, None, now, usize::MAX).unwrap().len();
     }
-    assert_eq!(events.query_all(&Query::all()).unwrap().len(), expected_events);
+    assert_eq!(
+        events.query_all(&Query::all()).unwrap().len(),
+        expected_events
+    );
 
     // The rollup aggregator processes everything durable.
     let mut agg = UsageRollup::new(usage.clone(), rollup.clone(), 10 * MINUTE, 0);

@@ -50,9 +50,16 @@ fn repeated_crashes_always_preserve_a_prefix() {
         // k >= durable_floor.
         let rows = table.query_all(&Query::all()).unwrap();
         for (i, r) in rows.iter().enumerate() {
-            assert_eq!(r.values[0], Value::I64(i as i64), "round {round}: hole in prefix");
+            assert_eq!(
+                r.values[0],
+                Value::I64(i as i64),
+                "round {round}: hole in prefix"
+            );
         }
-        assert!(rows.len() as i64 >= durable_floor, "round {round}: lost flushed rows");
+        assert!(
+            rows.len() as i64 >= durable_floor,
+            "round {round}: lost flushed rows"
+        );
         next = rows.len() as i64;
         // Insert more, flush some of it, crash.
         for _ in 0..50 {
@@ -113,7 +120,10 @@ fn crash_between_merge_file_write_and_commit_is_clean() {
     let table2 = db2.table("t").unwrap();
     assert_eq!(table2.query_all(&Query::all()).unwrap().len(), 100);
     use littletable::vfs::Vfs;
-    assert!(!vfs.exists("t/tab-0000000000009999.lt"), "orphan not cleaned");
+    assert!(
+        !vfs.exists("t/tab-0000000000009999.lt"),
+        "orphan not cleaned"
+    );
 }
 
 #[test]
@@ -152,7 +162,11 @@ fn schema_evolution_survives_crash() {
         table.insert(vec![row(0, START)]).unwrap();
         table.flush_all().unwrap();
         table
-            .add_column(ColumnDef::with_default("extra", ColumnType::Str, Value::Str("-".into())))
+            .add_column(ColumnDef::with_default(
+                "extra",
+                ColumnType::Str,
+                Value::Str("-".into()),
+            ))
             .unwrap();
         table
             .insert(vec![vec![

@@ -64,15 +64,14 @@ fn tcp_client_sql_session_and_restart_on_real_files() {
         else {
             panic!("expected rows")
         };
-        let Value::I64(count) = rows[0][0] else { panic!() };
+        let Value::I64(count) = rows[0][0] else {
+            panic!()
+        };
         assert!(count > 0);
 
         // The client reads its own writes through key-ordered queries.
         let got = client
-            .query(
-                "usage",
-                &Query::all().with_prefix(vec![Value::I64(2)]),
-            )
+            .query("usage", &Query::all().with_prefix(vec![Value::I64(2)]))
             .unwrap();
         assert!(!got.is_empty());
 

@@ -26,13 +26,29 @@ fn schema() -> Schema {
 
 #[derive(Debug, Clone)]
 enum Op {
-    Insert { a: i64, b: String, ts_off: i64, v: i64 },
+    Insert {
+        a: i64,
+        b: String,
+        ts_off: i64,
+        v: i64,
+    },
     Flush,
     Merge,
-    AdvanceClock { micros: i64 },
-    QueryPrefix { a: i64, desc: bool, limit: Option<usize> },
-    QueryTs { lo_off: i64, hi_off: i64 },
-    Latest { a: i64 },
+    AdvanceClock {
+        micros: i64,
+    },
+    QueryPrefix {
+        a: i64,
+        desc: bool,
+        limit: Option<usize>,
+    },
+    QueryTs {
+        lo_off: i64,
+        hi_off: i64,
+    },
+    Latest {
+        a: i64,
+    },
 }
 
 fn op_strategy() -> impl Strategy<Value = Op> {
@@ -110,8 +126,7 @@ fn run_ops(ops: Vec<Op>) {
                     q = q.with_limit(n);
                 }
                 let got = table.query_all(&q).unwrap();
-                let mut expect: Vec<_> =
-                    oracle.iter().filter(|((x, _, _), _)| *x == a).collect();
+                let mut expect: Vec<_> = oracle.iter().filter(|((x, _, _), _)| *x == a).collect();
                 if desc {
                     expect.reverse();
                 }
@@ -172,7 +187,6 @@ proptest! {
     #![proptest_config(ProptestConfig {
         cases: 48,
         max_shrink_iters: 200,
-        ..ProptestConfig::default()
     })]
 
     #[test]

@@ -114,6 +114,10 @@ fn writers_readers_and_maintenance_race_safely() {
     // Merging happened under load (several tablets were created by the
     // small flush size) and the table converged to a compact structure.
     let snap = table.stats().snapshot();
-    assert!(snap.tablets_flushed > 4, "flushes = {}", snap.tablets_flushed);
+    assert!(
+        snap.tablets_flushed > 4,
+        "flushes = {}",
+        snap.tablets_flushed
+    );
     assert!(snap.merges > 0, "no merges ran");
 }

@@ -36,12 +36,7 @@ fn simulate(days: i64) -> (SimVfs, SimClock, Db) {
     let mut opts = Options::small_for_tests();
     opts.flush_size = 32 << 10;
     opts.merge_delay = 0;
-    let db = Db::open(
-        Arc::new(vfs.clone()),
-        Arc::new(clock.clone()),
-        opts,
-    )
-    .unwrap();
+    let db = Db::open(Arc::new(vfs.clone()), Arc::new(clock.clone()), opts).unwrap();
     let table = db.create_table("t", schema(), None).unwrap();
     let step = 10 * MINUTE;
     while clock.now_micros() - START < days * DAY {

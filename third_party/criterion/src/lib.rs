@@ -1,0 +1,285 @@
+//! Offline stand-in for `criterion`: the `criterion_group!` /
+//! `criterion_main!` macro surface plus `Bencher::{iter, iter_batched}`,
+//! benchmark groups, and throughput annotation. It times a warmed-up loop
+//! and prints a mean ns/iter (plus derived throughput) — no statistical
+//! analysis, no HTML reports.
+//!
+//! Under `cargo test` (or with `--test` in the args) every benchmark runs
+//! exactly one iteration, so bench targets double as smoke tests.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortizes setup; accepted for source compatibility
+/// (this stand-in times each routine call individually regardless).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Work-per-iteration annotation; turns mean time into a rate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Iteration processes this many bytes.
+    Bytes(u64),
+    /// Iteration processes this many logical elements.
+    Elements(u64),
+}
+
+/// Timing driver handed to each benchmark closure.
+pub struct Bencher {
+    test_mode: bool,
+    mean_ns: f64,
+}
+
+const WARMUP: Duration = Duration::from_millis(60);
+const MEASURE: Duration = Duration::from_millis(240);
+
+impl Bencher {
+    /// Times `f` in a loop and records the mean ns per call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.test_mode {
+            black_box(f());
+            self.mean_ns = 0.0;
+            return;
+        }
+        // Warm up and estimate the per-call cost.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < WARMUP {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let est_ns = (warm_start.elapsed().as_nanos() as f64 / warm_iters as f64).max(1.0);
+        let iters = ((MEASURE.as_nanos() as f64 / est_ns) as u64).clamp(1, 50_000_000);
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        self.mean_ns = start.elapsed().as_nanos() as f64 / iters as f64;
+    }
+
+    /// Times `routine` over inputs produced by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        if self.test_mode {
+            let input = setup();
+            black_box(routine(input));
+            self.mean_ns = 0.0;
+            return;
+        }
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        let wall = Instant::now();
+        while total < MEASURE && wall.elapsed() < WARMUP + MEASURE * 4 {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+            iters += 1;
+        }
+        self.mean_ns = total.as_nanos() as f64 / iters.max(1) as f64;
+    }
+}
+
+/// The benchmark registry/driver.
+pub struct Criterion {
+    filter: Option<String>,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            filter: None,
+            test_mode: false,
+        }
+    }
+}
+
+impl Criterion {
+    /// Builds a driver from the process arguments (`cargo bench -- <filter>`).
+    pub fn from_args() -> Criterion {
+        let mut filter = None;
+        let mut test_mode = cfg!(test);
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => test_mode = true,
+                "--bench" => {}
+                a if a.starts_with("--") => {} // ignore harness flags
+                a => filter = Some(a.to_string()),
+            }
+        }
+        Criterion { filter, test_mode }
+    }
+
+    fn runs(&self, id: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| id.contains(f))
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        mut f: F,
+    ) -> &mut Criterion {
+        let id = id.into();
+        if self.runs(&id) {
+            let mut b = Bencher {
+                test_mode: self.test_mode,
+                mean_ns: 0.0,
+            };
+            f(&mut b);
+            report(&id, b.mean_ns, None, self.test_mode);
+        }
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Prints the closing line (the real crate writes a summary here).
+    pub fn final_summary(&mut self) {
+        if !self.test_mode {
+            println!("benchmarks complete (criterion stand-in: mean-only timing)");
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and throughput annotation.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the work-per-iteration for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        mut f: F,
+    ) -> &mut Self {
+        let id = format!("{}/{}", self.name, id.into());
+        if self.criterion.runs(&id) {
+            let mut b = Bencher {
+                test_mode: self.criterion.test_mode,
+                mean_ns: 0.0,
+            };
+            f(&mut b);
+            report(&id, b.mean_ns, self.throughput, self.criterion.test_mode);
+        }
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+fn report(id: &str, mean_ns: f64, throughput: Option<Throughput>, test_mode: bool) {
+    if test_mode {
+        println!("bench {id:<48} ok (test mode, 1 iter)");
+        return;
+    }
+    let rate = match throughput {
+        Some(Throughput::Bytes(n)) => {
+            let mibs = n as f64 / (mean_ns / 1e9) / (1024.0 * 1024.0);
+            format!("  {mibs:>10.1} MiB/s")
+        }
+        Some(Throughput::Elements(n)) => {
+            let eps = n as f64 / (mean_ns / 1e9);
+            format!("  {eps:>10.0} elem/s")
+        }
+        None => String::new(),
+    };
+    println!("bench {id:<48} {mean_ns:>14.1} ns/iter{rate}");
+}
+
+/// Bundles benchmark functions into one group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::from_args();
+            $($group(&mut c);)+
+            c.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut c = Criterion {
+            filter: None,
+            test_mode: true,
+        };
+        let mut ran = false;
+        c.bench_function("t", |b| b.iter(|| ran = true));
+        assert!(ran);
+    }
+
+    #[test]
+    fn group_and_batched_run_in_test_mode() {
+        let mut c = Criterion {
+            filter: None,
+            test_mode: true,
+        };
+        let mut g = c.benchmark_group("g");
+        let mut n = 0;
+        g.throughput(Throughput::Bytes(64))
+            .bench_function("b", |b| {
+                b.iter_batched(|| 1, |x| n += x, BatchSize::SmallInput)
+            });
+        g.finish();
+        assert_eq!(n, 1);
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut c = Criterion {
+            filter: Some("yes".into()),
+            test_mode: true,
+        };
+        let mut ran = false;
+        c.bench_function("no", |b| b.iter(|| ran = true));
+        assert!(!ran);
+        c.bench_function("yes/sub", |b| b.iter(|| ran = true));
+        assert!(ran);
+    }
+}

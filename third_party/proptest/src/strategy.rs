@@ -1,0 +1,468 @@
+//! Strategies: deterministic value generators plus the combinators the
+//! repository uses (`prop_map`, `prop_filter`, tuples, ranges, regex-ish
+//! string patterns, weighted unions).
+
+use crate::test_runner::TestRng;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+/// A generator of test values.
+pub trait Strategy {
+    /// The value type produced.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Keeps only values satisfying `f`; `whence` names the predicate in
+    /// the panic raised if too many candidates are rejected.
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(self, whence: &'static str, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter {
+            inner: self,
+            whence,
+            f,
+        }
+    }
+
+    /// Erases the strategy's concrete type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy (a plain boxed trait object here; the real
+/// crate wraps it in a struct).
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (**self).generate(rng)
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_filter`].
+#[derive(Debug, Clone)]
+pub struct Filter<S, F> {
+    inner: S,
+    whence: &'static str,
+    f: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1000 {
+            let v = self.inner.generate(rng);
+            if (self.f)(&v) {
+                return v;
+            }
+        }
+        panic!(
+            "prop_filter({}): rejected 1000 candidates in a row",
+            self.whence
+        );
+    }
+}
+
+/// Strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Weighted choice among type-erased strategies (backs `prop_oneof!`).
+pub struct Union<T> {
+    arms: Vec<(u32, BoxedStrategy<T>)>,
+    total: u64,
+}
+
+impl<T> Union<T> {
+    /// Builds a union; weights must sum to a positive value.
+    pub fn new(arms: Vec<(u32, BoxedStrategy<T>)>) -> Union<T> {
+        let total = arms.iter().map(|(w, _)| *w as u64).sum();
+        assert!(total > 0, "prop_oneof!: zero total weight");
+        Union { arms, total }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let mut pick = rng.next_u64() % self.total;
+        for (w, strat) in &self.arms {
+            if pick < *w as u64 {
+                return strat.generate(rng);
+            }
+            pick -= *w as u64;
+        }
+        unreachable!("weighted pick out of range")
+    }
+}
+
+/// Types with a default ("arbitrary") strategy, used via [`any`].
+pub trait ArbitraryValue: Sized {
+    /// Generates one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl ArbitraryValue for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                // Mix edge cases in: zero, extremes, small values.
+                match rng.next_u64() % 16 {
+                    0 => 0,
+                    1 => <$t>::MAX,
+                    2 => <$t>::MIN,
+                    3 => 1 as $t,
+                    4 => rng.next_u64() as $t % 16 as $t,
+                    _ => rng.next_u64() as $t,
+                }
+            }
+        }
+    )*};
+}
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl ArbitraryValue for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl ArbitraryValue for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        // Arbitrary bit patterns: covers huge/tiny magnitudes, negative
+        // zero, infinities, and NaN — like the real crate's any::<f64>().
+        match rng.next_u64() % 8 {
+            0 => 0.0,
+            1 => -1.5,
+            2 => (rng.next_u64() % 1_000_000) as f64 / 128.0,
+            _ => f64::from_bits(rng.next_u64()),
+        }
+    }
+}
+
+impl ArbitraryValue for f32 {
+    fn arbitrary(rng: &mut TestRng) -> f32 {
+        f64::arbitrary(rng) as f32
+    }
+}
+
+/// The default strategy for `T` (`any::<u64>()`, `any::<bool>()`, ...).
+pub fn any<T: ArbitraryValue>() -> Any<T> {
+    Any(PhantomData)
+}
+
+/// Strategy returned by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(PhantomData<fn() -> T>);
+
+impl<T: ArbitraryValue> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = (rng.next_u64() as u128) % span;
+                (self.start as i128 + v as i128) as $t
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let v = (rng.next_u64() as u128) % span;
+                (lo as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident : $idx:tt),+),)*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategy! {
+    (A: 0, B: 1),
+    (A: 0, B: 1, C: 2),
+    (A: 0, B: 1, C: 2, D: 3),
+    (A: 0, B: 1, C: 2, D: 3, E: 4),
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5),
+}
+
+// ---------------------------------------------------------------------
+// Regex-ish string strategies: `"[a-c]{0,2}"`, `".*"`, `".{0,32}"`, ...
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum Atom {
+    /// `.` — any char (mostly printable ASCII, occasionally wider).
+    AnyChar,
+    /// `[a-z0-9]` — one of an explicit set.
+    Class(Vec<(char, char)>),
+    /// A literal character.
+    Literal(char),
+}
+
+#[derive(Debug, Clone)]
+struct Piece {
+    atom: Atom,
+    min: usize,
+    max: usize,
+}
+
+fn parse_pattern(pattern: &str) -> Vec<Piece> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut pieces = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '.' => {
+                i += 1;
+                Atom::AnyChar
+            }
+            '[' => {
+                i += 1;
+                let mut ranges = Vec::new();
+                while i < chars.len() && chars[i] != ']' {
+                    let lo = chars[i];
+                    if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                        ranges.push((lo, chars[i + 2]));
+                        i += 3;
+                    } else {
+                        ranges.push((lo, lo));
+                        i += 1;
+                    }
+                }
+                assert!(
+                    i < chars.len(),
+                    "string strategy: unterminated class in {pattern:?}"
+                );
+                i += 1; // skip ']'
+                Atom::Class(ranges)
+            }
+            '\\' => {
+                i += 1;
+                assert!(
+                    i < chars.len(),
+                    "string strategy: trailing backslash in {pattern:?}"
+                );
+                let c = chars[i];
+                i += 1;
+                Atom::Literal(c)
+            }
+            c => {
+                i += 1;
+                Atom::Literal(c)
+            }
+        };
+        // Optional quantifier.
+        let (min, max) = match chars.get(i) {
+            Some('*') => {
+                i += 1;
+                (0, 16)
+            }
+            Some('+') => {
+                i += 1;
+                (1, 16)
+            }
+            Some('?') => {
+                i += 1;
+                (0, 1)
+            }
+            Some('{') => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .unwrap_or_else(|| panic!("string strategy: unterminated {{}} in {pattern:?}"));
+                let body: String = chars[i + 1..i + close].iter().collect();
+                i += close + 1;
+                match body.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.trim().parse().expect("quantifier lower bound"),
+                        hi.trim().parse().expect("quantifier upper bound"),
+                    ),
+                    None => {
+                        let n = body.trim().parse().expect("quantifier count");
+                        (n, n)
+                    }
+                }
+            }
+            _ => (1, 1),
+        };
+        assert!(min <= max, "string strategy: bad quantifier in {pattern:?}");
+        pieces.push(Piece { atom, min, max });
+    }
+    pieces
+}
+
+fn gen_any_char(rng: &mut TestRng) -> char {
+    match rng.next_u64() % 8 {
+        // Mostly printable ASCII...
+        0..=5 => (0x20 + (rng.next_u64() % 0x5f) as u32) as u8 as char,
+        // ...some control/NUL bytes to stress encoders...
+        6 => (rng.next_u64() % 0x20) as u8 as char,
+        // ...and some arbitrary non-surrogate unicode scalars.
+        _ => loop {
+            let v = (rng.next_u64() % 0x11_0000) as u32;
+            if let Some(c) = char::from_u32(v) {
+                break c;
+            }
+        },
+    }
+}
+
+fn gen_class_char(rng: &mut TestRng, ranges: &[(char, char)]) -> char {
+    let total: u64 = ranges
+        .iter()
+        .map(|&(lo, hi)| (hi as u64).saturating_sub(lo as u64) + 1)
+        .sum();
+    let mut pick = rng.next_u64() % total.max(1);
+    for &(lo, hi) in ranges {
+        let span = (hi as u64) - (lo as u64) + 1;
+        if pick < span {
+            return char::from_u32(lo as u32 + pick as u32).expect("class char");
+        }
+        pick -= span;
+    }
+    unreachable!("class pick out of range")
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let pieces = parse_pattern(self);
+        let mut out = String::new();
+        for piece in &pieces {
+            let n = piece.min + (rng.next_u64() as usize) % (piece.max - piece.min + 1);
+            for _ in 0..n {
+                match &piece.atom {
+                    Atom::AnyChar => out.push(gen_any_char(rng)),
+                    Atom::Class(ranges) => out.push(gen_class_char(rng, ranges)),
+                    Atom::Literal(c) => out.push(*c),
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::seed(1);
+        for _ in 0..500 {
+            let v = (-5i64..5).generate(&mut rng);
+            assert!((-5..5).contains(&v));
+            let w = (1u8..=255).generate(&mut rng);
+            assert!(w >= 1);
+        }
+    }
+
+    #[test]
+    fn string_patterns_match_shape() {
+        let mut rng = TestRng::seed(2);
+        for _ in 0..200 {
+            let s = "[a-c]{0,2}".generate(&mut rng);
+            assert!(
+                s.len() <= 2 && s.chars().all(|c| ('a'..='c').contains(&c)),
+                "{s:?}"
+            );
+            let t = "[a-z0-9]{0,12}".generate(&mut rng);
+            assert!(
+                t.len() <= 12
+                    && t.chars()
+                        .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit())
+            );
+            let u = ".{0,32}".generate(&mut rng);
+            assert!(u.chars().count() <= 32);
+        }
+    }
+
+    #[test]
+    fn union_respects_weights() {
+        let mut rng = TestRng::seed(3);
+        let u = crate::prop_oneof![9 => Just(1u8), 1 => Just(2u8)];
+        let twos = (0..1000).filter(|_| u.generate(&mut rng) == 2).count();
+        assert!((50..200).contains(&twos), "twos={twos}");
+    }
+
+    #[test]
+    fn filter_and_map_compose() {
+        let mut rng = TestRng::seed(4);
+        let s = any::<f64>()
+            .prop_filter("finite", |f| f.is_finite())
+            .prop_map(|f| f.abs());
+        for _ in 0..200 {
+            let v = s.generate(&mut rng);
+            assert!(v.is_finite() && v >= 0.0);
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! The case runner: deterministic per-test rng and the config struct.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+/// Deterministic rng driving strategy generation (xoshiro256**).
+#[derive(Debug, Clone)]
+pub struct TestRng([u64; 4]);
+
+impl TestRng {
+    /// Builds an rng from a 64-bit seed via splitmix64.
+    pub fn seed(seed: u64) -> TestRng {
+        let mut s = seed;
+        let mut next = || {
+            s = s.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = s;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        TestRng([next(), next(), next(), next()])
+    }
+
+    /// Produces the next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let [s0, s1, s2, s3] = &mut self.0;
+        let result = s1.wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = *s1 << 17;
+        *s2 ^= *s0;
+        *s3 ^= *s1;
+        *s1 ^= *s2;
+        *s0 ^= *s3;
+        *s2 ^= t;
+        *s3 = s3.rotate_left(45);
+        result
+    }
+}
+
+/// Runner configuration. Only the fields this repository names exist;
+/// `max_shrink_iters` is accepted for source compatibility but unused
+/// (this stand-in does not shrink).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases to run per test.
+    pub cases: u32,
+    /// Ignored: shrinking is not implemented.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig {
+            cases: 256,
+            max_shrink_iters: 0,
+        }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig {
+            cases,
+            ..ProptestConfig::default()
+        }
+    }
+}
+
+/// Seeds are derived from the test name so each test gets a stable,
+/// independent stream (FNV-1a).
+fn name_seed(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Runs `config.cases` deterministic cases of `body`. On panic, reports
+/// the failing case number and seed, then propagates the panic so the
+/// test fails with the original message.
+pub fn run_cases<F: FnMut(&mut TestRng)>(config: &ProptestConfig, name: &str, mut body: F) {
+    let base = name_seed(name);
+    for case in 0..config.cases {
+        let seed = base ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mut rng = TestRng::seed(seed);
+        let result = catch_unwind(AssertUnwindSafe(|| body(&mut rng)));
+        if let Err(payload) = result {
+            eprintln!(
+                "proptest stand-in: test `{name}` failed at case {case}/{} (seed {seed:#x}); \
+                 no shrinking — rerun reproduces deterministically",
+                config.cases
+            );
+            resume_unwind(payload);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_name() {
+        let mut a = TestRng::seed(name_seed("t"));
+        let mut b = TestRng::seed(name_seed("t"));
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn runs_requested_cases() {
+        let mut n = 0;
+        run_cases(&ProptestConfig::with_cases(17), "count", |_| n += 1);
+        assert_eq!(n, 17);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn propagates_failure() {
+        run_cases(&ProptestConfig::with_cases(5), "fail", |rng| {
+            if rng.next_u64() % 2 < 2 {
+                panic!("boom");
+            }
+        });
+    }
+}

@@ -1,0 +1,190 @@
+//! Offline stand-in for `serde`: a serialize-only trait whose implementors
+//! append compact JSON to a `String`. `serde_json` (the sibling stand-in)
+//! layers `to_string` / `to_string_pretty` on top. The `derive` feature
+//! re-exports a hand-rolled `#[derive(Serialize)]` for plain named-field
+//! structs and unit enums — the only shapes this repository serializes.
+
+#[cfg(feature = "derive")]
+pub use serde_derive::Serialize;
+
+/// A value that can append its compact-JSON encoding to `out`.
+///
+/// The real serde is format-agnostic; this stand-in is JSON-only because
+/// the repository only ever serializes through `serde_json`.
+pub trait Serialize {
+    /// Appends this value's compact JSON to `out`.
+    fn serialize_json(&self, out: &mut String);
+}
+
+/// Escapes and appends `s` as a JSON string literal.
+pub fn write_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_f64(out: &mut String, v: f64) {
+    if !v.is_finite() {
+        out.push_str("null"); // serde_json rejects these; null keeps us total
+        return;
+    }
+    let s = format!("{v}");
+    out.push_str(&s);
+    // serde_json always renders floats with a decimal point or exponent.
+    if !s.contains('.') && !s.contains('e') && !s.contains('E') {
+        out.push_str(".0");
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize_json(&self, out: &mut String) {
+        write_f64(out, *self);
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize_json(&self, out: &mut String) {
+        write_f64(out, *self as f64);
+    }
+}
+
+impl Serialize for bool {
+    fn serialize_json(&self, out: &mut String) {
+        out.push_str(if *self { "true" } else { "false" });
+    }
+}
+
+macro_rules! serialize_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_json(&self, out: &mut String) {
+                out.push_str(&self.to_string());
+            }
+        }
+    )*};
+}
+serialize_int!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
+
+impl Serialize for str {
+    fn serialize_json(&self, out: &mut String) {
+        write_json_string(out, self);
+    }
+}
+
+impl Serialize for String {
+    fn serialize_json(&self, out: &mut String) {
+        write_json_string(out, self);
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_json(&self, out: &mut String) {
+        (**self).serialize_json(out);
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_json(&self, out: &mut String) {
+        match self {
+            Some(v) => v.serialize_json(out),
+            None => out.push_str("null"),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_json(&self, out: &mut String) {
+        out.push('[');
+        for (i, v) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            v.serialize_json(out);
+        }
+        out.push(']');
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_json(&self, out: &mut String) {
+        self.as_slice().serialize_json(out);
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize_json(&self, out: &mut String) {
+        self.as_slice().serialize_json(out);
+    }
+}
+
+macro_rules! serialize_tuple {
+    ($(($($name:ident : $idx:tt),+),)*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize_json(&self, out: &mut String) {
+                out.push('[');
+                let mut first = true;
+                $(
+                    if !first { out.push(','); }
+                    first = false;
+                    self.$idx.serialize_json(out);
+                )+
+                let _ = first;
+                out.push(']');
+            }
+        }
+    )*};
+}
+serialize_tuple! {
+    (A: 0),
+    (A: 0, B: 1),
+    (A: 0, B: 1, C: 2),
+    (A: 0, B: 1, C: 2, D: 3),
+    (A: 0, B: 1, C: 2, D: 3, E: 4),
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn json<T: Serialize>(v: T) -> String {
+        let mut s = String::new();
+        v.serialize_json(&mut s);
+        s
+    }
+
+    #[test]
+    fn scalars() {
+        assert_eq!(json(3u32), "3");
+        assert_eq!(json(-4i64), "-4");
+        assert_eq!(json(true), "true");
+        assert_eq!(json(1.5f64), "1.5");
+        assert_eq!(json(2.0f64), "2.0");
+        assert_eq!(json(f64::NAN), "null");
+    }
+
+    #[test]
+    fn strings_escape() {
+        assert_eq!(json("a\"b\\c\n"), r#""a\"b\\c\n""#);
+    }
+
+    #[test]
+    fn collections() {
+        assert_eq!(json(vec![1u32, 2, 3]), "[1,2,3]");
+        assert_eq!(json(Option::<u32>::None), "null");
+        assert_eq!(json((1.0f64, "x")), r#"[1.0,"x"]"#);
+        assert_eq!(json(vec![(1.0f64, 2.0f64)]), "[[1.0,2.0]]");
+    }
+}

@@ -1,0 +1,179 @@
+//! Offline stand-in for `serde_derive`: `#[derive(Serialize)]` implemented
+//! directly over `proc_macro::TokenStream` (no syn/quote available
+//! offline). Supports exactly the shapes this repository derives on:
+//! non-generic named-field structs and unit-variant enums. Anything else
+//! fails the build with a clear message.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` (the JSON-emitting stand-in trait).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip attributes (`#[...]`, including expanded doc comments) and
+    // visibility preceding the item keyword.
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                // `pub(crate)` and friends carry a parenthesized group.
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("derive(Serialize): expected struct/enum, got {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("derive(Serialize): expected item name, got {other:?}"),
+    };
+    i += 1;
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("derive(Serialize) stand-in does not support generics (on `{name}`)");
+    }
+    let body = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        other => panic!("derive(Serialize): expected braced body for `{name}`, got {other:?}"),
+    };
+
+    let code = match kind.as_str() {
+        "struct" => derive_struct(&name, body),
+        "enum" => derive_enum(&name, body),
+        other => panic!("derive(Serialize): unsupported item kind `{other}`"),
+    };
+    code.parse()
+        .expect("derive(Serialize): generated code parses")
+}
+
+/// Extracts the field names of a named-field struct body.
+fn struct_field_names(body: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Skip per-field attributes and visibility.
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                i += 2;
+                continue;
+            }
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+                continue;
+            }
+            _ => {}
+        }
+        let fname = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("derive(Serialize): expected field name, got {other:?}"),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("derive(Serialize): expected `:` after `{fname}`, got {other:?}"),
+        }
+        // Skip the type: consume until a top-level comma. Angle brackets
+        // don't nest as groups in TokenStream, so track their depth.
+        let mut angle = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(fname);
+    }
+    fields
+}
+
+fn derive_struct(name: &str, body: TokenStream) -> String {
+    let fields = struct_field_names(body);
+    let mut emit = String::new();
+    for (idx, f) in fields.iter().enumerate() {
+        if idx > 0 {
+            emit.push_str("out.push(',');\n");
+        }
+        emit.push_str(&format!(
+            "out.push_str(\"\\\"{f}\\\":\");\n\
+             ::serde::Serialize::serialize_json(&self.{f}, out);\n"
+        ));
+    }
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn serialize_json(&self, out: &mut ::std::string::String) {{\n\
+                 out.push('{{');\n\
+                 {emit}\
+                 out.push('}}');\n\
+             }}\n\
+         }}"
+    )
+}
+
+/// Extracts the variant names of a unit-variant enum body.
+fn enum_variant_names(name: &str, body: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                i += 2;
+                continue;
+            }
+            TokenTree::Ident(id) => {
+                variants.push(id.to_string());
+                i += 1;
+                match tokens.get(i) {
+                    None => break,
+                    Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+                    Some(other) => panic!(
+                        "derive(Serialize) stand-in supports only unit variants \
+                         (enum `{name}`), got {other:?}"
+                    ),
+                }
+            }
+            other => panic!("derive(Serialize): unexpected token in enum `{name}`: {other:?}"),
+        }
+    }
+    variants
+}
+
+fn derive_enum(name: &str, body: TokenStream) -> String {
+    let variants = enum_variant_names(name, body);
+    let arms: String = variants
+        .iter()
+        .map(|v| format!("{name}::{v} => out.push_str(\"\\\"{v}\\\"\"),\n"))
+        .collect();
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn serialize_json(&self, out: &mut ::std::string::String) {{\n\
+                 match self {{\n\
+                     {arms}\
+                 }}\n\
+             }}\n\
+         }}"
+    )
+}

@@ -1,0 +1,142 @@
+//! Offline stand-in for `serde_json`: `to_string` and `to_string_pretty`
+//! over the JSON-emitting `serde::Serialize` stand-in trait. The pretty
+//! printer re-formats the compact encoding with two-space indentation,
+//! matching serde_json's layout.
+
+use std::fmt;
+
+/// Serialization error. The stand-in trait is infallible, so this is
+/// never constructed; it exists so call sites can keep their `?`/`expect`.
+#[derive(Debug)]
+pub struct Error(());
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("serde_json stand-in error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Result alias mirroring `serde_json::Result`.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Serializes `value` as compact JSON.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    value.serialize_json(&mut out);
+    Ok(out)
+}
+
+/// Serializes `value` as two-space-indented JSON.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    let compact = to_string(value)?;
+    Ok(prettify(&compact))
+}
+
+/// Re-indents compact JSON. Assumes valid input (which `to_string`
+/// guarantees); strings and escapes are passed through untouched.
+fn prettify(compact: &str) -> String {
+    let mut out = String::with_capacity(compact.len() * 2);
+    let mut indent = 0usize;
+    let mut chars = compact.chars().peekable();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' => {
+                out.push('"');
+                let mut escaped = false;
+                for s in chars.by_ref() {
+                    out.push(s);
+                    if escaped {
+                        escaped = false;
+                    } else if s == '\\' {
+                        escaped = true;
+                    } else if s == '"' {
+                        break;
+                    }
+                }
+            }
+            '{' | '[' => {
+                let close = if c == '{' { '}' } else { ']' };
+                if chars.peek() == Some(&close) {
+                    out.push(c);
+                    out.push(close);
+                    chars.next();
+                } else {
+                    indent += 1;
+                    out.push(c);
+                    newline(&mut out, indent);
+                }
+            }
+            '}' | ']' => {
+                indent = indent.saturating_sub(1);
+                newline(&mut out, indent);
+                out.push(c);
+            }
+            ',' => {
+                out.push(',');
+                newline(&mut out, indent);
+            }
+            ':' => out.push_str(": "),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn newline(out: &mut String, indent: usize) {
+    out.push('\n');
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Point {
+        x: f64,
+        label: String,
+    }
+
+    impl serde::Serialize for Point {
+        fn serialize_json(&self, out: &mut String) {
+            out.push('{');
+            out.push_str("\"x\":");
+            self.x.serialize_json(out);
+            out.push(',');
+            out.push_str("\"label\":");
+            self.label.serialize_json(out);
+            out.push('}');
+        }
+    }
+
+    #[test]
+    fn compact() {
+        let p = Point {
+            x: 1.5,
+            label: "a,b:{c}".into(),
+        };
+        assert_eq!(to_string(&p).unwrap(), r#"{"x":1.5,"label":"a,b:{c}"}"#);
+    }
+
+    #[test]
+    fn pretty() {
+        let p = Point {
+            x: 2.0,
+            label: "hi".into(),
+        };
+        let expected = "{\n  \"x\": 2.0,\n  \"label\": \"hi\"\n}";
+        assert_eq!(to_string_pretty(&p).unwrap(), expected);
+    }
+
+    #[test]
+    fn pretty_empty_containers() {
+        assert_eq!(prettify("[]"), "[]");
+        assert_eq!(
+            prettify(r#"{"a":[],"b":[1,2]}"#),
+            "{\n  \"a\": [],\n  \"b\": [\n    1,\n    2\n  ]\n}"
+        );
+    }
+}
