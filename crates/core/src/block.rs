@@ -90,14 +90,32 @@ pub struct Block {
 
 impl Block {
     /// Validates and wraps an uncompressed block.
+    ///
+    /// `row_count` comes straight off disk, so every derived size uses
+    /// checked arithmetic: a corrupt header must yield
+    /// [`Error::corrupt`], never an overflow panic (debug builds) or a
+    /// wrapped bounds check (32-bit release builds).
     pub fn parse(data: Vec<u8>) -> Result<Block> {
         if data.len() < 4 {
             return Err(Error::corrupt("block shorter than its header"));
         }
         let row_count = u32::from_le_bytes(data[..4].try_into().unwrap()) as usize;
-        let entries_base = 4 + row_count * 4;
+        let entries_base = row_count
+            .checked_mul(4)
+            .and_then(|n| n.checked_add(4))
+            .ok_or_else(|| Error::corrupt("block row count overflows"))?;
         if entries_base > data.len() {
             return Err(Error::corrupt("block offset array truncated"));
+        }
+        if row_count > 0 {
+            // The offsets are ascending, so validating the final entry
+            // bounds the whole array before any row is touched.
+            let at = entries_base - 4;
+            let last = u32::from_le_bytes(data[at..at + 4].try_into().unwrap()) as usize;
+            match entries_base.checked_add(last) {
+                Some(abs) if abs < data.len() => {}
+                _ => return Err(Error::corrupt("block row offset out of range")),
+            }
         }
         Ok(Block {
             data,
@@ -125,11 +143,10 @@ impl Block {
     fn entry_start(&self, i: usize) -> Result<usize> {
         let at = 4 + i * 4;
         let rel = u32::from_le_bytes(self.data[at..at + 4].try_into().unwrap()) as usize;
-        let abs = self.entries_base + rel;
-        if abs >= self.data.len() {
-            return Err(Error::corrupt("block row offset out of range"));
+        match self.entries_base.checked_add(rel) {
+            Some(abs) if abs < self.data.len() => Ok(abs),
+            _ => Err(Error::corrupt("block row offset out of range")),
         }
-        Ok(abs)
     }
 
     /// Returns `(key, payload)` of row `i`.
@@ -258,12 +275,28 @@ mod tests {
         let mut data = 100u32.to_le_bytes().to_vec();
         data.push(0);
         assert!(Block::parse(data).is_err());
-        // Row offset points past the end.
+        // Final row offset points past the end: caught at parse time.
         let mut b = BlockBuilder::new();
         b.add(b"k", b"v");
         let mut data = b.finish();
         data[4] = 0xFF;
+        assert!(Block::parse(data).is_err());
+        // A non-final bad offset still surfaces at entry() time.
+        let mut b = BlockBuilder::new();
+        b.add(b"a", b"1");
+        b.add(b"b", b"2");
+        let mut data = b.finish();
+        data[4] = 0xFF; // first of two offsets
         let blk = Block::parse(data).unwrap();
         assert!(blk.entry(0).is_err());
+    }
+
+    #[test]
+    fn huge_row_count_is_corrupt_not_overflow() {
+        // row_count * 4 + 4 must not overflow on any target; a header
+        // claiming u32::MAX rows is corruption, full stop.
+        let mut data = u32::MAX.to_le_bytes().to_vec();
+        data.extend_from_slice(&[0u8; 64]);
+        assert!(matches!(Block::parse(data), Err(Error::Corrupt(_))));
     }
 }

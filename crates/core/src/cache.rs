@@ -1,21 +1,35 @@
-//! A sharded cache of decompressed tablet blocks, shared database-wide.
+//! A sharded, two-tier cache of tablet blocks and footers, shared
+//! database-wide.
 //!
 //! LittleTable's read path spends its CPU budget decompressing 64 kB
 //! blocks (§3.2): a point query or short scan that revisits a warm tablet
 //! pays the block read *and* the decompression again on every access,
 //! even though tablets are write-once and a decompressed block can never
-//! go stale. This cache keeps recently used decompressed blocks in
-//! memory, keyed by `(tablet id, block index)`, and charges each entry by
-//! its decompressed byte size against a fixed budget
-//! ([`crate::options::Options::block_cache_bytes`]).
+//! go stale. This cache keeps recently used blocks in memory, keyed by
+//! `(tablet id, block index)`, under one joint byte budget
+//! ([`crate::options::Options::block_cache_bytes`]) split across two
+//! tiers:
+//!
+//! * The **upper (decompressed) tier** holds parsed [`Block`]s ready to
+//!   serve reads, plus cached [`TabletFooter`]s under their own charge
+//!   class — folding the paper's "footers cached almost indefinitely"
+//!   into a bounded budget instead of pinning one footer per reader
+//!   forever.
+//! * The **lower (compressed) tier** holds the *compressed* bytes of
+//!   blocks evicted from the upper tier. A re-read of a demoted block
+//!   costs one decompress (~tens of µs) instead of a disk seek (~10 ms
+//!   on the paper's drive), the read-amplification-vs-memory tradeoff of
+//!   the LSM literature. The two tiers are *exclusive*: promotion moves
+//!   an entry up, eviction demotes it down, so no block is charged twice.
 //!
 //! Design points:
 //!
 //! * **Sharded.** Keys hash to one of N shards (N rounded up to a power
-//!   of two), each with its own small mutex, so concurrent queries on
-//!   different tablets rarely contend. The budget is split evenly across
-//!   shards, and each shard enforces its slice strictly — the total can
-//!   therefore never exceed the configured budget.
+//!   of two, then down while a shard's budget slice would fall below
+//!   [`MIN_SHARD_SLICE`]), each with its own small mutex, so concurrent
+//!   queries on different tablets rarely contend. Each tier's budget is
+//!   split evenly across shards and each shard enforces its slice
+//!   strictly — the total can therefore never exceed the joint budget.
 //! * **CLOCK eviction.** Each shard keeps its entries in a slab swept by
 //!   a clock hand; a hit sets the entry's reference bit, eviction clears
 //!   bits until it finds an unreferenced victim. LRU-quality hit rates
@@ -29,16 +43,20 @@
 //! * **Write-once keys.** Tablet ids are allocated once per
 //!   [`crate::tablet::TabletReader`] and never reused, so an entry can
 //!   never alias a different tablet's data. When a reader is dropped
-//!   (merge, TTL expiry, bulk delete, table drop), its entries are
-//!   invalidated.
+//!   (merge, TTL expiry, bulk delete, table drop), its entries — both
+//!   tiers and the footer — are invalidated.
 //!
 //! Locks are held only for map and slab bookkeeping — never across disk
-//! reads or decompression. Concurrent misses on the same block may both
-//! decompress it; the second insert is dropped, which wastes a little CPU
-//! once but never blocks a reader behind another reader's I/O.
+//! reads or decompression, and never one shard inside another (demotions
+//! gather their victims under the upper-tier lock, then insert them into
+//! the lower tier after releasing it). Concurrent misses on the same
+//! block may both decompress it; the second insert is dropped, which
+//! wastes a little CPU once but never blocks a reader behind another
+//! reader's I/O.
 
 use crate::block::Block;
 use crate::stats::TableStats;
+use crate::tablet::TabletFooter;
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -48,12 +66,43 @@ use std::sync::Arc;
 /// count at zero.
 pub const DEFAULT_SHARDS: usize = 8;
 
+/// Minimum useful per-shard slice of a tier's budget. The shard count
+/// shrinks (halving, staying a power of two) until every configured
+/// tier's slice reaches this floor, so a small budget becomes a
+/// single-shard cache instead of silently rounding to zero capacity.
+pub const MIN_SHARD_SLICE: usize = 16 << 10;
+
 /// Cache key: a never-reused tablet id plus the block's index within it.
 type BlockKey = (u64, u32);
 
-struct Slot {
+/// Pseudo block index under which a tablet's footer is cached. Real
+/// block indexes can never reach it: a tablet would need > 256 TB of
+/// 64 kB blocks, three orders of magnitude past `max_tablet_size`.
+const FOOTER_SLOT: u32 = u32::MAX;
+
+/// The compressed on-disk form of a block, retained so an eviction from
+/// the decompressed tier can be demoted instead of discarded.
+#[derive(Clone)]
+pub struct CompressedBlock {
+    /// The block's compressed bytes, exactly as stored on disk.
+    pub bytes: Arc<[u8]>,
+    /// Decompressed size, needed to decompress on promotion.
+    pub uncompressed_len: u32,
+}
+
+/// Value held by an upper-tier slot: a hot decompressed block (with its
+/// compressed form kept for demotion) or a tablet footer.
+enum UpperValue {
+    Block {
+        block: Arc<Block>,
+        compressed: Option<CompressedBlock>,
+    },
+    Footer(Arc<TabletFooter>),
+}
+
+struct Slot<V> {
     key: BlockKey,
-    block: Arc<Block>,
+    value: V,
     charge: usize,
     /// Stats of the table that inserted the entry; evictions are charged
     /// back to it.
@@ -62,20 +111,38 @@ struct Slot {
     referenced: bool,
 }
 
-#[derive(Default)]
-struct ShardInner {
+struct TierInner<V> {
     map: HashMap<BlockKey, usize>,
     /// Slab of entries; `None` holes are reusable via `free`.
-    slots: Vec<Option<Slot>>,
+    slots: Vec<Option<Slot<V>>>,
     free: Vec<usize>,
     bytes: usize,
     hand: usize,
 }
 
-impl ShardInner {
+impl<V> Default for TierInner<V> {
+    fn default() -> Self {
+        TierInner {
+            map: HashMap::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            bytes: 0,
+            hand: 0,
+        }
+    }
+}
+
+impl<V> TierInner<V> {
     /// Evicts unreferenced entries (second-chance order) until `need`
-    /// more bytes fit under `capacity`. Returns false when impossible.
-    fn evict_until_fits(&mut self, need: usize, capacity: usize) -> bool {
+    /// more bytes fit under `capacity`, pushing victims onto `victims`
+    /// for the caller to account (and possibly demote) outside the shard
+    /// lock. Returns false when impossible.
+    fn evict_until_fits(
+        &mut self,
+        need: usize,
+        capacity: usize,
+        victims: &mut Vec<Slot<V>>,
+    ) -> bool {
         while self.bytes + need > capacity {
             if self.map.is_empty() {
                 return false;
@@ -101,54 +168,93 @@ impl ShardInner {
                 self.map.remove(&victim.key);
                 self.free.push(self.hand);
                 self.bytes -= victim.charge;
-                TableStats::add(&victim.owner.cache_evicted_bytes, victim.charge as u64);
+                victims.push(victim);
                 break;
             }
         }
         true
     }
 
-    fn remove_key(&mut self, key: &BlockKey) {
-        if let Some(idx) = self.map.remove(key) {
-            let slot = self.slots[idx].take().expect("map points at live slot");
-            self.bytes -= slot.charge;
-            self.free.push(idx);
-        }
+    /// Places a slot the caller has already made room for.
+    fn insert_slot(&mut self, slot: Slot<V>) {
+        let key = slot.key;
+        let charge = slot.charge;
+        let idx = match self.free.pop() {
+            Some(idx) => idx,
+            None => {
+                self.slots.push(None);
+                self.slots.len() - 1
+            }
+        };
+        self.slots[idx] = Some(slot);
+        self.map.insert(key, idx);
+        self.bytes += charge;
+    }
+
+    fn remove_key(&mut self, key: &BlockKey) -> Option<Slot<V>> {
+        let idx = self.map.remove(key)?;
+        let slot = self.slots[idx].take().expect("map points at live slot");
+        self.bytes -= slot.charge;
+        self.free.push(idx);
+        Some(slot)
     }
 }
 
-struct Shard {
-    inner: Mutex<ShardInner>,
+struct Shard<V> {
+    inner: Mutex<TierInner<V>>,
     /// Lock-free mirror of `inner.bytes` for observation.
     bytes: AtomicUsize,
 }
 
-/// The sharded, scan-resistant decompressed-block cache. One instance is
-/// shared by every table of a [`crate::db::Db`].
+fn make_shards<V>(n: usize) -> Box<[Shard<V>]> {
+    (0..n)
+        .map(|_| Shard {
+            inner: Mutex::new(TierInner::default()),
+            bytes: AtomicUsize::new(0),
+        })
+        .collect()
+}
+
+/// The sharded, scan-resistant, two-tier block-and-footer cache. One
+/// instance is shared by every table of a [`crate::db::Db`].
 pub struct BlockCache {
-    shards: Box<[Shard]>,
-    shard_capacity: usize,
+    /// Decompressed blocks and tablet footers.
+    upper: Box<[Shard<UpperValue>]>,
+    /// Compressed bytes of blocks demoted from the upper tier.
+    lower: Box<[Shard<CompressedBlock>]>,
+    upper_shard_capacity: usize,
+    lower_shard_capacity: usize,
     shard_mask: u64,
     next_tablet_id: AtomicU64,
 }
 
 impl BlockCache {
-    /// Creates a cache holding at most `total_bytes` of decompressed
-    /// blocks across `shards` shards (0 = [`DEFAULT_SHARDS`]; rounded up
-    /// to a power of two).
-    pub fn new(total_bytes: usize, shards: usize) -> BlockCache {
-        let shards = if shards == 0 { DEFAULT_SHARDS } else { shards }
+    /// Creates a cache whose upper (decompressed + footer) tier holds at
+    /// most `decompressed_bytes` and whose lower (compressed) tier holds
+    /// at most `compressed_bytes`, across `shards` shards each
+    /// (0 = [`DEFAULT_SHARDS`]; rounded up to a power of two, then down
+    /// while any configured tier's slice would fall under
+    /// [`MIN_SHARD_SLICE`]).
+    pub fn new(decompressed_bytes: usize, compressed_bytes: usize, shards: usize) -> BlockCache {
+        let mut shards = if shards == 0 { DEFAULT_SHARDS } else { shards }
             .next_power_of_two()
             .min(1 << 10);
-        let shard_capacity = total_bytes / shards;
+        // Shrink the shard count until the smallest configured tier still
+        // gets a useful slice per shard; a budget below the shard count
+        // must become a small cache, not a capacity-zero one.
+        let floor = [decompressed_bytes, compressed_bytes]
+            .into_iter()
+            .filter(|&b| b > 0)
+            .min()
+            .unwrap_or(0);
+        while shards > 1 && floor / shards < MIN_SHARD_SLICE {
+            shards /= 2;
+        }
         BlockCache {
-            shards: (0..shards)
-                .map(|_| Shard {
-                    inner: Mutex::new(ShardInner::default()),
-                    bytes: AtomicUsize::new(0),
-                })
-                .collect(),
-            shard_capacity,
+            upper: make_shards(shards),
+            lower: make_shards(shards),
+            upper_shard_capacity: decompressed_bytes / shards,
+            lower_shard_capacity: compressed_bytes / shards,
             shard_mask: shards as u64 - 1,
             next_tablet_id: AtomicU64::new(1),
         }
@@ -160,77 +266,223 @@ impl BlockCache {
         self.next_tablet_id.fetch_add(1, Ordering::Relaxed)
     }
 
-    fn shard(&self, key: BlockKey) -> &Shard {
+    fn shard_idx(&self, key: BlockKey) -> usize {
         // splitmix64-style finalizer over the packed key.
         let mut h = key.0.rotate_left(32) ^ key.1 as u64;
         h = (h ^ (h >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
         h = (h ^ (h >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        &self.shards[((h ^ (h >> 31)) & self.shard_mask) as usize]
+        ((h ^ (h >> 31)) & self.shard_mask) as usize
     }
 
-    /// Looks up a block, marking it recently used on a hit.
+    /// Looks up a decompressed block, marking it recently used on a hit.
     pub fn get(&self, tablet_id: u64, block_index: u32) -> Option<Arc<Block>> {
         let key = (tablet_id, block_index);
-        let shard = self.shard(key);
+        let shard = &self.upper[self.shard_idx(key)];
         let mut inner = shard.inner.lock();
         let idx = *inner.map.get(&key)?;
         let slot = inner.slots[idx].as_mut().expect("map points at live slot");
-        slot.referenced = true;
-        Some(slot.block.clone())
+        match &slot.value {
+            UpperValue::Block { block, .. } => {
+                let block = block.clone();
+                slot.referenced = true;
+                Some(block)
+            }
+            UpperValue::Footer(_) => None,
+        }
     }
 
-    /// Admits a decompressed block, charged by its decompressed size,
-    /// evicting colder entries to fit. Blocks larger than one shard's
-    /// slice of the budget, and keys already present, are left alone.
+    /// Removes and returns a block's compressed bytes from the lower
+    /// tier. The caller decompresses and re-admits the block to the
+    /// upper tier (which carries the compressed form along), keeping the
+    /// tiers exclusive.
+    pub fn take_compressed(&self, tablet_id: u64, block_index: u32) -> Option<CompressedBlock> {
+        let key = (tablet_id, block_index);
+        let shard = &self.lower[self.shard_idx(key)];
+        let mut inner = shard.inner.lock();
+        let slot = inner.remove_key(&key)?;
+        shard.bytes.store(inner.bytes, Ordering::Relaxed);
+        Some(slot.value)
+    }
+
+    /// Admits a decompressed block, charged by its decompressed size plus
+    /// the retained compressed bytes, evicting colder entries to fit.
+    /// Evicted blocks demote their compressed form to the lower tier;
+    /// evicted footers count against their owner's `footer_evictions`.
+    /// Blocks too large for one shard's slice (and keys already present)
+    /// skip the upper tier; their compressed bytes go straight down.
     pub fn insert(
         &self,
         tablet_id: u64,
         block_index: u32,
         block: Arc<Block>,
+        compressed: Option<CompressedBlock>,
         owner: &Arc<TableStats>,
     ) {
-        let charge = block.byte_size();
-        if charge > self.shard_capacity {
+        let key = (tablet_id, block_index);
+        let charge = block.byte_size() + compressed.as_ref().map_or(0, |c| c.bytes.len());
+        if charge > self.upper_shard_capacity {
+            if let Some(c) = compressed {
+                self.insert_compressed(key, c, owner);
+            }
             return;
         }
-        let key = (tablet_id, block_index);
-        let shard = self.shard(key);
+        let shard = &self.upper[self.shard_idx(key)];
+        let mut victims = Vec::new();
+        let mut rejected = None;
+        {
+            let mut inner = shard.inner.lock();
+            if let Some(&idx) = inner.map.get(&key) {
+                // Lost a race with another miss on the same block.
+                inner.slots[idx].as_mut().expect("live slot").referenced = true;
+            } else if inner.evict_until_fits(charge, self.upper_shard_capacity, &mut victims) {
+                // New entries start unreferenced: a block read once and
+                // never touched again is the first to go, while anything
+                // re-read earns its second chance. This is what makes
+                // single-pass traffic that does reach the cache (e.g. a
+                // one-off wide query) cheap to absorb.
+                inner.insert_slot(Slot {
+                    key,
+                    value: UpperValue::Block { block, compressed },
+                    charge,
+                    owner: owner.clone(),
+                    referenced: false,
+                });
+            } else {
+                rejected = compressed;
+            }
+            shard.bytes.store(inner.bytes, Ordering::Relaxed);
+        }
+        if let Some(c) = rejected {
+            self.insert_compressed(key, c, owner);
+        }
+        self.settle_upper_victims(victims);
+    }
+
+    /// Admits a tablet footer under its own charge class, evicting colder
+    /// entries (blocks or other footers) to fit. A footer too large for
+    /// one shard's slice is not admitted and will reload from disk on
+    /// each use — bounded memory wins over pinning at pathological sizes.
+    pub fn insert_footer(
+        &self,
+        tablet_id: u64,
+        footer: Arc<TabletFooter>,
+        owner: &Arc<TableStats>,
+    ) {
+        let key = (tablet_id, FOOTER_SLOT);
+        let charge = footer.approx_byte_size();
+        if charge > self.upper_shard_capacity {
+            return;
+        }
+        let shard = &self.upper[self.shard_idx(key)];
+        let mut victims = Vec::new();
+        {
+            let mut inner = shard.inner.lock();
+            if let Some(&idx) = inner.map.get(&key) {
+                inner.slots[idx].as_mut().expect("live slot").referenced = true;
+            } else if inner.evict_until_fits(charge, self.upper_shard_capacity, &mut victims) {
+                inner.insert_slot(Slot {
+                    key,
+                    value: UpperValue::Footer(footer),
+                    charge,
+                    owner: owner.clone(),
+                    referenced: false,
+                });
+            }
+            shard.bytes.store(inner.bytes, Ordering::Relaxed);
+        }
+        self.settle_upper_victims(victims);
+    }
+
+    /// Looks up a cached footer, marking it recently used on a hit.
+    pub fn get_footer(&self, tablet_id: u64) -> Option<Arc<TabletFooter>> {
+        let key = (tablet_id, FOOTER_SLOT);
+        let shard = &self.upper[self.shard_idx(key)];
+        let mut inner = shard.inner.lock();
+        let idx = *inner.map.get(&key)?;
+        let slot = inner.slots[idx].as_mut().expect("map points at live slot");
+        match &slot.value {
+            UpperValue::Footer(f) => {
+                let f = f.clone();
+                slot.referenced = true;
+                Some(f)
+            }
+            UpperValue::Block { .. } => None,
+        }
+    }
+
+    /// True when `tablet_id`'s footer is currently resident, without
+    /// touching its reference bit (observation only).
+    pub fn footer_resident(&self, tablet_id: u64) -> bool {
+        let key = (tablet_id, FOOTER_SLOT);
+        let shard = &self.upper[self.shard_idx(key)];
+        shard.inner.lock().map.contains_key(&key)
+    }
+
+    /// Charges upper-tier evictions to their owners and demotes evicted
+    /// blocks' compressed bytes into the lower tier. Called after the
+    /// upper shard lock is released, so tier locks never nest.
+    fn settle_upper_victims(&self, victims: Vec<Slot<UpperValue>>) {
+        for victim in victims {
+            match victim.value {
+                UpperValue::Block { block, compressed } => {
+                    TableStats::add(&victim.owner.cache_evicted_bytes, block.byte_size() as u64);
+                    drop(block);
+                    if let Some(c) = compressed {
+                        self.insert_compressed(victim.key, c, &victim.owner);
+                    }
+                }
+                UpperValue::Footer(_) => {
+                    TableStats::add(&victim.owner.footer_evictions, 1);
+                }
+            }
+        }
+    }
+
+    /// Admits compressed block bytes to the lower tier, evicting colder
+    /// compressed entries to fit. Lower-tier evictions leave the cache
+    /// for good.
+    fn insert_compressed(&self, key: BlockKey, value: CompressedBlock, owner: &Arc<TableStats>) {
+        let charge = value.bytes.len();
+        if charge > self.lower_shard_capacity {
+            return;
+        }
+        let shard = &self.lower[self.shard_idx(key)];
         let mut inner = shard.inner.lock();
         if let Some(&idx) = inner.map.get(&key) {
-            // Lost a race with another miss on the same block.
             inner.slots[idx].as_mut().expect("live slot").referenced = true;
             return;
         }
-        if !inner.evict_until_fits(charge, self.shard_capacity) {
-            return;
+        let mut dropped = Vec::new();
+        if inner.evict_until_fits(charge, self.lower_shard_capacity, &mut dropped) {
+            inner.insert_slot(Slot {
+                key,
+                value,
+                charge,
+                owner: owner.clone(),
+                referenced: false,
+            });
         }
-        let idx = match inner.free.pop() {
-            Some(idx) => idx,
-            None => {
-                inner.slots.push(None);
-                inner.slots.len() - 1
-            }
-        };
-        // New entries start unreferenced: a block read once and never
-        // touched again is the first to go, while anything re-read earns
-        // its second chance. This is what makes single-pass traffic that
-        // does reach the cache (e.g. a one-off wide query) cheap to absorb.
-        inner.slots[idx] = Some(Slot {
-            key,
-            block,
-            charge,
-            owner: owner.clone(),
-            referenced: false,
-        });
-        inner.map.insert(key, idx);
-        inner.bytes += charge;
         shard.bytes.store(inner.bytes, Ordering::Relaxed);
     }
 
-    /// Drops every cached block of `tablet_id` (the tablet's file is
-    /// being deleted). Not counted as eviction in the owner's stats.
+    /// Drops every cached entry of `tablet_id` — decompressed blocks,
+    /// compressed blocks, and its footer (the tablet's file is being
+    /// deleted). Not counted as eviction in the owner's stats.
     pub fn invalidate_tablet(&self, tablet_id: u64) {
-        for shard in self.shards.iter() {
+        for shard in self.upper.iter() {
+            let mut inner = shard.inner.lock();
+            let keys: Vec<BlockKey> = inner
+                .map
+                .keys()
+                .filter(|k| k.0 == tablet_id)
+                .copied()
+                .collect();
+            for key in keys {
+                inner.remove_key(&key);
+            }
+            shard.bytes.store(inner.bytes, Ordering::Relaxed);
+        }
+        for shard in self.lower.iter() {
             let mut inner = shard.inner.lock();
             let keys: Vec<BlockKey> = inner
                 .map
@@ -245,35 +497,70 @@ impl BlockCache {
         }
     }
 
-    /// Current decompressed bytes held, summed over shards. Each shard's
-    /// slice is enforced under its lock, so this can never exceed
-    /// [`BlockCache::capacity`].
+    /// Current bytes held across both tiers (decompressed blocks with
+    /// their retained compressed forms, footers, and demoted compressed
+    /// blocks). Each shard's slice is enforced under its lock, so this
+    /// can never exceed [`BlockCache::capacity`].
     pub fn bytes_used(&self) -> usize {
-        self.shards
+        self.decompressed_bytes_used() + self.compressed_bytes_used()
+    }
+
+    /// Current upper-tier bytes (decompressed blocks + footers).
+    pub fn decompressed_bytes_used(&self) -> usize {
+        self.upper
             .iter()
             .map(|s| s.bytes.load(Ordering::Relaxed))
             .sum()
     }
 
-    /// The total byte budget (shard slice × shard count; at most the
-    /// configured budget).
-    pub fn capacity(&self) -> usize {
-        self.shard_capacity * self.shards.len()
+    /// Current lower-tier bytes (demoted compressed blocks).
+    pub fn compressed_bytes_used(&self) -> usize {
+        self.lower
+            .iter()
+            .map(|s| s.bytes.load(Ordering::Relaxed))
+            .sum()
     }
 
-    /// Number of blocks currently cached.
+    /// The total byte budget across both tiers. Per-tier budgets divide
+    /// evenly across shards, rounding *down* — so this is at most (never
+    /// more than) the configured joint budget, and small budgets shrink
+    /// the shard count (see [`MIN_SHARD_SLICE`]) rather than rounding a
+    /// shard's slice to zero.
+    pub fn capacity(&self) -> usize {
+        self.decompressed_capacity() + self.compressed_capacity()
+    }
+
+    /// The upper (decompressed + footer) tier's byte budget.
+    pub fn decompressed_capacity(&self) -> usize {
+        self.upper_shard_capacity * self.upper.len()
+    }
+
+    /// The lower (compressed) tier's byte budget.
+    pub fn compressed_capacity(&self) -> usize {
+        self.lower_shard_capacity * self.lower.len()
+    }
+
+    /// Number of upper-tier entries currently cached (blocks + footers).
     pub fn entry_count(&self) -> usize {
-        self.shards.iter().map(|s| s.inner.lock().map.len()).sum()
+        self.upper.iter().map(|s| s.inner.lock().map.len()).sum()
+    }
+
+    /// Number of lower-tier (compressed block) entries currently cached.
+    pub fn compressed_entry_count(&self) -> usize {
+        self.lower.iter().map(|s| s.inner.lock().map.len()).sum()
     }
 }
 
 impl std::fmt::Debug for BlockCache {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("BlockCache")
-            .field("shards", &self.shards.len())
+            .field("shards", &self.upper.len())
             .field("capacity", &self.capacity())
+            .field("decompressed_capacity", &self.decompressed_capacity())
+            .field("compressed_capacity", &self.compressed_capacity())
             .field("bytes_used", &self.bytes_used())
             .field("entries", &self.entry_count())
+            .field("compressed_entries", &self.compressed_entry_count())
             .finish()
     }
 }
@@ -311,18 +598,26 @@ mod tests {
         Arc::new(Block::parse(b.finish()).unwrap())
     }
 
+    /// A stand-in compressed form, `approx` bytes long.
+    fn compressed_of_size(approx: usize) -> CompressedBlock {
+        CompressedBlock {
+            bytes: vec![0u8; approx].into(),
+            uncompressed_len: (approx * 3) as u32,
+        }
+    }
+
     fn stats() -> Arc<TableStats> {
         Arc::new(TableStats::default())
     }
 
     #[test]
     fn hit_returns_same_block() {
-        let cache = BlockCache::new(1 << 20, 1);
+        let cache = BlockCache::new(1 << 20, 0, 1);
         let st = stats();
         let tid = cache.register_tablet();
         assert!(cache.get(tid, 0).is_none());
         let b = block_of_size(1000);
-        cache.insert(tid, 0, b.clone(), &st);
+        cache.insert(tid, 0, b.clone(), None, &st);
         let hit = cache.get(tid, 0).expect("cached");
         assert!(Arc::ptr_eq(&b, &hit));
         assert_eq!(cache.entry_count(), 1);
@@ -331,11 +626,11 @@ mod tests {
 
     #[test]
     fn eviction_respects_budget_and_charges_owner() {
-        let cache = BlockCache::new(10_000, 1);
+        let cache = BlockCache::new(10_000, 0, 1);
         let st = stats();
         let tid = cache.register_tablet();
         for i in 0..64u32 {
-            cache.insert(tid, i, block_of_size(1000), &st);
+            cache.insert(tid, i, block_of_size(1000), None, &st);
             assert!(cache.bytes_used() <= cache.capacity());
         }
         assert!(cache.entry_count() < 64);
@@ -345,60 +640,184 @@ mod tests {
     #[test]
     fn clock_keeps_recently_used_entries() {
         // Capacity for ~4 one-KB blocks in one shard.
-        let cache = BlockCache::new(4200, 1);
+        let cache = BlockCache::new(4200, 0, 1);
         let st = stats();
         let tid = cache.register_tablet();
         for i in 0..4u32 {
-            cache.insert(tid, i, block_of_size(1000), &st);
+            cache.insert(tid, i, block_of_size(1000), None, &st);
         }
         // Keep block 0 hot while streaming new blocks through.
         for i in 4..40u32 {
             assert!(cache.get(tid, 0).is_some(), "hot block evicted at {i}");
-            cache.insert(tid, i, block_of_size(1000), &st);
+            cache.insert(tid, i, block_of_size(1000), None, &st);
         }
         assert!(cache.get(tid, 0).is_some());
     }
 
     #[test]
     fn oversize_blocks_are_not_admitted() {
-        let cache = BlockCache::new(4096, 4); // 1 kB per shard
+        let cache = BlockCache::new(4096, 0, 4); // shard clamp: one 4 kB shard
         let st = stats();
         let tid = cache.register_tablet();
-        cache.insert(tid, 0, block_of_size(100_000), &st);
+        cache.insert(tid, 0, block_of_size(100_000), None, &st);
         assert_eq!(cache.entry_count(), 0);
     }
 
     #[test]
+    fn small_budgets_still_cache() {
+        // A budget below the requested shard count must clamp to fewer
+        // shards with real capacity, not floor every shard to zero.
+        let cache = BlockCache::new(4096, 0, 64);
+        assert_eq!(cache.capacity(), 4096);
+        let st = stats();
+        let tid = cache.register_tablet();
+        cache.insert(tid, 0, block_of_size(1000), None, &st);
+        assert!(cache.get(tid, 0).is_some(), "small budget must still cache");
+    }
+
+    #[test]
+    fn evicted_blocks_demote_to_compressed_tier() {
+        // Upper fits ~2 entries (1000 decompressed + 200 compressed each);
+        // lower fits all the compressed forms.
+        let cache = BlockCache::new(2500, 4096, 1);
+        let st = stats();
+        let tid = cache.register_tablet();
+        for i in 0..8u32 {
+            cache.insert(
+                tid,
+                i,
+                block_of_size(1000),
+                Some(compressed_of_size(200)),
+                &st,
+            );
+        }
+        assert!(cache.entry_count() <= 2);
+        assert!(
+            cache.compressed_entry_count() > 0,
+            "evictions must demote compressed bytes"
+        );
+        assert!(cache.bytes_used() <= cache.capacity());
+        // Promote one demoted block: its compressed bytes leave the lower
+        // tier (exclusive tiers) and the caller re-admits up top.
+        let demoted = (0..8u32)
+            .find(|&i| cache.get(tid, i).is_none())
+            .expect("something was evicted");
+        let before = cache.compressed_entry_count();
+        let c = cache.take_compressed(tid, demoted).expect("demoted entry");
+        assert_eq!(cache.compressed_entry_count(), before - 1);
+        cache.insert(tid, demoted, block_of_size(1000), Some(c), &st);
+        assert!(cache.get(tid, demoted).is_some());
+        assert!(cache.bytes_used() <= cache.capacity());
+    }
+
+    #[test]
+    fn zero_compressed_budget_discards_evictions() {
+        let cache = BlockCache::new(2500, 0, 1);
+        let st = stats();
+        let tid = cache.register_tablet();
+        for i in 0..8u32 {
+            cache.insert(
+                tid,
+                i,
+                block_of_size(1000),
+                Some(compressed_of_size(200)),
+                &st,
+            );
+        }
+        assert_eq!(cache.compressed_entry_count(), 0);
+        assert_eq!(cache.compressed_bytes_used(), 0);
+    }
+
+    #[test]
+    fn footers_cache_evict_and_count() {
+        let schema = crate::schema::Schema::new(
+            vec![
+                crate::schema::ColumnDef::new("k", crate::value::ColumnType::I64),
+                crate::schema::ColumnDef::new("ts", crate::value::ColumnType::Timestamp),
+            ],
+            &["k", "ts"],
+        )
+        .unwrap();
+        let footer = |nblocks: usize| {
+            Arc::new(TabletFooter {
+                schema: schema.clone(),
+                min_ts: 0,
+                max_ts: 1,
+                row_count: 10,
+                bloom: None,
+                blocks: (0..nblocks)
+                    .map(|i| crate::tablet::BlockIndexEntry {
+                        offset: i as u64 * 100,
+                        compressed_len: 100,
+                        uncompressed_len: 300,
+                        last_key: vec![0u8; 16],
+                    })
+                    .collect(),
+            })
+        };
+        let cache = BlockCache::new(4096, 0, 1);
+        let st = stats();
+        let a = cache.register_tablet();
+        cache.insert_footer(a, footer(4), &st);
+        assert!(cache.footer_resident(a));
+        assert!(cache.get_footer(a).is_some());
+        assert!(cache.bytes_used() >= footer(4).approx_byte_size());
+        // Flood with more footers than fit; someone gets evicted and the
+        // owner is charged a footer eviction (a future 3-seek reload).
+        let mut ids = vec![a];
+        for _ in 0..40 {
+            let t = cache.register_tablet();
+            cache.insert_footer(t, footer(4), &st);
+            ids.push(t);
+        }
+        assert!(cache.bytes_used() <= cache.capacity());
+        assert!(st.snapshot().footer_evictions > 0);
+        assert!(ids.iter().any(|&t| !cache.footer_resident(t)));
+    }
+
+    #[test]
     fn invalidate_tablet_removes_only_that_tablet() {
-        let cache = BlockCache::new(1 << 20, 2);
+        let cache = BlockCache::new(1 << 20, 1 << 20, 2);
         let st = stats();
         let (a, b) = (cache.register_tablet(), cache.register_tablet());
         for i in 0..8u32 {
-            cache.insert(a, i, block_of_size(500), &st);
-            cache.insert(b, i, block_of_size(500), &st);
+            cache.insert(a, i, block_of_size(500), Some(compressed_of_size(100)), &st);
+            cache.insert(b, i, block_of_size(500), Some(compressed_of_size(100)), &st);
         }
+        cache.insert_compressed((a, 100), compressed_of_size(100), &st);
+        cache.insert_compressed((b, 100), compressed_of_size(100), &st);
         cache.invalidate_tablet(a);
         for i in 0..8u32 {
             assert!(cache.get(a, i).is_none());
             assert!(cache.get(b, i).is_some());
         }
+        assert!(cache.take_compressed(a, 100).is_none());
+        assert!(cache.take_compressed(b, 100).is_some());
         // Invalidation is not an eviction.
         assert_eq!(st.snapshot().cache_evicted_bytes, 0);
+        assert_eq!(st.snapshot().footer_evictions, 0);
     }
 
     #[test]
     fn zero_capacity_admits_nothing() {
-        let cache = BlockCache::new(0, 0);
+        let cache = BlockCache::new(0, 0, 0);
         let st = stats();
         let tid = cache.register_tablet();
-        cache.insert(tid, 0, block_of_size(100), &st);
+        cache.insert(
+            tid,
+            0,
+            block_of_size(100),
+            Some(compressed_of_size(50)),
+            &st,
+        );
         assert_eq!(cache.entry_count(), 0);
+        assert_eq!(cache.compressed_entry_count(), 0);
         assert!(cache.get(tid, 0).is_none());
     }
 
     #[test]
     fn concurrent_inserts_never_exceed_budget() {
-        let cache = Arc::new(BlockCache::new(64 << 10, 4));
+        let cache = Arc::new(BlockCache::new(64 << 10, 16 << 10, 4));
         let st = stats();
         let mut handles = Vec::new();
         for t in 0..8u64 {
@@ -407,7 +826,13 @@ mod tests {
             handles.push(std::thread::spawn(move || {
                 let tid = cache.register_tablet();
                 for i in 0..200u32 {
-                    cache.insert(tid, i, block_of_size(1000), &st);
+                    cache.insert(
+                        tid,
+                        i,
+                        block_of_size(1000),
+                        Some(compressed_of_size(250)),
+                        &st,
+                    );
                     let _ = cache.get(tid, i.wrapping_sub(t as u32));
                     assert!(cache.bytes_used() <= cache.capacity());
                 }

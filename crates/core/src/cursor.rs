@@ -11,7 +11,7 @@ use crate::error::Result;
 use crate::keyenc::KeyRange;
 use crate::row::{decode_row, Row};
 use crate::schema::SchemaRef;
-use crate::tablet::TabletReader;
+use crate::tablet::{TabletFooter, TabletReader};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::ops::Bound;
@@ -68,6 +68,11 @@ pub struct DiskCursor {
     /// them would evict the point-read working set.
     read_run_bytes: usize,
     prefetched: std::collections::VecDeque<(usize, Arc<Block>)>,
+    /// The tablet footer, pinned for this cursor's lifetime on first use.
+    /// Cursors are per-query, so the pin is short-lived — it keeps the
+    /// per-row emit path off the shared cache's locks and immune to a
+    /// concurrent footer eviction mid-scan.
+    footer: Option<Arc<TabletFooter>>,
 }
 
 impl DiskCursor {
@@ -88,7 +93,17 @@ impl DiskCursor {
             started: false,
             read_run_bytes: 0,
             prefetched: std::collections::VecDeque::new(),
+            footer: None,
         }
+    }
+
+    /// The tablet footer, loaded once and pinned for the cursor's
+    /// lifetime.
+    fn footer(&mut self) -> Result<Arc<TabletFooter>> {
+        if self.footer.is_none() {
+            self.footer = Some(self.reader.footer()?);
+        }
+        Ok(self.footer.clone().expect("just set"))
     }
 
     /// Enables run-buffered forward reads of up to `bytes` compressed
@@ -132,7 +147,7 @@ impl DiskCursor {
 
     fn init(&mut self) -> Result<()> {
         self.started = true;
-        let nblocks = self.reader.footer()?.blocks.len();
+        let nblocks = self.footer()?.blocks.len();
         if nblocks == 0 {
             return Ok(());
         }
@@ -211,7 +226,7 @@ impl DiskCursor {
 
     /// Moves (bi, ri) forward past block ends; clears `pos` at EOF.
     fn normalize_forward(&mut self) -> Result<()> {
-        let nblocks = self.reader.footer()?.blocks.len();
+        let nblocks = self.footer()?.blocks.len();
         while let Some((bi, ri)) = self.pos {
             let len = self.block.as_ref().map(|b| b.len()).unwrap_or(0);
             if ri < len {
@@ -231,7 +246,7 @@ impl DiskCursor {
         let block = self.block.as_ref().expect("block loaded");
         debug_assert_eq!(self.pos, Some((bi, ri)));
         let (key, payload) = block.entry(ri)?;
-        let footer = self.reader.footer()?;
+        let footer = self.footer.as_ref().expect("init pinned the footer");
         let row = decode_row(key, payload, &footer.schema)?;
         let row = if footer.schema.version() == self.newest.version() {
             row

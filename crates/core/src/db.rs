@@ -37,9 +37,12 @@ struct DbInner {
     cold_vfs: Option<Arc<dyn Vfs>>,
     clock: Arc<dyn Clock>,
     opts: Arc<Options>,
-    /// One decompressed-block cache shared by every table (footers are
-    /// already cached per-reader; this holds hot data blocks). `None`
-    /// when `Options::block_cache_bytes` is 0.
+    /// One two-tier block-and-footer cache shared by every table: hot
+    /// decompressed blocks and tablet footers in the upper tier,
+    /// compressed bytes of demoted blocks in the lower, all under the
+    /// joint `Options::block_cache_bytes` budget. `None` when that
+    /// budget is 0 (uncached reads, unbounded per-reader footers — the
+    /// paper's behavior).
     cache: Option<Arc<BlockCache>>,
     tables: RwLock<HashMap<String, Arc<Table>>>,
     shutdown: Arc<AtomicBool>,
@@ -69,8 +72,10 @@ impl Db {
     ) -> Result<Db> {
         let opts = Arc::new(opts);
         let cache = (opts.block_cache_bytes > 0).then(|| {
+            let (decompressed, compressed) = opts.cache_tier_budgets();
             Arc::new(BlockCache::new(
-                opts.block_cache_bytes,
+                decompressed,
+                compressed,
                 opts.block_cache_shards,
             ))
         });

@@ -46,16 +46,32 @@ pub struct Options {
     pub background: bool,
     /// Background maintenance cadence in milliseconds.
     pub maintenance_interval_ms: u64,
-    /// Budget, in decompressed bytes, for the shared block cache that
-    /// serves point-lookup and query block reads (§3.2 keeps footers
-    /// cached; this extends the idea to hot data blocks). `0` disables
-    /// the cache entirely, reproducing the uncached read path
-    /// bit-for-bit.
+    /// Joint budget, in bytes, for the shared block cache that serves
+    /// point-lookup and query block reads (§3.2 keeps footers cached;
+    /// this extends the idea to hot data blocks and bounds footer
+    /// memory). The budget covers *both* tiers — decompressed blocks
+    /// plus cached tablet footers in the upper tier, compressed block
+    /// bytes in the lower tier — so the cache's total memory use never
+    /// exceeds it. `0` disables the cache entirely, reproducing the
+    /// uncached read path bit-for-bit (and the paper's unbounded
+    /// per-reader footer caching).
     pub block_cache_bytes: usize,
     /// Number of independently-locked cache shards; `0` picks a default
     /// suited to a handful of query threads. Rounded up to a power of
-    /// two.
+    /// two, then *down* while a shard's slice of the budget would fall
+    /// below a useful minimum (see [`crate::cache::MIN_SHARD_SLICE`]).
     pub block_cache_shards: usize,
+    /// Fraction of [`Options::block_cache_bytes`] reserved for the
+    /// compressed tier, which holds the compressed bytes of blocks
+    /// evicted from the decompressed tier so they come back with a cheap
+    /// decompress instead of a disk seek. Clamped to `[0.0, 1.0]`; `0.0`
+    /// reproduces the single-tier cache.
+    pub compressed_cache_fraction: f64,
+    /// Explicit byte budget for the compressed tier, overriding
+    /// [`Options::compressed_cache_fraction`] when set. Clamped to
+    /// [`Options::block_cache_bytes`]; the decompressed tier gets the
+    /// remainder, so the joint budget is still respected.
+    pub compressed_cache_bytes: Option<usize>,
 }
 
 impl Default for Options {
@@ -77,6 +93,8 @@ impl Default for Options {
             maintenance_interval_ms: 1_000,
             block_cache_bytes: 64 << 20,
             block_cache_shards: 0,
+            compressed_cache_fraction: 0.25,
+            compressed_cache_bytes: None,
         }
     }
 }
@@ -90,6 +108,21 @@ impl Options {
             respect_periods: self.respect_periods,
             rollover_jitter_seed: self.rollover_jitter_seed,
         }
+    }
+
+    /// Resolves the joint cache budget into `(decompressed_bytes,
+    /// compressed_bytes)` tier budgets. The two always sum to at most
+    /// [`Options::block_cache_bytes`].
+    pub fn cache_tier_budgets(&self) -> (usize, usize) {
+        let total = self.block_cache_bytes;
+        let compressed = match self.compressed_cache_bytes {
+            Some(b) => b.min(total),
+            None => {
+                let f = self.compressed_cache_fraction.clamp(0.0, 1.0);
+                (total as f64 * f) as usize
+            }
+        };
+        (total - compressed, compressed)
     }
 
     /// Small sizes suited to unit tests: 64 kB flushes, 4 kB blocks.
@@ -119,6 +152,37 @@ mod tests {
         assert_eq!(o.max_sealed_backlog, 100);
         assert_eq!(o.block_cache_bytes, 64 << 20);
         assert_eq!(o.block_cache_shards, 0);
+        assert_eq!(o.compressed_cache_fraction, 0.25);
+        assert_eq!(o.compressed_cache_bytes, None);
+    }
+
+    #[test]
+    fn tier_budgets_sum_to_joint_budget() {
+        let mut o = Options {
+            block_cache_bytes: 64 << 20,
+            ..Options::default()
+        };
+        let (d, c) = o.cache_tier_budgets();
+        assert_eq!(d + c, 64 << 20);
+        assert_eq!(c, 16 << 20); // default 25% split
+
+        o.compressed_cache_bytes = Some(1 << 20);
+        let (d, c) = o.cache_tier_budgets();
+        assert_eq!(c, 1 << 20);
+        assert_eq!(d + c, 64 << 20);
+
+        // The explicit knob can never push past the joint budget.
+        o.compressed_cache_bytes = Some(usize::MAX);
+        let (d, c) = o.cache_tier_budgets();
+        assert_eq!(d, 0);
+        assert_eq!(c, 64 << 20);
+
+        // Out-of-range fractions clamp instead of misbehaving.
+        o.compressed_cache_bytes = None;
+        o.compressed_cache_fraction = 7.0;
+        let (d, c) = o.cache_tier_budgets();
+        assert_eq!(d, 0);
+        assert_eq!(c, 64 << 20);
     }
 
     #[test]

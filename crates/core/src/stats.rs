@@ -38,11 +38,18 @@ pub struct TableStats {
     pub unique_slow: AtomicU64,
     /// Block reads served from the decompressed-block cache.
     pub cache_hits: AtomicU64,
-    /// Block reads that missed the cache and hit disk. Stays 0 when the
-    /// cache is disabled (uncached reads are not counted).
+    /// Block reads that missed the decompressed tier but were served from
+    /// the compressed tier — a decompress instead of a disk seek.
+    pub cache_compressed_hits: AtomicU64,
+    /// Block reads that missed both cache tiers and hit disk. Stays 0
+    /// when the cache is disabled (uncached reads are not counted).
     pub cache_misses: AtomicU64,
-    /// Decompressed bytes of this table's blocks evicted from the cache.
+    /// Decompressed bytes of this table's blocks evicted from the
+    /// decompressed tier (including demotions to the compressed tier).
     pub cache_evicted_bytes: AtomicU64,
+    /// Tablet footers of this table evicted from the shared cache; each
+    /// reload costs the three cold-footer seeks of §3.2.
+    pub footer_evictions: AtomicU64,
 }
 
 /// A plain-value snapshot of [`TableStats`].
@@ -76,10 +83,14 @@ pub struct StatsSnapshot {
     pub unique_slow: u64,
     /// See [`TableStats::cache_hits`].
     pub cache_hits: u64,
+    /// See [`TableStats::cache_compressed_hits`].
+    pub cache_compressed_hits: u64,
     /// See [`TableStats::cache_misses`].
     pub cache_misses: u64,
     /// See [`TableStats::cache_evicted_bytes`].
     pub cache_evicted_bytes: u64,
+    /// See [`TableStats::footer_evictions`].
+    pub footer_evictions: u64,
 }
 
 impl TableStats {
@@ -107,8 +118,10 @@ impl TableStats {
             unique_fast_key: self.unique_fast_key.load(Ordering::Relaxed),
             unique_slow: self.unique_slow.load(Ordering::Relaxed),
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_compressed_hits: self.cache_compressed_hits.load(Ordering::Relaxed),
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
             cache_evicted_bytes: self.cache_evicted_bytes.load(Ordering::Relaxed),
+            footer_evictions: self.footer_evictions.load(Ordering::Relaxed),
         }
     }
 }
@@ -124,14 +137,16 @@ impl StatsSnapshot {
         }
     }
 
-    /// Fraction of block reads served from the decompressed-block cache;
-    /// 0.0 before any block has been read.
+    /// Fraction of block reads served from either cache tier (a
+    /// compressed-tier hit avoids the disk just like a decompressed one,
+    /// at the cost of one decompress); 0.0 before any block has been read.
     pub fn cache_hit_ratio(&self) -> f64 {
-        let total = self.cache_hits + self.cache_misses;
+        let served = self.cache_hits + self.cache_compressed_hits;
+        let total = served + self.cache_misses;
         if total == 0 {
             0.0
         } else {
-            self.cache_hits as f64 / total as f64
+            served as f64 / total as f64
         }
     }
 
@@ -166,6 +181,15 @@ mod tests {
         let snap = StatsSnapshot::default();
         assert_eq!(snap.scan_ratio(), 1.0);
         assert_eq!(snap.write_amplification(), 1.0);
+    }
+
+    #[test]
+    fn hit_ratio_counts_both_tiers() {
+        let s = TableStats::default();
+        TableStats::add(&s.cache_hits, 2);
+        TableStats::add(&s.cache_compressed_hits, 1);
+        TableStats::add(&s.cache_misses, 1);
+        assert!((s.snapshot().cache_hit_ratio() - 0.75).abs() < 1e-9);
     }
 
     #[test]

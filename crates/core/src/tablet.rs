@@ -16,7 +16,7 @@
 
 use crate::block::{Block, BlockBuilder};
 use crate::bloom::{BloomBuilder, BloomFilter};
-use crate::cache::CacheHandle;
+use crate::cache::{CacheHandle, CompressedBlock};
 use crate::error::{Error, Result};
 use crate::keyenc::component_boundaries;
 use crate::schema::Schema;
@@ -32,6 +32,12 @@ thread_local! {
     /// [`TabletReader::read_block`] calls on the same thread.
     static COMPRESSED_SCRATCH: RefCell<Vec<u8>> = const { RefCell::new(Vec::new()) };
 }
+
+/// Largest capacity [`COMPRESSED_SCRATCH`] keeps between reads. One
+/// oversized block (a giant row) must not pin its high-water mark on
+/// every reader thread forever; anything above this is released after
+/// the read that needed it.
+const SCRATCH_RETAIN_MAX: usize = 256 << 10;
 
 /// Magic number ending every tablet file.
 const TRAILER_MAGIC: u64 = 0x4C54_5441_424C_3031; // "LTTABL01"
@@ -131,6 +137,22 @@ impl TabletFooter {
             bloom,
             blocks,
         })
+    }
+
+    /// Approximate resident size in bytes — what caching this footer
+    /// costs in memory. Used as its charge in the shared block cache.
+    pub fn approx_byte_size(&self) -> usize {
+        let mut sz = std::mem::size_of::<TabletFooter>();
+        sz += self.schema.columns().len() * 64;
+        if let Some(b) = &self.bloom {
+            sz += b.byte_size();
+        }
+        sz += self
+            .blocks
+            .iter()
+            .map(|b| std::mem::size_of::<BlockIndexEntry>() + b.last_key.len())
+            .sum::<usize>();
+        sz
     }
 }
 
@@ -261,16 +283,22 @@ impl TabletWriter {
     }
 }
 
-/// A readable on-disk tablet. The footer is loaded lazily on first use and
-/// cached for the lifetime of the reader — LittleTable keeps footers in
-/// memory "almost indefinitely" (§3.2); after a restart they reload on
-/// demand (§3.5).
+/// A readable on-disk tablet. The footer is loaded lazily on first use.
+/// When the reader is attached to the shared cache, the footer lives
+/// there under its own charge class, bounded by the joint cache budget
+/// and reclaimable under memory pressure; without a cache it is pinned
+/// for the lifetime of the reader — LittleTable keeps footers in memory
+/// "almost indefinitely" (§3.2); after a restart (or an eviction) they
+/// reload on demand (§3.5).
 pub struct TabletReader {
     vfs: Arc<dyn Vfs>,
     path: String,
     file: Mutex<Option<Arc<dyn RandomAccessFile>>>,
-    footer: OnceLock<TabletFooter>,
-    /// Connection to the shared decompressed-block cache; `None` runs
+    /// Per-reader footer pin, used only when no shared cache is
+    /// attached (the paper's unbounded behavior, faithful but unbounded
+    /// at very high tablet counts).
+    footer_local: OnceLock<Arc<TabletFooter>>,
+    /// Connection to the shared two-tier block cache; `None` runs
     /// every block read straight off disk.
     cache: Option<CacheHandle>,
 }
@@ -283,7 +311,7 @@ impl TabletReader {
             vfs,
             path,
             file: Mutex::new(None),
-            footer: OnceLock::new(),
+            footer_local: OnceLock::new(),
             cache: None,
         }
     }
@@ -295,7 +323,7 @@ impl TabletReader {
             vfs,
             path,
             file: Mutex::new(None),
-            footer: OnceLock::new(),
+            footer_local: OnceLock::new(),
             cache,
         }
     }
@@ -315,18 +343,35 @@ impl TabletReader {
         Ok(f)
     }
 
-    /// The footer, loading (3 seeks) and caching it on first call.
-    pub fn footer(&self) -> Result<&TabletFooter> {
-        if let Some(f) = self.footer.get() {
-            return Ok(f);
+    /// The footer, loading (3 seeks) and caching it on first call. With
+    /// a shared cache attached the footer is cached there — bounded by
+    /// the joint budget and reloadable after eviction; otherwise it is
+    /// pinned in this reader for its lifetime.
+    pub fn footer(&self) -> Result<Arc<TabletFooter>> {
+        if let Some(cache) = &self.cache {
+            if let Some(f) = cache.cache.get_footer(cache.tablet_id) {
+                return Ok(f);
+            }
+            let loaded = Arc::new(self.load_footer()?);
+            cache
+                .cache
+                .insert_footer(cache.tablet_id, loaded.clone(), &cache.stats);
+            return Ok(loaded);
         }
-        let loaded = self.load_footer()?;
-        Ok(self.footer.get_or_init(|| loaded))
+        if let Some(f) = self.footer_local.get() {
+            return Ok(f.clone());
+        }
+        let loaded = Arc::new(self.load_footer()?);
+        Ok(self.footer_local.get_or_init(|| loaded).clone())
     }
 
-    /// True when the footer has already been loaded into memory.
+    /// True when the footer is currently resident in memory (in the
+    /// shared cache, or pinned locally when no cache is attached).
     pub fn footer_cached(&self) -> bool {
-        self.footer.get().is_some()
+        match &self.cache {
+            Some(c) => c.cache.footer_resident(c.tablet_id),
+            None => self.footer_local.get().is_some(),
+        }
     }
 
     fn load_footer(&self) -> Result<TabletFooter> {
@@ -346,7 +391,12 @@ impl TabletReader {
         if magic != TRAILER_MAGIC {
             return Err(Error::corrupt("bad tablet magic"));
         }
-        if footer_off + compressed_len + TRAILER_LEN != len {
+        // All three words come off disk: a corrupt trailer must yield a
+        // corruption error, never an overflow panic in debug builds.
+        let expected_len = footer_off
+            .checked_add(compressed_len)
+            .and_then(|n| n.checked_add(TRAILER_LEN));
+        if expected_len != Some(len) {
             return Err(Error::corrupt("tablet trailer geometry mismatch"));
         }
         if uncompressed_len > (1 << 31) || compressed_len > (1 << 31) {
@@ -398,49 +448,100 @@ impl TabletReader {
         Ok(blocks)
     }
 
-    /// Reads and decompresses block `i`, consulting the shared block
-    /// cache when this reader is attached to one. Hits return the cached
-    /// `Arc` without touching disk; misses read, decompress (no cache
-    /// lock held for either), then admit the block.
+    /// Reads and decompresses block `i`, consulting the shared two-tier
+    /// cache when this reader is attached to one. Decompressed-tier hits
+    /// return the cached `Arc` without touching disk; compressed-tier
+    /// hits pay one decompress (never a seek) and promote the block back
+    /// up; full misses read, decompress (no cache lock held for either),
+    /// then admit the block with its compressed bytes retained for a
+    /// future demotion.
     pub fn read_block(&self, i: usize) -> Result<Arc<Block>> {
         let Some(cache) = &self.cache else {
             return Ok(Arc::new(self.read_block_from_disk(i)?));
         };
-        if let Some(block) = cache.cache.get(cache.tablet_id, i as u32) {
+        let bi = i as u32;
+        if let Some(block) = cache.cache.get(cache.tablet_id, bi) {
             TableStats::add(&cache.stats.cache_hits, 1);
             return Ok(block);
         }
+        if let Some(c) = cache.cache.take_compressed(cache.tablet_id, bi) {
+            TableStats::add(&cache.stats.cache_compressed_hits, 1);
+            let raw = littletable_compress::decompress(&c.bytes, c.uncompressed_len as usize)?;
+            let block = Arc::new(Block::parse(raw)?);
+            cache
+                .cache
+                .insert(cache.tablet_id, bi, block.clone(), Some(c), &cache.stats);
+            return Ok(block);
+        }
         TableStats::add(&cache.stats.cache_misses, 1);
-        let block = Arc::new(self.read_block_from_disk(i)?);
-        cache
-            .cache
-            .insert(cache.tablet_id, i as u32, block.clone(), &cache.stats);
+        let (block, compressed) = self.read_block_keeping_compressed(i)?;
+        let block = Arc::new(block);
+        cache.cache.insert(
+            cache.tablet_id,
+            bi,
+            block.clone(),
+            Some(compressed),
+            &cache.stats,
+        );
         Ok(block)
     }
 
+    /// Copies block `i`'s index scalars out under the footer borrow
+    /// instead of cloning the whole entry (whose last_key would
+    /// allocate). Returns `(offset, compressed_len, uncompressed_len)`.
+    fn block_extent(&self, i: usize) -> Result<(u64, usize, usize)> {
+        let footer = self.footer()?;
+        let e = footer
+            .blocks
+            .get(i)
+            .ok_or_else(|| Error::corrupt("block index out of range"))?;
+        Ok((
+            e.offset,
+            e.compressed_len as usize,
+            e.uncompressed_len as usize,
+        ))
+    }
+
+    /// The uncached read path: reuses a thread-local scratch buffer so
+    /// steady-state reads allocate nothing for the compressed bytes.
     fn read_block_from_disk(&self, i: usize) -> Result<Block> {
-        // Copy the three scalars out under the footer borrow instead of
-        // cloning the whole index entry (whose last_key would allocate).
-        let (offset, compressed_len, uncompressed_len) = {
-            let footer = self.footer()?;
-            let e = footer
-                .blocks
-                .get(i)
-                .ok_or_else(|| Error::corrupt("block index out of range"))?;
-            (
-                e.offset,
-                e.compressed_len as usize,
-                e.uncompressed_len as usize,
-            )
-        };
+        let (offset, compressed_len, uncompressed_len) = self.block_extent(i)?;
         let file = self.file()?;
         COMPRESSED_SCRATCH.with(|scratch| {
             let mut compressed = scratch.borrow_mut();
             compressed.resize(compressed_len, 0);
-            file.read_exact_at(offset, &mut compressed)?;
-            let raw = littletable_compress::decompress(&compressed, uncompressed_len)?;
-            Block::parse(raw)
+            let block = (|| {
+                file.read_exact_at(offset, &mut compressed)?;
+                let raw = littletable_compress::decompress(&compressed, uncompressed_len)?;
+                Block::parse(raw)
+            })();
+            // Cap the retained capacity: one oversized block must not pin
+            // its high-water mark on this thread forever.
+            if compressed.capacity() > SCRATCH_RETAIN_MAX {
+                compressed.clear();
+                compressed.shrink_to(SCRATCH_RETAIN_MAX);
+            }
+            block
         })
+    }
+
+    /// The cached miss path: reads into a fresh buffer that becomes the
+    /// cache's retained compressed copy (so the allocation is the cache
+    /// fill, not churn).
+    fn read_block_keeping_compressed(&self, i: usize) -> Result<(Block, CompressedBlock)> {
+        let (offset, compressed_len, uncompressed_len) = self.block_extent(i)?;
+        let file = self.file()?;
+        let mut compressed = vec![0u8; compressed_len];
+        file.read_exact_at(offset, &mut compressed)?;
+        let raw = littletable_compress::decompress(&compressed, uncompressed_len)?;
+        let block = Block::parse(raw)?;
+        Ok((
+            block,
+            CompressedBlock {
+                bytes: compressed.into(),
+                uncompressed_len: uncompressed_len as u32,
+            },
+        ))
     }
 
     /// Index of the first block that could contain `key` (i.e. the first
@@ -617,6 +718,67 @@ mod tests {
         drop(w);
         let r = TabletReader::new(Arc::new(vfs), "bad.lt".into());
         assert!(r.footer().is_err());
+    }
+
+    #[test]
+    fn corrupt_trailer_geometry_overflow_is_detected() {
+        // A trailer whose footer_off is near u64::MAX used to overflow
+        // the geometry sum (a panic under debug overflow checks); it must
+        // be a corruption error.
+        let vfs = SimVfs::instant();
+        write_tablet(&vfs, "t.lt", 10, false);
+        let f = vfs.open("t.lt").unwrap();
+        let len = f.len().unwrap() as usize;
+        let mut all = vec![0u8; len];
+        f.read_exact_at(0, &mut all).unwrap();
+        // Trailer layout: [ulen u64][clen u64][footer_off u64][crc][magic].
+        let off_pos = len - TRAILER_LEN as usize + 16;
+        all[off_pos..off_pos + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+        let mut w = vfs.create("bad.lt", 0).unwrap();
+        w.append(&all).unwrap();
+        drop(w);
+        let r = TabletReader::new(Arc::new(vfs), "bad.lt".into());
+        assert!(matches!(r.footer(), Err(Error::Corrupt(_))));
+    }
+
+    #[test]
+    fn scratch_capacity_is_capped_after_oversized_reads() {
+        let vfs = SimVfs::instant();
+        let s = schema();
+        let mut w = TabletWriter::new(vfs.create("big.lt", 0).unwrap(), s.clone(), 4096, false);
+        // One incompressible megabyte-sized row, forcing a block whose
+        // compressed form far exceeds the scratch retention cap.
+        let mut state = 0x9E37_79B9_7F4A_7C15u64;
+        let mut payload = String::with_capacity(1 << 20);
+        for _ in 0..(1 << 20) {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            payload.push((b' ' + (state >> 57) as u8 % 95) as char);
+        }
+        let row = Row::new(vec![
+            Value::I64(0),
+            Value::Timestamp(1000),
+            Value::Str(payload),
+        ]);
+        let key = row.encode_key(&s).unwrap();
+        let mut buf = Vec::new();
+        encode_payload(&mut buf, &row, &s);
+        w.add(&key, &buf, 1000).unwrap();
+        w.finish().unwrap();
+        let r = TabletReader::new(Arc::new(vfs), "big.lt".into());
+        let footer = r.footer().unwrap();
+        assert!(
+            footer.blocks[0].compressed_len as usize > SCRATCH_RETAIN_MAX,
+            "test needs a block larger than the retention cap"
+        );
+        r.read_block(0).unwrap();
+        COMPRESSED_SCRATCH.with(|scratch| {
+            assert!(
+                scratch.borrow().capacity() <= SCRATCH_RETAIN_MAX,
+                "scratch must shed an oversized read's capacity"
+            );
+        });
     }
 
     #[test]

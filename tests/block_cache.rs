@@ -1,7 +1,10 @@
-//! End-to-end tests of the shared decompressed-block cache: warm reads
-//! are byte-identical and cheap, the budget holds under concurrency,
-//! merges invalidate dead tablets without flushing the hot set, and
-//! disabling the cache reproduces the uncached read path exactly.
+//! End-to-end tests of the shared two-tier block cache: warm reads are
+//! byte-identical and cheap, the joint budget (decompressed tier +
+//! compressed tier + cached footers) holds under concurrency and
+//! pressure, the compressed tier serves overflow working sets faster
+//! than a single-tier cache at the same budget, merges invalidate dead
+//! tablets without flushing the hot set, and disabling the cache
+//! reproduces the uncached read path exactly.
 
 use littletable::vfs::{Clock, DiskParams, SimClock, SimVfs};
 use littletable::{ColumnDef, ColumnType, Db, Options, Query, Row, Schema, Value};
@@ -244,6 +247,132 @@ fn scan_and_merge_pass_leaves_hot_set_hit_ratio_intact() {
     );
     let cache = db.block_cache().unwrap();
     assert!(cache.bytes_used() <= cache.capacity());
+}
+
+#[test]
+fn two_tier_budget_holds_with_footers_under_pressure() {
+    // A working set of ~2x the decompressed slice: the overflow lives as
+    // compressed bytes in the lower tier. Both tiers plus cached footers
+    // must stay inside the joint budget at every step.
+    let clock = SimClock::new(START);
+    let opts = Options {
+        block_cache_bytes: 96 << 10,
+        block_cache_shards: 1,
+        ..Options::small_for_tests()
+    };
+    let db = Db::open(Arc::new(SimVfs::instant()), Arc::new(clock.clone()), opts).unwrap();
+    let table = build_merged_table(&db, &clock, "t", 2400);
+    let cache = db.block_cache().unwrap().clone();
+    assert!(cache.capacity() <= 96 << 10);
+    assert!(cache.decompressed_capacity() + cache.compressed_capacity() <= 96 << 10);
+    // ~38 distinct 4 kB blocks (~150 kB decompressed) cycled twice
+    // through a 72 kB decompressed slice.
+    for _ in 0..2 {
+        for k in (0..1200).step_by(16) {
+            let rows = table
+                .query_all(&Query::all().with_prefix(vec![Value::I64(k)]))
+                .unwrap();
+            assert_eq!(rows.len(), 1);
+            assert!(
+                cache.bytes_used() <= cache.capacity(),
+                "joint budget exceeded: {} > {}",
+                cache.bytes_used(),
+                cache.capacity()
+            );
+            assert!(cache.decompressed_bytes_used() <= cache.decompressed_capacity());
+            assert!(cache.compressed_bytes_used() <= cache.compressed_capacity());
+        }
+    }
+    let snap = table.stats().snapshot();
+    assert!(
+        snap.cache_compressed_hits > 0,
+        "overflow re-reads must be served from the compressed tier"
+    );
+    assert!(snap.cache_hits > 0);
+}
+
+#[test]
+fn two_tier_beats_single_tier_at_equal_budget() {
+    // Same joint budget, same workload, on the simulated paper disk: the
+    // default 25% compressed slice must serve the overflow from memory
+    // where the single-tier config goes back to disk.
+    let run = |fraction: f64| {
+        let clock = SimClock::new(START);
+        let vfs = SimVfs::new(DiskParams::paper_disk(), clock.clone());
+        let opts = Options {
+            block_cache_bytes: 96 << 10,
+            block_cache_shards: 1,
+            compressed_cache_fraction: fraction,
+            ..Options::small_for_tests()
+        };
+        let db = Db::open(Arc::new(vfs.clone()), Arc::new(clock.clone()), opts).unwrap();
+        let table = build_merged_table(&db, &clock, "t", 2400);
+        let probe = |table: &littletable::Table| {
+            for k in (0..1200).step_by(16) {
+                let rows = table
+                    .query_all(&Query::all().with_prefix(vec![Value::I64(k)]))
+                    .unwrap();
+                assert_eq!(rows.len(), 1);
+            }
+        };
+        // Warm both tiers, then clear the disk model's page/drive caches
+        // so the measured pass pays real seeks for every engine miss.
+        probe(&table);
+        probe(&table);
+        vfs.clear_caches();
+        let t0 = clock.now_micros();
+        probe(&table);
+        probe(&table);
+        let elapsed = clock.now_micros() - t0;
+        (elapsed, table.stats().snapshot())
+    };
+
+    let (single_micros, single_snap) = run(0.0);
+    let (two_tier_micros, two_tier_snap) = run(0.25);
+    assert_eq!(single_snap.cache_compressed_hits, 0);
+    assert!(two_tier_snap.cache_compressed_hits > 0);
+    assert!(
+        two_tier_micros < single_micros,
+        "two-tier must be strictly faster at the same budget: \
+         two-tier {two_tier_micros} µs vs single-tier {single_micros} µs"
+    );
+}
+
+#[test]
+fn footer_evictions_are_counted_and_queries_survive() {
+    // Many one-tablet tables churning through a small cache: footers are
+    // charged like blocks, so cold tables' footers get evicted — and the
+    // counter must say so. Queries reload them transparently.
+    let clock = SimClock::new(START);
+    let opts = Options {
+        block_cache_bytes: 32 << 10,
+        block_cache_shards: 1,
+        compressed_cache_fraction: 0.0,
+        ..Options::small_for_tests()
+    };
+    let db = Db::open(Arc::new(SimVfs::instant()), Arc::new(clock.clone()), opts).unwrap();
+    let tables: Vec<_> = (0..12)
+        .map(|t| build_merged_table(&db, &clock, &format!("t{t}"), 300))
+        .collect();
+    let cache = db.block_cache().unwrap().clone();
+    for round in 0..3 {
+        for (t, table) in tables.iter().enumerate() {
+            let k = (t as i64 * 25 + round) % 300;
+            let rows = table
+                .query_all(&Query::all().with_prefix(vec![Value::I64(k)]))
+                .unwrap();
+            assert_eq!(rows.len(), 1, "table t{t} round {round}");
+            assert!(cache.bytes_used() <= cache.capacity());
+        }
+    }
+    let footer_evictions: u64 = tables
+        .iter()
+        .map(|t| t.stats().snapshot().footer_evictions)
+        .sum();
+    assert!(
+        footer_evictions > 0,
+        "churning 12 tables through a 32 kB cache must evict footers"
+    );
 }
 
 #[test]

@@ -1,0 +1,170 @@
+//! Corruption-path suite: every way a tablet file can rot on disk —
+//! truncation, flipped magic, overflowing trailer geometry, footer CRC
+//! damage, zeroed block bytes — must surface as `Error::Corrupt` from
+//! the query path, never a panic, with the two-tier block cache enabled
+//! and disabled alike. Runs under the debug profile too, so checked
+//! arithmetic (overflow panics on) is exercised for real.
+
+use littletable::core::descriptor::parse_tablet_file_name;
+use littletable::vfs::{join, Clock, SimClock, SimVfs, Vfs};
+use littletable::{ColumnDef, ColumnType, Db, Error, Options, Query, Schema, Value};
+use std::sync::Arc;
+
+const START: i64 = 1_700_000_000_000_000;
+
+/// Trailer layout: [ulen u64][clen u64][footer_off u64][crc u32][magic u64].
+const TRAILER_LEN: usize = 36;
+
+fn schema() -> Schema {
+    Schema::new(
+        vec![
+            ColumnDef::new("k", ColumnType::I64),
+            ColumnDef::new("ts", ColumnType::Timestamp),
+            ColumnDef::new("v", ColumnType::Blob),
+        ],
+        &["k", "ts"],
+    )
+    .unwrap()
+}
+
+fn read_file(vfs: &SimVfs, path: &str) -> Vec<u8> {
+    let f = vfs.open(path).unwrap();
+    let len = f.len().unwrap() as usize;
+    let mut buf = vec![0u8; len];
+    f.read_exact_at(0, &mut buf).unwrap();
+    buf
+}
+
+fn write_file(vfs: &SimVfs, path: &str, bytes: &[u8]) {
+    let mut f = vfs.create(path, bytes.len() as u64).unwrap();
+    f.append(bytes).unwrap();
+    f.sync().unwrap();
+}
+
+/// Writes a real merged tablet, applies `mutate` to its file bytes,
+/// reopens a fresh engine, and returns the error the query path yields.
+/// Queried twice so a partial first read can't leave a cache tier that
+/// masks (or worse, trips over) the corruption on the retry.
+fn corrupt_and_query(cache_bytes: usize, mutate: &dyn Fn(&mut Vec<u8>)) -> Error {
+    let clock = SimClock::new(START);
+    let vfs = SimVfs::instant();
+    let build_opts = Options::small_for_tests();
+    let db = Db::open(Arc::new(vfs.clone()), Arc::new(clock.clone()), build_opts).unwrap();
+    let table = db.create_table("t", schema(), None).unwrap();
+    for i in 0..600i64 {
+        table
+            .insert(vec![vec![
+                Value::I64(i),
+                Value::Timestamp(START + i),
+                Value::Blob(vec![(i % 251) as u8; 100]),
+            ]])
+            .unwrap();
+    }
+    table.flush_all().unwrap();
+    while table.run_merge_once(clock.now_micros()).unwrap() {}
+    drop((table, db));
+
+    let tablet_name = vfs
+        .list_dir("t")
+        .unwrap()
+        .into_iter()
+        .find(|name| parse_tablet_file_name(name).is_some())
+        .expect("merged table must have a tablet file");
+    let path = join("t", &tablet_name);
+    let mut bytes = read_file(&vfs, &path);
+    mutate(&mut bytes);
+    write_file(&vfs, &path, &bytes);
+
+    let opts = Options {
+        block_cache_bytes: cache_bytes,
+        ..Options::small_for_tests()
+    };
+    let db = Db::open(Arc::new(vfs.clone()), Arc::new(clock.clone()), opts).unwrap();
+    let table = db.table("t").unwrap();
+    let first = table.query_all(&Query::all());
+    let second = table.query_all(&Query::all());
+    assert!(second.is_err(), "retry after corruption must still fail");
+    first.expect_err("corrupted tablet must fail the query")
+}
+
+/// Asserts the mutation yields `Error::Corrupt` with the cache enabled
+/// (both tiers in play) and disabled (the paper's uncached read path).
+fn assert_corrupt(label: &str, mutate: &dyn Fn(&mut Vec<u8>)) {
+    for cache_bytes in [64 << 20, 0] {
+        let err = corrupt_and_query(cache_bytes, mutate);
+        assert!(
+            matches!(err, Error::Corrupt(_)),
+            "{label} (cache_bytes={cache_bytes}): expected Corrupt, got {err:?}"
+        );
+    }
+}
+
+#[test]
+fn truncated_file_is_corrupt() {
+    assert_corrupt("truncate to 10 bytes", &|bytes| bytes.truncate(10));
+}
+
+#[test]
+fn truncated_trailer_is_corrupt() {
+    assert_corrupt("drop the last byte", &|bytes| {
+        bytes.truncate(bytes.len() - 1)
+    });
+}
+
+#[test]
+fn flipped_magic_is_corrupt() {
+    assert_corrupt("flip a magic byte", &|bytes| {
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+    });
+}
+
+#[test]
+fn overflowing_footer_offset_is_corrupt() {
+    // footer_off + clen + TRAILER_LEN overflows u64: the geometry check
+    // must use checked arithmetic, not panic in debug builds.
+    assert_corrupt("footer_off = u64::MAX", &|bytes| {
+        let at = bytes.len() - TRAILER_LEN + 16;
+        bytes[at..at + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+    });
+}
+
+#[test]
+fn overflowing_compressed_len_is_corrupt() {
+    assert_corrupt("clen = u64::MAX", &|bytes| {
+        let at = bytes.len() - TRAILER_LEN + 8;
+        bytes[at..at + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+    });
+}
+
+#[test]
+fn flipped_footer_crc_is_corrupt() {
+    assert_corrupt("flip the footer CRC", &|bytes| {
+        let at = bytes.len() - 12;
+        bytes[at] ^= 0xFF;
+    });
+}
+
+#[test]
+fn flipped_footer_bytes_are_corrupt() {
+    // Damage the compressed footer itself; the CRC must catch it.
+    assert_corrupt("flip first footer byte", &|bytes| {
+        let at = bytes.len() - TRAILER_LEN + 16;
+        let footer_off = u64::from_le_bytes(bytes[at..at + 8].try_into().unwrap()) as usize;
+        bytes[footer_off] ^= 0xFF;
+    });
+}
+
+#[test]
+fn zeroed_block_bytes_are_corrupt() {
+    // Blocks carry no per-block CRC; zeroed compressed bytes must still
+    // fail deterministically inside the decompressor (a zero token is
+    // followed by a zero back-reference offset, which is invalid).
+    assert_corrupt("zero the first block", &|bytes| {
+        let at = bytes.len() - TRAILER_LEN + 16;
+        let footer_off = u64::from_le_bytes(bytes[at..at + 8].try_into().unwrap()) as usize;
+        for b in &mut bytes[..64.min(footer_off)] {
+            *b = 0;
+        }
+    });
+}
