@@ -19,4 +19,5 @@ fn main() {
     figures::ablations::run_periods(quick).emit();
     figures::ablations::run_unique(quick).emit();
     figures::cachefig::run(quick).emit();
+    figures::contention::run(quick).emit();
 }

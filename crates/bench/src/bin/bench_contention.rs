@@ -1,0 +1,4 @@
+//! Regenerates the reader-vs-maintenance contention figure.
+fn main() {
+    littletable_bench::figures::contention::run(littletable_bench::quick_flag()).emit();
+}

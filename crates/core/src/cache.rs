@@ -750,6 +750,7 @@ mod tests {
                         offset: i as u64 * 100,
                         compressed_len: 100,
                         uncompressed_len: 300,
+                        crc: None,
                         last_key: vec![0u8; 16],
                     })
                     .collect(),

@@ -17,6 +17,16 @@ use std::ops::Bound;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct MemTabletId(pub u64);
 
+/// A row plus the table-wide insert sequence number it committed at.
+/// Readers snapshot "all rows with `seq < cutoff`", which lets a query
+/// assemble a consistent cross-tablet view while holding only one
+/// tablet's lock at a time.
+#[derive(Debug, Clone)]
+struct MemRow {
+    row: Row,
+    seq: u64,
+}
+
 /// One filling tablet.
 #[derive(Debug)]
 pub struct MemTablet {
@@ -25,7 +35,7 @@ pub struct MemTablet {
     /// evolutions seal all filling tablets, so one tablet never mixes
     /// schema versions.
     schema: SchemaRef,
-    rows: BTreeMap<Vec<u8>, Row>,
+    rows: BTreeMap<Vec<u8>, MemRow>,
     bytes: usize,
     /// Clock time of the first insert, for the age-based flush trigger.
     first_insert_at: Micros,
@@ -59,7 +69,7 @@ impl MemTablet {
 
     /// Iterates all rows in ascending key order without cloning.
     pub fn iter(&self) -> impl Iterator<Item = (&Vec<u8>, &Row)> {
-        self.rows.iter()
+        self.rows.iter().map(|(k, m)| (k, &m.row))
     }
 
     /// Number of rows.
@@ -102,20 +112,22 @@ impl MemTablet {
         self.rows.contains_key(key)
     }
 
-    /// Inserts a row under its encoded key. The caller has already checked
+    /// Inserts a row under its encoded key, stamped with the table-wide
+    /// insert sequence number `seq`. The caller has already checked
     /// uniqueness table-wide; within one tablet a duplicate is a logic
     /// error.
-    pub fn insert(&mut self, key: Vec<u8>, row: Row, ts: Micros) {
+    pub fn insert(&mut self, key: Vec<u8>, row: Row, ts: Micros, seq: u64) {
         self.bytes += key.len() + row.mem_size();
         self.min_ts = self.min_ts.min(ts);
         self.max_ts = self.max_ts.max(ts);
-        let prev = self.rows.insert(key, row);
+        let prev = self.rows.insert(key, MemRow { row, seq });
         debug_assert!(prev.is_none(), "duplicate key reached the memtable");
     }
 
     /// Snapshots the rows inside `range` (and every row when `range` is
-    /// unbounded), in ascending key order.
-    pub fn snapshot_range(&self, range: &KeyRange) -> Vec<(Vec<u8>, Row)> {
+    /// unbounded) whose insert sequence number is below `before_seq`, in
+    /// ascending key order. Pass [`u64::MAX`] to see everything.
+    pub fn snapshot_range(&self, range: &KeyRange, before_seq: u64) -> Vec<(Vec<u8>, Row)> {
         let lo: Bound<&[u8]> = match &range.start {
             Bound::Unbounded => Bound::Unbounded,
             Bound::Included(k) => Bound::Included(k.as_slice()),
@@ -128,13 +140,14 @@ impl MemTablet {
         };
         self.rows
             .range::<[u8], _>((lo, hi))
-            .map(|(k, r)| (k.clone(), r.clone()))
+            .filter(|(_, m)| m.seq < before_seq)
+            .map(|(k, m)| (k.clone(), m.row.clone()))
             .collect()
     }
 
     /// Drains the tablet into sorted `(key, row)` pairs for flushing.
     pub fn into_sorted_rows(self) -> Vec<(Vec<u8>, Row)> {
-        self.rows.into_iter().collect()
+        self.rows.into_iter().map(|(k, m)| (k, m.row)).collect()
     }
 }
 
@@ -172,7 +185,7 @@ mod tests {
         assert!(t.is_empty());
         for (n, ts) in [(3, 30), (1, 10), (2, 20)] {
             let (k, r, ts) = row(n, ts);
-            t.insert(k, r, ts);
+            t.insert(k, r, ts, 0);
         }
         assert_eq!(t.len(), 3);
         assert_eq!(t.min_ts(), Some(10));
@@ -186,7 +199,7 @@ mod tests {
         let mut t = MemTablet::new(MemTabletId(1), 0, test_schema());
         for n in [5i64, 1, 9, 3] {
             let (k, r, ts) = row(n, 100);
-            t.insert(k, r, ts);
+            t.insert(k, r, ts, 0);
         }
         let sorted = t.into_sorted_rows();
         let keys: Vec<_> = sorted.iter().map(|(k, _)| k.clone()).collect();
@@ -200,7 +213,7 @@ mod tests {
         let mut t = MemTablet::new(MemTabletId(1), 0, test_schema());
         for n in 0..10i64 {
             let (k, r, ts) = row(n, 100);
-            t.insert(k, r, ts);
+            t.insert(k, r, ts, n as u64);
         }
         let (lo, _, _) = row(3, 100);
         let (hi, _, _) = row(6, 100);
@@ -208,10 +221,25 @@ mod tests {
             start: Bound::Included(lo),
             end: Bound::Excluded(hi),
         };
-        let snap = t.snapshot_range(&range);
+        let snap = t.snapshot_range(&range, u64::MAX);
         assert_eq!(snap.len(), 3);
-        let all = t.snapshot_range(&KeyRange::all());
+        let all = t.snapshot_range(&KeyRange::all(), u64::MAX);
         assert_eq!(all.len(), 10);
+    }
+
+    #[test]
+    fn snapshot_range_honours_seq_cutoff() {
+        let mut t = MemTablet::new(MemTabletId(1), 0, test_schema());
+        for n in 0..10i64 {
+            let (k, r, ts) = row(n, 100);
+            t.insert(k, r, ts, 100 + n as u64);
+        }
+        // Rows stamped at or after the cutoff are invisible to the
+        // snapshot, as if the reader had started before they committed.
+        let snap = t.snapshot_range(&KeyRange::all(), 104);
+        assert_eq!(snap.len(), 4);
+        assert!(t.snapshot_range(&KeyRange::all(), 100).is_empty());
+        assert_eq!(t.snapshot_range(&KeyRange::all(), u64::MAX).len(), 10);
     }
 
     #[test]
@@ -220,8 +248,8 @@ mod tests {
         assert!(t.max_key().is_none());
         let (k1, r1, ts) = row(1, 100);
         let (k2, r2, _) = row(2, 100);
-        t.insert(k2.clone(), r2, ts);
-        t.insert(k1.clone(), r1, ts);
+        t.insert(k2.clone(), r2, ts, 0);
+        t.insert(k1.clone(), r1, ts, 1);
         assert_eq!(t.max_key().unwrap(), k2.as_slice());
         assert!(t.contains_key(&k1));
     }

@@ -13,8 +13,17 @@ pub struct TableStats {
     pub rows_inserted: AtomicU64,
     /// Rows rejected as duplicate primary keys.
     pub duplicate_keys: AtomicU64,
-    /// Queries started.
+    /// Queries started (range queries via `query`/`query_all` plus
+    /// `latest` calls — every read that opens a cursor).
     pub queries: AtomicU64,
+    /// `latest` calls, also counted in `queries`.
+    pub latest_calls: AtomicU64,
+    /// Read-path snapshot acquisitions: one per `query`/`latest` fast
+    /// path (an atomic pointer load, no mutex).
+    pub snapshot_loads: AtomicU64,
+    /// Snapshots published by the write and maintenance paths (one per
+    /// tablet-set or schema transition).
+    pub snapshot_publishes: AtomicU64,
     /// Rows popped from the merge cursor (inside key bounds).
     pub rows_scanned: AtomicU64,
     /// Rows that also passed the timestamp and TTL filters and were
@@ -61,6 +70,12 @@ pub struct StatsSnapshot {
     pub duplicate_keys: u64,
     /// See [`TableStats::queries`].
     pub queries: u64,
+    /// See [`TableStats::latest_calls`].
+    pub latest_calls: u64,
+    /// See [`TableStats::snapshot_loads`].
+    pub snapshot_loads: u64,
+    /// See [`TableStats::snapshot_publishes`].
+    pub snapshot_publishes: u64,
     /// See [`TableStats::rows_scanned`].
     pub rows_scanned: u64,
     /// See [`TableStats::rows_returned`].
@@ -107,6 +122,9 @@ impl TableStats {
             rows_inserted: self.rows_inserted.load(Ordering::Relaxed),
             duplicate_keys: self.duplicate_keys.load(Ordering::Relaxed),
             queries: self.queries.load(Ordering::Relaxed),
+            latest_calls: self.latest_calls.load(Ordering::Relaxed),
+            snapshot_loads: self.snapshot_loads.load(Ordering::Relaxed),
+            snapshot_publishes: self.snapshot_publishes.load(Ordering::Relaxed),
             rows_scanned: self.rows_scanned.load(Ordering::Relaxed),
             rows_returned: self.rows_returned.load(Ordering::Relaxed),
             tablets_flushed: self.tablets_flushed.load(Ordering::Relaxed),

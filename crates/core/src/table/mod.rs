@@ -1,0 +1,341 @@
+//! One LittleTable table: insert path, uniqueness enforcement, flushing
+//! with dependency ordering, queries, latest-row-for-prefix, merging,
+//! TTL expiry, and schema evolution.
+//!
+//! Module map:
+//! * [`state`] — the mutable `TableState` behind the mutex and the
+//!   immutable `TabletSnapshot` published to readers;
+//! * [`snapshot`] — the lock-free `SnapshotCell` (hand-rolled
+//!   `arc-swap`) the snapshot is published through;
+//! * [`write`] — insert, uniqueness fast paths (§3.4.4), sealing;
+//! * [`read`] — `query`/`latest` and the streaming `QueryCursor`,
+//!   built entirely from a snapshot load;
+//! * [`maintenance`] — flush, merge, TTL reaping, bulk delete, cold
+//!   migration, and schema evolution, each republishing the snapshot
+//!   at its commit point.
+
+mod maintenance;
+mod read;
+mod snapshot;
+mod state;
+#[cfg(test)]
+mod tests;
+#[cfg(test)]
+mod tests_ext;
+mod write;
+
+pub use read::QueryCursor;
+
+use crate::cache::{BlockCache, CacheHandle};
+use crate::descriptor::{parse_tablet_file_name, TableDescriptor, DESC_FILE, DESC_TMP};
+use crate::error::{Error, Result};
+use crate::flushdeps::FlushDeps;
+use crate::options::Options;
+use crate::schema::{Schema, SchemaRef};
+use crate::stats::TableStats;
+use crate::tablet::TabletReader;
+use littletable_vfs::{join, Clock, Micros, Vfs};
+use parking_lot::Mutex;
+use snapshot::SnapshotCell;
+use state::{DiskHandle, TableState, TabletSnapshot};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Outcome of an insert batch.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InsertReport {
+    /// Rows accepted.
+    pub inserted: usize,
+    /// Rows rejected because their primary key already existed.
+    pub duplicates: usize,
+}
+
+/// Outcome of one maintenance pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MaintenanceReport {
+    /// In-memory tablets sealed because of age.
+    pub sealed_by_age: usize,
+    /// Sealed groups flushed to disk.
+    pub groups_flushed: usize,
+    /// Merges performed (0 or 1 per pass).
+    pub merges: usize,
+    /// On-disk tablets removed by TTL expiry.
+    pub tablets_expired: usize,
+}
+
+/// A handle to one table. All methods are safe to call concurrently.
+pub struct Table {
+    name: String,
+    dir: String,
+    vfs: Arc<dyn Vfs>,
+    /// Optional write-once backing store for old tablets (§6's
+    /// LHAM-inspired cold tier; Amazon S3 in the paper's plans).
+    cold_vfs: Option<Arc<dyn Vfs>>,
+    clock: Arc<dyn Clock>,
+    opts: Arc<Options>,
+    /// Shared decompressed-block cache, owned by the [`crate::db::Db`];
+    /// `None` when `Options::block_cache_bytes` is 0.
+    cache: Option<Arc<BlockCache>>,
+    stats: Arc<TableStats>,
+    state: Mutex<TableState>,
+    /// The published read view; rebuilt and swapped (under the state
+    /// mutex) at every tablet-set or schema transition.
+    snapshot: SnapshotCell<TabletSnapshot>,
+    /// Table-wide insert sequence, stamped onto each row inside its
+    /// memtablet's write lock. Readers load it *before* loading the
+    /// snapshot and ignore memtable rows stamped at or above the loaded
+    /// value, which makes a multi-tablet read a consistent point-in-time
+    /// view without holding any table-wide lock (see `Table::read_view`).
+    insert_seq: AtomicU64,
+    /// Serializes slow-path uniqueness checks so disk reads never happen
+    /// under the state mutex (§3.4.4).
+    insert_lock: Mutex<()>,
+    /// Serializes flushes so sealed groups commit strictly FIFO.
+    flush_lock: Mutex<()>,
+}
+
+impl Table {
+    #[allow(clippy::too_many_arguments)] // crate-internal constructor
+    pub(crate) fn create(
+        vfs: Arc<dyn Vfs>,
+        cold_vfs: Option<Arc<dyn Vfs>>,
+        clock: Arc<dyn Clock>,
+        opts: Arc<Options>,
+        cache: Option<Arc<BlockCache>>,
+        name: String,
+        dir: String,
+        schema: Schema,
+        ttl: Option<Micros>,
+    ) -> Result<Arc<Table>> {
+        vfs.mkdir_all(&dir)?;
+        let desc = TableDescriptor::new(schema.clone(), ttl);
+        desc.save(vfs.as_ref(), &dir)?;
+        vfs.sync_dir(crate::db::root_of(&dir))?;
+        let state = TableState {
+            schema: Arc::new(schema),
+            ttl,
+            next_tablet_id: desc.next_tablet_id,
+            next_mem_id: 1,
+            next_group_id: 1,
+            filling: HashMap::new(),
+            last_insert: None,
+            deps: FlushDeps::new(),
+            sealed: VecDeque::new(),
+            disk: Vec::new(),
+            max_ts: Micros::MIN,
+            merge_running: false,
+            dropped: false,
+        };
+        let snapshot = SnapshotCell::new(Arc::new(state.build_snapshot()));
+        Ok(Arc::new(Table {
+            name,
+            dir,
+            vfs,
+            cold_vfs,
+            clock,
+            opts,
+            cache,
+            stats: Arc::new(TableStats::default()),
+            state: Mutex::new(state),
+            snapshot,
+            insert_seq: AtomicU64::new(0),
+            insert_lock: Mutex::new(()),
+            flush_lock: Mutex::new(()),
+        }))
+    }
+
+    #[allow(clippy::too_many_arguments)] // crate-internal constructor
+    pub(crate) fn open(
+        vfs: Arc<dyn Vfs>,
+        cold_vfs: Option<Arc<dyn Vfs>>,
+        clock: Arc<dyn Clock>,
+        opts: Arc<Options>,
+        cache: Option<Arc<BlockCache>>,
+        name: String,
+        dir: String,
+    ) -> Result<Arc<Table>> {
+        let mut desc = TableDescriptor::load(vfs.as_ref(), &dir)?;
+        desc.sort_tablets();
+        // Delete orphan tablet files left by a crash mid-flush or
+        // mid-merge: they were never committed to the descriptor.
+        for entry in vfs.list_dir(&dir)? {
+            if entry == DESC_FILE || entry == DESC_TMP {
+                continue;
+            }
+            match parse_tablet_file_name(&entry) {
+                Some(id) if desc.tablets.iter().any(|t| t.id == id) => {}
+                _ => {
+                    let _ = vfs.remove(&join(&dir, &entry));
+                }
+            }
+        }
+        let stats = Arc::new(TableStats::default());
+        let disk: Vec<DiskHandle> = desc
+            .tablets
+            .iter()
+            .map(|meta| {
+                let backing: Arc<dyn Vfs> = if meta.cold {
+                    cold_vfs.clone().ok_or_else(|| {
+                        Error::invalid(format!(
+                            "table {name:?} has cold tablets but no cold store is configured"
+                        ))
+                    })?
+                } else {
+                    vfs.clone()
+                };
+                Ok(DiskHandle {
+                    reader: Arc::new(TabletReader::with_cache(
+                        backing,
+                        join(&dir, &meta.file_name()),
+                        cache
+                            .as_ref()
+                            .map(|c| CacheHandle::register(c.clone(), stats.clone())),
+                    )),
+                    meta: meta.clone(),
+                })
+            })
+            .collect::<Result<_>>()?;
+        let max_ts = desc.max_ts().unwrap_or(Micros::MIN);
+        let state = TableState {
+            schema: Arc::new(desc.schema),
+            ttl: desc.ttl,
+            next_tablet_id: desc.next_tablet_id,
+            next_mem_id: 1,
+            next_group_id: 1,
+            filling: HashMap::new(),
+            last_insert: None,
+            deps: FlushDeps::new(),
+            sealed: VecDeque::new(),
+            disk,
+            max_ts,
+            merge_running: false,
+            dropped: false,
+        };
+        let snapshot = SnapshotCell::new(Arc::new(state.build_snapshot()));
+        Ok(Arc::new(Table {
+            name,
+            dir,
+            vfs,
+            cold_vfs,
+            clock,
+            opts,
+            cache,
+            stats,
+            state: Mutex::new(state),
+            snapshot,
+            insert_seq: AtomicU64::new(0),
+            insert_lock: Mutex::new(()),
+            flush_lock: Mutex::new(()),
+        }))
+    }
+
+    // ------------------------------------------------------ snapshot plumbing
+
+    /// Rebuilds and publishes the read snapshot from the current state.
+    /// The caller holds the state mutex, which serializes stores.
+    pub(crate) fn publish_locked(&self, st: &TableState) {
+        self.snapshot.store(Arc::new(st.build_snapshot()));
+        TableStats::add(&self.stats.snapshot_publishes, 1);
+    }
+
+    /// The read fast path: returns the current snapshot plus the
+    /// insert-sequence cutoff that makes it a consistent point-in-time
+    /// view. No mutex is acquired.
+    ///
+    /// Order matters. The cutoff is loaded *before* the snapshot: every
+    /// row stamped below the cutoff finished its insert — including the
+    /// publish of its (possibly new) memtablet — before we loaded it,
+    /// so that tablet is in the snapshot we load next and the row is
+    /// visible under the tablet's read lock. Loading in the opposite
+    /// order could admit a row (low seq, new tablet) whose tablet the
+    /// older snapshot lacks, breaking the no-gaps guarantee.
+    pub(crate) fn read_view(&self) -> (Arc<TabletSnapshot>, u64) {
+        let cutoff = self.insert_seq.load(Ordering::SeqCst);
+        let snap = self.snapshot.load();
+        TableStats::add(&self.stats.snapshot_loads, 1);
+        (snap, cutoff)
+    }
+
+    /// Builds a reader for a newly written tablet file, registered with
+    /// the shared block cache (when one is configured) under a fresh
+    /// cache-tablet id.
+    fn new_reader(&self, backing: Arc<dyn Vfs>, path: String) -> Arc<TabletReader> {
+        Arc::new(TabletReader::with_cache(
+            backing,
+            path,
+            self.cache
+                .as_ref()
+                .map(|c| CacheHandle::register(c.clone(), self.stats.clone())),
+        ))
+    }
+
+    // -------------------------------------------------------------- accessors
+
+    /// The table's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The current schema.
+    pub fn schema(&self) -> SchemaRef {
+        self.snapshot.load().schema.clone()
+    }
+
+    /// The current TTL.
+    pub fn ttl(&self) -> Option<Micros> {
+        self.snapshot.load().ttl
+    }
+
+    /// Operational counters.
+    pub fn stats(&self) -> &Arc<TableStats> {
+        &self.stats
+    }
+
+    /// The engine's current time (for clients that let the server stamp
+    /// row timestamps, §3.1).
+    pub fn now(&self) -> Micros {
+        self.clock.now_micros()
+    }
+
+    /// Number of on-disk tablets.
+    pub fn num_disk_tablets(&self) -> usize {
+        self.snapshot.load().disk.len()
+    }
+
+    /// Number of filling in-memory tablets.
+    pub fn num_filling(&self) -> usize {
+        self.state.lock().filling.len()
+    }
+
+    /// Total compressed bytes across on-disk tablets.
+    pub fn disk_bytes(&self) -> u64 {
+        self.snapshot.load().disk.iter().map(|h| h.meta.bytes).sum()
+    }
+
+    /// Total rows across on-disk tablets (per descriptor counts).
+    pub fn disk_rows(&self) -> u64 {
+        self.snapshot.load().disk.iter().map(|h| h.meta.rows).sum()
+    }
+
+    /// Total compressed bytes of tablets currently in the cold store.
+    pub fn cold_bytes(&self) -> u64 {
+        self.snapshot
+            .load()
+            .disk
+            .iter()
+            .filter(|h| h.meta.cold)
+            .map(|h| h.meta.bytes)
+            .sum()
+    }
+
+    pub(crate) fn mark_dropped(&self) {
+        let mut st = self.state.lock();
+        st.dropped = true;
+        self.publish_locked(&st);
+    }
+
+    pub(crate) fn dir(&self) -> &str {
+        &self.dir
+    }
+}

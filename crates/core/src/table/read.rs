@@ -1,0 +1,341 @@
+//! The read path: `query`, `query_all`, `latest`, and the streaming
+//! [`QueryCursor`].
+//!
+//! Both entry points run entirely from one `read_view()` — a lock-free
+//! snapshot load plus an insert-sequence cutoff. Disk tablets are
+//! immutable files behind `Arc`'d readers; in-memory tablets are
+//! snapshotted under their own read locks with the cutoff filtering out
+//! rows inserted after the view was taken. Expensive work (range
+//! copying, cross-version `translate_row`) happens outside every lock,
+//! so readers cannot stall the writer or the maintenance paths.
+
+use super::state::SharedMemTablet;
+use super::Table;
+use crate::cursor::{DiskCursor, MemSource, MergeCursor, RowSource};
+use crate::error::{Error, Result};
+use crate::keyenc::{encode_prefix, KeyRange};
+use crate::query::Query;
+use crate::row::Row;
+use crate::schema::SchemaRef;
+use crate::stats::TableStats;
+use crate::tablet::TabletReader;
+use crate::util::hash_bytes;
+use crate::value::Value;
+use littletable_vfs::Micros;
+use std::sync::Arc;
+
+/// Keyed rows copied out of a memtablet snapshot.
+type KeyedRows = Vec<(Vec<u8>, Row)>;
+
+/// Snapshots one shared memtablet for a query: the rows inside `range`
+/// stamped below `cutoff_seq`, translated to the `newest` schema when
+/// the tablet was written under an older one. Returns `None` when the
+/// tablet's timespan misses `[ts_lo, ts_hi]`. The per-tablet read lock
+/// covers only the range copy; translation runs after it is released.
+fn mem_rows(
+    t: &SharedMemTablet,
+    range: &KeyRange,
+    ts_lo: Micros,
+    ts_hi: Micros,
+    cutoff_seq: u64,
+    newest: &SchemaRef,
+) -> Result<Option<KeyedRows>> {
+    let (mut rows, from) = {
+        let mem = t.read();
+        match (mem.min_ts(), mem.max_ts()) {
+            (Some(lo), Some(hi)) if hi >= ts_lo && lo <= ts_hi => {}
+            _ => return Ok(None),
+        }
+        (mem.snapshot_range(range, cutoff_seq), mem.schema().clone())
+    };
+    if from.version() != newest.version() {
+        for (_, row) in rows.iter_mut() {
+            let vals = std::mem::take(&mut row.values);
+            row.values = from.translate_row(newest, vals)?;
+        }
+    }
+    Ok(Some(rows))
+}
+
+impl Table {
+    /// Executes a query, returning a streaming cursor over matching rows
+    /// in key order. The fast path acquires no mutex: one snapshot load,
+    /// then per-memtablet read locks for the row copies.
+    pub fn query(&self, q: &Query) -> Result<QueryCursor> {
+        TableStats::add(&self.stats.queries, 1);
+        let now = self.clock.now_micros();
+        let (snap, cutoff_seq) = self.read_view();
+        if snap.dropped {
+            return Err(Error::NoSuchTable(self.name().to_string()));
+        }
+        let schema = snap.schema.clone();
+        let range = q.key_range(&schema)?;
+        let (ts_lo, ts_hi) = q.ts_interval();
+        // TTL: expired rows are filtered from results (§3.3).
+        let ts_lo = match snap.ttl {
+            Some(ttl) => ts_lo.max(now.saturating_sub(ttl)),
+            None => ts_lo,
+        };
+        let mut sources: Vec<Box<dyn RowSource + Send>> = Vec::new();
+        if !range.is_certainly_empty() && ts_lo <= ts_hi {
+            for h in &snap.disk {
+                if h.meta.max_ts >= ts_lo && h.meta.min_ts <= ts_hi {
+                    sources.push(Box::new(DiskCursor::new(
+                        h.reader.clone(),
+                        schema.clone(),
+                        range.clone(),
+                        q.descending,
+                    )));
+                }
+            }
+            for t in &snap.mem {
+                if let Some(rows) = mem_rows(t, &range, ts_lo, ts_hi, cutoff_seq, &schema)? {
+                    sources.push(Box::new(MemSource::new(rows, q.descending)));
+                }
+            }
+        }
+        Ok(QueryCursor {
+            merge: MergeCursor::new(sources, q.descending),
+            schema,
+            ts_lo,
+            ts_hi,
+            remaining: q.limit,
+            server_remaining: self.opts.server_row_limit,
+            more_available: false,
+            done: false,
+            scanned: 0,
+            returned: 0,
+            stats: self.stats.clone(),
+        })
+    }
+
+    /// Convenience: runs a query and collects every row. Counts as one
+    /// query — the cursor it drains adds no second increment.
+    pub fn query_all(&self, q: &Query) -> Result<Vec<Row>> {
+        let mut cur = self.query(q)?;
+        let mut out = Vec::new();
+        while let Some(row) = cur.next_row()? {
+            out.push(row);
+        }
+        Ok(out)
+    }
+
+    /// Finds the most recent row whose key starts with `prefix` (§3.4.5):
+    /// works backwards through each group of tablets with overlapping
+    /// timespans, consulting Bloom filters where available. Shares the
+    /// lock-free snapshot fast path with [`Table::query`].
+    pub fn latest(&self, prefix: &[Value]) -> Result<Option<Row>> {
+        TableStats::add(&self.stats.queries, 1);
+        TableStats::add(&self.stats.latest_calls, 1);
+        let now = self.clock.now_micros();
+        let (snap, cutoff_seq) = self.read_view();
+        if snap.dropped {
+            return Err(Error::NoSuchTable(self.name().to_string()));
+        }
+        let schema = snap.schema.clone();
+        let types = schema.key_types();
+        if prefix.len() >= schema.key_len() {
+            return Err(Error::invalid(
+                "latest() takes a strict prefix of the key columns",
+            ));
+        }
+        let encoded = encode_prefix(prefix, &types)?;
+        let range = KeyRange::for_prefix(encoded.clone());
+        let cutoff = snap
+            .ttl
+            .map(|ttl| now.saturating_sub(ttl))
+            .unwrap_or(Micros::MIN);
+        // The prefix determines every key column except (at least) the
+        // timestamp, so within the subtree the timestamp dominates the
+        // remaining sort order only when the prefix is full.
+        let full_prefix = prefix.len() == schema.key_len() - 1;
+
+        enum Src {
+            Mem(Vec<(Vec<u8>, Row)>),
+            Disk(Arc<TabletReader>),
+        }
+        let mut spans: Vec<(Micros, Micros, Src)> = Vec::new();
+        for h in &snap.disk {
+            if h.meta.max_ts >= cutoff {
+                spans.push((h.meta.min_ts, h.meta.max_ts, Src::Disk(h.reader.clone())));
+            }
+        }
+        for t in &snap.mem {
+            let span = {
+                let mem = t.read();
+                match (mem.min_ts(), mem.max_ts()) {
+                    (Some(lo), Some(hi)) if hi >= cutoff => Some((lo, hi)),
+                    _ => None,
+                }
+            };
+            if let Some((lo, hi)) = span {
+                if let Some(rows) =
+                    mem_rows(t, &range, Micros::MIN, Micros::MAX, cutoff_seq, &schema)?
+                {
+                    spans.push((lo, hi, Src::Mem(rows)));
+                }
+            }
+        }
+
+        // Group spans whose time ranges overlap (connected intervals).
+        spans.sort_by_key(|(lo, _, _)| *lo);
+        let mut groups: Vec<Vec<(Micros, Micros, Src)>> = Vec::new();
+        let mut group_hi = Micros::MIN;
+        for span in spans {
+            if groups.is_empty() || span.0 > group_hi {
+                group_hi = span.1;
+                groups.push(vec![span]);
+            } else {
+                group_hi = group_hi.max(span.1);
+                groups.last_mut().unwrap().push(span);
+            }
+        }
+
+        let prefix_hash = hash_bytes(&encoded);
+        let mut scanned = 0u64;
+        for group in groups.into_iter().rev() {
+            let mut sources: Vec<Box<dyn RowSource + Send>> = Vec::new();
+            for (_, _, src) in group {
+                match src {
+                    Src::Mem(rows) => sources.push(Box::new(MemSource::new(rows, true))),
+                    Src::Disk(reader) => {
+                        if self.opts.bloom_filters {
+                            if let Some(bloom) = &reader.footer()?.bloom {
+                                if !bloom.may_contain(prefix_hash) {
+                                    continue;
+                                }
+                            }
+                        }
+                        sources.push(Box::new(DiskCursor::new(
+                            reader,
+                            schema.clone(),
+                            range.clone(),
+                            true,
+                        )));
+                    }
+                }
+            }
+            if sources.is_empty() {
+                continue;
+            }
+            let mut merge = MergeCursor::new(sources, true);
+            let mut best: Option<(Micros, Row)> = None;
+            while let Some((_, row)) = merge.next_row()? {
+                scanned += 1;
+                let ts = row.ts(&schema)?;
+                if ts < cutoff {
+                    continue;
+                }
+                if full_prefix {
+                    // Descending key order with ts as the final component:
+                    // the first unexpired row is the latest.
+                    best = Some((ts, row));
+                    break;
+                }
+                if best.as_ref().is_none_or(|(b, _)| ts > *b) {
+                    best = Some((ts, row));
+                }
+            }
+            if let Some((_, row)) = best {
+                TableStats::add(&self.stats.rows_scanned, scanned);
+                TableStats::add(&self.stats.rows_returned, 1);
+                return Ok(Some(row));
+            }
+        }
+        TableStats::add(&self.stats.rows_scanned, scanned);
+        Ok(None)
+    }
+}
+
+/// A streaming query result: rows in key order, filtered by the query's
+/// timestamp bounds and the table's TTL.
+pub struct QueryCursor {
+    merge: MergeCursor,
+    schema: SchemaRef,
+    ts_lo: Micros,
+    ts_hi: Micros,
+    remaining: Option<usize>,
+    server_remaining: usize,
+    more_available: bool,
+    done: bool,
+    scanned: u64,
+    returned: u64,
+    stats: Arc<crate::stats::TableStats>,
+}
+
+impl QueryCursor {
+    /// Produces the next matching row, or `None` at the end.
+    pub fn next_row(&mut self) -> Result<Option<Row>> {
+        if self.done {
+            return Ok(None);
+        }
+        if self.remaining == Some(0) {
+            self.done = true;
+            return Ok(None);
+        }
+        loop {
+            if self.server_remaining == 0 {
+                // The server's own cap: the client sees `more_available`
+                // and re-submits from the last returned key (§3.5).
+                self.more_available = true;
+                self.done = true;
+                return Ok(None);
+            }
+            match self.merge.next_row()? {
+                None => {
+                    self.done = true;
+                    return Ok(None);
+                }
+                Some((_, row)) => {
+                    self.scanned += 1;
+                    let ts = row.ts(&self.schema)?;
+                    if ts < self.ts_lo || ts > self.ts_hi {
+                        continue;
+                    }
+                    self.returned += 1;
+                    self.server_remaining -= 1;
+                    if let Some(r) = &mut self.remaining {
+                        *r -= 1;
+                    }
+                    return Ok(Some(row));
+                }
+            }
+        }
+    }
+
+    /// True when the server row limit cut the result short; re-submit the
+    /// query starting past the last returned key for more.
+    pub fn more_available(&self) -> bool {
+        self.more_available
+    }
+
+    /// Rows examined so far (inside key bounds, before time filtering).
+    pub fn scanned(&self) -> u64 {
+        self.scanned
+    }
+
+    /// Rows returned so far.
+    pub fn returned(&self) -> u64 {
+        self.returned
+    }
+
+    /// The schema rows are returned under.
+    pub fn schema(&self) -> &SchemaRef {
+        &self.schema
+    }
+}
+
+impl Drop for QueryCursor {
+    fn drop(&mut self) {
+        TableStats::add(&self.stats.rows_scanned, self.scanned);
+        TableStats::add(&self.stats.rows_returned, self.returned);
+    }
+}
+
+impl Iterator for QueryCursor {
+    type Item = Result<Row>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.next_row().transpose()
+    }
+}

@@ -1,0 +1,541 @@
+use super::*;
+use crate::db::Db;
+use crate::query::Query;
+use crate::schema::ColumnDef;
+use crate::value::{ColumnType, Value};
+use littletable_vfs::{SimClock, SimVfs, MICROS_PER_SEC};
+
+const SEC: Micros = MICROS_PER_SEC;
+const START: Micros = 1_700_000_000 * MICROS_PER_SEC;
+
+fn usage_schema() -> Schema {
+    Schema::new(
+        vec![
+            ColumnDef::new("network", ColumnType::I64),
+            ColumnDef::new("device", ColumnType::I64),
+            ColumnDef::new("ts", ColumnType::Timestamp),
+            ColumnDef::new("bytes", ColumnType::I64),
+        ],
+        &["network", "device", "ts"],
+    )
+    .unwrap()
+}
+
+fn test_db(opts: Options) -> (Db, SimVfs, SimClock) {
+    let clock = SimClock::new(START);
+    let vfs = SimVfs::instant();
+    // Share the clock between the engine and the test driver.
+    let db = Db::open(Arc::new(vfs.clone()), Arc::new(clock.clone()), opts).unwrap();
+    (db, vfs, clock)
+}
+
+fn usage_row(net: i64, dev: i64, ts: Micros, bytes: i64) -> Vec<Value> {
+    vec![
+        Value::I64(net),
+        Value::I64(dev),
+        Value::Timestamp(ts),
+        Value::I64(bytes),
+    ]
+}
+
+#[test]
+fn insert_and_query_from_memory() {
+    let (db, _, clock) = test_db(Options::small_for_tests());
+    let t = db.create_table("usage", usage_schema(), None).unwrap();
+    let now = clock.now_micros();
+    let r = t
+        .insert(vec![
+            usage_row(1, 1, now, 100),
+            usage_row(1, 2, now, 200),
+            usage_row(2, 1, now, 300),
+        ])
+        .unwrap();
+    assert_eq!(r.inserted, 3);
+    // All rows, key order.
+    let rows = t.query_all(&Query::all()).unwrap();
+    assert_eq!(rows.len(), 3);
+    assert_eq!(rows[0].values[3], Value::I64(100));
+    // Prefix query: network 1 only.
+    let rows = t
+        .query_all(&Query::all().with_prefix(vec![Value::I64(1)]))
+        .unwrap();
+    assert_eq!(rows.len(), 2);
+}
+
+#[test]
+fn query_after_flush_and_mixed() {
+    let (db, _, clock) = test_db(Options::small_for_tests());
+    let t = db.create_table("usage", usage_schema(), None).unwrap();
+    let now = clock.now_micros();
+    for i in 0..100 {
+        t.insert(vec![usage_row(1, i, now + i, i)]).unwrap();
+    }
+    t.flush_all().unwrap();
+    assert!(t.num_disk_tablets() >= 1);
+    // More rows into memory.
+    for i in 100..150 {
+        t.insert(vec![usage_row(1, i, now + i, i)]).unwrap();
+    }
+    let rows = t.query_all(&Query::all()).unwrap();
+    assert_eq!(rows.len(), 150);
+    for (i, row) in rows.iter().enumerate() {
+        assert_eq!(row.values[1], Value::I64(i as i64));
+    }
+}
+
+#[test]
+fn duplicate_keys_are_rejected() {
+    let (db, _, clock) = test_db(Options::small_for_tests());
+    let t = db.create_table("usage", usage_schema(), None).unwrap();
+    let now = clock.now_micros();
+    let r = t.insert(vec![usage_row(1, 1, now, 100)]).unwrap();
+    assert_eq!(r.inserted, 1);
+    // Same key from memory.
+    let r = t.insert(vec![usage_row(1, 1, now, 999)]).unwrap();
+    assert_eq!(r.duplicates, 1);
+    // Same key after flush (slow path through disk).
+    t.flush_all().unwrap();
+    let r = t.insert(vec![usage_row(1, 1, now, 999)]).unwrap();
+    assert_eq!(r.duplicates, 1);
+    // Original value preserved.
+    let rows = t.query_all(&Query::all()).unwrap();
+    assert_eq!(rows.len(), 1);
+    assert_eq!(rows[0].values[3], Value::I64(100));
+}
+
+#[test]
+fn uniqueness_fast_paths_hit() {
+    let (db, _, clock) = test_db(Options::small_for_tests());
+    let t = db.create_table("usage", usage_schema(), None).unwrap();
+    let now = clock.now_micros();
+    // Ascending timestamps: fast path 1.
+    for i in 0..10 {
+        t.insert(vec![usage_row(1, 1, now + i, i)]).unwrap();
+    }
+    assert_eq!(t.stats().snapshot().unique_fast_ts, 10);
+    t.flush_all().unwrap();
+    // Same timestamp, larger key: fast path 2.
+    t.insert(vec![usage_row(9, 9, now + 5, 0)]).unwrap();
+    assert_eq!(t.stats().snapshot().unique_fast_key, 1);
+    // Same timestamp, key in the middle: slow path.
+    t.insert(vec![usage_row(1, 0, now + 5, 0)]).unwrap();
+    assert!(t.stats().snapshot().unique_slow >= 1);
+}
+
+#[test]
+fn ts_bounds_filter_rows() {
+    let (db, _, clock) = test_db(Options::small_for_tests());
+    let t = db.create_table("usage", usage_schema(), None).unwrap();
+    let now = clock.now_micros();
+    for i in 0..100 {
+        t.insert(vec![usage_row(1, 1, now + i * SEC, i)]).unwrap();
+    }
+    let rows = t
+        .query_all(&Query::all().with_ts_range(now + 10 * SEC, now + 20 * SEC))
+        .unwrap();
+    assert_eq!(rows.len(), 10);
+    assert_eq!(rows[0].values[3], Value::I64(10));
+}
+
+#[test]
+fn descending_and_limit() {
+    let (db, _, clock) = test_db(Options::small_for_tests());
+    let t = db.create_table("usage", usage_schema(), None).unwrap();
+    let now = clock.now_micros();
+    for i in 0..20 {
+        t.insert(vec![usage_row(1, i, now, i)]).unwrap();
+    }
+    let rows = t
+        .query_all(&Query::all().descending().with_limit(5))
+        .unwrap();
+    assert_eq!(rows.len(), 5);
+    assert_eq!(rows[0].values[1], Value::I64(19));
+    assert_eq!(rows[4].values[1], Value::I64(15));
+}
+
+#[test]
+fn server_row_limit_sets_more_available() {
+    let mut opts = Options::small_for_tests();
+    opts.server_row_limit = 7;
+    let (db, _, clock) = test_db(opts);
+    let t = db.create_table("usage", usage_schema(), None).unwrap();
+    let now = clock.now_micros();
+    for i in 0..20 {
+        t.insert(vec![usage_row(1, i, now, i)]).unwrap();
+    }
+    let mut cur = t.query(&Query::all()).unwrap();
+    let mut n = 0;
+    while cur.next_row().unwrap().is_some() {
+        n += 1;
+    }
+    assert_eq!(n, 7);
+    assert!(cur.more_available());
+    // Client-style continuation: restart past the last key until the
+    // server stops reporting more.
+    let mut total = n;
+    let mut last_dev = 6i64;
+    loop {
+        let mut cur = t
+            .query(&Query::all().with_key_min(vec![Value::I64(1), Value::I64(last_dev)], false))
+            .unwrap();
+        while let Some(row) = cur.next_row().unwrap() {
+            total += 1;
+            last_dev = match row.values[1] {
+                Value::I64(d) => d,
+                _ => unreachable!(),
+            };
+        }
+        if !cur.more_available() {
+            break;
+        }
+    }
+    assert_eq!(total, 20);
+}
+
+#[test]
+fn latest_finds_most_recent_for_prefix() {
+    let (db, _, clock) = test_db(Options::small_for_tests());
+    let t = db.create_table("usage", usage_schema(), None).unwrap();
+    let now = clock.now_micros();
+    for i in 0..50 {
+        t.insert(vec![usage_row(1, 7, now + i * SEC, i)]).unwrap();
+        t.insert(vec![usage_row(1, 8, now + i * SEC, 1000 + i)])
+            .unwrap();
+    }
+    t.flush_all().unwrap();
+    // Newer rows in memory for device 7 only.
+    t.insert(vec![usage_row(1, 7, now + 100 * SEC, 49_999)])
+        .unwrap();
+    // Full prefix (network, device).
+    let row = t.latest(&[Value::I64(1), Value::I64(7)]).unwrap().unwrap();
+    assert_eq!(row.values[3], Value::I64(49_999));
+    let row = t.latest(&[Value::I64(1), Value::I64(8)]).unwrap().unwrap();
+    assert_eq!(row.values[3], Value::I64(1049));
+    // Partial prefix (network): latest across devices.
+    let row = t.latest(&[Value::I64(1)]).unwrap().unwrap();
+    assert_eq!(row.values[3], Value::I64(49_999));
+    // Missing prefix.
+    assert!(t.latest(&[Value::I64(99)]).unwrap().is_none());
+    // Over-long prefix is an error.
+    assert!(t
+        .latest(&[Value::I64(1), Value::I64(1), Value::Timestamp(0)])
+        .is_err());
+}
+
+#[test]
+fn latest_and_query_all_count_queries_once() {
+    // `latest` bumps both `queries` and `latest_calls`; `query_all`
+    // drains a cursor but still counts as exactly one query.
+    let (db, _, clock) = test_db(Options::small_for_tests());
+    let t = db.create_table("usage", usage_schema(), None).unwrap();
+    let now = clock.now_micros();
+    for i in 0..10 {
+        t.insert(vec![usage_row(1, 1, now + i * SEC, i)]).unwrap();
+    }
+    let before = t.stats().snapshot();
+    t.latest(&[Value::I64(1)]).unwrap().unwrap();
+    let after = t.stats().snapshot();
+    assert_eq!(after.queries, before.queries + 1);
+    assert_eq!(after.latest_calls, before.latest_calls + 1);
+    t.query_all(&Query::all()).unwrap();
+    let after2 = t.stats().snapshot();
+    assert_eq!(after2.queries, after.queries + 1);
+    assert_eq!(after2.latest_calls, after.latest_calls);
+    // Every read went through the lock-free snapshot.
+    assert!(after2.snapshot_loads >= 2);
+}
+
+#[test]
+fn ttl_filters_and_reaps() {
+    let (db, vfs, clock) = test_db(Options::small_for_tests());
+    let ttl = 3600 * SEC;
+    let t = db.create_table("usage", usage_schema(), Some(ttl)).unwrap();
+    let now = clock.now_micros();
+    t.insert(vec![usage_row(1, 1, now, 1)]).unwrap();
+    t.insert(vec![usage_row(1, 2, now + 10 * SEC, 2)]).unwrap();
+    t.flush_all().unwrap();
+    assert_eq!(t.query_all(&Query::all()).unwrap().len(), 2);
+    // Advance past the first row's expiry: it is filtered from results
+    // even before the reaper runs.
+    clock.set(now + ttl + 5 * SEC);
+    assert_eq!(t.query_all(&Query::all()).unwrap().len(), 1);
+    // Advance past both and reap: the tablet file disappears.
+    clock.set(now + ttl + 3600 * SEC);
+    assert_eq!(t.query_all(&Query::all()).unwrap().len(), 0);
+    let files_before = vfs.list_dir("usage").unwrap().len();
+    let reaped = t.ttl_reap(clock.now_micros()).unwrap();
+    assert!(reaped >= 1);
+    assert!(vfs.list_dir("usage").unwrap().len() < files_before);
+}
+
+#[test]
+fn merging_reduces_tablet_count_preserving_rows() {
+    let mut opts = Options::small_for_tests();
+    opts.flush_size = 4 << 10;
+    let (db, _, clock) = test_db(opts);
+    let t = db.create_table("usage", usage_schema(), None).unwrap();
+    let now = clock.now_micros();
+    for i in 0..2000 {
+        t.insert(vec![usage_row(1, i, now + i, i)]).unwrap();
+    }
+    t.flush_all().unwrap();
+    let before = t.num_disk_tablets();
+    assert!(before > 2, "need several tablets, got {before}");
+    while t.run_merge_once(clock.now_micros()).unwrap() {}
+    let after = t.num_disk_tablets();
+    assert!(after < before, "merge should shrink {before} -> {after}");
+    let rows = t.query_all(&Query::all()).unwrap();
+    assert_eq!(rows.len(), 2000);
+    assert!(t.stats().snapshot().merges >= 1);
+}
+
+#[test]
+fn crash_preserves_flushed_prefix() {
+    let (db, vfs, clock) = test_db(Options::small_for_tests());
+    let t = db.create_table("usage", usage_schema(), None).unwrap();
+    let now = clock.now_micros();
+    for i in 0..100 {
+        t.insert(vec![usage_row(1, i, now + i, i)]).unwrap();
+    }
+    t.flush_all().unwrap();
+    for i in 100..200 {
+        t.insert(vec![usage_row(1, i, now + i, i)]).unwrap();
+    }
+    // Crash with rows 100..200 unflushed.
+    vfs.crash();
+    let db2 = Db::open(
+        Arc::new(vfs.clone()),
+        Arc::new(clock.clone()),
+        Options::small_for_tests(),
+    )
+    .unwrap();
+    let t2 = db2.table("usage").unwrap();
+    let rows = t2.query_all(&Query::all()).unwrap();
+    // Exactly the flushed prefix survives, in insertion order by i.
+    assert_eq!(rows.len(), 100);
+    for (i, row) in rows.iter().enumerate() {
+        assert_eq!(row.values[1], Value::I64(i as i64));
+    }
+}
+
+#[test]
+fn crash_mid_flush_leaves_no_orphans_and_keeps_prefix() {
+    let (db, vfs, clock) = test_db(Options::small_for_tests());
+    let t = db.create_table("usage", usage_schema(), None).unwrap();
+    let now = clock.now_micros();
+    for i in 0..50 {
+        t.insert(vec![usage_row(1, i, now + i, i)]).unwrap();
+    }
+    t.flush_all().unwrap();
+    // Write an orphan tablet file, as if a crash hit between the file
+    // write and the descriptor commit.
+    let mut w = vfs.create("usage/tab-00000000000000ff.lt", 0).unwrap();
+    w.append(b"partial garbage").unwrap();
+    w.sync().unwrap();
+    drop(w);
+    vfs.sync_dir("usage").unwrap();
+    vfs.crash();
+    let db2 = Db::open(
+        Arc::new(vfs.clone()),
+        Arc::new(clock.clone()),
+        Options::small_for_tests(),
+    )
+    .unwrap();
+    assert!(!vfs.exists("usage/tab-00000000000000ff.lt"));
+    let rows = db2
+        .table("usage")
+        .unwrap()
+        .query_all(&Query::all())
+        .unwrap();
+    assert_eq!(rows.len(), 50);
+}
+
+#[test]
+fn flush_dependencies_preserve_insert_order_across_periods() {
+    // Rows alternate between an old week and the current day, forcing
+    // two filling tablets with interleaved inserts. Sealing either must
+    // drag the other along (they form a dependency cycle), so a crash
+    // can never retain a later row while losing an earlier one.
+    let mut opts = Options::small_for_tests();
+    opts.flush_size = usize::MAX; // no size-based seal
+    let (db, vfs, clock) = test_db(opts.clone());
+    let t = db.create_table("usage", usage_schema(), None).unwrap();
+    let now = clock.now_micros();
+    let old = now - 30 * 24 * 3600 * SEC;
+    for i in 0..10 {
+        t.insert(vec![usage_row(1, i, now + i, i)]).unwrap();
+        t.insert(vec![usage_row(2, i, old + i, i)]).unwrap();
+    }
+    assert_eq!(t.num_filling(), 2);
+    // Age-based seal: both tablets are in one atomic group.
+    clock.advance(opts.flush_age + 1);
+    t.maintain(clock.now_micros()).unwrap();
+    assert_eq!(t.num_filling(), 0);
+    vfs.crash();
+    let db2 = Db::open(Arc::new(vfs.clone()), Arc::new(clock.clone()), opts).unwrap();
+    let rows = db2
+        .table("usage")
+        .unwrap()
+        .query_all(&Query::all())
+        .unwrap();
+    // All or nothing: both tablets committed in one descriptor update.
+    assert_eq!(rows.len(), 20);
+}
+
+#[test]
+fn schema_evolution_end_to_end() {
+    let (db, _, clock) = test_db(Options::small_for_tests());
+    let t = db.create_table("usage", usage_schema(), None).unwrap();
+    let now = clock.now_micros();
+    t.insert(vec![usage_row(1, 1, now, 100)]).unwrap();
+    t.flush_all().unwrap();
+    t.add_column(ColumnDef::with_default(
+        "packets",
+        ColumnType::I64,
+        Value::I64(-1),
+    ))
+    .unwrap();
+    // Old rows (flushed and any memtable) read back with the default.
+    t.insert(vec![vec![
+        Value::I64(1),
+        Value::I64(2),
+        Value::Timestamp(now + 1),
+        Value::I64(200),
+        Value::I64(42),
+    ]])
+    .unwrap();
+    let rows = t.query_all(&Query::all()).unwrap();
+    assert_eq!(rows.len(), 2);
+    assert_eq!(rows[0].values[4], Value::I64(-1));
+    assert_eq!(rows[1].values[4], Value::I64(42));
+    // Old-arity inserts now fail.
+    assert!(t.insert(vec![usage_row(1, 3, now + 2, 1)]).is_err());
+}
+
+#[test]
+fn widen_column_end_to_end() {
+    let (db, vfs, clock) = test_db(Options::small_for_tests());
+    let schema = Schema::new(
+        vec![
+            ColumnDef::new("n", ColumnType::I64),
+            ColumnDef::new("ts", ColumnType::Timestamp),
+            ColumnDef::new("count", ColumnType::I32),
+        ],
+        &["n", "ts"],
+    )
+    .unwrap();
+    let t = db.create_table("c", schema, None).unwrap();
+    let now = clock.now_micros();
+    t.insert(vec![vec![
+        Value::I64(1),
+        Value::Timestamp(now),
+        Value::I32(7),
+    ]])
+    .unwrap();
+    t.flush_all().unwrap();
+    t.widen_column("count").unwrap();
+    t.insert(vec![vec![
+        Value::I64(2),
+        Value::Timestamp(now + 1),
+        Value::I64(1 << 40),
+    ]])
+    .unwrap();
+    let rows = t.query_all(&Query::all()).unwrap();
+    assert_eq!(rows[0].values[2], Value::I64(7));
+    assert_eq!(rows[1].values[2], Value::I64(1 << 40));
+    // Schema survives reopen.
+    db.flush_all().unwrap();
+    let db2 = Db::open(
+        Arc::new(vfs.clone()),
+        Arc::new(clock.clone()),
+        Options::small_for_tests(),
+    )
+    .unwrap();
+    let t2 = db2.table("c").unwrap();
+    assert_eq!(t2.schema().columns()[2].ty, ColumnType::I64);
+    assert_eq!(t2.query_all(&Query::all()).unwrap().len(), 2);
+}
+
+#[test]
+fn backlog_forces_inline_flush() {
+    let mut opts = Options::small_for_tests();
+    opts.flush_size = 1 << 10;
+    opts.max_sealed_backlog = 2;
+    let (db, _, clock) = test_db(opts);
+    let t = db.create_table("usage", usage_schema(), None).unwrap();
+    let now = clock.now_micros();
+    for i in 0..5000 {
+        t.insert(vec![usage_row(1, i, now + i, i)]).unwrap();
+    }
+    // Backlog stayed bounded because inserts flushed inline.
+    assert!(t.num_disk_tablets() > 0);
+    let rows = t.query_all(&Query::all()).unwrap();
+    assert_eq!(rows.len(), 5000);
+}
+
+#[test]
+fn db_table_lifecycle() {
+    let (db, vfs, clock) = test_db(Options::small_for_tests());
+    assert!(db.table("missing").is_err());
+    db.create_table("a", usage_schema(), None).unwrap();
+    db.create_table("b", usage_schema(), None).unwrap();
+    assert!(db.create_table("a", usage_schema(), None).is_err());
+    assert!(db.create_table("bad/name", usage_schema(), None).is_err());
+    assert_eq!(db.list_tables(), vec!["a".to_string(), "b".to_string()]);
+    db.drop_table("a").unwrap();
+    assert!(db.table("a").is_err());
+    // Dropped table's files are gone; recreation works.
+    db.create_table("a", usage_schema(), None).unwrap();
+    // Reopen sees both tables.
+    db.flush_all().unwrap();
+    drop(db);
+    let db2 = Db::open(
+        Arc::new(vfs.clone()),
+        Arc::new(clock.clone()),
+        Options::small_for_tests(),
+    )
+    .unwrap();
+    assert_eq!(db2.list_tables(), vec!["a".to_string(), "b".to_string()]);
+}
+
+#[test]
+fn insert_visible_to_subsequent_query_during_flush_window() {
+    // A query started after an insert completes must see the row even
+    // if the row's group is mid-flush (sealed, not yet committed).
+    let mut opts = Options::small_for_tests();
+    opts.flush_size = 1; // every insert seals immediately
+    opts.max_sealed_backlog = usize::MAX; // never inline-flush
+    let (db, _, clock) = test_db(opts);
+    let t = db.create_table("usage", usage_schema(), None).unwrap();
+    let now = clock.now_micros();
+    t.insert(vec![usage_row(1, 1, now, 1)]).unwrap();
+    t.insert(vec![usage_row(1, 2, now + 1, 2)]).unwrap();
+    // Rows are in sealed groups, none flushed.
+    assert_eq!(t.num_disk_tablets(), 0);
+    assert_eq!(t.query_all(&Query::all()).unwrap().len(), 2);
+    while t.flush_next_group().unwrap() {}
+    assert_eq!(t.query_all(&Query::all()).unwrap().len(), 2);
+}
+
+#[test]
+fn scan_ratio_accounts_time_filtering() {
+    let (db, _, clock) = test_db(Options::small_for_tests());
+    let t = db.create_table("usage", usage_schema(), None).unwrap();
+    let now = clock.now_micros();
+    for i in 0..100 {
+        t.insert(vec![usage_row(1, 1, now + i * SEC, i)]).unwrap();
+    }
+    t.flush_all().unwrap();
+    // Key bounds cover all 100 rows of device 1, time bounds only 10:
+    // the cursor scans ~100 and returns 10.
+    let q = Query::all()
+        .with_prefix(vec![Value::I64(1), Value::I64(1)])
+        .with_ts_range(now, now + 10 * SEC);
+    let mut cur = t.query(&q).unwrap();
+    while cur.next_row().unwrap().is_some() {}
+    assert_eq!(cur.returned(), 10);
+    assert!(cur.scanned() >= 10);
+    drop(cur);
+    let snap = t.stats().snapshot();
+    assert_eq!(snap.rows_returned, 10);
+}

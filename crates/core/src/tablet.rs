@@ -43,8 +43,21 @@ const SCRATCH_RETAIN_MAX: usize = 256 << 10;
 const TRAILER_MAGIC: u64 = 0x4C54_5441_424C_3031; // "LTTABL01"
 /// Trailer byte size: three u64 words, a u32 CRC, and the magic.
 const TRAILER_LEN: u64 = 8 + 8 + 8 + 4 + 8;
-/// Footer format version.
-const FOOTER_VERSION: u8 = 1;
+/// Footer format version. Version 2 added a per-block CRC32 to each
+/// index entry; version-1 tablets (no CRCs) still decode.
+const FOOTER_VERSION: u8 = 2;
+
+/// Checks a block's compressed bytes against the CRC recorded in its
+/// index entry, catching corruption that would survive decompression —
+/// e.g. a flipped bit that still yields output of the expected length.
+fn verify_block_crc(compressed: &[u8], crc: Option<u32>) -> Result<()> {
+    match crc {
+        Some(expected) if crc32(compressed) != expected => {
+            Err(Error::corrupt("tablet block checksum mismatch"))
+        }
+        _ => Ok(()),
+    }
+}
 
 /// Index entry for one block inside a tablet.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -55,6 +68,11 @@ pub struct BlockIndexEntry {
     pub compressed_len: u32,
     /// Uncompressed size in bytes.
     pub uncompressed_len: u32,
+    /// CRC32 of the compressed bytes, verified on every disk read.
+    /// `None` for tablets written before footer version 2: corruption
+    /// there is still caught by decompression framing, but a flipped
+    /// bit that survives decompression to the right length is not.
+    pub crc: Option<u32>,
     /// The last (largest) key in the block.
     pub last_key: Vec<u8>,
 }
@@ -96,6 +114,15 @@ impl TabletFooter {
             put_varint(&mut out, b.offset);
             put_varint(&mut out, b.compressed_len as u64);
             put_varint(&mut out, b.uncompressed_len as u64);
+            // Presence byte, so re-encoding a version-1 footer (entries
+            // without CRCs) never fabricates a checksum of 0.
+            match b.crc {
+                Some(crc) => {
+                    out.push(1);
+                    put_varint(&mut out, crc as u64);
+                }
+                None => out.push(0),
+            }
             crate::util::put_len_prefixed(&mut out, &b.last_key);
         }
         out
@@ -104,7 +131,7 @@ impl TabletFooter {
     fn decode(data: &[u8]) -> Result<TabletFooter> {
         let mut r = Reader::new(data);
         let ver = r.u8()?;
-        if ver != FOOTER_VERSION {
+        if ver != 1 && ver != FOOTER_VERSION {
             return Err(Error::corrupt(format!("unknown footer version {ver}")));
         }
         let schema = Schema::decode(&mut r)?;
@@ -119,10 +146,23 @@ impl TabletFooter {
         let nblocks = r.varint()? as usize;
         let mut blocks = Vec::with_capacity(nblocks.min(1 << 20));
         for _ in 0..nblocks {
+            let offset = r.varint()?;
+            let compressed_len = r.varint()? as u32;
+            let uncompressed_len = r.varint()? as u32;
+            let crc = if ver >= 2 {
+                match r.u8()? {
+                    0 => None,
+                    1 => Some(r.varint()? as u32),
+                    t => return Err(Error::corrupt(format!("bad block crc tag {t}"))),
+                }
+            } else {
+                None
+            };
             blocks.push(BlockIndexEntry {
-                offset: r.varint()?,
-                compressed_len: r.varint()? as u32,
-                uncompressed_len: r.varint()? as u32,
+                offset,
+                compressed_len,
+                uncompressed_len,
+                crc,
                 last_key: r.len_prefixed()?.to_vec(),
             });
         }
@@ -237,6 +277,7 @@ impl TabletWriter {
             offset: self.offset,
             compressed_len: self.scratch.len() as u32,
             uncompressed_len: raw.len() as u32,
+            crc: Some(crc32(&self.scratch)),
             last_key,
         });
         self.offset += self.scratch.len() as u64;
@@ -430,17 +471,22 @@ impl TabletReader {
                     break;
                 }
                 total += e.compressed_len as usize;
-                spans.push((e.compressed_len as usize, e.uncompressed_len as usize));
+                spans.push((
+                    e.compressed_len as usize,
+                    e.uncompressed_len as usize,
+                    e.crc,
+                ));
             }
             (first_off, spans)
         };
-        let total: usize = spans.iter().map(|(c, _)| c).sum();
+        let total: usize = spans.iter().map(|(c, _, _)| c).sum();
         let file = self.file()?;
         let mut buf = vec![0u8; total];
         file.read_exact_at(first_off, &mut buf)?;
         let mut blocks = Vec::with_capacity(spans.len());
         let mut off = 0usize;
-        for (clen, ulen) in spans {
+        for (clen, ulen, crc) in spans {
+            verify_block_crc(&buf[off..off + clen], crc)?;
             let raw = littletable_compress::decompress(&buf[off..off + clen], ulen)?;
             blocks.push(Block::parse(raw)?);
             off += clen;
@@ -488,8 +534,8 @@ impl TabletReader {
 
     /// Copies block `i`'s index scalars out under the footer borrow
     /// instead of cloning the whole entry (whose last_key would
-    /// allocate). Returns `(offset, compressed_len, uncompressed_len)`.
-    fn block_extent(&self, i: usize) -> Result<(u64, usize, usize)> {
+    /// allocate). Returns `(offset, compressed_len, uncompressed_len, crc)`.
+    fn block_extent(&self, i: usize) -> Result<(u64, usize, usize, Option<u32>)> {
         let footer = self.footer()?;
         let e = footer
             .blocks
@@ -499,19 +545,21 @@ impl TabletReader {
             e.offset,
             e.compressed_len as usize,
             e.uncompressed_len as usize,
+            e.crc,
         ))
     }
 
     /// The uncached read path: reuses a thread-local scratch buffer so
     /// steady-state reads allocate nothing for the compressed bytes.
     fn read_block_from_disk(&self, i: usize) -> Result<Block> {
-        let (offset, compressed_len, uncompressed_len) = self.block_extent(i)?;
+        let (offset, compressed_len, uncompressed_len, crc) = self.block_extent(i)?;
         let file = self.file()?;
         COMPRESSED_SCRATCH.with(|scratch| {
             let mut compressed = scratch.borrow_mut();
             compressed.resize(compressed_len, 0);
             let block = (|| {
                 file.read_exact_at(offset, &mut compressed)?;
+                verify_block_crc(&compressed, crc)?;
                 let raw = littletable_compress::decompress(&compressed, uncompressed_len)?;
                 Block::parse(raw)
             })();
@@ -529,10 +577,11 @@ impl TabletReader {
     /// cache's retained compressed copy (so the allocation is the cache
     /// fill, not churn).
     fn read_block_keeping_compressed(&self, i: usize) -> Result<(Block, CompressedBlock)> {
-        let (offset, compressed_len, uncompressed_len) = self.block_extent(i)?;
+        let (offset, compressed_len, uncompressed_len, crc) = self.block_extent(i)?;
         let file = self.file()?;
         let mut compressed = vec![0u8; compressed_len];
         file.read_exact_at(offset, &mut compressed)?;
+        verify_block_crc(&compressed, crc)?;
         let raw = littletable_compress::decompress(&compressed, uncompressed_len)?;
         let block = Block::parse(raw)?;
         Ok((

@@ -1,6 +1,7 @@
 //! Corruption-path suite: every way a tablet file can rot on disk —
 //! truncation, flipped magic, overflowing trailer geometry, footer CRC
-//! damage, zeroed block bytes — must surface as `Error::Corrupt` from
+//! damage, zeroed or bit-flipped block bytes — must surface as
+//! `Error::Corrupt` from
 //! the query path, never a panic, with the two-tier block cache enabled
 //! and disabled alike. Runs under the debug profile too, so checked
 //! arithmetic (overflow panics on) is exercised for real.
@@ -157,9 +158,10 @@ fn flipped_footer_bytes_are_corrupt() {
 
 #[test]
 fn zeroed_block_bytes_are_corrupt() {
-    // Blocks carry no per-block CRC; zeroed compressed bytes must still
-    // fail deterministically inside the decompressor (a zero token is
-    // followed by a zero back-reference offset, which is invalid).
+    // Zeroed compressed bytes fail the block's CRC (footer v2) before
+    // the decompressor ever runs; under footer v1 they would still fail
+    // inside the decompressor (a zero token is followed by a zero
+    // back-reference offset, which is invalid).
     assert_corrupt("zero the first block", &|bytes| {
         let at = bytes.len() - TRAILER_LEN + 16;
         let footer_off = u64::from_le_bytes(bytes[at..at + 8].try_into().unwrap()) as usize;
@@ -167,4 +169,21 @@ fn zeroed_block_bytes_are_corrupt() {
             *b = 0;
         }
     });
+}
+
+#[test]
+fn flipped_block_bit_is_corrupt() {
+    // A single flipped bit inside a block's compressed bytes can keep
+    // the compression framing intact and decompress to exactly the
+    // expected length with silently wrong row data. The per-block CRC
+    // in the footer's index (footer v2) must catch it on read.
+    for at in [8usize, 40, 100] {
+        assert_corrupt(&format!("flip one bit at offset {at}"), &move |bytes| {
+            let trailer_at = bytes.len() - TRAILER_LEN + 16;
+            let footer_off =
+                u64::from_le_bytes(bytes[trailer_at..trailer_at + 8].try_into().unwrap()) as usize;
+            assert!(at < footer_off, "offset must land inside block data");
+            bytes[at] ^= 0x01;
+        });
+    }
 }
