@@ -228,6 +228,54 @@ fn bench_sql_parse(c: &mut Criterion) {
     });
 }
 
+fn bench_fault_hook(c: &mut Criterion) {
+    // Cost of the fault-injection hook on the simulated VFS's hot write
+    // path: flush with no plan installed (the plain op-count bump) vs a
+    // plan whose rules never match (full decide() walk on every op).
+    let mut g = c.benchmark_group("fault_hook");
+    for (label, with_plan) in [("no_plan", false), ("armed_no_match", true)] {
+        g.bench_function(format!("insert_flush_512/{label}"), |b| {
+            let vfs = SimVfs::instant();
+            if with_plan {
+                vfs.set_fault_plan(
+                    littletable_vfs::FaultPlan::new().rule(
+                        littletable_vfs::FaultRule::new(littletable_vfs::FaultKind::Eio)
+                            .at_op(u64::MAX)
+                            .on_path("never-matches"),
+                    ),
+                );
+            }
+            let db = Db::open(
+                Arc::new(vfs),
+                Arc::new(SimClock::new(1_700_000_000_000_000)),
+                Options::default(),
+            )
+            .unwrap();
+            let table = db.create_table("t", bench_schema(), None).unwrap();
+            let mut rng = XorShift64::new(3);
+            let mut seq = 0u64;
+            let mut ts = 1_700_000_000_000_000i64;
+            b.iter_batched(
+                || {
+                    (0..512)
+                        .map(|_| {
+                            seq += 1;
+                            ts += 1;
+                            bench_row(&mut rng, seq, ts, 128)
+                        })
+                        .collect::<Vec<_>>()
+                },
+                |rows| {
+                    table.insert(rows).unwrap();
+                    table.flush_next_group().unwrap();
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_key_encoding,
@@ -237,6 +285,7 @@ criterion_group!(
     bench_query_scan,
     bench_block_cache,
     bench_hll,
-    bench_sql_parse
+    bench_sql_parse,
+    bench_fault_hook
 );
 criterion_main!(benches);

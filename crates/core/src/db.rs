@@ -236,18 +236,62 @@ impl Db {
 
     /// Runs one maintenance pass over every table at the current clock
     /// time. Returns the merged report.
+    ///
+    /// Transient I/O errors ([`Error::is_transient`]) are retried in place
+    /// with bounded exponential backoff ([`Options::io_retry_limit`] /
+    /// [`Options::io_retry_backoff_ms`]); every retry bumps the table's
+    /// `io_retries` counter. An error that survives its retries (or is not
+    /// transient to begin with) bumps `maintenance_errors`, and the pass
+    /// continues over the remaining tables so one sick table can't starve
+    /// the rest — the first such error is returned at the end.
     pub fn maintain(&self) -> Result<MaintenanceReport> {
         let now = self.now();
         let tables: Vec<Arc<Table>> = self.inner.tables.read().values().cloned().collect();
         let mut total = MaintenanceReport::default();
+        let mut first_err = None;
         for t in tables {
-            let r = t.maintain(now)?;
-            total.sealed_by_age += r.sealed_by_age;
-            total.groups_flushed += r.groups_flushed;
-            total.merges += r.merges;
-            total.tablets_expired += r.tablets_expired;
+            match self.maintain_one(&t, now) {
+                Ok(r) => {
+                    total.sealed_by_age += r.sealed_by_age;
+                    total.groups_flushed += r.groups_flushed;
+                    total.merges += r.merges;
+                    total.tablets_expired += r.tablets_expired;
+                }
+                Err(e) => {
+                    crate::stats::TableStats::add(&t.stats().maintenance_errors, 1);
+                    if first_err.is_none() {
+                        first_err = Some(e);
+                    }
+                }
+            }
         }
-        Ok(total)
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(total),
+        }
+    }
+
+    /// One table's maintenance with the transient-error retry loop.
+    fn maintain_one(&self, t: &Arc<Table>, now: Micros) -> Result<MaintenanceReport> {
+        let limit = self.inner.opts.io_retry_limit;
+        let base_ms = self.inner.opts.io_retry_backoff_ms;
+        let mut attempt = 0u32;
+        loop {
+            match t.maintain(now) {
+                Ok(r) => return Ok(r),
+                Err(e) if e.is_transient() && attempt < limit => {
+                    attempt += 1;
+                    crate::stats::TableStats::add(&t.stats().io_retries, 1);
+                    let backoff_ms = base_ms
+                        .saturating_mul(1 << (attempt - 1).min(16))
+                        .min(1_000);
+                    if backoff_ms > 0 {
+                        std::thread::sleep(std::time::Duration::from_millis(backoff_ms));
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
     }
 
     /// Runs maintenance passes until a pass does no work (useful in tests

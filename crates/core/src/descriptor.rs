@@ -182,8 +182,11 @@ impl TableDescriptor {
     /// Loads the descriptor from `dir`, cleaning up a stale `DESC.tmp`.
     pub fn load(vfs: &dyn Vfs, dir: &str) -> Result<TableDescriptor> {
         let tmp = join(dir, DESC_TMP);
-        if vfs.exists(&tmp) {
-            let _ = vfs.remove(&tmp);
+        if vfs.exists(&tmp) && vfs.remove(&tmp).is_ok() {
+            // Make the cleanup itself durable: without this, a second
+            // crash can resurrect the stale tmp file and every reopen
+            // repeats the removal without ever retiring it.
+            let _ = vfs.sync_dir(dir);
         }
         let path = join(dir, DESC_FILE);
         let f = vfs.open(&path)?;

@@ -37,6 +37,39 @@ impl Error {
     pub fn invalid(msg: impl Into<String>) -> Self {
         Error::Invalid(msg.into())
     }
+
+    /// Whether retrying the same operation could plausibly succeed: a
+    /// transient I/O failure (`EIO`, `EINTR`, `EAGAIN`, timeouts) rather
+    /// than a durable condition like a missing file or a full disk.
+    /// Background maintenance keys its bounded-backoff retry loop on this.
+    pub fn is_transient(&self) -> bool {
+        let Error::Io(e) = self else { return false };
+        if matches!(
+            e.kind(),
+            io::ErrorKind::Interrupted | io::ErrorKind::TimedOut | io::ErrorKind::WouldBlock
+        ) {
+            return true;
+        }
+        // EIO(5), EINTR(4), EAGAIN(11): the kernel may report these for
+        // conditions that clear on retry (path failover, signal, pressure).
+        matches!(e.raw_os_error(), Some(5) | Some(4) | Some(11))
+    }
+
+    /// Whether the error means on-disk bytes failed validation (bad magic,
+    /// CRC mismatch, impossible geometry). Quarantine policy keys on this:
+    /// corruption is never retried, the offending file is set aside.
+    pub fn is_corruption(&self) -> bool {
+        matches!(self, Error::Corrupt(_))
+    }
+
+    /// Whether the error is the device reporting no space (`ENOSPC`).
+    /// Distinct from [`Error::is_transient`]: retrying without freeing
+    /// space is pointless, but the condition is recoverable and must not
+    /// poison in-memory state.
+    pub fn is_disk_full(&self) -> bool {
+        let Error::Io(e) = self else { return false };
+        e.kind() == io::ErrorKind::StorageFull || e.raw_os_error() == Some(28)
+    }
 }
 
 impl fmt::Display for Error {
@@ -90,5 +123,34 @@ mod tests {
     fn io_errors_convert() {
         let e: Error = io::Error::new(io::ErrorKind::NotFound, "gone").into();
         assert!(matches!(e, Error::Io(_)));
+    }
+
+    #[test]
+    fn transient_classification() {
+        let eio: Error = io::Error::from_raw_os_error(5).into();
+        assert!(eio.is_transient());
+        assert!(!eio.is_corruption());
+        assert!(!eio.is_disk_full());
+
+        let intr: Error = io::Error::new(io::ErrorKind::Interrupted, "sig").into();
+        assert!(intr.is_transient());
+
+        let gone: Error = io::Error::new(io::ErrorKind::NotFound, "gone").into();
+        assert!(!gone.is_transient());
+    }
+
+    #[test]
+    fn disk_full_classification() {
+        let nospc: Error = io::Error::from_raw_os_error(28).into();
+        assert!(nospc.is_disk_full());
+        assert!(!nospc.is_transient());
+    }
+
+    #[test]
+    fn corruption_classification() {
+        let c = Error::corrupt("bad magic");
+        assert!(c.is_corruption());
+        assert!(!c.is_transient());
+        assert!(!Error::ShuttingDown.is_corruption());
     }
 }

@@ -72,6 +72,20 @@ pub struct Options {
     /// [`Options::block_cache_bytes`]; the decompressed tier gets the
     /// remainder, so the joint budget is still respected.
     pub compressed_cache_bytes: Option<usize>,
+    /// Fail [`crate::db::Db::open`] outright when a referenced tablet is
+    /// missing or fails footer/CRC validation, instead of quarantining the
+    /// file (rename to `*.quarantine`, drop from the descriptor) and
+    /// serving the rest of the table. Quarantine is the default because a
+    /// telemetry store that refuses to start over one bad file loses more
+    /// data than it protects.
+    pub strict_open: bool,
+    /// How many times background maintenance retries an operation that
+    /// failed with a transient I/O error ([`crate::Error::is_transient`])
+    /// before giving up for this cycle.
+    pub io_retry_limit: u32,
+    /// Base backoff between maintenance retries, in milliseconds; doubles
+    /// per attempt, capped at one second.
+    pub io_retry_backoff_ms: u64,
 }
 
 impl Default for Options {
@@ -95,6 +109,9 @@ impl Default for Options {
             block_cache_shards: 0,
             compressed_cache_fraction: 0.25,
             compressed_cache_bytes: None,
+            strict_open: false,
+            io_retry_limit: 3,
+            io_retry_backoff_ms: 10,
         }
     }
 }
@@ -154,6 +171,9 @@ mod tests {
         assert_eq!(o.block_cache_shards, 0);
         assert_eq!(o.compressed_cache_fraction, 0.25);
         assert_eq!(o.compressed_cache_bytes, None);
+        assert!(!o.strict_open);
+        assert_eq!(o.io_retry_limit, 3);
+        assert_eq!(o.io_retry_backoff_ms, 10);
     }
 
     #[test]

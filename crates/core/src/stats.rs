@@ -59,6 +59,15 @@ pub struct TableStats {
     /// Tablet footers of this table evicted from the shared cache; each
     /// reload costs the three cold-footer seeks of §3.2.
     pub footer_evictions: AtomicU64,
+    /// Maintenance operations re-attempted after a transient I/O error
+    /// (one count per retry, not per eventual success).
+    pub io_retries: AtomicU64,
+    /// Maintenance cycles that gave up on an operation after exhausting
+    /// retries (the error was surfaced, not swallowed).
+    pub maintenance_errors: AtomicU64,
+    /// Tablet files set aside at open because they were missing or failed
+    /// footer/CRC validation (see `Options::strict_open`).
+    pub tablets_quarantined: AtomicU64,
 }
 
 /// A plain-value snapshot of [`TableStats`].
@@ -106,6 +115,12 @@ pub struct StatsSnapshot {
     pub cache_evicted_bytes: u64,
     /// See [`TableStats::footer_evictions`].
     pub footer_evictions: u64,
+    /// See [`TableStats::io_retries`].
+    pub io_retries: u64,
+    /// See [`TableStats::maintenance_errors`].
+    pub maintenance_errors: u64,
+    /// See [`TableStats::tablets_quarantined`].
+    pub tablets_quarantined: u64,
 }
 
 impl TableStats {
@@ -140,6 +155,9 @@ impl TableStats {
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
             cache_evicted_bytes: self.cache_evicted_bytes.load(Ordering::Relaxed),
             footer_evictions: self.footer_evictions.load(Ordering::Relaxed),
+            io_retries: self.io_retries.load(Ordering::Relaxed),
+            maintenance_errors: self.maintenance_errors.load(Ordering::Relaxed),
+            tablets_quarantined: self.tablets_quarantined.load(Ordering::Relaxed),
         }
     }
 }

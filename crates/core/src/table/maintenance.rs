@@ -23,6 +23,7 @@ use crate::tablet::TabletWriter;
 use crate::util::hash_bytes;
 use crate::value::Value;
 use littletable_vfs::{join, Micros, Vfs};
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
 impl Table {
@@ -53,18 +54,41 @@ impl Table {
                 })
                 .collect()
         };
-        let mut new_handles = Vec::new();
-        for (mem, id) in tablets.iter().zip(ids) {
-            if mem.read().is_empty() {
-                continue;
+        let written: Result<Vec<DiskHandle>> = (|| {
+            let mut new_handles = Vec::new();
+            for (mem, id) in tablets.iter().zip(&ids) {
+                if mem.read().is_empty() {
+                    continue;
+                }
+                let meta = self.write_mem_tablet(mem, *id, now)?;
+                new_handles.push(DiskHandle {
+                    reader: self.new_reader(self.vfs.clone(), join(&self.dir, &meta.file_name())),
+                    meta,
+                });
             }
-            let meta = self.write_mem_tablet(mem, id, now)?;
+            Ok(new_handles)
+        })();
+        let new_handles = match written {
+            Ok(h) => h,
+            Err(e) => {
+                // fsync-gate: a failed write or sync means nothing from
+                // this group is published. Reclaim whatever partial output
+                // exists (best-effort — the disk may still be failing) and
+                // hand the sealed group back for a later retry; reads keep
+                // serving it from memory meanwhile.
+                for id in &ids {
+                    let _ = self.vfs.remove(&join(&self.dir, &tablet_file_name(*id)));
+                }
+                let mut st = self.state.lock();
+                if let Some(g) = st.sealed.iter_mut().find(|g| g.id == group_id) {
+                    g.flushing = false;
+                }
+                return Err(e);
+            }
+        };
+        for h in &new_handles {
             TableStats::add(&self.stats.tablets_flushed, 1);
-            TableStats::add(&self.stats.bytes_flushed, meta.bytes);
-            new_handles.push(DiskHandle {
-                reader: self.new_reader(self.vfs.clone(), join(&self.dir, &meta.file_name())),
-                meta,
-            });
+            TableStats::add(&self.stats.bytes_flushed, h.meta.bytes);
         }
         // Commit: swap the group for its disk handles in one snapshot
         // publish (readers see either all-mem or all-disk, never both),
@@ -125,7 +149,31 @@ impl Table {
         let mut desc = TableDescriptor::new((*st.schema).clone(), st.ttl);
         desc.next_tablet_id = st.next_tablet_id;
         desc.tablets = st.metas();
-        desc.save(self.vfs.as_ref(), &self.dir)
+        // Track save failures: the in-memory transition already committed,
+        // so until a later save lands the on-disk `DESC` is stale and no
+        // flush may report durability over it (see `resync_descriptor`).
+        match desc.save(self.vfs.as_ref(), &self.dir) {
+            Ok(()) => {
+                self.desc_dirty.store(false, Ordering::Release);
+                Ok(())
+            }
+            Err(e) => {
+                self.desc_dirty.store(true, Ordering::Release);
+                Err(e)
+            }
+        }
+    }
+
+    /// Re-saves the descriptor if a previous save failed after its
+    /// transition committed in memory. Called on every `flush_all` /
+    /// `maintain` so one bad save degrades a single operation, not the
+    /// durability of every flush after it.
+    fn resync_descriptor(&self) -> Result<()> {
+        if !self.desc_dirty.load(Ordering::Acquire) {
+            return Ok(());
+        }
+        let st = self.state.lock();
+        self.save_descriptor_locked(&st)
     }
 
     /// Seals every filling tablet and flushes everything to disk.
@@ -138,7 +186,7 @@ impl Table {
             }
         }
         while self.flush_next_group()? {}
-        Ok(())
+        self.resync_descriptor()
     }
 
     /// Flushes to disk every in-memory tablet holding rows with timestamps
@@ -164,7 +212,7 @@ impl Table {
             }
         }
         while self.flush_next_group()? {}
-        Ok(())
+        self.resync_descriptor()
     }
 
     // ----------------------------------------------------------- bulk delete
@@ -342,6 +390,8 @@ impl Table {
         }
         // 4. TTL expiry.
         report.tablets_expired = self.ttl_reap(now)?;
+        // 5. Heal a descriptor left stale by an earlier failed save.
+        self.resync_descriptor()?;
         Ok(report)
     }
 

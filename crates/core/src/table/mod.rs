@@ -39,8 +39,21 @@ use parking_lot::Mutex;
 use snapshot::SnapshotCell;
 use state::{DiskHandle, TableState, TabletSnapshot};
 use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// Suffix appended to a tablet file set aside by quarantine at open.
+pub const QUARANTINE_SUFFIX: &str = ".quarantine";
+
+/// Whether an open-time tablet validation failure warrants quarantine:
+/// the bytes are provably bad (corruption) or provably gone (missing
+/// file). Anything else — notably transient I/O — must propagate.
+fn should_quarantine(e: &Error) -> bool {
+    if e.is_corruption() {
+        return true;
+    }
+    matches!(e, Error::Io(io) if io.kind() == std::io::ErrorKind::NotFound)
+}
 
 /// Outcome of an insert batch.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -93,6 +106,12 @@ pub struct Table {
     insert_lock: Mutex<()>,
     /// Serializes flushes so sealed groups commit strictly FIFO.
     flush_lock: Mutex<()>,
+    /// True when the on-disk descriptor is behind the in-memory tablet
+    /// set (a descriptor save failed after its transition committed).
+    /// `flush_all` and `maintain` re-save until it clears, so a later
+    /// successful flush restores the durability promise instead of
+    /// silently returning `Ok` over a stale `DESC`.
+    desc_dirty: AtomicBool,
 }
 
 impl Table {
@@ -142,6 +161,7 @@ impl Table {
             insert_seq: AtomicU64::new(0),
             insert_lock: Mutex::new(()),
             flush_lock: Mutex::new(()),
+            desc_dirty: AtomicBool::new(false),
         }))
     }
 
@@ -159,8 +179,9 @@ impl Table {
         desc.sort_tablets();
         // Delete orphan tablet files left by a crash mid-flush or
         // mid-merge: they were never committed to the descriptor.
+        // Quarantined files are evidence, not orphans — leave them.
         for entry in vfs.list_dir(&dir)? {
-            if entry == DESC_FILE || entry == DESC_TMP {
+            if entry == DESC_FILE || entry == DESC_TMP || entry.ends_with(QUARANTINE_SUFFIX) {
                 continue;
             }
             match parse_tablet_file_name(&entry) {
@@ -171,31 +192,67 @@ impl Table {
             }
         }
         let stats = Arc::new(TableStats::default());
-        let disk: Vec<DiskHandle> = desc
-            .tablets
-            .iter()
-            .map(|meta| {
-                let backing: Arc<dyn Vfs> = if meta.cold {
-                    cold_vfs.clone().ok_or_else(|| {
-                        Error::invalid(format!(
-                            "table {name:?} has cold tablets but no cold store is configured"
-                        ))
-                    })?
-                } else {
-                    vfs.clone()
-                };
-                Ok(DiskHandle {
+        // Validate every referenced tablet's footer eagerly. A tablet that
+        // is missing or fails validation is quarantined (renamed aside,
+        // dropped from the descriptor) unless `strict_open` demands the
+        // old fail-fast behavior; transient I/O errors always propagate —
+        // a flaky disk is not corruption.
+        let mut disk: Vec<DiskHandle> = Vec::new();
+        let mut quarantined = 0u64;
+        for meta in &desc.tablets {
+            let backing: Arc<dyn Vfs> = if meta.cold {
+                cold_vfs.clone().ok_or_else(|| {
+                    Error::invalid(format!(
+                        "table {name:?} has cold tablets but no cold store is configured"
+                    ))
+                })?
+            } else {
+                vfs.clone()
+            };
+            let path = join(&dir, &meta.file_name());
+            // Probe with a throwaway uncached reader: validation must not
+            // warm the shared cache (or pin a footer in the reader we
+            // keep), or the first query after open would look cold-cache
+            // fast and the paper's ~4-seek first-row cost would vanish.
+            let probe = TabletReader::with_cache(backing.clone(), path.clone(), None);
+            match probe.footer() {
+                Ok(_) => disk.push(DiskHandle {
                     reader: Arc::new(TabletReader::with_cache(
-                        backing,
-                        join(&dir, &meta.file_name()),
+                        backing.clone(),
+                        path.clone(),
                         cache
                             .as_ref()
                             .map(|c| CacheHandle::register(c.clone(), stats.clone())),
                     )),
                     meta: meta.clone(),
-                })
-            })
-            .collect::<Result<_>>()?;
+                }),
+                Err(e) if !opts.strict_open && should_quarantine(&e) => {
+                    if backing.exists(&path) {
+                        let aside = format!("{path}{QUARANTINE_SUFFIX}");
+                        let _ = backing.rename(&path, &aside);
+                        let _ = backing.sync_dir(&dir);
+                    }
+                    quarantined += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        if quarantined > 0 {
+            TableStats::add(&stats.tablets_quarantined, quarantined);
+            // Drop the quarantined tablets from the durable descriptor so
+            // the next open doesn't re-report them. Best-effort: a failure
+            // here just defers the rewrite to the next descriptor save.
+            let kept: std::collections::HashSet<u64> = disk.iter().map(|h| h.meta.id).collect();
+            let mut clean = TableDescriptor::new(desc.schema.clone(), desc.ttl);
+            clean.next_tablet_id = desc.next_tablet_id;
+            clean.tablets = desc
+                .tablets
+                .iter()
+                .filter(|t| kept.contains(&t.id))
+                .cloned()
+                .collect();
+            let _ = clean.save(vfs.as_ref(), &dir);
+        }
         let max_ts = desc.max_ts().unwrap_or(Micros::MIN);
         let state = TableState {
             schema: Arc::new(desc.schema),
@@ -227,6 +284,7 @@ impl Table {
             insert_seq: AtomicU64::new(0),
             insert_lock: Mutex::new(()),
             flush_lock: Mutex::new(()),
+            desc_dirty: AtomicBool::new(false),
         }))
     }
 

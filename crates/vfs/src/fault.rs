@@ -1,0 +1,449 @@
+//! Deterministic fault injection for [`crate::SimVfs`].
+//!
+//! A [`FaultPlan`] describes, ahead of time, which I/O operations should
+//! fail and how: a transient `EIO`, a disk-full `ENOSPC`, a torn (short)
+//! write, or a full machine crash. Every operation the VFS performs is
+//! assigned a global, monotonically increasing *op index*; rules can
+//! target an absolute index (`at_op`), the Nth operation matching a
+//! filter (`nth_match`), a path substring, or an operation kind, and a
+//! seeded pseudo-random schedule can sprinkle faults deterministically.
+//! Because the engine and the simulated VFS are both deterministic, a
+//! workload runs identically every time, so "fail op 1 234" names the
+//! exact same write in every run — the FoundationDB/ALICE-style sweep in
+//! `tests/fault_sweep.rs` leans on this to crash or fail a workload
+//! after *every* operation it performs and machine-check recovery.
+//!
+//! Every injected fault is recorded in a replayable [`FaultRecord`]
+//! trace, so a failing sweep point can be reproduced in isolation by
+//! replaying its exact `(op_index, kind)` pairs.
+
+use std::io;
+
+/// Linux errno for `EIO`, used so the engine can classify injected
+/// errors exactly as it would classify real ones.
+const EIO: i32 = 5;
+/// Linux errno for `ENOSPC`.
+const ENOSPC: i32 = 28;
+
+/// The category of a VFS operation, for fault-rule filtering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpKind {
+    /// `Vfs::open` of an existing file.
+    Open,
+    /// `RandomAccessFile::read_exact_at`.
+    Read,
+    /// `Vfs::create`.
+    Create,
+    /// `WritableFile::append`.
+    Append,
+    /// `WritableFile::sync`.
+    Sync,
+    /// `Vfs::rename`.
+    Rename,
+    /// `Vfs::remove`.
+    Remove,
+    /// `Vfs::sync_dir`.
+    SyncDir,
+    /// `Vfs::list_dir`.
+    ListDir,
+    /// `Vfs::mkdir_all`.
+    Mkdir,
+}
+
+/// What an injected fault does to the matched operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The operation fails with `EIO` and has no effect.
+    Eio,
+    /// The operation fails with `ENOSPC` and has no effect.
+    Enospc,
+    /// An append persists only a prefix of the buffer, then fails with
+    /// `EIO` — a torn write. On non-append operations this degrades to
+    /// [`FaultKind::Eio`].
+    TornWrite,
+    /// The machine halts: this operation and every later one fail with
+    /// `EIO` until [`crate::SimVfs::crash`] "reboots" the disk, which
+    /// also discards everything un-synced exactly as a power cut would.
+    Crash,
+}
+
+impl FaultKind {
+    /// The `io::Error` this fault surfaces as, carrying the real errno
+    /// so the engine's [`is-transient` / `is-disk-full` classification]
+    /// treats injected faults exactly like native ones.
+    pub fn to_error(self) -> io::Error {
+        match self {
+            FaultKind::Eio | FaultKind::TornWrite => io::Error::from_raw_os_error(EIO),
+            FaultKind::Enospc => io::Error::from_raw_os_error(ENOSPC),
+            FaultKind::Crash => io::Error::other("simulated machine crash"),
+        }
+    }
+}
+
+/// The error every operation returns while the simulated machine is
+/// halted (after a [`FaultKind::Crash`] fired, before
+/// [`crate::SimVfs::crash`] reboots it).
+pub(crate) fn halted_error() -> io::Error {
+    io::Error::other("simulated machine is down")
+}
+
+/// One injection rule. Built with the fluent constructors; all filters
+/// are conjunctive (an op must satisfy every one set).
+#[derive(Debug, Clone)]
+pub struct FaultRule {
+    kind: FaultKind,
+    /// Fire when the global op index equals this.
+    at_op: Option<u64>,
+    /// Fire on the Nth (1-based) operation matching the other filters,
+    /// counted from when the plan was installed.
+    nth_match: Option<u64>,
+    /// Only ops whose path contains this substring.
+    path_contains: Option<String>,
+    /// Only ops of these kinds.
+    ops: Option<Vec<OpKind>>,
+    /// Fire at most this many times (`None` = every match).
+    times: Option<u32>,
+    /// Matches seen so far (for `nth_match`).
+    seen: u64,
+    /// Times fired so far (for `times`).
+    fired: u32,
+}
+
+impl FaultRule {
+    /// A rule injecting `kind`, matching every operation until filtered.
+    pub fn new(kind: FaultKind) -> Self {
+        FaultRule {
+            kind,
+            at_op: None,
+            nth_match: None,
+            path_contains: None,
+            ops: None,
+            times: None,
+            seen: 0,
+            fired: 0,
+        }
+    }
+
+    /// Restrict to the operation with this global index.
+    pub fn at_op(mut self, index: u64) -> Self {
+        self.at_op = Some(index);
+        self
+    }
+
+    /// Restrict to the Nth (1-based) operation matching the rule's other
+    /// filters, counted from plan installation.
+    pub fn nth_match(mut self, n: u64) -> Self {
+        self.nth_match = Some(n);
+        self
+    }
+
+    /// Restrict to operations whose path contains `s`.
+    pub fn on_path(mut self, s: impl Into<String>) -> Self {
+        self.path_contains = Some(s.into());
+        self
+    }
+
+    /// Restrict to operations of the given kinds.
+    pub fn on_ops(mut self, ops: &[OpKind]) -> Self {
+        self.ops = Some(ops.to_vec());
+        self
+    }
+
+    /// Fire at most `n` times.
+    pub fn times(mut self, n: u32) -> Self {
+        self.times = Some(n);
+        self
+    }
+
+    fn decide(&mut self, index: u64, op: OpKind, path: &str) -> Option<FaultKind> {
+        if self.times.is_some_and(|t| self.fired >= t) {
+            return None;
+        }
+        if self.at_op.is_some_and(|k| k != index) {
+            return None;
+        }
+        if self.ops.as_ref().is_some_and(|ops| !ops.contains(&op)) {
+            return None;
+        }
+        if self
+            .path_contains
+            .as_ref()
+            .is_some_and(|s| !path.contains(s.as_str()))
+        {
+            return None;
+        }
+        self.seen += 1;
+        if self.nth_match.is_some_and(|n| self.seen != n) {
+            return None;
+        }
+        self.fired += 1;
+        Some(self.kind)
+    }
+}
+
+/// A seeded pseudo-random fault schedule: each eligible operation fails
+/// with probability `1 / one_in`, decided by a hash of `(seed,
+/// op_index)` so the same seed always faults the same ops.
+#[derive(Debug, Clone)]
+pub struct RandomFaults {
+    /// Seed mixed into every per-op decision.
+    pub seed: u64,
+    /// Fail roughly one in this many eligible operations (0 disables).
+    pub one_in: u64,
+    /// What to inject.
+    pub kind: FaultKind,
+    /// Restrict to these op kinds (`None` = all).
+    pub ops: Option<Vec<OpKind>>,
+}
+
+impl RandomFaults {
+    fn decide(&self, index: u64, op: OpKind) -> Option<FaultKind> {
+        if self.one_in == 0 {
+            return None;
+        }
+        if self.ops.as_ref().is_some_and(|ops| !ops.contains(&op)) {
+            return None;
+        }
+        // splitmix64 over (seed ^ index): deterministic, well mixed.
+        let mut z = self.seed ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        z.is_multiple_of(self.one_in).then_some(self.kind)
+    }
+}
+
+/// A full injection schedule: explicit rules (checked in order, first
+/// match wins) plus an optional seeded random schedule.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    rules: Vec<FaultRule>,
+    random: Option<RandomFaults>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults).
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// A plan that crashes the machine at global op `index`.
+    pub fn crash_at(index: u64) -> Self {
+        FaultPlan::new().rule(FaultRule::new(FaultKind::Crash).at_op(index))
+    }
+
+    /// A plan that fails global op `index` once with `kind`.
+    pub fn fail_at(index: u64, kind: FaultKind) -> Self {
+        FaultPlan::new().rule(FaultRule::new(kind).at_op(index).times(1))
+    }
+
+    /// Adds a rule.
+    pub fn rule(mut self, rule: FaultRule) -> Self {
+        self.rules.push(rule);
+        self
+    }
+
+    /// Adds a seeded random schedule.
+    pub fn random(mut self, random: RandomFaults) -> Self {
+        self.random = Some(random);
+        self
+    }
+
+    pub(crate) fn decide(&mut self, index: u64, op: OpKind, path: &str) -> Option<FaultKind> {
+        for r in &mut self.rules {
+            if let Some(k) = r.decide(index, op, path) {
+                return Some(k);
+            }
+        }
+        self.random.as_ref().and_then(|r| r.decide(index, op))
+    }
+}
+
+/// One injected fault, as recorded in the replayable trace.
+#[derive(Debug, Clone)]
+pub struct FaultRecord {
+    /// Global index of the faulted operation.
+    pub op_index: u64,
+    /// The operation's kind.
+    pub op: OpKind,
+    /// The path the operation targeted.
+    pub path: String,
+    /// What was injected.
+    pub kind: FaultKind,
+}
+
+/// Mutable injection state shared by a [`crate::SimVfs`] and its open
+/// files: the installed plan, the global op counter, the halted flag,
+/// and the trace of fired faults.
+#[derive(Debug, Default)]
+pub(crate) struct FaultState {
+    plan: Option<FaultPlan>,
+    op_count: u64,
+    halted: bool,
+    injected: u64,
+    trace: Vec<FaultRecord>,
+}
+
+impl FaultState {
+    /// Counts the operation and returns the fault to inject, if any.
+    /// `Err` means the machine is halted or the op must fail outright;
+    /// `Ok(Some(TornWrite))` asks an append to persist a short prefix.
+    pub(crate) fn check(&mut self, op: OpKind, path: &str) -> io::Result<Option<FaultKind>> {
+        let index = self.op_count;
+        self.op_count += 1;
+        if self.halted {
+            return Err(halted_error());
+        }
+        let Some(plan) = &mut self.plan else {
+            return Ok(None);
+        };
+        let Some(kind) = plan.decide(index, op, path) else {
+            return Ok(None);
+        };
+        self.injected += 1;
+        self.trace.push(FaultRecord {
+            op_index: index,
+            op,
+            path: path.to_string(),
+            kind,
+        });
+        match kind {
+            FaultKind::Crash => {
+                self.halted = true;
+                Err(kind.to_error())
+            }
+            FaultKind::TornWrite if op == OpKind::Append => Ok(Some(FaultKind::TornWrite)),
+            k => Err(k.to_error()),
+        }
+    }
+
+    pub(crate) fn set_plan(&mut self, plan: FaultPlan) {
+        self.plan = Some(plan);
+    }
+
+    pub(crate) fn clear_plan(&mut self) {
+        self.plan = None;
+    }
+
+    pub(crate) fn op_count(&self) -> u64 {
+        self.op_count
+    }
+
+    pub(crate) fn injected(&self) -> u64 {
+        self.injected
+    }
+
+    pub(crate) fn halted(&self) -> bool {
+        self.halted
+    }
+
+    pub(crate) fn reboot(&mut self) {
+        self.halted = false;
+    }
+
+    pub(crate) fn take_trace(&mut self) -> Vec<FaultRecord> {
+        std::mem::take(&mut self.trace)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn at_op_rule_fires_once_at_exact_index() {
+        let mut st = FaultState::default();
+        st.set_plan(FaultPlan::fail_at(2, FaultKind::Eio));
+        assert!(st.check(OpKind::Append, "f").unwrap().is_none()); // op 0
+        assert!(st.check(OpKind::Append, "f").unwrap().is_none()); // op 1
+        let err = st.check(OpKind::Append, "f").unwrap_err(); // op 2
+        assert_eq!(err.raw_os_error(), Some(5));
+        assert!(st.check(OpKind::Append, "f").unwrap().is_none()); // op 3
+        assert_eq!(st.injected(), 1);
+        assert_eq!(st.op_count(), 4);
+        let trace = st.take_trace();
+        assert_eq!(trace.len(), 1);
+        assert_eq!(trace[0].op_index, 2);
+    }
+
+    #[test]
+    fn nth_match_counts_only_filtered_ops() {
+        let mut st = FaultState::default();
+        st.set_plan(
+            FaultPlan::new().rule(
+                FaultRule::new(FaultKind::Enospc)
+                    .on_ops(&[OpKind::Sync])
+                    .nth_match(2)
+                    .times(1),
+            ),
+        );
+        assert!(st.check(OpKind::Append, "f").unwrap().is_none());
+        assert!(st.check(OpKind::Sync, "f").unwrap().is_none()); // 1st sync
+        assert!(st.check(OpKind::Append, "f").unwrap().is_none());
+        let err = st.check(OpKind::Sync, "f").unwrap_err(); // 2nd sync
+        assert_eq!(err.raw_os_error(), Some(28));
+        assert!(st.check(OpKind::Sync, "f").unwrap().is_none()); // 3rd sync
+    }
+
+    #[test]
+    fn path_filter_restricts_matches() {
+        let mut st = FaultState::default();
+        st.set_plan(FaultPlan::new().rule(FaultRule::new(FaultKind::Eio).on_path("tab-")));
+        assert!(st.check(OpKind::Append, "t/DESC").unwrap().is_none());
+        assert!(st.check(OpKind::Append, "t/tab-01.lt").is_err());
+    }
+
+    #[test]
+    fn crash_halts_until_reboot() {
+        let mut st = FaultState::default();
+        st.set_plan(FaultPlan::crash_at(0));
+        assert!(st.check(OpKind::Rename, "a").is_err());
+        assert!(st.halted());
+        // Everything fails while halted, and is not recorded as a fault.
+        assert!(st.check(OpKind::Open, "b").is_err());
+        assert_eq!(st.injected(), 1);
+        st.reboot();
+        assert!(st.check(OpKind::Open, "b").unwrap().is_none());
+    }
+
+    #[test]
+    fn torn_write_passes_through_on_appends_only() {
+        let mut st = FaultState::default();
+        st.set_plan(FaultPlan::new().rule(FaultRule::new(FaultKind::TornWrite).times(2)));
+        // On an append the torn action is returned to the caller.
+        assert_eq!(
+            st.check(OpKind::Append, "f").unwrap(),
+            Some(FaultKind::TornWrite)
+        );
+        // On anything else it degrades to a plain EIO failure.
+        assert_eq!(
+            st.check(OpKind::Sync, "f").unwrap_err().raw_os_error(),
+            Some(5)
+        );
+    }
+
+    #[test]
+    fn random_schedule_is_deterministic() {
+        let plan = || {
+            FaultPlan::new().random(RandomFaults {
+                seed: 42,
+                one_in: 7,
+                kind: FaultKind::Eio,
+                ops: None,
+            })
+        };
+        let run = |mut st: FaultState| {
+            (0..200)
+                .map(|_| st.check(OpKind::Append, "f").is_err())
+                .collect::<Vec<_>>()
+        };
+        let mut a = FaultState::default();
+        a.set_plan(plan());
+        let mut b = FaultState::default();
+        b.set_plan(plan());
+        let (ra, rb) = (run(a), run(b));
+        assert_eq!(ra, rb);
+        let hits = ra.iter().filter(|x| **x).count();
+        assert!(hits > 10 && hits < 60, "got {hits} faults in 200 ops");
+    }
+}

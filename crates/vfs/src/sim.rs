@@ -16,6 +16,7 @@
 
 use crate::clock::SimClock;
 use crate::disk::{DiskModel, DiskParams, ExtentId};
+use crate::fault::{FaultKind, FaultPlan, FaultRecord, FaultState, OpKind};
 use crate::vfs::{RandomAccessFile, Vfs, WritableFile};
 use parking_lot::Mutex;
 use std::collections::{HashMap, HashSet};
@@ -115,11 +116,12 @@ impl SimState {
 }
 
 /// An in-memory, disk-model-metered [`Vfs`]. Cheap to clone; clones share
-/// the same namespace and model.
+/// the same namespace, model, and fault-injection state.
 #[derive(Clone)]
 pub struct SimVfs {
     model: DiskModel,
     state: Arc<Mutex<SimState>>,
+    faults: Arc<Mutex<FaultState>>,
 }
 
 impl SimVfs {
@@ -129,6 +131,7 @@ impl SimVfs {
         SimVfs {
             model: DiskModel::new(params, clock),
             state: Arc::new(Mutex::new(SimState::default())),
+            faults: Arc::new(Mutex::new(FaultState::default())),
         }
     }
 
@@ -154,7 +157,9 @@ impl SimVfs {
     }
 
     /// Simulates a machine crash: the namespace reverts to its last-synced
-    /// state and every file loses appends after its last `sync`.
+    /// state and every file loses appends after its last `sync`. Also
+    /// "reboots" a machine halted by a [`FaultKind::Crash`] injection, so
+    /// subsequent operations succeed again.
     pub fn crash(&self) {
         let mut s = self.state.lock();
         s.live = Namespace {
@@ -165,7 +170,52 @@ impl SimVfs {
             f.data.truncate(f.synced_len);
         }
         s.gc(&self.model);
+        drop(s);
         self.model.clear_caches();
+        self.faults.lock().reboot();
+    }
+
+    // ------------------------------------------------------- fault injection
+
+    /// Installs a fault-injection plan. Rules with relative counters
+    /// (`nth_match`) start counting from here; the global op counter is
+    /// *not* reset (use [`SimVfs::op_count`] to address absolute ops).
+    pub fn set_fault_plan(&self, plan: FaultPlan) {
+        self.faults.lock().set_plan(plan);
+    }
+
+    /// Removes the installed fault plan (op counting continues).
+    pub fn clear_fault_plan(&self) {
+        self.faults.lock().clear_plan();
+    }
+
+    /// Total I/O operations performed since creation (faulted ones
+    /// included). A deterministic workload performs the same sequence
+    /// every run, so this is the size of its crash-point space.
+    pub fn op_count(&self) -> u64 {
+        self.faults.lock().op_count()
+    }
+
+    /// Number of faults injected so far.
+    pub fn faults_injected(&self) -> u64 {
+        self.faults.lock().injected()
+    }
+
+    /// True while the simulated machine is halted by an injected crash
+    /// (every operation fails until [`SimVfs::crash`] reboots it).
+    pub fn halted(&self) -> bool {
+        self.faults.lock().halted()
+    }
+
+    /// Drains and returns the replayable trace of injected faults.
+    pub fn take_fault_trace(&self) -> Vec<FaultRecord> {
+        self.faults.lock().take_trace()
+    }
+
+    /// Counts one operation against the fault plan. `Ok(Some(...))` is a
+    /// torn-write action only ever returned for appends.
+    fn fault_check(&self, op: OpKind, path: &str) -> io::Result<Option<FaultKind>> {
+        self.faults.lock().check(op, path)
     }
 
     /// Total bytes held across all live files (uncompressed, as stored).
@@ -184,10 +234,13 @@ struct SimReader {
     data: Arc<Vec<u8>>,
     model: DiskModel,
     extent: ExtentId,
+    path: String,
+    faults: Arc<Mutex<FaultState>>,
 }
 
 impl RandomAccessFile for SimReader {
     fn read_exact_at(&self, off: u64, buf: &mut [u8]) -> io::Result<()> {
+        self.faults.lock().check(OpKind::Read, &self.path)?;
         let off = off as usize;
         if off + buf.len() > self.data.len() {
             return Err(io::Error::new(
@@ -219,10 +272,19 @@ struct SimWriter {
     model: DiskModel,
     id: u64,
     extent: ExtentId,
+    path: String,
+    faults: Arc<Mutex<FaultState>>,
 }
 
 impl WritableFile for SimWriter {
     fn append(&mut self, buf: &[u8]) -> io::Result<()> {
+        // A torn write persists an un-synced prefix of the buffer and
+        // then fails; the caller sees an I/O error either way.
+        let torn = matches!(
+            self.faults.lock().check(OpKind::Append, &self.path)?,
+            Some(FaultKind::TornWrite)
+        );
+        let buf = if torn { &buf[..buf.len() / 2] } else { buf };
         let mut s = self.state.lock();
         let f = s
             .store
@@ -234,10 +296,14 @@ impl WritableFile for SimWriter {
         drop(s);
         self.model.grow_extent(self.extent, new_len);
         self.model.charge_write(self.extent, off, buf.len() as u64);
+        if torn {
+            return Err(FaultKind::TornWrite.to_error());
+        }
         Ok(())
     }
 
     fn sync(&mut self) -> io::Result<()> {
+        self.faults.lock().check(OpKind::Sync, &self.path)?;
         let mut s = self.state.lock();
         if let Some(f) = s.store.get_mut(&self.id) {
             f.synced_len = f.data.len();
@@ -256,6 +322,7 @@ impl WritableFile for SimWriter {
 
 impl Vfs for SimVfs {
     fn open(&self, path: &str) -> io::Result<Box<dyn RandomAccessFile>> {
+        self.fault_check(OpKind::Open, path)?;
         let mut s = self.state.lock();
         let id = *s
             .live
@@ -271,10 +338,13 @@ impl Vfs for SimVfs {
             data,
             model: self.model.clone(),
             extent,
+            path: path.to_string(),
+            faults: self.faults.clone(),
         }))
     }
 
     fn create(&self, path: &str, size_hint: u64) -> io::Result<Box<dyn WritableFile>> {
+        self.fault_check(OpKind::Create, path)?;
         let extent = self.model.alloc_extent(size_hint);
         let mut s = self.state.lock();
         let id = s.next_id;
@@ -294,10 +364,13 @@ impl Vfs for SimVfs {
             model: self.model.clone(),
             id,
             extent,
+            path: path.to_string(),
+            faults: self.faults.clone(),
         }))
     }
 
     fn rename(&self, from: &str, to: &str) -> io::Result<()> {
+        self.fault_check(OpKind::Rename, from)?;
         let mut s = self.state.lock();
         let id = s
             .live
@@ -309,6 +382,7 @@ impl Vfs for SimVfs {
     }
 
     fn remove(&self, path: &str) -> io::Result<()> {
+        self.fault_check(OpKind::Remove, path)?;
         let mut s = self.state.lock();
         s.live
             .files
@@ -324,6 +398,7 @@ impl Vfs for SimVfs {
     }
 
     fn mkdir_all(&self, path: &str) -> io::Result<()> {
+        self.fault_check(OpKind::Mkdir, path)?;
         let mut s = self.state.lock();
         let mut cur = String::new();
         for seg in path.split('/').filter(|p| !p.is_empty()) {
@@ -337,6 +412,7 @@ impl Vfs for SimVfs {
     }
 
     fn list_dir(&self, path: &str) -> io::Result<Vec<String>> {
+        self.fault_check(OpKind::ListDir, path)?;
         let s = self.state.lock();
         let prefix = if path.is_empty() {
             String::new()
@@ -359,6 +435,7 @@ impl Vfs for SimVfs {
     }
 
     fn sync_dir(&self, path: &str) -> io::Result<()> {
+        self.fault_check(OpKind::SyncDir, path)?;
         let mut s = self.state.lock();
         let prefix = if path.is_empty() {
             String::new()
@@ -550,5 +627,83 @@ mod tests {
         assert_eq!(v.total_live_bytes(), 15);
         v.remove("a").unwrap();
         assert_eq!(v.total_live_bytes(), 5);
+    }
+
+    #[test]
+    fn injected_crash_halts_until_reboot() {
+        use crate::fault::{FaultKind, FaultPlan};
+        let v = vfs();
+        v.create("keep", 0).unwrap().sync().unwrap();
+        v.sync_dir("").unwrap();
+        // op_count so far: Create + SyncDir (sync on the writer too).
+        let at = v.op_count();
+        v.set_fault_plan(FaultPlan::fail_at(at, FaultKind::Crash));
+        assert!(v.create("lost", 0).is_err());
+        // Machine is down: every subsequent op fails too.
+        assert!(v.create("also-lost", 0).is_err());
+        assert!(v.list_dir("").is_err());
+        assert!(v.halted());
+        v.crash(); // power-cycle: revert to durable state and reboot
+        assert!(!v.halted());
+        assert!(v.exists("keep"));
+        assert!(!v.exists("lost"));
+        assert_eq!(v.faults_injected(), 1);
+    }
+
+    #[test]
+    fn torn_write_persists_only_a_prefix() {
+        use crate::fault::{FaultKind, FaultPlan, FaultRule, OpKind};
+        let v = vfs();
+        let mut w = v.create("f", 0).unwrap();
+        w.append(&[1u8; 64]).unwrap();
+        w.sync().unwrap();
+        v.sync_dir("").unwrap();
+        v.set_fault_plan(
+            FaultPlan::new().rule(FaultRule::new(FaultKind::TornWrite).on_ops(&[OpKind::Append])),
+        );
+        // The torn append reports failure but leaves half the payload behind.
+        assert!(w.append(&[2u8; 64]).is_err());
+        v.clear_fault_plan();
+        w.sync().unwrap();
+        let r = v.open("f").unwrap();
+        assert_eq!(v.file_size("f").unwrap(), 64 + 32);
+        let mut buf = vec![0u8; 96];
+        r.read_exact_at(0, &mut buf).unwrap();
+        assert_eq!(&buf[..64], &[1u8; 64][..]);
+        assert_eq!(&buf[64..], &[2u8; 32][..]);
+    }
+
+    #[test]
+    fn enospc_on_sync_leaves_namespace_untouched() {
+        use crate::fault::{FaultKind, FaultPlan, FaultRule, OpKind};
+        let v = vfs();
+        let mut w = v.create("f", 0).unwrap();
+        w.append(&[9u8; 16]).unwrap();
+        v.set_fault_plan(
+            FaultPlan::new().rule(FaultRule::new(FaultKind::Enospc).on_ops(&[OpKind::Sync])),
+        );
+        let err = w.sync().unwrap_err();
+        assert_eq!(err.raw_os_error(), Some(28));
+        v.clear_fault_plan();
+        // Unsynced data still vanishes on crash: the failed sync promised
+        // nothing.
+        v.crash();
+        assert!(!v.exists("f"));
+    }
+
+    #[test]
+    fn fault_trace_records_what_fired() {
+        use crate::fault::{FaultKind, FaultPlan, OpKind};
+        let v = vfs();
+        v.create("a", 0).unwrap();
+        let at = v.op_count();
+        v.set_fault_plan(FaultPlan::fail_at(at, FaultKind::Eio));
+        assert!(v.open("a").is_err());
+        let trace = v.take_fault_trace();
+        assert_eq!(trace.len(), 1);
+        assert_eq!(trace[0].op_index, at);
+        assert_eq!(trace[0].op, OpKind::Open);
+        assert_eq!(trace[0].path, "a");
+        assert_eq!(trace[0].kind, FaultKind::Eio);
     }
 }

@@ -42,6 +42,23 @@ pub trait WritableFile: Send {
 /// Paths are plain UTF-8 strings relative to the VFS root, using `/` as the
 /// separator, which keeps the simulated implementation trivial and the real
 /// one portable.
+///
+/// # Error and durability contract
+///
+/// Every operation may fail with an `io::Error` carrying a real OS error
+/// code — implementations (and fault injectors) report `EIO`, `ENOSPC`,
+/// and friends via [`io::Error::raw_os_error`] so callers can classify
+/// failures uniformly whether they came from a kernel or from
+/// [`crate::FaultPlan`]. Two rules the engine relies on:
+///
+/// * **A failed `sync`/`sync_dir` promises nothing.** Data appended or
+///   names changed before the failure may or may not survive a crash;
+///   callers must treat the affected file as unpublishable until a later
+///   sync succeeds (LittleTable's fsync-gate).
+/// * **A failed `append` may still have written a prefix.** Torn writes
+///   are legal: after an `append` error the file holds between zero and
+///   `buf.len()` of the new bytes. Formats must tolerate a trailing
+///   partial record (tablet trailers carry a CRC for exactly this reason).
 pub trait Vfs: Send + Sync {
     /// Opens an existing file for positional reads.
     fn open(&self, path: &str) -> io::Result<Box<dyn RandomAccessFile>>;

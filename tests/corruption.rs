@@ -1,12 +1,17 @@
 //! Corruption-path suite: every way a tablet file can rot on disk —
 //! truncation, flipped magic, overflowing trailer geometry, footer CRC
 //! damage, zeroed or bit-flipped block bytes — must surface as
-//! `Error::Corrupt` from
-//! the query path, never a panic, with the two-tier block cache enabled
+//! `Error::Corrupt`, never a panic, with the two-tier block cache enabled
 //! and disabled alike. Runs under the debug profile too, so checked
 //! arithmetic (overflow panics on) is exercised for real.
+//!
+//! Footer-level damage is caught eagerly at open, where the default
+//! policy quarantines the tablet (renamed aside, dropped from the
+//! descriptor) and `Options::strict_open` restores fail-fast; block-level
+//! damage passes open (the footer validates) and must fail the query.
 
 use littletable::core::descriptor::parse_tablet_file_name;
+use littletable::core::table::QUARANTINE_SUFFIX;
 use littletable::vfs::{join, Clock, SimClock, SimVfs, Vfs};
 use littletable::{ColumnDef, ColumnType, Db, Error, Options, Query, Schema, Value};
 use std::sync::Arc;
@@ -42,11 +47,9 @@ fn write_file(vfs: &SimVfs, path: &str, bytes: &[u8]) {
     f.sync().unwrap();
 }
 
-/// Writes a real merged tablet, applies `mutate` to its file bytes,
-/// reopens a fresh engine, and returns the error the query path yields.
-/// Queried twice so a partial first read can't leave a cache tier that
-/// masks (or worse, trips over) the corruption on the retry.
-fn corrupt_and_query(cache_bytes: usize, mutate: &dyn Fn(&mut Vec<u8>)) -> Error {
+/// Writes a real merged tablet, applies `mutate` to its file bytes, and
+/// returns the VFS + clock + corrupted file path, ready for reopening.
+fn build_corrupted(mutate: &dyn Fn(&mut Vec<u8>)) -> (SimVfs, SimClock, String) {
     let clock = SimClock::new(START);
     let vfs = SimVfs::instant();
     let build_opts = Options::small_for_tests();
@@ -75,7 +78,14 @@ fn corrupt_and_query(cache_bytes: usize, mutate: &dyn Fn(&mut Vec<u8>)) -> Error
     let mut bytes = read_file(&vfs, &path);
     mutate(&mut bytes);
     write_file(&vfs, &path, &bytes);
+    (vfs, clock, path)
+}
 
+/// Reopens the corrupted store and returns the error the query path
+/// yields. Queried twice so a partial first read can't leave a cache tier
+/// that masks (or worse, trips over) the corruption on the retry.
+fn corrupt_and_query(cache_bytes: usize, mutate: &dyn Fn(&mut Vec<u8>)) -> Error {
+    let (vfs, clock, _) = build_corrupted(mutate);
     let opts = Options {
         block_cache_bytes: cache_bytes,
         ..Options::small_for_tests()
@@ -88,8 +98,9 @@ fn corrupt_and_query(cache_bytes: usize, mutate: &dyn Fn(&mut Vec<u8>)) -> Error
     first.expect_err("corrupted tablet must fail the query")
 }
 
-/// Asserts the mutation yields `Error::Corrupt` with the cache enabled
-/// (both tiers in play) and disabled (the paper's uncached read path).
+/// Block-level damage: the footer validates at open, so the tablet is
+/// served and the query path must yield `Error::Corrupt` with the cache
+/// enabled (both tiers in play) and disabled (the paper's uncached path).
 fn assert_corrupt(label: &str, mutate: &dyn Fn(&mut Vec<u8>)) {
     for cache_bytes in [64 << 20, 0] {
         let err = corrupt_and_query(cache_bytes, mutate);
@@ -100,21 +111,70 @@ fn assert_corrupt(label: &str, mutate: &dyn Fn(&mut Vec<u8>)) {
     }
 }
 
+/// Footer-level damage: caught eagerly at open. Default policy
+/// quarantines the tablet and serves the (now empty) table; `strict_open`
+/// refuses the open with `Error::Corrupt`.
+fn assert_footer_corrupt(label: &str, mutate: &dyn Fn(&mut Vec<u8>)) {
+    // Quarantine path.
+    let (vfs, clock, path) = build_corrupted(mutate);
+    let db = Db::open(
+        Arc::new(vfs.clone()),
+        Arc::new(clock.clone()),
+        Options::small_for_tests(),
+    )
+    .unwrap_or_else(|e| panic!("{label}: default open must quarantine, got {e:?}"));
+    let table = db.table("t").unwrap();
+    assert_eq!(
+        table.stats().snapshot().tablets_quarantined,
+        1,
+        "{label}: quarantine not counted"
+    );
+    assert!(
+        !vfs.exists(&path) && vfs.exists(&format!("{path}{QUARANTINE_SUFFIX}")),
+        "{label}: file not renamed aside"
+    );
+    let rows = table.query_all(&Query::all()).unwrap();
+    assert!(rows.is_empty(), "{label}: quarantined tablet still serving");
+    // The table stays writable after losing the tablet.
+    table
+        .insert(vec![vec![
+            Value::I64(9_999),
+            Value::Timestamp(START + 9_999),
+            Value::Blob(vec![1; 8]),
+        ]])
+        .unwrap();
+    drop((table, db));
+
+    // Fail-fast path.
+    let (vfs, clock, _) = build_corrupted(mutate);
+    let strict = Options {
+        strict_open: true,
+        ..Options::small_for_tests()
+    };
+    let err = Db::open(Arc::new(vfs), Arc::new(clock), strict)
+        .err()
+        .unwrap_or_else(|| panic!("{label}: strict_open must fail"));
+    assert!(
+        matches!(err, Error::Corrupt(_)),
+        "{label}: expected Corrupt under strict_open, got {err:?}"
+    );
+}
+
 #[test]
 fn truncated_file_is_corrupt() {
-    assert_corrupt("truncate to 10 bytes", &|bytes| bytes.truncate(10));
+    assert_footer_corrupt("truncate to 10 bytes", &|bytes| bytes.truncate(10));
 }
 
 #[test]
 fn truncated_trailer_is_corrupt() {
-    assert_corrupt("drop the last byte", &|bytes| {
+    assert_footer_corrupt("drop the last byte", &|bytes| {
         bytes.truncate(bytes.len() - 1)
     });
 }
 
 #[test]
 fn flipped_magic_is_corrupt() {
-    assert_corrupt("flip a magic byte", &|bytes| {
+    assert_footer_corrupt("flip a magic byte", &|bytes| {
         let last = bytes.len() - 1;
         bytes[last] ^= 0xFF;
     });
@@ -124,7 +184,7 @@ fn flipped_magic_is_corrupt() {
 fn overflowing_footer_offset_is_corrupt() {
     // footer_off + clen + TRAILER_LEN overflows u64: the geometry check
     // must use checked arithmetic, not panic in debug builds.
-    assert_corrupt("footer_off = u64::MAX", &|bytes| {
+    assert_footer_corrupt("footer_off = u64::MAX", &|bytes| {
         let at = bytes.len() - TRAILER_LEN + 16;
         bytes[at..at + 8].copy_from_slice(&u64::MAX.to_le_bytes());
     });
@@ -132,7 +192,7 @@ fn overflowing_footer_offset_is_corrupt() {
 
 #[test]
 fn overflowing_compressed_len_is_corrupt() {
-    assert_corrupt("clen = u64::MAX", &|bytes| {
+    assert_footer_corrupt("clen = u64::MAX", &|bytes| {
         let at = bytes.len() - TRAILER_LEN + 8;
         bytes[at..at + 8].copy_from_slice(&u64::MAX.to_le_bytes());
     });
@@ -140,7 +200,7 @@ fn overflowing_compressed_len_is_corrupt() {
 
 #[test]
 fn flipped_footer_crc_is_corrupt() {
-    assert_corrupt("flip the footer CRC", &|bytes| {
+    assert_footer_corrupt("flip the footer CRC", &|bytes| {
         let at = bytes.len() - 12;
         bytes[at] ^= 0xFF;
     });
@@ -149,7 +209,7 @@ fn flipped_footer_crc_is_corrupt() {
 #[test]
 fn flipped_footer_bytes_are_corrupt() {
     // Damage the compressed footer itself; the CRC must catch it.
-    assert_corrupt("flip first footer byte", &|bytes| {
+    assert_footer_corrupt("flip first footer byte", &|bytes| {
         let at = bytes.len() - TRAILER_LEN + 16;
         let footer_off = u64::from_le_bytes(bytes[at..at + 8].try_into().unwrap()) as usize;
         bytes[footer_off] ^= 0xFF;

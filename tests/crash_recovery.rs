@@ -1,75 +1,49 @@
 //! Cross-crate crash-recovery tests: LittleTable's durability contract is
 //! exactly prefix durability per table (§3.1), with atomic descriptor
 //! replacement and orphan cleanup — exercised here with the simulated
-//! VFS's deterministic crash injection.
+//! VFS's deterministic crash injection. Hand-picked scenarios live here;
+//! the exhaustive every-op sweep lives in `tests/fault_sweep.rs`. Both
+//! are built from the same harness (`tests/common/mod.rs`) so the
+//! invariants they check cannot drift apart.
 
-use littletable::vfs::{Clock, SimClock, SimVfs};
-use littletable::{ColumnDef, ColumnType, Db, Options, Query, Schema, Value};
-use std::sync::Arc;
+mod common;
 
-const START: i64 = 1_700_000_000_000_000;
-
-fn schema() -> Schema {
-    Schema::new(
-        vec![
-            ColumnDef::new("n", ColumnType::I64),
-            ColumnDef::new("ts", ColumnType::Timestamp),
-            ColumnDef::new("v", ColumnType::I64),
-        ],
-        &["n", "ts"],
-    )
-    .unwrap()
-}
-
-fn open(vfs: &SimVfs, clock: &SimClock) -> Db {
-    Db::open(
-        Arc::new(vfs.clone()),
-        Arc::new(clock.clone()),
-        Options::small_for_tests(),
-    )
-    .unwrap()
-}
-
-fn row(n: i64, ts: i64) -> Vec<Value> {
-    vec![Value::I64(n), Value::Timestamp(ts), Value::I64(n)]
-}
+use common::*;
+use littletable::vfs::{Clock, FaultKind, FaultPlan, FaultRule, OpKind, SimClock, SimVfs, Vfs};
+use littletable::{ColumnDef, ColumnType, Query, Value};
 
 #[test]
 fn repeated_crashes_always_preserve_a_prefix() {
     let vfs = SimVfs::instant();
     let clock = SimClock::new(START);
     let mut next;
-    let mut durable_floor = 0i64;
+    let mut durable_floor = 0u64;
     for round in 0..8 {
-        let db = open(&vfs, &clock);
-        let table = match db.table("t") {
+        let db = open_db(&vfs, &clock).unwrap();
+        let table = match db.table(TABLE) {
             Ok(t) => t,
-            Err(_) => db.create_table("t", schema(), None).unwrap(),
+            Err(_) => db.create_table(TABLE, schema(), None).unwrap(),
         };
         // Whatever survived must be exactly a prefix 0..k with
         // k >= durable_floor.
-        let rows = table.query_all(&Query::all()).unwrap();
-        for (i, r) in rows.iter().enumerate() {
-            assert_eq!(
-                r.values[0],
-                Value::I64(i as i64),
-                "round {round}: hole in prefix"
-            );
+        let idx = visible_indices(&table);
+        for (i, n) in idx.iter().enumerate() {
+            assert_eq!(*n, i as u64, "round {round}: hole in prefix");
         }
         assert!(
-            rows.len() as i64 >= durable_floor,
+            idx.len() as u64 >= durable_floor,
             "round {round}: lost flushed rows"
         );
-        next = rows.len() as i64;
+        next = idx.len() as u64;
         // Insert more, flush some of it, crash.
         for _ in 0..50 {
-            table.insert(vec![row(next, START + next)]).unwrap();
+            table.insert(vec![make_row(next, 3)]).unwrap();
             next += 1;
         }
         table.flush_all().unwrap();
         durable_floor = next;
         for _ in 0..30 {
-            table.insert(vec![row(next, START + next)]).unwrap();
+            table.insert(vec![make_row(next, 3)]).unwrap();
             next += 1;
         }
         clock.advance(1_000_000);
@@ -81,67 +55,172 @@ fn repeated_crashes_always_preserve_a_prefix() {
 fn merge_then_crash_preserves_everything_durable() {
     let vfs = SimVfs::instant();
     let clock = SimClock::new(START);
-    let db = open(&vfs, &clock);
-    let table = db.create_table("t", schema(), None).unwrap();
-    for i in 0..3000i64 {
-        table.insert(vec![row(i, START + i)]).unwrap();
+    let db = open_db(&vfs, &clock).unwrap();
+    let table = db.create_table(TABLE, schema(), None).unwrap();
+    for i in 0..3000 {
+        table.insert(vec![make_row(i, 3)]).unwrap();
     }
     table.flush_all().unwrap();
     let before_tablets = table.num_disk_tablets();
     while table.run_merge_once(clock.now_micros()).unwrap() {}
     assert!(table.num_disk_tablets() < before_tablets);
     vfs.crash();
-    let db2 = open(&vfs, &clock);
-    let rows = db2.table("t").unwrap().query_all(&Query::all()).unwrap();
+    let db2 = open_db(&vfs, &clock).unwrap();
+    let rows = db2.table(TABLE).unwrap().query_all(&Query::all()).unwrap();
     assert_eq!(rows.len(), 3000);
+    check_descriptor_consistency(&vfs);
 }
 
 #[test]
 fn crash_between_merge_file_write_and_commit_is_clean() {
-    // Simulate the window where the merged tablet file exists but the
-    // descriptor doesn't reference it: write a fake orphan and crash.
+    // Simulate the window where the merged tablet file exists durably but
+    // the descriptor doesn't reference it: write a synced orphan by hand
+    // (as if a dir-sync from a concurrent commit made it visible), crash,
+    // and reopen — recovery must delete it, not serve it.
     let vfs = SimVfs::instant();
     let clock = SimClock::new(START);
-    let db = open(&vfs, &clock);
-    let table = db.create_table("t", schema(), None).unwrap();
-    for i in 0..100i64 {
-        table.insert(vec![row(i, START + i)]).unwrap();
+    let db = open_db(&vfs, &clock).unwrap();
+    let table = db.create_table(TABLE, schema(), None).unwrap();
+    for i in 0..100 {
+        table.insert(vec![make_row(i, 3)]).unwrap();
     }
     table.flush_all().unwrap();
+    let orphan = format!("{TABLE}/tab-0000000000009999.lt");
     {
-        use littletable::vfs::Vfs;
-        let mut w = vfs.create("t/tab-0000000000009999.lt", 0).unwrap();
+        let mut w = vfs.create(&orphan, 0).unwrap();
         w.append(b"unfinished merge output").unwrap();
         w.sync().unwrap();
-        vfs.sync_dir("t").unwrap();
+        vfs.sync_dir(TABLE).unwrap();
     }
     vfs.crash();
-    let db2 = open(&vfs, &clock);
-    let table2 = db2.table("t").unwrap();
+    let db2 = open_db(&vfs, &clock).unwrap();
+    let table2 = db2.table(TABLE).unwrap();
     assert_eq!(table2.query_all(&Query::all()).unwrap().len(), 100);
-    use littletable::vfs::Vfs;
-    assert!(
-        !vfs.exists("t/tab-0000000000009999.lt"),
-        "orphan not cleaned"
+    assert!(!vfs.exists(&orphan), "orphan not cleaned");
+    check_descriptor_consistency(&vfs);
+}
+
+#[test]
+fn merge_crash_at_descriptor_commit_leaves_no_orphan() {
+    // The same window, reached organically: run a real merge and crash at
+    // the rename that would commit its descriptor. The merge output was
+    // written and synced but never referenced; after reboot the store
+    // must hold exactly the pre-merge data and no stray tablet file.
+    let vfs = SimVfs::instant();
+    let clock = SimClock::new(START);
+    let db = open_db(&vfs, &clock).unwrap();
+    let table = db.create_table(TABLE, schema(), None).unwrap();
+    for i in 0..100 {
+        table.insert(vec![make_row(i, 3)]).unwrap();
+    }
+    table.flush_all().unwrap();
+    for i in 100..200 {
+        table.insert(vec![make_row(i, 3)]).unwrap();
+    }
+    table.flush_all().unwrap();
+    assert!(table.num_disk_tablets() >= 2, "need tablets worth merging");
+    vfs.set_fault_plan(
+        FaultPlan::new().rule(
+            FaultRule::new(FaultKind::Crash)
+                .on_ops(&[OpKind::Rename])
+                .on_path("DESC"),
+        ),
     );
+    table
+        .run_merge_once(clock.now_micros())
+        .expect_err("merge must die at the injected crash");
+    assert!(vfs.faults_injected() > 0, "crash never fired");
+    vfs.crash();
+    vfs.clear_fault_plan();
+    let db2 = open_db(&vfs, &clock).unwrap();
+    let table2 = db2.table(TABLE).unwrap();
+    let idx = visible_indices(&table2);
+    assert_eq!(
+        idx,
+        (0..200).collect::<Vec<u64>>(),
+        "rows lost in merge crash"
+    );
+    check_descriptor_consistency(&vfs);
+}
+
+#[test]
+fn desc_tmp_cleanup_survives_double_crash() {
+    // Regression: reopening removes a stale `DESC.tmp`, and that removal
+    // must itself be made durable. Without the dir-sync after the unlink,
+    // a second crash resurrects the tmp file and every reopen repeats the
+    // cleanup without ever retiring it.
+    let vfs = SimVfs::instant();
+    let clock = SimClock::new(START);
+    let db = open_db(&vfs, &clock).unwrap();
+    let table = db.create_table(TABLE, schema(), None).unwrap();
+    for i in 0..20 {
+        table.insert(vec![make_row(i, 3)]).unwrap();
+    }
+    table.flush_all().unwrap();
+    drop((table, db));
+    // A crash mid-save leaves a synced-but-unrenamed DESC.tmp behind.
+    let tmp = format!("{TABLE}/DESC.tmp");
+    {
+        let mut w = vfs.create(&tmp, 0).unwrap();
+        w.append(b"half-written descriptor").unwrap();
+        w.sync().unwrap();
+        vfs.sync_dir(TABLE).unwrap();
+    }
+    vfs.crash();
+    assert!(vfs.exists(&tmp), "setup: tmp must survive the first crash");
+
+    // First reopen retires the tmp file...
+    let db2 = open_db(&vfs, &clock).unwrap();
+    assert_eq!(
+        db2.table(TABLE)
+            .unwrap()
+            .query_all(&Query::all())
+            .unwrap()
+            .len(),
+        20
+    );
+    assert!(!vfs.exists(&tmp), "reopen must remove the stale tmp");
+    drop(db2);
+
+    // ...and a second crash must not resurrect it.
+    vfs.crash();
+    assert!(
+        !vfs.exists(&tmp),
+        "DESC.tmp resurrected: its removal was never made durable"
+    );
+    let db3 = open_db(&vfs, &clock).unwrap();
+    assert_eq!(
+        db3.table(TABLE)
+            .unwrap()
+            .query_all(&Query::all())
+            .unwrap()
+            .len(),
+        20
+    );
+    check_descriptor_consistency(&vfs);
 }
 
 #[test]
 fn ttl_state_survives_restart() {
     let vfs = SimVfs::instant();
     let clock = SimClock::new(START);
-    let ttl = 3600 * 1_000_000i64;
     {
-        let db = open(&vfs, &clock);
-        let table = db.create_table("t", schema(), Some(ttl)).unwrap();
-        table.insert(vec![row(0, START)]).unwrap();
-        table.insert(vec![row(1, START + 2 * ttl)]).unwrap();
+        let db = open_db(&vfs, &clock).unwrap();
+        let table = db.create_table(TABLE, schema(), Some(TTL)).unwrap();
+        table.insert(vec![make_row(0, 3)]).unwrap();
+        table
+            .insert(vec![vec![
+                Value::I64(1),
+                Value::Timestamp(START + 2 * TTL),
+                Value::I64(10),
+            ]])
+            .unwrap();
         table.flush_all().unwrap();
     }
-    clock.set(START + 2 * ttl + 1);
-    let db2 = open(&vfs, &clock);
-    let table = db2.table("t").unwrap();
-    assert_eq!(table.ttl(), Some(ttl));
+    clock.set(START + 2 * TTL + 1);
+    let db2 = open_db(&vfs, &clock).unwrap();
+    let table = db2.table(TABLE).unwrap();
+    assert_eq!(table.ttl(), Some(TTL));
     // Row 0 expired (filtered), row 1 current.
     let rows = table.query_all(&Query::all()).unwrap();
     assert_eq!(rows.len(), 1);
@@ -157,9 +236,9 @@ fn schema_evolution_survives_crash() {
     let vfs = SimVfs::instant();
     let clock = SimClock::new(START);
     {
-        let db = open(&vfs, &clock);
-        let table = db.create_table("t", schema(), None).unwrap();
-        table.insert(vec![row(0, START)]).unwrap();
+        let db = open_db(&vfs, &clock).unwrap();
+        let table = db.create_table(TABLE, schema(), None).unwrap();
+        table.insert(vec![make_row(0, 3)]).unwrap();
         table.flush_all().unwrap();
         table
             .add_column(ColumnDef::with_default(
@@ -171,16 +250,16 @@ fn schema_evolution_survives_crash() {
         table
             .insert(vec![vec![
                 Value::I64(1),
-                Value::Timestamp(START + 1),
-                Value::I64(1),
+                Value::Timestamp(START + STEP),
+                Value::I64(10),
                 Value::Str("new".into()),
             ]])
             .unwrap();
         table.flush_all().unwrap();
     }
     vfs.crash();
-    let db2 = open(&vfs, &clock);
-    let table = db2.table("t").unwrap();
+    let db2 = open_db(&vfs, &clock).unwrap();
+    let table = db2.table(TABLE).unwrap();
     assert_eq!(table.schema().num_columns(), 4);
     let rows = table.query_all(&Query::all()).unwrap();
     assert_eq!(rows.len(), 2);
@@ -193,17 +272,16 @@ fn dropped_table_stays_dropped_after_crash() {
     let vfs = SimVfs::instant();
     let clock = SimClock::new(START);
     {
-        let db = open(&vfs, &clock);
+        let db = open_db(&vfs, &clock).unwrap();
         let t = db.create_table("gone", schema(), None).unwrap();
-        t.insert(vec![row(0, START)]).unwrap();
+        t.insert(vec![make_row(0, 3)]).unwrap();
         db.flush_all().unwrap();
         db.drop_table("gone").unwrap();
         // Make the removal durable (files deleted; descriptor gone).
-        use littletable::vfs::Vfs;
         vfs.sync_dir("gone").unwrap();
         vfs.sync_dir("").unwrap();
     }
     vfs.crash();
-    let db2 = open(&vfs, &clock);
+    let db2 = open_db(&vfs, &clock).unwrap();
     assert!(db2.table("gone").is_err());
 }
