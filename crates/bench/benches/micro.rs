@@ -207,6 +207,130 @@ fn bench_block_cache(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_scan_formats(c: &mut Criterion) {
+    // Row-v2 vs columnar-v3 block layout on the same flushed telemetry
+    // data: full cursor scans and aggregate pushdown (SUM needs the
+    // value column; COUNT/MIN/MAX folds footer statistics without
+    // touching block bytes on v3).
+    use littletable_core::block::BlockFormat;
+    use littletable_core::table::{PushdownRequest, ScanUnit};
+    use littletable_core::value::ColumnType;
+
+    const ROWS: u64 = 50_000;
+    let build = |format: BlockFormat| {
+        let db = Db::open(
+            Arc::new(SimVfs::instant()),
+            Arc::new(SimClock::new(1_700_000_000_000_000)),
+            Options {
+                block_format: format,
+                ..Options::default()
+            },
+        )
+        .unwrap();
+        let schema = littletable_core::schema::Schema::new(
+            vec![
+                littletable_core::schema::ColumnDef::new("device", ColumnType::I64),
+                littletable_core::schema::ColumnDef::new("ts", ColumnType::Timestamp),
+                littletable_core::schema::ColumnDef::new("bytes", ColumnType::I64),
+            ],
+            &["device", "ts"],
+        )
+        .unwrap();
+        let table = db.create_table("t", schema, None).unwrap();
+        let mut batch = Vec::new();
+        for i in 0..ROWS {
+            batch.push(vec![
+                Value::I64((i / 1000) as i64),
+                Value::Timestamp(1_700_000_000_000_000 + (i % 1000) as i64),
+                Value::I64(i as i64 * 37),
+            ]);
+            if batch.len() == 1024 {
+                table.insert(std::mem::take(&mut batch)).unwrap();
+            }
+        }
+        if !batch.is_empty() {
+            table.insert(batch).unwrap();
+        }
+        table.flush_all().unwrap();
+        while table.run_merge_once(db.now()).unwrap() {}
+        (db, table)
+    };
+    let mut g = c.benchmark_group("scan_formats");
+    g.throughput(Throughput::Elements(ROWS));
+    for (label, format) in [
+        ("row_v2", BlockFormat::Row),
+        ("col_v3", BlockFormat::Columnar),
+    ] {
+        let (_db, table) = build(format);
+        g.bench_function(format!("full_scan/{label}"), |b| {
+            b.iter(|| {
+                let mut cur = table.query(&Query::all()).unwrap();
+                let mut n = 0u64;
+                while cur.next_row().unwrap().is_some() {
+                    n += 1;
+                }
+                assert_eq!(n, ROWS);
+            })
+        });
+        g.bench_function(format!("agg_sum_pushdown/{label}"), |b| {
+            let req = PushdownRequest {
+                query: Query::all(),
+                predicates: Vec::new(),
+                stats_cols: None,
+            };
+            b.iter(|| {
+                let mut sum = 0i64;
+                table
+                    .pushdown_scan(&req, &mut |unit| {
+                        match unit {
+                            ScanUnit::Stats { .. } => unreachable!(),
+                            ScanUnit::Block { block, .. } => {
+                                let col = block.column(2).unwrap();
+                                for ri in 0..block.len() {
+                                    if let Value::I64(v) = col.value(ri) {
+                                        sum += v;
+                                    }
+                                }
+                            }
+                            ScanUnit::Rows(rows) => {
+                                for row in rows {
+                                    if let Value::I64(v) = row.values[2] {
+                                        sum += v;
+                                    }
+                                }
+                            }
+                        }
+                        Ok(())
+                    })
+                    .unwrap();
+                std::hint::black_box(sum)
+            })
+        });
+        g.bench_function(format!("agg_count_stats/{label}"), |b| {
+            let req = PushdownRequest {
+                query: Query::all(),
+                predicates: Vec::new(),
+                stats_cols: Some(vec![2]),
+            };
+            b.iter(|| {
+                let mut n = 0u64;
+                table
+                    .pushdown_scan(&req, &mut |unit| {
+                        match unit {
+                            ScanUnit::Stats { rows, .. } => n += rows,
+                            ScanUnit::Block { block, .. } => n += block.len() as u64,
+                            ScanUnit::Rows(rows) => n += rows.len() as u64,
+                        }
+                        Ok(())
+                    })
+                    .unwrap();
+                assert_eq!(n, ROWS);
+            })
+        });
+    }
+    g.finish();
+}
+
 fn bench_hll(c: &mut Criterion) {
     c.bench_function("hll/add_1000", |b| {
         b.iter(|| {
@@ -284,6 +408,7 @@ criterion_group!(
     bench_engine_insert,
     bench_query_scan,
     bench_block_cache,
+    bench_scan_formats,
     bench_hll,
     bench_sql_parse,
     bench_fault_hook

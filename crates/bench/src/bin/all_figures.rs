@@ -20,4 +20,5 @@ fn main() {
     figures::ablations::run_unique(quick).emit();
     figures::cachefig::run(quick).emit();
     figures::contention::run(quick).emit();
+    figures::scanfig::run(quick).emit();
 }

@@ -1,0 +1,6 @@
+//! Regenerates BENCH_scan (row-v2 vs columnar-v3 scan/aggregate
+//! throughput and bytes on disk).
+
+fn main() {
+    littletable_bench::figures::scanfig::run(littletable_bench::quick_flag()).emit();
+}

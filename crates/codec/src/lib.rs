@@ -1,0 +1,850 @@
+//! Bit-level time-series column codecs for LittleTable's columnar (v3)
+//! block format.
+//!
+//! Tablets are immutable and time-clustered, so the columns inside a
+//! block are exactly the shape the time-series compression literature
+//! targets: timestamps arrive at near-constant intervals (delta-of-delta
+//! collapses to a bit per row), gauge-style doubles change slowly (XOR of
+//! consecutive IEEE 754 bit patterns is mostly zeros), counters grow
+//! monotonically (zigzag-encoded deltas stay small), and key columns such
+//! as device names repeat (dictionary + run-length). Each encoder
+//! competes against a raw fixed-width fallback and the *winner* is
+//! recorded in a per-column tag byte, so a pathological column never pays
+//! more than raw.
+//!
+//! Every decoder takes the expected value count, performs only checked
+//! reads, and returns [`CodecError`] on any malformed input — never a
+//! panic, never a short or long result. Padding bits at the end of a bit
+//! stream must be zero and less than one byte, so trailing garbage is
+//! detected rather than ignored.
+//!
+//! This crate is deliberately free of engine dependencies: it maps plain
+//! slices (`&[i64]`, `&[f64]`, byte strings) to bytes and back.
+
+use std::fmt;
+
+/// Codec tag stored per column in a v3 block: raw little-endian
+/// fixed-width values (or length-prefixed bytes for string/blob columns).
+pub const TAG_RAW: u8 = 0;
+/// Codec tag: Gorilla-style delta-of-delta bit packing for integers.
+pub const TAG_DELTA_DELTA: u8 = 1;
+/// Codec tag: zigzag varint of consecutive deltas.
+pub const TAG_ZIGZAG_DELTA: u8 = 2;
+/// Codec tag: Gorilla-style XOR compression for doubles.
+pub const TAG_XOR: u8 = 3;
+/// Codec tag: dictionary + run-length encoding for repetitive byte
+/// columns.
+pub const TAG_DICT_RLE: u8 = 4;
+
+/// Decoding failed: the input does not round-trip to the claimed number
+/// of values under the claimed codec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CodecError(pub String);
+
+impl CodecError {
+    fn new(msg: impl Into<String>) -> Self {
+        CodecError(msg.into())
+    }
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "codec: {}", self.0)
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+type Result<T> = std::result::Result<T, CodecError>;
+
+// ---------------------------------------------------------------- bit I/O
+
+/// MSB-first bit writer.
+#[derive(Default)]
+pub struct BitWriter {
+    buf: Vec<u8>,
+    /// Bits already used in the final byte of `buf`; 0 means aligned.
+    used: u8,
+}
+
+impl BitWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a single bit.
+    pub fn write_bit(&mut self, bit: bool) {
+        if self.used == 0 {
+            self.buf.push(0);
+            self.used = 8;
+        }
+        self.used -= 1;
+        if bit {
+            *self.buf.last_mut().expect("pushed above") |= 1 << self.used;
+        }
+    }
+
+    /// Appends the low `n` bits of `v`, most significant first.
+    pub fn write_bits(&mut self, v: u64, n: u8) {
+        debug_assert!(n <= 64);
+        for i in (0..n).rev() {
+            self.write_bit((v >> i) & 1 == 1);
+        }
+    }
+
+    /// Returns the buffer; unused bits in the final byte are zero.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// MSB-first bit reader with fully checked access.
+pub struct BitReader<'a> {
+    data: &'a [u8],
+    /// Next bit position.
+    pos: usize,
+}
+
+impl<'a> BitReader<'a> {
+    /// Wraps `data` for reading from its first bit.
+    pub fn new(data: &'a [u8]) -> Self {
+        BitReader { data, pos: 0 }
+    }
+
+    /// Reads one bit, erroring at end of input.
+    pub fn read_bit(&mut self) -> Result<bool> {
+        let byte = self.pos / 8;
+        if byte >= self.data.len() {
+            return Err(CodecError::new("bit stream truncated"));
+        }
+        let bit = (self.data[byte] >> (7 - (self.pos % 8))) & 1 == 1;
+        self.pos += 1;
+        Ok(bit)
+    }
+
+    /// Reads `n` bits MSB-first into the low bits of the result.
+    pub fn read_bits(&mut self, n: u8) -> Result<u64> {
+        debug_assert!(n <= 64);
+        let mut v = 0u64;
+        for _ in 0..n {
+            v = (v << 1) | self.read_bit()? as u64;
+        }
+        Ok(v)
+    }
+
+    /// Verifies that what remains is sub-byte zero padding: a valid
+    /// stream ends within 7 bits of the final byte and those bits are 0.
+    pub fn expect_zero_padding(&mut self) -> Result<()> {
+        let total = self.data.len() * 8;
+        if total - self.pos >= 8 {
+            return Err(CodecError::new("trailing bytes after bit stream"));
+        }
+        while self.pos < total {
+            if self.read_bit()? {
+                return Err(CodecError::new("nonzero padding after bit stream"));
+            }
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------- varints
+
+fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+    while v >= 0x80 {
+        out.push((v as u8) | 0x80);
+        v >>= 7;
+    }
+    out.push(v as u8);
+}
+
+fn read_varint(data: &[u8], pos: &mut usize) -> Result<u64> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let b = *data
+            .get(*pos)
+            .ok_or_else(|| CodecError::new("varint truncated"))?;
+        *pos += 1;
+        if shift == 63 && b > 1 {
+            return Err(CodecError::new("varint overflows u64"));
+        }
+        v |= ((b & 0x7F) as u64) << shift;
+        if b & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+        if shift > 63 {
+            return Err(CodecError::new("varint too long"));
+        }
+    }
+}
+
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+// ------------------------------------------------- delta-of-delta (i64)
+
+/// Encodes `vals` as a delta-of-delta bit stream (Gorilla §4.1.1 buckets,
+/// widened to a 64-bit escape so arbitrary i64 sequences round-trip).
+pub fn encode_delta_delta(vals: &[i64]) -> Vec<u8> {
+    let mut w = BitWriter::new();
+    let Some(&first) = vals.first() else {
+        return Vec::new();
+    };
+    w.write_bits(first as u64, 64);
+    let mut prev = first;
+    let mut prev_delta = 0i64;
+    for &v in &vals[1..] {
+        // Wrapping arithmetic: deltas of extreme values wrap mod 2^64 and
+        // un-wrap identically on decode, so round-trips stay exact.
+        let delta = v.wrapping_sub(prev);
+        let dod = delta.wrapping_sub(prev_delta);
+        match dod {
+            0 => w.write_bit(false),
+            -63..=64 => {
+                w.write_bits(0b10, 2);
+                w.write_bits((dod + 63) as u64, 7);
+            }
+            -255..=256 => {
+                w.write_bits(0b110, 3);
+                w.write_bits((dod + 255) as u64, 9);
+            }
+            -2047..=2048 => {
+                w.write_bits(0b1110, 4);
+                w.write_bits((dod + 2047) as u64, 12);
+            }
+            _ => {
+                w.write_bits(0b1111, 4);
+                w.write_bits(dod as u64, 64);
+            }
+        }
+        prev = v;
+        prev_delta = delta;
+    }
+    w.finish()
+}
+
+/// Decodes exactly `n` values from a delta-of-delta stream.
+pub fn decode_delta_delta(data: &[u8], n: usize) -> Result<Vec<i64>> {
+    if n == 0 {
+        return if data.is_empty() {
+            Ok(Vec::new())
+        } else {
+            Err(CodecError::new("nonempty stream for zero values"))
+        };
+    }
+    // Each value past the first costs at least one bit; a row count that
+    // cannot fit is corrupt, and bounding it here also bounds allocation.
+    if n > data.len().saturating_mul(8) {
+        return Err(CodecError::new(
+            "delta-of-delta stream shorter than row count",
+        ));
+    }
+    let mut r = BitReader::new(data);
+    let mut out = Vec::with_capacity(n);
+    let mut prev = r.read_bits(64)? as i64;
+    out.push(prev);
+    let mut prev_delta = 0i64;
+    while out.len() < n {
+        let dod = if !r.read_bit()? {
+            0
+        } else if !r.read_bit()? {
+            r.read_bits(7)? as i64 - 63
+        } else if !r.read_bit()? {
+            r.read_bits(9)? as i64 - 255
+        } else if !r.read_bit()? {
+            r.read_bits(12)? as i64 - 2047
+        } else {
+            r.read_bits(64)? as i64
+        };
+        let delta = prev_delta.wrapping_add(dod);
+        prev = prev.wrapping_add(delta);
+        prev_delta = delta;
+        out.push(prev);
+    }
+    r.expect_zero_padding()?;
+    Ok(out)
+}
+
+// ------------------------------------------------- zigzag-delta (i64)
+
+/// Encodes `vals` as zigzag varints of consecutive deltas (first delta is
+/// from zero).
+pub fn encode_zigzag_delta(vals: &[i64]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(vals.len() * 2);
+    let mut prev = 0i64;
+    for &v in vals {
+        put_varint(&mut out, zigzag(v.wrapping_sub(prev)));
+        prev = v;
+    }
+    out
+}
+
+/// Decodes exactly `n` values from a zigzag-delta stream.
+pub fn decode_zigzag_delta(data: &[u8], n: usize) -> Result<Vec<i64>> {
+    if n > data.len() {
+        // Every varint is at least one byte.
+        return Err(CodecError::new(
+            "zigzag-delta stream shorter than row count",
+        ));
+    }
+    let mut pos = 0usize;
+    let mut out = Vec::with_capacity(n);
+    let mut prev = 0i64;
+    for _ in 0..n {
+        prev = prev.wrapping_add(unzigzag(read_varint(data, &mut pos)?));
+        out.push(prev);
+    }
+    if pos != data.len() {
+        return Err(CodecError::new("trailing bytes after zigzag-delta stream"));
+    }
+    Ok(out)
+}
+
+// ------------------------------------------------------- XOR floats
+
+/// Encodes `vals` with Gorilla XOR compression (§4.1.2): each double is
+/// XORed with its predecessor and only the meaningful bits are stored.
+/// NaN and ±infinity are just bit patterns here and round-trip exactly.
+pub fn encode_xor_f64(vals: &[f64]) -> Vec<u8> {
+    let mut w = BitWriter::new();
+    let Some(&first) = vals.first() else {
+        return Vec::new();
+    };
+    w.write_bits(first.to_bits(), 64);
+    let mut prev = first.to_bits();
+    // Current reuse window: `leading` zero bits then `sig` stored bits.
+    // `sig == 0` marks "no window yet".
+    let mut leading = 0u8;
+    let mut sig = 0u8;
+    for &v in &vals[1..] {
+        let bits = v.to_bits();
+        let x = bits ^ prev;
+        prev = bits;
+        if x == 0 {
+            w.write_bit(false);
+            continue;
+        }
+        w.write_bit(true);
+        let lz = (x.leading_zeros() as u8).min(31); // 5-bit field
+        let tz = x.trailing_zeros() as u8;
+        let win_trailing = 64 - leading - sig;
+        if sig > 0 && lz >= leading && tz >= win_trailing {
+            // Fits the previous window: control bit 0, reuse its shape.
+            w.write_bit(false);
+            w.write_bits(x >> win_trailing, sig);
+        } else {
+            w.write_bit(true);
+            leading = lz;
+            sig = 64 - lz - tz;
+            w.write_bits(leading as u64, 5);
+            w.write_bits((sig - 1) as u64, 6); // sig in 1..=64
+            w.write_bits(x >> tz, sig);
+        }
+    }
+    w.finish()
+}
+
+/// Decodes exactly `n` values from a Gorilla XOR stream.
+pub fn decode_xor_f64(data: &[u8], n: usize) -> Result<Vec<f64>> {
+    if n == 0 {
+        return if data.is_empty() {
+            Ok(Vec::new())
+        } else {
+            Err(CodecError::new("nonempty stream for zero values"))
+        };
+    }
+    if n > data.len().saturating_mul(8) {
+        return Err(CodecError::new("xor stream shorter than row count"));
+    }
+    let mut r = BitReader::new(data);
+    let mut out = Vec::with_capacity(n);
+    let mut prev = r.read_bits(64)?;
+    out.push(f64::from_bits(prev));
+    let mut leading = 0u8;
+    let mut sig = 0u8;
+    while out.len() < n {
+        if !r.read_bit()? {
+            out.push(f64::from_bits(prev));
+            continue;
+        }
+        if r.read_bit()? {
+            leading = r.read_bits(5)? as u8;
+            sig = r.read_bits(6)? as u8 + 1;
+            if leading + sig > 64 {
+                return Err(CodecError::new("xor window wider than 64 bits"));
+            }
+        } else if sig == 0 {
+            return Err(CodecError::new("xor window reused before being defined"));
+        }
+        let meaningful = r.read_bits(sig)?;
+        let x = meaningful << (64 - leading - sig);
+        prev ^= x;
+        out.push(f64::from_bits(prev));
+    }
+    r.expect_zero_padding()?;
+    Ok(out)
+}
+
+// -------------------------------------------------- dictionary/RLE bytes
+
+/// Encodes byte strings as a first-seen-order dictionary plus
+/// run-length-encoded codes. Returns `None` when the column is too
+/// distinct for a one-byte code space (the caller falls back to raw).
+pub fn encode_dict_rle(vals: &[&[u8]]) -> Option<Vec<u8>> {
+    let mut dict: Vec<&[u8]> = Vec::new();
+    let mut codes = Vec::with_capacity(vals.len());
+    for v in vals {
+        // Linear probe: the dictionary is ≤ 256 entries and columns are
+        // low-cardinality by selection (raw wins otherwise).
+        let code = match dict.iter().position(|d| d == v) {
+            Some(c) => c,
+            None => {
+                if dict.len() == 256 {
+                    return None;
+                }
+                dict.push(v);
+                dict.len() - 1
+            }
+        };
+        codes.push(code as u8);
+    }
+    let mut out = Vec::new();
+    put_varint(&mut out, dict.len() as u64);
+    for d in &dict {
+        put_varint(&mut out, d.len() as u64);
+        out.extend_from_slice(d);
+    }
+    let mut i = 0usize;
+    while i < codes.len() {
+        let mut j = i + 1;
+        while j < codes.len() && codes[j] == codes[i] {
+            j += 1;
+        }
+        out.push(codes[i]);
+        put_varint(&mut out, (j - i) as u64);
+        i = j;
+    }
+    Some(out)
+}
+
+/// Decodes exactly `n` byte strings from a dictionary/RLE stream.
+pub fn decode_dict_rle(data: &[u8], n: usize) -> Result<Vec<Vec<u8>>> {
+    let mut pos = 0usize;
+    let dict_len = read_varint(data, &mut pos)? as usize;
+    if dict_len > 256 {
+        return Err(CodecError::new("dictionary larger than code space"));
+    }
+    let mut dict: Vec<&[u8]> = Vec::with_capacity(dict_len);
+    for _ in 0..dict_len {
+        let len = read_varint(data, &mut pos)? as usize;
+        let end = pos
+            .checked_add(len)
+            .filter(|&e| e <= data.len())
+            .ok_or_else(|| CodecError::new("dictionary entry truncated"))?;
+        dict.push(&data[pos..end]);
+        pos = end;
+    }
+    let mut out: Vec<Vec<u8>> = Vec::with_capacity(n);
+    while out.len() < n {
+        let code = *data
+            .get(pos)
+            .ok_or_else(|| CodecError::new("rle run truncated"))? as usize;
+        pos += 1;
+        let run = read_varint(data, &mut pos)? as usize;
+        let entry = dict
+            .get(code)
+            .ok_or_else(|| CodecError::new("rle code out of dictionary range"))?;
+        if run == 0 || run > n - out.len() {
+            return Err(CodecError::new("rle run length out of range"));
+        }
+        for _ in 0..run {
+            out.push(entry.to_vec());
+        }
+    }
+    if pos != data.len() {
+        return Err(CodecError::new("trailing bytes after rle stream"));
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------- raw fallback
+
+/// Encodes integers as fixed-width little-endian words.
+pub fn encode_raw_i64(vals: &[i64]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(vals.len() * 8);
+    for v in vals {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+/// Decodes exactly `n` fixed-width integers.
+pub fn decode_raw_i64(data: &[u8], n: usize) -> Result<Vec<i64>> {
+    if data.len() != n * 8 {
+        return Err(CodecError::new("raw i64 column has wrong length"));
+    }
+    Ok(data
+        .chunks_exact(8)
+        .map(|c| i64::from_le_bytes(c.try_into().expect("chunk is 8 bytes")))
+        .collect())
+}
+
+/// Encodes doubles as fixed-width little-endian words.
+pub fn encode_raw_f64(vals: &[f64]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(vals.len() * 8);
+    for v in vals {
+        out.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+    out
+}
+
+/// Decodes exactly `n` fixed-width doubles.
+pub fn decode_raw_f64(data: &[u8], n: usize) -> Result<Vec<f64>> {
+    if data.len() != n * 8 {
+        return Err(CodecError::new("raw f64 column has wrong length"));
+    }
+    Ok(data
+        .chunks_exact(8)
+        .map(|c| f64::from_bits(u64::from_le_bytes(c.try_into().expect("chunk is 8 bytes"))))
+        .collect())
+}
+
+/// Encodes byte strings as length-prefixed values.
+pub fn encode_raw_bytes(vals: &[&[u8]]) -> Vec<u8> {
+    let mut out = Vec::new();
+    for v in vals {
+        put_varint(&mut out, v.len() as u64);
+        out.extend_from_slice(v);
+    }
+    out
+}
+
+/// Decodes exactly `n` length-prefixed byte strings.
+pub fn decode_raw_bytes(data: &[u8], n: usize) -> Result<Vec<Vec<u8>>> {
+    let mut pos = 0usize;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let len = read_varint(data, &mut pos)? as usize;
+        let end = pos
+            .checked_add(len)
+            .filter(|&e| e <= data.len())
+            .ok_or_else(|| CodecError::new("raw byte value truncated"))?;
+        out.push(data[pos..end].to_vec());
+        pos = end;
+    }
+    if pos != data.len() {
+        return Err(CodecError::new("trailing bytes after raw byte column"));
+    }
+    Ok(out)
+}
+
+// ----------------------------------------------------- codec selection
+
+/// Encodes an integer (or timestamp) column, racing delta-of-delta
+/// against zigzag-delta against raw and keeping the smallest. Returns
+/// `(codec tag, bytes)`.
+pub fn encode_i64_column(vals: &[i64]) -> (u8, Vec<u8>) {
+    let dod = encode_delta_delta(vals);
+    let zz = encode_zigzag_delta(vals);
+    let raw_len = vals.len() * 8;
+    if dod.len() <= zz.len() && dod.len() <= raw_len {
+        (TAG_DELTA_DELTA, dod)
+    } else if zz.len() <= raw_len {
+        (TAG_ZIGZAG_DELTA, zz)
+    } else {
+        (TAG_RAW, encode_raw_i64(vals))
+    }
+}
+
+/// Decodes an integer column under the codec named by `tag`.
+pub fn decode_i64_column(tag: u8, data: &[u8], n: usize) -> Result<Vec<i64>> {
+    match tag {
+        TAG_RAW => decode_raw_i64(data, n),
+        TAG_DELTA_DELTA => decode_delta_delta(data, n),
+        TAG_ZIGZAG_DELTA => decode_zigzag_delta(data, n),
+        t => Err(CodecError::new(format!("unknown integer codec tag {t}"))),
+    }
+}
+
+/// Encodes a double column, racing XOR compression against raw.
+pub fn encode_f64_column(vals: &[f64]) -> (u8, Vec<u8>) {
+    let xor = encode_xor_f64(vals);
+    if xor.len() <= vals.len() * 8 {
+        (TAG_XOR, xor)
+    } else {
+        (TAG_RAW, encode_raw_f64(vals))
+    }
+}
+
+/// Decodes a double column under the codec named by `tag`.
+pub fn decode_f64_column(tag: u8, data: &[u8], n: usize) -> Result<Vec<f64>> {
+    match tag {
+        TAG_RAW => decode_raw_f64(data, n),
+        TAG_XOR => decode_xor_f64(data, n),
+        t => Err(CodecError::new(format!("unknown float codec tag {t}"))),
+    }
+}
+
+/// Encodes a string/blob column, using dictionary + RLE when the column
+/// is low-cardinality enough to win, raw length-prefixed bytes otherwise.
+pub fn encode_bytes_column(vals: &[&[u8]]) -> (u8, Vec<u8>) {
+    let raw = encode_raw_bytes(vals);
+    match encode_dict_rle(vals) {
+        Some(d) if d.len() <= raw.len() => (TAG_DICT_RLE, d),
+        _ => (TAG_RAW, raw),
+    }
+}
+
+/// Decodes a string/blob column under the codec named by `tag`.
+pub fn decode_bytes_column(tag: u8, data: &[u8], n: usize) -> Result<Vec<Vec<u8>>> {
+    match tag {
+        TAG_RAW => decode_raw_bytes(data, n),
+        TAG_DICT_RLE => decode_dict_rle(data, n),
+        t => Err(CodecError::new(format!("unknown bytes codec tag {t}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn check_i64(vals: &[i64]) {
+        for (tag, data) in [
+            (TAG_DELTA_DELTA, encode_delta_delta(vals)),
+            (TAG_ZIGZAG_DELTA, encode_zigzag_delta(vals)),
+            (TAG_RAW, encode_raw_i64(vals)),
+        ] {
+            let back = decode_i64_column(tag, &data, vals.len()).unwrap();
+            assert_eq!(back, vals, "tag {tag}");
+        }
+        let (tag, data) = encode_i64_column(vals);
+        assert_eq!(decode_i64_column(tag, &data, vals.len()).unwrap(), vals);
+    }
+
+    fn check_f64(vals: &[f64]) {
+        let bits: Vec<u64> = vals.iter().map(|v| v.to_bits()).collect();
+        for (tag, data) in [
+            (TAG_XOR, encode_xor_f64(vals)),
+            (TAG_RAW, encode_raw_f64(vals)),
+        ] {
+            let back = decode_f64_column(tag, &data, vals.len()).unwrap();
+            let back_bits: Vec<u64> = back.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(back_bits, bits, "tag {tag}");
+        }
+        let (tag, data) = encode_f64_column(vals);
+        let back = decode_f64_column(tag, &data, vals.len()).unwrap();
+        assert_eq!(back.iter().map(|v| v.to_bits()).collect::<Vec<_>>(), bits);
+    }
+
+    fn check_bytes(vals: &[&[u8]]) {
+        let (tag, data) = encode_bytes_column(vals);
+        assert_eq!(decode_bytes_column(tag, &data, vals.len()).unwrap(), vals);
+        let raw = encode_raw_bytes(vals);
+        assert_eq!(decode_raw_bytes(&raw, vals.len()).unwrap(), vals);
+        if let Some(d) = encode_dict_rle(vals) {
+            assert_eq!(decode_dict_rle(&d, vals.len()).unwrap(), vals);
+        }
+    }
+
+    #[test]
+    fn empty_and_single_sequences() {
+        check_i64(&[]);
+        check_i64(&[0]);
+        check_i64(&[i64::MIN]);
+        check_i64(&[i64::MAX]);
+        check_f64(&[]);
+        check_f64(&[0.0]);
+        check_f64(&[-0.0]);
+        check_bytes(&[]);
+        check_bytes(&[b""]);
+        check_bytes(&[b"only"]);
+    }
+
+    #[test]
+    fn constant_sequences_compress_hard() {
+        let vals = vec![1_700_000_000_000_000i64; 1000];
+        check_i64(&vals);
+        let dod = encode_delta_delta(&vals);
+        // 64-bit header + ~1 bit per row.
+        assert!(dod.len() < 8 + 1000 / 8 + 2, "dod len {}", dod.len());
+        check_f64(&vec![21.5; 500]);
+        let xor = encode_xor_f64(&vec![21.5; 500]);
+        assert!(xor.len() < 8 + 500 / 8 + 2, "xor len {}", xor.len());
+        let strs: Vec<&[u8]> = vec![b"device-a"; 300];
+        check_bytes(&strs);
+        let dict = encode_dict_rle(&strs).unwrap();
+        assert!(dict.len() < 20, "dict len {}", dict.len());
+    }
+
+    #[test]
+    fn regular_timestamps_take_about_a_bit_each() {
+        let vals: Vec<i64> = (0..4096)
+            .map(|i| 1_600_000_000_000_000 + i * 60_000_000)
+            .collect();
+        let dod = encode_delta_delta(&vals);
+        assert!(dod.len() < 8 + 16 + 4096 / 8, "dod len {}", dod.len());
+        check_i64(&vals);
+    }
+
+    #[test]
+    fn adversarial_integer_patterns() {
+        check_i64(&[i64::MIN, i64::MAX, i64::MIN, i64::MAX]);
+        check_i64(&[0, i64::MAX, i64::MIN, -1, 1, 0]);
+        check_i64(&[-1, 0, -1, 0, i64::MIN / 2, i64::MAX / 2]);
+        // Alternating signs around every bucket boundary.
+        for b in [63i64, 64, 255, 256, 2047, 2048] {
+            check_i64(&[0, b, -b, b + 1, -(b + 1), b - 1]);
+        }
+    }
+
+    #[test]
+    fn special_floats_round_trip() {
+        check_f64(&[f64::NAN, f64::INFINITY, f64::NEG_INFINITY, 0.0, -0.0]);
+        check_f64(&[f64::MIN_POSITIVE, f64::MAX, f64::MIN, f64::EPSILON]);
+        check_f64(&[1.0, f64::NAN, 1.0, f64::NAN]);
+        // NaN payload bits must survive exactly.
+        let weird = f64::from_bits(0x7FF8_0000_DEAD_BEEF);
+        check_f64(&[weird, weird, 1.0, weird]);
+    }
+
+    #[test]
+    fn mixed_cardinality_bytes() {
+        let vals: Vec<Vec<u8>> = (0..500)
+            .map(|i| format!("dev-{}", i % 7).into_bytes())
+            .collect();
+        let refs: Vec<&[u8]> = vals.iter().map(|v| v.as_slice()).collect();
+        check_bytes(&refs);
+        let (tag, _) = encode_bytes_column(&refs);
+        assert_eq!(tag, TAG_DICT_RLE);
+        // High-cardinality columns fall back to raw.
+        let uniq: Vec<Vec<u8>> = (0..500)
+            .map(|i| format!("unique-{i}").into_bytes())
+            .collect();
+        let refs: Vec<&[u8]> = uniq.iter().map(|v| v.as_slice()).collect();
+        check_bytes(&refs);
+        let (tag, _) = encode_bytes_column(&refs);
+        assert_eq!(tag, TAG_RAW);
+    }
+
+    #[test]
+    fn wrong_count_and_garbage_are_errors_not_panics() {
+        let vals = [1i64, 2, 3];
+        let (tag, data) = encode_i64_column(&vals);
+        assert!(decode_i64_column(tag, &data, 4).is_err());
+        assert!(decode_i64_column(tag, &data, 2).is_err());
+        assert!(decode_i64_column(9, &data, 3).is_err());
+        assert!(decode_delta_delta(&[], 1).is_err());
+        assert!(decode_xor_f64(&[0xFF], 2).is_err());
+        assert!(decode_dict_rle(&[0x02, 0x01], 3).is_err());
+        assert!(decode_raw_i64(&[0; 7], 1).is_err());
+        // Huge claimed counts must not allocate before failing.
+        assert!(decode_delta_delta(&[0; 16], usize::MAX / 2).is_err());
+        assert!(decode_zigzag_delta(&[0; 16], usize::MAX / 2).is_err());
+    }
+
+    #[test]
+    fn seeded_fuzz_round_trips() {
+        let mut rng = SmallRng::seed_from_u64(0x0011_77AB_1EC0_DEC5);
+        for _ in 0..200 {
+            let n = rng.gen_range(0..200);
+            let mode = rng.gen_range(0..4);
+            let ints: Vec<i64> = (0..n)
+                .scan(rng.gen::<i64>() >> 20, |acc, _| {
+                    *acc = match mode {
+                        0 => acc.wrapping_add(rng.gen_range(-5..50)),
+                        1 => acc.wrapping_add(rng.gen_range(-1_000_000..1_000_000)),
+                        2 => rng.gen(),
+                        _ => *acc,
+                    };
+                    Some(*acc)
+                })
+                .collect();
+            check_i64(&ints);
+            let floats: Vec<f64> = (0..n)
+                .scan(rng.gen_range(-100.0..100.0), |acc: &mut f64, _| {
+                    if mode == 2 {
+                        Some(f64::from_bits(rng.gen()))
+                    } else {
+                        *acc += rng.gen_range(-0.5..0.5);
+                        Some(*acc)
+                    }
+                })
+                .collect();
+            check_f64(&floats);
+            let strs: Vec<Vec<u8>> = (0..n)
+                .map(|_| format!("s{}", rng.gen_range(0..(1 + mode * 100))).into_bytes())
+                .collect();
+            let refs: Vec<&[u8]> = strs.iter().map(|v| v.as_slice()).collect();
+            check_bytes(&refs);
+        }
+    }
+
+    #[test]
+    fn seeded_fuzz_garbage_never_panics() {
+        let mut rng = SmallRng::seed_from_u64(0xBAD_DECADE);
+        for _ in 0..500 {
+            let len = rng.gen_range(0..64);
+            let data: Vec<u8> = (0..len).map(|_| rng.gen()).collect();
+            let n = rng.gen_range(0..100);
+            for tag in 0..6u8 {
+                let _ = decode_i64_column(tag, &data, n);
+                let _ = decode_f64_column(tag, &data, n);
+                let _ = decode_bytes_column(tag, &data, n);
+            }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_i64_round_trip(vals in proptest::collection::vec(any::<i64>(), 0..300)) {
+            check_i64(&vals);
+        }
+
+        #[test]
+        fn prop_smooth_i64_round_trip(
+            start in -1_000_000_000i64..1_000_000_000,
+            deltas in proptest::collection::vec(-1000i64..1000, 0..300),
+        ) {
+            let vals: Vec<i64> = deltas.iter().scan(start, |acc, d| {
+                *acc = acc.wrapping_add(*d);
+                Some(*acc)
+            }).collect();
+            check_i64(&vals);
+        }
+
+        #[test]
+        fn prop_f64_round_trip(bits in proptest::collection::vec(any::<u64>(), 0..300)) {
+            let vals: Vec<f64> = bits.iter().map(|&b| f64::from_bits(b)).collect();
+            check_f64(&vals);
+        }
+
+        #[test]
+        fn prop_bytes_round_trip(vals in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 0..20), 0..200)) {
+            let refs: Vec<&[u8]> = vals.iter().map(|v| v.as_slice()).collect();
+            check_bytes(&refs);
+        }
+
+        #[test]
+        fn prop_decode_garbage_is_total(
+            data in proptest::collection::vec(any::<u8>(), 0..128),
+            n in 0usize..256,
+            tag in 0u8..8,
+        ) {
+            let _ = decode_i64_column(tag, &data, n);
+            let _ = decode_f64_column(tag, &data, n);
+            let _ = decode_bytes_column(tag, &data, n);
+        }
+    }
+}

@@ -745,12 +745,15 @@ mod tests {
                 max_ts: 1,
                 row_count: 10,
                 bloom: None,
+                format: crate::block::BlockFormat::Row,
                 blocks: (0..nblocks)
                     .map(|i| crate::tablet::BlockIndexEntry {
                         offset: i as u64 * 100,
                         compressed_len: 100,
                         uncompressed_len: 300,
                         crc: None,
+                        rows: 0,
+                        zones: Vec::new(),
                         last_key: vec![0u8; 16],
                     })
                     .collect(),

@@ -9,7 +9,7 @@
 use crate::block::Block;
 use crate::error::Result;
 use crate::keyenc::KeyRange;
-use crate::row::{decode_row, Row};
+use crate::row::Row;
 use crate::schema::SchemaRef;
 use crate::tablet::{TabletFooter, TabletReader};
 use std::cmp::Reverse;
@@ -245,15 +245,15 @@ impl DiskCursor {
     fn emit(&self, bi: usize, ri: usize) -> Result<(Vec<u8>, Row)> {
         let block = self.block.as_ref().expect("block loaded");
         debug_assert_eq!(self.pos, Some((bi, ri)));
-        let (key, payload) = block.entry(ri)?;
         let footer = self.footer.as_ref().expect("init pinned the footer");
-        let row = decode_row(key, payload, &footer.schema)?;
+        let key = block.key(ri)?.to_vec();
+        let row = block.row(ri, &footer.schema)?;
         let row = if footer.schema.version() == self.newest.version() {
             row
         } else {
             Row::new(footer.schema.translate_row(&self.newest, row.values)?)
         };
-        Ok((key.to_vec(), row))
+        Ok((key, row))
     }
 }
 
@@ -396,7 +396,6 @@ impl MergeCursor {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::row::encode_payload;
     use crate::schema::{ColumnDef, Schema};
     use crate::tablet::TabletWriter;
     use crate::value::{ColumnType, Value};
@@ -423,15 +422,23 @@ mod tests {
 
     /// Writes a tablet holding rows (n, ts=n) for n in `ns`.
     fn write(vfs: &SimVfs, path: &str, s: &Schema, ns: &[i64]) -> Arc<TabletReader> {
-        let mut w = TabletWriter::new(vfs.create(path, 0).unwrap(), s.clone(), 256, false);
+        write_as(vfs, path, s, ns, crate::block::BlockFormat::Columnar)
+    }
+
+    fn write_as(
+        vfs: &SimVfs,
+        path: &str,
+        s: &Schema,
+        ns: &[i64],
+        format: crate::block::BlockFormat,
+    ) -> Arc<TabletReader> {
+        let mut w = TabletWriter::new(vfs.create(path, 0).unwrap(), s.clone(), 256, false, format);
         let mut sorted = ns.to_vec();
         sorted.sort_unstable();
         for n in sorted {
             let row = Row::new(vec![Value::I64(n), Value::Timestamp(n)]);
             let key = row.encode_key(s).unwrap();
-            let mut payload = Vec::new();
-            encode_payload(&mut payload, &row, s);
-            w.add(&key, &payload, n).unwrap();
+            w.add_row(&key, &row).unwrap();
         }
         w.finish().unwrap();
         Arc::new(TabletReader::new(

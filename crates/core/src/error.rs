@@ -108,6 +108,12 @@ impl From<littletable_compress::DecompressError> for Error {
     }
 }
 
+impl From<littletable_codec::CodecError> for Error {
+    fn from(e: littletable_codec::CodecError) -> Self {
+        Error::Corrupt(format!("column codec: {e}"))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

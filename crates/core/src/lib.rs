@@ -37,6 +37,7 @@ pub mod tablet;
 pub mod util;
 pub mod value;
 
+pub use block::{BlockFormat, ColumnSlice};
 pub use cache::BlockCache;
 pub use db::Db;
 pub use error::{Error, Result};
@@ -44,5 +45,8 @@ pub use options::Options;
 pub use query::Query;
 pub use row::Row;
 pub use schema::{ColumnDef, Schema, SchemaRef, TS_COLUMN};
-pub use table::{InsertReport, MaintenanceReport, QueryCursor, Table};
+pub use table::{
+    ColumnPredicate, InsertReport, MaintenanceReport, PredOp, PushdownRequest, QueryCursor,
+    ScanUnit, Table,
+};
 pub use value::{ColumnType, Value};

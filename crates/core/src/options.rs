@@ -1,5 +1,6 @@
 //! Engine tuning options.
 
+use crate::block::BlockFormat;
 use crate::mergepolicy::MergePolicy;
 use littletable_vfs::Micros;
 
@@ -86,6 +87,14 @@ pub struct Options {
     /// Base backoff between maintenance retries, in milliseconds; doubles
     /// per attempt, capped at one second.
     pub io_retry_backoff_ms: u64,
+    /// Block layout for newly written tablets. [`BlockFormat::Columnar`]
+    /// (the default) writes footer-v3 tablets whose blocks hold
+    /// per-column codec-compressed slices with zone maps, enabling
+    /// aggregate pushdown; [`BlockFormat::Row`] writes the classic
+    /// footer-v2 row layout. Either way, tablets of both layouts read
+    /// back transparently, and merges rewrite mixed inputs into the
+    /// configured format.
+    pub block_format: BlockFormat,
 }
 
 impl Default for Options {
@@ -112,6 +121,7 @@ impl Default for Options {
             strict_open: false,
             io_retry_limit: 3,
             io_retry_backoff_ms: 10,
+            block_format: BlockFormat::Columnar,
         }
     }
 }
@@ -174,6 +184,7 @@ mod tests {
         assert!(!o.strict_open);
         assert_eq!(o.io_retry_limit, 3);
         assert_eq!(o.io_retry_backoff_ms, 10);
+        assert_eq!(o.block_format, BlockFormat::Columnar);
     }
 
     #[test]

@@ -68,6 +68,16 @@ pub struct TableStats {
     /// Tablet files set aside at open because they were missing or failed
     /// footer/CRC validation (see `Options::strict_open`).
     pub tablets_quarantined: AtomicU64,
+    /// Pushdown scans started (aggregate queries routed through
+    /// [`crate::table::Table::pushdown_scan`] instead of the row cursor).
+    pub pushdown_scans: AtomicU64,
+    /// Blocks skipped outright by a pushdown scan because their zone
+    /// maps proved no row could match.
+    pub blocks_pruned: AtomicU64,
+    /// Rows materialized into [`crate::row::Row`] values on the read
+    /// path (cursor emits plus pushdown boundary rows). The pushdown win
+    /// shows up as this counter staying far below `rows_scanned`.
+    pub rows_materialized: AtomicU64,
 }
 
 /// A plain-value snapshot of [`TableStats`].
@@ -121,6 +131,12 @@ pub struct StatsSnapshot {
     pub maintenance_errors: u64,
     /// See [`TableStats::tablets_quarantined`].
     pub tablets_quarantined: u64,
+    /// See [`TableStats::pushdown_scans`].
+    pub pushdown_scans: u64,
+    /// See [`TableStats::blocks_pruned`].
+    pub blocks_pruned: u64,
+    /// See [`TableStats::rows_materialized`].
+    pub rows_materialized: u64,
 }
 
 impl TableStats {
@@ -158,6 +174,9 @@ impl TableStats {
             io_retries: self.io_retries.load(Ordering::Relaxed),
             maintenance_errors: self.maintenance_errors.load(Ordering::Relaxed),
             tablets_quarantined: self.tablets_quarantined.load(Ordering::Relaxed),
+            pushdown_scans: self.pushdown_scans.load(Ordering::Relaxed),
+            blocks_pruned: self.blocks_pruned.load(Ordering::Relaxed),
+            rows_materialized: self.rows_materialized.load(Ordering::Relaxed),
         }
     }
 }

@@ -1,0 +1,792 @@
+//! Vectorized aggregate pushdown over columnar tablets.
+//!
+//! [`Table::pushdown_scan`] walks the same read-view snapshot as
+//! [`Table::query`], but instead of merging rows in key order it hands
+//! the caller the cheapest unit that still answers an aggregate
+//! exactly, per block:
+//!
+//! * [`ScanUnit::Stats`] — the block's footer statistics (row count and
+//!   per-column zone maps). No block bytes are touched at all; enough
+//!   for `COUNT`/`MIN`/`MAX` when every predicate is decided by zones.
+//! * [`ScanUnit::Block`] — a decoded columnar block whose rows are all
+//!   proven inside the key and time bounds; the caller aggregates
+//!   straight over column slices, re-checking only the listed
+//!   `uncertain` predicates. No keys and no [`Row`]s are materialized.
+//! * [`ScanUnit::Rows`] — fully filtered, materialized rows, used for
+//!   boundary blocks, memtablets, and tablets that predate the columnar
+//!   format (or were written under an older schema version).
+//!
+//! Correctness leans on two engine invariants: primary keys are unique
+//! across the whole table (insert-time uniqueness, §3.4.4), so no
+//! dedup between tablets is needed; and zone maps are never stored over
+//! NaN-containing float slices, so a zone proof is a proof about every
+//! row. Units arrive in no particular global order — aggregates do not
+//! care — and the scan honors neither `descending` nor `limit`.
+
+use super::Table;
+use crate::block::Block;
+use crate::cursor::{DiskCursor, RowSource};
+use crate::error::{Error, Result};
+use crate::keyenc::KeyRange;
+use crate::query::Query;
+use crate::row::Row;
+use crate::stats::TableStats;
+use crate::value::Value;
+use std::cmp::Ordering;
+use std::ops::Bound;
+use std::sync::Arc;
+
+/// Comparison operator of a pushed-down predicate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PredOp {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Less than.
+    Lt,
+    /// Less than or equal.
+    Le,
+    /// Greater than.
+    Gt,
+    /// Greater than or equal.
+    Ge,
+}
+
+/// Compares two values for predicate evaluation: the integer family
+/// (`I32`/`I64`/`Timestamp`) compares across widths, floats by
+/// `partial_cmp` (`None` against NaN), strings and blobs bytewise.
+/// `None` means incomparable — such pairs satisfy no operator.
+pub fn cmp_values(a: &Value, b: &Value) -> Option<Ordering> {
+    let int = |v: &Value| match v {
+        Value::I32(x) => Some(*x as i64),
+        Value::I64(x) => Some(*x),
+        Value::Timestamp(x) => Some(*x),
+        _ => None,
+    };
+    if let (Some(x), Some(y)) = (int(a), int(b)) {
+        return Some(x.cmp(&y));
+    }
+    match (a, b) {
+        (Value::F64(x), Value::F64(y)) => x.partial_cmp(y),
+        (Value::Str(x), Value::Str(y)) => Some(x.cmp(y)),
+        (Value::Blob(x), Value::Blob(y)) => Some(x.cmp(y)),
+        _ => None,
+    }
+}
+
+/// A per-row filter `row[col] op value`, pushed below the scan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnPredicate {
+    /// Column index in the (newest) schema.
+    pub col: usize,
+    /// Operator.
+    pub op: PredOp,
+    /// Comparison value.
+    pub value: Value,
+}
+
+/// How a predicate relates to a block, judged from its zone map.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ZoneVerdict {
+    /// Every row in the block satisfies the predicate.
+    AllMatch,
+    /// No row in the block satisfies the predicate.
+    NoneMatch,
+    /// The zone cannot decide; rows must be checked individually.
+    Uncertain,
+}
+
+impl ColumnPredicate {
+    /// Evaluates the predicate against one value. Incomparable pairs
+    /// (including NaN on either side) match no operator, mirroring the
+    /// SQL layer's residual-filter semantics.
+    pub fn matches(&self, v: &Value) -> bool {
+        match (self.op, cmp_values(v, &self.value)) {
+            (PredOp::Eq, Some(Ordering::Equal)) => true,
+            (PredOp::Ne, Some(o)) => o != Ordering::Equal,
+            (PredOp::Lt, Some(Ordering::Less)) => true,
+            (PredOp::Le, Some(Ordering::Less | Ordering::Equal)) => true,
+            (PredOp::Gt, Some(Ordering::Greater)) => true,
+            (PredOp::Ge, Some(Ordering::Greater | Ordering::Equal)) => true,
+            _ => false,
+        }
+    }
+
+    /// Judges the predicate against a block's `(min, max)` zone.
+    /// `None` zones are always [`ZoneVerdict::Uncertain`] — absence of
+    /// a zone (strings, NaN-containing floats, pre-v3 tablets) proves
+    /// nothing.
+    fn judge(&self, zone: Option<&(Value, Value)>) -> ZoneVerdict {
+        let Some((lo, hi)) = zone else {
+            return ZoneVerdict::Uncertain;
+        };
+        let (Some(v_lo), Some(v_hi)) = (cmp_values(&self.value, lo), cmp_values(&self.value, hi))
+        else {
+            return ZoneVerdict::Uncertain;
+        };
+        use Ordering::*;
+        use ZoneVerdict::*;
+        match self.op {
+            PredOp::Eq => match (v_lo, v_hi) {
+                (Less, _) | (_, Greater) => NoneMatch,
+                (Equal, Equal) => AllMatch,
+                _ => Uncertain,
+            },
+            PredOp::Ne => match (v_lo, v_hi) {
+                (Less, _) | (_, Greater) => AllMatch,
+                (Equal, Equal) => NoneMatch,
+                _ => Uncertain,
+            },
+            // row < v: certain when max < v, impossible when min >= v.
+            PredOp::Lt => match (v_lo, v_hi) {
+                (_, Greater) => AllMatch,
+                (Less | Equal, _) => NoneMatch,
+                _ => Uncertain,
+            },
+            PredOp::Le => match (v_lo, v_hi) {
+                (_, Greater | Equal) => AllMatch,
+                (Less, _) => NoneMatch,
+                _ => Uncertain,
+            },
+            PredOp::Gt => match (v_lo, v_hi) {
+                (Less, _) => AllMatch,
+                (_, Greater | Equal) => NoneMatch,
+                _ => Uncertain,
+            },
+            PredOp::Ge => match (v_lo, v_hi) {
+                (Less | Equal, _) => AllMatch,
+                (_, Greater) => NoneMatch,
+                _ => Uncertain,
+            },
+        }
+    }
+}
+
+/// What [`Table::pushdown_scan`] should scan and how.
+#[derive(Debug, Clone)]
+pub struct PushdownRequest {
+    /// The bounding box (key bounds × time bounds). `descending` and
+    /// `limit` are ignored — aggregation consumes everything.
+    pub query: Query,
+    /// Conjunctive per-row filters below the box.
+    pub predicates: Vec<ColumnPredicate>,
+    /// `Some(cols)` allows [`ScanUnit::Stats`] answers, provided each
+    /// listed column has a zone map in the block's index entry (the
+    /// caller lists the columns its `MIN`/`MAX` aggregates read;
+    /// `COUNT(*)` alone is an empty list). `None` forbids stats-only
+    /// answers (needed for `SUM`/`AVG`, which must see the values).
+    pub stats_cols: Option<Vec<usize>>,
+}
+
+/// One unit of aggregate input, in increasing order of cost.
+#[derive(Debug)]
+pub enum ScanUnit {
+    /// Footer statistics for one block entirely inside the bounding box
+    /// with every predicate proven true: `rows` rows whose per-column
+    /// `(min, max)` zones are `zones`. The block's bytes were not read.
+    Stats {
+        /// Row count of the block.
+        rows: u64,
+        /// Per-schema-column zone maps of the block.
+        zones: Vec<Option<(Value, Value)>>,
+    },
+    /// A decoded columnar block entirely inside the bounding box.
+    /// Rows at indices failing a predicate in `uncertain` (indices into
+    /// [`PushdownRequest::predicates`]) must be skipped by the caller;
+    /// every other predicate is already proven for every row.
+    Block {
+        /// The decoded block; column slices via [`Block::column`].
+        block: Arc<Block>,
+        /// Indices of predicates the zones could not decide.
+        uncertain: Vec<usize>,
+    },
+    /// Fully filtered rows (key bounds, time bounds, and all predicates
+    /// applied), from boundary blocks, memtablets, or row-format
+    /// tablets.
+    Rows(Vec<Row>),
+}
+
+/// Whether the block delimited by `(prev_last, last]` lies entirely
+/// inside `range`.
+fn span_contained(prev_last: &[u8], last: &[u8], range: &KeyRange) -> bool {
+    let start_ok = match &range.start {
+        Bound::Unbounded => true,
+        // All keys in the block are > prev_last, so prev_last >= s
+        // proves every key > s (which satisfies both bound kinds).
+        Bound::Included(s) | Bound::Excluded(s) => prev_last >= s.as_slice(),
+    };
+    let end_ok = match &range.end {
+        Bound::Unbounded => true,
+        Bound::Included(e) => last <= e.as_slice(),
+        Bound::Excluded(e) => last < e.as_slice(),
+    };
+    start_ok && end_ok
+}
+
+/// Whether the block delimited by `(prev_last, last]` could contain any
+/// key of `range`.
+fn span_intersects(prev_last: &[u8], last: &[u8], range: &KeyRange) -> bool {
+    let above_start = match &range.start {
+        Bound::Unbounded => true,
+        Bound::Included(s) => last >= s.as_slice(),
+        Bound::Excluded(s) => last > s.as_slice(),
+    };
+    let below_end = match &range.end {
+        Bound::Unbounded => true,
+        // All keys are > prev_last: once prev_last >= e, no key can be
+        // <= e (let alone < e).
+        Bound::Included(e) | Bound::Excluded(e) => prev_last < e.as_slice(),
+    };
+    above_start && below_end
+}
+
+impl Table {
+    /// Streams aggregate-grade scan units for `req`'s bounding box to
+    /// `emit`, cheapest unit first per block: footer stats where zones
+    /// prove everything, decoded column slices where only the box is
+    /// proven, materialized rows at the boundaries. Runs from one
+    /// lock-free read view, like [`Table::query`].
+    pub fn pushdown_scan(
+        &self,
+        req: &PushdownRequest,
+        emit: &mut dyn FnMut(ScanUnit) -> Result<()>,
+    ) -> Result<()> {
+        TableStats::add(&self.stats.pushdown_scans, 1);
+        let now = self.clock.now_micros();
+        let (snap, cutoff_seq) = self.read_view();
+        if snap.dropped {
+            return Err(Error::NoSuchTable(self.name().to_string()));
+        }
+        let schema = snap.schema.clone();
+        let range = req.query.key_range(&schema)?;
+        let (ts_lo, ts_hi) = req.query.ts_interval();
+        let ts_lo = match snap.ttl {
+            Some(ttl) => ts_lo.max(now.saturating_sub(ttl)),
+            None => ts_lo,
+        };
+        if range.is_certainly_empty() || ts_lo > ts_hi {
+            return Ok(());
+        }
+        let mut materialized = 0u64;
+        let mut pruned = 0u64;
+        for h in &snap.disk {
+            if h.meta.max_ts < ts_lo || h.meta.min_ts > ts_hi {
+                continue;
+            }
+            let footer = h.reader.footer()?;
+            let columnar = footer.format == crate::block::BlockFormat::Columnar
+                && footer.schema.version() == schema.version();
+            if !columnar {
+                // Row-format or schema-lagging tablet: the row cursor
+                // already handles decoding and version translation.
+                let mut cur =
+                    DiskCursor::new(h.reader.clone(), schema.clone(), range.clone(), false);
+                let mut batch = Vec::new();
+                while let Some((_, row)) = cur.next_row()? {
+                    materialized += 1;
+                    let ts = row.ts(&schema)?;
+                    if ts < ts_lo || ts > ts_hi {
+                        continue;
+                    }
+                    if !req.predicates.iter().all(|p| p.matches(&row.values[p.col])) {
+                        continue;
+                    }
+                    batch.push(row);
+                    if batch.len() >= 4096 {
+                        emit(ScanUnit::Rows(std::mem::take(&mut batch)))?;
+                    }
+                }
+                if !batch.is_empty() {
+                    emit(ScanUnit::Rows(batch))?;
+                }
+                continue;
+            }
+            let ts_index = schema.ts_index();
+            let mut prev_last: &[u8] = b"";
+            for (bi, entry) in footer.blocks.iter().enumerate() {
+                let prev = std::mem::replace(&mut prev_last, entry.last_key.as_slice());
+                if !span_intersects(prev, &entry.last_key, &range) {
+                    // Whole block outside the key bounds; once past the
+                    // upper bound every later block is too.
+                    match &range.end {
+                        Bound::Included(e) | Bound::Excluded(e) if prev >= e.as_slice() => break,
+                        _ => continue,
+                    }
+                }
+                // Time bounds, judged from the timestamp column's zone.
+                let ts_zone = entry.zones.get(ts_index).and_then(|z| z.as_ref());
+                let ts_contained = match ts_zone {
+                    Some((Value::Timestamp(lo), Value::Timestamp(hi))) => {
+                        if *hi < ts_lo || *lo > ts_hi {
+                            pruned += 1;
+                            continue;
+                        }
+                        *lo >= ts_lo && *hi <= ts_hi
+                    }
+                    _ => false,
+                };
+                // Predicates, judged from their columns' zones.
+                let mut uncertain = Vec::new();
+                let mut impossible = false;
+                for (pi, p) in req.predicates.iter().enumerate() {
+                    match p.judge(entry.zones.get(p.col).and_then(|z| z.as_ref())) {
+                        ZoneVerdict::AllMatch => {}
+                        ZoneVerdict::NoneMatch => {
+                            impossible = true;
+                            break;
+                        }
+                        ZoneVerdict::Uncertain => uncertain.push(pi),
+                    }
+                }
+                if impossible {
+                    pruned += 1;
+                    continue;
+                }
+                let contained = ts_contained && span_contained(prev, &entry.last_key, &range);
+                if contained && uncertain.is_empty() {
+                    if let Some(cols) = &req.stats_cols {
+                        let zoned = cols
+                            .iter()
+                            .all(|&c| entry.zones.get(c).map(|z| z.is_some()).unwrap_or(false));
+                        if zoned {
+                            emit(ScanUnit::Stats {
+                                rows: entry.rows as u64,
+                                zones: entry.zones.clone(),
+                            })?;
+                            continue;
+                        }
+                    }
+                }
+                let block = h.reader.read_block(bi)?;
+                if contained {
+                    emit(ScanUnit::Block { block, uncertain })?;
+                    continue;
+                }
+                // Boundary block: materialize and filter row by row.
+                let mut rows = Vec::new();
+                for ri in 0..block.len() {
+                    materialized += 1;
+                    if !range.contains(block.key(ri)?) {
+                        continue;
+                    }
+                    let row = block.row(ri, &schema)?;
+                    let ts = row.ts(&schema)?;
+                    if ts < ts_lo || ts > ts_hi {
+                        continue;
+                    }
+                    if !req.predicates.iter().all(|p| p.matches(&row.values[p.col])) {
+                        continue;
+                    }
+                    rows.push(row);
+                }
+                if !rows.is_empty() {
+                    emit(ScanUnit::Rows(rows))?;
+                }
+            }
+        }
+        for t in &snap.mem {
+            if let Some(rows) = super::read::mem_rows(t, &range, ts_lo, ts_hi, cutoff_seq, &schema)?
+            {
+                let mut out = Vec::with_capacity(rows.len());
+                for (_, row) in rows {
+                    materialized += 1;
+                    let ts = row.ts(&schema)?;
+                    if ts < ts_lo || ts > ts_hi {
+                        continue;
+                    }
+                    if !req.predicates.iter().all(|p| p.matches(&row.values[p.col])) {
+                        continue;
+                    }
+                    out.push(row);
+                }
+                if !out.is_empty() {
+                    emit(ScanUnit::Rows(out))?;
+                }
+            }
+        }
+        TableStats::add(&self.stats.blocks_pruned, pruned);
+        TableStats::add(&self.stats.rows_materialized, materialized);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::BlockFormat;
+    use crate::db::Db;
+    use crate::options::Options;
+    use crate::schema::{ColumnDef, Schema};
+    use crate::value::ColumnType;
+    use littletable_vfs::{Micros, SimClock, SimVfs, MICROS_PER_SEC};
+
+    const SEC: Micros = MICROS_PER_SEC;
+    const START: Micros = 1_700_000_000 * MICROS_PER_SEC;
+
+    fn usage_schema() -> Schema {
+        Schema::new(
+            vec![
+                ColumnDef::new("device", ColumnType::Str),
+                ColumnDef::new("ts", ColumnType::Timestamp),
+                ColumnDef::new("bytes", ColumnType::I64),
+                ColumnDef::new("load", ColumnType::F64),
+            ],
+            &["device", "ts"],
+        )
+        .unwrap()
+    }
+
+    /// A flushed table with `n` rows across several small columnar
+    /// blocks: 4 devices, ascending timestamps, bytes = 10*i.
+    fn flushed_table(n: usize, format: BlockFormat) -> (Db, Arc<Table>) {
+        let clock = SimClock::new(START);
+        let vfs = SimVfs::instant();
+        let opts = Options {
+            block_size: 512,
+            block_format: format,
+            ..Options::small_for_tests()
+        };
+        let db = Db::open(Arc::new(vfs), Arc::new(clock), opts).unwrap();
+        let t = db.create_table("usage", usage_schema(), None).unwrap();
+        let chunk = n.div_ceil(4);
+        let rows: Vec<Vec<Value>> = (0..n)
+            .map(|i| {
+                vec![
+                    Value::Str(format!("dev-{}", i / chunk)),
+                    Value::Timestamp(START + (i % chunk) as Micros * SEC),
+                    Value::I64(10 * i as i64),
+                    Value::F64(i as f64 / 2.0),
+                ]
+            })
+            .collect();
+        t.insert(rows).unwrap();
+        t.flush_all().unwrap();
+        assert!(t.num_disk_tablets() >= 1);
+        (db, t)
+    }
+
+    fn scan(t: &Table, req: &PushdownRequest) -> Vec<ScanUnit> {
+        let mut units = Vec::new();
+        t.pushdown_scan(req, &mut |u| {
+            units.push(u);
+            Ok(())
+        })
+        .unwrap();
+        units
+    }
+
+    /// Row count implied by a unit list (stats rows + block rows with
+    /// uncertain predicates re-checked + materialized rows).
+    fn unit_rows(units: &[ScanUnit], req: &PushdownRequest) -> u64 {
+        let mut n = 0u64;
+        for u in units {
+            match u {
+                ScanUnit::Stats { rows, .. } => n += rows,
+                ScanUnit::Block { block, uncertain } => {
+                    for ri in 0..block.len() {
+                        let ok = uncertain.iter().all(|&pi| {
+                            let p = &req.predicates[pi];
+                            let col = block.column(p.col).unwrap();
+                            p.matches(&col.value(ri))
+                        });
+                        if ok {
+                            n += 1;
+                        }
+                    }
+                }
+                ScanUnit::Rows(rows) => n += rows.len() as u64,
+            }
+        }
+        n
+    }
+
+    fn req_all() -> PushdownRequest {
+        PushdownRequest {
+            query: Query::all(),
+            predicates: Vec::new(),
+            stats_cols: None,
+        }
+    }
+
+    #[test]
+    fn cmp_values_families() {
+        use Ordering::*;
+        assert_eq!(cmp_values(&Value::I32(3), &Value::I64(4)), Some(Less));
+        assert_eq!(
+            cmp_values(&Value::Timestamp(9), &Value::I32(9)),
+            Some(Equal)
+        );
+        assert_eq!(
+            cmp_values(&Value::F64(1.5), &Value::F64(1.0)),
+            Some(Greater)
+        );
+        assert_eq!(cmp_values(&Value::F64(f64::NAN), &Value::F64(1.0)), None);
+        assert_eq!(cmp_values(&Value::F64(1.0), &Value::I64(1)), None);
+        assert_eq!(
+            cmp_values(&Value::Str("a".into()), &Value::Str("b".into())),
+            Some(Less)
+        );
+    }
+
+    #[test]
+    fn predicate_matches_mirrors_sql_semantics() {
+        let p = |op| ColumnPredicate {
+            col: 2,
+            op,
+            value: Value::I64(50),
+        };
+        assert!(p(PredOp::Eq).matches(&Value::I64(50)));
+        assert!(p(PredOp::Ne).matches(&Value::I64(49)));
+        assert!(p(PredOp::Lt).matches(&Value::I32(49)));
+        assert!(!p(PredOp::Ge).matches(&Value::I64(49)));
+        // Incomparable (wrong family, NaN) matches nothing — not even Ne.
+        assert!(!p(PredOp::Ne).matches(&Value::Str("50".into())));
+        let nan = ColumnPredicate {
+            col: 3,
+            op: PredOp::Ne,
+            value: Value::F64(f64::NAN),
+        };
+        assert!(!nan.matches(&Value::F64(1.0)));
+    }
+
+    #[test]
+    fn zone_judgement_table() {
+        let zone = (Value::I64(10), Value::I64(20));
+        let judge = |op, v: i64| {
+            ColumnPredicate {
+                col: 0,
+                op,
+                value: Value::I64(v),
+            }
+            .judge(Some(&zone))
+        };
+        use ZoneVerdict::*;
+        assert_eq!(judge(PredOp::Eq, 5), NoneMatch);
+        assert_eq!(judge(PredOp::Eq, 15), Uncertain);
+        assert_eq!(judge(PredOp::Eq, 25), NoneMatch);
+        let point = (Value::I64(7), Value::I64(7));
+        let p = ColumnPredicate {
+            col: 0,
+            op: PredOp::Eq,
+            value: Value::I64(7),
+        };
+        assert_eq!(p.judge(Some(&point)), AllMatch);
+        assert_eq!(judge(PredOp::Ne, 5), AllMatch);
+        assert_eq!(judge(PredOp::Ne, 15), Uncertain);
+        assert_eq!(judge(PredOp::Lt, 25), AllMatch);
+        assert_eq!(judge(PredOp::Lt, 10), NoneMatch);
+        assert_eq!(judge(PredOp::Lt, 15), Uncertain);
+        assert_eq!(judge(PredOp::Le, 20), AllMatch);
+        assert_eq!(judge(PredOp::Le, 9), NoneMatch);
+        assert_eq!(judge(PredOp::Gt, 5), AllMatch);
+        assert_eq!(judge(PredOp::Gt, 20), NoneMatch);
+        assert_eq!(judge(PredOp::Ge, 10), AllMatch);
+        assert_eq!(judge(PredOp::Ge, 21), NoneMatch);
+        // Absent zone proves nothing.
+        let p = ColumnPredicate {
+            col: 0,
+            op: PredOp::Lt,
+            value: Value::I64(0),
+        };
+        assert_eq!(p.judge(None), Uncertain);
+    }
+
+    #[test]
+    fn stats_only_full_scan_reads_no_blocks() {
+        let (_db, t) = flushed_table(400, BlockFormat::Columnar);
+        let req = PushdownRequest {
+            stats_cols: Some(vec![2]),
+            ..req_all()
+        };
+        let units = scan(&t, &req);
+        assert!(units.len() > 1, "expected several blocks");
+        assert!(units.iter().all(|u| matches!(u, ScanUnit::Stats { .. })));
+        assert_eq!(unit_rows(&units, &req), 400);
+        // MIN/MAX over the zones match the true extremes.
+        let (mut lo, mut hi) = (i64::MAX, i64::MIN);
+        for u in &units {
+            if let ScanUnit::Stats { zones, .. } = u {
+                let Some((Value::I64(a), Value::I64(b))) = &zones[2] else {
+                    panic!("bytes column must be zoned");
+                };
+                lo = lo.min(*a);
+                hi = hi.max(*b);
+            }
+        }
+        assert_eq!((lo, hi), (0, 3990));
+        let s = t.stats().snapshot();
+        assert_eq!(s.rows_materialized, 0, "stats path must not decode rows");
+        assert_eq!(s.pushdown_scans, 1);
+    }
+
+    #[test]
+    fn block_units_cover_sum_exactly() {
+        let (_db, t) = flushed_table(400, BlockFormat::Columnar);
+        let req = req_all(); // stats_cols: None → SUM needs values
+        let units = scan(&t, &req);
+        let mut sum = 0i64;
+        let mut saw_block = false;
+        for u in &units {
+            match u {
+                ScanUnit::Block { block, uncertain } => {
+                    saw_block = true;
+                    assert!(uncertain.is_empty());
+                    // Sum straight off the column slice.
+                    let col = block.column(2).unwrap();
+                    for ri in 0..col.len() {
+                        match col.value(ri) {
+                            Value::I64(v) => sum += v,
+                            v => panic!("unexpected {v:?}"),
+                        }
+                    }
+                }
+                ScanUnit::Rows(rows) => {
+                    for r in rows {
+                        match &r.values[2] {
+                            Value::I64(v) => sum += v,
+                            v => panic!("unexpected {v:?}"),
+                        }
+                    }
+                }
+                ScanUnit::Stats { .. } => panic!("stats forbidden when stats_cols is None"),
+            }
+        }
+        assert!(
+            saw_block,
+            "full scan over flushed data should yield Block units"
+        );
+        assert_eq!(sum, (0..400).map(|i| 10 * i as i64).sum::<i64>());
+    }
+
+    #[test]
+    fn key_boundary_blocks_materialize_rows() {
+        let (_db, t) = flushed_table(400, BlockFormat::Columnar);
+        // Prefix query for one device: blocks fully inside the prefix
+        // may come back as Block units; the edges come back as Rows.
+        let req = PushdownRequest {
+            query: Query::all().with_prefix(vec![Value::Str("dev-1".into())]),
+            ..req_all()
+        };
+        let units = scan(&t, &req);
+        assert_eq!(unit_rows(&units, &req), 100);
+        for u in &units {
+            if let ScanUnit::Rows(rows) = u {
+                for r in rows {
+                    assert_eq!(r.values[0], Value::Str("dev-1".into()));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ts_bounds_prune_and_bound_blocks() {
+        let (_db, t) = flushed_table(400, BlockFormat::Columnar);
+        // Each device spans START..START+99s; restrict to a half-open
+        // 10s window [20s, 30s) → 10 timestamps per device.
+        let q = Query::all().with_ts_range(START + 20 * SEC, START + 30 * SEC);
+        let req = PushdownRequest {
+            query: q,
+            ..req_all()
+        };
+        let units = scan(&t, &req);
+        assert_eq!(unit_rows(&units, &req), 40);
+        for u in &units {
+            if let ScanUnit::Rows(rows) = u {
+                for r in rows {
+                    let Value::Timestamp(ts) = r.values[1] else {
+                        panic!()
+                    };
+                    assert!((START + 20 * SEC..START + 30 * SEC).contains(&ts));
+                }
+            }
+        }
+        let s = t.stats().snapshot();
+        assert!(s.blocks_pruned > 0, "far-away blocks should be zone-pruned");
+    }
+
+    #[test]
+    fn predicates_prune_and_recheck() {
+        let (_db, t) = flushed_table(400, BlockFormat::Columnar);
+        // bytes >= 3000 → rows 300..400 qualify; early blocks prune.
+        let req = PushdownRequest {
+            predicates: vec![ColumnPredicate {
+                col: 2,
+                op: PredOp::Ge,
+                value: Value::I64(3000),
+            }],
+            ..req_all()
+        };
+        let units = scan(&t, &req);
+        assert_eq!(unit_rows(&units, &req), 100);
+        let s = t.stats().snapshot();
+        assert!(s.blocks_pruned > 0, "low-bytes blocks should prune");
+        // An impossible predicate prunes everything without I/O.
+        let req = PushdownRequest {
+            predicates: vec![ColumnPredicate {
+                col: 2,
+                op: PredOp::Lt,
+                value: Value::I64(0),
+            }],
+            ..req_all()
+        };
+        assert_eq!(unit_rows(&scan(&t, &req), &req), 0);
+    }
+
+    #[test]
+    fn memtable_rows_are_included() {
+        let (_db, t) = flushed_table(100, BlockFormat::Columnar);
+        // 50 more rows, unflushed, timestamps past the flushed range.
+        let rows: Vec<Vec<Value>> = (0..50)
+            .map(|i| {
+                vec![
+                    Value::Str("dev-9".into()),
+                    Value::Timestamp(START + (500 + i) * SEC),
+                    Value::I64(7),
+                    Value::F64(0.0),
+                ]
+            })
+            .collect();
+        t.insert(rows).unwrap();
+        let req = req_all();
+        assert_eq!(unit_rows(&scan(&t, &req), &req), 150);
+    }
+
+    #[test]
+    fn row_format_tablets_fall_back_to_rows() {
+        let (_db, t) = flushed_table(200, BlockFormat::Row);
+        let req = PushdownRequest {
+            stats_cols: Some(vec![2]),
+            predicates: vec![ColumnPredicate {
+                col: 2,
+                op: PredOp::Ge,
+                value: Value::I64(1000),
+            }],
+            ..req_all()
+        };
+        let units = scan(&t, &req);
+        assert!(units.iter().all(|u| matches!(u, ScanUnit::Rows(_))));
+        assert_eq!(unit_rows(&units, &req), 100);
+    }
+
+    #[test]
+    fn matches_row_path_on_random_boxes() {
+        let (_db, t) = flushed_table(300, BlockFormat::Columnar);
+        let cases = [
+            Query::all(),
+            Query::all().with_prefix(vec![Value::Str("dev-2".into())]),
+            Query::all().with_ts_range(START + 10 * SEC, START + 40 * SEC),
+            Query::all()
+                .with_key_min(vec![Value::Str("dev-1".into())], true)
+                .with_ts_range(START, START + 33 * SEC),
+        ];
+        for q in cases {
+            let expect = t.query_all(&q).unwrap().len() as u64;
+            let req = PushdownRequest {
+                query: q,
+                ..req_all()
+            };
+            assert_eq!(unit_rows(&scan(&t, &req), &req), expect);
+        }
+    }
+}

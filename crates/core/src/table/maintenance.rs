@@ -16,7 +16,6 @@ use crate::error::{Error, Result};
 use crate::keyenc::{encode_prefix, KeyRange};
 use crate::memtable::MemTabletId;
 use crate::mergepolicy::find_merge;
-use crate::row::encode_payload;
 use crate::schema::{Schema, SchemaRef};
 use crate::stats::TableStats;
 use crate::tablet::TabletWriter;
@@ -124,13 +123,10 @@ impl Table {
             (*schema).clone(),
             self.opts.block_size,
             self.opts.bloom_filters,
+            self.opts.block_format,
         );
-        let mut payload = Vec::new();
         for (key, row) in mem.iter() {
-            payload.clear();
-            encode_payload(&mut payload, row, &schema);
-            let ts = row.ts(&schema)?;
-            w.add(key, &payload, ts)?;
+            w.add_row(key, row)?;
         }
         let (min_ts, max_ts, rows, bytes) = w.finish()?;
         Ok(TabletMeta {
@@ -290,19 +286,16 @@ impl Table {
                 (**schema).clone(),
                 self.opts.block_size,
                 self.opts.bloom_filters,
+                self.opts.block_format,
             );
             let mut cur = DiskCursor::new(h.reader.clone(), schema.clone(), KeyRange::all(), false)
                 .with_read_run(1 << 20);
-            let mut payload = Vec::new();
             while let Some((key, row)) = cur.next_row()? {
                 if range.contains(&key) {
                     deleted += 1;
                     continue;
                 }
-                payload.clear();
-                encode_payload(&mut payload, &row, schema);
-                let ts = row.ts(schema)?;
-                w.add(&key, &payload, ts)?;
+                w.add_row(&key, &row)?;
             }
             if w.row_count() == 0 {
                 drop(w);
@@ -481,16 +474,13 @@ impl Table {
             (**schema).clone(),
             self.opts.block_size,
             self.opts.bloom_filters,
+            self.opts.block_format,
         );
-        let mut payload = Vec::new();
         while let Some((key, row)) = merge.next_row()? {
-            let ts = row.ts(schema)?;
-            if ts < cutoff {
+            if row.ts(schema)? < cutoff {
                 continue;
             }
-            payload.clear();
-            encode_payload(&mut payload, &row, schema);
-            w.add(&key, &payload, ts)?;
+            w.add_row(&key, &row)?;
         }
         if w.row_count() == 0 {
             drop(w);

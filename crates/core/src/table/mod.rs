@@ -14,6 +14,7 @@
 //!   migration, and schema evolution, each republishing the snapshot
 //!   at its commit point.
 
+mod colscan;
 mod maintenance;
 mod read;
 mod snapshot;
@@ -24,6 +25,7 @@ mod tests;
 mod tests_ext;
 mod write;
 
+pub use colscan::{cmp_values, ColumnPredicate, PredOp, PushdownRequest, ScanUnit};
 pub use read::QueryCursor;
 
 use crate::cache::{BlockCache, CacheHandle};

@@ -32,7 +32,7 @@ type KeyedRows = Vec<(Vec<u8>, Row)>;
 /// the tablet was written under an older one. Returns `None` when the
 /// tablet's timespan misses `[ts_lo, ts_hi]`. The per-tablet read lock
 /// covers only the range copy; translation runs after it is released.
-fn mem_rows(
+pub(super) fn mem_rows(
     t: &SharedMemTablet,
     range: &KeyRange,
     ts_lo: Micros,
@@ -329,6 +329,9 @@ impl Drop for QueryCursor {
     fn drop(&mut self) {
         TableStats::add(&self.stats.rows_scanned, self.scanned);
         TableStats::add(&self.stats.rows_returned, self.returned);
+        // Every row the merge produced was decoded into a `Row`; the
+        // pushdown path counts its materializations the same way.
+        TableStats::add(&self.stats.rows_materialized, self.scanned);
     }
 }
 

@@ -14,14 +14,16 @@
 //! number for corruption detection. Reading a cold tablet's footer costs
 //! three seeks: inode, trailer, footer body.
 
-use crate::block::{Block, BlockBuilder};
+use crate::block::{Block, BlockBuilder, BlockFormat, ColumnarBlockBuilder};
 use crate::bloom::{BloomBuilder, BloomFilter};
 use crate::cache::{CacheHandle, CompressedBlock};
 use crate::error::{Error, Result};
 use crate::keyenc::component_boundaries;
-use crate::schema::Schema;
+use crate::row::{encode_payload, Row};
+use crate::schema::{decode_value, encode_value, Schema};
 use crate::stats::TableStats;
 use crate::util::{crc32, hash_bytes, put_varint, Reader};
+use crate::value::Value;
 use littletable_vfs::{Micros, RandomAccessFile, Vfs, WritableFile};
 use parking_lot::Mutex;
 use std::cell::RefCell;
@@ -43,9 +45,13 @@ const SCRATCH_RETAIN_MAX: usize = 256 << 10;
 const TRAILER_MAGIC: u64 = 0x4C54_5441_424C_3031; // "LTTABL01"
 /// Trailer byte size: three u64 words, a u32 CRC, and the magic.
 const TRAILER_LEN: u64 = 8 + 8 + 8 + 4 + 8;
-/// Footer format version. Version 2 added a per-block CRC32 to each
-/// index entry; version-1 tablets (no CRCs) still decode.
-const FOOTER_VERSION: u8 = 2;
+/// Footer version for row-layout tablets. Version 2 added a per-block
+/// CRC32 to each index entry; version-1 tablets (no CRCs) still decode.
+const FOOTER_VERSION_ROW: u8 = 2;
+/// Footer version for columnar tablets (v3): blocks hold per-column
+/// codec-compressed slices, and each index entry additionally records
+/// the block's row count and per-column zone maps.
+const FOOTER_VERSION_COLUMNAR: u8 = 3;
 
 /// Checks a block's compressed bytes against the CRC recorded in its
 /// index entry, catching corruption that would survive decompression —
@@ -60,7 +66,7 @@ fn verify_block_crc(compressed: &[u8], crc: Option<u32>) -> Result<()> {
 }
 
 /// Index entry for one block inside a tablet.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BlockIndexEntry {
     /// File offset of the compressed block.
     pub offset: u64,
@@ -73,6 +79,16 @@ pub struct BlockIndexEntry {
     /// there is still caught by decompression framing, but a flipped
     /// bit that survives decompression to the right length is not.
     pub crc: Option<u32>,
+    /// Rows in the block. Persisted in v3 footers, where it lets
+    /// `COUNT` be answered from the index alone; decodes as 0 from
+    /// v1/v2 footers (row blocks carry their count in the block header).
+    pub rows: u32,
+    /// Per-schema-column zone maps `(min, max)`, persisted in v3
+    /// footers; empty for v1/v2. `None` marks a column with no
+    /// computable zone: strings, blobs, and float slices containing NaN
+    /// (a NaN row satisfies no comparison, so a zone over it could
+    /// prove predicates that some rows fail).
+    pub zones: Vec<Option<(Value, Value)>>,
     /// The last (largest) key in the block.
     pub last_key: Vec<u8>,
 }
@@ -90,14 +106,21 @@ pub struct TabletFooter {
     pub row_count: u64,
     /// Optional Bloom filter over key prefixes.
     pub bloom: Option<BloomFilter>,
+    /// Which block layout the tablet's blocks use; determined by the
+    /// footer version on disk.
+    pub format: BlockFormat,
     /// Per-block index, in key order.
     pub blocks: Vec<BlockIndexEntry>,
 }
 
 impl TabletFooter {
     fn encode(&self) -> Vec<u8> {
+        let ver = match self.format {
+            BlockFormat::Row => FOOTER_VERSION_ROW,
+            BlockFormat::Columnar => FOOTER_VERSION_COLUMNAR,
+        };
         let mut out = Vec::new();
-        out.push(FOOTER_VERSION);
+        out.push(ver);
         self.schema.encode(&mut out);
         put_varint(&mut out, crate::util::zigzag(self.min_ts));
         put_varint(&mut out, crate::util::zigzag(self.max_ts));
@@ -123,6 +146,19 @@ impl TabletFooter {
                 }
                 None => out.push(0),
             }
+            if ver >= FOOTER_VERSION_COLUMNAR {
+                put_varint(&mut out, b.rows as u64);
+                for z in &b.zones {
+                    match z {
+                        Some((lo, hi)) => {
+                            out.push(1);
+                            encode_value(&mut out, lo);
+                            encode_value(&mut out, hi);
+                        }
+                        None => out.push(0),
+                    }
+                }
+            }
             crate::util::put_len_prefixed(&mut out, &b.last_key);
         }
         out
@@ -131,9 +167,11 @@ impl TabletFooter {
     fn decode(data: &[u8]) -> Result<TabletFooter> {
         let mut r = Reader::new(data);
         let ver = r.u8()?;
-        if ver != 1 && ver != FOOTER_VERSION {
-            return Err(Error::corrupt(format!("unknown footer version {ver}")));
-        }
+        let format = match ver {
+            1 | FOOTER_VERSION_ROW => BlockFormat::Row,
+            FOOTER_VERSION_COLUMNAR => BlockFormat::Columnar,
+            _ => return Err(Error::corrupt(format!("unknown footer version {ver}"))),
+        };
         let schema = Schema::decode(&mut r)?;
         let min_ts = crate::util::unzigzag(r.varint()?);
         let max_ts = crate::util::unzigzag(r.varint()?);
@@ -158,11 +196,31 @@ impl TabletFooter {
             } else {
                 None
             };
+            let (rows, zones) = if ver >= FOOTER_VERSION_COLUMNAR {
+                let rows = r.varint()? as u32;
+                let mut zones = Vec::with_capacity(schema.columns().len());
+                for col in schema.columns() {
+                    zones.push(match r.u8()? {
+                        0 => None,
+                        1 => {
+                            let lo = decode_value(&mut r, col.ty)?;
+                            let hi = decode_value(&mut r, col.ty)?;
+                            Some((lo, hi))
+                        }
+                        t => return Err(Error::corrupt(format!("bad zone tag {t}"))),
+                    });
+                }
+                (rows, zones)
+            } else {
+                (0, Vec::new())
+            };
             blocks.push(BlockIndexEntry {
                 offset,
                 compressed_len,
                 uncompressed_len,
                 crc,
+                rows,
+                zones,
                 last_key: r.len_prefixed()?.to_vec(),
             });
         }
@@ -175,6 +233,7 @@ impl TabletFooter {
             max_ts,
             row_count,
             bloom,
+            format,
             blocks,
         })
     }
@@ -190,7 +249,7 @@ impl TabletFooter {
         sz += self
             .blocks
             .iter()
-            .map(|b| std::mem::size_of::<BlockIndexEntry>() + b.last_key.len())
+            .map(|b| std::mem::size_of::<BlockIndexEntry>() + b.last_key.len() + b.zones.len() * 48)
             .sum::<usize>();
         sz
     }
@@ -199,7 +258,11 @@ impl TabletFooter {
 /// Streams sorted rows into a tablet file.
 pub struct TabletWriter {
     file: Box<dyn WritableFile>,
+    format: BlockFormat,
     block: BlockBuilder,
+    /// Columnar block under construction; `Some` iff `format` is
+    /// [`BlockFormat::Columnar`].
+    colblock: Option<ColumnarBlockBuilder>,
     blocks: Vec<BlockIndexEntry>,
     block_size: usize,
     bloom: Option<BloomBuilder>,
@@ -211,21 +274,27 @@ pub struct TabletWriter {
     offset: u64,
     last_key: Vec<u8>,
     scratch: Vec<u8>,
+    payload_scratch: Vec<u8>,
 }
 
 impl TabletWriter {
     /// Starts a tablet at `file`. `block_size` is the uncompressed block
     /// target (64 kB in the paper); `with_bloom` enables the Bloom-filter
-    /// extension.
+    /// extension; `format` picks the row (footer v2) or columnar
+    /// (footer v3) block layout.
     pub fn new(
         file: Box<dyn WritableFile>,
         schema: Schema,
         block_size: usize,
         with_bloom: bool,
+        format: BlockFormat,
     ) -> Self {
         TabletWriter {
             file,
+            format,
             block: BlockBuilder::new(),
+            colblock: matches!(format, BlockFormat::Columnar)
+                .then(|| ColumnarBlockBuilder::new(&schema)),
             blocks: Vec::new(),
             block_size,
             bloom: with_bloom.then(BloomBuilder::new),
@@ -237,17 +306,28 @@ impl TabletWriter {
             offset: 0,
             last_key: Vec::new(),
             scratch: Vec::new(),
+            payload_scratch: Vec::new(),
         }
     }
 
-    /// Appends a row. Keys must arrive in strictly ascending order.
-    pub fn add(&mut self, key: &[u8], payload: &[u8], ts: Micros) -> Result<()> {
+    /// Appends a row under its encoded primary key `key`. Keys must
+    /// arrive in strictly ascending order, and `key` must be the
+    /// encoding of `row`'s key columns.
+    pub fn add_row(&mut self, key: &[u8], row: &Row) -> Result<()> {
+        let ts = row.ts(&self.schema)?;
         if (!self.last_key.is_empty() || self.row_count > 0) && key <= self.last_key.as_slice() {
             return Err(Error::invalid(
                 "tablet rows must be written in strictly ascending key order",
             ));
         }
-        self.block.add(key, payload);
+        match &mut self.colblock {
+            Some(cb) => cb.add(key, row)?,
+            None => {
+                self.payload_scratch.clear();
+                encode_payload(&mut self.payload_scratch, row, &self.schema);
+                self.block.add(key, &self.payload_scratch);
+            }
+        }
         self.row_count += 1;
         self.min_ts = self.min_ts.min(ts);
         self.max_ts = self.max_ts.max(ts);
@@ -258,18 +338,35 @@ impl TabletWriter {
                 bloom.add_hash(hash_bytes(&key[..end]));
             }
         }
-        if self.block.size_estimate() >= self.block_size {
+        let est = match &self.colblock {
+            Some(cb) => cb.size_estimate(),
+            None => self.block.size_estimate(),
+        };
+        if est >= self.block_size {
             self.flush_block()?;
         }
         Ok(())
     }
 
     fn flush_block(&mut self) -> Result<()> {
-        if self.block.is_empty() {
-            return Ok(());
-        }
-        let last_key = self.block.last_key().to_vec();
-        let raw = self.block.finish();
+        let (raw, last_key, rows, zones) = match &mut self.colblock {
+            Some(cb) => {
+                if cb.is_empty() {
+                    return Ok(());
+                }
+                let last_key = cb.last_key().to_vec();
+                let (raw, zones, rows) = cb.finish();
+                (raw, last_key, rows, zones)
+            }
+            None => {
+                if self.block.is_empty() {
+                    return Ok(());
+                }
+                let last_key = self.block.last_key().to_vec();
+                let rows = self.block.len() as u32;
+                (self.block.finish(), last_key, rows, Vec::new())
+            }
+        };
         self.scratch.clear();
         littletable_compress::compress_into(&raw, &mut self.scratch);
         self.file.append(&self.scratch)?;
@@ -278,6 +375,8 @@ impl TabletWriter {
             compressed_len: self.scratch.len() as u32,
             uncompressed_len: raw.len() as u32,
             crc: Some(crc32(&self.scratch)),
+            rows,
+            zones,
             last_key,
         });
         self.offset += self.scratch.len() as u64;
@@ -304,6 +403,7 @@ impl TabletWriter {
             max_ts: self.max_ts,
             row_count: self.row_count,
             bloom: self.bloom.take().map(|b| b.build(10)),
+            format: self.format,
             blocks: std::mem::take(&mut self.blocks),
         };
         let raw = footer.encode();
@@ -321,6 +421,15 @@ impl TabletWriter {
         self.file.sync()?;
         let file_len = footer_off + compressed.len() as u64 + TRAILER_LEN;
         Ok((self.min_ts, self.max_ts, self.row_count, file_len))
+    }
+}
+
+/// Parses an uncompressed block under the layout its tablet's footer
+/// declares.
+fn parse_block(footer: &TabletFooter, raw: Vec<u8>) -> Result<Block> {
+    match footer.format {
+        BlockFormat::Row => Block::parse(raw),
+        BlockFormat::Columnar => Block::parse_columnar(raw, &footer.schema),
     }
 }
 
@@ -374,6 +483,19 @@ impl TabletReader {
         &self.path
     }
 
+    /// Annotates a corruption error with this tablet's path — and the
+    /// block index when one is in play — so quarantine logs name the
+    /// damaged file instead of just the symptom.
+    fn ctx(&self, block: Option<usize>, e: Error) -> Error {
+        match (e, block) {
+            (Error::Corrupt(msg), Some(bi)) => {
+                Error::Corrupt(format!("{} block {bi}: {msg}", self.path))
+            }
+            (Error::Corrupt(msg), None) => Error::Corrupt(format!("{}: {msg}", self.path)),
+            (e, _) => e,
+        }
+    }
+
     fn file(&self) -> Result<Arc<dyn RandomAccessFile>> {
         let mut guard = self.file.lock();
         if let Some(f) = &*guard {
@@ -416,6 +538,10 @@ impl TabletReader {
     }
 
     fn load_footer(&self) -> Result<TabletFooter> {
+        self.load_footer_inner().map_err(|e| self.ctx(None, e))
+    }
+
+    fn load_footer_inner(&self) -> Result<TabletFooter> {
         let file = self.file()?;
         let len = file.len()?;
         if len < TRAILER_LEN {
@@ -458,37 +584,37 @@ impl TabletReader {
     /// time seeking, LittleTable must read about 1 MB at a time; merges
     /// read through tablets with exactly such buffers.
     pub fn read_block_run(&self, start: usize, max_bytes: usize) -> Result<Vec<Block>> {
-        let (first_off, spans) = {
-            let footer = self.footer()?;
-            if start >= footer.blocks.len() {
-                return Err(Error::corrupt("block index out of range"));
+        let footer = self.footer()?;
+        if start >= footer.blocks.len() {
+            return Err(self.ctx(Some(start), Error::corrupt("block index out of range")));
+        }
+        let first_off = footer.blocks[start].offset;
+        let mut spans = Vec::new();
+        let mut total = 0usize;
+        for e in &footer.blocks[start..] {
+            if !spans.is_empty() && total + e.compressed_len as usize > max_bytes {
+                break;
             }
-            let first_off = footer.blocks[start].offset;
-            let mut spans = Vec::new();
-            let mut total = 0usize;
-            for e in &footer.blocks[start..] {
-                if !spans.is_empty() && total + e.compressed_len as usize > max_bytes {
-                    break;
-                }
-                total += e.compressed_len as usize;
-                spans.push((
-                    e.compressed_len as usize,
-                    e.uncompressed_len as usize,
-                    e.crc,
-                ));
-            }
-            (first_off, spans)
-        };
-        let total: usize = spans.iter().map(|(c, _, _)| c).sum();
+            total += e.compressed_len as usize;
+            spans.push((
+                e.compressed_len as usize,
+                e.uncompressed_len as usize,
+                e.crc,
+            ));
+        }
         let file = self.file()?;
         let mut buf = vec![0u8; total];
         file.read_exact_at(first_off, &mut buf)?;
         let mut blocks = Vec::with_capacity(spans.len());
         let mut off = 0usize;
-        for (clen, ulen, crc) in spans {
-            verify_block_crc(&buf[off..off + clen], crc)?;
-            let raw = littletable_compress::decompress(&buf[off..off + clen], ulen)?;
-            blocks.push(Block::parse(raw)?);
+        for (bi, (clen, ulen, crc)) in spans.into_iter().enumerate() {
+            let block = (|| {
+                verify_block_crc(&buf[off..off + clen], crc)?;
+                let raw = littletable_compress::decompress(&buf[off..off + clen], ulen)?;
+                parse_block(&footer, raw)
+            })()
+            .map_err(|e| self.ctx(Some(start + bi), e))?;
+            blocks.push(block);
             off += clen;
         }
         Ok(blocks)
@@ -512,8 +638,13 @@ impl TabletReader {
         }
         if let Some(c) = cache.cache.take_compressed(cache.tablet_id, bi) {
             TableStats::add(&cache.stats.cache_compressed_hits, 1);
-            let raw = littletable_compress::decompress(&c.bytes, c.uncompressed_len as usize)?;
-            let block = Arc::new(Block::parse(raw)?);
+            let footer = self.footer()?;
+            let block = (|| {
+                let raw = littletable_compress::decompress(&c.bytes, c.uncompressed_len as usize)?;
+                parse_block(&footer, raw)
+            })()
+            .map_err(|e| self.ctx(Some(i), e))?;
+            let block = Arc::new(block);
             cache
                 .cache
                 .insert(cache.tablet_id, bi, block.clone(), Some(c), &cache.stats);
@@ -535,8 +666,7 @@ impl TabletReader {
     /// Copies block `i`'s index scalars out under the footer borrow
     /// instead of cloning the whole entry (whose last_key would
     /// allocate). Returns `(offset, compressed_len, uncompressed_len, crc)`.
-    fn block_extent(&self, i: usize) -> Result<(u64, usize, usize, Option<u32>)> {
-        let footer = self.footer()?;
+    fn block_extent(footer: &TabletFooter, i: usize) -> Result<(u64, usize, usize, Option<u32>)> {
         let e = footer
             .blocks
             .get(i)
@@ -552,38 +682,47 @@ impl TabletReader {
     /// The uncached read path: reuses a thread-local scratch buffer so
     /// steady-state reads allocate nothing for the compressed bytes.
     fn read_block_from_disk(&self, i: usize) -> Result<Block> {
-        let (offset, compressed_len, uncompressed_len, crc) = self.block_extent(i)?;
+        let footer = self.footer()?;
+        let (offset, compressed_len, uncompressed_len, crc) =
+            Self::block_extent(&footer, i).map_err(|e| self.ctx(Some(i), e))?;
         let file = self.file()?;
-        COMPRESSED_SCRATCH.with(|scratch| {
-            let mut compressed = scratch.borrow_mut();
-            compressed.resize(compressed_len, 0);
-            let block = (|| {
-                file.read_exact_at(offset, &mut compressed)?;
-                verify_block_crc(&compressed, crc)?;
-                let raw = littletable_compress::decompress(&compressed, uncompressed_len)?;
-                Block::parse(raw)
-            })();
-            // Cap the retained capacity: one oversized block must not pin
-            // its high-water mark on this thread forever.
-            if compressed.capacity() > SCRATCH_RETAIN_MAX {
-                compressed.clear();
-                compressed.shrink_to(SCRATCH_RETAIN_MAX);
-            }
-            block
-        })
+        COMPRESSED_SCRATCH
+            .with(|scratch| {
+                let mut compressed = scratch.borrow_mut();
+                compressed.resize(compressed_len, 0);
+                let block = (|| {
+                    file.read_exact_at(offset, &mut compressed)?;
+                    verify_block_crc(&compressed, crc)?;
+                    let raw = littletable_compress::decompress(&compressed, uncompressed_len)?;
+                    parse_block(&footer, raw)
+                })();
+                // Cap the retained capacity: one oversized block must not pin
+                // its high-water mark on this thread forever.
+                if compressed.capacity() > SCRATCH_RETAIN_MAX {
+                    compressed.clear();
+                    compressed.shrink_to(SCRATCH_RETAIN_MAX);
+                }
+                block
+            })
+            .map_err(|e| self.ctx(Some(i), e))
     }
 
     /// The cached miss path: reads into a fresh buffer that becomes the
     /// cache's retained compressed copy (so the allocation is the cache
     /// fill, not churn).
     fn read_block_keeping_compressed(&self, i: usize) -> Result<(Block, CompressedBlock)> {
-        let (offset, compressed_len, uncompressed_len, crc) = self.block_extent(i)?;
+        let footer = self.footer()?;
+        let (offset, compressed_len, uncompressed_len, crc) =
+            Self::block_extent(&footer, i).map_err(|e| self.ctx(Some(i), e))?;
         let file = self.file()?;
         let mut compressed = vec![0u8; compressed_len];
         file.read_exact_at(offset, &mut compressed)?;
-        verify_block_crc(&compressed, crc)?;
-        let raw = littletable_compress::decompress(&compressed, uncompressed_len)?;
-        let block = Block::parse(raw)?;
+        let block = (|| {
+            verify_block_crc(&compressed, crc)?;
+            let raw = littletable_compress::decompress(&compressed, uncompressed_len)?;
+            parse_block(&footer, raw)
+        })()
+        .map_err(|e| self.ctx(Some(i), e))?;
         Ok((
             block,
             CompressedBlock {
@@ -637,7 +776,7 @@ impl std::fmt::Debug for TabletReader {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::row::{encode_payload, Row};
+    use crate::row::Row;
     use crate::schema::ColumnDef;
     use crate::value::{ColumnType, Value};
     use littletable_vfs::SimVfs;
@@ -654,10 +793,16 @@ mod tests {
         .unwrap()
     }
 
-    fn write_tablet(vfs: &SimVfs, path: &str, n: i64, bloom: bool) -> Schema {
+    fn write_tablet_as(
+        vfs: &SimVfs,
+        path: &str,
+        n: i64,
+        bloom: bool,
+        format: BlockFormat,
+    ) -> Schema {
         let s = schema();
         let file = vfs.create(path, 0).unwrap();
-        let mut w = TabletWriter::new(file, s.clone(), 4096, bloom);
+        let mut w = TabletWriter::new(file, s.clone(), 4096, bloom, format);
         for i in 0..n {
             let row = Row::new(vec![
                 Value::I64(i),
@@ -665,9 +810,7 @@ mod tests {
                 Value::Str(format!("val-{i}")),
             ]);
             let key = row.encode_key(&s).unwrap();
-            let mut payload = Vec::new();
-            encode_payload(&mut payload, &row, &s);
-            w.add(&key, &payload, 1000 + i).unwrap();
+            w.add_row(&key, &row).unwrap();
         }
         let (min_ts, max_ts, rows, len) = w.finish().unwrap();
         assert_eq!(min_ts, 1000);
@@ -675,6 +818,10 @@ mod tests {
         assert_eq!(rows, n as u64);
         assert_eq!(len, vfs.file_size(path).unwrap());
         s
+    }
+
+    fn write_tablet(vfs: &SimVfs, path: &str, n: i64, bloom: bool) -> Schema {
+        write_tablet_as(vfs, path, n, bloom, BlockFormat::Row)
     }
 
     #[test]
@@ -704,10 +851,24 @@ mod tests {
     fn out_of_order_add_fails() {
         let vfs = SimVfs::instant();
         let s = schema();
-        let mut w = TabletWriter::new(vfs.create("t", 0).unwrap(), s.clone(), 4096, false);
-        w.add(b"bb", b"", 0).unwrap();
-        assert!(w.add(b"aa", b"", 0).is_err());
-        assert!(w.add(b"bb", b"", 0).is_err()); // equal also fails
+        let mut w = TabletWriter::new(
+            vfs.create("t", 0).unwrap(),
+            s.clone(),
+            4096,
+            false,
+            BlockFormat::Columnar,
+        );
+        let row_at = |i: i64| {
+            Row::new(vec![
+                Value::I64(i),
+                Value::Timestamp(i),
+                Value::Str(String::new()),
+            ])
+        };
+        let key_at = |i: i64| row_at(i).encode_key(&s).unwrap();
+        w.add_row(&key_at(2), &row_at(2)).unwrap();
+        assert!(w.add_row(&key_at(1), &row_at(1)).is_err());
+        assert!(w.add_row(&key_at(2), &row_at(2)).is_err()); // equal also fails
     }
 
     #[test]
@@ -794,7 +955,13 @@ mod tests {
     fn scratch_capacity_is_capped_after_oversized_reads() {
         let vfs = SimVfs::instant();
         let s = schema();
-        let mut w = TabletWriter::new(vfs.create("big.lt", 0).unwrap(), s.clone(), 4096, false);
+        let mut w = TabletWriter::new(
+            vfs.create("big.lt", 0).unwrap(),
+            s.clone(),
+            4096,
+            false,
+            BlockFormat::Row,
+        );
         // One incompressible megabyte-sized row, forcing a block whose
         // compressed form far exceeds the scratch retention cap.
         let mut state = 0x9E37_79B9_7F4A_7C15u64;
@@ -811,9 +978,7 @@ mod tests {
             Value::Str(payload),
         ]);
         let key = row.encode_key(&s).unwrap();
-        let mut buf = Vec::new();
-        encode_payload(&mut buf, &row, &s);
-        w.add(&key, &buf, 1000).unwrap();
+        w.add_row(&key, &row).unwrap();
         w.finish().unwrap();
         let r = TabletReader::new(Arc::new(vfs), "big.lt".into());
         let footer = r.footer().unwrap();
@@ -861,12 +1026,126 @@ mod tests {
     fn empty_tablet_round_trips() {
         let vfs = SimVfs::instant();
         let s = schema();
-        let w = TabletWriter::new(vfs.create("e.lt", 0).unwrap(), s, 4096, true);
+        let w = TabletWriter::new(
+            vfs.create("e.lt", 0).unwrap(),
+            s,
+            4096,
+            true,
+            BlockFormat::Columnar,
+        );
         let (_, _, rows, _) = w.finish().unwrap();
         assert_eq!(rows, 0);
         let r = TabletReader::new(Arc::new(vfs), "e.lt".into());
         let footer = r.footer().unwrap();
         assert_eq!(footer.row_count, 0);
+        assert_eq!(footer.format, BlockFormat::Columnar);
         assert!(footer.blocks.is_empty());
+    }
+
+    #[test]
+    fn columnar_write_read_round_trip() {
+        let vfs = SimVfs::instant();
+        let s = write_tablet_as(&vfs, "c.lt", 500, true, BlockFormat::Columnar);
+        let r = TabletReader::new(Arc::new(vfs), "c.lt".into());
+        let footer = r.footer().unwrap();
+        assert_eq!(footer.format, BlockFormat::Columnar);
+        assert_eq!(footer.row_count, 500);
+        assert!(footer.blocks.len() > 1, "should span multiple blocks");
+        let mut seen = 0i64;
+        for (bi, entry) in footer.blocks.iter().enumerate() {
+            let blk = r.read_block(bi).unwrap();
+            assert_eq!(blk.len(), entry.rows as usize);
+            // Zones cover the numeric columns of this block exactly.
+            assert_eq!(entry.zones.len(), 3);
+            assert_eq!(
+                entry.zones[0],
+                Some((Value::I64(seen), Value::I64(seen + blk.len() as i64 - 1)))
+            );
+            assert_eq!(
+                entry.zones[1],
+                Some((
+                    Value::Timestamp(1000 + seen),
+                    Value::Timestamp(1000 + seen + blk.len() as i64 - 1)
+                ))
+            );
+            assert_eq!(entry.zones[2], None); // string column: no zone
+            for j in 0..blk.len() {
+                let row = blk.row(j, &s).unwrap();
+                assert_eq!(row.values[0], Value::I64(seen));
+                assert_eq!(row.values[2], Value::Str(format!("val-{seen}")));
+                seen += 1;
+            }
+            // Columnar blocks hand out typed slices without row
+            // materialization, and refuse the row-entry accessor.
+            assert!(blk.column(1).is_some());
+            assert!(blk.entry(0).is_err());
+        }
+        assert_eq!(seen, 500);
+    }
+
+    #[test]
+    fn columnar_seek_block_and_key() {
+        let vfs = SimVfs::instant();
+        let s = write_tablet_as(&vfs, "c.lt", 1000, false, BlockFormat::Columnar);
+        let r = TabletReader::new(Arc::new(vfs), "c.lt".into());
+        let row = Row::new(vec![
+            Value::I64(500),
+            Value::Timestamp(1500),
+            Value::Str(String::new()),
+        ]);
+        let key = row.encode_key(&s).unwrap();
+        let bi = r.seek_block(&key).unwrap();
+        let blk = r.read_block(bi).unwrap();
+        let idx = blk.seek_ge(&key).unwrap();
+        assert_eq!(blk.key(idx).unwrap(), key.as_slice());
+        assert_eq!(blk.row(idx, &s).unwrap().values[0], Value::I64(500));
+    }
+
+    #[test]
+    fn corrupt_block_errors_name_tablet_and_block() {
+        let vfs = SimVfs::instant();
+        write_tablet_as(&vfs, "t.lt", 200, false, BlockFormat::Columnar);
+        let f = vfs.open("t.lt").unwrap();
+        let len = f.len().unwrap() as usize;
+        let mut all = vec![0u8; len];
+        f.read_exact_at(0, &mut all).unwrap();
+        all[3] ^= 0x40; // inside block 0's compressed bytes
+        let mut w = vfs.create("bad.lt", 0).unwrap();
+        w.append(&all).unwrap();
+        drop(w);
+        let r = TabletReader::new(Arc::new(vfs), "bad.lt".into());
+        match r.read_block(0) {
+            Err(Error::Corrupt(msg)) => {
+                assert!(
+                    msg.contains("bad.lt") && msg.contains("block 0"),
+                    "error should name the tablet and block: {msg}"
+                );
+            }
+            other => panic!("expected corruption, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn corrupt_footer_errors_name_tablet() {
+        let vfs = SimVfs::instant();
+        write_tablet(&vfs, "t.lt", 10, false);
+        let f = vfs.open("t.lt").unwrap();
+        let len = f.len().unwrap() as usize;
+        let mut all = vec![0u8; len];
+        f.read_exact_at(0, &mut all).unwrap();
+        all[len - TRAILER_LEN as usize - 2] ^= 0x01;
+        let mut w = vfs.create("bad.lt", 0).unwrap();
+        w.append(&all).unwrap();
+        drop(w);
+        let r = TabletReader::new(Arc::new(vfs), "bad.lt".into());
+        match r.footer() {
+            Err(Error::Corrupt(msg)) => {
+                assert!(
+                    msg.contains("bad.lt"),
+                    "error should name the tablet: {msg}"
+                );
+            }
+            other => panic!("expected corruption, got {other:?}"),
+        }
     }
 }

@@ -167,6 +167,28 @@ pub enum SelectItem {
         /// Column argument; `None` means `COUNT(*)`.
         column: Option<String>,
     },
+    /// `TIME_BUCKET(col, INTERVAL '...')`: the timestamp rounded down
+    /// to a bucket boundary. Must also appear in GROUP BY.
+    TimeBucket {
+        /// Timestamp column argument.
+        column: String,
+        /// Bucket width in micros.
+        width_micros: i64,
+    },
+}
+
+/// A grouping expression in GROUP BY.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GroupExpr {
+    /// A bare column.
+    Column(String),
+    /// `TIME_BUCKET(col, INTERVAL '...')`.
+    TimeBucket {
+        /// Timestamp column argument.
+        column: String,
+        /// Bucket width in micros.
+        width_micros: i64,
+    },
 }
 
 /// Supported aggregate functions.
@@ -193,8 +215,8 @@ pub struct Select {
     pub table: String,
     /// Conjunctive WHERE conditions.
     pub conditions: Vec<Condition>,
-    /// GROUP BY columns.
-    pub group_by: Vec<String>,
+    /// GROUP BY expressions.
+    pub group_by: Vec<GroupExpr>,
     /// `true` for `ORDER BY <key prefix> DESC`.
     pub order_desc: bool,
     /// Whether an ORDER BY clause was present.

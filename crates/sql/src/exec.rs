@@ -1,13 +1,52 @@
 //! Statement execution against an embedded engine [`Db`].
 
-use crate::ast::{AggFunc, ColumnAst, Literal, Select, SelectItem, Statement};
-use crate::plan::{cmp_values, plan_select};
+use crate::ast::{AggFunc, CmpOp, ColumnAst, GroupExpr, Literal, Select, SelectItem, Statement};
+use crate::plan::{cmp_values, plan_select, Residual};
 use littletable_core::db::Db;
 use littletable_core::error::{Error, Result};
 use littletable_core::keyenc;
 use littletable_core::schema::{ColumnDef, Schema};
+use littletable_core::table::{ColumnPredicate, PredOp, PushdownRequest, ScanUnit};
 use littletable_core::value::{ColumnType, Value};
 use std::collections::BTreeMap;
+
+/// Lowers a residual WHERE conjunct to an engine pushdown predicate.
+/// The two evaluate identically (same `cmp_values` semantics), which is
+/// what lets the engine's zone maps prune blocks for them soundly.
+fn to_predicate(r: &Residual) -> ColumnPredicate {
+    ColumnPredicate {
+        col: r.col,
+        op: match r.op {
+            CmpOp::Eq => PredOp::Eq,
+            CmpOp::Ne => PredOp::Ne,
+            CmpOp::Lt => PredOp::Lt,
+            CmpOp::Le => PredOp::Le,
+            CmpOp::Gt => PredOp::Gt,
+            CmpOp::Ge => PredOp::Ge,
+        },
+        value: r.value.clone(),
+    }
+}
+
+/// One resolved GROUP BY expression: a column, optionally rounded down
+/// to `bucket`-micro boundaries (TIME_BUCKET).
+struct GroupSpec {
+    col: usize,
+    bucket: Option<i64>,
+}
+
+impl GroupSpec {
+    /// The group value this expression yields for a row value.
+    fn value(&self, v: &Value) -> Result<Value> {
+        match self.bucket {
+            None => Ok(v.clone()),
+            Some(w) => {
+                let ts = v.as_timestamp()?;
+                Ok(Value::Timestamp(ts - ts.rem_euclid(w)))
+            }
+        }
+    }
+}
 
 /// The result of executing one statement.
 #[derive(Debug, Clone, PartialEq)]
@@ -217,36 +256,65 @@ impl Session {
             return self.plain_select(sel, &schema, plan);
         }
 
-        // Validate the projection: bare columns must be grouped.
+        // Validate the projection: bare columns and time buckets must be
+        // grouped.
         for item in &sel.items {
             match item {
                 SelectItem::Wildcard => {
                     return Err(Error::invalid("* cannot be mixed with aggregates"))
                 }
                 SelectItem::Column(name) => {
-                    if !sel.group_by.contains(name) {
+                    let grouped = sel
+                        .group_by
+                        .iter()
+                        .any(|g| matches!(g, GroupExpr::Column(n) if n == name));
+                    if !grouped {
                         return Err(Error::invalid(format!(
                             "column {name:?} must appear in GROUP BY"
                         )));
                     }
                 }
+                SelectItem::TimeBucket {
+                    column,
+                    width_micros,
+                } => {
+                    let grouped = sel.group_by.iter().any(|g| {
+                        matches!(g, GroupExpr::TimeBucket { column: c, width_micros: w }
+                            if c == column && w == width_micros)
+                    });
+                    if !grouped {
+                        return Err(Error::invalid(
+                            "TIME_BUCKET in SELECT must appear in GROUP BY",
+                        ));
+                    }
+                }
                 SelectItem::Aggregate { .. } => {}
             }
         }
-        let group_idx: Vec<usize> = sel
+        let group_specs: Vec<GroupSpec> = sel
             .group_by
             .iter()
-            .map(|n| {
-                schema
-                    .column_index(n)
-                    .ok_or_else(|| Error::invalid(format!("no column {n:?}")))
+            .map(|g| {
+                let (name, bucket) = match g {
+                    GroupExpr::Column(n) => (n, None),
+                    GroupExpr::TimeBucket {
+                        column,
+                        width_micros,
+                    } => (column, Some(*width_micros)),
+                };
+                let col = schema
+                    .column_index(name)
+                    .ok_or_else(|| Error::invalid(format!("no column {name:?}")))?;
+                let ty = schema.columns()[col].ty;
+                if bucket.is_some() && ty != ColumnType::Timestamp {
+                    return Err(Error::invalid("TIME_BUCKET requires a TIMESTAMP column"));
+                }
+                if bucket.is_none() && ty == ColumnType::F64 {
+                    return Err(Error::invalid("cannot GROUP BY a double column"));
+                }
+                Ok(GroupSpec { col, bucket })
             })
             .collect::<Result<_>>()?;
-        for &gi in &group_idx {
-            if schema.columns()[gi].ty == ColumnType::F64 {
-                return Err(Error::invalid("cannot GROUP BY a double column"));
-            }
-        }
         let agg_specs: Vec<(AggFunc, Option<usize>)> = sel
             .items
             .iter()
@@ -267,34 +335,109 @@ impl Session {
             })
             .collect::<Result<_>>()?;
 
+        // COUNT/MIN/MAX over an ungrouped scan can be answered from
+        // footer statistics alone; SUM/AVG (and any GROUP BY) must see
+        // the values.
+        let stats_cols: Option<Vec<usize>> = if group_specs.is_empty() {
+            let mut cols = Vec::new();
+            let mut ok = true;
+            for (f, c) in &agg_specs {
+                match (f, c) {
+                    (AggFunc::Count, _) => {}
+                    (AggFunc::Min | AggFunc::Max, Some(i)) => cols.push(*i),
+                    _ => ok = false,
+                }
+            }
+            ok.then_some(cols)
+        } else {
+            None
+        };
+
+        // Aggregate via the engine's columnar pushdown: footer stats and
+        // decoded column slices where possible, materialized rows only at
+        // box boundaries and for pre-columnar tablets.
+        let req = PushdownRequest {
+            query: plan.query.clone(),
+            predicates: plan.residual.iter().map(to_predicate).collect(),
+            stats_cols,
+        };
         // Group on the memcmp encoding of the group-by values so groups
         // come out in key-compatible order.
         let mut groups: BTreeMap<Vec<u8>, (Vec<Value>, Vec<AggState>)> = BTreeMap::new();
-        let mut cur = t.query(&plan.query)?;
-        while let Some(row) = cur.next_row()? {
-            if !plan.residual.iter().all(|r| r.matches(&row.values)) {
-                continue;
+        let new_states =
+            || -> Vec<AggState> { agg_specs.iter().map(|(f, _)| AggState::new(*f)).collect() };
+        t.pushdown_scan(&req, &mut |unit| {
+            match unit {
+                ScanUnit::Stats { rows, zones } => {
+                    // Only issued when group_specs is empty: one group.
+                    let entry = groups
+                        .entry(Vec::new())
+                        .or_insert_with(|| (Vec::new(), new_states()));
+                    for (state, (_, col)) in entry.1.iter_mut().zip(&agg_specs) {
+                        state.update_stats(rows, col.and_then(|c| zones[c].as_ref()))?;
+                    }
+                }
+                ScanUnit::Block { block, uncertain } => {
+                    let slice = |c: usize| {
+                        block
+                            .column(c)
+                            .ok_or_else(|| Error::invalid("columnar block is missing a column"))
+                    };
+                    for ri in 0..block.len() {
+                        let mut pass = true;
+                        for &pi in &uncertain {
+                            let p = &req.predicates[pi];
+                            if !p.matches(&slice(p.col)?.value(ri)) {
+                                pass = false;
+                                break;
+                            }
+                        }
+                        if !pass {
+                            continue;
+                        }
+                        let mut key = Vec::new();
+                        let mut vals = Vec::with_capacity(group_specs.len());
+                        for spec in &group_specs {
+                            let v = spec.value(&slice(spec.col)?.value(ri))?;
+                            keyenc::encode_component(&mut key, &v)?;
+                            vals.push(v);
+                        }
+                        let entry = groups.entry(key).or_insert_with(|| (vals, new_states()));
+                        for (state, (_, col)) in entry.1.iter_mut().zip(&agg_specs) {
+                            let v = match col {
+                                Some(c) => Some(slice(*c)?.value(ri)),
+                                None => None,
+                            };
+                            state.update(v.as_ref())?;
+                        }
+                    }
+                }
+                ScanUnit::Rows(rows) => {
+                    // Already filtered by bounds and every predicate.
+                    for row in rows {
+                        let mut key = Vec::new();
+                        let mut vals = Vec::with_capacity(group_specs.len());
+                        for spec in &group_specs {
+                            let v = spec.value(&row.values[spec.col])?;
+                            keyenc::encode_component(&mut key, &v)?;
+                            vals.push(v);
+                        }
+                        let entry = groups.entry(key).or_insert_with(|| (vals, new_states()));
+                        for (state, (_, col)) in entry.1.iter_mut().zip(&agg_specs) {
+                            state.update(col.map(|c| &row.values[c]))?;
+                        }
+                    }
+                }
             }
-            let mut key = Vec::new();
-            for &gi in &group_idx {
-                keyenc::encode_component(&mut key, &row.values[gi])?;
-            }
-            let entry = groups.entry(key).or_insert_with(|| {
-                (
-                    group_idx.iter().map(|&gi| row.values[gi].clone()).collect(),
-                    agg_specs.iter().map(|(f, _)| AggState::new(*f)).collect(),
-                )
-            });
-            for (state, (_, col)) in entry.1.iter_mut().zip(&agg_specs) {
-                state.update(col.map(|c| &row.values[c]))?;
-            }
-        }
+            Ok(())
+        })?;
 
         // Assemble output in SELECT-list order.
         let mut columns = Vec::new();
         for item in &sel.items {
             columns.push(match item {
                 SelectItem::Column(n) => n.clone(),
+                SelectItem::TimeBucket { column, .. } => format!("time_bucket({column})"),
                 SelectItem::Aggregate { func, column } => format!(
                     "{}({})",
                     match func {
@@ -316,7 +459,25 @@ impl Session {
             for item in &sel.items {
                 match item {
                     SelectItem::Column(n) => {
-                        let pos = sel.group_by.iter().position(|g| g == n).unwrap();
+                        let pos = sel
+                            .group_by
+                            .iter()
+                            .position(|g| matches!(g, GroupExpr::Column(gn) if gn == n))
+                            .unwrap();
+                        out.push(group_vals[pos].clone());
+                    }
+                    SelectItem::TimeBucket {
+                        column,
+                        width_micros,
+                    } => {
+                        let pos = sel
+                            .group_by
+                            .iter()
+                            .position(|g| {
+                                matches!(g, GroupExpr::TimeBucket { column: c, width_micros: w }
+                                    if c == column && w == width_micros)
+                            })
+                            .unwrap();
                         out.push(group_vals[pos].clone());
                     }
                     SelectItem::Aggregate { .. } => {
@@ -359,6 +520,9 @@ impl Session {
                         .ok_or_else(|| Error::invalid(format!("no column {n:?}")))?;
                     columns.push(n.clone());
                     slots.push(i);
+                }
+                SelectItem::TimeBucket { .. } => {
+                    return Err(Error::invalid("TIME_BUCKET requires GROUP BY"))
                 }
                 SelectItem::Aggregate { .. } => unreachable!("handled by caller"),
             }
@@ -463,6 +627,23 @@ impl AggState {
             }
         }
         Ok(())
+    }
+
+    /// Folds a whole block's footer statistics into the state: `rows`
+    /// rows whose aggregated column spans `zone`. Only COUNT/MIN/MAX
+    /// can do this — the scan never produces stats units otherwise.
+    fn update_stats(&mut self, rows: u64, zone: Option<&(Value, Value)>) -> Result<()> {
+        let v = match self {
+            AggState::Count(n) => {
+                *n += rows;
+                return Ok(());
+            }
+            AggState::Min(_) => zone.map(|(lo, _)| lo.clone()),
+            AggState::Max(_) => zone.map(|(_, hi)| hi.clone()),
+            _ => return Err(Error::invalid("aggregate cannot fold footer statistics")),
+        };
+        let v = v.ok_or_else(|| Error::invalid("stats scan unit without a zone map"))?;
+        self.update(Some(&v))
     }
 
     fn finish(&self) -> Value {
@@ -689,6 +870,94 @@ mod tests {
             .unwrap();
         let got = rows(s.execute("SELECT SUM(v) FROM t").unwrap());
         assert_eq!(got[0][0], Value::F64(4.0));
+    }
+
+    #[test]
+    fn time_bucket_group_by() {
+        let (s, _) = session();
+        s.execute("CREATE TABLE m (n INT64, ts TIMESTAMP, v INT64, PRIMARY KEY (n, ts))")
+            .unwrap();
+        // 4 samples per hour across 3 hours, aligned to START.
+        for h in 0..3i64 {
+            for i in 0..4i64 {
+                s.execute(&format!(
+                    "INSERT INTO m VALUES (1, {}, {})",
+                    START + h * 3_600_000_000 + i * 60_000_000,
+                    h * 10 + i
+                ))
+                .unwrap();
+            }
+        }
+        let q = "SELECT TIME_BUCKET(ts, INTERVAL '1h'), COUNT(*), SUM(v) FROM m \
+                 GROUP BY TIME_BUCKET(ts, INTERVAL '1h')";
+        let expect = |got: Vec<Vec<Value>>| {
+            assert_eq!(got.len(), 3);
+            for (h, row) in got.iter().enumerate() {
+                let h = h as i64;
+                let bucket = START + h * 3_600_000_000;
+                let bucket = bucket - bucket.rem_euclid(3_600_000_000);
+                assert_eq!(
+                    row,
+                    &vec![
+                        Value::Timestamp(bucket),
+                        Value::I64(4),
+                        Value::I64(40 * h + 6)
+                    ]
+                );
+            }
+        };
+        expect(rows(s.execute(q).unwrap()));
+        // Same answer from disk, where the pushdown path takes over.
+        s.db().flush_all().unwrap();
+        expect(rows(s.execute(q).unwrap()));
+        // TIME_BUCKET must be grouped, and must see a timestamp column.
+        assert!(s
+            .execute("SELECT TIME_BUCKET(ts, INTERVAL '1h') FROM m")
+            .is_err());
+        assert!(s
+            .execute(
+                "SELECT TIME_BUCKET(v, INTERVAL '1h'), COUNT(*) FROM m \
+                 GROUP BY TIME_BUCKET(v, INTERVAL '1h')"
+            )
+            .is_err());
+    }
+
+    #[test]
+    fn count_min_max_answer_from_footer_stats() {
+        let (s, _) = session();
+        setup_usage(&s);
+        s.db().flush_all().unwrap();
+        let before = s.db().table("usage").unwrap().stats().snapshot();
+        let got = rows(
+            s.execute("SELECT COUNT(*), MIN(bytes), MAX(bytes) FROM usage")
+                .unwrap(),
+        );
+        assert_eq!(
+            got[0],
+            vec![Value::I64(30), Value::I64(100), Value::I64(304)]
+        );
+        let after = s.db().table("usage").unwrap().stats().snapshot();
+        assert_eq!(after.pushdown_scans, before.pushdown_scans + 1);
+        assert_eq!(
+            after.rows_materialized, before.rows_materialized,
+            "COUNT/MIN/MAX over the whole table must not materialize rows"
+        );
+    }
+
+    #[test]
+    fn pushdown_aggregates_match_row_path() {
+        let (s, _) = session();
+        setup_usage(&s);
+        let q = "SELECT device, SUM(bytes), COUNT(*), AVG(bytes) FROM usage \
+                 WHERE network = 2 AND bytes >= 102 GROUP BY device";
+        let mem = rows(s.execute(q).unwrap());
+        s.db().flush_all().unwrap();
+        let disk = rows(s.execute(q).unwrap());
+        assert_eq!(mem, disk);
+        assert_eq!(disk.len(), 3);
+        // device 1: bytes 102,103,104 → sum 309, count 3.
+        assert_eq!(disk[0][1], Value::I64(309));
+        assert_eq!(disk[0][2], Value::I64(3));
     }
 
     #[test]

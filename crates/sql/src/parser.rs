@@ -371,6 +371,15 @@ impl Parser {
                         self.expect_sym(Sym::RParen)?;
                         items.push(SelectItem::Aggregate { func, column });
                     }
+                    _ if name.eq_ignore_ascii_case("TIME_BUCKET")
+                        && self.peek() == Some(&Token::Symbol(Sym::LParen)) =>
+                    {
+                        let (column, width_micros) = self.time_bucket_args()?;
+                        items.push(SelectItem::TimeBucket {
+                            column,
+                            width_micros,
+                        });
+                    }
                     _ => items.push(SelectItem::Column(name)),
                 }
             }
@@ -393,7 +402,18 @@ impl Parser {
         if self.eat_kw("GROUP") {
             self.expect_kw("BY")?;
             loop {
-                group_by.push(self.ident()?);
+                let name = self.ident()?;
+                if name.eq_ignore_ascii_case("TIME_BUCKET")
+                    && self.peek() == Some(&Token::Symbol(Sym::LParen))
+                {
+                    let (column, width_micros) = self.time_bucket_args()?;
+                    group_by.push(GroupExpr::TimeBucket {
+                        column,
+                        width_micros,
+                    });
+                } else {
+                    group_by.push(GroupExpr::Column(name));
+                }
                 if !self.eat_sym(Sym::Comma) {
                     break;
                 }
@@ -435,6 +455,20 @@ impl Parser {
             order_by,
             limit,
         })
+    }
+
+    /// Parses the argument list of `TIME_BUCKET(col, INTERVAL '...')`,
+    /// after the name and before the opening parenthesis.
+    fn time_bucket_args(&mut self) -> Result<(String, i64)> {
+        self.expect_sym(Sym::LParen)?;
+        let column = self.ident()?;
+        self.expect_sym(Sym::Comma)?;
+        let width = self.interval()?;
+        self.expect_sym(Sym::RParen)?;
+        if width <= 0 {
+            return Err(Error::invalid("TIME_BUCKET width must be positive"));
+        }
+        Ok((column, width))
     }
 
     fn condition(&mut self) -> Result<Condition> {
@@ -525,12 +559,50 @@ mod tests {
             Statement::Select(s) => {
                 assert_eq!(s.items.len(), 3);
                 assert_eq!(s.conditions.len(), 3);
-                assert_eq!(s.group_by, vec!["device"]);
+                assert_eq!(s.group_by, vec![GroupExpr::Column("device".into())]);
                 assert!(s.order_desc);
                 assert_eq!(s.limit, Some(100));
             }
             s => panic!("unexpected {s:?}"),
         }
+    }
+
+    #[test]
+    fn parses_time_bucket() {
+        let stmt = parse(
+            "SELECT TIME_BUCKET(ts, INTERVAL '1h'), COUNT(*) FROM usage \
+             GROUP BY TIME_BUCKET(ts, INTERVAL '1h')",
+        )
+        .unwrap();
+        match stmt {
+            Statement::Select(s) => {
+                assert_eq!(
+                    s.items[0],
+                    SelectItem::TimeBucket {
+                        column: "ts".into(),
+                        width_micros: 3_600_000_000
+                    }
+                );
+                assert_eq!(
+                    s.group_by,
+                    vec![GroupExpr::TimeBucket {
+                        column: "ts".into(),
+                        width_micros: 3_600_000_000
+                    }]
+                );
+            }
+            s => panic!("unexpected {s:?}"),
+        }
+        // A column named time_bucket without parens is still a column.
+        let stmt = parse("SELECT time_bucket FROM t").unwrap();
+        match stmt {
+            Statement::Select(s) => {
+                assert_eq!(s.items[0], SelectItem::Column("time_bucket".into()));
+            }
+            s => panic!("unexpected {s:?}"),
+        }
+        assert!(parse("SELECT TIME_BUCKET(ts) FROM t").is_err());
+        assert!(parse("SELECT TIME_BUCKET(ts, INTERVAL '0s') FROM t").is_err());
     }
 
     #[test]

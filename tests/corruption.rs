@@ -10,8 +10,9 @@
 //! descriptor) and `Options::strict_open` restores fail-fast; block-level
 //! damage passes open (the footer validates) and must fail the query.
 
+use littletable::core::block::BlockFormat;
 use littletable::core::descriptor::parse_tablet_file_name;
-use littletable::core::table::QUARANTINE_SUFFIX;
+use littletable::core::table::{PushdownRequest, QUARANTINE_SUFFIX};
 use littletable::vfs::{join, Clock, SimClock, SimVfs, Vfs};
 use littletable::{ColumnDef, ColumnType, Db, Error, Options, Query, Schema, Value};
 use std::sync::Arc;
@@ -50,9 +51,22 @@ fn write_file(vfs: &SimVfs, path: &str, bytes: &[u8]) {
 /// Writes a real merged tablet, applies `mutate` to its file bytes, and
 /// returns the VFS + clock + corrupted file path, ready for reopening.
 fn build_corrupted(mutate: &dyn Fn(&mut Vec<u8>)) -> (SimVfs, SimClock, String) {
+    build_corrupted_as(BlockFormat::Columnar, mutate)
+}
+
+/// Like [`build_corrupted`], but writing blocks in the given format, so
+/// the same damage is exercised against the row (footer v2) and
+/// columnar (footer v3) layouts.
+fn build_corrupted_as(
+    format: BlockFormat,
+    mutate: &dyn Fn(&mut Vec<u8>),
+) -> (SimVfs, SimClock, String) {
     let clock = SimClock::new(START);
     let vfs = SimVfs::instant();
-    let build_opts = Options::small_for_tests();
+    let build_opts = Options {
+        block_format: format,
+        ..Options::small_for_tests()
+    };
     let db = Db::open(Arc::new(vfs.clone()), Arc::new(clock.clone()), build_opts).unwrap();
     let table = db.create_table("t", schema(), None).unwrap();
     for i in 0..600i64 {
@@ -84,8 +98,12 @@ fn build_corrupted(mutate: &dyn Fn(&mut Vec<u8>)) -> (SimVfs, SimClock, String) 
 /// Reopens the corrupted store and returns the error the query path
 /// yields. Queried twice so a partial first read can't leave a cache tier
 /// that masks (or worse, trips over) the corruption on the retry.
-fn corrupt_and_query(cache_bytes: usize, mutate: &dyn Fn(&mut Vec<u8>)) -> Error {
-    let (vfs, clock, _) = build_corrupted(mutate);
+fn corrupt_and_query(
+    format: BlockFormat,
+    cache_bytes: usize,
+    mutate: &dyn Fn(&mut Vec<u8>),
+) -> Error {
+    let (vfs, clock, _) = build_corrupted_as(format, mutate);
     let opts = Options {
         block_cache_bytes: cache_bytes,
         ..Options::small_for_tests()
@@ -102,12 +120,15 @@ fn corrupt_and_query(cache_bytes: usize, mutate: &dyn Fn(&mut Vec<u8>)) -> Error
 /// served and the query path must yield `Error::Corrupt` with the cache
 /// enabled (both tiers in play) and disabled (the paper's uncached path).
 fn assert_corrupt(label: &str, mutate: &dyn Fn(&mut Vec<u8>)) {
-    for cache_bytes in [64 << 20, 0] {
-        let err = corrupt_and_query(cache_bytes, mutate);
-        assert!(
-            matches!(err, Error::Corrupt(_)),
-            "{label} (cache_bytes={cache_bytes}): expected Corrupt, got {err:?}"
-        );
+    for format in [BlockFormat::Row, BlockFormat::Columnar] {
+        for cache_bytes in [64 << 20, 0] {
+            let err = corrupt_and_query(format, cache_bytes, mutate);
+            assert!(
+                matches!(err, Error::Corrupt(_)),
+                "{label} (format={format:?}, cache_bytes={cache_bytes}): \
+                 expected Corrupt, got {err:?}"
+            );
+        }
     }
 }
 
@@ -246,4 +267,70 @@ fn flipped_block_bit_is_corrupt() {
             bytes[at] ^= 0x01;
         });
     }
+}
+
+#[test]
+fn flipped_zone_map_bytes_are_corrupt() {
+    // The per-column zone maps live in the footer's block index (footer
+    // v3). Flip bytes across the compressed footer region — wherever the
+    // zones land, the footer CRC must catch the damage at open, so a
+    // poisoned zone can never silently prune (or admit) the wrong
+    // blocks.
+    for frac in [4usize, 2, 3] {
+        assert_footer_corrupt(&format!("flip footer byte at len/{frac}"), &move |bytes| {
+            let at = bytes.len() - TRAILER_LEN + 16;
+            let footer_off = u64::from_le_bytes(bytes[at..at + 8].try_into().unwrap()) as usize;
+            let footer_len = bytes.len() - TRAILER_LEN - footer_off;
+            bytes[footer_off + footer_len / frac] ^= 0x10;
+        });
+    }
+}
+
+#[test]
+fn aggregate_pushdown_surfaces_block_corruption() {
+    // A flipped bit inside a columnar block's per-column slices must
+    // fail the pushdown scan with `Error::Corrupt` — never feed a wrong
+    // slice into an aggregate.
+    let (vfs, clock, _) = build_corrupted(&|bytes| {
+        let at = bytes.len() - TRAILER_LEN + 16;
+        let footer_off = u64::from_le_bytes(bytes[at..at + 8].try_into().unwrap()) as usize;
+        bytes[footer_off / 2] ^= 0x01;
+    });
+    let db = Db::open(
+        Arc::new(vfs.clone()),
+        Arc::new(clock.clone()),
+        Options::small_for_tests(),
+    )
+    .unwrap();
+    let table = db.table("t").unwrap();
+
+    // Value-reading scan: must hit the damaged block and fail.
+    let req = PushdownRequest {
+        query: Query::all(),
+        predicates: Vec::new(),
+        stats_cols: None,
+    };
+    let res = table.pushdown_scan(&req, &mut |_| Ok(()));
+    assert!(
+        matches!(res, Err(Error::Corrupt(_))),
+        "pushdown over corrupt block must be Corrupt, got {res:?}"
+    );
+
+    // Stats-only scan: answered from the (CRC-validated) footer without
+    // touching block bytes, so it still returns the exact row count.
+    let req = PushdownRequest {
+        query: Query::all(),
+        predicates: Vec::new(),
+        stats_cols: Some(Vec::new()),
+    };
+    let mut rows = 0u64;
+    table
+        .pushdown_scan(&req, &mut |u| {
+            if let littletable::core::table::ScanUnit::Stats { rows: r, .. } = u {
+                rows += r;
+            }
+            Ok(())
+        })
+        .unwrap();
+    assert_eq!(rows, 600);
 }
