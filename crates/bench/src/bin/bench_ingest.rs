@@ -1,0 +1,7 @@
+//! Regenerates BENCH_ingest (nonblocking event-loop server vs.
+//! thread-per-connection baseline: pipelined ingest rows/s and p99
+//! batch-ack latency over a connections × batch-size grid).
+
+fn main() {
+    littletable_bench::figures::ingestfig::run(littletable_bench::quick_flag()).emit();
+}

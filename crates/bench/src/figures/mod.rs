@@ -12,6 +12,7 @@ pub mod fig6;
 pub mod fig9;
 pub mod fleetfigs;
 pub mod headline;
+pub mod ingestfig;
 pub mod scanfig;
 
 #[cfg(test)]

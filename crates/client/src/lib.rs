@@ -7,6 +7,11 @@
 //! re-submitting with the starting key bound advanced past the last row
 //! returned.
 //!
+//! Every request carries a client-chosen id; the server answers each
+//! connection's requests in FIFO order with the matching ids, which is
+//! what lets [`PipelinedInserter`] keep a bounded window of insert
+//! batches in flight without waiting out a round trip per batch.
+//!
 //! Durability is the application's problem by design: when the connection
 //! drops, [`Client::request`] surfaces the error and the application
 //! re-collects recent data from its devices (§4).
@@ -16,9 +21,12 @@
 use littletable_core::query::Query;
 use littletable_core::schema::{ColumnDef, Schema};
 use littletable_core::value::Value;
-use littletable_proto::{read_frame, write_frame, ErrorKind, Request, Response};
+use littletable_proto::{
+    decode_response_frame, encode_request_frame, read_frame, write_frame, ErrorKind, Request,
+    Response,
+};
 use littletable_vfs::Micros;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::io::{self, BufReader};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 
@@ -68,6 +76,7 @@ pub struct Client {
     stream: TcpStream,
     reader: BufReader<TcpStream>,
     schemas: HashMap<String, Schema>,
+    next_id: u64,
 }
 
 impl Client {
@@ -85,6 +94,7 @@ impl Client {
             stream,
             reader,
             schemas: HashMap::new(),
+            next_id: 1,
         })
     }
 
@@ -99,12 +109,34 @@ impl Client {
         Ok(())
     }
 
-    /// Sends one request and reads one response.
-    pub fn request(&mut self, req: &Request) -> Result<Response> {
-        write_frame(&mut self.stream, &req.encode())?;
+    /// Writes one request frame without waiting for its response;
+    /// returns the id it was sent under. Responses come back in send
+    /// order — pair them up with [`Client::recv_response`].
+    pub fn send_request(&mut self, req: &Request) -> Result<u64> {
+        let id = self.next_id;
+        self.next_id += 1;
+        write_frame(&mut self.stream, &encode_request_frame(id, req))?;
+        Ok(id)
+    }
+
+    /// Reads the next response frame, returning its id and body. Remote
+    /// errors are returned as `Ok` here (the caller knows which request
+    /// they belong to); [`Client::request`] converts them.
+    pub fn recv_response(&mut self) -> Result<(u64, Response)> {
         let payload = read_frame(&mut self.reader)?
             .ok_or_else(|| ClientError::Disconnected(io::ErrorKind::UnexpectedEof.into()))?;
-        let resp = Response::decode(&payload).map_err(|e| ClientError::Protocol(e.to_string()))?;
+        decode_response_frame(&payload).map_err(|e| ClientError::Protocol(e.to_string()))
+    }
+
+    /// Sends one request and reads its response.
+    pub fn request(&mut self, req: &Request) -> Result<Response> {
+        let id = self.send_request(req)?;
+        let (got, resp) = self.recv_response()?;
+        if got != id {
+            return Err(ClientError::Protocol(format!(
+                "response id {got} does not match request id {id}"
+            )));
+        }
         if let Response::Error { kind, message } = resp {
             return Err(ClientError::Remote { kind, message });
         }
@@ -183,25 +215,38 @@ impl Client {
     /// Inserts rows with explicit timestamps. Returns
     /// `(inserted, duplicates)`.
     pub fn insert(&mut self, table: &str, rows: Vec<Vec<Value>>) -> Result<(u64, u64)> {
-        self.insert_inner(table, rows, false)
+        let rows = rows
+            .into_iter()
+            .map(|r| r.into_iter().map(Some).collect())
+            .collect();
+        self.insert_opt(table, rows)
     }
 
     /// Inserts rows, asking the server to stamp each row's `ts` column
-    /// with its current time (§3.1).
+    /// with its current time (§3.1). The value in the `ts` slot is a
+    /// placeholder and is sent as absent.
     pub fn insert_stamped(&mut self, table: &str, rows: Vec<Vec<Value>>) -> Result<(u64, u64)> {
-        self.insert_inner(table, rows, true)
+        let ts_index = self.schema(table)?.ts_index();
+        let rows = rows
+            .into_iter()
+            .map(|r| {
+                r.into_iter()
+                    .enumerate()
+                    .map(|(i, v)| if i == ts_index { None } else { Some(v) })
+                    .collect()
+            })
+            .collect();
+        self.insert_opt(table, rows)
     }
 
-    fn insert_inner(
-        &mut self,
-        table: &str,
-        rows: Vec<Vec<Value>>,
-        server_sets_ts: bool,
-    ) -> Result<(u64, u64)> {
+    /// Inserts rows where each cell is optionally absent. Only the `ts`
+    /// column may be absent; the server stamps those rows — and only
+    /// those — with its current time, so one batch may mix explicit and
+    /// server-stamped timestamps.
+    pub fn insert_opt(&mut self, table: &str, rows: Vec<Vec<Option<Value>>>) -> Result<(u64, u64)> {
         match self.request(&Request::Insert {
             table: table.into(),
             rows,
-            server_sets_ts,
         })? {
             Response::InsertResult {
                 inserted,
@@ -339,6 +384,117 @@ impl<'a> BatchInserter<'a> {
     }
 }
 
+/// Pipelined batch inserts: keeps up to `window` insert batches in
+/// flight on the wire before blocking on the oldest acknowledgement.
+/// Hides the per-batch round trip that serial insertion pays, which is
+/// the dominant cost of high-frequency ingest over a network.
+///
+/// Relies on the server's FIFO-per-connection response ordering: the
+/// oldest outstanding id is always the next response on the wire.
+pub struct PipelinedInserter<'a> {
+    client: &'a mut Client,
+    table: String,
+    batch_size: usize,
+    window: usize,
+    buffer: Vec<Vec<Option<Value>>>,
+    in_flight: VecDeque<u64>,
+    inserted: u64,
+    duplicates: u64,
+}
+
+impl<'a> PipelinedInserter<'a> {
+    /// Creates a pipelined inserter for `table`, sending every
+    /// `batch_size` rows and keeping at most `window` unacknowledged
+    /// batches in flight.
+    pub fn new(client: &'a mut Client, table: &str, batch_size: usize, window: usize) -> Self {
+        PipelinedInserter {
+            client,
+            table: table.to_string(),
+            batch_size: batch_size.max(1),
+            window: window.max(1),
+            buffer: Vec::new(),
+            in_flight: VecDeque::new(),
+            inserted: 0,
+            duplicates: 0,
+        }
+    }
+
+    /// Queues a row with explicit values in every column.
+    pub fn push(&mut self, row: Vec<Value>) -> Result<()> {
+        self.push_opt(row.into_iter().map(Some).collect())
+    }
+
+    /// Queues a row; an absent `ts` cell asks the server to stamp it.
+    pub fn push_opt(&mut self, row: Vec<Option<Value>>) -> Result<()> {
+        self.buffer.push(row);
+        if self.buffer.len() >= self.batch_size {
+            self.send_batch()?;
+        }
+        Ok(())
+    }
+
+    /// Sends the buffered rows as one batch, first draining
+    /// acknowledgements if the window is full.
+    fn send_batch(&mut self) -> Result<()> {
+        if self.buffer.is_empty() {
+            return Ok(());
+        }
+        while self.in_flight.len() >= self.window {
+            self.recv_ack()?;
+        }
+        let rows = std::mem::take(&mut self.buffer);
+        let id = self.client.send_request(&Request::Insert {
+            table: self.table.clone(),
+            rows,
+        })?;
+        self.in_flight.push_back(id);
+        Ok(())
+    }
+
+    /// Blocks for the oldest outstanding acknowledgement.
+    fn recv_ack(&mut self) -> Result<()> {
+        let want = self
+            .in_flight
+            .pop_front()
+            .expect("recv_ack with nothing in flight");
+        let (id, resp) = self.client.recv_response()?;
+        if id != want {
+            return Err(ClientError::Protocol(format!(
+                "response id {id} does not match oldest in-flight id {want}"
+            )));
+        }
+        match resp {
+            Response::InsertResult {
+                inserted,
+                duplicates,
+            } => {
+                self.inserted += inserted;
+                self.duplicates += duplicates;
+                Ok(())
+            }
+            Response::Error { kind, message } => Err(ClientError::Remote { kind, message }),
+            r => Err(ClientError::Protocol(format!(
+                "expected InsertResult, got {r:?}"
+            ))),
+        }
+    }
+
+    /// Batches currently awaiting acknowledgement.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight.len()
+    }
+
+    /// Sends any queued rows and drains every outstanding
+    /// acknowledgement, returning `(inserted, duplicates)` totals.
+    pub fn finish(mut self) -> Result<(u64, u64)> {
+        self.send_batch()?;
+        while !self.in_flight.is_empty() {
+            self.recv_ack()?;
+        }
+        Ok((self.inserted, self.duplicates))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -415,6 +571,84 @@ mod tests {
         let (ins, dup) = b.finish().unwrap();
         assert_eq!((ins, dup), (50, 0));
         assert_eq!(c.query("t", &Query::all()).unwrap().len(), 50);
+    }
+
+    #[test]
+    fn pipelined_inserter_overlaps_batches() {
+        let (_server, addr) = start_server(1 << 20);
+        let mut c = Client::connect(addr).unwrap();
+        c.create_table("t", usage_schema(), None).unwrap();
+        let mut p = PipelinedInserter::new(&mut c, "t", 8, 4);
+        for i in 0..100 {
+            p.push(vec![Value::I64(i), Value::Timestamp(i), Value::I64(i)])
+                .unwrap();
+        }
+        // With 8-row batches and a window of 4, some batches must have
+        // been in flight simultaneously at this point.
+        assert!(p.in_flight() > 0);
+        let (ins, dup) = p.finish().unwrap();
+        assert_eq!((ins, dup), (100, 0));
+        assert_eq!(c.query("t", &Query::all()).unwrap().len(), 100);
+    }
+
+    #[test]
+    fn pipelined_inserter_surfaces_remote_errors() {
+        let (_server, addr) = start_server(1 << 20);
+        let mut c = Client::connect(addr).unwrap();
+        c.create_table("t", usage_schema(), None).unwrap();
+        let mut p = PipelinedInserter::new(&mut c, "t", 2, 2);
+        // Absent cell outside the ts column: the server rejects it.
+        p.push_opt(vec![Some(Value::I64(1)), Some(Value::Timestamp(1)), None])
+            .unwrap();
+        p.push_opt(vec![Some(Value::I64(2)), Some(Value::Timestamp(2)), None])
+            .unwrap();
+        match p.finish() {
+            Err(ClientError::Remote { kind, .. }) => assert_eq!(kind, ErrorKind::Invalid),
+            r => panic!("unexpected {r:?}"),
+        }
+    }
+
+    #[test]
+    fn stamped_and_mixed_inserts() {
+        let (_server, addr) = start_server(1 << 20);
+        let mut c = Client::connect(addr).unwrap();
+        c.create_table("t", usage_schema(), None).unwrap();
+        // insert_stamped replaces the ts placeholder with an absent cell.
+        assert_eq!(
+            c.insert_stamped(
+                "t",
+                vec![vec![Value::I64(1), Value::Timestamp(0), Value::I64(10)]]
+            )
+            .unwrap(),
+            (1, 0)
+        );
+        // A mixed batch via insert_opt: one explicit, one stamped.
+        assert_eq!(
+            c.insert_opt(
+                "t",
+                vec![
+                    vec![
+                        Some(Value::I64(2)),
+                        Some(Value::Timestamp(77)),
+                        Some(Value::I64(20))
+                    ],
+                    vec![Some(Value::I64(3)), None, Some(Value::I64(30))],
+                ]
+            )
+            .unwrap(),
+            (2, 0)
+        );
+        let rows = c.query("t", &Query::all()).unwrap();
+        assert_eq!(rows.len(), 3);
+        let ts_of = |n: i64| {
+            rows.iter()
+                .find(|r| r[0] == Value::I64(n))
+                .map(|r| r[1].clone())
+                .unwrap()
+        };
+        assert_eq!(ts_of(1), Value::Timestamp(1_700_000_000_000_000));
+        assert_eq!(ts_of(2), Value::Timestamp(77), "explicit ts clobbered");
+        assert_eq!(ts_of(3), Value::Timestamp(1_700_000_000_000_000));
     }
 
     #[test]

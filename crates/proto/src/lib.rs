@@ -5,9 +5,12 @@
 //! defines the equivalent protocol for our server and client adaptor:
 //! length-prefixed frames carrying tagged requests and responses.
 //!
-//! Framing: `[len: u32 LE][payload]`, with `payload[0]` a message tag.
-//! Values are tagged with their column type so heterogeneous key prefixes
-//! decode without schema context.
+//! Framing: `[len: u32 LE][payload]`, with the payload carrying a varint
+//! request id (for pipelining — see [`message::encode_request_frame`])
+//! followed by a tagged message body. Values are tagged with their column
+//! type so heterogeneous key prefixes decode without schema context; the
+//! reserved tag [`valuecodec::NULL_TAG`] marks an absent insert cell (a
+//! timestamp the client omitted for the server to stamp, §3.1).
 
 #![warn(missing_docs)]
 
@@ -15,5 +18,8 @@ pub mod frame;
 pub mod message;
 pub mod valuecodec;
 
-pub use frame::{read_frame, write_frame, MAX_FRAME_LEN};
-pub use message::{ErrorKind, Request, Response};
+pub use frame::{read_frame, write_frame, FrameDecoder, MAX_FRAME_LEN, READ_CHUNK};
+pub use message::{
+    decode_request_frame, decode_response_frame, encode_request_frame, encode_response_frame,
+    request_frame_id, ErrorKind, Request, Response,
+};

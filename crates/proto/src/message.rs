@@ -1,8 +1,8 @@
 //! Request and response messages.
 
 use crate::valuecodec::{
-    get_query, get_rows, get_tagged_value, get_values, put_query, put_rows, put_tagged_value,
-    put_values,
+    get_insert_rows, get_query, get_rows, get_tagged_value, get_values, put_insert_rows, put_query,
+    put_rows, put_tagged_value, put_values,
 };
 use littletable_core::error::{Error, Result};
 use littletable_core::query::Query;
@@ -60,11 +60,12 @@ pub enum Request {
     Insert {
         /// Table name.
         table: String,
-        /// Full rows in schema order.
-        rows: Vec<Vec<Value>>,
-        /// When true the server overwrites each row's `ts` column with its
-        /// current time (§3.1: clients may omit timestamps).
-        server_sets_ts: bool,
+        /// Rows in schema order. A `None` cell is NULL on the wire and is
+        /// legal only in the timestamp column: it marks a row whose client
+        /// omitted the timestamp, which the server stamps with its current
+        /// time (§3.1). Rows with explicit timestamps keep them, even in
+        /// the same batch.
+        rows: Vec<Vec<Option<Value>>>,
     },
     /// Run a bounded query.
     Query {
@@ -275,15 +276,10 @@ impl Request {
                 put_string(&mut out, table);
                 put_opt_micros(&mut out, *ttl);
             }
-            Request::Insert {
-                table,
-                rows,
-                server_sets_ts,
-            } => {
+            Request::Insert { table, rows } => {
                 out.push(7);
                 put_string(&mut out, table);
-                out.push(*server_sets_ts as u8);
-                put_rows(&mut out, rows);
+                put_insert_rows(&mut out, rows);
             }
             Request::Query { table, query } => {
                 out.push(8);
@@ -329,15 +325,10 @@ impl Request {
                 table: r.string()?,
                 ttl: get_opt_micros(&mut r)?,
             },
-            7 => {
-                let table = r.string()?;
-                let server_sets_ts = r.u8()? != 0;
-                Request::Insert {
-                    table,
-                    rows: get_rows(&mut r)?,
-                    server_sets_ts,
-                }
-            }
+            7 => Request::Insert {
+                table: r.string()?,
+                rows: get_insert_rows(&mut r)?,
+            },
             8 => Request::Query {
                 table: r.string()?,
                 query: get_query(&mut r)?,
@@ -498,6 +489,56 @@ impl Response {
     }
 }
 
+// ---- pipelining envelopes ----
+//
+// A connection may have many requests in flight (the client writes
+// several frames before reading any response), so every frame carries a
+// request id: `[id: varint][message body]`. The server guarantees that
+// responses on a connection are sent in the order the requests arrived,
+// so ids on one connection come back in FIFO order; the id lets the
+// client assert that invariant and match acks to in-flight batches.
+
+/// Encodes a request frame payload: varint `id` followed by the request
+/// body.
+pub fn encode_request_frame(id: u64, req: &Request) -> Vec<u8> {
+    let mut out = Vec::new();
+    put_varint(&mut out, id);
+    out.extend_from_slice(&req.encode());
+    out
+}
+
+/// Decodes a request frame payload into `(id, request)`.
+pub fn decode_request_frame(payload: &[u8]) -> Result<(u64, Request)> {
+    let mut r = Reader::new(payload);
+    let id = r.varint()?;
+    let req = Request::decode(&payload[r.pos()..])?;
+    Ok((id, req))
+}
+
+/// Best-effort extraction of a request frame's id, for error responses
+/// to frames whose body fails to decode. `None` when even the id is
+/// unreadable.
+pub fn request_frame_id(payload: &[u8]) -> Option<u64> {
+    Reader::new(payload).varint().ok()
+}
+
+/// Encodes a response frame payload: varint `id` (echoing the request's)
+/// followed by the response body.
+pub fn encode_response_frame(id: u64, resp: &Response) -> Vec<u8> {
+    let mut out = Vec::new();
+    put_varint(&mut out, id);
+    out.extend_from_slice(&resp.encode());
+    out
+}
+
+/// Decodes a response frame payload into `(id, response)`.
+pub fn decode_response_frame(payload: &[u8]) -> Result<(u64, Response)> {
+    let mut r = Reader::new(payload);
+    let id = r.varint()?;
+    let resp = Response::decode(&payload[r.pos()..])?;
+    Ok((id, resp))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -539,12 +580,15 @@ mod tests {
             },
             Request::Insert {
                 table: "t".into(),
-                rows: vec![vec![
-                    Value::I64(1),
-                    Value::Timestamp(2),
-                    Value::Str("a".into()),
-                ]],
-                server_sets_ts: true,
+                rows: vec![
+                    vec![
+                        Some(Value::I64(1)),
+                        Some(Value::Timestamp(2)),
+                        Some(Value::Str("a".into())),
+                    ],
+                    // A row whose client omitted the timestamp.
+                    vec![Some(Value::I64(2)), None, Some(Value::Str("b".into()))],
+                ],
             },
             Request::Query {
                 table: "t".into(),
@@ -613,6 +657,26 @@ mod tests {
     }
 
     #[test]
+    fn envelopes_round_trip_and_carry_ids() {
+        let req = Request::GetSchema { table: "t".into() };
+        for id in [0u64, 1, 300, u64::MAX] {
+            let frame = encode_request_frame(id, &req);
+            assert_eq!(decode_request_frame(&frame).unwrap(), (id, req.clone()));
+            assert_eq!(request_frame_id(&frame), Some(id));
+        }
+        let resp = Response::Pong;
+        let frame = encode_response_frame(42, &resp);
+        assert_eq!(decode_response_frame(&frame).unwrap(), (42, resp));
+        // A readable id with a garbage body still yields the id.
+        let mut bad = Vec::new();
+        put_varint(&mut bad, 7);
+        bad.push(99);
+        assert!(decode_request_frame(&bad).is_err());
+        assert_eq!(request_frame_id(&bad), Some(7));
+        assert_eq!(request_frame_id(&[]), None);
+    }
+
+    #[test]
     fn garbage_is_rejected_without_panic() {
         assert!(Request::decode(&[]).is_err());
         assert!(Request::decode(&[99]).is_err());
@@ -653,11 +717,10 @@ mod fuzz_tests {
             let req = Request::Insert {
                 table: "usage_by_device".into(),
                 rows: vec![vec![
-                    Value::I64(1),
-                    Value::Timestamp(1_700_000_000_000_000),
-                    Value::Str("payload".into()),
+                    Some(Value::I64(1)),
+                    Some(Value::Timestamp(1_700_000_000_000_000)),
+                    Some(Value::Str("payload".into())),
                 ]],
-                server_sets_ts: false,
             };
             let mut enc = req.encode();
             if pos < enc.len() {

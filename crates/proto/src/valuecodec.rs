@@ -7,6 +7,12 @@ use littletable_core::schema::{decode_value, encode_value};
 use littletable_core::util::{put_varint, unzigzag, zigzag, Reader};
 use littletable_core::value::{ColumnType, Value};
 
+/// Wire tag for an absent cell (NULL). The engine has no NULLs (§3.5);
+/// this tag exists only in insert rows, where an absent timestamp means
+/// "server, stamp this row with your current time" (§3.1). Disjoint from
+/// every [`ColumnType::tag`].
+pub const NULL_TAG: u8 = 0xFF;
+
 /// Appends a type-tagged value.
 pub fn put_tagged_value(out: &mut Vec<u8>, v: &Value) {
     out.push(v.column_type().tag());
@@ -17,6 +23,25 @@ pub fn put_tagged_value(out: &mut Vec<u8>, v: &Value) {
 pub fn get_tagged_value(r: &mut Reader<'_>) -> Result<Value> {
     let ty = ColumnType::from_tag(r.u8()?)?;
     decode_value(r, ty)
+}
+
+/// Appends a possibly-absent cell: [`NULL_TAG`] for `None`, the tagged
+/// value otherwise.
+pub fn put_opt_tagged_value(out: &mut Vec<u8>, v: &Option<Value>) {
+    match v {
+        None => out.push(NULL_TAG),
+        Some(v) => put_tagged_value(out, v),
+    }
+}
+
+/// Reads a possibly-absent cell written by [`put_opt_tagged_value`].
+pub fn get_opt_tagged_value(r: &mut Reader<'_>) -> Result<Option<Value>> {
+    let tag = r.u8()?;
+    if tag == NULL_TAG {
+        return Ok(None);
+    }
+    let ty = ColumnType::from_tag(tag)?;
+    decode_value(r, ty).map(Some)
 }
 
 /// Appends a list of tagged values (one row or key prefix).
@@ -57,6 +82,38 @@ pub fn get_rows(r: &mut Reader<'_>) -> Result<Vec<Vec<Value>>> {
     let mut out = Vec::with_capacity(n);
     for _ in 0..n {
         out.push(get_values(r)?);
+    }
+    Ok(out)
+}
+
+/// Appends insert rows, whose cells may be absent ([`NULL_TAG`]).
+pub fn put_insert_rows(out: &mut Vec<u8>, rows: &[Vec<Option<Value>>]) {
+    put_varint(out, rows.len() as u64);
+    for row in rows {
+        put_varint(out, row.len() as u64);
+        for v in row {
+            put_opt_tagged_value(out, v);
+        }
+    }
+}
+
+/// Reads insert rows written by [`put_insert_rows`].
+pub fn get_insert_rows(r: &mut Reader<'_>) -> Result<Vec<Vec<Option<Value>>>> {
+    let n = r.varint()? as usize;
+    if n > 1 << 24 {
+        return Err(Error::corrupt("implausible row count"));
+    }
+    let mut out = Vec::with_capacity(n.min(1 << 16));
+    for _ in 0..n {
+        let m = r.varint()? as usize;
+        if m > 1 << 20 {
+            return Err(Error::corrupt("implausible value count"));
+        }
+        let mut row = Vec::with_capacity(m.min(1 << 16));
+        for _ in 0..m {
+            row.push(get_opt_tagged_value(r)?);
+        }
+        out.push(row);
     }
     Ok(out)
 }
@@ -188,6 +245,24 @@ mod tests {
         let mut buf = Vec::new();
         put_query(&mut buf, &Query::all());
         assert_eq!(get_query(&mut Reader::new(&buf)).unwrap(), Query::all());
+    }
+
+    #[test]
+    fn insert_rows_with_null_cells_round_trip() {
+        let rows: Vec<Vec<Option<Value>>> = vec![
+            vec![Some(Value::I64(1)), None, Some(Value::Str("a".into()))],
+            vec![
+                Some(Value::I64(2)),
+                Some(Value::Timestamp(7)),
+                Some(Value::Str("b".into())),
+            ],
+            vec![None],
+        ];
+        let mut buf = Vec::new();
+        put_insert_rows(&mut buf, &rows);
+        let mut r = Reader::new(&buf);
+        assert_eq!(get_insert_rows(&mut r).unwrap(), rows);
+        assert!(r.is_empty());
     }
 
     #[test]

@@ -1,0 +1,83 @@
+//! Group commit: one scheduler coalesces seal/flush/merge work across
+//! every connection.
+//!
+//! Workers record how many rows each insert landed; the committer thread
+//! sleeps until there is dirty work, lets a short coalescing window pass
+//! (or a row threshold trip), then runs a single maintenance pass over
+//! the engine. A hundred connections inserting concurrently therefore
+//! share one seal/flush cycle instead of racing per-insert, which is
+//! where high-frequency ingest throughput is won.
+
+use littletable_core::db::Db;
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+#[derive(Default)]
+struct GcState {
+    /// Rows inserted since the last commit pass.
+    dirty_rows: u64,
+    /// Set once; the scheduler drains and exits.
+    stopped: bool,
+}
+
+/// Shared handle between the workers (producers of dirty-row counts) and
+/// the committer thread (consumer).
+#[derive(Default)]
+pub(crate) struct GroupCommit {
+    state: Mutex<GcState>,
+    cv: Condvar,
+}
+
+impl GroupCommit {
+    /// Records `n` freshly inserted rows and nudges the scheduler.
+    pub fn note_rows(&self, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let mut st = self.state.lock().unwrap();
+        st.dirty_rows += n;
+        self.cv.notify_all();
+    }
+
+    /// Asks the scheduler to run one final pass and exit.
+    pub fn stop(&self) {
+        let mut st = self.state.lock().unwrap();
+        st.stopped = true;
+        self.cv.notify_all();
+    }
+
+    /// The committer body; runs on its own thread until [`stop`].
+    ///
+    /// Each cycle: block until rows are dirty, coalesce further arrivals
+    /// for up to `interval` (cut short when `rows_threshold` accumulates),
+    /// then run one engine maintenance pass covering every table. Errors
+    /// are retried implicitly by the next cycle.
+    ///
+    /// [`stop`]: GroupCommit::stop
+    pub fn run(&self, db: &Db, rows_threshold: u64, interval: Duration) {
+        loop {
+            let mut st = self.state.lock().unwrap();
+            while st.dirty_rows == 0 && !st.stopped {
+                st = self.cv.wait(st).unwrap();
+            }
+            if st.dirty_rows == 0 && st.stopped {
+                return;
+            }
+            let deadline = Instant::now() + interval;
+            while st.dirty_rows < rows_threshold && !st.stopped {
+                let left = deadline.saturating_duration_since(Instant::now());
+                if left.is_zero() {
+                    break;
+                }
+                st = self.cv.wait_timeout(st, left).unwrap().0;
+            }
+            st.dirty_rows = 0;
+            let stopped = st.stopped;
+            drop(st);
+            let _ = db.maintain();
+            if stopped {
+                return;
+            }
+        }
+    }
+}

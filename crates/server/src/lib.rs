@@ -2,21 +2,26 @@
 //!
 //! LittleTable runs as an independent server process; clients interact
 //! with it over a persistent TCP connection (§3.1). This crate provides
-//! both the connection-handling server and [`handle_request`], the pure
-//! request dispatcher, which in-process tests and the SQL layer reuse
-//! without a socket.
+//! [`handle_request`], the pure request dispatcher (which in-process
+//! tests and the SQL layer reuse without a socket), and [`Server`], a
+//! nonblocking readiness-loop ingest front end: a small pool of
+//! shared-nothing worker shards polling their own connection sets,
+//! pipelined request handling with bounded backpressure, and a
+//! group-commit scheduler coalescing flush work across sessions (see
+//! [`net`] for the full design).
 
 #![warn(missing_docs)]
+
+mod group_commit;
+pub mod net;
+mod poll;
+
+pub use net::{Server, ServerConfig};
 
 use littletable_core::db::Db;
 use littletable_core::error::Error;
 use littletable_core::value::Value;
-use littletable_proto::{read_frame, write_frame, ErrorKind, Request, Response};
-use std::io;
-use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
-use std::thread::JoinHandle;
+use littletable_proto::{ErrorKind, Request, Response};
 
 /// Executes one request against the engine. This is the entire server
 /// semantics; the TCP layer just frames it.
@@ -63,25 +68,55 @@ fn try_handle(db: &Db, req: Request) -> littletable_core::Result<Response> {
             db.table(&table)?.set_ttl(ttl)?;
             Response::Ok
         }
-        Request::Insert {
-            table,
-            mut rows,
-            server_sets_ts,
-        } => {
+        Request::Insert { table, rows } => {
             let t = db.table(&table)?;
-            if server_sets_ts {
-                // §3.1: a client may omit a row's timestamp, in which case
-                // the server sets it to the current time.
-                let ts_index = t.schema().ts_index();
-                let now = t.now();
-                for row in &mut rows {
-                    if let Some(slot) = row.get_mut(ts_index) {
-                        *slot = Value::Timestamp(now);
-                    } else {
-                        return Err(Error::invalid("row shorter than schema"));
+            let schema = t.schema();
+            let ncols = schema.num_columns();
+            let ts_index = schema.ts_index();
+            // Validate the whole batch before touching the memtable so a
+            // malformed batch rejects atomically instead of half-applying.
+            for row in &rows {
+                if row.len() != ncols {
+                    return Err(Error::invalid(format!(
+                        "row has {} values but schema has {} columns",
+                        row.len(),
+                        ncols
+                    )));
+                }
+                for (i, cell) in row.iter().enumerate() {
+                    match cell {
+                        // §3.1: only the timestamp may be omitted; the
+                        // server stamps it. The engine itself has no NULLs
+                        // (§3.5), so any other absent cell is an error.
+                        None if i == ts_index => {}
+                        None => {
+                            return Err(Error::invalid(format!(
+                                "null value in non-timestamp column {}",
+                                schema.columns()[i].name
+                            )))
+                        }
+                        Some(v) => {
+                            if !v.fits(schema.columns()[i].ty) {
+                                return Err(Error::invalid(format!(
+                                    "type mismatch in column {}",
+                                    schema.columns()[i].name
+                                )));
+                            }
+                        }
                     }
                 }
             }
+            // Stamp only rows that omitted their timestamp; explicit
+            // timestamps in the same batch are preserved.
+            let now = t.now();
+            let rows: Vec<Vec<Value>> = rows
+                .into_iter()
+                .map(|row| {
+                    row.into_iter()
+                        .map(|cell| cell.unwrap_or(Value::Timestamp(now)))
+                        .collect()
+                })
+                .collect();
             let report = t.insert(rows)?;
             Response::InsertResult {
                 inserted: report.inserted as u64,
@@ -123,134 +158,18 @@ fn try_handle(db: &Db, req: Request) -> littletable_core::Result<Response> {
     })
 }
 
-/// A TCP server wrapping a [`Db`].
-pub struct Server {
-    db: Db,
-    listener: TcpListener,
-    addr: SocketAddr,
-    shutdown: Arc<AtomicBool>,
-    accept_thread: Option<JoinHandle<()>>,
-}
-
-impl Server {
-    /// Binds to `addr` (use port 0 for an ephemeral port) without starting
-    /// the accept loop.
-    pub fn bind(db: Db, addr: &str) -> io::Result<Server> {
-        let listener = TcpListener::bind(addr)?;
-        let addr = listener.local_addr()?;
-        Ok(Server {
-            db,
-            listener,
-            addr,
-            shutdown: Arc::new(AtomicBool::new(false)),
-            accept_thread: None,
-        })
-    }
-
-    /// The bound address.
-    pub fn local_addr(&self) -> SocketAddr {
-        self.addr
-    }
-
-    /// The database this server fronts.
-    pub fn db(&self) -> &Db {
-        &self.db
-    }
-
-    /// Starts accepting connections on a background thread, one handler
-    /// thread per connection (the paper's deployment sees a handful of
-    /// long-lived connections per shard, not thousands).
-    pub fn start(&mut self) -> io::Result<()> {
-        self.listener.set_nonblocking(true)?;
-        let listener = self.listener.try_clone()?;
-        let db = self.db.clone();
-        let shutdown = self.shutdown.clone();
-        let handle = std::thread::Builder::new()
-            .name("littletable-accept".into())
-            .spawn(move || {
-                let mut conns: Vec<JoinHandle<()>> = Vec::new();
-                while !shutdown.load(Ordering::Relaxed) {
-                    match listener.accept() {
-                        Ok((stream, _)) => {
-                            let db = db.clone();
-                            let shutdown = shutdown.clone();
-                            conns.push(
-                                std::thread::Builder::new()
-                                    .name("littletable-conn".into())
-                                    .spawn(move || {
-                                        let _ = serve_connection(&db, stream, &shutdown);
-                                    })
-                                    .expect("spawn connection thread"),
-                            );
-                        }
-                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                            std::thread::sleep(std::time::Duration::from_millis(5));
-                        }
-                        Err(_) => break,
-                    }
-                    conns.retain(|h| !h.is_finished());
-                }
-                for h in conns {
-                    let _ = h.join();
-                }
-            })?;
-        self.accept_thread = Some(handle);
-        Ok(())
-    }
-
-    /// Stops accepting and waits for the accept loop to finish. Open
-    /// connections end when their clients disconnect or their next read
-    /// fails.
-    pub fn shutdown(&mut self) {
-        self.shutdown.store(true, Ordering::Relaxed);
-        if let Some(h) = self.accept_thread.take() {
-            let _ = h.join();
-        }
-    }
-}
-
-impl Drop for Server {
-    fn drop(&mut self) {
-        self.shutdown();
-    }
-}
-
-fn serve_connection(db: &Db, mut stream: TcpStream, shutdown: &AtomicBool) -> io::Result<()> {
-    stream.set_nodelay(true)?;
-    stream.set_read_timeout(Some(std::time::Duration::from_millis(200)))?;
-    let mut reader = io::BufReader::new(stream.try_clone()?);
-    loop {
-        if shutdown.load(Ordering::Relaxed) {
-            return Ok(());
-        }
-        let payload = match read_frame(&mut reader) {
-            Ok(Some(p)) => p,
-            Ok(None) => return Ok(()), // client closed cleanly
-            Err(e)
-                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
-            {
-                continue;
-            }
-            Err(e) => return Err(e),
-        };
-        let resp = match Request::decode(&payload) {
-            Ok(req) => handle_request(db, req),
-            Err(e) => Response::Error {
-                kind: ErrorKind::Internal,
-                message: format!("malformed request: {e}"),
-            },
-        };
-        write_frame(&mut stream, &resp.encode())?;
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use littletable_core::schema::{ColumnDef, Schema};
     use littletable_core::value::ColumnType;
     use littletable_core::{Options, Query};
+    use littletable_proto::{decode_response_frame, encode_request_frame, read_frame, write_frame};
     use littletable_vfs::{SimClock, SimVfs};
+    use std::io::{self, Write};
+    use std::net::{TcpListener, TcpStream};
+    use std::sync::Arc;
+    use std::time::{Duration, Instant};
 
     fn test_db() -> Db {
         Db::open(
@@ -271,6 +190,18 @@ mod tests {
             &["n", "ts"],
         )
         .unwrap()
+    }
+
+    fn some_row(vals: Vec<Value>) -> Vec<Option<Value>> {
+        vals.into_iter().map(Some).collect()
+    }
+
+    /// Sends one enveloped request and reads one enveloped response.
+    fn send(stream: &mut TcpStream, id: u64, req: &Request) -> (u64, Response) {
+        write_frame(stream, &encode_request_frame(id, req)).unwrap();
+        let mut reader = io::BufReader::new(stream.try_clone().unwrap());
+        let payload = read_frame(&mut reader).unwrap().unwrap();
+        decode_response_frame(&payload).unwrap()
     }
 
     #[test]
@@ -304,10 +235,9 @@ mod tests {
             Request::Insert {
                 table: "t".into(),
                 rows: vec![
-                    vec![Value::I64(1), Value::Timestamp(100), Value::I64(10)],
-                    vec![Value::I64(2), Value::Timestamp(200), Value::I64(20)],
+                    some_row(vec![Value::I64(1), Value::Timestamp(100), Value::I64(10)]),
+                    some_row(vec![Value::I64(2), Value::Timestamp(200), Value::I64(20)]),
                 ],
-                server_sets_ts: false,
             },
         );
         assert_eq!(
@@ -317,13 +247,12 @@ mod tests {
                 duplicates: 0
             }
         );
-        // Insert with a server-stamped timestamp.
+        // Insert with a server-stamped timestamp (omitted ts cell).
         let resp = handle_request(
             &db,
             Request::Insert {
                 table: "t".into(),
-                rows: vec![vec![Value::I64(3), Value::Timestamp(0), Value::I64(30)]],
-                server_sets_ts: true,
+                rows: vec![vec![Some(Value::I64(3)), None, Some(Value::I64(30))]],
             },
         );
         assert!(matches!(resp, Response::InsertResult { inserted: 1, .. }));
@@ -382,24 +311,130 @@ mod tests {
         }
     }
 
+    /// Regression for the `server_sets_ts` clobber bug: a mixed batch
+    /// keeps its explicit timestamps and stamps only the omitted ones.
+    #[test]
+    fn mixed_batch_stamps_only_omitted_timestamps() {
+        let db = test_db();
+        handle_request(
+            &db,
+            Request::CreateTable {
+                table: "t".into(),
+                schema: schema(),
+                ttl: None,
+            },
+        );
+        let resp = handle_request(
+            &db,
+            Request::Insert {
+                table: "t".into(),
+                rows: vec![
+                    some_row(vec![Value::I64(1), Value::Timestamp(42), Value::I64(1)]),
+                    vec![Some(Value::I64(1)), None, Some(Value::I64(2))],
+                    some_row(vec![Value::I64(1), Value::Timestamp(99), Value::I64(3)]),
+                ],
+            },
+        );
+        assert!(matches!(resp, Response::InsertResult { inserted: 3, .. }));
+        match handle_request(
+            &db,
+            Request::Query {
+                table: "t".into(),
+                query: Query::all(),
+            },
+        ) {
+            Response::Rows { rows, .. } => {
+                let ts: Vec<&Value> = rows.iter().map(|r| &r[1]).collect();
+                assert!(ts.contains(&&Value::Timestamp(42)), "explicit ts clobbered");
+                assert!(ts.contains(&&Value::Timestamp(99)), "explicit ts clobbered");
+                assert!(
+                    ts.contains(&&Value::Timestamp(1_700_000_000_000_000)),
+                    "omitted ts not stamped"
+                );
+            }
+            r => panic!("unexpected {r:?}"),
+        }
+    }
+
+    /// Malformed batches reject atomically: wrong-length rows, nulls
+    /// outside the timestamp column, and type mismatches insert nothing.
+    #[test]
+    fn malformed_insert_batches_reject_atomically() {
+        let db = test_db();
+        handle_request(
+            &db,
+            Request::CreateTable {
+                table: "t".into(),
+                schema: schema(),
+                ttl: None,
+            },
+        );
+        let bad_batches: Vec<Vec<Vec<Option<Value>>>> = vec![
+            // Good row first, short row second: neither may apply.
+            vec![
+                some_row(vec![Value::I64(1), Value::Timestamp(1), Value::I64(1)]),
+                vec![Some(Value::I64(2)), Some(Value::Timestamp(2))],
+            ],
+            // Row longer than the schema.
+            vec![some_row(vec![
+                Value::I64(1),
+                Value::Timestamp(1),
+                Value::I64(1),
+                Value::I64(9),
+            ])],
+            // Null outside the timestamp column.
+            vec![vec![None, Some(Value::Timestamp(1)), Some(Value::I64(1))]],
+            // Type mismatch.
+            vec![some_row(vec![
+                Value::Str("x".into()),
+                Value::Timestamp(1),
+                Value::I64(1),
+            ])],
+        ];
+        for batch in bad_batches {
+            match handle_request(
+                &db,
+                Request::Insert {
+                    table: "t".into(),
+                    rows: batch,
+                },
+            ) {
+                Response::Error { kind, .. } => assert_eq!(kind, ErrorKind::Invalid),
+                r => panic!("unexpected {r:?}"),
+            }
+        }
+        match handle_request(
+            &db,
+            Request::Query {
+                table: "t".into(),
+                query: Query::all(),
+            },
+        ) {
+            Response::Rows { rows, .. } => assert!(rows.is_empty(), "bad batch half-applied"),
+            r => panic!("unexpected {r:?}"),
+        }
+    }
+
     #[test]
     fn malformed_frames_get_error_responses_and_connection_survives() {
         let db = test_db();
         let mut server = Server::bind(db, "127.0.0.1:0").unwrap();
         server.start().unwrap();
         let mut stream = TcpStream::connect(server.local_addr()).unwrap();
-        // Garbage payload: server answers with an Error frame.
-        littletable_proto::write_frame(&mut stream, &[0xFF, 0x00, 0x13, 0x37]).unwrap();
+        // Garbage body after a valid id: server answers with an Error
+        // frame echoing the id.
+        write_frame(&mut stream, &[0x07, 0xFF, 0x00, 0x13, 0x37]).unwrap();
         let mut reader = io::BufReader::new(stream.try_clone().unwrap());
-        let payload = littletable_proto::read_frame(&mut reader).unwrap().unwrap();
-        match Response::decode(&payload).unwrap() {
+        let payload = read_frame(&mut reader).unwrap().unwrap();
+        let (id, resp) = decode_response_frame(&payload).unwrap();
+        assert_eq!(id, 0x07);
+        match resp {
             Response::Error { kind, .. } => assert_eq!(kind, ErrorKind::Internal),
             r => panic!("unexpected {r:?}"),
         }
         // The connection still works afterwards.
-        littletable_proto::write_frame(&mut stream, &Request::Ping.encode()).unwrap();
-        let payload = littletable_proto::read_frame(&mut reader).unwrap().unwrap();
-        assert_eq!(Response::decode(&payload).unwrap(), Response::Pong);
+        let (id, resp) = send(&mut stream, 8, &Request::Ping);
+        assert_eq!((id, resp), (8, Response::Pong));
         server.shutdown();
     }
 
@@ -419,10 +454,9 @@ mod tests {
             Request::Insert {
                 table: "t".into(),
                 rows: vec![
-                    vec![Value::I64(1), Value::Timestamp(1), Value::I64(1)],
-                    vec![Value::I64(1), Value::Timestamp(1), Value::I64(1)], // dup
+                    some_row(vec![Value::I64(1), Value::Timestamp(1), Value::I64(1)]),
+                    some_row(vec![Value::I64(1), Value::Timestamp(1), Value::I64(1)]), // dup
                 ],
-                server_sets_ts: false,
             },
         );
         match handle_request(&db, Request::Stats { table: "t".into() }) {
@@ -446,46 +480,304 @@ mod tests {
         let addr = server.local_addr();
 
         let mut stream = TcpStream::connect(addr).unwrap();
-        let send = |stream: &mut TcpStream, req: &Request| -> Response {
-            write_frame(stream, &req.encode()).unwrap();
-            let mut reader = io::BufReader::new(stream.try_clone().unwrap());
-            let payload = read_frame(&mut reader).unwrap().unwrap();
-            Response::decode(&payload).unwrap()
-        };
-        assert_eq!(send(&mut stream, &Request::Ping), Response::Pong);
+        assert_eq!(send(&mut stream, 1, &Request::Ping), (1, Response::Pong));
         assert_eq!(
             send(
                 &mut stream,
+                2,
                 &Request::CreateTable {
                     table: "t".into(),
                     schema: schema(),
                     ttl: None,
                 }
             ),
-            Response::Ok
+            (2, Response::Ok)
         );
         assert!(matches!(
             send(
                 &mut stream,
+                3,
                 &Request::Insert {
                     table: "t".into(),
-                    rows: vec![vec![Value::I64(1), Value::Timestamp(5), Value::I64(50)]],
-                    server_sets_ts: false,
+                    rows: vec![some_row(vec![
+                        Value::I64(1),
+                        Value::Timestamp(5),
+                        Value::I64(50)
+                    ])],
                 }
             ),
-            Response::InsertResult { inserted: 1, .. }
+            (3, Response::InsertResult { inserted: 1, .. })
         ));
         match send(
             &mut stream,
+            4,
             &Request::Query {
                 table: "t".into(),
                 query: Query::all(),
             },
         ) {
-            Response::Rows { rows, .. } => assert_eq!(rows.len(), 1),
+            (4, Response::Rows { rows, .. }) => assert_eq!(rows.len(), 1),
             r => panic!("unexpected {r:?}"),
         }
         drop(stream);
+        server.shutdown();
+    }
+
+    /// Pipelining: many requests written back-to-back before any response
+    /// is read come back in FIFO order with matching ids.
+    #[test]
+    fn pipelined_requests_answer_in_fifo_order() {
+        let db = test_db();
+        let mut server = Server::bind(db, "127.0.0.1:0").unwrap();
+        server.start().unwrap();
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+
+        write_frame(
+            &mut stream,
+            &encode_request_frame(
+                1,
+                &Request::CreateTable {
+                    table: "t".into(),
+                    schema: schema(),
+                    ttl: None,
+                },
+            ),
+        )
+        .unwrap();
+        for id in 2..=33u64 {
+            write_frame(
+                &mut stream,
+                &encode_request_frame(
+                    id,
+                    &Request::Insert {
+                        table: "t".into(),
+                        rows: vec![some_row(vec![
+                            Value::I64(id as i64),
+                            Value::Timestamp(id as i64),
+                            Value::I64(0),
+                        ])],
+                    },
+                ),
+            )
+            .unwrap();
+        }
+        write_frame(&mut stream, &encode_request_frame(34, &Request::Ping)).unwrap();
+
+        let mut reader = io::BufReader::new(stream.try_clone().unwrap());
+        for want in 1..=34u64 {
+            let payload = read_frame(&mut reader).unwrap().unwrap();
+            let (id, resp) = decode_response_frame(&payload).unwrap();
+            assert_eq!(id, want, "responses out of order");
+            match (want, resp) {
+                (1, Response::Ok) | (34, Response::Pong) => {}
+                (_, Response::InsertResult { inserted: 1, .. }) => {}
+                (w, r) => panic!("unexpected response {r:?} for id {w}"),
+            }
+        }
+        server.shutdown();
+    }
+
+    /// The old `serve_connection` loop: 200 ms read timeout with a bare
+    /// `continue` on mid-frame timeouts. Kept as a test fixture to show
+    /// the desync bug the incremental decoder fixes.
+    fn old_style_serve(db: &Db, mut stream: TcpStream) -> io::Result<()> {
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(Duration::from_millis(200)))?;
+        let mut reader = io::BufReader::new(stream.try_clone()?);
+        loop {
+            let payload = match read_frame(&mut reader) {
+                Ok(Some(p)) => p,
+                Ok(None) => return Ok(()),
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    // BUG: read_frame may already have consumed the header
+                    // and part of the payload; retrying from scratch
+                    // desyncs the stream.
+                    continue;
+                }
+                Err(e) => return Err(e),
+            };
+            let (id, resp) = match littletable_proto::decode_request_frame(&payload) {
+                Ok((id, req)) => (id, handle_request(db, req)),
+                Err(e) => (
+                    0,
+                    Response::Error {
+                        kind: ErrorKind::Internal,
+                        message: format!("malformed request: {e}"),
+                    },
+                ),
+            };
+            write_frame(
+                &mut stream,
+                &littletable_proto::encode_response_frame(id, &resp),
+            )?;
+        }
+    }
+
+    /// Writes one valid frame in two halves, split mid-payload, with a
+    /// pause longer than the old loop's 200 ms read timeout.
+    fn write_split_frame(stream: &mut TcpStream, payload: &[u8], pause: Duration) {
+        let mut framed = Vec::new();
+        framed.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        framed.extend_from_slice(payload);
+        let cut = 4 + 2; // header plus two payload bytes
+        stream.write_all(&framed[..cut]).unwrap();
+        stream.flush().unwrap();
+        std::thread::sleep(pause);
+        stream.write_all(&framed[cut..]).unwrap();
+        stream.flush().unwrap();
+    }
+
+    /// Regression: a slow writer that pauses mid-frame desyncs the old
+    /// blocking loop (consumed bytes are lost on timeout) …
+    #[test]
+    fn slow_writer_desyncs_old_blocking_loop() {
+        let db = test_db();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let handle = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            old_style_serve(&db, stream)
+        });
+        let mut stream = TcpStream::connect(addr).unwrap();
+        let payload = encode_request_frame(
+            1,
+            &Request::GetSchema {
+                table: "zzzzzz".into(),
+            },
+        );
+        write_split_frame(&mut stream, &payload, Duration::from_millis(350));
+        // The old loop lost the two payload bytes it consumed before the
+        // timeout, then misread the remaining payload as a frame header —
+        // a bogus length it rejects, killing the connection without ever
+        // answering.
+        let mut reader = io::BufReader::new(stream.try_clone().unwrap());
+        if let Ok(Some(_)) = read_frame(&mut reader) {
+            panic!("old loop unexpectedly answered a split frame");
+        } // Ok(None) / Err: connection died — the desync
+        assert!(
+            handle.join().unwrap().is_err(),
+            "old loop should error out on the desynced stream"
+        );
+    }
+
+    /// … while the incremental decoder preserves partial state across
+    /// arbitrarily slow writers and answers correctly.
+    #[test]
+    fn slow_writer_is_fine_with_incremental_decoder() {
+        let db = test_db();
+        let mut server = Server::bind(db, "127.0.0.1:0").unwrap();
+        server.start().unwrap();
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        let payload = encode_request_frame(
+            1,
+            &Request::GetSchema {
+                table: "zzzzzz".into(),
+            },
+        );
+        write_split_frame(&mut stream, &payload, Duration::from_millis(350));
+        let mut reader = io::BufReader::new(stream.try_clone().unwrap());
+        let resp = read_frame(&mut reader).unwrap().unwrap();
+        let (id, resp) = decode_response_frame(&resp).unwrap();
+        assert_eq!(id, 1);
+        match resp {
+            Response::Error { kind, .. } => assert_eq!(kind, ErrorKind::NoSuchTable),
+            r => panic!("unexpected {r:?}"),
+        }
+        // And the connection keeps working.
+        assert_eq!(send(&mut stream, 2, &Request::Ping), (2, Response::Pong));
+        server.shutdown();
+    }
+
+    /// Regression for the hung/slow shutdown: with an idle client still
+    /// connected, shutdown must complete well under a second (the old
+    /// accept loop joined connection threads that sat in read timeouts).
+    #[test]
+    fn shutdown_with_idle_client_is_prompt() {
+        let db = test_db();
+        let mut server = Server::bind(db, "127.0.0.1:0").unwrap();
+        server.start().unwrap();
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        assert_eq!(send(&mut stream, 1, &Request::Ping), (1, Response::Pong));
+        // Client now sits idle; shutdown must not wait for it.
+        let t0 = Instant::now();
+        server.shutdown();
+        assert!(
+            t0.elapsed() < Duration::from_secs(1),
+            "shutdown took {:?} with an idle client connected",
+            t0.elapsed()
+        );
+    }
+
+    /// The group-commit scheduler flushes sealed work without any client
+    /// asking for it.
+    #[test]
+    fn group_commit_flushes_in_background() {
+        let db = test_db();
+        let mut server = Server::bind_with(
+            db,
+            "127.0.0.1:0",
+            ServerConfig {
+                group_commit_rows: 64,
+                group_commit_interval_ms: 5,
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        server.start().unwrap();
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        assert_eq!(
+            send(
+                &mut stream,
+                1,
+                &Request::CreateTable {
+                    table: "t".into(),
+                    schema: schema(),
+                    ttl: None,
+                }
+            ),
+            (1, Response::Ok)
+        );
+        // Push enough data through the server to roll the 64 kB memtable
+        // over into sealed tablets; the committer must flush them.
+        let rows: Vec<Vec<Option<Value>>> = (0..1000)
+            .map(|i| {
+                some_row(vec![
+                    Value::I64(i),
+                    Value::Timestamp(i),
+                    Value::I64(i * 1_000_003),
+                ])
+            })
+            .collect();
+        for id in 2u64..10 {
+            let resp = send(
+                &mut stream,
+                id,
+                &Request::Insert {
+                    table: "t".into(),
+                    rows: rows
+                        .iter()
+                        .map(|r| {
+                            let mut r = r.clone();
+                            r[1] = Some(Value::Timestamp(id as i64 * 1_000_000));
+                            r
+                        })
+                        .collect(),
+                },
+            );
+            assert!(matches!(resp.1, Response::InsertResult { .. }));
+        }
+        let table = server.db().table("t").unwrap();
+        let t0 = Instant::now();
+        while table.num_disk_tablets() == 0 {
+            assert!(
+                t0.elapsed() < Duration::from_secs(10),
+                "group commit never flushed sealed tablets"
+            );
+            std::thread::sleep(Duration::from_millis(10));
+        }
         server.shutdown();
     }
 }

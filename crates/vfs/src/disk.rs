@@ -249,7 +249,19 @@ impl DiskModel {
             return 0;
         }
         let mut s = self.state.lock();
-        let base = *s.base.get(&id).expect("unknown extent");
+        let Some(&base) = s.base.get(&id) else {
+            // The extent was freed while a reader still holds the file
+            // open (POSIX unlink-while-open): the bytes remain readable
+            // through the handle, but the head/window model no longer
+            // tracks the extent. Charge a plain uncached transfer.
+            let micros = self.params.seek_micros + self.params.read_micros(len);
+            s.stats.seeks += 1;
+            s.stats.bytes_read += len;
+            s.stats.busy_micros += micros;
+            drop(s);
+            self.clock.advance(micros);
+            return micros;
+        };
         let win = s.window.get(&id).copied();
         // The uncovered part of the request. Windows only ever extend
         // forward, so a request overlapping the window's tail is uncovered
@@ -302,7 +314,18 @@ impl DiskModel {
             return 0;
         }
         let mut s = self.state.lock();
-        let base = *s.base.get(&id).expect("unknown extent");
+        let Some(&base) = s.base.get(&id) else {
+            // See charge_read: writes through a handle to an unlinked
+            // file still cost transfer time even though the extent is
+            // gone from the platter model.
+            let micros = self.params.seek_micros + self.params.write_micros(len);
+            s.stats.seeks += 1;
+            s.stats.bytes_written += len;
+            s.stats.busy_micros += micros;
+            drop(s);
+            self.clock.advance(micros);
+            return micros;
+        };
         let mut micros = 0i64;
         if s.head != base + off {
             micros += self.params.seek_micros;

@@ -507,6 +507,26 @@ mod tests {
     }
 
     #[test]
+    fn open_handle_survives_deletion() {
+        // POSIX unlink-while-open: a reader opened before the file was
+        // removed keeps reading the old bytes, and the disk model must
+        // charge the read instead of panicking on the freed extent.
+        // (Regression: the engine's insert uniqueness check reads tablet
+        // handles that a concurrent merge may have already deleted.)
+        let v = vfs();
+        let mut w = v.create("f", 0).unwrap();
+        w.append(b"abcdef").unwrap();
+        w.sync().unwrap();
+        drop(w);
+        let r = v.open("f").unwrap();
+        v.remove("f").unwrap();
+        assert!(!v.exists("f"));
+        let mut buf = [0u8; 6];
+        r.read_exact_at(0, &mut buf).unwrap();
+        assert_eq!(&buf, b"abcdef");
+    }
+
+    #[test]
     fn read_past_eof_errors() {
         let v = vfs();
         v.create("f", 0).unwrap().append(b"ab").unwrap();
