@@ -19,6 +19,7 @@ fn main() {
     figures::ablations::run_periods(quick).emit();
     figures::ablations::run_unique(quick).emit();
     figures::cachefig::run(quick).emit();
+    figures::catalogfig::run(quick).emit();
     figures::contention::run(quick).emit();
     figures::scanfig::run(quick).emit();
 }

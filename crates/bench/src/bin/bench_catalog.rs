@@ -1,0 +1,4 @@
+//! Regenerates the catalog-lookup-scaling and adaptive-cache-split figure.
+fn main() {
+    littletable_bench::figures::catalogfig::run(littletable_bench::quick_flag()).emit();
+}

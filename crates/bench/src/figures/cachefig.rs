@@ -103,6 +103,9 @@ fn measure_split(
         // One shard: at these small sweep budgets, auto-sharding would
         // split the compressed slice below one 64 kB block per shard.
         block_cache_shards: 1,
+        // This figure sweeps the *static* split; the adaptive tuner
+        // would drift every point toward the same operating split.
+        adaptive_cache_split: false,
         ..Options::default()
     };
     let env = SimEnv::new(DiskParams::paper_disk(), opts);

@@ -3,6 +3,7 @@
 pub mod ablations;
 pub mod applog;
 pub mod cachefig;
+pub mod catalogfig;
 pub mod contention;
 pub mod fig2;
 pub mod fig3;

@@ -5,14 +5,27 @@
 //! the embeddable engine behind it. Opening a database scans the root for
 //! table directories, loads each descriptor, and deletes any tablet files
 //! a crash left uncommitted.
+//!
+//! The table catalog is published the same way each table publishes its
+//! tablet set: an immutable [`CatalogSnapshot`] behind a
+//! [`SnapshotCell`]. `Db::table()` and `list_tables()` — the calls §2.2
+//! assumes are free enough that clients create and query hundreds of
+//! tables — are a single atomic snapshot load with no lock, so server
+//! worker shards and maintenance sweeps can resolve tables concurrently
+//! without queueing on anything. `create_table`/`drop_table` serialize
+//! on a small writer mutex and publish copy-on-write snapshots; a
+//! dropped table's `Arc<Table>` stays fully usable by in-flight readers
+//! while every *new* snapshot excludes it.
 
 use crate::cache::BlockCache;
 use crate::error::{Error, Result};
 use crate::options::Options;
 use crate::schema::Schema;
+use crate::stats::{DbStats, DbStatsSnapshot, TableStats};
+use crate::sync::SnapshotCell;
 use crate::table::{MaintenanceReport, Table};
 use littletable_vfs::{Clock, Micros, StdVfs, SystemClock, Vfs};
-use parking_lot::{Mutex, RwLock};
+use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -32,6 +45,29 @@ fn valid_table_name(name: &str) -> bool {
         && !name.starts_with('.')
 }
 
+/// One immutable, atomically published view of the table catalog.
+/// Readers resolve names against whichever snapshot they loaded; writers
+/// build a new snapshot copy-on-write and publish it whole. Names are
+/// interned as `Arc<str>` so the copy-on-write clone a DDL writer pays
+/// is O(n) refcount bumps, not O(n) string allocations.
+struct CatalogSnapshot {
+    tables: HashMap<Arc<str>, Arc<Table>>,
+    /// Precomputed so `list_tables` is one pass over a sorted list
+    /// instead of a collect-and-sort per call.
+    sorted_names: Vec<Arc<str>>,
+}
+
+impl CatalogSnapshot {
+    fn new(tables: HashMap<Arc<str>, Arc<Table>>) -> CatalogSnapshot {
+        let mut sorted_names: Vec<Arc<str>> = tables.keys().cloned().collect();
+        sorted_names.sort();
+        CatalogSnapshot {
+            tables,
+            sorted_names,
+        }
+    }
+}
+
 struct DbInner {
     vfs: Arc<dyn Vfs>,
     cold_vfs: Option<Arc<dyn Vfs>>,
@@ -44,7 +80,14 @@ struct DbInner {
     /// budget is 0 (uncached reads, unbounded per-reader footers — the
     /// paper's behavior).
     cache: Option<Arc<BlockCache>>,
-    tables: RwLock<HashMap<String, Arc<Table>>>,
+    /// The current catalog. Loads are lock-free; stores are serialized
+    /// by `catalog_lock`.
+    catalog: SnapshotCell<CatalogSnapshot>,
+    /// Serializes catalog writers (`create_table`/`drop_table`) — held
+    /// across a drop's file deletion too, so recreating the same name
+    /// cannot interleave with the old directory's teardown.
+    catalog_lock: Mutex<()>,
+    stats: DbStats,
     shutdown: Arc<AtomicBool>,
     worker: Mutex<Option<JoinHandle<()>>>,
 }
@@ -73,11 +116,14 @@ impl Db {
         let opts = Arc::new(opts);
         let cache = (opts.block_cache_bytes > 0).then(|| {
             let (decompressed, compressed) = opts.cache_tier_budgets();
-            Arc::new(BlockCache::new(
-                decompressed,
-                compressed,
-                opts.block_cache_shards,
-            ))
+            Arc::new(if opts.adaptive_cache_split {
+                // The configured split is only the starting point; every
+                // maintenance pass retunes it from ghost-list demand.
+                let fraction = compressed as f64 / opts.block_cache_bytes as f64;
+                BlockCache::new_adaptive(opts.block_cache_bytes, fraction, opts.block_cache_shards)
+            } else {
+                BlockCache::new(decompressed, compressed, opts.block_cache_shards)
+            })
         });
         let mut tables = HashMap::new();
         for entry in vfs.list_dir("").unwrap_or_default() {
@@ -94,7 +140,7 @@ impl Db {
                 entry.clone(),
                 entry.clone(),
             )?;
-            tables.insert(entry, table);
+            tables.insert(Arc::from(entry.as_str()), table);
         }
         let inner = Arc::new(DbInner {
             vfs,
@@ -102,7 +148,9 @@ impl Db {
             clock,
             opts,
             cache,
-            tables: RwLock::new(tables),
+            catalog: SnapshotCell::new(Arc::new(CatalogSnapshot::new(tables))),
+            catalog_lock: Mutex::new(()),
+            stats: DbStats::default(),
             shutdown: Arc::new(AtomicBool::new(false)),
             worker: Mutex::new(None),
         });
@@ -166,6 +214,22 @@ impl Db {
         self.inner.cache.as_ref()
     }
 
+    /// The current catalog snapshot: one lock-free atomic load. The
+    /// cell's own enter counters double as the `catalog_loads` stat, so
+    /// there is no separate bookkeeping on this path.
+    fn load_catalog(&self) -> Arc<CatalogSnapshot> {
+        self.inner.catalog.load()
+    }
+
+    /// Publishes `tables` as the new catalog. Callers must hold
+    /// `catalog_lock`.
+    fn publish_catalog_locked(&self, tables: HashMap<Arc<str>, Arc<Table>>) {
+        self.inner
+            .catalog
+            .store(Arc::new(CatalogSnapshot::new(tables)));
+        TableStats::add(&self.inner.stats.catalog_publishes, 1);
+    }
+
     /// Creates a table. Fails if the name is taken or invalid.
     pub fn create_table(
         &self,
@@ -176,8 +240,9 @@ impl Db {
         if !valid_table_name(name) {
             return Err(Error::invalid(format!("invalid table name {name:?}")));
         }
-        let mut tables = self.inner.tables.write();
-        if tables.contains_key(name) {
+        let _writer = self.inner.catalog_lock.lock();
+        let snap = self.inner.catalog.load();
+        if snap.tables.contains_key(name) {
             return Err(Error::TableExists(name.to_string()));
         }
         let table = Table::create(
@@ -191,36 +256,53 @@ impl Db {
             schema,
             ttl,
         )?;
-        tables.insert(name.to_string(), table.clone());
+        let mut tables = snap.tables.clone();
+        tables.insert(Arc::from(name), table.clone());
+        self.publish_catalog_locked(tables);
         Ok(table)
     }
 
-    /// Looks up a table by name.
+    /// Looks up a table by name. Lock-free: a pinned access to the
+    /// current catalog snapshot — no mutex and no refcount traffic on
+    /// the catalog itself, just the returned table's `Arc` clone.
     pub fn table(&self, name: &str) -> Result<Arc<Table>> {
         self.inner
-            .tables
-            .read()
-            .get(name)
-            .cloned()
+            .catalog
+            .with(|cat| cat.tables.get(name).cloned())
             .ok_or_else(|| Error::NoSuchTable(name.to_string()))
     }
 
-    /// All table names, sorted.
+    /// All table names, sorted. Lock-free: the published snapshot keeps
+    /// its name list presorted, so this is one pinned access and a clone.
     pub fn list_tables(&self) -> Vec<String> {
-        let mut names: Vec<String> = self.inner.tables.read().keys().cloned().collect();
-        names.sort();
-        names
+        self.inner
+            .catalog
+            .with(|cat| cat.sorted_names.iter().map(|n| n.to_string()).collect())
     }
 
     /// Drops a table and deletes its files. Applications drop and recreate
     /// tables freely during feature development (§3.5).
+    ///
+    /// In-flight readers are unaffected: any `Arc<Table>` or open cursor
+    /// obtained before the drop keeps working against the data it can
+    /// already see (open file handles survive the unlink). *New* queries
+    /// on a stale handle fail with [`Error::NoSuchTable`], and the name
+    /// is free for recreation the moment this returns — the writer lock
+    /// is held across the file deletion, so a recreated table can never
+    /// interleave with its predecessor's teardown.
     pub fn drop_table(&self, name: &str) -> Result<()> {
-        let table = {
-            let mut tables = self.inner.tables.write();
-            tables
-                .remove(name)
-                .ok_or_else(|| Error::NoSuchTable(name.to_string()))?
-        };
+        let _writer = self.inner.catalog_lock.lock();
+        let snap = self.inner.catalog.load();
+        let table = snap
+            .tables
+            .get(name)
+            .cloned()
+            .ok_or_else(|| Error::NoSuchTable(name.to_string()))?;
+        let mut tables = snap.tables.clone();
+        tables.remove(name);
+        self.publish_catalog_locked(tables);
+        // Stop the table's own write/maintenance machinery (this waits
+        // out any in-flight flush), then delete its files.
         table.mark_dropped();
         let dir = table.dir().to_string();
         for entry in self.inner.vfs.list_dir(&dir).unwrap_or_default() {
@@ -246,11 +328,11 @@ impl Db {
     /// the rest — the first such error is returned at the end.
     pub fn maintain(&self) -> Result<MaintenanceReport> {
         let now = self.now();
-        let tables: Vec<Arc<Table>> = self.inner.tables.read().values().cloned().collect();
+        let snap = self.load_catalog();
         let mut total = MaintenanceReport::default();
         let mut first_err = None;
-        for t in tables {
-            match self.maintain_one(&t, now) {
+        for t in snap.tables.values() {
+            match self.maintain_one(t, now) {
                 Ok(r) => {
                     total.sealed_by_age += r.sealed_by_age;
                     total.groups_flushed += r.groups_flushed;
@@ -258,17 +340,64 @@ impl Db {
                     total.tablets_expired += r.tablets_expired;
                 }
                 Err(e) => {
-                    crate::stats::TableStats::add(&t.stats().maintenance_errors, 1);
+                    TableStats::add(&t.stats().maintenance_errors, 1);
                     if first_err.is_none() {
                         first_err = Some(e);
                     }
                 }
             }
         }
+        // Retune the cache's tier split from the ghost-list demand that
+        // accumulated since the last pass (no-op for static caches).
+        self.rebalance_cache();
         match first_err {
             Some(e) => Err(e),
             None => Ok(total),
         }
+    }
+
+    /// Runs one maintenance pass over a single table (same retry
+    /// semantics as [`Db::maintain`]). The per-table write shards of the
+    /// server's group committer drive this so distinct tables commit
+    /// independently instead of through one whole-catalog sweep.
+    pub fn maintain_table(&self, name: &str) -> Result<MaintenanceReport> {
+        let t = self.table(name)?;
+        let now = self.now();
+        self.maintain_one(&t, now).inspect_err(|_| {
+            TableStats::add(&t.stats().maintenance_errors, 1);
+        })
+    }
+
+    /// Rebalances the block cache's tier split from ghost-list demand
+    /// (see [`BlockCache::rebalance`]). Returns whether budget moved.
+    /// Called from [`Db::maintain`]; exposed for callers that drive
+    /// maintenance per table and want the cache retuned on their own
+    /// cadence.
+    pub fn rebalance_cache(&self) -> bool {
+        self.inner.cache.as_ref().is_some_and(|c| c.rebalance())
+    }
+
+    /// Database-wide counters: catalog snapshot traffic and the adaptive
+    /// cache split's telemetry.
+    pub fn stats(&self) -> DbStatsSnapshot {
+        // Load counting lives in the snapshot cell itself, so the
+        // reported total includes the access this call makes to size
+        // the catalog.
+        let catalog_loads = self.inner.catalog.loads();
+        let tables = self.inner.catalog.with(|cat| cat.tables.len()) as u64;
+        let mut snap = DbStatsSnapshot {
+            catalog_loads,
+            catalog_publishes: self.inner.stats.catalog_publishes.load(Ordering::Relaxed),
+            tables,
+            ..DbStatsSnapshot::default()
+        };
+        if let Some(cache) = &self.inner.cache {
+            snap.ghost_hits_decompressed = cache.ghost_hits_decompressed();
+            snap.ghost_hits_compressed = cache.ghost_hits_compressed();
+            snap.cache_rebalances = cache.rebalance_count();
+            snap.cache_split_fraction = cache.split_fraction();
+        }
+        snap
     }
 
     /// One table's maintenance with the transient-error retry loop.
@@ -311,8 +440,8 @@ impl Db {
 
     /// Flushes every table's in-memory data to disk.
     pub fn flush_all(&self) -> Result<()> {
-        let tables: Vec<Arc<Table>> = self.inner.tables.read().values().cloned().collect();
-        for t in tables {
+        let snap = self.load_catalog();
+        for t in snap.tables.values() {
             t.flush_all()?;
         }
         Ok(())

@@ -32,6 +32,7 @@ pub mod query;
 pub mod row;
 pub mod schema;
 pub mod stats;
+pub mod sync;
 pub mod table;
 pub mod tablet;
 pub mod util;
@@ -45,6 +46,7 @@ pub use options::Options;
 pub use query::Query;
 pub use row::Row;
 pub use schema::{ColumnDef, Schema, SchemaRef, TS_COLUMN};
+pub use stats::DbStatsSnapshot;
 pub use table::{
     ColumnPredicate, InsertReport, MaintenanceReport, PredOp, PushdownRequest, QueryCursor,
     ScanUnit, Table,

@@ -73,6 +73,15 @@ pub struct Options {
     /// [`Options::block_cache_bytes`]; the decompressed tier gets the
     /// remainder, so the joint budget is still respected.
     pub compressed_cache_bytes: Option<usize>,
+    /// Retune the cache's tier split at maintenance time from ARC-style
+    /// ghost-list hit estimation (see [`crate::cache::BlockCache::rebalance`])
+    /// instead of pinning it at the configured fraction forever. The
+    /// configured split (fraction or explicit bytes) is still the
+    /// starting point; thereafter each [`crate::db::Db::maintain`] pass
+    /// moves a bounded slice of the joint budget toward the tier with
+    /// more byte-weighted would-have-hits. Disable to reproduce the
+    /// static two-tier cache exactly (ablation, deterministic tests).
+    pub adaptive_cache_split: bool,
     /// Fail [`crate::db::Db::open`] outright when a referenced tablet is
     /// missing or fails footer/CRC validation, instead of quarantining the
     /// file (rename to `*.quarantine`, drop from the descriptor) and
@@ -118,6 +127,7 @@ impl Default for Options {
             block_cache_shards: 0,
             compressed_cache_fraction: 0.25,
             compressed_cache_bytes: None,
+            adaptive_cache_split: true,
             strict_open: false,
             io_retry_limit: 3,
             io_retry_backoff_ms: 10,
@@ -181,6 +191,7 @@ mod tests {
         assert_eq!(o.block_cache_shards, 0);
         assert_eq!(o.compressed_cache_fraction, 0.25);
         assert_eq!(o.compressed_cache_bytes, None);
+        assert!(o.adaptive_cache_split);
         assert!(!o.strict_open);
         assert_eq!(o.io_retry_limit, 3);
         assert_eq!(o.io_retry_backoff_ms, 10);

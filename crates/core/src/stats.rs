@@ -1,8 +1,10 @@
-//! Per-table operational counters.
+//! Per-table and per-database operational counters.
 //!
-//! These back the production-metrics figures of §5.2: rows scanned versus
-//! rows returned (Fig. 9), insert and query rates (§5.2.3), and flush/merge
-//! activity (write amplification, §5.1.3).
+//! [`TableStats`] backs the production-metrics figures of §5.2: rows
+//! scanned versus rows returned (Fig. 9), insert and query rates
+//! (§5.2.3), and flush/merge activity (write amplification, §5.1.3).
+//! [`DbStats`] covers the database-wide hot paths those tables share:
+//! lock-free catalog resolution and the adaptive block-cache split.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -179,6 +181,40 @@ impl TableStats {
             rows_materialized: self.rows_materialized.load(Ordering::Relaxed),
         }
     }
+}
+
+/// Database-wide counters: catalog mutation traffic plus, via
+/// [`crate::db::Db::stats`], the adaptive cache-split telemetry.
+/// Catalog *loads* are counted by the snapshot cell itself (its sharded
+/// pin counters double as the statistic), so the hot lookup path
+/// carries no bookkeeping beyond its own pin.
+#[derive(Debug, Default)]
+pub struct DbStats {
+    /// Catalog snapshots published (create/drop, one per mutation).
+    pub catalog_publishes: AtomicU64,
+}
+
+/// A plain-value snapshot of the database-wide counters, including the
+/// shared cache's adaptive-split telemetry. This is what the benches and
+/// the server stats path read.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct DbStatsSnapshot {
+    /// Catalog snapshot loads: one per `Db::table()` / `list_tables()` /
+    /// maintenance sweep — each a single atomic load, no lock.
+    pub catalog_loads: u64,
+    /// Catalog snapshots published by `create_table` / `drop_table`.
+    pub catalog_publishes: u64,
+    /// Tables in the current catalog snapshot.
+    pub tables: u64,
+    /// Would-have-hits against the decompressed tier's ghost list.
+    pub ghost_hits_decompressed: u64,
+    /// Would-have-hits against the compressed tier's ghost list.
+    pub ghost_hits_compressed: u64,
+    /// Cache rebalances that actually moved budget between the tiers.
+    pub cache_rebalances: u64,
+    /// The compressed tier's current share of the joint cache budget in
+    /// [0, 1]; 0.0 when the cache is disabled.
+    pub cache_split_fraction: f64,
 }
 
 impl StatsSnapshot {

@@ -1,0 +1,310 @@
+//! Shared lock-free publication primitives.
+//!
+//! [`SnapshotCell`] is an atomically swappable `Arc<T>` — the engine's
+//! hand-rolled `arc-swap`. It started life behind the table read path
+//! (PR 3's snapshot-isolated `query`/`latest`) and is now the one
+//! primitive every copy-on-write publish point in the engine shares: the
+//! per-table [`crate::table::Table`] tablet snapshot and the Db-wide
+//! table catalog both publish immutable state through a cell, so their
+//! readers are a single atomic load away from a consistent view.
+//!
+//! Readers call [`SnapshotCell::load`] (an owning `Arc`) or
+//! [`SnapshotCell::with`] (a borrowed view, cheaper — no refcount
+//! traffic) and never touch a mutex, so they cannot contend with the
+//! writer or with each other beyond the sharded pin cache lines. Each
+//! access bumps its shard's packed state word on entry (incrementing
+//! both the in-flight count in the low bits and a monotonic access
+//! total in the high bits), reads the pointer, and decrements the
+//! in-flight count when done — two atomic RMWs per access, with the
+//! access statistic folded in for free.
+//!
+//! Writers call [`SnapshotCell::store`] — serialized externally by the
+//! owner's writer mutex. A store swaps the pointer and *retires* the
+//! superseded value onto a small pending list instead of blocking: the
+//! value is released once every shard has been **observed empty** (zero
+//! accesses in flight) at least once since the swap. The sweep runs at
+//! each store (and at drop), so with no reader mid-access the old value
+//! is released before `store` returns; with readers mid-access the
+//! release is deferred rather than the writer descheduled — publish
+//! latency never depends on reader scheduling.
+//!
+//! Correctness argument (pointer swap and shard accesses are `SeqCst`,
+//! so they form one total order): an access that observes the old
+//! pointer published its in-flight increment before its pointer load,
+//! hence before the swap. If a post-swap sweep observes a shard's
+//! in-flight count at zero, every access on that shard that began
+//! before that observation has finished — in particular every access
+//! that could have seen the old pointer — and any access that begins
+//! after the observation loads the pointer after the swap, so it sees
+//! the new value. Shard emptiness is an instant-in-time fact read from
+//! a single atomic word, so later traffic cannot forge it (a naive
+//! `exits >= enters-at-swap` comparison over separate counters can be
+//! satisfied by *post-swap* accesses exiting on behalf of a stuck
+//! pre-swap reader; the packed in-flight count cannot).
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicPtr, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Pin counters are sharded to keep concurrent readers from bouncing a
+/// single cache line; each thread sticks to one shard (several threads
+/// may share one — the protocol does not rely on shard exclusivity).
+const PIN_SHARDS: usize = 16;
+
+/// Low bits of a shard's packed state word: accesses currently in
+/// flight. 16 bits bounds concurrent accesses per shard at 65 535 —
+/// far beyond any real thread count — while leaving 48 bits for the
+/// monotonic access total above it.
+const IN_FLIGHT_BITS: u32 = 16;
+const IN_FLIGHT_MASK: u64 = (1 << IN_FLIGHT_BITS) - 1;
+/// Added on entry: bumps the in-flight count and the access total in
+/// one RMW.
+const ENTER: u64 = (1 << IN_FLIGHT_BITS) | 1;
+
+/// One shard's packed access state: `state & IN_FLIGHT_MASK` accesses
+/// are in flight, `state >> IN_FLIGHT_BITS` have ever begun.
+#[repr(align(64))]
+#[derive(Default)]
+struct PinShard {
+    state: AtomicU64,
+}
+
+/// A superseded value awaiting release: safe to drop once every shard
+/// has been observed empty since the swap that retired it.
+struct Retired<T> {
+    /// Held solely so the sweep drops it at the safe point.
+    #[allow(dead_code)]
+    value: Arc<T>,
+    /// Bit `s` set once shard `s` has been observed with no access in
+    /// flight after the swap. All bits set ⇒ releasable.
+    cleared: u16,
+}
+
+/// An `Arc<T>` cell readable without locks and swappable by one writer
+/// at a time.
+///
+/// Publication protocol: build the complete new value off to the side
+/// (copy-on-write from the current one if convenient), then `store` it
+/// while holding whatever mutex serializes your writers. Readers never
+/// observe a partially built value, and a reader's `Arc` keeps the
+/// superseded value alive for as long as the reader needs it.
+pub struct SnapshotCell<T> {
+    ptr: AtomicPtr<T>,
+    pins: [PinShard; PIN_SHARDS],
+    /// Superseded values not yet proven unreachable. Swept at each
+    /// store; normally empty (a store with no access in flight retires
+    /// and releases in one motion).
+    retired: Mutex<Vec<Retired<T>>>,
+}
+
+/// Decrements the in-flight count on drop so a panic inside a
+/// [`SnapshotCell::with`] closure cannot leave its access permanently
+/// in flight.
+struct ExitGuard<'a>(&'a AtomicU64);
+
+impl Drop for ExitGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+impl<T> SnapshotCell<T> {
+    /// Wraps `value` as the initial published snapshot.
+    pub fn new(value: Arc<T>) -> Self {
+        SnapshotCell {
+            ptr: AtomicPtr::new(Arc::into_raw(value) as *mut T),
+            pins: Default::default(),
+            retired: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The calling thread's pin shard, assigned round-robin on first use.
+    fn pin_shard(&self) -> &PinShard {
+        static NEXT: AtomicUsize = AtomicUsize::new(0);
+        thread_local! {
+            static SHARD: usize = NEXT.fetch_add(1, Ordering::Relaxed) % PIN_SHARDS;
+        }
+        &self.pins[SHARD.with(|s| *s)]
+    }
+
+    /// Returns the current snapshot. Lock-free: one entry increment, one
+    /// pointer load, one refcount increment, one exit decrement.
+    pub fn load(&self) -> Arc<T> {
+        let shard = self.pin_shard();
+        shard.state.fetch_add(ENTER, Ordering::SeqCst);
+        let ptr = self.ptr.load(Ordering::SeqCst);
+        // SAFETY: `ptr` came from `Arc::into_raw` and is still alive —
+        // a retired value is released only once every shard has been
+        // observed empty after the retiring swap, and this access's
+        // in-flight increment was published before the pointer load
+        // (see the module-level argument). The increment takes a strong
+        // reference for the returned `Arc`; the cell keeps its own.
+        let out = unsafe {
+            Arc::increment_strong_count(ptr);
+            Arc::from_raw(ptr)
+        };
+        shard.state.fetch_sub(1, Ordering::SeqCst);
+        out
+    }
+
+    /// Runs `f` against the current snapshot without materializing an
+    /// `Arc` — the cheapest read: two shard RMWs and a pointer load, no
+    /// refcount traffic. The access stays in flight for the duration of
+    /// `f` (delaying release of a concurrently superseded value, never
+    /// blocking anyone), so keep the closure short; clone out of it or
+    /// use [`SnapshotCell::load`] to hold the snapshot.
+    pub fn with<R>(&self, f: impl FnOnce(&T) -> R) -> R {
+        let shard = self.pin_shard();
+        shard.state.fetch_add(ENTER, Ordering::SeqCst);
+        let _exit = ExitGuard(&shard.state);
+        let ptr = self.ptr.load(Ordering::SeqCst);
+        // SAFETY: as in `load` — the in-flight access keeps any value
+        // this load can observe out of the retired sweep.
+        f(unsafe { &*ptr })
+    }
+
+    /// Total accesses (`load` + `with`) over the cell's lifetime.
+    pub fn loads(&self) -> u64 {
+        self.pins
+            .iter()
+            .map(|s| s.state.load(Ordering::Relaxed) >> IN_FLIGHT_BITS)
+            .sum()
+    }
+
+    /// Sweeps the retired list: records which shards are currently
+    /// empty into each entry's cleared mask and drops entries whose
+    /// every shard has been observed empty since their swap. Caller
+    /// holds the retired lock.
+    fn sweep(&self, retired: &mut Vec<Retired<T>>) {
+        let mut empty: u16 = 0;
+        for (i, shard) in self.pins.iter().enumerate() {
+            if shard.state.load(Ordering::SeqCst) & IN_FLIGHT_MASK == 0 {
+                empty |= 1 << i;
+            }
+        }
+        retired.retain_mut(|r| {
+            r.cleared |= empty;
+            r.cleared != u16::MAX
+        });
+    }
+
+    /// Publishes `value`. The superseded snapshot is released as soon as
+    /// every pin shard has been observed idle — immediately when no
+    /// access is in flight, otherwise at a later store's sweep (or the
+    /// cell's drop). Never blocks on readers. Callers must serialize
+    /// stores (hold your writer mutex).
+    pub fn store(&self, value: Arc<T>) {
+        let old = self
+            .ptr
+            .swap(Arc::into_raw(value) as *mut T, Ordering::SeqCst);
+        // SAFETY: `old` came from `Arc::into_raw` and the cell held its
+        // one strong reference; ownership moves onto the retired list,
+        // which releases it only once provably unreachable.
+        let old = unsafe { Arc::from_raw(old) };
+        let mut retired = self.retired.lock();
+        retired.push(Retired {
+            value: old,
+            cleared: 0,
+        });
+        self.sweep(&mut retired);
+    }
+}
+
+impl<T> Drop for SnapshotCell<T> {
+    fn drop(&mut self) {
+        // SAFETY: exclusive access; the pointer holds the cell's one
+        // strong reference. Anything still on the retired list drops
+        // with its Vec.
+        unsafe { drop(Arc::from_raw(*self.ptr.get_mut())) };
+    }
+}
+
+// SAFETY: the cell hands out `Arc<T>` across threads, which requires
+// the same bounds as `Arc` itself.
+unsafe impl<T: Send + Sync> Send for SnapshotCell<T> {}
+unsafe impl<T: Send + Sync> Sync for SnapshotCell<T> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::thread;
+
+    #[test]
+    fn load_returns_stored_value() {
+        let cell = SnapshotCell::new(Arc::new(1u64));
+        assert_eq!(*cell.load(), 1);
+        cell.store(Arc::new(2));
+        assert_eq!(*cell.load(), 2);
+        // The first value was released by the store (only the cell held
+        // it), the second is shared between the cell and our load.
+        assert_eq!(Arc::strong_count(&cell.load()), 2);
+    }
+
+    #[test]
+    fn with_observes_stores_and_counts_accesses() {
+        let cell = SnapshotCell::new(Arc::new(7u64));
+        assert_eq!(cell.with(|v| *v), 7);
+        cell.store(Arc::new(8));
+        assert_eq!(cell.with(|v| *v), 8);
+        let before = cell.loads();
+        cell.load();
+        cell.with(|_| ());
+        assert_eq!(cell.loads(), before + 2);
+    }
+
+    #[test]
+    fn drop_releases_the_current_value() {
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        struct Probe;
+        impl Drop for Probe {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let cell = SnapshotCell::new(Arc::new(Probe));
+        // No access in flight: the store's sweep releases immediately.
+        cell.store(Arc::new(Probe));
+        assert_eq!(DROPS.load(Ordering::SeqCst), 1);
+        drop(cell);
+        assert_eq!(DROPS.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn concurrent_loads_never_see_freed_or_stale_values() {
+        // More readers than pin shards, so shards are shared between
+        // threads — the regime where a quiescence check that compares
+        // monotonic exit counts (rather than observing shard emptiness)
+        // frees values still being dereferenced.
+        let cell = Arc::new(SnapshotCell::new(Arc::new(0u64)));
+        let writers_done = Arc::new(AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for mode in 0..(PIN_SHARDS + 4) {
+            let cell = cell.clone();
+            let done = writers_done.clone();
+            handles.push(thread::spawn(move || {
+                let mut last = 0u64;
+                while done.load(Ordering::SeqCst) == 0 {
+                    let v = if mode % 2 == 0 {
+                        *cell.load()
+                    } else {
+                        cell.with(|v| *v)
+                    };
+                    // Values only ever increase: a reader may observe a
+                    // slightly older snapshot than the latest store but
+                    // never travel backwards within its own timeline.
+                    assert!(v >= last, "snapshot went backwards: {last} -> {v}");
+                    last = v;
+                }
+            }));
+        }
+        for v in 1..=10_000u64 {
+            cell.store(Arc::new(v));
+        }
+        writers_done.store(1, Ordering::SeqCst);
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*cell.load(), 10_000);
+    }
+}

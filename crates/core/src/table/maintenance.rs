@@ -34,6 +34,12 @@ impl Table {
         let _flush = self.flush_lock.lock();
         let (group_id, tablets) = {
             let mut st = self.state.lock();
+            if st.dropped {
+                // A dropped table must not write new files into its
+                // directory: `drop_table` may already have deleted it, and
+                // a same-name table may own the path again.
+                return Ok(false);
+            }
             let Some(group) = st.sealed.front_mut() else {
                 return Ok(false);
             };
@@ -93,6 +99,18 @@ impl Table {
         // publish (readers see either all-mem or all-disk, never both),
         // then persist the descriptor.
         let mut st = self.state.lock();
+        if st.dropped {
+            // Dropped between the write and the commit (drop_table waits
+            // on `flush_lock`, so this is the last flush it lets finish):
+            // abandon the output instead of resurrecting files or a
+            // descriptor in a directory about to be — or already —
+            // deleted and possibly re-owned by a recreated table.
+            drop(st);
+            for h in &new_handles {
+                let _ = self.vfs.remove(&join(&self.dir, &h.meta.file_name()));
+            }
+            return Ok(false);
+        }
         st.disk.extend(new_handles);
         st.sort_disk();
         let pos = st
@@ -169,6 +187,11 @@ impl Table {
             return Ok(());
         }
         let st = self.state.lock();
+        if st.dropped {
+            // Never re-materialize a descriptor for a dropped table: the
+            // path may belong to a freshly created table of the same name.
+            return Ok(());
+        }
         self.save_descriptor_locked(&st)
     }
 
@@ -414,6 +437,15 @@ impl Table {
         let result = self.execute_merge(&sources, &schema, ttl, new_id, now);
         let mut st = self.state.lock();
         st.merge_running = false;
+        if st.dropped {
+            // Dropped while merging: the sources are already gone from
+            // the published snapshot (and their files deleted); committing
+            // would write a descriptor into a directory this table no
+            // longer owns. Abandon the merge output.
+            drop(st);
+            let _ = self.vfs.remove(&join(&self.dir, &tablet_file_name(new_id)));
+            return Ok(false);
+        }
         match result {
             Ok(new_handle) => {
                 let source_ids: Vec<u64> = sources.iter().map(|h| h.meta.id).collect();
@@ -510,6 +542,10 @@ impl Table {
     pub fn ttl_reap(&self, now: Micros) -> Result<usize> {
         let dead: Vec<DiskHandle> = {
             let mut st = self.state.lock();
+            if st.dropped {
+                // drop_table already deleted (or is deleting) every file.
+                return Ok(0);
+            }
             let Some(ttl) = st.ttl else { return Ok(0) };
             if st.merge_running {
                 // A merge may be reading any tablet; wait for the next pass.

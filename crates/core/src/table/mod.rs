@@ -4,9 +4,8 @@
 //!
 //! Module map:
 //! * [`state`] — the mutable `TableState` behind the mutex and the
-//!   immutable `TabletSnapshot` published to readers;
-//! * [`snapshot`] — the lock-free `SnapshotCell` (hand-rolled
-//!   `arc-swap`) the snapshot is published through;
+//!   immutable `TabletSnapshot` published to readers (the snapshot goes
+//!   out through the shared [`crate::sync::SnapshotCell`]);
 //! * [`write`] — insert, uniqueness fast paths (§3.4.4), sealing;
 //! * [`read`] — `query`/`latest` and the streaming `QueryCursor`,
 //!   built entirely from a snapshot load;
@@ -17,7 +16,6 @@
 mod colscan;
 mod maintenance;
 mod read;
-mod snapshot;
 mod state;
 #[cfg(test)]
 mod tests;
@@ -35,10 +33,10 @@ use crate::flushdeps::FlushDeps;
 use crate::options::Options;
 use crate::schema::{Schema, SchemaRef};
 use crate::stats::TableStats;
+use crate::sync::SnapshotCell;
 use crate::tablet::TabletReader;
 use littletable_vfs::{join, Clock, Micros, Vfs};
 use parking_lot::Mutex;
-use snapshot::SnapshotCell;
 use state::{DiskHandle, TableState, TabletSnapshot};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -390,9 +388,16 @@ impl Table {
     }
 
     pub(crate) fn mark_dropped(&self) {
-        let mut st = self.state.lock();
-        st.dropped = true;
-        self.publish_locked(&st);
+        {
+            let mut st = self.state.lock();
+            st.dropped = true;
+            self.publish_locked(&st);
+        }
+        // Drain any in-flight flush before returning: its commit step
+        // re-checks `dropped` under the state lock, so once we can take
+        // the flush lock no future flush will add files or a descriptor
+        // to the directory `drop_table` is about to delete.
+        drop(self.flush_lock.lock());
     }
 
     pub(crate) fn dir(&self) -> &str {

@@ -780,4 +780,93 @@ mod tests {
         }
         server.shutdown();
     }
+
+    /// Batches for distinct tables commit on distinct write shards: each
+    /// table hashes to one shard, and inserting into two tables on
+    /// different shards advances both shards' commit counters
+    /// independently.
+    #[test]
+    fn distinct_tables_commit_on_distinct_shards() {
+        let db = test_db();
+        let mut server = Server::bind_with(
+            db,
+            "127.0.0.1:0",
+            ServerConfig {
+                group_commit_rows: 4,
+                group_commit_interval_ms: 5,
+                commit_shards: 4,
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        server.start().unwrap();
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+
+        // Create tables until two land on different commit shards (the
+        // hash is table-name driven, so a handful of names suffices).
+        let mut picked: Vec<(String, usize)> = Vec::new();
+        for i in 0.. {
+            let name = format!("t{i}");
+            assert_eq!(
+                send(
+                    &mut stream,
+                    i + 1,
+                    &Request::CreateTable {
+                        table: name.clone(),
+                        schema: schema(),
+                        ttl: None,
+                    }
+                )
+                .1,
+                Response::Ok
+            );
+            let shard = server.commit_shard_of(&name);
+            if !picked.iter().any(|(_, s)| *s == shard) {
+                picked.push((name, shard));
+            }
+            if picked.len() == 2 {
+                break;
+            }
+            assert!(i < 64, "never found two tables on distinct shards");
+        }
+        assert_ne!(picked[0].1, picked[1].1);
+
+        let before = server.commit_shard_counts();
+        for (id, (name, _)) in picked.iter().enumerate() {
+            let resp = send(
+                &mut stream,
+                100 + id as u64,
+                &Request::Insert {
+                    table: name.clone(),
+                    rows: (0..8)
+                        .map(|i| {
+                            some_row(vec![
+                                Value::I64(i),
+                                Value::Timestamp(i * 1_000),
+                                Value::I64(i),
+                            ])
+                        })
+                        .collect(),
+                },
+            );
+            assert!(matches!(resp.1, Response::InsertResult { .. }));
+        }
+        // Each table's rows must wake its own shard: both shard counters
+        // advance, and shards owning no dirty table stay untouched by
+        // these inserts (they may still be zero).
+        let t0 = Instant::now();
+        loop {
+            let now = server.commit_shard_counts();
+            let woke = picked.iter().filter(|(_, s)| now[*s] > before[*s]).count();
+            if woke == 2 {
+                break;
+            }
+            assert!(
+                t0.elapsed() < Duration::from_secs(10),
+                "commit shards never ran: before={before:?} now={now:?} picked={picked:?}"
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        server.shutdown();
+    }
 }

@@ -25,9 +25,11 @@
 //!
 //! **Group commit.** Workers execute inserts against the memtable
 //! inline, but sealing and flushing are batched: each insert reports its
-//! row count to the [`crate::group_commit`] scheduler, which coalesces
-//! flush/seal/merge work across all sessions into single maintenance
-//! passes.
+//! row count *and table* to the [`crate::group_commit`] scheduler, which
+//! hashes the table onto one of [`ServerConfig::commit_shards`] per-table
+//! write shards. Each shard coalesces flush/seal/merge work for its
+//! tables into single maintenance passes, so batches for distinct tables
+//! commit on distinct shards in parallel.
 
 use crate::group_commit::GroupCommit;
 use crate::handle_request;
@@ -59,6 +61,10 @@ pub struct ServerConfig {
     /// Group-commit coalescing window: dirty rows wait at most this long
     /// before a maintenance pass seals and flushes them.
     pub group_commit_interval_ms: u64,
+    /// Per-table write shards for group commit: each table hashes to one
+    /// shard, and each shard runs its own committer thread, so distinct
+    /// tables' batches seal and flush in parallel.
+    pub commit_shards: usize,
     /// Per-connection cap on buffered response bytes before the worker
     /// stops reading that socket (pipelining backpressure).
     pub max_conn_buffer: usize,
@@ -72,6 +78,7 @@ impl Default for ServerConfig {
                 .unwrap_or(2),
             group_commit_rows: 4096,
             group_commit_interval_ms: 20,
+            commit_shards: 2,
             max_conn_buffer: 1 << 20,
         }
     }
@@ -116,7 +123,7 @@ pub struct Server {
     wake_rxs: Vec<UnixStream>,
     shared: Arc<Shared>,
     workers: Vec<JoinHandle<()>>,
-    committer: Option<JoinHandle<()>>,
+    committers: Vec<JoinHandle<()>>,
 }
 
 impl Server {
@@ -143,6 +150,7 @@ impl Server {
             });
             wake_rxs.push(rx);
         }
+        let commit_shards = cfg.commit_shards;
         Ok(Server {
             db,
             addr,
@@ -151,12 +159,12 @@ impl Server {
             wake_rxs,
             shared: Arc::new(Shared {
                 shutdown: AtomicBool::new(false),
-                group: GroupCommit::default(),
+                group: GroupCommit::new(commit_shards),
                 inboxes,
                 next_conn: AtomicUsize::new(0),
             }),
             workers: Vec::new(),
-            committer: None,
+            committers: Vec::new(),
         })
     }
 
@@ -194,16 +202,31 @@ impl Server {
                     .spawn(move || worker.run())?,
             );
         }
-        let db = self.db.clone();
-        let shared = self.shared.clone();
         let rows = self.cfg.group_commit_rows.max(1);
         let interval = Duration::from_millis(self.cfg.group_commit_interval_ms);
-        self.committer = Some(
-            std::thread::Builder::new()
-                .name("lt-group-commit".into())
-                .spawn(move || shared.group.run(&db, rows, interval))?,
-        );
+        for idx in 0..self.shared.group.shard_count() {
+            let db = self.db.clone();
+            let shared = self.shared.clone();
+            self.committers.push(
+                std::thread::Builder::new()
+                    .name(format!("lt-commit-{idx}"))
+                    .spawn(move || shared.group.run_shard(idx, &db, rows, interval))?,
+            );
+        }
         Ok(())
+    }
+
+    /// Commit passes run so far by each per-table write shard. A batch
+    /// for table `t` always commits on shard `hash(t) % len`, so two
+    /// tables on different shards show independent counts.
+    pub fn commit_shard_counts(&self) -> Vec<u64> {
+        self.shared.group.commit_counts()
+    }
+
+    /// The group-commit shard that owns `table` (for tests and
+    /// observability: distinct values mean distinct committer threads).
+    pub fn commit_shard_of(&self, table: &str) -> usize {
+        self.shared.group.shard_of(table)
     }
 
     /// Stops the event loop: open connections are closed promptly (no
@@ -218,7 +241,7 @@ impl Server {
         for h in self.workers.drain(..) {
             let _ = h.join();
         }
-        if let Some(h) = self.committer.take() {
+        for h in self.committers.drain(..) {
             let _ = h.join();
         }
     }
@@ -489,9 +512,18 @@ fn process_frames(db: &Db, group: &GroupCommit, conn: &mut Conn) -> bool {
 fn execute(db: &Db, group: &GroupCommit, payload: &[u8]) -> (u64, Response) {
     match decode_request_frame(payload) {
         Ok((id, req)) => {
+            // Remember which table an insert lands in before the request
+            // is consumed: the row count is credited to that table's
+            // commit shard.
+            let insert_table = match &req {
+                littletable_proto::Request::Insert { table, .. } => Some(table.clone()),
+                _ => None,
+            };
             let resp = handle_request(db, req);
             if let Response::InsertResult { inserted, .. } = &resp {
-                group.note_rows(*inserted);
+                if let Some(table) = &insert_table {
+                    group.note_rows(table, *inserted);
+                }
             }
             (id, resp)
         }

@@ -93,6 +93,10 @@ struct SimState {
 }
 
 impl SimState {
+    /// Whole-store sweep: frees every store entry no live or shadow path
+    /// references. Reserved for crash recovery, where the namespace was
+    /// rewritten wholesale; per-op paths use [`SimState::gc_ids`] so a
+    /// namespace with many files doesn't pay a full sweep per operation.
     fn gc(&mut self, model: &DiskModel) {
         let referenced: HashSet<u64> = self
             .live
@@ -108,6 +112,22 @@ impl SimState {
             .copied()
             .collect();
         for id in dead {
+            if let Some(f) = self.store.remove(&id) {
+                model.free_extent(f.extent);
+            }
+        }
+    }
+
+    /// Frees exactly the store entries from `candidates` that no live or
+    /// shadow path references any more — the ids an operation just
+    /// displaced, checked individually.
+    fn gc_ids(&mut self, model: &DiskModel, candidates: impl IntoIterator<Item = u64>) {
+        for id in candidates {
+            let referenced = self.live.files.values().any(|v| *v == id)
+                || self.shadow.files.values().any(|v| *v == id);
+            if referenced {
+                continue;
+            }
             if let Some(f) = self.store.remove(&id) {
                 model.free_extent(f.extent);
             }
@@ -357,8 +377,8 @@ impl Vfs for SimVfs {
                 extent,
             },
         );
-        s.live.files.insert(path.to_string(), id);
-        s.gc(&self.model);
+        let displaced = s.live.files.insert(path.to_string(), id);
+        s.gc_ids(&self.model, displaced);
         Ok(Box::new(SimWriter {
             state: self.state.clone(),
             model: self.model.clone(),
@@ -384,11 +404,12 @@ impl Vfs for SimVfs {
     fn remove(&self, path: &str) -> io::Result<()> {
         self.fault_check(OpKind::Remove, path)?;
         let mut s = self.state.lock();
-        s.live
+        let id = s
+            .live
             .files
             .remove(path)
             .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, path.to_string()))?;
-        s.gc(&self.model);
+        s.gc_ids(&self.model, [id]);
         Ok(())
     }
 
@@ -455,7 +476,15 @@ impl Vfs for SimVfs {
             .filter(|(p, _)| in_dir(p))
             .map(|(p, id)| (p.clone(), *id))
             .collect();
-        s.shadow.files.retain(|p, _| !in_dir(p));
+        let mut displaced = Vec::new();
+        s.shadow.files.retain(|p, id| {
+            if in_dir(p) {
+                displaced.push(*id);
+                false
+            } else {
+                true
+            }
+        });
         s.shadow.files.extend(live_entries);
         // Directory creations under this parent become durable, and the
         // directory chain leading here is durable too.
@@ -469,7 +498,7 @@ impl Vfs for SimVfs {
             cur.push_str(seg);
             s.shadow.dirs.insert(cur.clone());
         }
-        s.gc(&self.model);
+        s.gc_ids(&self.model, displaced);
         Ok(())
     }
 

@@ -63,7 +63,7 @@ pub use littletable_vfs as vfs;
 pub use littletable_workload as workload;
 
 pub use littletable_core::{
-    BlockCache, ColumnDef, ColumnType, Db, Error, InsertReport, Options, Query, Result, Row,
-    Schema, SchemaRef, Table, Value,
+    BlockCache, ColumnDef, ColumnType, Db, DbStatsSnapshot, Error, InsertReport, Options, Query,
+    Result, Row, Schema, SchemaRef, Table, Value,
 };
 pub use littletable_sql::{Session, SqlOutput};

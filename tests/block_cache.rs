@@ -303,6 +303,9 @@ fn two_tier_beats_single_tier_at_equal_budget() {
             block_cache_bytes: 96 << 10,
             block_cache_shards: 1,
             compressed_cache_fraction: fraction,
+            // Static-split ablation: the adaptive tuner would float both
+            // runs toward the same split and erase the contrast.
+            adaptive_cache_split: false,
             ..Options::small_for_tests()
         };
         let db = Db::open(Arc::new(vfs.clone()), Arc::new(clock.clone()), opts).unwrap();

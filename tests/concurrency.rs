@@ -8,7 +8,7 @@
 //! reader's successive queries.
 
 use littletable::vfs::{Clock, SimClock, SimVfs, MICROS_PER_SEC};
-use littletable::{ColumnDef, ColumnType, Db, Options, Query, Schema, Value};
+use littletable::{ColumnDef, ColumnType, Db, Error, Options, Query, Schema, Value};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread;
@@ -190,4 +190,218 @@ fn readers_see_consistent_snapshots_under_maintenance() {
     assert!(stats.snapshot_loads > 0);
     assert!(stats.snapshot_publishes > 0);
     assert!(stats.latest_calls > 0);
+}
+
+/// Catalog churn oracle: writer threads create and drop tables in a
+/// tight loop while reader threads resolve names through the lock-free
+/// catalog. Every observation must be consistent:
+///
+///  - a static anchor table is present in every `list_tables()` view,
+///    and the listing is always sorted;
+///  - a handle resolved for a churning slot either serves its single
+///    generation-marker row, reports empty (marker not yet inserted),
+///    or fails with `NoSuchTable` (drop published first) — never a
+///    crash, a stale wrong-generation row, or a torn view;
+///  - the generation a reader observes per slot never goes backwards,
+///    since catalog publishes are totally ordered.
+///
+/// Runs under the TSan CI job, which is what actually checks that the
+/// mutex-free `Db::table()` / `list_tables()` loads race cleanly with
+/// concurrent `create_table` / `drop_table` publishes.
+#[test]
+fn catalog_churn_keeps_lookups_consistent() {
+    const SLOTS: usize = 2;
+    const ROUNDS: u64 = 150;
+    const CHURN_READERS: usize = 3;
+
+    let clock = SimClock::new(START);
+    let db = Db::open(
+        Arc::new(SimVfs::instant()),
+        Arc::new(clock.clone()),
+        Options::small_for_tests(),
+    )
+    .unwrap();
+    let anchor = db.create_table("anchor", schema(), None).unwrap();
+    anchor
+        .insert(vec![vec![
+            Value::I64(0),
+            Value::I64(0),
+            Value::Timestamp(START),
+            Value::I64(7),
+        ]])
+        .unwrap();
+
+    let churn_done = Arc::new(AtomicBool::new(false));
+    thread::scope(|s| {
+        let mut churners = Vec::new();
+        for slot in 0..SLOTS {
+            let db = &db;
+            churners.push(s.spawn(move || {
+                let name = format!("churn{slot}");
+                for generation in 0..ROUNDS {
+                    let t = db.create_table(&name, schema(), None).unwrap();
+                    t.insert(vec![vec![
+                        Value::I64(slot as i64),
+                        Value::I64(generation as i64),
+                        Value::Timestamp(START + generation as i64),
+                        Value::I64(generation as i64),
+                    ]])
+                    .unwrap();
+                    thread::yield_now();
+                    db.drop_table(&name).unwrap();
+                }
+            }));
+        }
+
+        for _ in 0..CHURN_READERS {
+            let db = &db;
+            let churn_done = churn_done.clone();
+            s.spawn(move || {
+                let mut gen_floor = [-1i64; SLOTS];
+                loop {
+                    let done = churn_done.load(Ordering::SeqCst);
+                    let names = db.list_tables();
+                    assert!(
+                        names.windows(2).all(|w| w[0] < w[1]),
+                        "list_tables not sorted/deduped: {names:?}"
+                    );
+                    assert!(
+                        names.iter().any(|n| n == "anchor"),
+                        "anchor table vanished from {names:?}"
+                    );
+                    let anchor = db.table("anchor").expect("anchor must always resolve");
+                    assert_eq!(anchor.query_all(&Query::all()).unwrap().len(), 1);
+                    for (slot, floor) in gen_floor.iter_mut().enumerate() {
+                        let Ok(t) = db.table(&format!("churn{slot}")) else {
+                            continue;
+                        };
+                        match t.query_all(&Query::all()) {
+                            Ok(rows) => {
+                                assert!(rows.len() <= 1, "slot {slot}: {rows:?}");
+                                if let Some(row) = rows.first() {
+                                    let Value::I64(generation) = row.values[1] else {
+                                        panic!("bad marker row {row:?}");
+                                    };
+                                    assert!(
+                                        generation >= *floor,
+                                        "slot {slot}: generation went backwards \
+                                         ({generation} < {floor})"
+                                    );
+                                    *floor = generation;
+                                }
+                            }
+                            // The slot was dropped between the catalog
+                            // load and the query; the handle must fail
+                            // cleanly, not crash or serve another
+                            // generation's data.
+                            Err(Error::NoSuchTable(_)) => {}
+                            Err(e) => panic!("slot {slot}: unexpected error {e}"),
+                        }
+                    }
+                    if done {
+                        break;
+                    }
+                }
+            });
+        }
+
+        for c in churners {
+            c.join().unwrap();
+        }
+        churn_done.store(true, Ordering::SeqCst);
+    });
+
+    // Every churner's last action was a drop: only the anchor remains.
+    assert_eq!(db.list_tables(), vec!["anchor".to_string()]);
+    let stats = db.stats();
+    assert!(stats.catalog_loads > 0, "lookups must count catalog loads");
+    // One publish per create and per drop: the anchor plus every
+    // create/drop pair across all slots and rounds.
+    assert_eq!(
+        stats.catalog_publishes,
+        1 + 2 * (SLOTS as u64) * ROUNDS,
+        "unexpected publish count"
+    );
+    assert_eq!(stats.tables, 1);
+}
+
+/// Recreating a dropped name must yield a fresh, empty table, while
+/// handles and cursors over the old generation keep serving the old
+/// data (or fail with `NoSuchTable` for new calls) — they never bleed
+/// into the new generation.
+#[test]
+fn drop_and_recreate_same_name_isolates_generations() {
+    let clock = SimClock::new(START);
+    let db = Db::open(
+        Arc::new(SimVfs::instant()),
+        Arc::new(clock.clone()),
+        Options::small_for_tests(),
+    )
+    .unwrap();
+
+    let old = db.create_table("t", schema(), None).unwrap();
+    old.insert(vec![vec![
+        Value::I64(1),
+        Value::I64(1),
+        Value::Timestamp(START),
+        Value::I64(10),
+    ]])
+    .unwrap();
+
+    // An in-flight cursor pins the old generation's snapshot before the
+    // drop lands.
+    let mut cursor = old.query(&Query::all()).unwrap();
+
+    db.drop_table("t").unwrap();
+    assert!(matches!(db.table("t"), Err(Error::NoSuchTable(_))));
+
+    // The pinned cursor still drains the old generation's rows.
+    let row = cursor
+        .next_row()
+        .unwrap()
+        .expect("in-flight cursor lost its snapshot");
+    assert_eq!(row.values[3], Value::I64(10));
+    assert!(cursor.next_row().unwrap().is_none());
+
+    // New calls through the old handle fail cleanly.
+    assert!(matches!(
+        old.query_all(&Query::all()),
+        Err(Error::NoSuchTable(_))
+    ));
+    assert!(matches!(
+        old.insert(vec![vec![
+            Value::I64(2),
+            Value::I64(2),
+            Value::Timestamp(START),
+            Value::I64(20),
+        ]]),
+        Err(Error::NoSuchTable(_))
+    ));
+
+    // Recreate under the same name: a distinct, empty table.
+    let new = db.create_table("t", schema(), None).unwrap();
+    assert!(!Arc::ptr_eq(&old, &new));
+    assert_eq!(new.query_all(&Query::all()).unwrap().len(), 0);
+    new.insert(vec![vec![
+        Value::I64(3),
+        Value::I64(3),
+        Value::Timestamp(START),
+        Value::I64(30),
+    ]])
+    .unwrap();
+    assert_eq!(new.query_all(&Query::all()).unwrap().len(), 1);
+
+    // The old handle still refuses to serve the new generation's data.
+    assert!(matches!(
+        old.query_all(&Query::all()),
+        Err(Error::NoSuchTable(_))
+    ));
+
+    // Drop again with rows on disk this time: flush, then drop, then
+    // recreate — the fresh table must not resurrect flushed tablets.
+    new.flush_all().unwrap();
+    db.drop_table("t").unwrap();
+    let third = db.create_table("t", schema(), None).unwrap();
+    assert_eq!(third.query_all(&Query::all()).unwrap().len(), 0);
+    assert_eq!(third.num_disk_tablets(), 0);
 }
