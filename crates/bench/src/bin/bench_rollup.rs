@@ -1,0 +1,4 @@
+//! Regenerates the rollup-tier dashboard-refresh figure.
+fn main() {
+    littletable_bench::figures::rollupfig::run(littletable_bench::quick_flag()).emit();
+}

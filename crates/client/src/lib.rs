@@ -182,6 +182,38 @@ impl Client {
         }
     }
 
+    /// Creates a rollup table over `base` with the given bucket period.
+    /// `value_cols` get SUM/MIN/MAX stats; `distinct_cols` get
+    /// HyperLogLog distinct sketches.
+    pub fn create_rollup(
+        &mut self,
+        name: &str,
+        base: &str,
+        period: Micros,
+        value_cols: Vec<String>,
+        distinct_cols: Vec<String>,
+    ) -> Result<()> {
+        match self.request(&Request::CreateRollup {
+            name: name.into(),
+            base: base.into(),
+            period,
+            value_cols,
+            distinct_cols,
+        })? {
+            Response::Ok => Ok(()),
+            r => Err(ClientError::Protocol(format!("expected Ok, got {r:?}"))),
+        }
+    }
+
+    /// Drops a rollup table and stops its maintenance.
+    pub fn drop_rollup(&mut self, name: &str) -> Result<()> {
+        self.schemas.remove(name);
+        match self.request(&Request::DropRollup { name: name.into() })? {
+            Response::Ok => Ok(()),
+            r => Err(ClientError::Protocol(format!("expected Ok, got {r:?}"))),
+        }
+    }
+
     /// Appends a column.
     pub fn add_column(&mut self, table: &str, column: ColumnDef) -> Result<()> {
         self.schemas.remove(table);

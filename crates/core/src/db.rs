@@ -20,12 +20,14 @@
 use crate::cache::BlockCache;
 use crate::error::{Error, Result};
 use crate::options::Options;
+use crate::resultcache::ResultCache;
+use crate::rollup::{self, RollupSpec};
 use crate::schema::Schema;
 use crate::stats::{DbStats, DbStatsSnapshot, TableStats};
 use crate::sync::SnapshotCell;
 use crate::table::{MaintenanceReport, Table};
 use littletable_vfs::{Clock, Micros, StdVfs, SystemClock, Vfs};
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -88,6 +90,13 @@ struct DbInner {
     /// cannot interleave with the old directory's teardown.
     catalog_lock: Mutex<()>,
     stats: DbStats,
+    /// Registered rollup definitions (each also durably recorded as a
+    /// `ROLLUP` file inside its rollup table's directory). Read by the
+    /// maintenance fold pass and the SQL planner; written only by
+    /// `create_rollup` / `drop_rollup` / `drop_table`.
+    rollups: RwLock<Vec<Arc<RollupSpec>>>,
+    /// The query-result cache; `None` when its budget carve-out is 0.
+    result_cache: Option<Arc<ResultCache>>,
     shutdown: Arc<AtomicBool>,
     worker: Mutex<Option<JoinHandle<()>>>,
 }
@@ -114,17 +123,22 @@ impl Db {
         opts: Options,
     ) -> Result<Db> {
         let opts = Arc::new(opts);
-        let cache = (opts.block_cache_bytes > 0).then(|| {
-            let (decompressed, compressed) = opts.cache_tier_budgets();
+        let (decompressed, compressed) = opts.cache_tier_budgets();
+        let block_budget = decompressed + compressed;
+        let cache = (block_budget > 0).then(|| {
             Arc::new(if opts.adaptive_cache_split {
                 // The configured split is only the starting point; every
                 // maintenance pass retunes it from ghost-list demand.
-                let fraction = compressed as f64 / opts.block_cache_bytes as f64;
-                BlockCache::new_adaptive(opts.block_cache_bytes, fraction, opts.block_cache_shards)
+                let fraction = compressed as f64 / block_budget as f64;
+                BlockCache::new_adaptive(block_budget, fraction, opts.block_cache_shards)
             } else {
                 BlockCache::new(decompressed, compressed, opts.block_cache_shards)
             })
         });
+        let result_cache = {
+            let budget = opts.result_cache_budget();
+            (budget > 0).then(|| Arc::new(ResultCache::new(budget)))
+        };
         let mut tables = HashMap::new();
         for entry in vfs.list_dir("").unwrap_or_default() {
             let desc_path = littletable_vfs::join(&entry, crate::descriptor::DESC_FILE);
@@ -142,6 +156,30 @@ impl Db {
             )?;
             tables.insert(Arc::from(entry.as_str()), table);
         }
+        // Recover rollup definitions: a table directory holding a ROLLUP
+        // spec file is a rollup table. Bases get their source flag set
+        // before the background worker can start merging.
+        let mut rollups: Vec<Arc<RollupSpec>> = Vec::new();
+        for (name, table) in &tables {
+            let spec_path = littletable_vfs::join(table.dir(), rollup::SPEC_FILE);
+            if !vfs.exists(&spec_path) {
+                continue;
+            }
+            let spec = RollupSpec::load(vfs.as_ref(), table.dir())?;
+            let dir_name: &str = name;
+            if spec.name != dir_name {
+                return Err(Error::corrupt(format!(
+                    "rollup spec in {:?} names table {:?}",
+                    name, spec.name
+                )));
+            }
+            rollups.push(Arc::new(spec));
+        }
+        for spec in &rollups {
+            if let Some(base) = tables.get(spec.base.as_str()) {
+                base.set_rollup_source(true);
+            }
+        }
         let inner = Arc::new(DbInner {
             vfs,
             cold_vfs,
@@ -151,6 +189,8 @@ impl Db {
             catalog: SnapshotCell::new(Arc::new(CatalogSnapshot::new(tables))),
             catalog_lock: Mutex::new(()),
             stats: DbStats::default(),
+            rollups: RwLock::new(rollups),
+            result_cache,
             shutdown: Arc::new(AtomicBool::new(false)),
             worker: Mutex::new(None),
         });
@@ -291,6 +331,42 @@ impl Db {
     /// is held across the file deletion, so a recreated table can never
     /// interleave with its predecessor's teardown.
     pub fn drop_table(&self, name: &str) -> Result<()> {
+        // If `name` is itself a rollup table, retire its spec first (and
+        // the base's source flag when it was the last rollup over it).
+        let removed_spec: Option<Arc<RollupSpec>> = {
+            let mut reg = self.inner.rollups.write();
+            reg.iter()
+                .position(|s| s.name == name)
+                .map(|i| reg.remove(i))
+        };
+        if let Some(spec) = &removed_spec {
+            if self.rollup_specs_for(&spec.base).is_empty() {
+                if let Ok(base) = self.table(&spec.base) {
+                    base.set_rollup_source(false);
+                }
+            }
+        }
+        // If `name` is a base with rollups, cascade: the derived tables
+        // are meaningless without their source. Specs come out of the
+        // registry before any directory is touched so a concurrent
+        // maintenance pass cannot fold into a table being deleted.
+        let dependents: Vec<Arc<RollupSpec>> = {
+            let mut reg = self.inner.rollups.write();
+            let deps: Vec<_> = reg.iter().filter(|s| s.base == name).cloned().collect();
+            reg.retain(|s| s.base != name);
+            deps
+        };
+        self.drop_table_inner(name)?;
+        for dep in &dependents {
+            // Best-effort: the dependent may already be gone.
+            let _ = self.drop_table_inner(&dep.name);
+        }
+        Ok(())
+    }
+
+    /// Drops exactly one table (no rollup cascade): unpublish, tear down,
+    /// delete files, and flush the result cache's entries for it.
+    fn drop_table_inner(&self, name: &str) -> Result<()> {
         let _writer = self.inner.catalog_lock.lock();
         let snap = self.inner.catalog.load();
         let table = snap
@@ -301,6 +377,12 @@ impl Db {
         let mut tables = snap.tables.clone();
         tables.remove(name);
         self.publish_catalog_locked(tables);
+        // Belt and braces: result-cache keys embed the generation, so a
+        // recreated table can never hit the old entries — this just
+        // releases their memory promptly.
+        if let Some(rc) = &self.inner.result_cache {
+            rc.invalidate_generation(table.generation());
+        }
         // Stop the table's own write/maintenance machinery (this waits
         // out any in-flight flush), then delete its files.
         table.mark_dropped();
@@ -314,6 +396,114 @@ impl Db {
             }
         }
         Ok(())
+    }
+
+    // --------------------------------------------------------------- rollups
+
+    /// Creates a rollup table over `base` with the given bucket `period`:
+    /// a derived table maintaining per-period row counts, per-column
+    /// sums/extrema for `value_cols`, and HyperLogLog distinct sketches
+    /// for `distinct_cols` (see [`crate::rollup`]).
+    ///
+    /// The current contents of `base` are backfilled before this returns;
+    /// thereafter every maintenance pass folds newly flushed tablets. The
+    /// rollup's TTL is the base's TTL plus one period, so a bucket
+    /// outlives the youngest raw row that contributed to it.
+    pub fn create_rollup(
+        &self,
+        name: &str,
+        base: &str,
+        period: Micros,
+        value_cols: Vec<String>,
+        distinct_cols: Vec<String>,
+    ) -> Result<Arc<Table>> {
+        let base_table = self.table(base)?;
+        if self.inner.rollups.read().iter().any(|s| s.name == base) {
+            return Err(Error::invalid("cannot create a rollup over a rollup"));
+        }
+        let spec = Arc::new(RollupSpec {
+            name: name.to_string(),
+            base: base.to_string(),
+            period,
+            value_cols,
+            distinct_cols,
+        });
+        let schema = rollup::rollup_schema(&base_table.schema(), &spec)?;
+        let ttl = base_table.ttl().map(|t| t.saturating_add(period));
+        let table = self.create_table(name, schema, ttl)?;
+        // Backfill every existing disk tablet into *all* of the base's
+        // rollups (already-folded pairs are rejected as duplicates), so
+        // the rolled_up marks this fold commits stay truthful for the
+        // new spec too. A crash before the spec file lands leaves an
+        // orphan plain table and an unfolded base — re-running CREATE
+        // ROLLUP after dropping the orphan recovers.
+        let mut targets = self.rollup_targets_for(base)?;
+        targets.push((spec.clone(), table.clone()));
+        let backfill = base_table
+            .flush_all()
+            .and_then(|()| rollup::fold_backfill(&base_table, &targets));
+        if let Err(e) = backfill {
+            let _ = self.drop_table_inner(name);
+            return Err(e);
+        }
+        spec.save(self.inner.vfs.as_ref(), table.dir())?;
+        self.inner.rollups.write().push(spec);
+        base_table.set_rollup_source(true);
+        Ok(table)
+    }
+
+    /// Drops a rollup table and unregisters its definition. The base
+    /// table is untouched (and becomes freely mergeable again when this
+    /// was its last rollup).
+    pub fn drop_rollup(&self, name: &str) -> Result<()> {
+        if !self.inner.rollups.read().iter().any(|s| s.name == name) {
+            return Err(Error::invalid(format!("no such rollup {name:?}")));
+        }
+        self.drop_table(name)
+    }
+
+    /// The registered rollup definitions over `base`.
+    pub fn rollup_specs_for(&self, base: &str) -> Vec<Arc<RollupSpec>> {
+        self.inner
+            .rollups
+            .read()
+            .iter()
+            .filter(|s| s.base == base)
+            .cloned()
+            .collect()
+    }
+
+    /// Every registered rollup definition.
+    pub fn list_rollups(&self) -> Vec<Arc<RollupSpec>> {
+        self.inner.rollups.read().clone()
+    }
+
+    /// The query-result cache, or `None` when disabled via
+    /// [`Options::result_cache_fraction`].
+    pub fn result_cache(&self) -> Option<&Arc<ResultCache>> {
+        self.inner.result_cache.as_ref()
+    }
+
+    /// Resolves `base`'s rollup specs to `(spec, rollup table)` pairs.
+    fn rollup_targets_for(&self, base: &str) -> Result<Vec<(Arc<RollupSpec>, Arc<Table>)>> {
+        let mut out = Vec::new();
+        for spec in self.rollup_specs_for(base) {
+            let table = self.table(&spec.name)?;
+            out.push((spec, table));
+        }
+        Ok(out)
+    }
+
+    /// Folds `base`'s not-yet-rolled-up tablets into its rollups.
+    fn fold_table(&self, base: &str) -> Result<usize> {
+        let targets = self.rollup_targets_for(base)?;
+        if targets.is_empty() {
+            return Ok(0);
+        }
+        let Ok(base_table) = self.table(base) else {
+            return Ok(0);
+        };
+        rollup::fold_base(&base_table, &targets, false)
     }
 
     /// Runs one maintenance pass over every table at the current clock
@@ -347,6 +537,29 @@ impl Db {
                 }
             }
         }
+        // Fold freshly flushed base tablets into their rollup tables.
+        // This runs after the per-table pass so a tablet flushed above is
+        // folded in the same sweep.
+        let bases: Vec<String> = {
+            let reg = self.inner.rollups.read();
+            let mut bases: Vec<String> = reg.iter().map(|s| s.base.clone()).collect();
+            bases.sort();
+            bases.dedup();
+            bases
+        };
+        for base in &bases {
+            match self.fold_table(base) {
+                Ok(n) => total.tablets_folded += n,
+                Err(e) => {
+                    if let Ok(t) = self.table(base) {
+                        TableStats::add(&t.stats().maintenance_errors, 1);
+                    }
+                    if first_err.is_none() {
+                        first_err = Some(e);
+                    }
+                }
+            }
+        }
         // Retune the cache's tier split from the ghost-list demand that
         // accumulated since the last pass (no-op for static caches).
         self.rebalance_cache();
@@ -363,9 +576,13 @@ impl Db {
     pub fn maintain_table(&self, name: &str) -> Result<MaintenanceReport> {
         let t = self.table(name)?;
         let now = self.now();
-        self.maintain_one(&t, now).inspect_err(|_| {
+        let mut report = self.maintain_one(&t, now).inspect_err(|_| {
             TableStats::add(&t.stats().maintenance_errors, 1);
-        })
+        })?;
+        report.tablets_folded = self.fold_table(name).inspect_err(|_| {
+            TableStats::add(&t.stats().maintenance_errors, 1);
+        })?;
+        Ok(report)
     }
 
     /// Rebalances the block cache's tier split from ghost-list demand
@@ -396,6 +613,12 @@ impl Db {
             snap.ghost_hits_compressed = cache.ghost_hits_compressed();
             snap.cache_rebalances = cache.rebalance_count();
             snap.cache_split_fraction = cache.split_fraction();
+        }
+        if let Some(rc) = &self.inner.result_cache {
+            snap.result_cache_hits = rc.hits();
+            snap.result_cache_misses = rc.misses();
+            snap.result_cache_entries = rc.entries() as u64;
+            snap.result_cache_bytes = rc.bytes() as u64;
         }
         snap
     }
@@ -432,6 +655,7 @@ impl Db {
                 && r.groups_flushed == 0
                 && r.merges == 0
                 && r.tablets_expired == 0
+                && r.tablets_folded == 0
             {
                 return Ok(());
             }

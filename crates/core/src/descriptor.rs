@@ -19,7 +19,7 @@ pub const DESC_FILE: &str = "DESC";
 pub const DESC_TMP: &str = "DESC.tmp";
 
 const DESC_MAGIC: u32 = 0x4C54_4445; // "LTDE"
-const DESC_VERSION: u8 = 1;
+const DESC_VERSION: u8 = 2;
 
 /// Descriptor-level metadata for one on-disk tablet.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -43,6 +43,11 @@ pub struct TabletMeta {
     /// LHAM-inspired write-once backing store for old data) rather than
     /// the shard's local disk.
     pub cold: bool,
+    /// True once the tablet's rows have been folded into every rollup
+    /// table registered for this base table. On tables that feed rollups,
+    /// only rolled-up tablets are merge-eligible, so a tablet's identity
+    /// survives until its contribution is durably recorded.
+    pub rolled_up: bool,
 }
 
 impl TabletMeta {
@@ -109,6 +114,7 @@ impl TableDescriptor {
             put_varint(&mut body, zigzag(t.written_at));
             put_varint(&mut body, t.schema_version as u64);
             put_varint(&mut body, t.cold as u64);
+            put_varint(&mut body, t.rolled_up as u64);
         }
         let mut out = Vec::with_capacity(body.len() + 8);
         out.extend_from_slice(&DESC_MAGIC.to_le_bytes());
@@ -129,7 +135,7 @@ impl TableDescriptor {
         }
         let mut r = Reader::new(body);
         let ver = r.u8()?;
-        if ver != DESC_VERSION {
+        if ver == 0 || ver > DESC_VERSION {
             return Err(Error::corrupt(format!("unknown descriptor version {ver}")));
         }
         let schema = Schema::decode(&mut r)?;
@@ -151,6 +157,8 @@ impl TableDescriptor {
                 written_at: unzigzag(r.varint()?),
                 schema_version: r.varint()? as u32,
                 cold: r.varint()? != 0,
+                // v1 descriptors predate rollups; nothing was folded.
+                rolled_up: ver >= 2 && r.varint()? != 0,
             });
         }
         if !r.is_empty() {
@@ -239,6 +247,7 @@ mod tests {
                 written_at: 250,
                 schema_version: 1,
                 cold: false,
+                rolled_up: false,
             },
             TabletMeta {
                 id: 2,
@@ -249,6 +258,7 @@ mod tests {
                 written_at: 350,
                 schema_version: 1,
                 cold: true,
+                rolled_up: true,
             },
         ];
         d
@@ -304,6 +314,38 @@ mod tests {
         // The old committed descriptor must still load.
         let back = TableDescriptor::load(&vfs, "t").unwrap();
         assert_eq!(back, d1);
+    }
+
+    #[test]
+    fn v1_descriptors_still_decode() {
+        // Hand-roll a version-1 body (no rolled_up varint per tablet) and
+        // check it decodes with rolled_up defaulting to false.
+        let d = sample();
+        let mut body = Vec::new();
+        body.push(1u8);
+        d.schema.encode(&mut body);
+        body.push(1);
+        put_varint(&mut body, zigzag(d.ttl.unwrap()));
+        put_varint(&mut body, d.next_tablet_id);
+        put_varint(&mut body, d.tablets.len() as u64);
+        for t in &d.tablets {
+            put_varint(&mut body, t.id);
+            put_varint(&mut body, zigzag(t.min_ts));
+            put_varint(&mut body, zigzag(t.max_ts));
+            put_varint(&mut body, t.rows);
+            put_varint(&mut body, t.bytes);
+            put_varint(&mut body, zigzag(t.written_at));
+            put_varint(&mut body, t.schema_version as u64);
+            put_varint(&mut body, t.cold as u64);
+        }
+        let mut data = Vec::new();
+        data.extend_from_slice(&DESC_MAGIC.to_le_bytes());
+        data.extend_from_slice(&crc32(&body).to_le_bytes());
+        data.extend_from_slice(&body);
+        let back = TableDescriptor::decode(&data).unwrap();
+        assert!(back.tablets.iter().all(|t| !t.rolled_up));
+        assert_eq!(back.next_tablet_id, d.next_tablet_id);
+        assert_eq!(back.tablets.len(), d.tablets.len());
     }
 
     #[test]

@@ -29,6 +29,8 @@ pub mod mergepolicy;
 pub mod options;
 pub mod period;
 pub mod query;
+pub mod resultcache;
+pub mod rollup;
 pub mod row;
 pub mod schema;
 pub mod stats;
@@ -44,6 +46,8 @@ pub use db::Db;
 pub use error::{Error, Result};
 pub use options::Options;
 pub use query::Query;
+pub use resultcache::{CachedRows, ResultCache, ResultKey};
+pub use rollup::RollupSpec;
 pub use row::Row;
 pub use schema::{ColumnDef, Schema, SchemaRef, TS_COLUMN};
 pub use stats::DbStatsSnapshot;

@@ -129,6 +129,7 @@ mod tests {
             written_at,
             schema_version: 1,
             cold: false,
+            rolled_up: false,
         }
     }
 

@@ -104,6 +104,13 @@ pub struct Options {
     /// back transparently, and merges rewrite mixed inputs into the
     /// configured format.
     pub block_format: BlockFormat,
+    /// Fraction of [`Options::block_cache_bytes`] carved out for the
+    /// query-result cache (finished aggregate result sets keyed by table
+    /// generation, bounding box, and insert sequence). The carve-out
+    /// comes off the top of the joint budget before the block tiers are
+    /// split, so total cache memory is unchanged. Clamped to
+    /// `[0.0, 1.0]`; `0.0` disables the result cache.
+    pub result_cache_fraction: f64,
 }
 
 impl Default for Options {
@@ -132,6 +139,7 @@ impl Default for Options {
             io_retry_limit: 3,
             io_retry_backoff_ms: 10,
             block_format: BlockFormat::Columnar,
+            result_cache_fraction: 1.0 / 16.0,
         }
     }
 }
@@ -147,11 +155,19 @@ impl Options {
         }
     }
 
+    /// Bytes carved out of [`Options::block_cache_bytes`] for the
+    /// query-result cache. `0` disables it.
+    pub fn result_cache_budget(&self) -> usize {
+        let f = self.result_cache_fraction.clamp(0.0, 1.0);
+        (self.block_cache_bytes as f64 * f) as usize
+    }
+
     /// Resolves the joint cache budget into `(decompressed_bytes,
-    /// compressed_bytes)` tier budgets. The two always sum to at most
-    /// [`Options::block_cache_bytes`].
+    /// compressed_bytes)` tier budgets for the block cache, after the
+    /// query-result carve-out. Block tiers plus the result cache always
+    /// sum to at most [`Options::block_cache_bytes`].
     pub fn cache_tier_budgets(&self) -> (usize, usize) {
-        let total = self.block_cache_bytes;
+        let total = self.block_cache_bytes - self.result_cache_budget();
         let compressed = match self.compressed_cache_bytes {
             Some(b) => b.min(total),
             None => {
@@ -196,6 +212,7 @@ mod tests {
         assert_eq!(o.io_retry_limit, 3);
         assert_eq!(o.io_retry_backoff_ms, 10);
         assert_eq!(o.block_format, BlockFormat::Columnar);
+        assert_eq!(o.result_cache_fraction, 1.0 / 16.0);
     }
 
     #[test]
@@ -204,27 +221,39 @@ mod tests {
             block_cache_bytes: 64 << 20,
             ..Options::default()
         };
+        // The result cache takes 1/16 of the joint budget off the top;
+        // the block tiers split the remaining 60 MB.
+        let result = o.result_cache_budget();
+        assert_eq!(result, 4 << 20);
         let (d, c) = o.cache_tier_budgets();
-        assert_eq!(d + c, 64 << 20);
-        assert_eq!(c, 16 << 20); // default 25% split
+        assert_eq!(d + c + result, 64 << 20);
+        assert_eq!(c, 15 << 20); // default 25% split of the remainder
 
         o.compressed_cache_bytes = Some(1 << 20);
         let (d, c) = o.cache_tier_budgets();
         assert_eq!(c, 1 << 20);
-        assert_eq!(d + c, 64 << 20);
+        assert_eq!(d + c + result, 64 << 20);
 
         // The explicit knob can never push past the joint budget.
         o.compressed_cache_bytes = Some(usize::MAX);
         let (d, c) = o.cache_tier_budgets();
         assert_eq!(d, 0);
-        assert_eq!(c, 64 << 20);
+        assert_eq!(c, 60 << 20);
 
         // Out-of-range fractions clamp instead of misbehaving.
         o.compressed_cache_bytes = None;
         o.compressed_cache_fraction = 7.0;
         let (d, c) = o.cache_tier_budgets();
         assert_eq!(d, 0);
-        assert_eq!(c, 64 << 20);
+        assert_eq!(c, 60 << 20);
+
+        // Disabling the result cache restores the full block budget.
+        o.compressed_cache_fraction = 0.25;
+        o.result_cache_fraction = 0.0;
+        assert_eq!(o.result_cache_budget(), 0);
+        let (d, c) = o.cache_tier_budgets();
+        assert_eq!(d + c, 64 << 20);
+        assert_eq!(c, 16 << 20);
     }
 
     #[test]

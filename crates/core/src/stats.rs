@@ -80,6 +80,16 @@ pub struct TableStats {
     /// path (cursor emits plus pushdown boundary rows). The pushdown win
     /// shows up as this counter staying far below `rows_scanned`.
     pub rows_materialized: AtomicU64,
+    /// Aggregate queries (or portions of them) answered from a rollup
+    /// table instead of scanning this base table.
+    pub rollup_hits: AtomicU64,
+    /// On-disk tablets of this table folded into rollup tables.
+    pub rollup_folds: AtomicU64,
+    /// Aggregate queries on this table answered from the query-result
+    /// cache without touching either the base table or its rollups.
+    pub result_cache_hits: AtomicU64,
+    /// Aggregate queries that consulted the query-result cache and missed.
+    pub result_cache_misses: AtomicU64,
 }
 
 /// A plain-value snapshot of [`TableStats`].
@@ -139,6 +149,14 @@ pub struct StatsSnapshot {
     pub blocks_pruned: u64,
     /// See [`TableStats::rows_materialized`].
     pub rows_materialized: u64,
+    /// See [`TableStats::rollup_hits`].
+    pub rollup_hits: u64,
+    /// See [`TableStats::rollup_folds`].
+    pub rollup_folds: u64,
+    /// See [`TableStats::result_cache_hits`].
+    pub result_cache_hits: u64,
+    /// See [`TableStats::result_cache_misses`].
+    pub result_cache_misses: u64,
 }
 
 impl TableStats {
@@ -179,6 +197,10 @@ impl TableStats {
             pushdown_scans: self.pushdown_scans.load(Ordering::Relaxed),
             blocks_pruned: self.blocks_pruned.load(Ordering::Relaxed),
             rows_materialized: self.rows_materialized.load(Ordering::Relaxed),
+            rollup_hits: self.rollup_hits.load(Ordering::Relaxed),
+            rollup_folds: self.rollup_folds.load(Ordering::Relaxed),
+            result_cache_hits: self.result_cache_hits.load(Ordering::Relaxed),
+            result_cache_misses: self.result_cache_misses.load(Ordering::Relaxed),
         }
     }
 }
@@ -215,6 +237,14 @@ pub struct DbStatsSnapshot {
     /// The compressed tier's current share of the joint cache budget in
     /// [0, 1]; 0.0 when the cache is disabled.
     pub cache_split_fraction: f64,
+    /// Query-result cache hits across all tables.
+    pub result_cache_hits: u64,
+    /// Query-result cache misses across all tables.
+    pub result_cache_misses: u64,
+    /// Entries currently resident in the query-result cache.
+    pub result_cache_entries: u64,
+    /// Estimated bytes charged to the query-result cache.
+    pub result_cache_bytes: u64,
 }
 
 impl StatsSnapshot {

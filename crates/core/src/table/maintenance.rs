@@ -156,6 +156,7 @@ impl Table {
             written_at: now,
             schema_version: schema.version(),
             cold: false,
+            rolled_up: false,
         })
     }
 
@@ -335,6 +336,7 @@ impl Table {
                     written_at: now,
                     schema_version: schema.version(),
                     cold: false,
+                    rolled_up: h.meta.rolled_up,
                 };
                 rewrites.push((
                     h.meta.id,
@@ -360,6 +362,10 @@ impl Table {
         self.publish_locked(&st);
         self.save_descriptor_locked(&st)?;
         drop(st);
+        // A bulk delete mutates data without going through `insert`, so the
+        // query-result cache's insert_seq key would otherwise keep serving
+        // pre-delete results.
+        self.insert_seq.fetch_add(1, Ordering::SeqCst);
         for (old_id, _) in &rewrites {
             let _ = self
                 .vfs
@@ -418,7 +424,14 @@ impl Table {
             if st.merge_running || st.dropped {
                 return Ok(false);
             }
-            let metas = st.metas();
+            let mut metas = st.metas();
+            if self.rollup_source.load(Ordering::Acquire) {
+                // Tablets not yet folded into every rollup must keep their
+                // identity (fold idempotency is keyed on tablet id), so the
+                // merger only considers rolled-up tablets here; the fold
+                // pass marks tablets and unblocks them.
+                metas.retain(|m| m.rolled_up);
+            }
             let policy = self.opts.merge_policy();
             let Some(ids) = find_merge(&metas, now, &policy) else {
                 return Ok(false);
@@ -530,6 +543,7 @@ impl Table {
             written_at: now,
             schema_version: schema.version(),
             cold: false,
+            rolled_up: sources.iter().all(|h| h.meta.rolled_up),
         };
         Ok(Some(DiskHandle {
             reader: self.new_reader(self.vfs.clone(), path),

@@ -27,7 +27,7 @@ pub use colscan::{cmp_values, ColumnPredicate, PredOp, PushdownRequest, ScanUnit
 pub use read::QueryCursor;
 
 use crate::cache::{BlockCache, CacheHandle};
-use crate::descriptor::{parse_tablet_file_name, TableDescriptor, DESC_FILE, DESC_TMP};
+use crate::descriptor::{parse_tablet_file_name, TableDescriptor, TabletMeta, DESC_FILE, DESC_TMP};
 use crate::error::{Error, Result};
 use crate::flushdeps::FlushDeps;
 use crate::options::Options;
@@ -75,7 +75,14 @@ pub struct MaintenanceReport {
     pub merges: usize,
     /// On-disk tablets removed by TTL expiry.
     pub tablets_expired: usize,
+    /// On-disk tablets folded into rollup tables.
+    pub tablets_folded: usize,
 }
+
+/// Source of table generation numbers: a process-wide counter so a
+/// dropped-and-recreated table of the same name never repeats a
+/// generation, which is what lets the query-result cache key on it.
+static NEXT_GENERATION: AtomicU64 = AtomicU64::new(1);
 
 /// A handle to one table. All methods are safe to call concurrently.
 pub struct Table {
@@ -112,6 +119,13 @@ pub struct Table {
     /// successful flush restores the durability promise instead of
     /// silently returning `Ok` over a stale `DESC`.
     desc_dirty: AtomicBool,
+    /// Process-unique incarnation number (from [`NEXT_GENERATION`]);
+    /// result-cache entries embed it so a drop/recreate cycle can never
+    /// serve a previous incarnation's rows.
+    generation: u64,
+    /// True when at least one rollup table is registered over this table;
+    /// restricts merging to rolled-up tablets (see `run_merge_once`).
+    pub(crate) rollup_source: AtomicBool,
 }
 
 impl Table {
@@ -162,6 +176,8 @@ impl Table {
             insert_lock: Mutex::new(()),
             flush_lock: Mutex::new(()),
             desc_dirty: AtomicBool::new(false),
+            generation: NEXT_GENERATION.fetch_add(1, Ordering::Relaxed),
+            rollup_source: AtomicBool::new(false),
         }))
     }
 
@@ -179,9 +195,14 @@ impl Table {
         desc.sort_tablets();
         // Delete orphan tablet files left by a crash mid-flush or
         // mid-merge: they were never committed to the descriptor.
-        // Quarantined files are evidence, not orphans — leave them.
+        // Quarantined files are evidence, not orphans — leave them, as
+        // well as the rollup spec that marks this table as derived.
         for entry in vfs.list_dir(&dir)? {
-            if entry == DESC_FILE || entry == DESC_TMP || entry.ends_with(QUARANTINE_SUFFIX) {
+            if entry == DESC_FILE
+                || entry == DESC_TMP
+                || entry == crate::rollup::SPEC_FILE
+                || entry.ends_with(QUARANTINE_SUFFIX)
+            {
                 continue;
             }
             match parse_tablet_file_name(&entry) {
@@ -285,6 +306,8 @@ impl Table {
             insert_lock: Mutex::new(()),
             flush_lock: Mutex::new(()),
             desc_dirty: AtomicBool::new(false),
+            generation: NEXT_GENERATION.fetch_add(1, Ordering::Relaxed),
+            rollup_source: AtomicBool::new(false),
         }))
     }
 
@@ -385,6 +408,111 @@ impl Table {
             .filter(|h| h.meta.cold)
             .map(|h| h.meta.bytes)
             .sum()
+    }
+
+    /// Process-unique incarnation number of this table handle. Two tables
+    /// of the same name created at different times have different
+    /// generations; the query-result cache keys on it.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Current value of the table-wide insert sequence. Monotone: it
+    /// advances on every insert (and on bulk deletes), so two equal reads
+    /// bracketing a computation prove no write landed in between.
+    pub fn insert_seq(&self) -> u64 {
+        self.insert_seq.load(Ordering::SeqCst)
+    }
+
+    /// The rollup watermark: every row with `ts` strictly below this is in
+    /// a rolled-up on-disk tablet. Rows in memtablets or in not-yet-folded
+    /// disk tablets push the watermark down to their smallest timestamp;
+    /// with nothing unfolded the watermark is `Micros::MAX`.
+    pub fn rollup_watermark(&self) -> Micros {
+        let st = self.state.lock();
+        let mut w = Micros::MAX;
+        for h in &st.disk {
+            if !h.meta.rolled_up {
+                w = w.min(h.meta.min_ts);
+            }
+        }
+        for mem in st.filling.values() {
+            if let Some(lo) = mem.read().min_ts() {
+                w = w.min(lo);
+            }
+        }
+        for group in &st.sealed {
+            for mem in &group.tablets {
+                if let Some(lo) = mem.read().min_ts() {
+                    w = w.min(lo);
+                }
+            }
+        }
+        w
+    }
+
+    /// Marks this table as feeding at least one rollup table, which
+    /// restricts merging to already-folded tablets.
+    pub(crate) fn set_rollup_source(&self, on: bool) {
+        self.rollup_source.store(on, Ordering::Release);
+    }
+
+    /// On-disk tablets that have not yet been folded into the registered
+    /// rollups (or all of them, for a backfill), with their readers.
+    pub(crate) fn unfolded_tablets(
+        &self,
+        include_rolled: bool,
+    ) -> Vec<(TabletMeta, Arc<TabletReader>)> {
+        self.state
+            .lock()
+            .disk
+            .iter()
+            .filter(|h| include_rolled || !h.meta.rolled_up)
+            .map(|h| (h.meta.clone(), h.reader.clone()))
+            .collect()
+    }
+
+    /// Takes the merger's exclusion slot so no merge / bulk delete / cold
+    /// migration runs concurrently. Returns false when the slot is taken
+    /// (or the table is dropped); the caller should retry later.
+    pub(crate) fn try_begin_merge_exclusion(&self) -> bool {
+        let mut st = self.state.lock();
+        if st.merge_running || st.dropped {
+            return false;
+        }
+        st.merge_running = true;
+        true
+    }
+
+    /// Releases the slot taken by `try_begin_merge_exclusion`.
+    pub(crate) fn end_merge_exclusion(&self) {
+        self.state.lock().merge_running = false;
+    }
+
+    /// Whether this table has been dropped from its database.
+    pub(crate) fn is_dropped(&self) -> bool {
+        self.snapshot.load().dropped
+    }
+
+    /// Marks the given on-disk tablets as folded into every registered
+    /// rollup, republishing the snapshot and persisting the descriptor.
+    pub(crate) fn mark_rolled_up(&self, ids: &[u64]) -> Result<()> {
+        let mut st = self.state.lock();
+        if st.dropped {
+            return Ok(());
+        }
+        let mut changed = false;
+        for h in &mut st.disk {
+            if ids.contains(&h.meta.id) && !h.meta.rolled_up {
+                h.meta.rolled_up = true;
+                changed = true;
+            }
+        }
+        if !changed {
+            return Ok(());
+        }
+        self.publish_locked(&st);
+        self.save_descriptor_locked(&st)
     }
 
     pub(crate) fn mark_dropped(&self) {

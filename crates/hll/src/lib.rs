@@ -279,5 +279,40 @@ mod tests {
             a.merge(&b);
             prop_assert!(a.estimate() >= before - 1e-9);
         }
+
+        /// Serialization must be lossless under merge: merging sketches
+        /// that went through a to_bytes/from_bytes round trip gives the
+        /// exact same registers — and therefore the exact same estimate —
+        /// as merging the originals, and that estimate stays within the
+        /// usual HLL error bound of the true union cardinality. This is
+        /// what rollup tablets rely on when they persist sketches as
+        /// blobs and fold them back together at query time.
+        #[test]
+        fn prop_round_trip_then_merge_keeps_error_bound(
+            xs in proptest::collection::vec(any::<u64>(), 0..2_000),
+            ys in proptest::collection::vec(any::<u64>(), 0..2_000),
+        ) {
+            let mut a = HyperLogLog::default_precision();
+            let mut b = HyperLogLog::default_precision();
+            for &x in &xs { a.add_hash(x); }
+            for &y in &ys { b.add_hash(y); }
+            let a2 = HyperLogLog::from_bytes(&a.to_bytes()).unwrap();
+            let b2 = HyperLogLog::from_bytes(&b.to_bytes()).unwrap();
+            prop_assert_eq!(&a2, &a);
+            let mut direct = a.clone();
+            direct.merge(&b);
+            let mut rt = a2;
+            rt.merge(&b2);
+            prop_assert_eq!(&rt, &direct);
+            let truth = xs.iter().chain(ys.iter())
+                .collect::<std::collections::HashSet<_>>().len() as f64;
+            // 1.04/sqrt(2^14) ≈ 0.8%; allow a wide 10% + slack margin so
+            // the test never flakes while still catching gross corruption.
+            let tolerance = (truth * 0.10).max(16.0);
+            prop_assert!(
+                (rt.estimate() - truth).abs() <= tolerance,
+                "estimate {} vs truth {}", rt.estimate(), truth
+            );
+        }
     }
 }

@@ -88,6 +88,24 @@ pub enum Request {
         /// Table name.
         table: String,
     },
+    /// Create a rollup table over a base table.
+    CreateRollup {
+        /// Rollup table name.
+        name: String,
+        /// Base table name.
+        base: String,
+        /// Bucket period in micros.
+        period: Micros,
+        /// Columns given SUM/MIN/MAX stats.
+        value_cols: Vec<String>,
+        /// Columns given HyperLogLog distinct sketches.
+        distinct_cols: Vec<String>,
+    },
+    /// Drop a rollup table and its maintenance spec.
+    DropRollup {
+        /// Rollup name.
+        name: String,
+    },
 }
 
 /// Error categories carried over the wire.
@@ -225,6 +243,25 @@ fn get_opt_micros(r: &mut Reader<'_>) -> Result<Option<Micros>> {
     }
 }
 
+fn put_string_list(out: &mut Vec<u8>, items: &[String]) {
+    put_varint(out, items.len() as u64);
+    for s in items {
+        put_string(out, s);
+    }
+}
+
+fn get_string_list(r: &mut Reader<'_>) -> Result<Vec<String>> {
+    let n = r.varint()? as usize;
+    if n > 1 << 16 {
+        return Err(Error::corrupt("implausible column-list length"));
+    }
+    let mut items = Vec::with_capacity(n);
+    for _ in 0..n {
+        items.push(r.string()?);
+    }
+    Ok(items)
+}
+
 fn put_column(out: &mut Vec<u8>, c: &ColumnDef) {
     put_string(out, &c.name);
     out.push(c.ty.tag());
@@ -296,6 +333,24 @@ impl Request {
                 out.push(11);
                 put_string(&mut out, table);
             }
+            Request::CreateRollup {
+                name,
+                base,
+                period,
+                value_cols,
+                distinct_cols,
+            } => {
+                out.push(12);
+                put_string(&mut out, name);
+                put_string(&mut out, base);
+                put_varint(&mut out, zigzag(*period));
+                put_string_list(&mut out, value_cols);
+                put_string_list(&mut out, distinct_cols);
+            }
+            Request::DropRollup { name } => {
+                out.push(13);
+                put_string(&mut out, name);
+            }
         }
         out
     }
@@ -339,6 +394,14 @@ impl Request {
             },
             10 => Request::Ping,
             11 => Request::Stats { table: r.string()? },
+            12 => Request::CreateRollup {
+                name: r.string()?,
+                base: r.string()?,
+                period: unzigzag(r.varint()?),
+                value_cols: get_string_list(&mut r)?,
+                distinct_cols: get_string_list(&mut r)?,
+            },
+            13 => Request::DropRollup { name: r.string()? },
             t => return Err(Error::corrupt(format!("unknown request tag {t}"))),
         };
         if !r.is_empty() {
@@ -600,6 +663,23 @@ mod tests {
             },
             Request::Ping,
             Request::Stats { table: "t".into() },
+            Request::CreateRollup {
+                name: "t_1h".into(),
+                base: "t".into(),
+                period: 3_600_000_000,
+                value_cols: vec!["v".into()],
+                distinct_cols: vec!["u".into(), "w".into()],
+            },
+            Request::CreateRollup {
+                name: "t_1d".into(),
+                base: "t".into(),
+                period: 86_400_000_000,
+                value_cols: vec![],
+                distinct_cols: vec![],
+            },
+            Request::DropRollup {
+                name: "t_1h".into(),
+            },
         ];
         for req in reqs {
             let enc = req.encode();

@@ -155,6 +155,20 @@ fn try_handle(db: &Db, req: Request) -> littletable_core::Result<Response> {
                 disk_bytes: t.disk_bytes(),
             }
         }
+        Request::CreateRollup {
+            name,
+            base,
+            period,
+            value_cols,
+            distinct_cols,
+        } => {
+            db.create_rollup(&name, &base, period, value_cols, distinct_cols)?;
+            Response::Ok
+        }
+        Request::DropRollup { name } => {
+            db.drop_rollup(&name)?;
+            Response::Ok
+        }
     })
 }
 
@@ -306,6 +320,93 @@ mod tests {
             Response::Ok
         );
         match handle_request(&db, Request::GetSchema { table: "t".into() }) {
+            Response::Error { kind, .. } => assert_eq!(kind, ErrorKind::NoSuchTable),
+            r => panic!("unexpected {r:?}"),
+        }
+    }
+
+    #[test]
+    fn dispatcher_rollup_lifecycle() {
+        let db = test_db();
+        assert_eq!(
+            handle_request(
+                &db,
+                Request::CreateTable {
+                    table: "t".into(),
+                    schema: schema(),
+                    ttl: None,
+                },
+            ),
+            Response::Ok
+        );
+        handle_request(
+            &db,
+            Request::Insert {
+                table: "t".into(),
+                rows: vec![some_row(vec![
+                    Value::I64(1),
+                    Value::Timestamp(1),
+                    Value::I64(10),
+                ])],
+            },
+        );
+        assert_eq!(
+            handle_request(
+                &db,
+                Request::CreateRollup {
+                    name: "t_1h".into(),
+                    base: "t".into(),
+                    period: 3_600_000_000,
+                    value_cols: vec!["v".into()],
+                    distinct_cols: vec![],
+                },
+            ),
+            Response::Ok
+        );
+        // The rollup is a real table: listed and queryable.
+        match handle_request(&db, Request::ListTables) {
+            Response::Tables { names } => assert_eq!(names, vec!["t".to_string(), "t_1h".into()]),
+            r => panic!("unexpected {r:?}"),
+        }
+        match handle_request(
+            &db,
+            Request::Query {
+                table: "t_1h".into(),
+                query: Query::all(),
+            },
+        ) {
+            Response::Rows { rows, .. } => assert_eq!(rows.len(), 1),
+            r => panic!("unexpected {r:?}"),
+        }
+        // Rollups cannot stack, and drop removes the table.
+        match handle_request(
+            &db,
+            Request::CreateRollup {
+                name: "t_1d".into(),
+                base: "t_1h".into(),
+                period: 86_400_000_000,
+                value_cols: vec![],
+                distinct_cols: vec![],
+            },
+        ) {
+            Response::Error { kind, .. } => assert_eq!(kind, ErrorKind::Invalid),
+            r => panic!("unexpected {r:?}"),
+        }
+        assert_eq!(
+            handle_request(
+                &db,
+                Request::DropRollup {
+                    name: "t_1h".into()
+                }
+            ),
+            Response::Ok
+        );
+        match handle_request(
+            &db,
+            Request::GetSchema {
+                table: "t_1h".into(),
+            },
+        ) {
             Response::Error { kind, .. } => assert_eq!(kind, ErrorKind::NoSuchTable),
             r => panic!("unexpected {r:?}"),
         }

@@ -25,6 +25,24 @@ pub enum Statement {
         /// Table name.
         name: String,
     },
+    /// `CREATE ROLLUP r ON t PERIOD '1h' [AGGREGATE (a, b)] [DISTINCT (c)]`
+    CreateRollup {
+        /// Rollup table name.
+        name: String,
+        /// Base table name.
+        base: String,
+        /// Bucket period in micros.
+        period_micros: i64,
+        /// Columns given SUM/MIN/MAX stats.
+        value_cols: Vec<String>,
+        /// Columns given HyperLogLog distinct sketches.
+        distinct_cols: Vec<String>,
+    },
+    /// `DROP ROLLUP r`
+    DropRollup {
+        /// Rollup name.
+        name: String,
+    },
     /// `ALTER TABLE t ADD COLUMN c type [DEFAULT lit]`
     AlterAddColumn {
         /// Table name.
@@ -166,6 +184,8 @@ pub enum SelectItem {
         func: AggFunc,
         /// Column argument; `None` means `COUNT(*)`.
         column: Option<String>,
+        /// `COUNT(DISTINCT col)`: approximate distinct count.
+        distinct: bool,
     },
     /// `TIME_BUCKET(col, INTERVAL '...')`: the timestamp rounded down
     /// to a bucket boundary. Must also appear in GROUP BY.

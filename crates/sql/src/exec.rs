@@ -1,14 +1,21 @@
 //! Statement execution against an embedded engine [`Db`].
 
 use crate::ast::{AggFunc, CmpOp, ColumnAst, GroupExpr, Literal, Select, SelectItem, Statement};
-use crate::plan::{cmp_values, plan_select, Residual};
+use crate::plan::{cmp_values, plan_select, Plan, Residual};
 use littletable_core::db::Db;
 use littletable_core::error::{Error, Result};
 use littletable_core::keyenc;
+use littletable_core::query::Query;
+use littletable_core::resultcache::{CachedRows, ResultKey};
+use littletable_core::rollup::{bucket_of, distinct_bytes};
 use littletable_core::schema::{ColumnDef, Schema};
-use littletable_core::table::{ColumnPredicate, PredOp, PushdownRequest, ScanUnit};
+use littletable_core::stats::TableStats;
+use littletable_core::table::{ColumnPredicate, PredOp, PushdownRequest, ScanUnit, Table};
 use littletable_core::value::{ColumnType, Value};
+use littletable_hll::HyperLogLog;
+use littletable_vfs::Micros;
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// Lowers a residual WHERE conjunct to an engine pushdown predicate.
 /// The two evaluate identically (same `cmp_values` semantics), which is
@@ -46,6 +53,37 @@ impl GroupSpec {
             }
         }
     }
+}
+
+/// One resolved aggregate in the SELECT list.
+struct AggSpec {
+    func: AggFunc,
+    col: Option<usize>,
+    distinct: bool,
+}
+
+/// Where a GROUP BY expression reads from when serving off a rollup
+/// table: a dimension column (same index as in the base key prefix) or
+/// the bucket-start timestamp re-bucketed to the query's width.
+enum GroupSrc {
+    Dim(usize),
+    Bucket(i64),
+}
+
+/// Where one aggregate reads from in a rollup row.
+enum RollupAgg {
+    /// COUNT(*) / COUNT(col): the `rows` column.
+    Rows,
+    /// SUM(v): the `{v}_sum` column (partial sums add).
+    Sum(usize),
+    /// MIN(v): the `{v}_min` column.
+    Min(usize),
+    /// MAX(v): the `{v}_max` column.
+    Max(usize),
+    /// AVG(v): `{v}_sum` with the `rows` count.
+    Avg(usize),
+    /// COUNT(DISTINCT d): the `{d}_hll` sketch column.
+    Hll(usize),
 }
 
 /// The result of executing one statement.
@@ -107,6 +145,21 @@ impl Session {
             }
             Statement::DropTable { name } => {
                 self.db.drop_table(&name)?;
+                Ok(SqlOutput::Done)
+            }
+            Statement::CreateRollup {
+                name,
+                base,
+                period_micros,
+                value_cols,
+                distinct_cols,
+            } => {
+                self.db
+                    .create_rollup(&name, &base, period_micros, value_cols, distinct_cols)?;
+                Ok(SqlOutput::Done)
+            }
+            Statement::DropRollup { name } => {
+                self.db.drop_rollup(&name)?;
                 Ok(SqlOutput::Done)
             }
             Statement::AlterAddColumn { name, column } => {
@@ -315,14 +368,18 @@ impl Session {
                 Ok(GroupSpec { col, bucket })
             })
             .collect::<Result<_>>()?;
-        let agg_specs: Vec<(AggFunc, Option<usize>)> = sel
+        let agg_specs: Vec<AggSpec> = sel
             .items
             .iter()
             .filter_map(|item| match item {
-                SelectItem::Aggregate { func, column } => Some((func, column)),
+                SelectItem::Aggregate {
+                    func,
+                    column,
+                    distinct,
+                } => Some((func, column, *distinct)),
                 _ => None,
             })
-            .map(|(func, column)| {
+            .map(|(func, column, distinct)| {
                 let idx = match column {
                     None => None,
                     Some(n) => Some(
@@ -331,106 +388,64 @@ impl Session {
                             .ok_or_else(|| Error::invalid(format!("no column {n:?}")))?,
                     ),
                 };
-                Ok((*func, idx))
+                Ok(AggSpec {
+                    func: *func,
+                    col: idx,
+                    distinct,
+                })
             })
             .collect::<Result<_>>()?;
 
-        // COUNT/MIN/MAX over an ungrouped scan can be answered from
-        // footer statistics alone; SUM/AVG (and any GROUP BY) must see
-        // the values.
-        let stats_cols: Option<Vec<usize>> = if group_specs.is_empty() {
-            let mut cols = Vec::new();
-            let mut ok = true;
-            for (f, c) in &agg_specs {
-                match (f, c) {
-                    (AggFunc::Count, _) => {}
-                    (AggFunc::Min | AggFunc::Max, Some(i)) => cols.push(*i),
-                    _ => ok = false,
-                }
+        // Grouped/aggregate results are cached keyed on the table's
+        // identity (generation), write position (insert sequence), TTL
+        // horizon, and the normalized question; any of those changing
+        // invalidates the entry by missing.
+        let ttl_cutoff = t
+            .ttl()
+            .map(|ttl| now.saturating_sub(ttl))
+            .unwrap_or(Micros::MIN);
+        let cache = self.db.result_cache().cloned();
+        let cache_key = cache.as_ref().map(|_| ResultKey {
+            generation: t.generation(),
+            insert_seq: t.insert_seq(),
+            ttl_cutoff,
+            question: question_bytes(sel, &schema, &plan, &group_specs, &agg_specs),
+        });
+        if let (Some(rc), Some(key)) = (&cache, &cache_key) {
+            if let Some(hit) = rc.get(key) {
+                TableStats::add(&t.stats().result_cache_hits, 1);
+                return Ok(SqlOutput::Rows {
+                    columns: hit.columns.clone(),
+                    rows: hit.rows.clone(),
+                });
             }
-            ok.then_some(cols)
-        } else {
-            None
-        };
+            TableStats::add(&t.stats().result_cache_misses, 1);
+        }
 
-        // Aggregate via the engine's columnar pushdown: footer stats and
-        // decoded column slices where possible, materialized rows only at
-        // box boundaries and for pre-columnar tablets.
-        let req = PushdownRequest {
-            query: plan.query.clone(),
-            predicates: plan.residual.iter().map(to_predicate).collect(),
-            stats_cols,
-        };
         // Group on the memcmp encoding of the group-by values so groups
-        // come out in key-compatible order.
+        // come out in key-compatible order. Prefer serving off a rollup
+        // table (pre-aggregated partials plus un-rolled-up tail scans);
+        // fall back to the engine's columnar pushdown over the base.
         let mut groups: BTreeMap<Vec<u8>, (Vec<Value>, Vec<AggState>)> = BTreeMap::new();
-        let new_states =
-            || -> Vec<AggState> { agg_specs.iter().map(|(f, _)| AggState::new(*f)).collect() };
-        t.pushdown_scan(&req, &mut |unit| {
-            match unit {
-                ScanUnit::Stats { rows, zones } => {
-                    // Only issued when group_specs is empty: one group.
-                    let entry = groups
-                        .entry(Vec::new())
-                        .or_insert_with(|| (Vec::new(), new_states()));
-                    for (state, (_, col)) in entry.1.iter_mut().zip(&agg_specs) {
-                        state.update_stats(rows, col.and_then(|c| zones[c].as_ref()))?;
-                    }
-                }
-                ScanUnit::Block { block, uncertain } => {
-                    let slice = |c: usize| {
-                        block
-                            .column(c)
-                            .ok_or_else(|| Error::invalid("columnar block is missing a column"))
-                    };
-                    for ri in 0..block.len() {
-                        let mut pass = true;
-                        for &pi in &uncertain {
-                            let p = &req.predicates[pi];
-                            if !p.matches(&slice(p.col)?.value(ri)) {
-                                pass = false;
-                                break;
-                            }
-                        }
-                        if !pass {
-                            continue;
-                        }
-                        let mut key = Vec::new();
-                        let mut vals = Vec::with_capacity(group_specs.len());
-                        for spec in &group_specs {
-                            let v = spec.value(&slice(spec.col)?.value(ri))?;
-                            keyenc::encode_component(&mut key, &v)?;
-                            vals.push(v);
-                        }
-                        let entry = groups.entry(key).or_insert_with(|| (vals, new_states()));
-                        for (state, (_, col)) in entry.1.iter_mut().zip(&agg_specs) {
-                            let v = match col {
-                                Some(c) => Some(slice(*c)?.value(ri)),
-                                None => None,
-                            };
-                            state.update(v.as_ref())?;
-                        }
-                    }
-                }
-                ScanUnit::Rows(rows) => {
-                    // Already filtered by bounds and every predicate.
-                    for row in rows {
-                        let mut key = Vec::new();
-                        let mut vals = Vec::with_capacity(group_specs.len());
-                        for spec in &group_specs {
-                            let v = spec.value(&row.values[spec.col])?;
-                            keyenc::encode_component(&mut key, &v)?;
-                            vals.push(v);
-                        }
-                        let entry = groups.entry(key).or_insert_with(|| (vals, new_states()));
-                        for (state, (_, col)) in entry.1.iter_mut().zip(&agg_specs) {
-                            state.update(col.map(|c| &row.values[c]))?;
-                        }
-                    }
-                }
-            }
-            Ok(())
-        })?;
+        let rollup_served = self.try_rollup_groups(
+            &t,
+            &sel.table,
+            &schema,
+            &plan,
+            &group_specs,
+            &agg_specs,
+            &mut groups,
+        )?;
+        if !rollup_served {
+            self.scan_groups(
+                &t,
+                plan.query.clone(),
+                &plan.residual,
+                &group_specs,
+                &agg_specs,
+                &mut groups,
+            )?;
+        }
 
         // Assemble output in SELECT-list order.
         let mut columns = Vec::new();
@@ -438,8 +453,12 @@ impl Session {
             columns.push(match item {
                 SelectItem::Column(n) => n.clone(),
                 SelectItem::TimeBucket { column, .. } => format!("time_bucket({column})"),
-                SelectItem::Aggregate { func, column } => format!(
-                    "{}({})",
+                SelectItem::Aggregate {
+                    func,
+                    column,
+                    distinct,
+                } => format!(
+                    "{}({}{})",
                     match func {
                         AggFunc::Count => "count",
                         AggFunc::Sum => "sum",
@@ -447,6 +466,7 @@ impl Session {
                         AggFunc::Max => "max",
                         AggFunc::Avg => "avg",
                     },
+                    if *distinct { "distinct " } else { "" },
                     column.as_deref().unwrap_or("*")
                 ),
                 SelectItem::Wildcard => unreachable!(),
@@ -492,6 +512,20 @@ impl Session {
                 if rows.len() >= limit {
                     break;
                 }
+            }
+        }
+        if let (Some(rc), Some(key)) = (cache, cache_key) {
+            // Quiescence guard: only cache if no insert landed while the
+            // scan ran, so an entry never claims a write position it did
+            // not actually observe.
+            if t.insert_seq() == key.insert_seq {
+                rc.put(
+                    key,
+                    Arc::new(CachedRows {
+                        columns: columns.clone(),
+                        rows: rows.clone(),
+                    }),
+                );
             }
         }
         Ok(SqlOutput::Rows { columns, rows })
@@ -543,6 +577,408 @@ impl Session {
         }
         Ok(SqlOutput::Rows { columns, rows })
     }
+
+    /// Aggregates base-table rows matching `query` into `groups` via the
+    /// engine's columnar pushdown: footer stats and decoded column slices
+    /// where possible, materialized rows only at box boundaries and for
+    /// pre-columnar tablets.
+    fn scan_groups(
+        &self,
+        t: &Arc<Table>,
+        query: Query,
+        residual: &[Residual],
+        group_specs: &[GroupSpec],
+        agg_specs: &[AggSpec],
+        groups: &mut BTreeMap<Vec<u8>, (Vec<Value>, Vec<AggState>)>,
+    ) -> Result<()> {
+        // COUNT/MIN/MAX over an ungrouped scan can be answered from
+        // footer statistics alone; SUM/AVG/DISTINCT (and any GROUP BY)
+        // must see the values.
+        let stats_cols: Option<Vec<usize>> = if group_specs.is_empty() {
+            let mut cols = Vec::new();
+            let mut ok = true;
+            for a in agg_specs {
+                match (a.func, a.col, a.distinct) {
+                    (_, _, true) => ok = false,
+                    (AggFunc::Count, _, _) => {}
+                    (AggFunc::Min | AggFunc::Max, Some(i), _) => cols.push(i),
+                    _ => ok = false,
+                }
+            }
+            ok.then_some(cols)
+        } else {
+            None
+        };
+        let req = PushdownRequest {
+            query,
+            predicates: residual.iter().map(to_predicate).collect(),
+            stats_cols,
+        };
+        let new_states = || -> Vec<AggState> { agg_specs.iter().map(AggState::new).collect() };
+        t.pushdown_scan(&req, &mut |unit| {
+            match unit {
+                ScanUnit::Stats { rows, zones } => {
+                    // Only issued when group_specs is empty: one group.
+                    let entry = groups
+                        .entry(Vec::new())
+                        .or_insert_with(|| (Vec::new(), new_states()));
+                    for (state, a) in entry.1.iter_mut().zip(agg_specs) {
+                        state.update_stats(rows, a.col.and_then(|c| zones[c].as_ref()))?;
+                    }
+                }
+                ScanUnit::Block { block, uncertain } => {
+                    let slice = |c: usize| {
+                        block
+                            .column(c)
+                            .ok_or_else(|| Error::invalid("columnar block is missing a column"))
+                    };
+                    for ri in 0..block.len() {
+                        let mut pass = true;
+                        for &pi in &uncertain {
+                            let p = &req.predicates[pi];
+                            if !p.matches(&slice(p.col)?.value(ri)) {
+                                pass = false;
+                                break;
+                            }
+                        }
+                        if !pass {
+                            continue;
+                        }
+                        let mut key = Vec::new();
+                        let mut vals = Vec::with_capacity(group_specs.len());
+                        for spec in group_specs {
+                            let v = spec.value(&slice(spec.col)?.value(ri))?;
+                            keyenc::encode_component(&mut key, &v)?;
+                            vals.push(v);
+                        }
+                        let entry = groups.entry(key).or_insert_with(|| (vals, new_states()));
+                        for (state, a) in entry.1.iter_mut().zip(agg_specs) {
+                            let v = match a.col {
+                                Some(c) => Some(slice(c)?.value(ri)),
+                                None => None,
+                            };
+                            state.update(v.as_ref())?;
+                        }
+                    }
+                }
+                ScanUnit::Rows(rows) => {
+                    // Already filtered by bounds and every predicate.
+                    for row in rows {
+                        let mut key = Vec::new();
+                        let mut vals = Vec::with_capacity(group_specs.len());
+                        for spec in group_specs {
+                            let v = spec.value(&row.values[spec.col])?;
+                            keyenc::encode_component(&mut key, &v)?;
+                            vals.push(v);
+                        }
+                        let entry = groups.entry(key).or_insert_with(|| (vals, new_states()));
+                        for (state, a) in entry.1.iter_mut().zip(agg_specs) {
+                            state.update(a.col.map(|c| &row.values[c]))?;
+                        }
+                    }
+                }
+            }
+            Ok(())
+        })
+    }
+
+    /// Tries to answer a grouped aggregate from one of the base table's
+    /// rollups. Returns `true` when `groups` was fully populated (rollup
+    /// partials plus un-rolled-up tail scans of the base); `false` means
+    /// no registered rollup can serve this query and the caller should
+    /// run the ordinary pushdown.
+    #[allow(clippy::too_many_arguments)]
+    fn try_rollup_groups(
+        &self,
+        t: &Arc<Table>,
+        table_name: &str,
+        schema: &Schema,
+        plan: &Plan,
+        group_specs: &[GroupSpec],
+        agg_specs: &[AggSpec],
+        groups: &mut BTreeMap<Vec<u8>, (Vec<Value>, Vec<AggState>)>,
+    ) -> Result<bool> {
+        // Residual predicates reference raw rows the rollup no longer
+        // has; any residual disqualifies the rewrite.
+        if !plan.residual.is_empty() {
+            return Ok(false);
+        }
+        let mut specs = self.db.rollup_specs_for(table_name);
+        if specs.is_empty() {
+            return Ok(false);
+        }
+        // Coarser periods mean fewer partial rows to merge; try those
+        // first.
+        specs.sort_by_key(|s| std::cmp::Reverse(s.period));
+        let key_cols = schema.key_indices();
+        let n_dims = key_cols.len() - 1;
+        let ts_idx = schema.ts_index();
+        'spec: for spec in specs {
+            if spec.period <= 0 {
+                continue;
+            }
+            // Every GROUP BY expression must be answerable from the
+            // rollup key: a dim column verbatim, or TIME_BUCKET whose
+            // width is a whole multiple of the rollup period.
+            let mut group_srcs = Vec::with_capacity(group_specs.len());
+            for g in group_specs {
+                match g.bucket {
+                    Some(w) => {
+                        if g.col != ts_idx || w <= 0 || w % spec.period != 0 {
+                            continue 'spec;
+                        }
+                        group_srcs.push(GroupSrc::Bucket(w));
+                    }
+                    None => match key_cols[..n_dims].iter().position(|&k| k == g.col) {
+                        Some(j) => group_srcs.push(GroupSrc::Dim(j)),
+                        None => continue 'spec,
+                    },
+                }
+            }
+            // Every aggregate must map onto a maintained stat column.
+            let stats_base = n_dims + 3;
+            let n_vals = spec.value_cols.len();
+            let mut aggs = Vec::with_capacity(agg_specs.len());
+            for a in agg_specs {
+                let src = if a.distinct {
+                    let name = match a.col {
+                        Some(c) => schema.columns()[c].name.as_str(),
+                        None => continue 'spec,
+                    };
+                    match spec.distinct_cols.iter().position(|c| c == name) {
+                        Some(di) => RollupAgg::Hll(stats_base + 3 * n_vals + di),
+                        None => continue 'spec,
+                    }
+                } else if a.func == AggFunc::Count {
+                    // The engine has no NULLs, so COUNT(col) == COUNT(*).
+                    RollupAgg::Rows
+                } else {
+                    let name = match a.col {
+                        Some(c) => schema.columns()[c].name.as_str(),
+                        None => continue 'spec,
+                    };
+                    let Some(vi) = spec.value_cols.iter().position(|c| c == name) else {
+                        continue 'spec;
+                    };
+                    let base = stats_base + 3 * vi;
+                    match a.func {
+                        AggFunc::Sum => RollupAgg::Sum(base),
+                        AggFunc::Min => RollupAgg::Min(base + 1),
+                        AggFunc::Max => RollupAgg::Max(base + 2),
+                        AggFunc::Avg => RollupAgg::Avg(base),
+                        AggFunc::Count => unreachable!(),
+                    }
+                };
+                aggs.push(src);
+            }
+            let Ok(rtable) = self.db.table(&spec.name) else {
+                continue 'spec;
+            };
+            if self.serve_rollup(
+                t,
+                &rtable,
+                spec.period,
+                n_dims,
+                &group_srcs,
+                &aggs,
+                plan,
+                group_specs,
+                agg_specs,
+                groups,
+            )? {
+                return Ok(true);
+            }
+        }
+        Ok(false)
+    }
+
+    /// Serves one eligible grouped aggregate off `rtable`. The timestamp
+    /// window splits three ways: whole rollup buckets inside
+    /// `[r_lo, r_hi)` come from the rollup's partials, and the ragged
+    /// ends — below the first whole bucket (bounded additionally by the
+    /// base's TTL horizon) and at or above the rollup watermark — are
+    /// scanned from the base. Partial aggregates are additive, so a
+    /// group straddling the split merges correctly. Returns `false`
+    /// when the window contains no whole bucket (caller falls back).
+    #[allow(clippy::too_many_arguments)]
+    fn serve_rollup(
+        &self,
+        t: &Arc<Table>,
+        rtable: &Arc<Table>,
+        period: Micros,
+        n_dims: usize,
+        group_srcs: &[GroupSrc],
+        aggs: &[RollupAgg],
+        plan: &Plan,
+        group_specs: &[GroupSpec],
+        agg_specs: &[AggSpec],
+        groups: &mut BTreeMap<Vec<u8>, (Vec<Value>, Vec<AggState>)>,
+    ) -> Result<bool> {
+        let now = self.db.now();
+        let (q_lo, q_hi) = plan.query.ts_interval();
+        if q_lo > q_hi {
+            return Ok(false);
+        }
+        // Buckets straddling the base's TTL horizon would resurrect
+        // expired rows; the low tail scan below re-applies the TTL
+        // filter row by row instead.
+        let cutoff = t
+            .ttl()
+            .map(|ttl| now.saturating_sub(ttl))
+            .unwrap_or(Micros::MIN);
+        let watermark = t.rollup_watermark();
+        // 128-bit arithmetic so bucket alignment cannot overflow at the
+        // extremes of the timestamp range.
+        let p = period as i128;
+        let floor_p = |x: i128| -> i128 { x.div_euclid(p) * p };
+        let lo = q_lo.max(cutoff) as i128;
+        let r_lo = {
+            let f = floor_p(lo);
+            if f == lo {
+                f
+            } else {
+                f + p
+            }
+        };
+        let r_hi = floor_p(q_hi as i128 + 1).min(floor_p(watermark as i128));
+        if r_hi <= r_lo {
+            return Ok(false);
+        }
+        let (r_lo, r_hi) = (r_lo as Micros, r_hi as Micros);
+
+        // Whole buckets from the rollup. The plan's key bounds only ever
+        // name dim columns, which lead the rollup's key too, so they
+        // transfer verbatim.
+        let mut rq = Query::all()
+            .with_ts_min(r_lo, true)
+            .with_ts_max(r_hi, false);
+        rq.key_min = plan.query.key_min.clone();
+        rq.key_max = plan.query.key_max.clone();
+        let new_states = || -> Vec<AggState> { agg_specs.iter().map(AggState::new).collect() };
+        let mut cur = rtable.query(&rq)?;
+        while let Some(row) = cur.next_row()? {
+            let bucket_ts = match &row.values[n_dims + 1] {
+                Value::Timestamp(b) => *b,
+                v => return Err(Error::corrupt(format!("bad rollup bucket value {v}"))),
+            };
+            let rows_n = match &row.values[n_dims + 2] {
+                Value::I64(n) => *n,
+                v => return Err(Error::corrupt(format!("bad rollup row count {v}"))),
+            };
+            let mut key = Vec::new();
+            let mut vals = Vec::with_capacity(group_srcs.len());
+            for gs in group_srcs {
+                let v = match gs {
+                    GroupSrc::Dim(j) => row.values[*j].clone(),
+                    GroupSrc::Bucket(w) => Value::Timestamp(bucket_of(bucket_ts, *w)),
+                };
+                keyenc::encode_component(&mut key, &v)?;
+                vals.push(v);
+            }
+            let entry = groups.entry(key).or_insert_with(|| (vals, new_states()));
+            for (state, src) in entry.1.iter_mut().zip(aggs) {
+                match src {
+                    RollupAgg::Rows => {
+                        if let AggState::Count(n) = state {
+                            *n += rows_n as u64;
+                        }
+                    }
+                    RollupAgg::Sum(c) | RollupAgg::Min(c) | RollupAgg::Max(c) => {
+                        state.update(Some(&row.values[*c]))?;
+                    }
+                    RollupAgg::Avg(c) => {
+                        let s = match &row.values[*c] {
+                            Value::I64(v) => *v as f64,
+                            Value::F64(v) => *v,
+                            v => return Err(Error::corrupt(format!("bad rollup sum value {v}"))),
+                        };
+                        if let AggState::Avg(acc, n) = state {
+                            *acc += s;
+                            *n += rows_n as u64;
+                        }
+                    }
+                    RollupAgg::Hll(c) => {
+                        let Value::Blob(b) = &row.values[*c] else {
+                            return Err(Error::corrupt("bad rollup sketch column"));
+                        };
+                        let h = HyperLogLog::from_bytes(b)
+                            .ok_or_else(|| Error::corrupt("undecodable rollup HLL sketch"))?;
+                        if let AggState::Distinct(d) = state {
+                            d.merge(&h);
+                        }
+                    }
+                }
+            }
+        }
+
+        // Ragged ends from the base table (skipped when empty, so a
+        // fully covered window reads zero base-table blocks).
+        if q_lo < r_lo {
+            let q1 = plan.query.clone().with_ts_max(r_lo - 1, true);
+            self.scan_groups(t, q1, &plan.residual, group_specs, agg_specs, groups)?;
+        }
+        if r_hi <= q_hi {
+            let q2 = plan.query.clone().with_ts_min(r_hi, true);
+            self.scan_groups(t, q2, &plan.residual, group_specs, agg_specs, groups)?;
+        }
+        TableStats::add(&t.stats().rollup_hits, 1);
+        Ok(true)
+    }
+}
+
+/// Serializes everything that determines a grouped query's answer
+/// besides the table's contents, for use as a result-cache key. Two
+/// queries with equal bytes and an unchanged table return the same
+/// rows.
+fn question_bytes(
+    sel: &Select,
+    schema: &Schema,
+    plan: &Plan,
+    group_specs: &[GroupSpec],
+    agg_specs: &[AggSpec],
+) -> Vec<u8> {
+    let mut q = Vec::new();
+    q.extend_from_slice(&schema.version().to_le_bytes());
+    let (lo, hi) = plan.query.ts_interval();
+    q.extend_from_slice(&lo.to_le_bytes());
+    q.extend_from_slice(&hi.to_le_bytes());
+    q.push(plan.query.descending as u8);
+    let put_value = |q: &mut Vec<u8>, v: &Value| {
+        let d = distinct_bytes(v);
+        q.extend_from_slice(&(d.len() as u32).to_le_bytes());
+        q.extend_from_slice(&d);
+    };
+    for bound in [&plan.query.key_min, &plan.query.key_max] {
+        match bound {
+            None => q.push(0),
+            Some(b) => {
+                q.push(1 + b.inclusive as u8);
+                q.extend_from_slice(&(b.values.len() as u32).to_le_bytes());
+                for v in &b.values {
+                    put_value(&mut q, v);
+                }
+            }
+        }
+    }
+    q.extend_from_slice(&(plan.residual.len() as u32).to_le_bytes());
+    for r in &plan.residual {
+        q.extend_from_slice(&(r.col as u32).to_le_bytes());
+        q.push(r.op as u8);
+        put_value(&mut q, &r.value);
+    }
+    q.extend_from_slice(&(group_specs.len() as u32).to_le_bytes());
+    for g in group_specs {
+        q.extend_from_slice(&(g.col as u32).to_le_bytes());
+        q.extend_from_slice(&g.bucket.unwrap_or(0).to_le_bytes());
+    }
+    q.extend_from_slice(&(agg_specs.len() as u32).to_le_bytes());
+    for a in agg_specs {
+        q.push(a.func as u8);
+        q.push(a.distinct as u8);
+        q.extend_from_slice(&(a.col.map(|c| c as u32 + 1).unwrap_or(0)).to_le_bytes());
+    }
+    q.extend_from_slice(&(sel.limit.map(|l| l as u64 + 1).unwrap_or(0)).to_le_bytes());
+    q
 }
 
 /// Streaming aggregate state.
@@ -554,11 +990,15 @@ enum AggState {
     Min(Option<Value>),
     Max(Option<Value>),
     Avg(f64, u64),
+    Distinct(HyperLogLog),
 }
 
 impl AggState {
-    fn new(func: AggFunc) -> AggState {
-        match func {
+    fn new(spec: &AggSpec) -> AggState {
+        if spec.distinct {
+            return AggState::Distinct(HyperLogLog::default_precision());
+        }
+        match spec.func {
             AggFunc::Count => AggState::Count(0),
             // SUM starts integral and switches to float on first float.
             AggFunc::Sum => AggState::SumInt(0, false),
@@ -625,6 +1065,10 @@ impl AggState {
                 *acc += x;
                 *n += 1;
             }
+            AggState::Distinct(h) => {
+                let v = value.ok_or_else(|| Error::invalid("COUNT(DISTINCT) requires a column"))?;
+                h.add_bytes(&distinct_bytes(v));
+            }
         }
         Ok(())
     }
@@ -659,6 +1103,7 @@ impl AggState {
                     Value::F64(acc / *n as f64)
                 }
             }
+            AggState::Distinct(h) => Value::I64(h.estimate().round() as i64),
         }
     }
 }
@@ -970,5 +1415,209 @@ mod tests {
                 .unwrap(),
         );
         assert_eq!(got.len(), 3);
+    }
+
+    const HOUR: i64 = 3_600_000_000;
+
+    /// 4 samples per hour for 3 hours, flushed and rolled up hourly.
+    /// Returns the first whole bucket boundary at or before START.
+    fn setup_rolled_metrics(s: &Session) -> i64 {
+        s.execute(
+            "CREATE TABLE m (n INT64, ts TIMESTAMP, v INT64, u TEXT, \
+             PRIMARY KEY (n, ts))",
+        )
+        .unwrap();
+        for h in 0..3i64 {
+            for i in 0..4i64 {
+                s.execute(&format!(
+                    "INSERT INTO m VALUES (1, {}, {}, 'u{}')",
+                    START + h * HOUR + i * 60_000_000,
+                    h * 10 + i,
+                    i % 3
+                ))
+                .unwrap();
+            }
+        }
+        s.db().flush_all().unwrap();
+        s.execute("CREATE ROLLUP m_1h ON m PERIOD '1h' AGGREGATE (v) DISTINCT (u)")
+            .unwrap();
+        START - START.rem_euclid(HOUR)
+    }
+
+    #[test]
+    fn rollup_serves_time_bucket_aggregates_with_zero_base_reads() {
+        let (s, _) = session();
+        let b0 = setup_rolled_metrics(&s);
+        let before = s.db().table("m").unwrap().stats().snapshot();
+        // Bucket-aligned window covering all samples: both tail scans
+        // are empty, so the base table is not read at all.
+        let q = format!(
+            "SELECT TIME_BUCKET(ts, INTERVAL '1h'), COUNT(*), SUM(v), \
+             MIN(v), MAX(v), AVG(v) FROM m \
+             WHERE ts >= {b0} AND ts < {} \
+             GROUP BY TIME_BUCKET(ts, INTERVAL '1h')",
+            b0 + 4 * HOUR
+        );
+        let got = rows(s.execute(&q).unwrap());
+        assert_eq!(got.len(), 3);
+        for (h, row) in got.iter().enumerate() {
+            let h = h as i64;
+            let base = h * 10;
+            assert_eq!(
+                row,
+                &vec![
+                    Value::Timestamp(b0 + h * HOUR),
+                    Value::I64(4),
+                    Value::I64(4 * base + 6),
+                    Value::I64(base),
+                    Value::I64(base + 3),
+                    Value::F64((4 * base + 6) as f64 / 4.0),
+                ]
+            );
+        }
+        let after = s.db().table("m").unwrap().stats().snapshot();
+        assert_eq!(after.rollup_hits, before.rollup_hits + 1);
+        assert_eq!(
+            after.pushdown_scans, before.pushdown_scans,
+            "rollup-covered window must not scan the base table"
+        );
+        assert_eq!(after.rows_materialized, before.rows_materialized);
+        // The identical question again is a result-cache hit; the
+        // rollup is not consulted a second time.
+        let again = rows(s.execute(&q).unwrap());
+        assert_eq!(again.len(), 3);
+        let cached = s.db().table("m").unwrap().stats().snapshot();
+        assert_eq!(cached.result_cache_hits, after.result_cache_hits + 1);
+        assert_eq!(cached.rollup_hits, after.rollup_hits);
+    }
+
+    #[test]
+    fn rollup_answers_match_base_scan() {
+        let (s, _) = session();
+        let b0 = setup_rolled_metrics(&s);
+        // Unaligned window and a dim GROUP BY: rollup partials plus a
+        // base tail must agree with a pure base scan of the same rows.
+        let q = format!(
+            "SELECT n, COUNT(*), SUM(v), AVG(v) FROM m \
+             WHERE ts >= {} AND ts < {} GROUP BY n",
+            b0 + HOUR,
+            b0 + 2 * HOUR + 30 * 60_000_000
+        );
+        let served = rows(s.execute(&q).unwrap());
+        assert_eq!(s.db().table("m").unwrap().stats().snapshot().rollup_hits, 1);
+        // Dropping the rollup forces the ordinary pushdown. The drop
+        // does not change the base table's cache key, so vary the
+        // question (a no-op LIMIT) to dodge the result cache and force
+        // a recomputation.
+        s.execute("DROP ROLLUP m_1h").unwrap();
+        let base = rows(s.execute(&format!("{q} LIMIT 100")).unwrap());
+        assert_eq!(served, base);
+    }
+
+    #[test]
+    fn rollup_tail_sees_rows_inserted_after_backfill() {
+        let (s, _) = session();
+        let b0 = setup_rolled_metrics(&s);
+        let q = format!(
+            "SELECT TIME_BUCKET(ts, INTERVAL '1h'), SUM(v), COUNT(*) FROM m \
+             WHERE ts >= {b0} AND ts < {} \
+             GROUP BY TIME_BUCKET(ts, INTERVAL '1h')",
+            b0 + 4 * HOUR
+        );
+        let before = rows(s.execute(&q).unwrap());
+        assert_eq!(before[1][1], Value::I64(46));
+        // A row landing in an already-rolled-up bucket moves the
+        // watermark back; the next query must not serve the stale
+        // cached result or the stale rollup coverage.
+        s.execute(&format!(
+            "INSERT INTO m VALUES (1, {}, 1000, 'u9')",
+            START + HOUR + 30 * 60_000_000
+        ))
+        .unwrap();
+        let after = rows(s.execute(&q).unwrap());
+        assert_eq!(after[1][1], Value::I64(1046));
+        assert_eq!(after[1][2], Value::I64(5));
+    }
+
+    #[test]
+    fn count_distinct_via_hll() {
+        let (s, _) = session();
+        let b0 = setup_rolled_metrics(&s);
+        // Ungrouped, unbounded: ragged tails scan the base, sketches
+        // cover the whole buckets; the union still counts 3 users.
+        let got = rows(s.execute("SELECT COUNT(DISTINCT u) FROM m").unwrap());
+        assert_eq!(got[0][0], Value::I64(3));
+        // Rollup path: sketches merge across buckets and agree.
+        let q = format!(
+            "SELECT n, COUNT(DISTINCT u) FROM m \
+             WHERE ts >= {b0} AND ts < {} GROUP BY n",
+            b0 + 4 * HOUR
+        );
+        let hits0 = s.db().table("m").unwrap().stats().snapshot().rollup_hits;
+        let got = rows(s.execute(&q).unwrap());
+        assert_eq!(got, vec![vec![Value::I64(1), Value::I64(3)]]);
+        assert_eq!(
+            s.db().table("m").unwrap().stats().snapshot().rollup_hits,
+            hits0 + 1
+        );
+        // DISTINCT on a column without a sketch falls back to scanning.
+        let got = rows(
+            s.execute(&format!(
+                "SELECT n, COUNT(DISTINCT v) FROM m \
+                 WHERE ts >= {b0} AND ts < {} GROUP BY n",
+                b0 + 4 * HOUR
+            ))
+            .unwrap(),
+        );
+        assert_eq!(got, vec![vec![Value::I64(1), Value::I64(12)]]);
+    }
+
+    #[test]
+    fn result_cache_hit_miss_and_invalidation() {
+        let (s, _) = session();
+        setup_usage(&s);
+        let q = "SELECT device, SUM(bytes) FROM usage WHERE network = 1 GROUP BY device";
+        let first = rows(s.execute(q).unwrap());
+        let snap = s.db().table("usage").unwrap().stats().snapshot();
+        assert_eq!(snap.result_cache_misses, 1);
+        assert_eq!(snap.result_cache_hits, 0);
+        let second = rows(s.execute(q).unwrap());
+        assert_eq!(first, second);
+        let snap = s.db().table("usage").unwrap().stats().snapshot();
+        assert_eq!(snap.result_cache_hits, 1);
+        // Any insert changes the table's insert_seq and so the key:
+        // the stale entry can never be served again.
+        s.execute(&format!(
+            "INSERT INTO usage VALUES (1, 2, {}, 7000)",
+            START + 60_000_000
+        ))
+        .unwrap();
+        let third = rows(s.execute(q).unwrap());
+        assert_ne!(first, third);
+        assert_eq!(third[1][1], Value::I64(8010));
+        let snap = s.db().table("usage").unwrap().stats().snapshot();
+        assert_eq!(snap.result_cache_hits, 1);
+        assert_eq!(snap.result_cache_misses, 2);
+    }
+
+    #[test]
+    fn create_and_drop_rollup_sql() {
+        let (s, _) = session();
+        setup_usage(&s);
+        s.execute("CREATE ROLLUP usage_1h ON usage PERIOD '1h' AGGREGATE (bytes)")
+            .unwrap();
+        assert!(s.db().table("usage_1h").is_ok());
+        // Rollups are not insert targets and cannot be re-rolled.
+        assert!(s
+            .execute("CREATE ROLLUP r2 ON usage_1h PERIOD '2h'")
+            .is_err());
+        assert!(s
+            .execute("CREATE ROLLUP nope ON missing PERIOD '1h'")
+            .is_err());
+        s.execute("DROP ROLLUP usage_1h").unwrap();
+        assert!(s.db().table("usage_1h").is_err());
+        assert!(s.execute("DROP ROLLUP usage_1h").is_err());
+        // DROP ROLLUP does not accept plain tables.
+        assert!(s.execute("DROP ROLLUP usage").is_err());
     }
 }

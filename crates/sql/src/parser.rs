@@ -20,7 +20,8 @@ pub fn parse(input: &str) -> Result<Statement> {
     Ok(stmt)
 }
 
-/// Parses a duration like `'90d'`, `'36h'`, `'15m'`, `'30s'` into micros.
+/// Parses a duration like `'90d'`, `'36h'`, `'15m'`, `'30s'`, `'20ms'`
+/// into micros.
 pub fn parse_duration(s: &str) -> Result<i64> {
     let s = s.trim();
     if s.is_empty() {
@@ -28,12 +29,14 @@ pub fn parse_duration(s: &str) -> Result<i64> {
     }
     let split = s
         .find(|c: char| !c.is_ascii_digit())
-        .ok_or_else(|| Error::invalid("duration missing unit (s/m/h/d/w)"))?;
+        .ok_or_else(|| Error::invalid("duration missing unit (us/ms/s/m/h/d/w)"))?;
     let (num, unit) = s.split_at(split);
     let n: i64 = num
         .parse()
         .map_err(|_| Error::invalid(format!("bad duration number {num:?}")))?;
     let mult = match unit {
+        "us" => 1,
+        "ms" => 1_000,
         "s" => 1_000_000,
         "m" => 60 * 1_000_000,
         "h" => 3_600 * 1_000_000,
@@ -121,12 +124,22 @@ impl Parser {
 
     fn statement(&mut self) -> Result<Statement> {
         if self.eat_kw("CREATE") {
-            self.create_table()
+            if self.eat_kw("ROLLUP") {
+                self.create_rollup()
+            } else {
+                self.create_table()
+            }
         } else if self.eat_kw("DROP") {
-            self.expect_kw("TABLE")?;
-            Ok(Statement::DropTable {
-                name: self.ident()?,
-            })
+            if self.eat_kw("ROLLUP") {
+                Ok(Statement::DropRollup {
+                    name: self.ident()?,
+                })
+            } else {
+                self.expect_kw("TABLE")?;
+                Ok(Statement::DropTable {
+                    name: self.ident()?,
+                })
+            }
         } else if self.eat_kw("ALTER") {
             self.alter()
         } else if self.eat_kw("INSERT") {
@@ -256,6 +269,53 @@ impl Parser {
         })
     }
 
+    /// `CREATE ROLLUP r ON t PERIOD '1h' [AGGREGATE (a, b)] [DISTINCT (c)]`
+    /// (the `CREATE ROLLUP` keywords are already consumed).
+    fn create_rollup(&mut self) -> Result<Statement> {
+        let name = self.ident()?;
+        self.expect_kw("ON")?;
+        let base = self.ident()?;
+        self.expect_kw("PERIOD")?;
+        let period_micros = match self.next()? {
+            Token::Str(s) => parse_duration(&s)?,
+            t => {
+                return Err(Error::invalid(format!(
+                    "expected PERIOD duration, got {t:?}"
+                )))
+            }
+        };
+        let value_cols = if self.eat_kw("AGGREGATE") {
+            self.paren_ident_list()?
+        } else {
+            Vec::new()
+        };
+        let distinct_cols = if self.eat_kw("DISTINCT") {
+            self.paren_ident_list()?
+        } else {
+            Vec::new()
+        };
+        Ok(Statement::CreateRollup {
+            name,
+            base,
+            period_micros,
+            value_cols,
+            distinct_cols,
+        })
+    }
+
+    fn paren_ident_list(&mut self) -> Result<Vec<String>> {
+        self.expect_sym(Sym::LParen)?;
+        let mut cols = Vec::new();
+        loop {
+            cols.push(self.ident()?);
+            if !self.eat_sym(Sym::Comma) {
+                break;
+            }
+        }
+        self.expect_sym(Sym::RParen)?;
+        Ok(cols)
+    }
+
     fn alter(&mut self) -> Result<Statement> {
         self.expect_kw("TABLE")?;
         let name = self.ident()?;
@@ -360,16 +420,29 @@ impl Parser {
                 match (func, self.peek()) {
                     (Some(func), Some(Token::Symbol(Sym::LParen))) => {
                         self.expect_sym(Sym::LParen)?;
+                        let mut distinct = false;
                         let column = if self.eat_sym(Sym::Star) {
                             if func != AggFunc::Count {
                                 return Err(Error::invalid("only COUNT accepts *"));
                             }
                             None
                         } else {
+                            if self.eat_kw("DISTINCT") {
+                                if func != AggFunc::Count {
+                                    return Err(Error::invalid(
+                                        "DISTINCT is only supported with COUNT",
+                                    ));
+                                }
+                                distinct = true;
+                            }
                             Some(self.ident()?)
                         };
                         self.expect_sym(Sym::RParen)?;
-                        items.push(SelectItem::Aggregate { func, column });
+                        items.push(SelectItem::Aggregate {
+                            func,
+                            column,
+                            distinct,
+                        });
                     }
                     _ if name.eq_ignore_ascii_case("TIME_BUCKET")
                         && self.peek() == Some(&Token::Symbol(Sym::LParen)) =>
@@ -632,6 +705,65 @@ mod tests {
     }
 
     #[test]
+    fn parses_create_and_drop_rollup() {
+        assert_eq!(
+            parse("CREATE ROLLUP usage_1h ON usage PERIOD '1h' AGGREGATE (bytes, load) DISTINCT (device)").unwrap(),
+            Statement::CreateRollup {
+                name: "usage_1h".into(),
+                base: "usage".into(),
+                period_micros: 3_600_000_000,
+                value_cols: vec!["bytes".into(), "load".into()],
+                distinct_cols: vec!["device".into()],
+            }
+        );
+        assert_eq!(
+            parse("CREATE ROLLUP r ON t PERIOD '15m'").unwrap(),
+            Statement::CreateRollup {
+                name: "r".into(),
+                base: "t".into(),
+                period_micros: 900_000_000,
+                value_cols: vec![],
+                distinct_cols: vec![],
+            }
+        );
+        assert_eq!(
+            parse("DROP ROLLUP usage_1h").unwrap(),
+            Statement::DropRollup {
+                name: "usage_1h".into()
+            }
+        );
+        assert!(parse("CREATE ROLLUP r ON t").is_err());
+        assert!(parse("CREATE ROLLUP r ON t PERIOD '1h' AGGREGATE ()").is_err());
+    }
+
+    #[test]
+    fn parses_count_distinct() {
+        let stmt = parse("SELECT COUNT(DISTINCT device), COUNT(device) FROM usage").unwrap();
+        match stmt {
+            Statement::Select(s) => {
+                assert_eq!(
+                    s.items[0],
+                    SelectItem::Aggregate {
+                        func: AggFunc::Count,
+                        column: Some("device".into()),
+                        distinct: true,
+                    }
+                );
+                assert_eq!(
+                    s.items[1],
+                    SelectItem::Aggregate {
+                        func: AggFunc::Count,
+                        column: Some("device".into()),
+                        distinct: false,
+                    }
+                );
+            }
+            s => panic!("unexpected {s:?}"),
+        }
+        assert!(parse("SELECT SUM(DISTINCT v) FROM t").is_err());
+    }
+
+    #[test]
     fn parses_misc() {
         assert_eq!(parse("SHOW TABLES").unwrap(), Statement::ShowTables);
         assert_eq!(
@@ -656,6 +788,8 @@ mod tests {
 
     #[test]
     fn duration_parsing() {
+        assert_eq!(parse_duration("250us").unwrap(), 250);
+        assert_eq!(parse_duration("20ms").unwrap(), 20_000);
         assert_eq!(parse_duration("30s").unwrap(), 30_000_000);
         assert_eq!(parse_duration("2m").unwrap(), 120_000_000);
         assert_eq!(parse_duration("1h").unwrap(), 3_600_000_000);

@@ -30,8 +30,10 @@
 use littletable::core::descriptor::{parse_tablet_file_name, TableDescriptor, DESC_FILE, DESC_TMP};
 use littletable::core::table::QUARANTINE_SUFFIX;
 use littletable::vfs::{join, SimClock, SimVfs, Vfs};
-use littletable::{ColumnDef, ColumnType, Db, Options, Query, Schema, Table, Value};
-use std::collections::HashSet;
+use littletable::{
+    ColumnDef, ColumnType, Db, Options, Query, Schema, Session, SqlOutput, Table, Value,
+};
+use std::collections::{BTreeMap, HashSet};
 use std::sync::Arc;
 
 /// Workload epoch, µs.
@@ -46,6 +48,10 @@ pub const TOTAL_ROWS: u64 = 150;
 pub const EXPIRED_BELOW: u64 = 55;
 /// The table every workload run creates.
 pub const TABLE: &str = "w";
+/// The rollup the workload creates over [`TABLE`].
+pub const ROLLUP: &str = "w_r";
+/// The rollup's bucket period: 20 rows per bucket.
+pub const ROLLUP_PERIOD: i64 = 20 * STEP;
 
 /// The workload schema: `(n, ts)` primary key, one payload column.
 pub fn schema() -> Schema {
@@ -187,6 +193,12 @@ pub fn run_workload(db: &Db, clock: &SimClock, mode: Mode) -> Outcome {
     if !insert_range(&table, &mut out, 40, 80) || !flush!() {
         return out;
     }
+    // Phase 2b: a continuous rollup over the flushed history. Creation
+    // backfills the existing tablets; later maintenance passes fold the
+    // rest, so crash points land before, during, and after folds.
+    if !step!(db.create_rollup(ROLLUP, TABLE, ROLLUP_PERIOD, vec!["v".into()], vec![])) {
+        return out;
+    }
     // Phase 3: merge the flushed tablets.
     if !step!(db.maintain()) {
         return out;
@@ -272,6 +284,58 @@ pub fn check_descriptor_consistency(vfs: &SimVfs) {
     }
 }
 
+/// Rollup agreement oracle: the bucketed aggregate the SQL layer
+/// computes — rollup partials merged with base-table tail scans when
+/// the recovered `w_r` rollup is registered, a plain pushdown otherwise
+/// — must equal a manual bucketing of a full base-table rescan. Run
+/// after any recovery; whatever fold progress the crash or fault left
+/// behind (unfolded tablets, partially inserted fold batches awaiting
+/// their idempotent refold) must never change a query answer.
+pub fn verify_rollup_agreement(db: &Db) {
+    let Ok(table) = db.table(TABLE) else {
+        return;
+    };
+    let mut expect: BTreeMap<i64, (i64, i64)> = BTreeMap::new();
+    for r in table
+        .query_all(&Query::all())
+        .expect("recovered table must serve reads")
+    {
+        let (Value::Timestamp(ts), Value::I64(v)) = (&r.values[1], &r.values[2]) else {
+            panic!("unexpected row shape {r:?}");
+        };
+        let bucket = ts - ts.rem_euclid(ROLLUP_PERIOD);
+        let e = expect.entry(bucket).or_insert((0, 0));
+        e.0 += v;
+        e.1 += 1;
+    }
+    let session = Session::new(db.clone());
+    let out = session
+        .execute(
+            "SELECT TIME_BUCKET(ts, INTERVAL '20ms'), SUM(v), COUNT(*) FROM w \
+             GROUP BY TIME_BUCKET(ts, INTERVAL '20ms')",
+        )
+        .expect("bucketed aggregate must run after recovery");
+    let SqlOutput::Rows { rows, .. } = out else {
+        panic!("aggregate returned {out:?}");
+    };
+    assert_eq!(
+        rows.len(),
+        expect.len(),
+        "rollup-served buckets disagree with base rescan"
+    );
+    for (row, (bucket, (sum, count))) in rows.iter().zip(&expect) {
+        assert_eq!(
+            row,
+            &vec![
+                Value::Timestamp(*bucket),
+                Value::I64(*sum),
+                Value::I64(*count)
+            ],
+            "bucket {bucket} disagrees with base rescan"
+        );
+    }
+}
+
 /// The crash oracle: reboot the disk, reopen, and machine-check the
 /// clean-prefix, no-duplicate, and descriptor-consistency invariants
 /// against what the interrupted workload acked. `out` must come from a
@@ -347,6 +411,7 @@ pub fn verify_crash_recovery(vfs: &SimVfs, clock: &SimClock, out: &Outcome) {
     if out.acked > 0 {
         assert_eq!(idx.last().copied(), Some(out.acked - 1), "tail not re-sent");
     }
+    verify_rollup_agreement(&db);
 }
 
 /// The degraded-service oracle for non-fatal faults: no crash happened,
@@ -386,6 +451,7 @@ pub fn verify_degraded_service(vfs: &SimVfs, clock: &SimClock, db: &Db, out: &Ou
     let idx = visible_indices(&table);
     let expected: Vec<u64> = (EXPIRED_BELOW..TOTAL_ROWS).collect();
     assert_eq!(idx, expected, "data lost or duplicated under I/O errors");
+    verify_rollup_agreement(db);
 
     // The healed store must also be durable: the last flush/maintain
     // succeeded fault-free, so a power cut right now loses nothing and

@@ -8,7 +8,9 @@
 //! reader's successive queries.
 
 use littletable::vfs::{Clock, SimClock, SimVfs, MICROS_PER_SEC};
-use littletable::{ColumnDef, ColumnType, Db, Error, Options, Query, Schema, Value};
+use littletable::{
+    ColumnDef, ColumnType, Db, Error, Options, Query, Schema, Session, SqlOutput, Value,
+};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread;
@@ -404,4 +406,134 @@ fn drop_and_recreate_same_name_isolates_generations() {
     let third = db.create_table("t", schema(), None).unwrap();
     assert_eq!(third.query_all(&Query::all()).unwrap().len(), 0);
     assert_eq!(third.num_disk_tablets(), 0);
+}
+
+/// The query-result cache keys on the table's generation, so a result
+/// computed against generation N of a name must never be served for
+/// generation N+1. One churner creates a table, inserts a
+/// generation-marker row, primes the cache with an aggregate query, and
+/// drops the table, in a tight loop; reader threads run the *identical*
+/// SQL text the whole time and must only ever observe a marker from the
+/// current or a newer generation — never a cached answer from a dead
+/// one. Runs under the TSan CI job alongside the catalog-churn oracle.
+#[test]
+fn result_cache_never_crosses_generations() {
+    const RC_ROUNDS: i64 = 120;
+    const RC_READERS: usize = 3;
+    const Q: &str = "SELECT MAX(v), COUNT(*) FROM churn_rc";
+
+    let clock = SimClock::new(START);
+    let db = Db::open(
+        Arc::new(SimVfs::instant()),
+        Arc::new(clock.clone()),
+        Options::small_for_tests(),
+    )
+    .unwrap();
+
+    let answer = |out: SqlOutput| -> (i64, i64) {
+        let SqlOutput::Rows { rows, .. } = out else {
+            panic!("aggregate query must return rows, got {out:?}");
+        };
+        assert_eq!(rows.len(), 1, "one aggregate row expected");
+        let (Value::I64(max), Value::I64(count)) = (&rows[0][0], &rows[0][1]) else {
+            panic!("bad aggregate row {:?}", rows[0]);
+        };
+        (*max, *count)
+    };
+
+    let churn_done = Arc::new(AtomicBool::new(false));
+    thread::scope(|s| {
+        let churner = {
+            let db = db.clone();
+            s.spawn(move || {
+                let session = Session::new(db.clone());
+                for generation in 0..RC_ROUNDS {
+                    let t = db.create_table("churn_rc", schema(), None).unwrap();
+                    t.insert(vec![vec![
+                        Value::I64(0),
+                        Value::I64(generation),
+                        Value::Timestamp(START + generation),
+                        Value::I64(generation),
+                    ]])
+                    .unwrap();
+                    // Prime the cache against this generation; the
+                    // session must see its own write, not a stale entry.
+                    let (max, count) = answer(session.execute(Q).unwrap());
+                    assert_eq!(
+                        (max, count),
+                        (generation, 1),
+                        "churner read its own generation wrong"
+                    );
+                    thread::yield_now();
+                    db.drop_table("churn_rc").unwrap();
+                }
+            })
+        };
+
+        for _ in 0..RC_READERS {
+            let db = db.clone();
+            let churn_done = churn_done.clone();
+            s.spawn(move || {
+                let session = Session::new(db);
+                let mut floor = -1i64;
+                loop {
+                    let done = churn_done.load(Ordering::SeqCst);
+                    match session.execute(Q) {
+                        Ok(out) => {
+                            let (max, count) = answer(out);
+                            match count {
+                                // A fresh generation before its marker
+                                // landed.
+                                0 => {}
+                                1 => {
+                                    assert!(
+                                        (0..RC_ROUNDS).contains(&max),
+                                        "impossible marker {max}"
+                                    );
+                                    assert!(
+                                        max >= floor,
+                                        "cached result crossed generations \
+                                         ({max} < floor {floor})"
+                                    );
+                                    floor = max;
+                                }
+                                n => panic!("marker table held {n} rows"),
+                            }
+                        }
+                        // Dropped between catalog load and execution.
+                        Err(Error::NoSuchTable(_)) => {}
+                        Err(e) => panic!("unexpected error {e}"),
+                    }
+                    if done {
+                        break;
+                    }
+                }
+            });
+        }
+
+        churner.join().unwrap();
+        churn_done.store(true, Ordering::SeqCst);
+    });
+
+    // Deterministic tail: the final generation's answer is computed
+    // once and then served from the cache, while the dead generations'
+    // entries stay unreachable forever.
+    let session = Session::new(db.clone());
+    let t = db.create_table("churn_rc", schema(), None).unwrap();
+    t.insert(vec![vec![
+        Value::I64(0),
+        Value::I64(7777),
+        Value::Timestamp(START),
+        Value::I64(7777),
+    ]])
+    .unwrap();
+    assert_eq!(answer(session.execute(Q).unwrap()), (7777, 1));
+    let before = db.stats();
+    assert_eq!(answer(session.execute(Q).unwrap()), (7777, 1));
+    let after = db.stats();
+    assert_eq!(
+        after.result_cache_hits,
+        before.result_cache_hits + 1,
+        "identical question on an unchanged table must be a cache hit"
+    );
 }

@@ -96,11 +96,9 @@ fn workload_op_count_is_stable() {
 #[test]
 fn crash_point_sweep() {
     let n = count_workload_ops();
-    let stride = if full_sweep() {
-        1
-    } else {
-        n.div_ceil(150).max(1)
-    };
+    // Floor division so sampling never dips below the 120-point budget
+    // as the workload grows (ceil(n / (n/150)) >= 150 for n >= 150).
+    let stride = if full_sweep() { 1 } else { (n / 150).max(1) };
     let mut points = 0u64;
     let mut k = 0;
     while k < n {

@@ -1,0 +1,250 @@
+//! End-to-end tests for the continuous rollup tier and the
+//! invalidation-aware query-result cache, through the public facade:
+//! DDL via SQL, folding via `Db::maintain`, serving via the planner's
+//! rollup rewrite, recovery via reopen, and the wire protocol via
+//! `handle_request`. The two acceptance properties live here:
+//!
+//! 1. a `TIME_BUCKET` SUM/COUNT query whose window is fully covered by
+//!    rollup buckets reads **zero** base-table data (`pushdown_scans`
+//!    and `rows_materialized` stay flat while `rollup_hits` advances);
+//! 2. a cached result is never served after an insert that overlaps its
+//!    bounding box — the cache key pins the table's `insert_seq`.
+
+use littletable::proto::{Request, Response};
+use littletable::server::handle_request;
+use littletable::vfs::{SimClock, SimVfs};
+use littletable::{Db, Options, Session, SqlOutput, Value};
+use std::sync::Arc;
+
+const START: i64 = 1_700_000_000_000_000;
+const HOUR: i64 = 3_600_000_000;
+
+fn open() -> (Session, SimVfs, SimClock) {
+    let clock = SimClock::new(START);
+    let vfs = SimVfs::instant();
+    let db = Db::open(
+        Arc::new(vfs.clone()),
+        Arc::new(clock.clone()),
+        Options::small_for_tests(),
+    )
+    .unwrap();
+    (Session::new(db), vfs, clock)
+}
+
+fn rows(out: SqlOutput) -> Vec<Vec<Value>> {
+    match out {
+        SqlOutput::Rows { rows, .. } => rows,
+        o => panic!("expected rows, got {o:?}"),
+    }
+}
+
+/// Creates `m`, loads 6 hours × 12 samples, flushes, and rolls up
+/// hourly with SUM/MIN/MAX on `v` and a distinct sketch on `u`.
+/// Returns the first bucket boundary at or before START.
+fn seed(s: &Session) -> i64 {
+    s.execute(
+        "CREATE TABLE m (sensor INT64, ts TIMESTAMP, v INT64, u TEXT, \
+         PRIMARY KEY (sensor, ts))",
+    )
+    .unwrap();
+    for h in 0..6i64 {
+        for i in 0..12i64 {
+            s.execute(&format!(
+                "INSERT INTO m VALUES (1, {}, {}, 'user{}')",
+                START + h * HOUR + i * 60_000_000,
+                h * 100 + i,
+                (h * 12 + i) % 7
+            ))
+            .unwrap();
+        }
+    }
+    s.db().flush_all().unwrap();
+    s.execute("CREATE ROLLUP m_1h ON m PERIOD '1h' AGGREGATE (v) DISTINCT (u)")
+        .unwrap();
+    START - START.rem_euclid(HOUR)
+}
+
+#[test]
+fn covered_window_reads_zero_base_blocks() {
+    let (s, _, _) = open();
+    let b0 = seed(&s);
+    let before = s.db().table("m").unwrap().stats().snapshot();
+    let q = format!(
+        "SELECT TIME_BUCKET(ts, INTERVAL '1h'), SUM(v), COUNT(*) FROM m \
+         WHERE ts >= {b0} AND ts < {} GROUP BY TIME_BUCKET(ts, INTERVAL '1h')",
+        b0 + 7 * HOUR
+    );
+    let got = rows(s.execute(&q).unwrap());
+    assert_eq!(got.len(), 6);
+    for (h, row) in got.iter().enumerate() {
+        let h = h as i64;
+        // Sum of h*100 + (0..12): 12*h*100 + 66.
+        assert_eq!(
+            row,
+            &vec![
+                Value::Timestamp(b0 + h * HOUR),
+                Value::I64(1200 * h + 66),
+                Value::I64(12)
+            ]
+        );
+    }
+    let after = s.db().table("m").unwrap().stats().snapshot();
+    assert_eq!(after.rollup_hits, before.rollup_hits + 1);
+    assert_eq!(
+        after.pushdown_scans, before.pushdown_scans,
+        "covered window must not start a base-table scan"
+    );
+    assert_eq!(
+        after.rows_materialized, before.rows_materialized,
+        "covered window must not materialize base rows"
+    );
+}
+
+#[test]
+fn stale_cache_is_never_served_after_overlapping_insert() {
+    let (s, _, _) = open();
+    let b0 = seed(&s);
+    let q = format!(
+        "SELECT TIME_BUCKET(ts, INTERVAL '1h'), SUM(v) FROM m \
+         WHERE ts >= {b0} AND ts < {} GROUP BY TIME_BUCKET(ts, INTERVAL '1h')",
+        b0 + 7 * HOUR
+    );
+    // Prime and hit the cache.
+    let first = rows(s.execute(&q).unwrap());
+    assert_eq!(first[2][1], Value::I64(2466));
+    let primed = s.db().table("m").unwrap().stats().snapshot();
+    let again = rows(s.execute(&q).unwrap());
+    assert_eq!(first, again);
+    let hit = s.db().table("m").unwrap().stats().snapshot();
+    assert_eq!(hit.result_cache_hits, primed.result_cache_hits + 1);
+    // An insert overlapping the cached bounding box invalidates it:
+    // the very next identical query recomputes and sees the row.
+    s.execute(&format!(
+        "INSERT INTO m VALUES (1, {}, 100000, 'fresh')",
+        START + 2 * HOUR + 30 * 60_000_000
+    ))
+    .unwrap();
+    let after = rows(s.execute(&q).unwrap());
+    assert_eq!(after[2][1], Value::I64(102466), "stale cached sum served");
+    let recomputed = s.db().table("m").unwrap().stats().snapshot();
+    assert_eq!(recomputed.result_cache_hits, hit.result_cache_hits);
+}
+
+#[test]
+fn maintenance_folds_new_tablets_and_serving_tracks_the_watermark() {
+    let (s, _, clock) = open();
+    let b0 = seed(&s);
+    let q = format!(
+        "SELECT TIME_BUCKET(ts, INTERVAL '1h'), COUNT(*) FROM m \
+         WHERE ts >= {b0} AND ts < {} GROUP BY TIME_BUCKET(ts, INTERVAL '1h')",
+        b0 + 8 * HOUR
+    );
+    // A seventh hour arrives in memory: served by the base tail.
+    s.execute(&format!(
+        "INSERT INTO m VALUES (1, {}, 600, 'user0')",
+        START + 6 * HOUR
+    ))
+    .unwrap();
+    let got = rows(s.execute(&q).unwrap());
+    assert_eq!(got.len(), 7);
+    assert_eq!(got[6][1], Value::I64(1));
+    // Flush + maintain folds the new tablet; the same aggregate (asked
+    // with a no-op LIMIT so the result cache cannot answer it) now
+    // comes entirely from the rollup.
+    s.db().flush_all().unwrap();
+    let folds_before = s.db().table("m").unwrap().stats().snapshot().rollup_folds;
+    clock.advance(HOUR);
+    s.db().maintain().unwrap();
+    let before = s.db().table("m").unwrap().stats().snapshot();
+    assert!(
+        before.rollup_folds > folds_before,
+        "maintenance never folded the flushed tablet"
+    );
+    let got = rows(s.execute(&format!("{q} LIMIT 100")).unwrap());
+    assert_eq!(got.len(), 7);
+    assert_eq!(got[6][1], Value::I64(1));
+    let after = s.db().table("m").unwrap().stats().snapshot();
+    assert_eq!(after.rollup_hits, before.rollup_hits + 1);
+    assert_eq!(
+        after.pushdown_scans, before.pushdown_scans,
+        "fully folded window must not scan the base table"
+    );
+}
+
+#[test]
+fn rollup_and_cache_survive_reopen() {
+    let (s, vfs, clock) = open();
+    let b0 = seed(&s);
+    let q = format!(
+        "SELECT TIME_BUCKET(ts, INTERVAL '1h'), SUM(v), COUNT(DISTINCT u) FROM m \
+         WHERE ts >= {b0} AND ts < {} GROUP BY TIME_BUCKET(ts, INTERVAL '1h')",
+        b0 + 7 * HOUR
+    );
+    let before = rows(s.execute(&q).unwrap());
+    drop(s);
+
+    // Reboot: the spec file is rediscovered, serving keeps working, and
+    // the (empty again) result cache repopulates.
+    vfs.crash();
+    let db = Db::open(
+        Arc::new(vfs.clone()),
+        Arc::new(clock.clone()),
+        Options::small_for_tests(),
+    )
+    .unwrap();
+    assert_eq!(db.list_rollups().len(), 1, "rollup spec lost on reopen");
+    let s = Session::new(db.clone());
+    let hits0 = db.table("m").unwrap().stats().snapshot().rollup_hits;
+    let after = rows(s.execute(&q).unwrap());
+    assert_eq!(before, after, "reopened rollup changed the answer");
+    assert_eq!(
+        db.table("m").unwrap().stats().snapshot().rollup_hits,
+        hits0 + 1
+    );
+}
+
+#[test]
+fn rollup_ddl_over_the_wire() {
+    let clock = SimClock::new(START);
+    let db = Db::open(
+        Arc::new(SimVfs::instant()),
+        Arc::new(clock.clone()),
+        Options::small_for_tests(),
+    )
+    .unwrap();
+    let s = Session::new(db.clone());
+    s.execute(
+        "CREATE TABLE m (sensor INT64, ts TIMESTAMP, v INT64, \
+         PRIMARY KEY (sensor, ts))",
+    )
+    .unwrap();
+    s.execute(&format!("INSERT INTO m VALUES (1, {START}, 5)"))
+        .unwrap();
+    let req = Request::CreateRollup {
+        name: "m_1h".into(),
+        base: "m".into(),
+        period: HOUR,
+        value_cols: vec!["v".into()],
+        distinct_cols: vec![],
+    };
+    // The request survives its wire encoding and creates a served
+    // rollup.
+    let req = Request::decode(&req.encode()).unwrap();
+    assert_eq!(handle_request(&db, req), Response::Ok);
+    let got = rows(
+        s.execute("SELECT sensor, SUM(v), COUNT(*) FROM m GROUP BY sensor")
+            .unwrap(),
+    );
+    assert_eq!(got, vec![vec![Value::I64(1), Value::I64(5), Value::I64(1)]]);
+    assert!(db.table("m").unwrap().stats().snapshot().rollup_hits >= 1);
+    assert_eq!(
+        handle_request(
+            &db,
+            Request::DropRollup {
+                name: "m_1h".into()
+            }
+        ),
+        Response::Ok
+    );
+    assert!(db.table("m_1h").is_err());
+}
