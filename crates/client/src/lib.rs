@@ -18,6 +18,10 @@
 
 #![warn(missing_docs)]
 
+pub mod shardmap;
+
+pub use shardmap::{shard_for, Backoff, ShardMap, ShardRoute};
+
 use littletable_core::query::Query;
 use littletable_core::schema::{ColumnDef, Schema};
 use littletable_core::value::Value;

@@ -21,7 +21,7 @@
 //! (see [`crate::table::Table::migrate_to_cold`]) live in S3-like storage
 //! that is durable and shared by design, so they are not re-replicated.
 
-use crate::descriptor::{DESC_FILE, DESC_TMP};
+use crate::descriptor::{TableDescriptor, DESC_FILE, DESC_TMP};
 use crate::error::Result;
 use littletable_vfs::{join, Vfs};
 
@@ -34,13 +34,44 @@ pub struct SyncReport {
     pub bytes_copied: u64,
     /// Files removed from the spare (deleted on the primary).
     pub files_removed: u64,
+    /// Tables whose *spare* descriptor is newer than the primary's — the
+    /// split-brain signature left by an un-fenced failover (the spare was
+    /// promoted, accepted writes, and the old primary came back believing
+    /// it still owns the shard). Diverged tables are left untouched:
+    /// overwriting them would silently destroy acknowledged data.
+    pub diverged: u64,
 }
 
 impl SyncReport {
     /// True when the pass found nothing to do — primary and spare were
-    /// identical, the archiver's stopping condition.
+    /// identical, the archiver's stopping condition. A quiescent pass may
+    /// still have `diverged > 0`; see [`SyncReport::clean`].
     pub fn quiescent(&self) -> bool {
         self.files_copied == 0 && self.files_removed == 0
+    }
+
+    /// True when the pass was quiescent *and* no table was diverged —
+    /// the spare really is a faithful replica of the primary.
+    pub fn clean(&self) -> bool {
+        self.quiescent() && self.diverged == 0
+    }
+}
+
+/// Decodes a directory's descriptor without touching anything, or `None`
+/// when it is absent or unreadable (a half-copied spare descriptor reads
+/// as "no opinion", never as divergence).
+fn peek_descriptor(vfs: &dyn Vfs, dir: &str) -> Option<TableDescriptor> {
+    TableDescriptor::peek(vfs, dir).ok()
+}
+
+/// True when the spare's descriptor for `table` is strictly newer than
+/// the primary's. `next_tablet_id` is monotonic over a table's life and
+/// survives merges (ids are never reused), so the spare being *ahead*
+/// can only mean it flushed tablets the primary never wrote.
+fn spare_is_newer(src: &dyn Vfs, dst: &dyn Vfs, table: &str) -> bool {
+    match (peek_descriptor(src, table), peek_descriptor(dst, table)) {
+        (Some(p), Some(s)) => s.next_tablet_id > p.next_tablet_id,
+        _ => false,
     }
 }
 
@@ -84,12 +115,26 @@ fn up_to_date(src: &dyn Vfs, dst: &dyn Vfs, path: &str, src_len: u64) -> Result<
 /// removed from the spare.
 pub fn sync_once(src: &dyn Vfs, dst: &dyn Vfs) -> Result<SyncReport> {
     let mut report = SyncReport::default();
-    let tables = src.list_dir("").unwrap_or_default();
+    // A pass that cannot read the primary has no standing to report
+    // anything — least of all quiescence. Degrading an unreadable source
+    // to an empty listing would make a dead primary look fully synced,
+    // and the fleet client trims its replay buffer on that signal.
+    let tables = src.list_dir("")?;
     for table in &tables {
         let entries = match src.list_dir(table) {
             Ok(e) => e,
-            Err(_) => continue, // a plain file at the root, or racing drop
+            // A plain file at the root, or a table dropped while we were
+            // listing; real I/O errors must surface.
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => continue,
+            Err(e) => return Err(e.into()),
         };
+        if spare_is_newer(src, dst, table) {
+            // Split-brain guard: surface the divergence and leave the
+            // table exactly as it is. The fleet driver resolves it with
+            // [`rollback_diverged`] once the old primary is fenced.
+            report.diverged += 1;
+            continue;
+        }
         dst.mkdir_all(table)?;
         // Tablets first, descriptor last.
         let mut names: Vec<&String> = entries.iter().filter(|n| *n != DESC_FILE).collect();
@@ -99,8 +144,11 @@ pub fn sync_once(src: &dyn Vfs, dst: &dyn Vfs) -> Result<SyncReport> {
                 continue; // in-flight temp files never replicate
             }
             let path = join(table, name);
-            let Ok(len) = src.file_size(&path) else {
-                continue; // deleted while we were listing
+            let len = match src.file_size(&path) {
+                Ok(len) => len,
+                // Deleted while we were listing (merge or TTL reap).
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => continue,
+                Err(e) => return Err(e.into()),
             };
             if !up_to_date(src, dst, &path, len)? {
                 report.bytes_copied += copy_file(src, dst, &path, len)?;
@@ -111,8 +159,17 @@ pub fn sync_once(src: &dyn Vfs, dst: &dyn Vfs) -> Result<SyncReport> {
         // Remove spare files the primary no longer has (merged-away or
         // TTL-reaped tablets).
         for name in dst.list_dir(table).unwrap_or_default() {
-            if name == DESC_TMP || !src.exists(&join(table, &name)) {
-                let _ = dst.remove(&join(table, &name));
+            let path = join(table, &name);
+            // Deleting from the spare needs positive evidence that the
+            // primary no longer has the file; an unreadable primary must
+            // never be mistaken for one that dropped everything.
+            let vanished = match src.file_size(&path) {
+                Ok(_) => false,
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => !src.exists(&path),
+                Err(e) => return Err(e.into()),
+            };
+            if name == DESC_TMP || vanished {
+                let _ = dst.remove(&path);
                 report.files_removed += 1;
             }
         }
@@ -149,6 +206,40 @@ pub fn sync_until_quiescent(
         }
     }
     Ok(reports)
+}
+
+/// Discards a diverged spare's state so it can re-sync from the primary:
+/// for every table whose spare descriptor is newer than the primary's,
+/// all spare-side files are removed (durably). Returns the number of
+/// tables rolled back.
+///
+/// This deliberately destroys the spare's extra writes — only call it
+/// after the cluster has decided `src` is the authoritative primary and
+/// the node behind `dst` is *fenced* (demoted, no longer accepting
+/// writes). The fleet failback path does exactly that: the returning
+/// old primary is demoted to spare, rolled back here, then re-synced
+/// with [`sync_until_quiescent`].
+pub fn rollback_diverged(src: &dyn Vfs, dst: &dyn Vfs) -> Result<u64> {
+    let mut rolled_back = 0;
+    for table in src.list_dir("")? {
+        match src.list_dir(&table) {
+            Ok(_) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => continue,
+            Err(e) => return Err(e.into()),
+        }
+        if !spare_is_newer(src, dst, &table) {
+            continue;
+        }
+        for name in dst.list_dir(&table).unwrap_or_default() {
+            let _ = dst.remove(&join(&table, &name));
+        }
+        dst.sync_dir(&table)?;
+        rolled_back += 1;
+    }
+    if rolled_back > 0 {
+        dst.sync_dir("")?;
+    }
+    Ok(rolled_back)
 }
 
 #[cfg(test)]
@@ -210,6 +301,33 @@ mod tests {
         .unwrap();
         let got = spare.table("t").unwrap().query_all(&Query::all()).unwrap();
         assert_eq!(got.len(), 500);
+    }
+
+    #[test]
+    fn dead_source_errors_instead_of_reporting_quiescence() {
+        // Regression: a primary that dies right before a pass used to
+        // read as an empty table list, so the pass reported quiescent —
+        // and the fleet client, told the spare was a faithful replica,
+        // trimmed the replay buffer it would have needed at failover.
+        let (db, vfs, _clock) = primary();
+        let spare = SimVfs::instant();
+        db.create_table("t", schema(), None)
+            .unwrap()
+            .insert(rows(0..100))
+            .unwrap();
+        db.flush_all().unwrap();
+        vfs.power_off();
+        assert!(
+            sync_once(&vfs, &spare).is_err(),
+            "a dead primary must surface as an error, not a clean pass"
+        );
+        assert!(
+            sync_until_quiescent(&vfs, &spare, 4).is_err(),
+            "the multi-pass driver must propagate the same error"
+        );
+        // The spare keeps whatever it already had; nothing is deleted on
+        // the word of an unreadable primary.
+        assert!(rollback_diverged(&vfs, &spare).is_err());
     }
 
     #[test]
@@ -302,6 +420,94 @@ mod tests {
                 .len(),
             100
         );
+    }
+
+    #[test]
+    fn diverged_spare_is_surfaced_not_overwritten() {
+        // Un-fenced failover: the spare is promoted, accepts writes, and
+        // then the old primary (behind, but alive) re-runs the archiver
+        // against it. The sync must refuse to clobber the spare's extra
+        // data and flag the divergence instead.
+        let (db, vfs, clock) = primary();
+        let spare_vfs = SimVfs::instant();
+        let t = db.create_table("t", schema(), None).unwrap();
+        t.insert(rows(0..100)).unwrap();
+        db.flush_all().unwrap();
+        sync_until_quiescent(&vfs, &spare_vfs, 10).unwrap();
+        // Promote the spare and let it accept new writes.
+        let promoted = Db::open(
+            Arc::new(spare_vfs.clone()),
+            Arc::new(clock.clone()),
+            Options::small_for_tests(),
+        )
+        .unwrap();
+        promoted.table("t").unwrap().insert(rows(100..250)).unwrap();
+        promoted.flush_all().unwrap();
+        // The un-fenced old primary tries to archive over it.
+        let r = sync_once(&vfs, &spare_vfs).unwrap();
+        assert_eq!(r.diverged, 1);
+        assert!(r.quiescent() && !r.clean(), "{r:?}");
+        // Nothing on the spare was touched: all 250 rows still there.
+        let check = Db::open(
+            Arc::new(spare_vfs),
+            Arc::new(clock.clone()),
+            Options::small_for_tests(),
+        )
+        .unwrap();
+        assert_eq!(
+            check
+                .table("t")
+                .unwrap()
+                .query_all(&Query::all())
+                .unwrap()
+                .len(),
+            250
+        );
+    }
+
+    #[test]
+    fn rollback_diverged_lets_fenced_spare_resync() {
+        let (db, vfs, clock) = primary();
+        let spare_vfs = SimVfs::instant();
+        let t = db.create_table("t", schema(), None).unwrap();
+        t.insert(rows(0..100)).unwrap();
+        db.flush_all().unwrap();
+        sync_until_quiescent(&vfs, &spare_vfs, 10).unwrap();
+        // Divergence: spare flushes writes of its own.
+        {
+            let promoted = Db::open(
+                Arc::new(spare_vfs.clone()),
+                Arc::new(clock.clone()),
+                Options::small_for_tests(),
+            )
+            .unwrap();
+            promoted.table("t").unwrap().insert(rows(500..600)).unwrap();
+            promoted.flush_all().unwrap();
+        }
+        assert_eq!(sync_once(&vfs, &spare_vfs).unwrap().diverged, 1);
+        // Failback: the diverged node is fenced, rolled back, re-synced.
+        // (Rollback must run while the divergence is still visible — once
+        // the primary's tablet ids advance past the spare's the signal is
+        // masked and a plain sync would clobber the spare anyway.)
+        assert_eq!(rollback_diverged(&vfs, &spare_vfs).unwrap(), 1);
+        // Meanwhile the primary moves ahead on its own timeline.
+        t.insert(rows(100..120)).unwrap();
+        db.flush_all().unwrap();
+        let reports = sync_until_quiescent(&vfs, &spare_vfs, 10).unwrap();
+        assert!(reports.last().unwrap().clean());
+        let spare_db = Db::open(
+            Arc::new(spare_vfs),
+            Arc::new(clock.clone()),
+            Options::small_for_tests(),
+        )
+        .unwrap();
+        let got = spare_db
+            .table("t")
+            .unwrap()
+            .query_all(&Query::all())
+            .unwrap();
+        // Exactly the primary's 120 rows; the spare's divergent 100 are gone.
+        assert_eq!(got.len(), 120);
     }
 
     #[test]

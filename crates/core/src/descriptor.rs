@@ -204,6 +204,20 @@ impl TableDescriptor {
         Self::decode(&data)
     }
 
+    /// Reads and decodes the descriptor in `dir` without side effects:
+    /// unlike [`TableDescriptor::load`] no stale `DESC.tmp` is cleaned
+    /// up, so this is safe to run against a *live* database directory
+    /// (the archiver inspects the primary's descriptor while the primary
+    /// may be mid-`save`).
+    pub fn peek(vfs: &dyn Vfs, dir: &str) -> Result<TableDescriptor> {
+        let path = join(dir, DESC_FILE);
+        let f = vfs.open(&path)?;
+        let len = f.len()? as usize;
+        let mut data = vec![0u8; len];
+        f.read_exact_at(0, &mut data)?;
+        Self::decode(&data)
+    }
+
     /// The largest row timestamp recorded across all tablets, if any.
     pub fn max_ts(&self) -> Option<Micros> {
         self.tablets.iter().map(|t| t.max_ts).max()

@@ -1,0 +1,163 @@
+//! In-crate fleet tests: the happy paths and the scripted failure
+//! paths. The big sampled node-kill sweep lives in the workspace-level
+//! `tests/fleet_sim.rs`.
+
+use crate::{ArchiveOutcome, FleetClient, FleetError, FleetSim};
+use littletable_core::query::Query;
+use littletable_core::value::Value;
+use littletable_core::Options;
+use littletable_workload::FleetLoad;
+
+const START: i64 = 1_700_000_000_000_000;
+
+fn fleet(shards: u32) -> (FleetSim, FleetClient) {
+    let sim = FleetSim::new(shards, START, Options::small_for_tests()).unwrap();
+    let client = FleetClient::new(shards);
+    (sim, client)
+}
+
+#[test]
+fn inserts_route_and_scatter_gather_merges() {
+    let (mut sim, mut client) = fleet(4);
+    let mut load = FleetLoad::new(7, 32, START);
+    client
+        .create_table(&mut sim, "t", FleetLoad::schema(), None)
+        .unwrap();
+    let rows = load.batch(200);
+    assert_eq!(client.insert(&mut sim, "t", rows).unwrap(), (200, 0));
+    // Every shard should hold some of the 32 devices.
+    for shard in 0..4 {
+        let primary = sim.map().route(shard).primary;
+        assert!(sim.node(primary).db().is_some());
+    }
+    // Scatter-gather returns everything, in key order, across shards.
+    let got = client.query(&mut sim, "t", &Query::all()).unwrap();
+    assert_eq!(got.len(), 200);
+    let expected = load.expected(200);
+    for row in &expected {
+        assert!(got.contains(row), "missing {row:?}");
+    }
+    // Key-ordered merge: device column is non-decreasing.
+    let devices: Vec<i64> = got
+        .iter()
+        .map(|r| match r[0] {
+            Value::I64(d) => d,
+            _ => panic!(),
+        })
+        .collect();
+    let mut sorted = devices.clone();
+    sorted.sort_unstable();
+    assert_eq!(devices, sorted);
+    // Descending + fleet-wide limit.
+    let top = client
+        .query(&mut sim, "t", &Query::all().descending().with_limit(10))
+        .unwrap();
+    assert_eq!(top.len(), 10);
+    assert_eq!(top[0], *got.last().unwrap());
+}
+
+#[test]
+fn failover_promotes_spare_and_replays_unarchived_acks() {
+    let (mut sim, mut client) = fleet(2);
+    let mut load = FleetLoad::new(11, 8, START);
+    client
+        .create_table(&mut sim, "t", FleetLoad::schema(), None)
+        .unwrap();
+    // Phase 1: archived inserts.
+    client.insert(&mut sim, "t", load.batch(60)).unwrap();
+    let outcomes = client.archive(&mut sim);
+    assert!(outcomes.iter().all(|o| o.is_clean()), "{outcomes:?}");
+    assert_eq!(client.replay_len(0), 0);
+    assert_eq!(client.replay_len(1), 0);
+    // Phase 2: acked but NOT archived — only the client remembers these.
+    client.insert(&mut sim, "t", load.batch(40)).unwrap();
+    assert!(client.replay_len(0) + client.replay_len(1) > 0);
+    // Kill both primaries.
+    for shard in 0..2 {
+        sim.kill_now(sim.map().route(shard).primary);
+    }
+    // The next insert hits dead primaries, triggers failover on every
+    // shard it touches, and replays phase 2 onto the promoted spares.
+    client.insert(&mut sim, "t", load.batch(40)).unwrap();
+    let got = client.query(&mut sim, "t", &Query::all()).unwrap();
+    assert_eq!(got.len(), 140, "every acked row survives the failover");
+    let expected = load.expected(140);
+    for row in &expected {
+        assert!(got.contains(row), "missing {row:?}");
+    }
+    assert!(sim.failovers() >= 2);
+}
+
+#[test]
+fn archive_reports_node_down_and_lag_grows() {
+    let (mut sim, mut client) = fleet(1);
+    let mut load = FleetLoad::new(3, 4, START);
+    client
+        .create_table(&mut sim, "t", FleetLoad::schema(), None)
+        .unwrap();
+    client.insert(&mut sim, "t", load.batch(30)).unwrap();
+    let lag_before = sim.replication_lag(0);
+    assert!(lag_before > 0);
+    assert!(sim.archive_shard(0).is_clean());
+    assert!(sim.replication_lag(0) < lag_before);
+    // Kill the spare: archiving can say nothing, and the replay buffer
+    // must NOT be trimmed.
+    client.insert(&mut sim, "t", load.batch(10)).unwrap();
+    let pending = client.replay_len(0);
+    assert!(pending > 0);
+    sim.kill_now(sim.map().route(0).spare);
+    // The spare halts at its next disk op — which is this sync's first
+    // write to it.
+    assert_eq!(client.archive(&mut sim), vec![ArchiveOutcome::NodeDown]);
+    assert_eq!(client.replay_len(0), pending);
+    // Restart the spare and archive again: clean, buffer trimmed.
+    sim.restart_node(sim.map().route(0).spare).unwrap();
+    assert_eq!(client.archive(&mut sim), vec![ArchiveOutcome::Clean]);
+    assert_eq!(client.replay_len(0), 0);
+}
+
+#[test]
+fn failback_rolls_back_diverged_old_primary() {
+    let (mut sim, mut client) = fleet(1);
+    let mut load = FleetLoad::new(9, 4, START);
+    client
+        .create_table(&mut sim, "t", FleetLoad::schema(), None)
+        .unwrap();
+    client.insert(&mut sim, "t", load.batch(50)).unwrap();
+    assert!(sim.archive_shard(0).is_clean());
+    let old_primary = sim.map().route(0).primary;
+    // Primary dies; writes continue on the promoted spare.
+    sim.kill_now(old_primary);
+    client.insert(&mut sim, "t", load.batch(50)).unwrap();
+    assert_eq!(sim.failovers(), 1);
+    // The old primary restarts. The map says it is a spare now; it must
+    // be rolled back (it may hold tablets the new primary never saw) and
+    // re-synced before failback.
+    sim.restart_node(old_primary).unwrap();
+    let epoch = sim.failback(0).unwrap();
+    assert_eq!(epoch, 2);
+    assert_eq!(sim.map().route(0).primary, old_primary);
+    // Nothing acked was lost across two failovers.
+    let got = client.query(&mut sim, "t", &Query::all()).unwrap();
+    assert_eq!(got.len(), 100);
+    let expected = load.expected(100);
+    for row in &expected {
+        assert!(got.contains(row), "missing {row:?}");
+    }
+}
+
+#[test]
+fn shard_down_when_both_replicas_dead() {
+    let (mut sim, mut client) = fleet(1);
+    let mut load = FleetLoad::new(5, 4, START);
+    client
+        .create_table(&mut sim, "t", FleetLoad::schema(), None)
+        .unwrap();
+    client.insert(&mut sim, "t", load.batch(10)).unwrap();
+    sim.kill_now(sim.map().route(0).primary);
+    sim.kill_now(sim.map().route(0).spare);
+    match client.insert(&mut sim, "t", load.batch(10)) {
+        Err(FleetError::ShardDown(0)) => {}
+        r => panic!("unexpected {r:?}"),
+    }
+}

@@ -106,6 +106,11 @@ pub enum Request {
         /// Rollup name.
         name: String,
     },
+    /// Ask a node where it stands in the fleet: which shard it serves,
+    /// its fencing epoch, and whether it believes it is the primary.
+    /// Clients use this to refresh a stale shard map after a
+    /// [`ErrorKind::NotPrimary`] rejection.
+    NodeStatus,
 }
 
 /// Error categories carried over the wire.
@@ -121,6 +126,10 @@ pub enum ErrorKind {
     SchemaChange,
     /// Anything else (I/O, corruption).
     Internal,
+    /// The node is not the primary for its shard (it is a warm spare, or
+    /// was fenced after a failover) and refuses writes. The client should
+    /// refresh its shard map and re-send to the current primary.
+    NotPrimary,
 }
 
 impl ErrorKind {
@@ -131,6 +140,7 @@ impl ErrorKind {
             ErrorKind::Invalid => 2,
             ErrorKind::SchemaChange => 3,
             ErrorKind::Internal => 4,
+            ErrorKind::NotPrimary => 5,
         }
     }
 
@@ -141,6 +151,7 @@ impl ErrorKind {
             2 => ErrorKind::Invalid,
             3 => ErrorKind::SchemaChange,
             4 => ErrorKind::Internal,
+            5 => ErrorKind::NotPrimary,
             t => return Err(Error::corrupt(format!("bad error kind {t}"))),
         })
     }
@@ -222,6 +233,18 @@ pub enum Response {
         disk_tablets: u64,
         /// On-disk bytes right now.
         disk_bytes: u64,
+    },
+    /// A node's fleet position, answering [`Request::NodeStatus`].
+    NodeStatus {
+        /// Stable node identifier within the fleet.
+        node: u64,
+        /// The shard this node serves.
+        shard: u32,
+        /// Fencing epoch: bumped on every promotion/demotion, so a
+        /// response from an older epoch is recognizably stale.
+        epoch: u64,
+        /// True when the node believes it is its shard's primary.
+        primary: bool,
     },
 }
 
@@ -351,6 +374,7 @@ impl Request {
                 out.push(13);
                 put_string(&mut out, name);
             }
+            Request::NodeStatus => out.push(14),
         }
         out
     }
@@ -402,6 +426,7 @@ impl Request {
                 distinct_cols: get_string_list(&mut r)?,
             },
             13 => Request::DropRollup { name: r.string()? },
+            14 => Request::NodeStatus,
             t => return Err(Error::corrupt(format!("unknown request tag {t}"))),
         };
         if !r.is_empty() {
@@ -485,6 +510,18 @@ impl Response {
                     put_varint(&mut out, *v);
                 }
             }
+            Response::NodeStatus {
+                node,
+                shard,
+                epoch,
+                primary,
+            } => {
+                out.push(9);
+                put_varint(&mut out, *node);
+                put_varint(&mut out, *shard as u64);
+                put_varint(&mut out, *epoch);
+                out.push(*primary as u8);
+            }
         }
         out
     }
@@ -542,6 +579,17 @@ impl Response {
                 merges: r.varint()?,
                 disk_tablets: r.varint()?,
                 disk_bytes: r.varint()?,
+            },
+            9 => Response::NodeStatus {
+                node: r.varint()?,
+                shard: u32::try_from(r.varint()?)
+                    .map_err(|_| Error::corrupt("implausible shard id"))?,
+                epoch: r.varint()?,
+                primary: match r.u8()? {
+                    0 => false,
+                    1 => true,
+                    t => return Err(Error::corrupt(format!("bad primary flag {t}"))),
+                },
             },
             t => return Err(Error::corrupt(format!("unknown response tag {t}"))),
         };
@@ -680,6 +728,7 @@ mod tests {
             Request::DropRollup {
                 name: "t_1h".into(),
             },
+            Request::NodeStatus,
         ];
         for req in reqs {
             let enc = req.encode();
@@ -728,6 +777,22 @@ mod tests {
                 merges: 6,
                 disk_tablets: 7,
                 disk_bytes: 8,
+            },
+            Response::NodeStatus {
+                node: 11,
+                shard: 3,
+                epoch: 7,
+                primary: true,
+            },
+            Response::NodeStatus {
+                node: 0,
+                shard: 0,
+                epoch: 0,
+                primary: false,
+            },
+            Response::Error {
+                kind: ErrorKind::NotPrimary,
+                message: "shard 3 is served by node 11 (epoch 7)".into(),
             },
         ];
         for resp in resps {

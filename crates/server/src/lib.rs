@@ -22,6 +22,117 @@ use littletable_core::db::Db;
 use littletable_core::error::Error;
 use littletable_core::value::Value;
 use littletable_proto::{ErrorKind, Request, Response};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// A node's position in the fleet: which shard it serves, its fencing
+/// epoch, and whether it is currently the shard's primary or its warm
+/// spare. Spares answer reads (possibly stale) but *fence* writes with
+/// [`ErrorKind::NotPrimary`] — the invariant that makes failover safe:
+/// after a promotion, the demoted/restarted old primary can no longer
+/// accept inserts that would silently diverge from the new primary.
+///
+/// The epoch is bumped on every role change; promotion and demotion are
+/// serialized by whatever coordinates the fleet (the failover driver),
+/// so the two fields don't need to change atomically together — a
+/// request racing a role flip either lands before it (old role, old
+/// epoch) or after (new role), both of which the client handles.
+#[derive(Debug)]
+pub struct NodeState {
+    node: u64,
+    shard: u32,
+    epoch: AtomicU64,
+    primary: AtomicBool,
+}
+
+impl NodeState {
+    /// A standalone/primary node at epoch 0 — the default for servers
+    /// outside any fleet, where every request is allowed.
+    pub fn primary(node: u64, shard: u32) -> NodeState {
+        NodeState {
+            node,
+            shard,
+            epoch: AtomicU64::new(0),
+            primary: AtomicBool::new(true),
+        }
+    }
+
+    /// A warm spare at the given epoch: serves reads, fences writes.
+    pub fn spare(node: u64, shard: u32, epoch: u64) -> NodeState {
+        NodeState {
+            node,
+            shard,
+            epoch: AtomicU64::new(epoch),
+            primary: AtomicBool::new(false),
+        }
+    }
+
+    /// Stable node id within the fleet.
+    pub fn node(&self) -> u64 {
+        self.node
+    }
+
+    /// The shard this node serves.
+    pub fn shard(&self) -> u32 {
+        self.shard
+    }
+
+    /// Current fencing epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::SeqCst)
+    }
+
+    /// True when this node is its shard's primary.
+    pub fn is_primary(&self) -> bool {
+        self.primary.load(Ordering::SeqCst)
+    }
+
+    /// Promotes the node to primary at `epoch` (a failover).
+    pub fn promote(&self, epoch: u64) {
+        self.epoch.store(epoch, Ordering::SeqCst);
+        self.primary.store(true, Ordering::SeqCst);
+    }
+
+    /// Demotes the node to spare at `epoch` (fencing an old primary).
+    pub fn demote(&self, epoch: u64) {
+        self.primary.store(false, Ordering::SeqCst);
+        self.epoch.store(epoch, Ordering::SeqCst);
+    }
+
+    /// The node's answer to [`Request::NodeStatus`].
+    pub fn status(&self) -> Response {
+        Response::NodeStatus {
+            node: self.node,
+            shard: self.shard,
+            epoch: self.epoch(),
+            primary: self.is_primary(),
+        }
+    }
+}
+
+impl Default for NodeState {
+    fn default() -> NodeState {
+        NodeState::primary(0, 0)
+    }
+}
+
+/// True for requests that mutate the database and therefore must be
+/// fenced on non-primary nodes. Reads are deliberately allowed on
+/// spares — a warm spare is only as stale as the last archive pass, and
+/// serving (possibly stale) reads from it matches the paper's relaxed
+/// consistency stance (§2.2).
+fn is_write(req: &Request) -> bool {
+    matches!(
+        req,
+        Request::Insert { .. }
+            | Request::CreateTable { .. }
+            | Request::DropTable { .. }
+            | Request::AddColumn { .. }
+            | Request::WidenColumn { .. }
+            | Request::SetTtl { .. }
+            | Request::CreateRollup { .. }
+            | Request::DropRollup { .. }
+    )
+}
 
 /// Executes one request against the engine. This is the entire server
 /// semantics; the TCP layer just frames it.
@@ -33,6 +144,27 @@ pub fn handle_request(db: &Db, req: Request) -> Response {
             message: e.to_string(),
         },
     }
+}
+
+/// Fleet-aware dispatch: answers [`Request::NodeStatus`] from `node`,
+/// fences writes on non-primary nodes with [`ErrorKind::NotPrimary`],
+/// and otherwise delegates to [`handle_request`].
+pub fn handle_fleet_request(db: &Db, node: &NodeState, req: Request) -> Response {
+    if let Request::NodeStatus = req {
+        return node.status();
+    }
+    if is_write(&req) && !node.is_primary() {
+        return Response::Error {
+            kind: ErrorKind::NotPrimary,
+            message: format!(
+                "node {} is a spare for shard {} (epoch {}); writes are fenced",
+                node.node(),
+                node.shard(),
+                node.epoch()
+            ),
+        };
+    }
+    handle_request(db, req)
 }
 
 fn try_handle(db: &Db, req: Request) -> littletable_core::Result<Response> {
@@ -169,6 +301,10 @@ fn try_handle(db: &Db, req: Request) -> littletable_core::Result<Response> {
             db.drop_rollup(&name)?;
             Response::Ok
         }
+        // A server outside any fleet answers as a standalone primary;
+        // fleet members answer from their real NodeState via
+        // [`handle_fleet_request`] before dispatch reaches here.
+        Request::NodeStatus => NodeState::default().status(),
     })
 }
 
@@ -571,6 +707,179 @@ mod tests {
             }
             r => panic!("unexpected {r:?}"),
         }
+    }
+
+    /// Spares fence writes with NotPrimary, serve reads, and answer
+    /// NodeStatus; promotion flips all of that at a new epoch.
+    #[test]
+    fn spare_fences_writes_until_promoted() {
+        let db = test_db();
+        handle_request(
+            &db,
+            Request::CreateTable {
+                table: "t".into(),
+                schema: schema(),
+                ttl: None,
+            },
+        );
+        let node = NodeState::spare(7, 3, 2);
+        // Status reflects the spare role.
+        assert_eq!(
+            handle_fleet_request(&db, &node, Request::NodeStatus),
+            Response::NodeStatus {
+                node: 7,
+                shard: 3,
+                epoch: 2,
+                primary: false,
+            }
+        );
+        // Writes are fenced...
+        match handle_fleet_request(
+            &db,
+            &node,
+            Request::Insert {
+                table: "t".into(),
+                rows: vec![some_row(vec![
+                    Value::I64(1),
+                    Value::Timestamp(1),
+                    Value::I64(1),
+                ])],
+            },
+        ) {
+            Response::Error { kind, .. } => assert_eq!(kind, ErrorKind::NotPrimary),
+            r => panic!("unexpected {r:?}"),
+        }
+        match handle_fleet_request(&db, &node, Request::DropTable { table: "t".into() }) {
+            Response::Error { kind, .. } => assert_eq!(kind, ErrorKind::NotPrimary),
+            r => panic!("unexpected {r:?}"),
+        }
+        // ...reads are not.
+        match handle_fleet_request(
+            &db,
+            &node,
+            Request::Query {
+                table: "t".into(),
+                query: Query::all(),
+            },
+        ) {
+            Response::Rows { rows, .. } => assert!(rows.is_empty()),
+            r => panic!("unexpected {r:?}"),
+        }
+        // Promotion unfences at the new epoch.
+        node.promote(3);
+        assert!(node.is_primary());
+        assert_eq!(node.epoch(), 3);
+        assert!(matches!(
+            handle_fleet_request(
+                &db,
+                &node,
+                Request::Insert {
+                    table: "t".into(),
+                    rows: vec![some_row(vec![
+                        Value::I64(1),
+                        Value::Timestamp(1),
+                        Value::I64(1),
+                    ])],
+                },
+            ),
+            Response::InsertResult { inserted: 1, .. }
+        ));
+        // Demotion fences again (failback).
+        node.demote(4);
+        match handle_fleet_request(
+            &db,
+            &node,
+            Request::Insert {
+                table: "t".into(),
+                rows: vec![some_row(vec![
+                    Value::I64(9),
+                    Value::Timestamp(9),
+                    Value::I64(9),
+                ])],
+            },
+        ) {
+            Response::Error { kind, message } => {
+                assert_eq!(kind, ErrorKind::NotPrimary);
+                assert!(message.contains("epoch 4"), "{message}");
+            }
+            r => panic!("unexpected {r:?}"),
+        }
+    }
+
+    /// A fleet-bound TCP server fences over the wire too, and a
+    /// standalone server answers NodeStatus as a primary.
+    #[test]
+    fn tcp_server_respects_node_state() {
+        let db = test_db();
+        handle_request(
+            &db,
+            Request::CreateTable {
+                table: "t".into(),
+                schema: schema(),
+                ttl: None,
+            },
+        );
+        let node = Arc::new(NodeState::spare(1, 0, 5));
+        let mut server =
+            Server::bind_as(db, "127.0.0.1:0", ServerConfig::default(), node.clone()).unwrap();
+        server.start().unwrap();
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        match send(&mut stream, 1, &Request::NodeStatus) {
+            (
+                1,
+                Response::NodeStatus {
+                    node: 1,
+                    shard: 0,
+                    epoch: 5,
+                    primary: false,
+                },
+            ) => {}
+            r => panic!("unexpected {r:?}"),
+        }
+        match send(
+            &mut stream,
+            2,
+            &Request::Insert {
+                table: "t".into(),
+                rows: vec![some_row(vec![
+                    Value::I64(1),
+                    Value::Timestamp(1),
+                    Value::I64(1),
+                ])],
+            },
+        ) {
+            (2, Response::Error { kind, .. }) => assert_eq!(kind, ErrorKind::NotPrimary),
+            r => panic!("unexpected {r:?}"),
+        }
+        // Promote through the shared handle: the live server unfences.
+        node.promote(6);
+        assert!(matches!(
+            send(
+                &mut stream,
+                3,
+                &Request::Insert {
+                    table: "t".into(),
+                    rows: vec![some_row(vec![
+                        Value::I64(1),
+                        Value::Timestamp(1),
+                        Value::I64(1),
+                    ])],
+                },
+            ),
+            (3, Response::InsertResult { inserted: 1, .. })
+        ));
+        server.shutdown();
+
+        // Standalone servers answer as primary without any fleet wiring.
+        let db2 = test_db();
+        let mut standalone = Server::bind(db2, "127.0.0.1:0").unwrap();
+        standalone.start().unwrap();
+        let mut s2 = TcpStream::connect(standalone.local_addr()).unwrap();
+        match send(&mut s2, 1, &Request::NodeStatus) {
+            (1, Response::NodeStatus { primary: true, .. }) => {}
+            r => panic!("unexpected {r:?}"),
+        }
+        standalone.shutdown();
     }
 
     #[test]

@@ -32,8 +32,8 @@
 //! commit on distinct shards in parallel.
 
 use crate::group_commit::GroupCommit;
-use crate::handle_request;
 use crate::poll::{poll_fds, PollFd, POLLERR, POLLHUP, POLLIN, POLLNVAL, POLLOUT};
+use crate::{handle_fleet_request, NodeState};
 use littletable_core::db::Db;
 use littletable_proto::{
     decode_request_frame, encode_response_frame, request_frame_id, ErrorKind, FrameDecoder,
@@ -119,6 +119,7 @@ pub struct Server {
     db: Db,
     addr: SocketAddr,
     cfg: ServerConfig,
+    node: Arc<NodeState>,
     listener: Option<TcpListener>,
     wake_rxs: Vec<UnixStream>,
     shared: Arc<Shared>,
@@ -133,8 +134,20 @@ impl Server {
         Server::bind_with(db, addr, ServerConfig::default())
     }
 
-    /// Binds with explicit [`ServerConfig`].
+    /// Binds with explicit [`ServerConfig`], as a standalone primary.
     pub fn bind_with(db: Db, addr: &str, cfg: ServerConfig) -> io::Result<Server> {
+        Server::bind_as(db, addr, cfg, Arc::new(NodeState::default()))
+    }
+
+    /// Binds as a fleet member: the node's role decides which requests
+    /// the dispatcher fences (see [`handle_fleet_request`]). The caller
+    /// keeps a clone of `node` to promote/demote the server at runtime.
+    pub fn bind_as(
+        db: Db,
+        addr: &str,
+        cfg: ServerConfig,
+        node: Arc<NodeState>,
+    ) -> io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let workers = cfg.workers.max(1);
@@ -155,6 +168,7 @@ impl Server {
             db,
             addr,
             cfg,
+            node,
             listener: Some(listener),
             wake_rxs,
             shared: Arc::new(Shared {
@@ -178,6 +192,11 @@ impl Server {
         &self.db
     }
 
+    /// The node's fleet state (role, epoch, shard).
+    pub fn node_state(&self) -> &Arc<NodeState> {
+        &self.node
+    }
+
     /// Starts the worker shards and the group-commit scheduler.
     pub fn start(&mut self) -> io::Result<()> {
         let listener = self
@@ -190,6 +209,7 @@ impl Server {
             let worker = Worker {
                 idx,
                 db: self.db.clone(),
+                node: self.node.clone(),
                 shared: self.shared.clone(),
                 listener: if idx == 0 { listener.take() } else { None },
                 wake_rx,
@@ -327,6 +347,7 @@ enum Token {
 struct Worker {
     idx: usize,
     db: Db,
+    node: Arc<NodeState>,
     shared: Arc<Shared>,
     /// Worker 0 owns the listener; the others only serve connections.
     listener: Option<TcpListener>,
@@ -453,7 +474,13 @@ impl Worker {
             dead = true;
         }
         if !dead && revents & (POLLIN | POLLHUP | POLLERR) != 0 && !conn.peer_closed {
-            dead = read_and_process(&self.db, &self.shared.group, conn, self.max_conn_buffer);
+            dead = read_and_process(
+                &self.db,
+                &self.node,
+                &self.shared.group,
+                conn,
+                self.max_conn_buffer,
+            );
         }
         if !dead {
             dead = conn.flush_out();
@@ -467,7 +494,13 @@ impl Worker {
 /// Reads until the socket would block (or backpressure engages),
 /// executing every complete frame in arrival order. True means the
 /// connection is dead.
-fn read_and_process(db: &Db, group: &GroupCommit, conn: &mut Conn, max_buffer: usize) -> bool {
+fn read_and_process(
+    db: &Db,
+    node: &NodeState,
+    group: &GroupCommit,
+    conn: &mut Conn,
+    max_buffer: usize,
+) -> bool {
     loop {
         if conn.pending_out() >= max_buffer {
             break;
@@ -478,7 +511,7 @@ fn read_and_process(db: &Db, group: &GroupCommit, conn: &mut Conn, max_buffer: u
                 break;
             }
             Ok(_) => {
-                if process_frames(db, group, conn) {
+                if process_frames(db, node, group, conn) {
                     return true;
                 }
             }
@@ -487,16 +520,16 @@ fn read_and_process(db: &Db, group: &GroupCommit, conn: &mut Conn, max_buffer: u
             Err(_) => return true,
         }
     }
-    process_frames(db, group, conn)
+    process_frames(db, node, group, conn)
 }
 
 /// Drains complete frames from the decoder. True means the connection is
 /// dead (untrustworthy length prefix or an unsendable response).
-fn process_frames(db: &Db, group: &GroupCommit, conn: &mut Conn) -> bool {
+fn process_frames(db: &Db, node: &NodeState, group: &GroupCommit, conn: &mut Conn) -> bool {
     loop {
         match conn.dec.next_frame() {
             Ok(Some(payload)) => {
-                let (id, resp) = execute(db, group, &payload);
+                let (id, resp) = execute(db, node, group, &payload);
                 if !conn.push_response(id, &resp) {
                     return true;
                 }
@@ -509,7 +542,7 @@ fn process_frames(db: &Db, group: &GroupCommit, conn: &mut Conn) -> bool {
 
 /// Decodes and executes one request frame; malformed bodies become typed
 /// error responses carrying the frame's id when it was readable.
-fn execute(db: &Db, group: &GroupCommit, payload: &[u8]) -> (u64, Response) {
+fn execute(db: &Db, node: &NodeState, group: &GroupCommit, payload: &[u8]) -> (u64, Response) {
     match decode_request_frame(payload) {
         Ok((id, req)) => {
             // Remember which table an insert lands in before the request
@@ -519,7 +552,7 @@ fn execute(db: &Db, group: &GroupCommit, payload: &[u8]) -> (u64, Response) {
                 littletable_proto::Request::Insert { table, .. } => Some(table.clone()),
                 _ => None,
             };
-            let resp = handle_request(db, req);
+            let resp = handle_fleet_request(db, node, req);
             if let Response::InsertResult { inserted, .. } = &resp {
                 if let Some(table) = &insert_table {
                     group.note_rows(table, *inserted);

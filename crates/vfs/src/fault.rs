@@ -61,6 +61,16 @@ pub enum FaultKind {
     /// `EIO` — a torn write. On non-append operations this degrades to
     /// [`FaultKind::Eio`].
     TornWrite,
+    /// A rename becomes *durable* (survives the crash) while the file it
+    /// points at keeps only a half-synced prefix, and the machine halts —
+    /// the "directory entry pointing at a half-written inode" crash a
+    /// metadata-journaling filesystem can leave behind when directory
+    /// metadata commits before file data. This is the adversary for the
+    /// `DESC.tmp` → `DESC` descriptor swap. On non-rename operations it
+    /// degrades to [`FaultKind::Eio`]; on a real filesystem
+    /// ([`crate::FaultVfs`]) it degrades to [`FaultKind::Crash`] since a
+    /// live inode cannot be safely truncated out from under the OS.
+    TornRename,
     /// The machine halts: this operation and every later one fail with
     /// `EIO` until [`crate::SimVfs::crash`] "reboots" the disk, which
     /// also discards everything un-synced exactly as a power cut would.
@@ -76,6 +86,7 @@ impl FaultKind {
             FaultKind::Eio | FaultKind::TornWrite => io::Error::from_raw_os_error(EIO),
             FaultKind::Enospc => io::Error::from_raw_os_error(ENOSPC),
             FaultKind::Crash => io::Error::other("simulated machine crash"),
+            FaultKind::TornRename => io::Error::other("simulated machine crash (torn rename)"),
         }
     }
 }
@@ -313,6 +324,14 @@ impl FaultState {
                 Err(kind.to_error())
             }
             FaultKind::TornWrite if op == OpKind::Append => Ok(Some(FaultKind::TornWrite)),
+            // The caller applies the durable-entry/half-synced-inode
+            // damage, then surfaces the crash; the machine is down from
+            // this op on either way.
+            FaultKind::TornRename if op == OpKind::Rename => {
+                self.halted = true;
+                Ok(Some(FaultKind::TornRename))
+            }
+            FaultKind::TornRename => Err(FaultKind::Eio.to_error()),
             k => Err(k.to_error()),
         }
     }
@@ -339,6 +358,12 @@ impl FaultState {
 
     pub(crate) fn reboot(&mut self) {
         self.halted = false;
+    }
+
+    /// Halts the machine immediately, without waiting for a disk
+    /// operation to trip a plan — a power pull on an idle node.
+    pub(crate) fn power_off(&mut self) {
+        self.halted = true;
     }
 
     pub(crate) fn take_trace(&mut self) -> Vec<FaultRecord> {
@@ -420,6 +445,29 @@ mod tests {
             st.check(OpKind::Sync, "f").unwrap_err().raw_os_error(),
             Some(5)
         );
+    }
+
+    #[test]
+    fn torn_rename_halts_and_passes_through_on_renames_only() {
+        let mut st = FaultState::default();
+        st.set_plan(FaultPlan::new().rule(FaultRule::new(FaultKind::TornRename).times(2)));
+        // On anything but a rename it degrades to a plain EIO failure
+        // and the machine stays up.
+        assert_eq!(
+            st.check(OpKind::Append, "f").unwrap_err().raw_os_error(),
+            Some(5)
+        );
+        assert!(!st.halted());
+        // On a rename the torn action is returned to the caller and the
+        // machine is down from here on.
+        assert_eq!(
+            st.check(OpKind::Rename, "t/DESC").unwrap(),
+            Some(FaultKind::TornRename)
+        );
+        assert!(st.halted());
+        assert!(st.check(OpKind::Open, "t/DESC").is_err());
+        st.reboot();
+        assert!(st.check(OpKind::Open, "t/DESC").unwrap().is_none());
     }
 
     #[test]

@@ -1,0 +1,310 @@
+//! A fault-injecting wrapper around any [`Vfs`] implementation.
+//!
+//! [`crate::SimVfs`] has [`crate::FaultPlan`] support built in, but the
+//! crash-point sweeps it enables only exercise the simulated disk. This
+//! module carries the same machinery to *real* file systems: a
+//! [`FaultVfs`] wraps an inner VFS (typically [`crate::StdVfs`]), counts
+//! every operation against the shared global op index, and injects the
+//! planned faults before delegating.
+//!
+//! The adversary is necessarily weaker than the simulated one:
+//!
+//! * [`FaultKind::Crash`] models a *process* kill, not a power cut — the
+//!   machine halts (every op fails until [`FaultVfs::reboot`]) but the
+//!   OS keeps whatever it already persisted; there is no namespace
+//!   revert, because we cannot un-write a real disk.
+//! * [`FaultKind::TornWrite`] persists half the buffer, then fails —
+//!   same as on [`crate::SimVfs`].
+//! * [`FaultKind::TornRename`] degrades to a lost rename plus a process
+//!   kill: a live inode cannot be truncated out from under the OS, so
+//!   the "durable entry, half-written inode" shape stays SimVfs-only.
+//!
+//! Error injections (`EIO`, `ENOSPC`) behave identically to the
+//! simulated VFS, which makes the error-point sweep in
+//! `tests/fault_sweep.rs` portable across both backends.
+
+use crate::fault::{FaultKind, FaultPlan, FaultRecord, FaultState, OpKind};
+use crate::vfs::{RandomAccessFile, Vfs, WritableFile};
+use parking_lot::Mutex;
+use std::io;
+use std::sync::Arc;
+
+/// A fault-injecting [`Vfs`] adapter. Cheap to clone; clones share the
+/// inner VFS and the fault-injection state, so a test can keep one
+/// handle for plan control while the engine owns another.
+pub struct FaultVfs<V: Vfs> {
+    inner: Arc<V>,
+    faults: Arc<Mutex<FaultState>>,
+}
+
+impl<V: Vfs> Clone for FaultVfs<V> {
+    fn clone(&self) -> Self {
+        FaultVfs {
+            inner: self.inner.clone(),
+            faults: self.faults.clone(),
+        }
+    }
+}
+
+impl<V: Vfs> FaultVfs<V> {
+    /// Wraps `inner` with an empty fault plan.
+    pub fn new(inner: V) -> Self {
+        FaultVfs {
+            inner: Arc::new(inner),
+            faults: Arc::new(Mutex::new(FaultState::default())),
+        }
+    }
+
+    /// The wrapped VFS.
+    pub fn inner(&self) -> &V {
+        &self.inner
+    }
+
+    /// Installs a fault-injection plan (see [`crate::SimVfs::set_fault_plan`]).
+    pub fn set_fault_plan(&self, plan: FaultPlan) {
+        self.faults.lock().set_plan(plan);
+    }
+
+    /// Removes the installed fault plan (op counting continues).
+    pub fn clear_fault_plan(&self) {
+        self.faults.lock().clear_plan();
+    }
+
+    /// Total I/O operations performed since creation (faulted included).
+    pub fn op_count(&self) -> u64 {
+        self.faults.lock().op_count()
+    }
+
+    /// Number of faults injected so far.
+    pub fn faults_injected(&self) -> u64 {
+        self.faults.lock().injected()
+    }
+
+    /// True while the wrapped process is "down" after an injected crash.
+    pub fn halted(&self) -> bool {
+        self.faults.lock().halted()
+    }
+
+    /// Kills the wrapped process immediately, without waiting for an
+    /// operation to trip a plan.
+    pub fn power_off(&self) {
+        self.faults.lock().power_off();
+    }
+
+    /// Clears the halted state after an injected crash — the real-FS
+    /// analogue of restarting the process. Unlike [`crate::SimVfs::crash`]
+    /// nothing is reverted: the OS already decided what survived.
+    pub fn reboot(&self) {
+        self.faults.lock().reboot();
+    }
+
+    /// Drains and returns the replayable trace of injected faults.
+    pub fn take_fault_trace(&self) -> Vec<FaultRecord> {
+        self.faults.lock().take_trace()
+    }
+
+    fn fault_check(&self, op: OpKind, path: &str) -> io::Result<Option<FaultKind>> {
+        self.faults.lock().check(op, path)
+    }
+}
+
+struct FaultReader {
+    inner: Box<dyn RandomAccessFile>,
+    path: String,
+    faults: Arc<Mutex<FaultState>>,
+}
+
+impl RandomAccessFile for FaultReader {
+    fn read_exact_at(&self, off: u64, buf: &mut [u8]) -> io::Result<()> {
+        self.faults.lock().check(OpKind::Read, &self.path)?;
+        self.inner.read_exact_at(off, buf)
+    }
+
+    fn len(&self) -> io::Result<u64> {
+        self.inner.len()
+    }
+}
+
+struct FaultWriter {
+    inner: Box<dyn WritableFile>,
+    path: String,
+    faults: Arc<Mutex<FaultState>>,
+}
+
+impl WritableFile for FaultWriter {
+    fn append(&mut self, buf: &[u8]) -> io::Result<()> {
+        if self
+            .faults
+            .lock()
+            .check(OpKind::Append, &self.path)?
+            .is_some()
+        {
+            // Torn write: half the buffer reaches the file, then the
+            // append reports failure.
+            let _ = self.inner.append(&buf[..buf.len() / 2]);
+            return Err(FaultKind::TornWrite.to_error());
+        }
+        self.inner.append(buf)
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        self.faults.lock().check(OpKind::Sync, &self.path)?;
+        self.inner.sync()
+    }
+
+    fn written(&self) -> u64 {
+        self.inner.written()
+    }
+}
+
+impl<V: Vfs> Vfs for FaultVfs<V> {
+    fn open(&self, path: &str) -> io::Result<Box<dyn RandomAccessFile>> {
+        self.fault_check(OpKind::Open, path)?;
+        Ok(Box::new(FaultReader {
+            inner: self.inner.open(path)?,
+            path: path.to_string(),
+            faults: self.faults.clone(),
+        }))
+    }
+
+    fn create(&self, path: &str, size_hint: u64) -> io::Result<Box<dyn WritableFile>> {
+        self.fault_check(OpKind::Create, path)?;
+        Ok(Box::new(FaultWriter {
+            inner: self.inner.create(path, size_hint)?,
+            path: path.to_string(),
+            faults: self.faults.clone(),
+        }))
+    }
+
+    fn rename(&self, from: &str, to: &str) -> io::Result<()> {
+        if self.fault_check(OpKind::Rename, from)?.is_some() {
+            // Torn rename degrades on a real FS: the rename is lost and
+            // the process is down (check() already halted the machine).
+            return Err(FaultKind::TornRename.to_error());
+        }
+        self.inner.rename(from, to)
+    }
+
+    fn remove(&self, path: &str) -> io::Result<()> {
+        self.fault_check(OpKind::Remove, path)?;
+        self.inner.remove(path)
+    }
+
+    fn exists(&self, path: &str) -> bool {
+        self.inner.exists(path)
+    }
+
+    fn mkdir_all(&self, path: &str) -> io::Result<()> {
+        self.fault_check(OpKind::Mkdir, path)?;
+        self.inner.mkdir_all(path)
+    }
+
+    fn list_dir(&self, path: &str) -> io::Result<Vec<String>> {
+        self.fault_check(OpKind::ListDir, path)?;
+        self.inner.list_dir(path)
+    }
+
+    fn sync_dir(&self, path: &str) -> io::Result<()> {
+        self.fault_check(OpKind::SyncDir, path)?;
+        self.inner.sync_dir(path)
+    }
+
+    fn file_size(&self, path: &str) -> io::Result<u64> {
+        self.inner.file_size(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::FaultRule;
+    use crate::sim::SimVfs;
+
+    fn vfs() -> FaultVfs<SimVfs> {
+        // Wrapping SimVfs (with no inner plan) gives a deterministic
+        // in-memory backend for exercising the wrapper itself; the
+        // StdVfs pairing is covered by the integration sweep.
+        FaultVfs::new(SimVfs::instant())
+    }
+
+    #[test]
+    fn ops_are_counted_and_faults_fire_by_index() {
+        let v = vfs();
+        v.mkdir_all("d").unwrap(); // op 0
+        v.set_fault_plan(FaultPlan::fail_at(2, FaultKind::Enospc));
+        v.create("d/a", 0).unwrap(); // op 1
+        let err = match v.create("d/b", 0) {
+            // op 2
+            Ok(_) => panic!("expected injected ENOSPC"),
+            Err(e) => e,
+        };
+        assert_eq!(err.raw_os_error(), Some(28));
+        assert_eq!(v.faults_injected(), 1);
+        assert_eq!(v.op_count(), 3);
+        assert!(v.create("d/b", 0).is_ok());
+    }
+
+    #[test]
+    fn crash_halts_until_reboot_without_reverting_data() {
+        let v = vfs();
+        v.mkdir_all("d").unwrap();
+        let mut w = v.create("d/f", 0).unwrap();
+        w.append(b"kept").unwrap();
+        w.sync().unwrap();
+        drop(w);
+        v.set_fault_plan(FaultPlan::crash_at(v.op_count()));
+        assert!(v.open("d/f").is_err());
+        assert!(v.halted());
+        assert!(v.list_dir("d").is_err());
+        v.reboot();
+        // Process restart: everything the inner VFS held is still there.
+        let r = v.open("d/f").unwrap();
+        assert_eq!(r.len().unwrap(), 4);
+    }
+
+    #[test]
+    fn torn_write_persists_half_the_buffer() {
+        let v = vfs();
+        v.mkdir_all("d").unwrap();
+        let mut w = v.create("d/f", 0).unwrap();
+        w.append(b"whole").unwrap();
+        v.set_fault_plan(
+            FaultPlan::new().rule(
+                FaultRule::new(FaultKind::TornWrite)
+                    .on_ops(&[OpKind::Append])
+                    .times(1),
+            ),
+        );
+        let err = w.append(b"12345678").unwrap_err();
+        assert_eq!(err.raw_os_error(), Some(5));
+        w.sync().unwrap();
+        drop(w);
+        assert_eq!(v.file_size("d/f").unwrap(), 5 + 4);
+    }
+
+    #[test]
+    fn torn_rename_degrades_to_lost_rename_plus_halt() {
+        let v = vfs();
+        v.mkdir_all("d").unwrap();
+        v.create("d/tmp", 0).unwrap().sync().unwrap();
+        v.set_fault_plan(
+            FaultPlan::new().rule(FaultRule::new(FaultKind::TornRename).on_ops(&[OpKind::Rename])),
+        );
+        assert!(v.rename("d/tmp", "d/final").is_err());
+        assert!(v.halted());
+        v.reboot();
+        assert!(v.exists("d/tmp"));
+        assert!(!v.exists("d/final"));
+    }
+
+    #[test]
+    fn trace_records_wrapped_faults() {
+        let v = vfs();
+        v.set_fault_plan(FaultPlan::fail_at(0, FaultKind::Eio));
+        assert!(v.mkdir_all("d").is_err());
+        let trace = v.take_fault_trace();
+        assert_eq!(trace.len(), 1);
+        assert_eq!(trace[0].op_index, 0);
+        assert_eq!(trace[0].kind, FaultKind::Eio);
+    }
+}

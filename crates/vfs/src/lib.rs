@@ -18,6 +18,7 @@
 pub mod clock;
 pub mod disk;
 pub mod fault;
+pub mod faultvfs;
 pub mod sim;
 pub mod std_fs;
 pub mod vfs;
@@ -25,6 +26,7 @@ pub mod vfs;
 pub use clock::{Clock, Micros, SimClock, SystemClock, MICROS_PER_SEC};
 pub use disk::{DiskModel, DiskParams, DiskStats};
 pub use fault::{FaultKind, FaultPlan, FaultRecord, FaultRule, OpKind, RandomFaults};
+pub use faultvfs::FaultVfs;
 pub use sim::SimVfs;
 pub use std_fs::StdVfs;
 pub use vfs::{join, parent, RandomAccessFile, Vfs, WritableFile};

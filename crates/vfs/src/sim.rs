@@ -227,6 +227,14 @@ impl SimVfs {
         self.faults.lock().halted()
     }
 
+    /// Pulls the power immediately: the machine halts without waiting
+    /// for a disk operation to trip a fault plan. Unsynced data is lost
+    /// when [`SimVfs::crash`] reboots it, exactly as with a planned
+    /// crash.
+    pub fn power_off(&self) {
+        self.faults.lock().power_off();
+    }
+
     /// Drains and returns the replayable trace of injected faults.
     pub fn take_fault_trace(&self) -> Vec<FaultRecord> {
         self.faults.lock().take_trace()
@@ -390,15 +398,45 @@ impl Vfs for SimVfs {
     }
 
     fn rename(&self, from: &str, to: &str) -> io::Result<()> {
-        self.fault_check(OpKind::Rename, from)?;
+        let torn = self.fault_check(OpKind::Rename, from)?.is_some();
         let mut s = self.state.lock();
         let id = s
             .live
             .files
             .remove(from)
             .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, from.to_string()))?;
-        s.live.files.insert(to.to_string(), id);
-        Ok(())
+        let displaced = s.live.files.insert(to.to_string(), id);
+        if !torn {
+            return Ok(());
+        }
+        // Torn rename: the directory entry commits durably (metadata
+        // journaled ahead of data) while the inode it points at keeps
+        // only its *synced* bytes — any unsynced tail is gone — and the
+        // machine halts. An application that fsyncs the file before
+        // renaming (LittleTable's descriptor swap does) loses nothing
+        // but the machine; one that renames an unsynced file finds a
+        // valid entry pointing at a truncated inode after reboot. The
+        // shadow namespace is what a crash reverts to, so the new entry
+        // goes straight into it.
+        s.shadow.files.remove(from);
+        let shadow_displaced = s.shadow.files.insert(to.to_string(), id);
+        let parent = crate::parent(to);
+        if !parent.is_empty() {
+            let mut cur = String::new();
+            for seg in parent.split('/').filter(|p| !p.is_empty()) {
+                if !cur.is_empty() {
+                    cur.push('/');
+                }
+                cur.push_str(seg);
+                s.shadow.dirs.insert(cur.clone());
+            }
+        }
+        if let Some(f) = s.store.get_mut(&id) {
+            f.data.truncate(f.synced_len);
+        }
+        let dead: Vec<u64> = displaced.into_iter().chain(shadow_displaced).collect();
+        s.gc_ids(&self.model, dead);
+        Err(FaultKind::TornRename.to_error())
     }
 
     fn remove(&self, path: &str) -> io::Result<()> {
@@ -517,6 +555,7 @@ impl Vfs for SimVfs {
 mod tests {
     use super::*;
     use crate::clock::Clock as _;
+    use crate::FaultRule;
 
     fn vfs() -> SimVfs {
         SimVfs::instant()
@@ -636,6 +675,57 @@ mod tests {
         v.crash();
         assert!(v.exists("d/a"));
         assert!(!v.exists("d/b"));
+    }
+
+    #[test]
+    fn torn_rename_leaves_durable_entry_on_truncated_inode() {
+        let v = vfs();
+        v.mkdir_all("d").unwrap();
+        // Four bytes synced, four more appended but NOT synced: the
+        // classic rename-without-fsync bug.
+        let mut w = v.create("d/tmp", 0).unwrap();
+        w.append(b"1234").unwrap();
+        w.sync().unwrap();
+        w.append(b"5678").unwrap();
+        drop(w);
+        v.sync_dir("").unwrap();
+        v.sync_dir("d").unwrap();
+        v.set_fault_plan(
+            FaultPlan::new().rule(FaultRule::new(FaultKind::TornRename).on_ops(&[OpKind::Rename])),
+        );
+        let err = v.rename("d/tmp", "d/final").unwrap_err();
+        assert!(err.to_string().contains("torn rename"));
+        assert!(v.halted());
+        v.crash();
+        // The entry survived the crash without any sync_dir — metadata
+        // committed ahead of data — but points only at the synced bytes.
+        assert!(v.exists("d/final"));
+        assert!(!v.exists("d/tmp"));
+        assert_eq!(v.file_size("d/final").unwrap(), 4);
+    }
+
+    #[test]
+    fn torn_rename_keeps_fully_synced_source_intact() {
+        let v = vfs();
+        v.mkdir_all("d").unwrap();
+        for (name, content) in [("d/old", &b"oldversion"[..]), ("d/tmp", &b"newer!"[..])] {
+            let mut w = v.create(name, 0).unwrap();
+            w.append(content).unwrap();
+            w.sync().unwrap();
+            drop(w);
+        }
+        v.sync_dir("").unwrap();
+        v.sync_dir("d").unwrap();
+        v.set_fault_plan(
+            FaultPlan::new().rule(FaultRule::new(FaultKind::TornRename).on_ops(&[OpKind::Rename])),
+        );
+        v.rename("d/tmp", "d/old").unwrap_err();
+        v.crash();
+        // The overwriting entry is the durable one; its data was synced
+        // before the rename, so it survives whole — the discipline the
+        // descriptor swap relies on.
+        assert_eq!(v.file_size("d/old").unwrap(), 6);
+        assert!(!v.exists("d/tmp"));
     }
 
     #[test]

@@ -13,10 +13,12 @@
 
 pub mod catalog;
 pub mod dist;
+pub mod fleetload;
 pub mod queries;
 pub mod shards;
 
 pub use catalog::{generate_catalog, TableSpec};
 pub use dist::Cdf;
+pub use fleetload::FleetLoad;
 pub use queries::{sample_lookback, sample_query_kind, QueryKind, RateModel};
 pub use shards::{Fleet, ShardSpec};

@@ -55,6 +55,7 @@ pub use littletable_apps as apps;
 pub use littletable_client as client;
 pub use littletable_compress as compress;
 pub use littletable_core as core;
+pub use littletable_fleet as fleet;
 pub use littletable_hll as hll;
 pub use littletable_proto as proto;
 pub use littletable_server as server;

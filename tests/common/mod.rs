@@ -245,8 +245,10 @@ pub fn visible_indices(table: &Arc<Table>) -> Vec<u64> {
 
 /// Invariant 3: the durable descriptor is self-consistent and the table
 /// directory holds nothing uncommitted. Call after a reopen (which
-/// retires `DESC.tmp` and deletes orphans).
-pub fn check_descriptor_consistency(vfs: &SimVfs) {
+/// retires `DESC.tmp` and deletes orphans). Works over any [`Vfs`] so
+/// the same oracle runs against `SimVfs` sweeps and real-filesystem
+/// (`FaultVfs<StdVfs>`) sweeps.
+pub fn check_descriptor_consistency(vfs: &dyn Vfs) {
     if !vfs.exists(&join(TABLE, DESC_FILE)) {
         return;
     }
@@ -414,20 +416,18 @@ pub fn verify_crash_recovery(vfs: &SimVfs, clock: &SimClock, out: &Outcome) {
     verify_rollup_agreement(&db);
 }
 
-/// The degraded-service oracle for non-fatal faults: no crash happened,
-/// so after the fault plan is exhausted the same engine must keep
-/// serving, accept the re-sent failures, and end with zero data loss —
-/// first on the live engine, then across a crash and reopen (which is
-/// where orphan cleanup and `DESC.tmp` retirement are defined to run,
-/// so the descriptor-consistency check comes after the reboot).
-/// `out` must come from a [`Mode::Continue`] run.
-pub fn verify_degraded_service(vfs: &SimVfs, clock: &SimClock, db: &Db, out: &Outcome) {
-    vfs.clear_fault_plan();
+/// The live half of the degraded-service oracle, VFS-agnostic: no crash
+/// happened, so after the fault plan is exhausted the same engine must
+/// keep serving, accept the re-sent failures, and end with zero data
+/// loss. The caller must have cleared the fault plan first. `out` must
+/// come from a [`Mode::Continue`] run. Returns the table when it
+/// exists, so VFS-specific epilogues can continue the check.
+pub fn verify_degraded_live(db: &Db, out: &Outcome) -> Option<Arc<Table>> {
     let table = match db.table(TABLE) {
         Ok(t) => t,
         Err(_) => {
             assert!(!out.created, "created table vanished without a crash");
-            return;
+            return None;
         }
     };
     let ncols = table.schema().num_columns();
@@ -452,6 +452,21 @@ pub fn verify_degraded_service(vfs: &SimVfs, clock: &SimClock, db: &Db, out: &Ou
     let expected: Vec<u64> = (EXPIRED_BELOW..TOTAL_ROWS).collect();
     assert_eq!(idx, expected, "data lost or duplicated under I/O errors");
     verify_rollup_agreement(db);
+    Some(table)
+}
+
+/// The degraded-service oracle for non-fatal faults on a `SimVfs`: the
+/// live check above, then the durability epilogue across a simulated
+/// power cut and reopen (which is where orphan cleanup and `DESC.tmp`
+/// retirement are defined to run, so the descriptor-consistency check
+/// comes after the reboot). `out` must come from a [`Mode::Continue`]
+/// run.
+pub fn verify_degraded_service(vfs: &SimVfs, clock: &SimClock, db: &Db, out: &Outcome) {
+    vfs.clear_fault_plan();
+    if verify_degraded_live(db, out).is_none() {
+        return;
+    }
+    let expected: Vec<u64> = (EXPIRED_BELOW..TOTAL_ROWS).collect();
 
     // The healed store must also be durable: the last flush/maintain
     // succeeded fault-free, so a power cut right now loses nothing and

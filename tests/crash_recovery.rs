@@ -285,3 +285,97 @@ fn dropped_table_stays_dropped_after_crash() {
     let db2 = open_db(&vfs, &clock).unwrap();
     assert!(db2.table("gone").is_err());
 }
+
+#[test]
+fn torn_rename_in_descriptor_swap_window_is_survivable() {
+    // The nastiest moment in the descriptor lifecycle: the machine dies
+    // *inside* the `DESC.tmp` -> `DESC` swap, with the rename's directory
+    // entry journaled ahead of the file data (what a metadata-journaling
+    // file system can do). Because `TableDescriptor::save` fsyncs the tmp
+    // file before renaming it, the journaled entry points at fully
+    // durable bytes: recovery must find the NEW descriptor, not a
+    // truncated one, and lose nothing that was flushed.
+    let vfs = SimVfs::instant();
+    let clock = SimClock::new(START);
+    let db = open_db(&vfs, &clock).unwrap();
+    let table = db.create_table(TABLE, schema(), None).unwrap();
+    for i in 0..40 {
+        table.insert(vec![make_row(i, 3)]).unwrap();
+    }
+    table.flush_all().unwrap(); // DESC v1, durable
+    for i in 40..80 {
+        table.insert(vec![make_row(i, 3)]).unwrap();
+    }
+    // Tear the next descriptor swap: the flush writes tablets, then
+    // saves DESC v2 — and the machine halts inside the rename.
+    vfs.set_fault_plan(
+        FaultPlan::new().rule(
+            FaultRule::new(FaultKind::TornRename)
+                .on_ops(&[OpKind::Rename])
+                .on_path("DESC")
+                .times(1),
+        ),
+    );
+    table
+        .flush_all()
+        .expect_err("flush must surface the mid-swap crash");
+    assert!(vfs.halted(), "torn rename must halt the machine");
+    assert_eq!(vfs.faults_injected(), 1);
+
+    // Reboot. The journaled rename committed a fully-synced descriptor
+    // (the fsync-before-rename discipline), so the table must open
+    // cleanly — no bricked store, no truncated-DESC decode error. The
+    // interrupted flush never acked, so its rows may or may not have
+    // made it; whatever survived must be a clean prefix no shorter than
+    // the last acked flush (40 rows).
+    vfs.crash();
+    vfs.clear_fault_plan();
+    let db2 = open_db(&vfs, &clock).expect("reopen after torn DESC swap");
+    check_descriptor_consistency(&vfs);
+    let t2 = db2.table(TABLE).unwrap();
+    let idx = visible_indices(&t2);
+    assert!(idx.len() >= 40, "acked flush lost: {} rows", idx.len());
+    assert!(idx.len() <= 80, "rows invented: {} rows", idx.len());
+    for (i, n) in idx.iter().enumerate() {
+        assert_eq!(*n, i as u64, "hole in recovered prefix");
+    }
+    // The client's re-send contract completes the picture: the tail
+    // re-sends exactly once, recovered rows deduplicate.
+    let floor = idx.len() as u64;
+    let rep = t2.insert(vec![make_row(floor - 1, 3)]).unwrap();
+    assert_eq!((rep.inserted, rep.duplicates), (0, 1));
+    for i in floor..80 {
+        let rep = t2.insert(vec![make_row(i, 3)]).unwrap();
+        assert_eq!((rep.inserted, rep.duplicates), (1, 0), "re-send of {i}");
+    }
+    t2.flush_all().unwrap();
+    assert_eq!(visible_indices(&t2), (0..80).collect::<Vec<u64>>());
+}
+
+#[test]
+fn torn_rename_outside_the_sync_discipline_loses_the_unsynced_tail() {
+    // Companion negative control for the regression above: rename an
+    // unsynced file and the journaled entry points at a truncated inode.
+    // This is the failure mode `TableDescriptor::save`'s fsync-before-
+    // rename discipline exists to rule out.
+    let vfs = SimVfs::instant();
+    vfs.mkdir_all("d").unwrap();
+    let mut w = vfs.create("d/cfg.tmp", 0).unwrap();
+    w.append(b"synced-half").unwrap();
+    w.sync().unwrap();
+    w.append(b"-unsynced-half").unwrap();
+    drop(w);
+    vfs.sync_dir("").unwrap();
+    vfs.sync_dir("d").unwrap();
+    vfs.set_fault_plan(
+        FaultPlan::new().rule(FaultRule::new(FaultKind::TornRename).on_ops(&[OpKind::Rename])),
+    );
+    vfs.rename("d/cfg.tmp", "d/cfg").unwrap_err();
+    vfs.crash();
+    assert!(vfs.exists("d/cfg"), "journaled entry must survive");
+    assert_eq!(
+        vfs.file_size("d/cfg").unwrap(),
+        b"synced-half".len() as u64,
+        "unsynced tail must be gone"
+    );
+}

@@ -14,9 +14,10 @@ mod common;
 
 use common::*;
 use littletable::vfs::{
-    FaultKind, FaultPlan, FaultRule, OpKind, RandomFaults, SimClock, SimVfs, Vfs,
+    FaultKind, FaultPlan, FaultRule, FaultVfs, OpKind, RandomFaults, SimClock, SimVfs, StdVfs, Vfs,
 };
 use littletable::{Db, Options, Query};
+use std::path::PathBuf;
 use std::sync::Arc;
 
 fn full_sweep() -> bool {
@@ -164,6 +165,94 @@ fn torn_write_sweep() {
         m += stride;
     }
     assert!(points >= 10, "torn sweep covered only {points} appends");
+}
+
+/// Fresh scratch directory for a real-filesystem run, kept inside the
+/// cargo target tree (tests must not write outside the repo).
+fn std_scratch(tag: &str) -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join(format!("lt-stdvfs-{tag}"));
+    if dir.exists() {
+        std::fs::remove_dir_all(&dir).expect("clear stale scratch dir");
+    }
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+fn open_std_db(vfs: &FaultVfs<StdVfs>, clock: &SimClock) -> littletable::Result<Db> {
+    Db::open(Arc::new(vfs.clone()), Arc::new(clock.clone()), opts())
+}
+
+/// The real-filesystem analogue of [`error_point`]: the same workload
+/// and degraded-service oracle, but the faults are injected by a
+/// [`FaultVfs`] wrapped around [`StdVfs`], so the engine's error paths
+/// run against genuine OS I/O. The durability epilogue is a graceful
+/// process restart over the same directory — a real disk cannot be
+/// power-cut, so the SimVfs crash epilogue stays simulation-only.
+fn std_error_point(root: PathBuf, k: u64, kind: FaultKind) {
+    let vfs = FaultVfs::new(StdVfs::new(&root).expect("create scratch root"));
+    let clock = SimClock::new(START);
+    vfs.set_fault_plan(FaultPlan::fail_at(k, kind));
+    let db = open_std_db(&vfs, &clock)
+        .or_else(|_| open_std_db(&vfs, &clock))
+        .expect("reopen after a single injected fault must succeed");
+    let out = run_workload(&db, &clock, Mode::Continue);
+    assert!(
+        vfs.faults_injected() > 0,
+        "error point {k} never fired on StdVfs"
+    );
+    vfs.clear_fault_plan();
+    if verify_degraded_live(&db, &out).is_some() {
+        db.shutdown();
+        drop(db);
+        let db2 = open_std_db(&vfs, &clock).expect("reopen after degraded episode");
+        check_descriptor_consistency(&vfs);
+        let table2 = db2.table(TABLE).expect("table lost across restart");
+        let expected: Vec<u64> = (EXPIRED_BELOW..TOTAL_ROWS).collect();
+        assert_eq!(
+            visible_indices(&table2),
+            expected,
+            "real-FS durability promise broken by a restart"
+        );
+        db2.shutdown();
+    }
+    std::fs::remove_dir_all(&root).expect("clean scratch dir");
+}
+
+#[test]
+fn stdvfs_error_point_sweep() {
+    // Baseline: the workload must complete fault-free on a real disk,
+    // and its op count (as seen by the wrapper, which meters a slightly
+    // different op set than SimVfs) sizes the sweep.
+    let base = std_scratch("sweep");
+    let n = {
+        let root = base.join("baseline");
+        let vfs = FaultVfs::new(StdVfs::new(&root).expect("create baseline root"));
+        let clock = SimClock::new(START);
+        let db = open_std_db(&vfs, &clock).expect("open on StdVfs");
+        let out = run_workload(&db, &clock, Mode::Stop);
+        assert_eq!(out.acked, TOTAL_ROWS, "fault-free StdVfs run incomplete");
+        assert_eq!(out.floor, TOTAL_ROWS);
+        db.shutdown();
+        vfs.op_count()
+    };
+    assert!(n >= 16, "StdVfs workload too small to sweep: {n} ops");
+    // Tier-1 samples ~8 points per error kind (real-FS runs are slower
+    // than simulated ones); LT_FULL_SWEEP=1 visits every op.
+    let stride = if full_sweep() { 1 } else { (n / 8).max(1) };
+    for (name, kind) in [("eio", FaultKind::Eio), ("enospc", FaultKind::Enospc)] {
+        let mut k = if name == "eio" { 1 } else { 2 };
+        let mut points = 0u64;
+        while k < n {
+            std_error_point(base.join(format!("{name}-{k}")), k, kind);
+            points += 1;
+            k += stride;
+        }
+        assert!(
+            points >= 8.min(n),
+            "StdVfs {name} sweep covered only {points} points"
+        );
+    }
+    std::fs::remove_dir_all(&base).expect("clean sweep scratch");
 }
 
 #[test]
